@@ -1,0 +1,149 @@
+// Ablations of the design choices DESIGN.md calls out:
+//
+//  A1  explicit-secure node fraction: the paper lets individual nodes opt
+//      into an encrypted link ("explicit call"); sweep the fraction of
+//      secure nodes from 0% to 100% and watch intra-site crypto cost rise —
+//      per-node security is just the 100% end point.
+//  A2  dynamic scheduling with feedback: a job STREAM through the
+//      discrete-event simulator, where each decision sees the load the
+//      previous ones created (mean completion time, RR vs LB).
+//  A3  virtual-slave fan-out: how much inter-site traffic the proxy
+//      multiplexes per application as ranks-per-site grows (the cost of
+//      the "single virtual cluster" illusion).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "sched/des.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+
+using namespace pgbench;
+
+// ------------------------------------------------------------------- A1
+
+void BM_ExplicitSecureFraction(benchmark::State& state) {
+  const int secure_out_of_4 = static_cast<int>(state.range(0));
+
+  app_params().message_bytes.store(2048);
+  app_params().iterations.store(8);
+
+  for (auto _ : state) {
+    register_bench_apps();
+    grid::GridBuilder builder;
+    builder.seed(3).key_bits(512);
+    for (int i = 0; i < 4; ++i) {
+      monitor::NodeProfile profile;
+      profile.name = "node" + std::to_string(i);
+      builder.add_node("site0", profile, /*explicit_secure=*/i < secure_out_of_4);
+    }
+    builder.add_nodes("site1", 4);
+    builder.add_user("bench", "pw", {"mpi.run", "status.query"});
+    auto built = builder.build();
+    if (!built.is_ok()) {
+      state.SkipWithError("grid build failed");
+      return;
+    }
+    auto grid = built.take();
+    const Bytes token = bench_login(*grid);
+    const auto result = grid->run_app("site0", "bench", token, "stencil", 8,
+                                      grid::SchedulerPolicy::kRoundRobin);
+    if (!result.status.is_ok()) {
+      state.SkipWithError(result.status.to_string().c_str());
+      return;
+    }
+    const grid::TrafficReport traffic = grid->traffic_report();
+    state.counters["intrasite_crypto_bytes"] =
+        static_cast<double>(traffic.intra_site.crypto_bytes);
+    state.counters["intersite_crypto_bytes"] =
+        static_cast<double>(traffic.inter_site.crypto_bytes);
+    state.counters["handshakes"] = static_cast<double>(traffic.handshakes);
+    grid->shutdown();
+  }
+}
+BENCHMARK(BM_ExplicitSecureFraction)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(4)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------------------- A2
+
+void BM_DynamicScheduling(benchmark::State& state) {
+  const double speed_ratio = static_cast<double>(state.range(0));
+  const auto mean_interarrival =
+      static_cast<pg::TimeMicros>(state.range(1)) * 1000;  // ms -> us
+
+  const auto nodes = sim::generate_uniform_grid(4, 4, speed_ratio, 77);
+  const auto jobs =
+      sched::generate_job_stream(200, mean_interarrival, 2, 8, 1.0, 4.0, 99);
+
+  auto rr = sched::make_round_robin_scheduler();
+  auto lb = sched::make_load_balanced_scheduler();
+
+  for (auto _ : state) {
+    const sched::DesResult rr_result =
+        sched::simulate_dynamic_schedule(nodes, jobs, *rr);
+    const sched::DesResult lb_result =
+        sched::simulate_dynamic_schedule(nodes, jobs, *lb);
+    state.counters["rr_mean_completion_s"] = rr_result.mean_completion_seconds;
+    state.counters["lb_mean_completion_s"] = lb_result.mean_completion_seconds;
+    state.counters["rr_p95_s"] = rr_result.p95_completion_seconds;
+    state.counters["lb_p95_s"] = lb_result.p95_completion_seconds;
+    state.counters["lb_win_pct"] =
+        rr_result.mean_completion_seconds > 0
+            ? 100.0 *
+                  (rr_result.mean_completion_seconds -
+                   lb_result.mean_completion_seconds) /
+                  rr_result.mean_completion_seconds
+            : 0;
+  }
+}
+// args: speed_ratio, mean interarrival (ms)
+BENCHMARK(BM_DynamicScheduling)
+    ->Args({1, 500})
+    ->Args({2, 500})
+    ->Args({4, 500})
+    ->Args({4, 250})   // heavier load
+    ->Args({4, 1000})  // lighter load
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------------------- A3
+
+void BM_VirtualSlaveFanOut(benchmark::State& state) {
+  const auto ranks_per_site = static_cast<std::size_t>(state.range(0));
+  app_params().iterations.store(16);
+
+  for (auto _ : state) {
+    auto grid = make_bench_grid(2, ranks_per_site);
+    if (grid == nullptr) {
+      state.SkipWithError("grid build failed");
+      return;
+    }
+    const Bytes token = bench_login(*grid);
+    const auto ranks = static_cast<std::uint32_t>(2 * ranks_per_site);
+    const auto result = grid->run_app("site0", "bench", token, "allreduce",
+                                      ranks, grid::SchedulerPolicy::kRoundRobin);
+    if (!result.status.is_ok()) {
+      state.SkipWithError(result.status.to_string().c_str());
+      return;
+    }
+    std::uint64_t remote_msgs = 0, remote_bytes = 0, local_msgs = 0;
+    for (const auto& site : grid->sites()) {
+      const proxy::ProxyMetrics m = grid->proxy(site).metrics();
+      remote_msgs += m.mpi_messages_remote;
+      remote_bytes += m.mpi_bytes_remote;
+      local_msgs += m.mpi_messages_local;
+    }
+    state.counters["intersite_mpi_msgs"] = static_cast<double>(remote_msgs);
+    state.counters["intersite_mpi_bytes"] = static_cast<double>(remote_bytes);
+    state.counters["intrasite_mpi_msgs"] = static_cast<double>(local_msgs);
+    grid->shutdown();
+  }
+}
+BENCHMARK(BM_VirtualSlaveFanOut)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

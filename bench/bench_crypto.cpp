@@ -1,0 +1,181 @@
+// E1 — substrate calibration: throughput of every crypto primitive and the
+// cost of a full GSSL handshake.
+//
+// Paper anchor: §3 uses OpenSSL for the secure channel; this bench
+// establishes that our from-scratch substrate has the same cost structure
+// (symmetric ops ≫ RSA op rate; handshake dominated by RSA).
+#include <benchmark/benchmark.h>
+
+#include <future>
+
+#include "common/rng.hpp"
+#include "crypto/cert.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+#include "net/memory_channel.hpp"
+#include "tls/gssl.hpp"
+
+namespace {
+
+using namespace pg;
+using namespace pg::crypto;
+
+void BM_Sha256(benchmark::State& state) {
+  Rng rng(1);
+  const Bytes data = rng.next_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Rng rng(2);
+  const Bytes key = rng.next_bytes(32);
+  const Bytes data = rng.next_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024)->Arg(64 * 1024);
+
+void BM_ChaCha20(benchmark::State& state) {
+  Rng rng(3);
+  const Bytes key = rng.next_bytes(kChaChaKeySize);
+  const Bytes nonce = rng.next_bytes(kChaChaNonceSize);
+  Bytes data = rng.next_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ChaCha20 cipher(key, nonce, 0);
+    cipher.process(data.data(), data.size());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ChaCha20)->Arg(64)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+struct RsaEnv {
+  Rng rng{42};
+  RsaKeyPair keys;
+  Bytes message = to_bytes("benchmark message for RSA signing");
+  Bytes signature;
+  explicit RsaEnv(std::size_t bits) : keys(rsa_generate(bits, rng)) {
+    signature = rsa_sign(keys.priv, message);
+  }
+};
+
+RsaEnv& rsa_env(std::size_t bits) {
+  static RsaEnv env768(768);
+  static RsaEnv env1024(1024);
+  return bits == 768 ? env768 : env1024;
+}
+
+void BM_RsaSign(benchmark::State& state) {
+  RsaEnv& env = rsa_env(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa_sign(env.keys.priv, env.message));
+  }
+}
+BENCHMARK(BM_RsaSign)->Arg(768)->Arg(1024);
+
+void BM_RsaVerify(benchmark::State& state) {
+  RsaEnv& env = rsa_env(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rsa_verify(env.keys.pub, env.message, env.signature));
+  }
+}
+BENCHMARK(BM_RsaVerify)->Arg(768)->Arg(1024);
+
+void BM_RsaKeygen(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rsa_generate(static_cast<std::size_t>(state.range(0)), rng));
+  }
+}
+BENCHMARK(BM_RsaKeygen)->Arg(512)->Arg(768)->Unit(benchmark::kMillisecond);
+
+// Full mutual-auth GSSL handshake over an in-memory channel pair.
+void BM_GsslHandshake(benchmark::State& state) {
+  Rng rng(11);
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  CertificateAuthority ca("bench-ca", bits, rng);
+  const RsaKeyPair client_keys = rsa_generate(bits, rng);
+  const RsaKeyPair server_keys = rsa_generate(bits, rng);
+  ManualClock clock(1000);
+
+  const tls::GsslIdentity client_id{
+      ca.issue("proxy.siteA", client_keys.pub, 0, 1'000'000'000),
+      client_keys.priv};
+  const tls::GsslIdentity server_id{
+      ca.issue("proxy.siteB", server_keys.pub, 0, 1'000'000'000),
+      server_keys.priv};
+  const tls::GsslConfig client_cfg{client_id, ca.name(), ca.public_key(), ""};
+  const tls::GsslConfig server_cfg{server_id, ca.name(), ca.public_key(), ""};
+
+  for (auto _ : state) {
+    net::ChannelPair pair = net::make_memory_channel_pair();
+    Rng client_rng(1), server_rng(2);
+    auto server = std::async(std::launch::async, [&] {
+      return tls::gssl_server_handshake(*pair.b, server_cfg, clock,
+                                        server_rng);
+    });
+    auto client =
+        tls::gssl_client_handshake(*pair.a, client_cfg, clock, client_rng);
+    auto server_session = server.get();
+    benchmark::DoNotOptimize(client);
+    benchmark::DoNotOptimize(server_session);
+  }
+}
+BENCHMARK(BM_GsslHandshake)->Arg(512)->Arg(768)->Unit(benchmark::kMillisecond);
+
+// Secured record throughput (cipher + MAC + framing) once the session is up.
+void BM_GsslRecordThroughput(benchmark::State& state) {
+  Rng rng(13);
+  CertificateAuthority ca("bench-ca", 512, rng);
+  const RsaKeyPair a_keys = rsa_generate(512, rng);
+  const RsaKeyPair b_keys = rsa_generate(512, rng);
+  ManualClock clock(1000);
+  const tls::GsslConfig a_cfg{
+      {ca.issue("a", a_keys.pub, 0, 1'000'000'000), a_keys.priv},
+      ca.name(), ca.public_key(), ""};
+  const tls::GsslConfig b_cfg{
+      {ca.issue("b", b_keys.pub, 0, 1'000'000'000), b_keys.priv},
+      ca.name(), ca.public_key(), ""};
+
+  net::ChannelPair pair = net::make_memory_channel_pair();
+  Rng a_rng(1), b_rng(2);
+  auto server = std::async(std::launch::async, [&] {
+    return tls::gssl_server_handshake(*pair.b, b_cfg, clock, b_rng);
+  });
+  auto client = tls::gssl_client_handshake(*pair.a, a_cfg, clock, a_rng);
+  auto server_session = server.get();
+  if (!client.is_ok() || !server_session.is_ok()) {
+    state.SkipWithError("handshake failed");
+    return;
+  }
+
+  const Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    if (!client.value()->send(payload).is_ok()) {
+      state.SkipWithError("send failed");
+      return;
+    }
+    auto received = server_session.value()->recv();
+    benchmark::DoNotOptimize(received);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GsslRecordThroughput)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

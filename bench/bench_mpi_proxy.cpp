@@ -1,0 +1,146 @@
+// E3 — paper Figure 3(a) vs 3(b): plain local MPI communication vs the
+// proxy-multiplexed path.
+//
+// Three deployments run the same ping-pong application:
+//   local   — ranks share a LocalFabric (Figure 3a: no middleware)
+//   1-site  — ranks on two nodes of one site (node->proxy->node, plaintext)
+//   2-site  — ranks on two sites (node->proxy->GSSL tunnel->proxy->node)
+// Counters report per-round-trip latency and effective bandwidth per
+// message size. The expected shape: a fixed per-hop cost for proxying and
+// a crypto cost only on the inter-site path; unmodified app code in all
+// three.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace pgbench;
+
+void set_counters(benchmark::State& state, std::size_t bytes, int iters) {
+  const double micros =
+      static_cast<double>(app_params().measured_micros.load());
+  const double per_roundtrip = micros / iters;
+  state.counters["us_per_roundtrip"] = per_roundtrip;
+  // Each round trip moves the payload twice.
+  state.counters["MB_per_s"] =
+      per_roundtrip > 0
+          ? (2.0 * static_cast<double>(bytes)) / per_roundtrip
+          : 0;
+}
+
+void BM_PingPongLocal(benchmark::State& state) {
+  register_bench_apps();
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const int iters = 64;
+  app_params().message_bytes.store(bytes);
+  app_params().iterations.store(iters);
+
+  for (auto _ : state) {
+    const auto fn = mpi::AppRegistry::instance().lookup("pingpong");
+    const mpi::RunReport report = mpi::run_local(fn.value(), 2);
+    if (!report.status.is_ok()) {
+      state.SkipWithError("local run failed");
+      return;
+    }
+  }
+  set_counters(state, bytes, iters);
+}
+BENCHMARK(BM_PingPongLocal)
+    ->Arg(64)->Arg(1024)->Arg(16 * 1024)->Arg(256 * 1024)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void run_grid_pingpong(benchmark::State& state, std::size_t sites,
+                       std::size_t nodes_per_site) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const int iters = 64;
+  app_params().message_bytes.store(bytes);
+  app_params().iterations.store(iters);
+
+  for (auto _ : state) {
+    auto grid = make_bench_grid(sites, nodes_per_site);
+    if (grid == nullptr) {
+      state.SkipWithError("grid build failed");
+      return;
+    }
+    const Bytes token = bench_login(*grid);
+    // Round-robin over the sorted node list puts rank 0 and rank 1 on
+    // different nodes (and different sites when sites > 1).
+    const auto result = grid->run_app("site0", "bench", token, "pingpong", 2,
+                                      grid::SchedulerPolicy::kRoundRobin);
+    if (!result.status.is_ok()) {
+      state.SkipWithError(result.status.to_string().c_str());
+      return;
+    }
+    const grid::TrafficReport traffic = grid->traffic_report();
+    state.counters["crypto_bytes"] = static_cast<double>(
+        traffic.inter_site.crypto_bytes + traffic.intra_site.crypto_bytes);
+    grid->shutdown();
+  }
+  set_counters(state, bytes, iters);
+}
+
+void BM_PingPongOneSite(benchmark::State& state) {
+  run_grid_pingpong(state, 1, 2);
+}
+BENCHMARK(BM_PingPongOneSite)
+    ->Arg(64)->Arg(1024)->Arg(16 * 1024)->Arg(256 * 1024)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_PingPongTwoSites(benchmark::State& state) {
+  run_grid_pingpong(state, 2, 1);
+}
+BENCHMARK(BM_PingPongTwoSites)
+    ->Arg(64)->Arg(1024)->Arg(16 * 1024)->Arg(256 * 1024)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// Collective performance through the proxy: allreduce across deployments.
+void BM_AllreduceLocal(benchmark::State& state) {
+  register_bench_apps();
+  app_params().iterations.store(32);
+  const auto ranks = static_cast<std::uint32_t>(state.range(0));
+  WallClock wall;
+  for (auto _ : state) {
+    const auto fn = mpi::AppRegistry::instance().lookup("allreduce");
+    const TimeMicros start = wall.now();
+    const mpi::RunReport report = mpi::run_local(fn.value(), ranks);
+    if (!report.status.is_ok()) {
+      state.SkipWithError("local allreduce failed");
+      return;
+    }
+    state.counters["us_per_allreduce"] =
+        static_cast<double>(wall.now() - start) / 32.0;
+  }
+}
+BENCHMARK(BM_AllreduceLocal)->Arg(4)->Arg(8)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AllreduceTwoSites(benchmark::State& state) {
+  const auto ranks = static_cast<std::uint32_t>(state.range(0));
+  app_params().iterations.store(32);
+  WallClock wall;
+  for (auto _ : state) {
+    auto grid = make_bench_grid(2, ranks / 2);
+    if (grid == nullptr) {
+      state.SkipWithError("grid build failed");
+      return;
+    }
+    const Bytes token = bench_login(*grid);
+    const TimeMicros start = wall.now();
+    const auto result = grid->run_app("site0", "bench", token, "allreduce",
+                                      ranks, grid::SchedulerPolicy::kRoundRobin);
+    if (!result.status.is_ok()) {
+      state.SkipWithError(result.status.to_string().c_str());
+      return;
+    }
+    state.counters["us_per_allreduce"] =
+        static_cast<double>(wall.now() - start) / 32.0;
+    grid->shutdown();
+  }
+}
+BENCHMARK(BM_AllreduceTwoSites)->Arg(4)->Arg(8)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// E5 — scheduling (§3): "In its original form, the MPI uses the
+// round-robin method to distribute the processes among the nodes"; the
+// proxy's load-balancing "ensures the best possible use and optimization of
+// the available resources."
+//
+// Sweep heterogeneity (node speed ratio) and load factor (tasks per node);
+// counters report the makespan under each policy and the improvement.
+// Expected shape: identical on homogeneous grids, widening win for load
+// balancing as heterogeneity grows.
+#include <benchmark/benchmark.h>
+
+#include "sched/makespan.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+
+using namespace pg;
+
+void BM_SchedulingPolicy(benchmark::State& state) {
+  const auto nodes_per_site = static_cast<std::size_t>(state.range(0));
+  const double speed_ratio = static_cast<double>(state.range(1));
+  const auto tasks_per_node = static_cast<std::uint32_t>(state.range(2));
+
+  const auto nodes =
+      sim::generate_uniform_grid(4, nodes_per_site, speed_ratio, 1234);
+  const auto ranks =
+      static_cast<std::uint32_t>(nodes.size() * tasks_per_node);
+
+  auto rr = sched::make_round_robin_scheduler();
+  auto lb = sched::make_load_balanced_scheduler();
+
+  double rr_makespan = 0, lb_makespan = 0;
+  for (auto _ : state) {
+    const auto rr_placement = rr->assign(nodes, ranks, {});
+    const auto lb_placement = lb->assign(nodes, ranks, {});
+    if (!rr_placement.is_ok() || !lb_placement.is_ok()) {
+      state.SkipWithError("assignment failed");
+      return;
+    }
+    rr_makespan = sched::evaluate_makespan(nodes, rr_placement.value()).makespan;
+    lb_makespan = sched::evaluate_makespan(nodes, lb_placement.value()).makespan;
+    benchmark::DoNotOptimize(rr_makespan);
+    benchmark::DoNotOptimize(lb_makespan);
+  }
+  state.counters["rr_makespan"] = rr_makespan;
+  state.counters["lb_makespan"] = lb_makespan;
+  state.counters["lb_win_pct"] =
+      rr_makespan > 0 ? 100.0 * (rr_makespan - lb_makespan) / rr_makespan : 0;
+}
+
+// args: nodes_per_site, speed_ratio, tasks_per_node
+BENCHMARK(BM_SchedulingPolicy)
+    ->Args({4, 1, 2})
+    ->Args({4, 2, 2})
+    ->Args({4, 3, 2})
+    ->Args({4, 4, 2})
+    ->Args({8, 4, 1})
+    ->Args({8, 4, 4})
+    ->Args({16, 4, 2});
+
+// Weighted (non-uniform) task costs: list scheduling still wins.
+void BM_SchedulingWeightedTasks(benchmark::State& state) {
+  const double spread = static_cast<double>(state.range(0));
+  const auto nodes = sim::generate_uniform_grid(4, 4, 3.0, 99);
+  const auto costs =
+      sim::generate_task_costs(nodes.size() * 3, 1.0, spread, 4);
+  const auto ranks = static_cast<std::uint32_t>(costs.size());
+
+  auto rr = sched::make_round_robin_scheduler();
+  auto lb = sched::make_load_balanced_scheduler();
+
+  double rr_makespan = 0, lb_makespan = 0;
+  for (auto _ : state) {
+    const auto rr_placement = rr->assign(nodes, ranks, {});
+    const auto lb_placement = lb->assign(nodes, ranks, {});
+    if (!rr_placement.is_ok() || !lb_placement.is_ok()) {
+      state.SkipWithError("assignment failed");
+      return;
+    }
+    rr_makespan = sched::evaluate_makespan_weighted(nodes,
+                                                    rr_placement.value(), costs)
+                      .makespan;
+    lb_makespan = sched::evaluate_makespan_weighted(nodes,
+                                                    lb_placement.value(), costs)
+                      .makespan;
+  }
+  state.counters["rr_makespan"] = rr_makespan;
+  state.counters["lb_makespan"] = lb_makespan;
+  state.counters["lb_win_pct"] =
+      rr_makespan > 0 ? 100.0 * (rr_makespan - lb_makespan) / rr_makespan : 0;
+}
+BENCHMARK(BM_SchedulingWeightedTasks)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Scheduler decision cost itself (must stay negligible vs job runtimes).
+void BM_SchedulerDecisionCost(benchmark::State& state) {
+  const auto node_count = static_cast<std::size_t>(state.range(0));
+  const auto nodes = sim::generate_uniform_grid(8, node_count / 8, 4.0, 5);
+  const auto ranks = static_cast<std::uint32_t>(nodes.size() * 2);
+  auto lb = sched::make_load_balanced_scheduler();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lb->assign(nodes, ranks, {}));
+  }
+}
+BENCHMARK(BM_SchedulerDecisionCost)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

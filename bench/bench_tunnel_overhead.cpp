@@ -1,0 +1,87 @@
+// E2 — the paper's central overhead claim (§3): with edge tunneling "the
+// information will be tunneled only among cluster edges and not inside
+// them", so security work grows with the number of SITES; with the
+// Globus-like per-node approach "all the cluster's nodes reflect the
+// overhead", growing with the number of NODES.
+//
+// Sweep: sites x nodes-per-site, same halo-exchange application, both
+// deployment modes. Counters report enciphered bytes, handshakes, wire
+// bytes, and modelled 2003-era transfer times (sim::LinkProfile).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "sim/network_model.hpp"
+
+namespace {
+
+using namespace pgbench;
+
+void BM_TunnelOverhead(benchmark::State& state) {
+  const auto sites = static_cast<std::size_t>(state.range(0));
+  const auto nodes = static_cast<std::size_t>(state.range(1));
+  const auto mode = state.range(2) == 0
+                        ? proxy::SecurityMode::kProxyTunneling
+                        : proxy::SecurityMode::kPerNodeSecurity;
+  const auto ranks = static_cast<std::uint32_t>(sites * nodes);
+
+  app_params().message_bytes.store(2048);
+  app_params().iterations.store(8);
+
+  for (auto _ : state) {
+    auto grid = make_bench_grid(sites, nodes, mode);
+    if (grid == nullptr) {
+      state.SkipWithError("grid build failed");
+      return;
+    }
+    const Bytes token = bench_login(*grid);
+
+    const auto result =
+        grid->run_app("site0", "bench", token, "stencil", ranks,
+                      grid::SchedulerPolicy::kRoundRobin);
+    if (!result.status.is_ok()) {
+      state.SkipWithError(result.status.to_string().c_str());
+      return;
+    }
+
+    const grid::TrafficReport traffic = grid->traffic_report();
+    state.counters["crypto_bytes"] = static_cast<double>(
+        traffic.inter_site.crypto_bytes + traffic.intra_site.crypto_bytes);
+    state.counters["intersite_bytes"] =
+        static_cast<double>(traffic.inter_site.wire_bytes);
+    state.counters["intrasite_bytes"] =
+        static_cast<double>(traffic.intra_site.wire_bytes);
+    state.counters["handshakes"] = static_cast<double>(traffic.handshakes);
+    state.counters["handshake_bytes"] = static_cast<double>(
+        traffic.inter_site.handshake_bytes +
+        traffic.intra_site.handshake_bytes);
+
+    // Modelled WAN/LAN time on 2003-era links for the same traffic.
+    sim::TrafficSummary wan;
+    wan.messages = traffic.inter_site.messages;
+    wan.bytes = traffic.inter_site.wire_bytes;
+    wan.crypto_bytes = traffic.inter_site.crypto_bytes;
+    sim::TrafficSummary lan;
+    lan.messages = traffic.intra_site.messages;
+    lan.bytes = traffic.intra_site.wire_bytes;
+    lan.crypto_bytes = traffic.intra_site.crypto_bytes;
+    state.counters["modelled_ms"] = static_cast<double>(
+        sim::modelled_time(wan, sim::wan_link()) +
+        sim::modelled_time(lan, sim::lan_link())) / 1000.0;
+
+    grid->shutdown();
+  }
+}
+
+}  // namespace
+
+// args: sites, nodes_per_site, mode (0 = proxy tunneling, 1 = per-node)
+BENCHMARK(BM_TunnelOverhead)
+    ->Args({2, 2, 0})->Args({2, 2, 1})
+    ->Args({2, 8, 0})->Args({2, 8, 1})
+    ->Args({4, 4, 0})->Args({4, 4, 1})
+    ->Args({4, 8, 0})->Args({4, 8, 1})
+    ->Args({8, 2, 0})->Args({8, 2, 1})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// Shared setup for the experiment benchmarks: registered applications with
+// tunable parameters and grid construction helpers.
+//
+// Benches use 512-bit RSA so grid bring-up stays fast; the crypto bench
+// (E1) covers larger key sizes explicitly.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "grid/grid.hpp"
+#include "mpi/datatypes.hpp"
+#include "mpi/runtime.hpp"
+
+namespace pgbench {
+
+using namespace pg;
+
+/// Tunables the registered applications read (set before each run; runs are
+/// sequential within a bench binary).
+struct AppParams {
+  std::atomic<std::size_t> message_bytes{1024};
+  std::atomic<int> iterations{16};
+  /// Wall-clock duration of the app's measured section, written by rank 0.
+  std::atomic<std::int64_t> measured_micros{0};
+};
+
+inline AppParams& app_params() {
+  static AppParams params;
+  return params;
+}
+
+/// Registers the benchmark applications once per process:
+///   "stencil"  — halo exchange ring, message_bytes per halo, iterations
+///   "pingpong" — rank 0 <-> rank 1 round trips, measured_micros output
+///   "allreduce"— iterations of allreduce over doubles
+///   "burn"     — barrier only
+inline void register_bench_apps() {
+  static const bool done = [] {
+    auto& params = app_params();
+
+    mpi::AppRegistry::instance().register_app(
+        "stencil", [&params](mpi::Comm& comm) -> Status {
+          const std::size_t bytes = params.message_bytes.load();
+          const int iters = params.iterations.load();
+          const Bytes halo(bytes, 0x42);
+          const std::uint32_t left =
+              (comm.rank() + comm.size() - 1) % comm.size();
+          const std::uint32_t right = (comm.rank() + 1) % comm.size();
+          for (int i = 0; i < iters; ++i) {
+            PG_RETURN_IF_ERROR(comm.send(left, 1, halo));
+            PG_RETURN_IF_ERROR(comm.send(right, 2, halo));
+            Result<Bytes> a = comm.recv(static_cast<std::int32_t>(right), 1);
+            if (!a.is_ok()) return a.status();
+            Result<Bytes> b = comm.recv(static_cast<std::int32_t>(left), 2);
+            if (!b.is_ok()) return b.status();
+          }
+          return Status::ok();
+        });
+
+    mpi::AppRegistry::instance().register_app(
+        "pingpong", [&params](mpi::Comm& comm) -> Status {
+          if (comm.size() < 2 || comm.rank() > 1) return Status::ok();
+          const std::size_t bytes = params.message_bytes.load();
+          const int iters = params.iterations.load();
+          const Bytes payload(bytes, 0x17);
+          WallClock wall;
+          const TimeMicros start = wall.now();
+          for (int i = 0; i < iters; ++i) {
+            if (comm.rank() == 0) {
+              PG_RETURN_IF_ERROR(comm.send(1, 5, payload));
+              Result<Bytes> back = comm.recv(1, 5);
+              if (!back.is_ok()) return back.status();
+            } else {
+              Result<Bytes> msg = comm.recv(0, 5);
+              if (!msg.is_ok()) return msg.status();
+              PG_RETURN_IF_ERROR(comm.send(0, 5, msg.value()));
+            }
+          }
+          if (comm.rank() == 0) {
+            params.measured_micros.store(wall.now() - start);
+          }
+          return Status::ok();
+        });
+
+    mpi::AppRegistry::instance().register_app(
+        "allreduce", [&params](mpi::Comm& comm) -> Status {
+          const int iters = params.iterations.load();
+          for (int i = 0; i < iters; ++i) {
+            Result<double> v = comm.allreduce(1.0, mpi::ReduceOp::kSum);
+            if (!v.is_ok()) return v.status();
+          }
+          return Status::ok();
+        });
+
+    mpi::AppRegistry::instance().register_app(
+        "burn", [](mpi::Comm& comm) -> Status { return comm.barrier(); });
+    return true;
+  }();
+  (void)done;
+}
+
+/// Builds a grid of `sites` x `nodes_per_site` with one privileged user
+/// ("bench" / "pw").
+inline std::unique_ptr<grid::Grid> make_bench_grid(
+    std::size_t sites, std::size_t nodes_per_site,
+    proxy::SecurityMode mode = proxy::SecurityMode::kProxyTunneling,
+    std::uint64_t seed = 1) {
+  register_bench_apps();
+  grid::GridBuilder builder;
+  builder.seed(seed).key_bits(512).security_mode(mode);
+  for (std::size_t s = 0; s < sites; ++s) {
+    builder.add_nodes("site" + std::to_string(s), nodes_per_site);
+  }
+  builder.add_user("bench", "pw", {"mpi.run", "status.query", "job.submit"});
+  auto grid = builder.build();
+  return grid.is_ok() ? grid.take() : nullptr;
+}
+
+inline Bytes bench_login(grid::Grid& grid, const std::string& site = "site0") {
+  auto token = grid.login(site, "bench", "pw");
+  return token.is_ok() ? token.take() : Bytes{};
+}
+
+}  // namespace pgbench

@@ -1,0 +1,97 @@
+#include "auth/acl.hpp"
+
+#include <algorithm>
+
+namespace pg::auth {
+
+void AccessControl::add_to_group(const std::string& user,
+                                 const std::string& group) {
+  user_groups_[user].insert(group);
+}
+
+void AccessControl::remove_from_group(const std::string& user,
+                                      const std::string& group) {
+  const auto it = user_groups_.find(user);
+  if (it != user_groups_.end()) it->second.erase(group);
+}
+
+std::vector<std::string> AccessControl::groups_of(
+    const std::string& user) const {
+  const auto it = user_groups_.find(user);
+  if (it == user_groups_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+void AccessControl::grant_user(const std::string& user,
+                               const std::string& permission) {
+  user_grants_[user].insert(permission);
+}
+
+void AccessControl::grant_group(const std::string& group,
+                                const std::string& permission) {
+  group_grants_[group].insert(permission);
+}
+
+void AccessControl::revoke_user(const std::string& user,
+                                const std::string& permission) {
+  const auto it = user_grants_.find(user);
+  if (it != user_grants_.end()) it->second.erase(permission);
+}
+
+void AccessControl::revoke_group(const std::string& group,
+                                 const std::string& permission) {
+  const auto it = group_grants_.find(group);
+  if (it != group_grants_.end()) it->second.erase(permission);
+}
+
+bool AccessControl::grant_covers(const std::string& grant,
+                                 const std::string& permission) {
+  if (grant == permission) return true;
+  // "mpi.*" covers "mpi.run", "mpi.open", ... (one namespace level or more).
+  if (grant.size() >= 2 && grant.ends_with(".*")) {
+    const std::string prefix = grant.substr(0, grant.size() - 1);  // "mpi."
+    return permission.starts_with(prefix);
+  }
+  return false;
+}
+
+Status AccessControl::check(const std::string& user,
+                            const std::string& permission) const {
+  const auto user_it = user_grants_.find(user);
+  if (user_it != user_grants_.end()) {
+    for (const auto& g : user_it->second) {
+      if (grant_covers(g, permission)) return Status::ok();
+    }
+  }
+  const auto groups_it = user_groups_.find(user);
+  if (groups_it != user_groups_.end()) {
+    for (const auto& group : groups_it->second) {
+      const auto group_it = group_grants_.find(group);
+      if (group_it == group_grants_.end()) continue;
+      for (const auto& g : group_it->second) {
+        if (grant_covers(g, permission)) return Status::ok();
+      }
+    }
+  }
+  return error(ErrorCode::kPermissionDenied,
+               "user " + user + " lacks " + permission);
+}
+
+std::vector<std::string> AccessControl::effective_permissions(
+    const std::string& user) const {
+  std::set<std::string> all;
+  const auto user_it = user_grants_.find(user);
+  if (user_it != user_grants_.end())
+    all.insert(user_it->second.begin(), user_it->second.end());
+  const auto groups_it = user_groups_.find(user);
+  if (groups_it != user_groups_.end()) {
+    for (const auto& group : groups_it->second) {
+      const auto group_it = group_grants_.find(group);
+      if (group_it != group_grants_.end())
+        all.insert(group_it->second.begin(), group_it->second.end());
+    }
+  }
+  return {all.begin(), all.end()};
+}
+
+}  // namespace pg::auth

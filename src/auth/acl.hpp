@@ -1,0 +1,47 @@
+// Access control: per-user and per-group permissions (paper §3: "Access
+// permissions can be controlled individually or by user groups").
+//
+// Permissions are dotted strings ("mpi.run", "status.query", "job.submit");
+// a trailing ".*" grants a whole namespace ("mpi.*").
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace pg::auth {
+
+class AccessControl {
+ public:
+  // --- group membership
+  void add_to_group(const std::string& user, const std::string& group);
+  void remove_from_group(const std::string& user, const std::string& group);
+  std::vector<std::string> groups_of(const std::string& user) const;
+
+  // --- grants
+  void grant_user(const std::string& user, const std::string& permission);
+  void grant_group(const std::string& group, const std::string& permission);
+  void revoke_user(const std::string& user, const std::string& permission);
+  void revoke_group(const std::string& group, const std::string& permission);
+
+  /// kPermissionDenied unless the user holds `permission` directly or via a
+  /// group, exactly or through a ".*" wildcard grant.
+  Status check(const std::string& user, const std::string& permission) const;
+
+  /// Every permission the user holds (expanded over groups; wildcards kept
+  /// as-is). Sorted for determinism. Used to mint tickets.
+  std::vector<std::string> effective_permissions(const std::string& user) const;
+
+ private:
+  static bool grant_covers(const std::string& grant,
+                           const std::string& permission);
+
+  std::map<std::string, std::set<std::string>> user_grants_;
+  std::map<std::string, std::set<std::string>> group_grants_;
+  std::map<std::string, std::set<std::string>> user_groups_;
+};
+
+}  // namespace pg::auth

@@ -1,0 +1,45 @@
+#include "auth/authenticator.hpp"
+
+namespace pg::auth {
+
+proto::AuthResponse UserAuthenticator::authenticate(
+    const proto::AuthRequest& request, TimeMicros now) {
+  proto::AuthResponse response;
+
+  Status verdict;
+  switch (request.method) {
+    case proto::AuthMethod::kPassword:
+      verdict = passwords_.verify(request.user, to_string(request.credential));
+      break;
+    case proto::AuthMethod::kSignature:
+      verdict = signatures_.verify(request.user,
+                                   static_cast<TimeMicros>(request.timestamp),
+                                   request.credential, now);
+      break;
+    case proto::AuthMethod::kTicket: {
+      Result<Ticket> ticket = tickets_.verify(request.credential, now);
+      if (!ticket.is_ok()) {
+        verdict = ticket.status();
+      } else if (ticket.value().user != request.user) {
+        verdict = error(ErrorCode::kUnauthenticated,
+                        "ticket user mismatch");
+      }
+      break;
+    }
+  }
+
+  if (!verdict.is_ok()) {
+    response.ok = false;
+    response.reason = verdict.to_string();
+    return response;
+  }
+
+  // Fresh session ticket carrying the user's current rights — subsequent
+  // requests authorize with one HMAC instead of re-running this method.
+  response.ok = true;
+  response.token = tickets_.issue_sealed(
+      request.user, acl_.effective_permissions(request.user), now);
+  return response;
+}
+
+}  // namespace pg::auth

@@ -1,0 +1,55 @@
+// UserAuthenticator — the proxy's layer-2 front door.
+//
+// Accepts an AuthRequest in any of the three methods the architecture
+// supports (password, digital signature, ticket), checks it against the
+// site's user database, and on success mints a session ticket carrying the
+// user's effective permissions so subsequent requests authenticate with a
+// single HMAC ("a single authentication per session", paper §3).
+#pragma once
+
+#include <string>
+
+#include "auth/acl.hpp"
+#include "auth/password.hpp"
+#include "auth/signature.hpp"
+#include "auth/ticket.hpp"
+#include "common/clock.hpp"
+#include "proto/messages.hpp"
+
+namespace pg::auth {
+
+class UserAuthenticator {
+ public:
+  UserAuthenticator(std::string site, Bytes ticket_key,
+                    TimeMicros ticket_lifetime,
+                    TimeMicros signature_window = 60 * kMicrosPerSecond)
+      : site_(std::move(site)),
+        signatures_(site_, signature_window),
+        tickets_(std::move(ticket_key), ticket_lifetime) {}
+
+  PasswordStore& passwords() { return passwords_; }
+  SignatureAuthenticator& signatures() { return signatures_; }
+  AccessControl& acl() { return acl_; }
+  TicketService& tickets() { return tickets_; }
+  const TicketService& tickets() const { return tickets_; }
+
+  /// Handles one AuthRequest. On success the response carries a sealed
+  /// session ticket in `token`.
+  proto::AuthResponse authenticate(const proto::AuthRequest& request,
+                                   TimeMicros now);
+
+  /// Validates a sealed ticket for `permission` (the per-request fast path).
+  Status authorize(BytesView token, const std::string& permission,
+                   TimeMicros now) const {
+    return tickets_.authorize(token, permission, now);
+  }
+
+ private:
+  std::string site_;
+  PasswordStore passwords_;
+  SignatureAuthenticator signatures_;
+  AccessControl acl_;
+  TicketService tickets_;
+};
+
+}  // namespace pg::auth

@@ -1,0 +1,61 @@
+#include "auth/signature.hpp"
+
+#include "common/serde.hpp"
+
+namespace pg::auth {
+
+Bytes signature_challenge(const std::string& user, const std::string& site,
+                          TimeMicros ts) {
+  BufferWriter w;
+  w.put_string("pg-auth-v1");
+  w.put_string(user);
+  w.put_string(site);
+  w.put_u64(static_cast<std::uint64_t>(ts));
+  return w.take();
+}
+
+Bytes make_signature_credential(const std::string& user,
+                                const std::string& site, TimeMicros ts,
+                                const crypto::RsaPrivateKey& key) {
+  return crypto::rsa_sign(key, signature_challenge(user, site, ts));
+}
+
+void SignatureAuthenticator::register_user_key(
+    const std::string& user, const crypto::RsaPublicKey& key) {
+  keys_[user] = key;
+}
+
+bool SignatureAuthenticator::has_user(const std::string& user) const {
+  return keys_.count(user) > 0;
+}
+
+void SignatureAuthenticator::prune_replay_cache(TimeMicros now) {
+  for (auto it = seen_.begin(); it != seen_.end();) {
+    if (now - it->second > window_) {
+      it = seen_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status SignatureAuthenticator::verify(const std::string& user, TimeMicros ts,
+                                      BytesView signature, TimeMicros now) {
+  const auto it = keys_.find(user);
+  if (it == keys_.end())
+    return error(ErrorCode::kUnauthenticated, "unknown user " + user);
+
+  if (ts > now + window_ || ts < now - window_)
+    return error(ErrorCode::kUnauthenticated, "signature timestamp stale");
+
+  prune_replay_cache(now);
+  if (!seen_.insert({user, ts}).second)
+    return error(ErrorCode::kUnauthenticated, "signature replayed");
+
+  if (!crypto::rsa_verify(it->second, signature_challenge(user, site_, ts),
+                          signature))
+    return error(ErrorCode::kUnauthenticated, "signature invalid");
+  return Status::ok();
+}
+
+}  // namespace pg::auth

@@ -1,0 +1,53 @@
+// Digital-signature user authentication (paper §3: "User authentication is
+// done through digital signatures").
+//
+// The user signs (user || site || timestamp) with their registered RSA key;
+// the proxy verifies the signature and enforces a freshness window plus a
+// replay cache within that window.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "crypto/rsa.hpp"
+
+namespace pg::auth {
+
+/// Builds the byte string a user signs to authenticate to `site` at `ts`.
+Bytes signature_challenge(const std::string& user, const std::string& site,
+                          TimeMicros ts);
+
+/// Client-side helper: produce the credential for an AuthRequest.
+Bytes make_signature_credential(const std::string& user,
+                                const std::string& site, TimeMicros ts,
+                                const crypto::RsaPrivateKey& key);
+
+class SignatureAuthenticator {
+ public:
+  /// `freshness_window`: max |now - ts| accepted.
+  SignatureAuthenticator(std::string site, TimeMicros freshness_window)
+      : site_(std::move(site)), window_(freshness_window) {}
+
+  void register_user_key(const std::string& user,
+                         const crypto::RsaPublicKey& key);
+  bool has_user(const std::string& user) const;
+
+  /// Verifies user identity. Also rejects replays: a (user, ts) pair is
+  /// accepted at most once within the window.
+  Status verify(const std::string& user, TimeMicros ts, BytesView signature,
+                TimeMicros now);
+
+ private:
+  void prune_replay_cache(TimeMicros now);
+
+  std::string site_;
+  TimeMicros window_;
+  std::map<std::string, crypto::RsaPublicKey> keys_;
+  std::set<std::pair<std::string, TimeMicros>> seen_;
+};
+
+}  // namespace pg::auth

@@ -1,0 +1,106 @@
+#include "auth/ticket.hpp"
+
+#include "common/serde.hpp"
+#include "crypto/hmac.hpp"
+
+namespace pg::auth {
+
+namespace {
+constexpr std::size_t kMacSize = 32;
+constexpr std::size_t kMaxPermissions = 10000;
+
+Bytes ticket_body(const Ticket& t) {
+  BufferWriter w;
+  w.put_string(t.user);
+  w.put_varint(t.permissions.size());
+  for (const auto& p : t.permissions) w.put_string(p);
+  w.put_u64(static_cast<std::uint64_t>(t.issued_at));
+  w.put_u64(static_cast<std::uint64_t>(t.expires_at));
+  w.put_u64(t.serial);
+  return w.take();
+}
+
+bool permission_covered(const std::vector<std::string>& grants,
+                        const std::string& permission) {
+  for (const auto& g : grants) {
+    if (g == permission) return true;
+    if (g.size() >= 2 && g.ends_with(".*") &&
+        permission.starts_with(g.substr(0, g.size() - 1)))
+      return true;
+  }
+  return false;
+}
+}  // namespace
+
+Bytes Ticket::seal(BytesView key) const {
+  const Bytes body = ticket_body(*this);
+  BufferWriter w;
+  w.put_bytes(body);
+  w.put_raw(crypto::hmac_sha256(key, body));
+  return w.take();
+}
+
+Ticket TicketService::issue(const std::string& user,
+                            std::vector<std::string> permissions,
+                            TimeMicros now) {
+  Ticket t;
+  t.user = user;
+  t.permissions = std::move(permissions);
+  t.issued_at = now;
+  t.expires_at = now + lifetime_;
+  t.serial = next_serial_++;
+  return t;
+}
+
+Bytes TicketService::issue_sealed(const std::string& user,
+                                  std::vector<std::string> permissions,
+                                  TimeMicros now) {
+  return issue(user, std::move(permissions), now).seal(key_);
+}
+
+Result<Ticket> TicketService::verify(BytesView sealed, TimeMicros now) const {
+  BufferReader r(sealed);
+  Bytes body, mac;
+  PG_RETURN_IF_ERROR(r.get_bytes(body));
+  PG_RETURN_IF_ERROR(r.get_raw(kMacSize, mac));
+  PG_RETURN_IF_ERROR(r.expect_end());
+
+  const Bytes expected = crypto::hmac_sha256(key_, body);
+  if (!constant_time_equal(mac, expected))
+    return error(ErrorCode::kUnauthenticated, "ticket MAC invalid");
+
+  Ticket t;
+  BufferReader br(body);
+  std::uint64_t nperms = 0, issued = 0, expires = 0;
+  PG_RETURN_IF_ERROR(br.get_string(t.user));
+  PG_RETURN_IF_ERROR(br.get_varint(nperms));
+  if (nperms > kMaxPermissions)
+    return error(ErrorCode::kProtocolError, "ticket permission list too big");
+  t.permissions.resize(nperms);
+  for (auto& p : t.permissions) PG_RETURN_IF_ERROR(br.get_string(p));
+  PG_RETURN_IF_ERROR(br.get_u64(issued));
+  PG_RETURN_IF_ERROR(br.get_u64(expires));
+  PG_RETURN_IF_ERROR(br.get_u64(t.serial));
+  PG_RETURN_IF_ERROR(br.expect_end());
+  t.issued_at = static_cast<TimeMicros>(issued);
+  t.expires_at = static_cast<TimeMicros>(expires);
+
+  if (now < t.issued_at)
+    return error(ErrorCode::kUnauthenticated, "ticket not yet valid");
+  if (now > t.expires_at)
+    return error(ErrorCode::kUnauthenticated, "ticket expired");
+  return t;
+}
+
+Status TicketService::authorize(BytesView sealed,
+                                const std::string& permission,
+                                TimeMicros now) const {
+  Result<Ticket> ticket = verify(sealed, now);
+  if (!ticket.is_ok()) return ticket.status();
+  if (!permission_covered(ticket.value().permissions, permission))
+    return error(ErrorCode::kPermissionDenied,
+                 "ticket for " + ticket.value().user + " lacks " + permission);
+  return Status::ok();
+}
+
+}  // namespace pg::auth

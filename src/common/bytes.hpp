@@ -1,0 +1,37 @@
+// Byte-buffer utilities shared by every ProxyGrid module.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pg {
+
+/// The canonical owned byte buffer used throughout the library.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view of bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Builds a Bytes buffer from an ASCII/UTF-8 string.
+Bytes to_bytes(std::string_view s);
+
+/// Interprets a byte buffer as a string (no validation).
+std::string to_string(BytesView b);
+
+/// Lower-case hex encoding ("deadbeef").
+std::string hex_encode(BytesView b);
+
+/// Decodes hex produced by hex_encode. Returns false on malformed input.
+bool hex_decode(std::string_view hex, Bytes& out);
+
+/// Constant-time equality — required when comparing MACs or password hashes
+/// so timing does not leak the position of the first mismatch.
+bool constant_time_equal(BytesView a, BytesView b);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+}  // namespace pg

@@ -1,0 +1,47 @@
+// Time abstraction: the grid runtime and the authentication/ticket layers
+// only ever see a Clock*, so tests and the discrete-event simulator can run
+// on virtual time while the TCP examples run on the wall clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pg {
+
+/// Microseconds since an arbitrary epoch. Signed so durations subtract
+/// safely.
+using TimeMicros = std::int64_t;
+
+constexpr TimeMicros kMicrosPerMilli = 1000;
+constexpr TimeMicros kMicrosPerSecond = 1000 * 1000;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimeMicros now() const = 0;
+};
+
+/// Real time (steady under NTP slew; epoch = process start order).
+class WallClock final : public Clock {
+ public:
+  TimeMicros now() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Manually advanced time, used by unit tests and the simulator.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimeMicros start = 0) : now_(start) {}
+
+  TimeMicros now() const override { return now_; }
+  void advance(TimeMicros delta) { now_ += delta; }
+  void set(TimeMicros t) { now_ = t; }
+
+ private:
+  TimeMicros now_;
+};
+
+}  // namespace pg

@@ -1,0 +1,49 @@
+// Minimal leveled logger. Thread-safe; defaults to warnings-and-above so
+// tests stay quiet, examples turn on kInfo for narration.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace internal {
+void log_write(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define PG_LOG(level)                                   \
+  if (static_cast<int>(level) < static_cast<int>(::pg::log_level())) \
+    ;                                                   \
+  else                                                  \
+    ::pg::internal::LogLine(level)
+
+#define PG_DEBUG PG_LOG(::pg::LogLevel::kDebug)
+#define PG_INFO PG_LOG(::pg::LogLevel::kInfo)
+#define PG_WARN PG_LOG(::pg::LogLevel::kWarn)
+#define PG_ERROR PG_LOG(::pg::LogLevel::kError)
+
+}  // namespace pg

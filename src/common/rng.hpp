@@ -1,0 +1,39 @@
+// Deterministic pseudo-random generator (xoshiro256**).
+//
+// Everything in ProxyGrid that needs randomness — simulation workloads, key
+// generation in tests, nonce creation — draws from an explicitly seeded Rng
+// so runs are reproducible. Production key material would use an OS CSPRNG;
+// the seam for that is Rng::system().
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace pg {
+
+class Rng {
+ public:
+  /// Deterministic stream derived from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed);
+
+  /// Non-deterministic generator seeded from std::random_device.
+  static Rng system();
+
+  std::uint64_t next_u64();
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64()); }
+
+  /// Uniform in [0, bound) without modulo bias. bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Fills `out` with n random bytes.
+  Bytes next_bytes(std::size_t n);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace pg

@@ -1,0 +1,144 @@
+#include "common/serde.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace pg {
+
+void BufferWriter::put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+void BufferWriter::put_u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void BufferWriter::put_u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8)
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void BufferWriter::put_u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8)
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void BufferWriter::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void BufferWriter::put_bytes(BytesView b) {
+  put_varint(b.size());
+  put_raw(b);
+}
+
+void BufferWriter::put_string(std::string_view s) {
+  put_varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void BufferWriter::put_raw(BytesView b) {
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void BufferWriter::put_double(double v) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(bits);
+}
+
+Status BufferReader::need(std::size_t n) const {
+  if (remaining() < n)
+    return error(ErrorCode::kProtocolError, "truncated message");
+  return Status::ok();
+}
+
+Status BufferReader::get_u8(std::uint8_t& out) {
+  PG_RETURN_IF_ERROR(need(1));
+  out = data_[pos_++];
+  return Status::ok();
+}
+
+Status BufferReader::get_u16(std::uint16_t& out) {
+  PG_RETURN_IF_ERROR(need(2));
+  out = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return Status::ok();
+}
+
+Status BufferReader::get_u32(std::uint32_t& out) {
+  PG_RETURN_IF_ERROR(need(4));
+  out = 0;
+  for (int i = 0; i < 4; ++i) out = (out << 8) | data_[pos_++];
+  return Status::ok();
+}
+
+Status BufferReader::get_u64(std::uint64_t& out) {
+  PG_RETURN_IF_ERROR(need(8));
+  out = 0;
+  for (int i = 0; i < 8; ++i) out = (out << 8) | data_[pos_++];
+  return Status::ok();
+}
+
+Status BufferReader::get_varint(std::uint64_t& out) {
+  out = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    PG_RETURN_IF_ERROR(need(1));
+    const std::uint8_t byte = data_[pos_++];
+    if (shift == 63 && (byte & 0x7f) > 1)
+      return error(ErrorCode::kProtocolError, "varint overflow");
+    out |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return Status::ok();
+    shift += 7;
+  }
+  return error(ErrorCode::kProtocolError, "varint too long");
+}
+
+Status BufferReader::get_bytes(Bytes& out) {
+  std::uint64_t n = 0;
+  PG_RETURN_IF_ERROR(get_varint(n));
+  return get_raw(static_cast<std::size_t>(n), out);
+}
+
+Status BufferReader::get_string(std::string& out) {
+  Bytes raw;
+  PG_RETURN_IF_ERROR(get_bytes(raw));
+  out.assign(raw.begin(), raw.end());
+  return Status::ok();
+}
+
+Status BufferReader::get_raw(std::size_t n, Bytes& out) {
+  PG_RETURN_IF_ERROR(need(n));
+  out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return Status::ok();
+}
+
+Status BufferReader::get_bool(bool& out) {
+  std::uint8_t v = 0;
+  PG_RETURN_IF_ERROR(get_u8(v));
+  if (v > 1) return error(ErrorCode::kProtocolError, "bad bool encoding");
+  out = v != 0;
+  return Status::ok();
+}
+
+Status BufferReader::get_double(double& out) {
+  std::uint64_t bits = 0;
+  PG_RETURN_IF_ERROR(get_u64(bits));
+  std::memcpy(&out, &bits, sizeof(out));
+  return Status::ok();
+}
+
+Status BufferReader::expect_end() const {
+  if (!at_end())
+    return error(ErrorCode::kProtocolError, "trailing bytes in message");
+  return Status::ok();
+}
+
+}  // namespace pg

@@ -1,0 +1,73 @@
+// Binary serialization used by the control protocol, certificates and the
+// GSSL record layer. Fixed-width integers are big-endian (network order);
+// variable-size payloads are length-prefixed with LEB128 varints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace pg {
+
+/// Appends values to a growing byte buffer.
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+
+  void put_u8(std::uint8_t v);
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_varint(std::uint64_t v);
+  /// Varint length prefix followed by raw bytes.
+  void put_bytes(BytesView b);
+  void put_string(std::string_view s);
+  /// Raw bytes with no length prefix (caller knows the size).
+  void put_raw(BytesView b);
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_double(double v);
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Consumes values from a byte view. Every getter reports truncation or
+/// malformed data via Status instead of reading out of bounds, so arbitrary
+/// (attacker-controlled) input is safe to parse.
+class BufferReader {
+ public:
+  explicit BufferReader(BytesView data) : data_(data) {}
+
+  Status get_u8(std::uint8_t& out);
+  Status get_u16(std::uint16_t& out);
+  Status get_u32(std::uint32_t& out);
+  Status get_u64(std::uint64_t& out);
+  Status get_varint(std::uint64_t& out);
+  Status get_bytes(Bytes& out);
+  Status get_string(std::string& out);
+  Status get_raw(std::size_t n, Bytes& out);
+  Status get_bool(bool& out);
+  Status get_double(double& out);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+  /// Fails unless the whole buffer has been consumed — protocol messages
+  /// must not carry trailing garbage.
+  Status expect_end() const;
+
+ private:
+  Status need(std::size_t n) const;
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pg

@@ -1,0 +1,34 @@
+#include "common/status.hpp"
+
+namespace pg {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kPermissionDenied: return "permission_denied";
+    case ErrorCode::kUnauthenticated: return "unauthenticated";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kProtocolError: return "protocol_error";
+    case ErrorCode::kCryptoError: return "crypto_error";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out = error_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace pg

@@ -1,0 +1,428 @@
+#include "crypto/bigint.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pg::crypto {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::from_u64(u64 v) {
+  BigInt out;
+  if (v != 0) out.limbs_.push_back(v);
+  return out;
+}
+
+BigInt BigInt::from_bytes_be(BytesView bytes) {
+  BigInt out;
+  out.limbs_.assign((bytes.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    // byte i is the (size-1-i)-th byte from the least significant end
+    const std::size_t pos = bytes.size() - 1 - i;
+    out.limbs_[pos / 8] |= static_cast<u64>(bytes[i]) << (8 * (pos % 8));
+  }
+  out.trim();
+  return out;
+}
+
+std::optional<BigInt> BigInt::from_hex(std::string_view hex) {
+  if (hex.empty()) return std::nullopt;
+  // Left-pad to an even count of nibbles.
+  std::string padded;
+  if (hex.size() % 2 != 0) {
+    padded = "0";
+    padded += hex;
+    hex = padded;
+  }
+  Bytes raw;
+  if (!hex_decode(hex, raw)) return std::nullopt;
+  return from_bytes_be(raw);
+}
+
+BigInt BigInt::random_with_bits(std::size_t bits, Rng& rng) {
+  assert(bits > 0);
+  BigInt out;
+  const std::size_t nlimbs = (bits + 63) / 64;
+  out.limbs_.resize(nlimbs);
+  for (auto& limb : out.limbs_) limb = rng.next_u64();
+  const std::size_t top_bits = bits - (nlimbs - 1) * 64;
+  // Mask excess bits, then force the top bit so the width is exact.
+  if (top_bits < 64) out.limbs_.back() &= (u64{1} << top_bits) - 1;
+  out.limbs_.back() |= u64{1} << (top_bits - 1);
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::random_below(const BigInt& bound, Rng& rng) {
+  assert(!bound.is_zero());
+  const std::size_t bits = bound.bit_length();
+  const std::size_t nlimbs = (bits + 63) / 64;
+  const std::size_t top_bits = bits - (nlimbs - 1) * 64;
+  const u64 mask = (top_bits == 64) ? ~u64{0} : (u64{1} << top_bits) - 1;
+  // Rejection sampling: expected < 2 draws.
+  for (;;) {
+    BigInt candidate;
+    candidate.limbs_.resize(nlimbs);
+    for (auto& limb : candidate.limbs_) limb = rng.next_u64();
+    candidate.limbs_.back() &= mask;
+    candidate.trim();
+    if (candidate < bound) return candidate;
+  }
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  const u64 top = limbs_.back();
+  return (limbs_.size() - 1) * 64 +
+         (64 - static_cast<std::size_t>(__builtin_clzll(top)));
+}
+
+bool BigInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+Bytes BigInt::to_bytes_be(std::size_t min_len) const {
+  const std::size_t nbytes = std::max((bit_length() + 7) / 8, std::size_t{0});
+  const std::size_t total = std::max(nbytes, min_len);
+  Bytes out(total, 0);
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    const u64 limb = limbs_[i / 8];
+    out[total - 1 - i] = static_cast<std::uint8_t>(limb >> (8 * (i % 8)));
+  }
+  return out;
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  std::string hex = hex_encode(to_bytes_be());
+  const std::size_t first = hex.find_first_not_of('0');
+  return hex.substr(first);
+}
+
+u64 BigInt::to_u64() const {
+  assert(bit_length() <= 64);
+  return limbs_.empty() ? 0 : limbs_[0];
+}
+
+int BigInt::compare(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size())
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigInt BigInt::operator+(const BigInt& rhs) const {
+  BigInt out;
+  const std::size_t n = std::max(limbs_.size(), rhs.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 a = i < limbs_.size() ? limbs_[i] : 0;
+    const u64 b = i < rhs.limbs_.size() ? rhs.limbs_[i] : 0;
+    const u128 sum = static_cast<u128>(a) + b + carry;
+    out.limbs_[i] = static_cast<u64>(sum);
+    carry = static_cast<u64>(sum >> 64);
+  }
+  out.limbs_[n] = carry;
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& rhs) const {
+  assert(*this >= rhs && "unsigned subtraction underflow");
+  BigInt out;
+  out.limbs_.resize(limbs_.size(), 0);
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const u64 b = i < rhs.limbs_.size() ? rhs.limbs_[i] : 0;
+    const u128 sub = static_cast<u128>(limbs_[i]) - b - borrow;
+    out.limbs_[i] = static_cast<u64>(sub);
+    borrow = (sub >> 64) ? 1 : 0;  // wrapped => borrow
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator*(const BigInt& rhs) const {
+  if (is_zero() || rhs.is_zero()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      const u128 cur = static_cast<u128>(limbs_[i]) * rhs.limbs_[j] +
+                       out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    out.limbs_[i + rhs.limbs_.size()] += carry;
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::shift_limbs(const BigInt& a, std::size_t limbs) {
+  if (a.is_zero()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() + limbs, 0);
+  std::copy(a.limbs_.begin(), a.limbs_.end(), out.limbs_.begin() + static_cast<std::ptrdiff_t>(limbs));
+  return out;
+}
+
+BigInt BigInt::operator<<(std::size_t bits) const {
+  if (is_zero()) return BigInt();
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  BigInt out = shift_limbs(*this, limb_shift);
+  if (bit_shift != 0) {
+    u64 carry = 0;
+    for (std::size_t i = limb_shift; i < out.limbs_.size(); ++i) {
+      const u64 v = out.limbs_[i];
+      out.limbs_[i] = (v << bit_shift) | carry;
+      carry = v >> (64 - bit_shift);
+    }
+    if (carry != 0) out.limbs_.push_back(carry);
+  }
+  return out;
+}
+
+BigInt BigInt::operator>>(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 64;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  const std::size_t bit_shift = bits % 64;
+  BigInt out;
+  out.limbs_.assign(limbs_.begin() + static_cast<std::ptrdiff_t>(limb_shift),
+                    limbs_.end());
+  if (bit_shift != 0) {
+    for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+      out.limbs_[i] >>= bit_shift;
+      if (i + 1 < out.limbs_.size())
+        out.limbs_[i] |= out.limbs_[i + 1] << (64 - bit_shift);
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigInt::DivMod BigInt::divmod(const BigInt& dividend, const BigInt& divisor) {
+  assert(!divisor.is_zero() && "division by zero");
+  if (compare(dividend, divisor) < 0) return {BigInt(), dividend};
+
+  // Single-limb divisor: simple long division.
+  if (divisor.limbs_.size() == 1) {
+    const u64 d = divisor.limbs_[0];
+    BigInt q;
+    q.limbs_.assign(dividend.limbs_.size(), 0);
+    u128 rem = 0;
+    for (std::size_t i = dividend.limbs_.size(); i-- > 0;) {
+      const u128 cur = (rem << 64) | dividend.limbs_[i];
+      q.limbs_[i] = static_cast<u64>(cur / d);
+      rem = cur % d;
+    }
+    q.trim();
+    return {q, from_u64(static_cast<u64>(rem))};
+  }
+
+  // Knuth Algorithm D. Normalize so the divisor's top limb has its high bit
+  // set, which bounds the quotient-digit estimate error to 2.
+  const int shift = __builtin_clzll(divisor.limbs_.back());
+  const BigInt u = dividend << static_cast<std::size_t>(shift);
+  const BigInt v = divisor << static_cast<std::size_t>(shift);
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() - n;
+
+  std::vector<u64> un(u.limbs_);
+  un.push_back(0);  // extra high limb for the algorithm
+  const std::vector<u64>& vn = v.limbs_;
+
+  BigInt q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate q_hat = (un[j+n]*B + un[j+n-1]) / vn[n-1].
+    const u128 numerator =
+        (static_cast<u128>(un[j + n]) << 64) | un[j + n - 1];
+    u128 q_hat = numerator / vn[n - 1];
+    u128 r_hat = numerator % vn[n - 1];
+
+    while (q_hat >= (u128{1} << 64) ||
+           q_hat * vn[n - 2] > ((r_hat << 64) | un[j + n - 2])) {
+      --q_hat;
+      r_hat += vn[n - 1];
+      if (r_hat >= (u128{1} << 64)) break;
+    }
+
+    // Multiply-and-subtract: un[j..j+n] -= q_hat * vn.
+    u128 borrow = 0;
+    u128 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const u128 product = q_hat * vn[i] + carry;
+      carry = product >> 64;
+      const u128 sub = static_cast<u128>(un[i + j]) -
+                       static_cast<u64>(product) - borrow;
+      un[i + j] = static_cast<u64>(sub);
+      borrow = (sub >> 64) ? 1 : 0;
+    }
+    const u128 sub = static_cast<u128>(un[j + n]) - carry - borrow;
+    un[j + n] = static_cast<u64>(sub);
+
+    if (sub >> 64) {
+      // q_hat was one too large: add the divisor back.
+      --q_hat;
+      u128 carry2 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const u128 sum = static_cast<u128>(un[i + j]) + vn[i] + carry2;
+        un[i + j] = static_cast<u64>(sum);
+        carry2 = sum >> 64;
+      }
+      un[j + n] += static_cast<u64>(carry2);
+    }
+
+    q.limbs_[j] = static_cast<u64>(q_hat);
+  }
+  q.trim();
+
+  BigInt rem;
+  rem.limbs_.assign(un.begin(), un.begin() + static_cast<std::ptrdiff_t>(n));
+  rem.trim();
+  rem = rem >> static_cast<std::size_t>(shift);
+  return {q, rem};
+}
+
+u64 BigInt::mod_u64(u64 divisor) const {
+  assert(divisor != 0);
+  u128 rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    rem = ((rem << 64) | limbs_[i]) % divisor;
+  }
+  return static_cast<u64>(rem);
+}
+
+BigInt BigInt::mod_exp(const BigInt& base, const BigInt& exponent,
+                       const BigInt& m) {
+  assert(!m.is_zero());
+  if (m.is_one()) return BigInt();
+  BigInt result = from_u64(1);
+  BigInt b = base.mod(m);
+  const std::size_t bits = exponent.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exponent.bit(i)) result = (result * b).mod(m);
+    b = (b * b).mod(m);
+  }
+  return result;
+}
+
+std::optional<BigInt> BigInt::mod_inverse(const BigInt& a, const BigInt& m) {
+  // Extended Euclid with signs tracked separately (values stay unsigned).
+  BigInt old_r = a.mod(m), r = m;
+  BigInt old_s = from_u64(1), s;
+  bool old_s_neg = false, s_neg = false;
+
+  while (!r.is_zero()) {
+    const DivMod dm = divmod(old_r, r);
+    // (old_r, r) = (r, old_r - q*r)
+    BigInt new_r = dm.remainder;
+    // (old_s, s) = (s, old_s - q*s) with sign bookkeeping
+    const BigInt qs = dm.quotient * s;
+    BigInt new_s;
+    bool new_s_neg;
+    if (old_s_neg == s_neg) {
+      // old_s - q*s where both have the same sign
+      if (old_s >= qs) {
+        new_s = old_s - qs;
+        new_s_neg = old_s_neg;
+      } else {
+        new_s = qs - old_s;
+        new_s_neg = !old_s_neg;
+      }
+    } else {
+      new_s = old_s + qs;
+      new_s_neg = old_s_neg;
+    }
+    old_r = r;
+    r = new_r;
+    old_s = s;
+    old_s_neg = s_neg;
+    s = new_s;
+    s_neg = new_s_neg;
+  }
+
+  if (!old_r.is_one()) return std::nullopt;  // not coprime
+  if (old_s_neg) return m - old_s.mod(m);
+  return old_s.mod(m);
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  while (!b.is_zero()) {
+    BigInt r = a.mod(b);
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+namespace {
+// Small primes for fast trial division before Miller–Rabin.
+constexpr u64 kSmallPrimes[] = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+}  // namespace
+
+bool is_probable_prime(const BigInt& n, int rounds, Rng& rng) {
+  if (n.is_zero() || n.is_one()) return false;
+  for (u64 p : kSmallPrimes) {
+    if (n == BigInt::from_u64(p)) return true;
+    if (n.mod_u64(p) == 0) return false;
+  }
+
+  // Write n-1 = d * 2^s with d odd.
+  const BigInt one = BigInt::from_u64(1);
+  const BigInt n_minus_1 = n - one;
+  BigInt d = n_minus_1;
+  std::size_t s = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++s;
+  }
+
+  const BigInt two = BigInt::from_u64(2);
+  const BigInt n_minus_3 = n - BigInt::from_u64(3);
+  for (int round = 0; round < rounds; ++round) {
+    // a uniform in [2, n-2]
+    const BigInt a = BigInt::random_below(n_minus_3, rng) + two;
+    BigInt x = BigInt::mod_exp(a, d, n);
+    if (x.is_one() || x == n_minus_1) continue;
+    bool composite = true;
+    for (std::size_t i = 1; i < s; ++i) {
+      x = (x * x).mod(n);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigInt random_prime(std::size_t bits, Rng& rng) {
+  assert(bits >= 8);
+  for (;;) {
+    BigInt candidate = BigInt::random_with_bits(bits, rng);
+    if (!candidate.is_odd()) candidate = candidate + BigInt::from_u64(1);
+    if (is_probable_prime(candidate, 20, rng)) return candidate;
+  }
+}
+
+}  // namespace pg::crypto

@@ -1,0 +1,111 @@
+// Arbitrary-precision unsigned integers, from scratch, sized for RSA
+// (512–2048 bit operands). Little-endian 64-bit limbs, schoolbook
+// multiplication and Knuth Algorithm D division — ample for grid-middleware
+// handshake rates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace pg::crypto {
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  static BigInt from_u64(std::uint64_t v);
+  /// Big-endian byte import (leading zeros allowed).
+  static BigInt from_bytes_be(BytesView bytes);
+  /// Hex import, e.g. "deadbeef". Returns nullopt on malformed input.
+  static std::optional<BigInt> from_hex(std::string_view hex);
+  /// Uniform random integer with exactly `bits` bits (top bit set).
+  static BigInt random_with_bits(std::size_t bits, Rng& rng);
+  /// Uniform random integer in [0, bound).
+  static BigInt random_below(const BigInt& bound, Rng& rng);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  bool is_one() const { return limbs_.size() == 1 && limbs_[0] == 1; }
+
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const;
+  /// Value of bit i (LSB = 0).
+  bool bit(std::size_t i) const;
+
+  /// Big-endian export, left-padded with zeros to at least `min_len` bytes.
+  Bytes to_bytes_be(std::size_t min_len = 0) const;
+  std::string to_hex() const;
+  /// Value as u64; requires bit_length() <= 64.
+  std::uint64_t to_u64() const;
+
+  /// Three-way compare: -1, 0, +1.
+  static int compare(const BigInt& a, const BigInt& b);
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return compare(a, b) == 0;
+  }
+  friend bool operator<(const BigInt& a, const BigInt& b) {
+    return compare(a, b) < 0;
+  }
+  friend bool operator<=(const BigInt& a, const BigInt& b) {
+    return compare(a, b) <= 0;
+  }
+  friend bool operator>(const BigInt& a, const BigInt& b) {
+    return compare(a, b) > 0;
+  }
+  friend bool operator>=(const BigInt& a, const BigInt& b) {
+    return compare(a, b) >= 0;
+  }
+
+  BigInt operator+(const BigInt& rhs) const;
+  /// Requires *this >= rhs (unsigned subtraction).
+  BigInt operator-(const BigInt& rhs) const;
+  BigInt operator*(const BigInt& rhs) const;
+  BigInt operator<<(std::size_t bits) const;
+  BigInt operator>>(std::size_t bits) const;
+
+  struct DivMod;  // { quotient, remainder } — defined after the class.
+  /// Requires divisor != 0.
+  static DivMod divmod(const BigInt& dividend, const BigInt& divisor);
+  BigInt mod(const BigInt& m) const;
+
+  /// (base ^ exponent) mod m; m must be > 0.
+  static BigInt mod_exp(const BigInt& base, const BigInt& exponent,
+                        const BigInt& m);
+  /// Multiplicative inverse of a mod m, or nullopt if gcd(a, m) != 1.
+  static std::optional<BigInt> mod_inverse(const BigInt& a, const BigInt& m);
+  static BigInt gcd(BigInt a, BigInt b);
+
+  /// Remainder of division by a small divisor (divisor != 0).
+  std::uint64_t mod_u64(std::uint64_t divisor) const;
+
+ private:
+  void trim();
+  static BigInt shift_limbs(const BigInt& a, std::size_t limbs);
+
+  // limbs_[0] is least significant; no trailing zero limbs (canonical form).
+  std::vector<std::uint64_t> limbs_;
+};
+
+struct BigInt::DivMod {
+  BigInt quotient;
+  BigInt remainder;
+};
+
+inline BigInt BigInt::mod(const BigInt& m) const {
+  return divmod(*this, m).remainder;
+}
+
+/// Miller–Rabin probabilistic primality test.
+bool is_probable_prime(const BigInt& n, int rounds, Rng& rng);
+
+/// Generates a random prime with exactly `bits` bits.
+BigInt random_prime(std::size_t bits, Rng& rng);
+
+}  // namespace pg::crypto

@@ -1,0 +1,96 @@
+#include "crypto/cert.hpp"
+
+#include "common/serde.hpp"
+#include "crypto/sha256.hpp"
+
+namespace pg::crypto {
+
+Bytes Certificate::to_be_signed() const {
+  BufferWriter w;
+  w.put_u64(serial);
+  w.put_string(subject);
+  w.put_string(issuer);
+  w.put_u64(static_cast<std::uint64_t>(not_before));
+  w.put_u64(static_cast<std::uint64_t>(not_after));
+  w.put_bytes(public_key.serialize());
+  return w.take();
+}
+
+Bytes Certificate::serialize() const {
+  BufferWriter w;
+  w.put_bytes(to_be_signed());
+  w.put_bytes(signature);
+  return w.take();
+}
+
+Result<Certificate> Certificate::deserialize(BytesView data) {
+  BufferReader outer(data);
+  Bytes tbs, sig;
+  PG_RETURN_IF_ERROR(outer.get_bytes(tbs));
+  PG_RETURN_IF_ERROR(outer.get_bytes(sig));
+  PG_RETURN_IF_ERROR(outer.expect_end());
+
+  Certificate cert;
+  BufferReader r(tbs);
+  std::uint64_t not_before = 0, not_after = 0;
+  Bytes key_bytes;
+  PG_RETURN_IF_ERROR(r.get_u64(cert.serial));
+  PG_RETURN_IF_ERROR(r.get_string(cert.subject));
+  PG_RETURN_IF_ERROR(r.get_string(cert.issuer));
+  PG_RETURN_IF_ERROR(r.get_u64(not_before));
+  PG_RETURN_IF_ERROR(r.get_u64(not_after));
+  PG_RETURN_IF_ERROR(r.get_bytes(key_bytes));
+  PG_RETURN_IF_ERROR(r.expect_end());
+
+  cert.not_before = static_cast<TimeMicros>(not_before);
+  cert.not_after = static_cast<TimeMicros>(not_after);
+  Result<RsaPublicKey> key = RsaPublicKey::deserialize(key_bytes);
+  if (!key.is_ok()) return key.status();
+  cert.public_key = key.take();
+  cert.signature = std::move(sig);
+  return cert;
+}
+
+Bytes Certificate::fingerprint() const { return sha256(serialize()); }
+
+CertificateAuthority::CertificateAuthority(std::string name, std::size_t bits,
+                                           Rng& rng)
+    : name_(std::move(name)), key_(rsa_generate(bits, rng)) {}
+
+Certificate CertificateAuthority::issue(const std::string& subject,
+                                        const RsaPublicKey& subject_key,
+                                        TimeMicros not_before,
+                                        TimeMicros not_after) {
+  Certificate cert;
+  cert.serial = next_serial_++;
+  cert.subject = subject;
+  cert.issuer = name_;
+  cert.not_before = not_before;
+  cert.not_after = not_after;
+  cert.public_key = subject_key;
+  cert.signature = rsa_sign(key_.priv, cert.to_be_signed());
+  return cert;
+}
+
+Status CertificateAuthority::verify(const Certificate& cert,
+                                    TimeMicros now) const {
+  return verify_with_key(cert, name_, key_.pub, now);
+}
+
+Status CertificateAuthority::verify_with_key(const Certificate& cert,
+                                             const std::string& ca_name,
+                                             const RsaPublicKey& ca_key,
+                                             TimeMicros now) {
+  if (cert.issuer != ca_name)
+    return error(ErrorCode::kCryptoError,
+                 "certificate issuer mismatch: " + cert.issuer);
+  if (now < cert.not_before || now > cert.not_after)
+    return error(ErrorCode::kCryptoError,
+                 "certificate outside validity window: " + cert.subject);
+  if (!rsa_verify(ca_key, cert.to_be_signed(), cert.signature))
+    return error(ErrorCode::kCryptoError,
+                 "certificate signature invalid: " + cert.subject);
+  return Status::ok();
+}
+
+}  // namespace pg::crypto

@@ -1,0 +1,69 @@
+// X.509-style certificates and a grid Certification Authority.
+//
+// The paper (§3) authenticates hosts "through digital certificates" and
+// recommends "the creation of a Certification Authority (CA) for the entire
+// grid". Certificates here carry the fields GSSL needs — subject, issuer,
+// validity window, RSA public key — signed by the CA's RSA key.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "crypto/rsa.hpp"
+
+namespace pg::crypto {
+
+struct Certificate {
+  std::uint64_t serial = 0;
+  std::string subject;        // e.g. "proxy.siteA.grid"
+  std::string issuer;         // CA name
+  TimeMicros not_before = 0;
+  TimeMicros not_after = 0;
+  RsaPublicKey public_key;
+  Bytes signature;            // CA signature over to_be_signed()
+
+  /// Canonical byte string covered by the CA signature.
+  Bytes to_be_signed() const;
+
+  /// Full wire form including the signature.
+  Bytes serialize() const;
+  static Result<Certificate> deserialize(BytesView data);
+
+  /// SHA-256 over the full serialized certificate.
+  Bytes fingerprint() const;
+};
+
+/// Issues and verifies grid certificates. One CA per grid (paper §3).
+class CertificateAuthority {
+ public:
+  /// Creates a CA with a fresh key pair of `bits` bits.
+  CertificateAuthority(std::string name, std::size_t bits, Rng& rng);
+
+  const std::string& name() const { return name_; }
+  const RsaPublicKey& public_key() const { return key_.pub; }
+
+  /// Issues a certificate binding `subject` to `subject_key`, valid in
+  /// [not_before, not_after].
+  Certificate issue(const std::string& subject,
+                    const RsaPublicKey& subject_key, TimeMicros not_before,
+                    TimeMicros not_after);
+
+  /// Verifies issuer, signature and validity window at time `now`.
+  Status verify(const Certificate& cert, TimeMicros now) const;
+
+  /// Static verification against a known CA key (for peers that only hold
+  /// the CA public key, not the CA object).
+  static Status verify_with_key(const Certificate& cert,
+                                const std::string& ca_name,
+                                const RsaPublicKey& ca_key, TimeMicros now);
+
+ private:
+  std::string name_;
+  RsaKeyPair key_;
+  std::uint64_t next_serial_ = 1;
+};
+
+}  // namespace pg::crypto

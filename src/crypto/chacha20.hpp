@@ -1,0 +1,43 @@
+// ChaCha20 stream cipher (RFC 8439), from scratch.
+//
+// GSSL uses ChaCha20 for record encryption with HMAC-SHA-256 providing
+// integrity (encrypt-then-MAC), mirroring an SSL cipher suite.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace pg::crypto {
+
+constexpr std::size_t kChaChaKeySize = 32;
+constexpr std::size_t kChaChaNonceSize = 12;
+
+/// Stateful keystream generator. Encryption and decryption are the same
+/// operation (XOR with the keystream).
+class ChaCha20 {
+ public:
+  /// `counter` is the initial 32-bit block counter (RFC 8439 uses 1 for
+  /// AEAD payloads; 0 reserves the first block for a MAC key).
+  ChaCha20(BytesView key, BytesView nonce, std::uint32_t counter = 0);
+
+  /// XORs `data` in place with the next keystream bytes.
+  void process(std::uint8_t* data, std::size_t len);
+
+  /// Convenience: returns data ^ keystream.
+  Bytes process_copy(BytesView data);
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, 64> block_;
+  std::size_t block_pos_ = 64;  // forces refill on first use
+};
+
+/// One-shot encryption/decryption of a whole buffer.
+Bytes chacha20_xor(BytesView key, BytesView nonce, std::uint32_t counter,
+                   BytesView data);
+
+}  // namespace pg::crypto

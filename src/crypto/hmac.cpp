@@ -1,0 +1,60 @@
+#include "crypto/hmac.hpp"
+
+#include <cassert>
+
+#include "crypto/sha256.hpp"
+
+namespace pg::crypto {
+
+Bytes hmac_sha256(BytesView key, BytesView data) {
+  Bytes k(kSha256BlockSize, 0);
+  if (key.size() > kSha256BlockSize) {
+    const Bytes hashed = sha256(key);
+    std::copy(hashed.begin(), hashed.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+
+  Bytes ipad(kSha256BlockSize), opad(kSha256BlockSize);
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  const Bytes inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Bytes hkdf_extract(BytesView salt, BytesView ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length) {
+  assert(length <= 255 * kSha256DigestSize);
+  Bytes okm;
+  okm.reserve(length);
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    Bytes block = t;
+    append(block, info);
+    block.push_back(counter++);
+    t = hmac_sha256(prk, block);
+    const std::size_t take = std::min(t.size(), length - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return okm;
+}
+
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+}  // namespace pg::crypto

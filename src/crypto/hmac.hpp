@@ -1,0 +1,20 @@
+// HMAC-SHA-256 (RFC 2104) and HKDF (RFC 5869), from scratch.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace pg::crypto {
+
+/// HMAC-SHA-256 of `data` under `key`. Any key length is accepted.
+Bytes hmac_sha256(BytesView key, BytesView data);
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Bytes hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand: derives `length` bytes (<= 255*32) from PRK and info.
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length);
+
+/// Extract-then-expand convenience.
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length);
+
+}  // namespace pg::crypto

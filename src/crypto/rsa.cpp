@@ -1,0 +1,135 @@
+#include "crypto/rsa.hpp"
+
+#include <cassert>
+
+#include "common/serde.hpp"
+#include "crypto/sha256.hpp"
+
+namespace pg::crypto {
+
+namespace {
+// DigestInfo-style prefix marking "SHA-256" inside the signature padding.
+// (A fixed tag rather than real ASN.1 — both sides are ProxyGrid.)
+constexpr std::uint8_t kSha256Tag[] = {'P', 'G', 'S', 'H', 'A', '2', '5', '6'};
+
+// EMSA-PKCS1-v1_5-style encoding: 00 01 FF..FF 00 TAG DIGEST
+Bytes pad_signature_block(BytesView digest, std::size_t total) {
+  const std::size_t fixed = 3 + sizeof(kSha256Tag) + digest.size();
+  assert(total >= fixed + 8 && "modulus too small for signature padding");
+  Bytes block;
+  block.reserve(total);
+  block.push_back(0x00);
+  block.push_back(0x01);
+  block.insert(block.end(), total - fixed, 0xff);
+  block.push_back(0x00);
+  block.insert(block.end(), std::begin(kSha256Tag), std::end(kSha256Tag));
+  block.insert(block.end(), digest.begin(), digest.end());
+  return block;
+}
+}  // namespace
+
+Bytes RsaPublicKey::serialize() const {
+  BufferWriter w;
+  w.put_bytes(n.to_bytes_be());
+  w.put_bytes(e.to_bytes_be());
+  return w.take();
+}
+
+Result<RsaPublicKey> RsaPublicKey::deserialize(BytesView data) {
+  BufferReader r(data);
+  Bytes n_bytes, e_bytes;
+  PG_RETURN_IF_ERROR(r.get_bytes(n_bytes));
+  PG_RETURN_IF_ERROR(r.get_bytes(e_bytes));
+  PG_RETURN_IF_ERROR(r.expect_end());
+  RsaPublicKey key{BigInt::from_bytes_be(n_bytes),
+                   BigInt::from_bytes_be(e_bytes)};
+  if (key.n.is_zero() || key.e.is_zero())
+    return error(ErrorCode::kProtocolError, "degenerate RSA public key");
+  return key;
+}
+
+RsaKeyPair rsa_generate(std::size_t bits, Rng& rng) {
+  assert(bits >= 256);
+  const BigInt e = BigInt::from_u64(65537);
+  const BigInt one = BigInt::from_u64(1);
+
+  for (;;) {
+    const BigInt p = random_prime(bits / 2, rng);
+    const BigInt q = random_prime(bits - bits / 2, rng);
+    if (p == q) continue;
+
+    const BigInt n = p * q;
+    if (n.bit_length() != bits) continue;
+
+    const BigInt phi = (p - one) * (q - one);
+    const std::optional<BigInt> d = BigInt::mod_inverse(e, phi);
+    if (!d.has_value()) continue;  // gcd(e, phi) != 1; rare
+
+    RsaPrivateKey priv{n, e, *d, p, q};
+    return RsaKeyPair{priv.public_key(), priv};
+  }
+}
+
+Bytes rsa_sign(const RsaPrivateKey& key, BytesView message) {
+  const std::size_t k = (key.n.bit_length() + 7) / 8;
+  const Bytes block = pad_signature_block(sha256(message), k);
+  const BigInt m = BigInt::from_bytes_be(block);
+  const BigInt s = BigInt::mod_exp(m, key.d, key.n);
+  return s.to_bytes_be(k);
+}
+
+bool rsa_verify(const RsaPublicKey& key, BytesView message,
+                BytesView signature) {
+  const std::size_t k = (key.n.bit_length() + 7) / 8;
+  if (signature.size() != k) return false;
+  const BigInt s = BigInt::from_bytes_be(signature);
+  if (s >= key.n) return false;
+  const BigInt m = BigInt::mod_exp(s, key.e, key.n);
+  const Bytes expected = pad_signature_block(sha256(message), k);
+  return constant_time_equal(m.to_bytes_be(k), expected);
+}
+
+Result<Bytes> rsa_encrypt(const RsaPublicKey& key, BytesView plaintext,
+                          Rng& rng) {
+  const std::size_t k = key.modulus_bytes();
+  if (k < 11 || plaintext.size() > k - 11)
+    return error(ErrorCode::kInvalidArgument,
+                 "plaintext too long for RSA modulus");
+  // EME-PKCS1-v1_5: 00 02 PS(nonzero random, >= 8 bytes) 00 M
+  Bytes block;
+  block.reserve(k);
+  block.push_back(0x00);
+  block.push_back(0x02);
+  const std::size_t ps_len = k - 3 - plaintext.size();
+  while (block.size() < 2 + ps_len) {
+    const std::uint8_t b = static_cast<std::uint8_t>(rng.next_u64());
+    if (b != 0) block.push_back(b);
+  }
+  block.push_back(0x00);
+  block.insert(block.end(), plaintext.begin(), plaintext.end());
+
+  const BigInt m = BigInt::from_bytes_be(block);
+  const BigInt c = BigInt::mod_exp(m, key.e, key.n);
+  return c.to_bytes_be(k);
+}
+
+Result<Bytes> rsa_decrypt(const RsaPrivateKey& key, BytesView ciphertext) {
+  const std::size_t k = (key.n.bit_length() + 7) / 8;
+  if (ciphertext.size() != k)
+    return error(ErrorCode::kCryptoError, "ciphertext length mismatch");
+  const BigInt c = BigInt::from_bytes_be(ciphertext);
+  if (c >= key.n) return error(ErrorCode::kCryptoError, "ciphertext range");
+  const BigInt m = BigInt::mod_exp(c, key.d, key.n);
+  const Bytes block = m.to_bytes_be(k);
+
+  if (block.size() < 11 || block[0] != 0x00 || block[1] != 0x02)
+    return error(ErrorCode::kCryptoError, "bad RSA padding");
+  std::size_t sep = 2;
+  while (sep < block.size() && block[sep] != 0x00) ++sep;
+  if (sep == block.size() || sep < 10)
+    return error(ErrorCode::kCryptoError, "bad RSA padding");
+  return Bytes(block.begin() + static_cast<std::ptrdiff_t>(sep + 1),
+               block.end());
+}
+
+}  // namespace pg::crypto

@@ -1,0 +1,67 @@
+// RSA key generation, PKCS#1 v1.5-style signatures and encryption, from
+// scratch on top of BigInt.
+//
+// Used for host certificates (signed by the grid CA), user digital
+// signatures (paper layer 2) and the GSSL key exchange (RSA-encrypted
+// premaster secret). Default modulus is 1024 bits: period-appropriate for
+// the 2003 paper and fast enough for tests; the size is a parameter.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "crypto/bigint.hpp"
+
+namespace pg::crypto {
+
+struct RsaPublicKey {
+  BigInt n;  // modulus
+  BigInt e;  // public exponent
+
+  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+
+  /// Stable serialization (feeds certificate signing and fingerprints).
+  Bytes serialize() const;
+  static Result<RsaPublicKey> deserialize(BytesView data);
+
+  friend bool operator==(const RsaPublicKey& a, const RsaPublicKey& b) {
+    return a.n == b.n && a.e == b.e;
+  }
+};
+
+struct RsaPrivateKey {
+  BigInt n;
+  BigInt e;
+  BigInt d;  // private exponent
+  BigInt p;
+  BigInt q;
+
+  RsaPublicKey public_key() const { return {n, e}; }
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  RsaPrivateKey priv;
+};
+
+/// Generates an RSA key pair with a modulus of `bits` bits (>= 256).
+RsaKeyPair rsa_generate(std::size_t bits, Rng& rng);
+
+/// Signature = RSA(pad(SHA-256(message))). Deterministic.
+Bytes rsa_sign(const RsaPrivateKey& key, BytesView message);
+
+/// Verifies a signature produced by rsa_sign.
+bool rsa_verify(const RsaPublicKey& key, BytesView message,
+                BytesView signature);
+
+/// PKCS#1 v1.5 type-2 encryption of a short message
+/// (<= modulus_bytes - 11). Randomized padding.
+Result<Bytes> rsa_encrypt(const RsaPublicKey& key, BytesView plaintext,
+                          Rng& rng);
+
+/// Decrypts rsa_encrypt output; fails on any padding violation.
+Result<Bytes> rsa_decrypt(const RsaPrivateKey& key, BytesView ciphertext);
+
+}  // namespace pg::crypto

@@ -1,0 +1,327 @@
+#include "grid/cli.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace pg::grid {
+
+namespace {
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> out;
+  std::string word;
+  while (in >> word) out.push_back(word);
+  return out;
+}
+}  // namespace
+
+CommandLine::CommandLine(Grid& grid, std::string origin_site)
+    : grid_(grid), origin_site_(std::move(origin_site)) {}
+
+bool CommandLine::execute(const std::string& line, std::ostream& out) {
+  const std::vector<std::string> args = tokenize(line);
+  if (args.empty()) return true;
+  const std::string& cmd = args[0];
+
+  if (cmd == "login") {
+    cmd_login(args, out);
+  } else if (cmd == "status") {
+    cmd_status(args, out);
+  } else if (cmd == "nodes") {
+    cmd_nodes(out);
+  } else if (cmd == "run") {
+    cmd_run(args, out);
+  } else if (cmd == "submit") {
+    cmd_submit(args, out);
+  } else if (cmd == "jobs") {
+    cmd_jobs(out);
+  } else if (cmd == "wait") {
+    cmd_wait(args, out);
+  } else if (cmd == "fs") {
+    cmd_fs(args, out);
+  } else if (cmd == "peers") {
+    cmd_peers(args, out);
+  } else if (cmd == "whoami") {
+    cmd_whoami(out);
+  } else if (cmd == "help") {
+    cmd_help(out);
+  } else {
+    out << "unknown command: " << cmd << " (try 'help')\n";
+    return false;
+  }
+  return true;
+}
+
+void CommandLine::cmd_login(const std::vector<std::string>& args,
+                            std::ostream& out) {
+  if (args.size() != 4) {
+    out << "usage: login <site> <user> <password>\n";
+    return;
+  }
+  Result<Bytes> token = grid_.login(args[1], args[2], args[3]);
+  if (!token.is_ok()) {
+    out << "login failed: " << token.status().to_string() << "\n";
+    return;
+  }
+  origin_site_ = args[1];
+  user_ = args[2];
+  token_ = token.take();
+  out << "logged in as " << user_ << " at " << origin_site_
+      << " (session ticket issued)\n";
+}
+
+void CommandLine::cmd_status(const std::vector<std::string>& args,
+                             std::ostream& out) {
+  if (!logged_in()) {
+    out << "not logged in\n";
+    return;
+  }
+  const std::vector<std::string> sites(args.begin() + 1, args.end());
+  Result<std::vector<proto::StatusReport>> reports =
+      grid_.status(origin_site_, token_, sites);
+  if (!reports.is_ok()) {
+    out << "status failed: " << reports.status().to_string() << "\n";
+    return;
+  }
+  for (const auto& report : reports.value()) {
+    out << "site " << report.site << ": " << report.nodes.size()
+        << " node(s)\n";
+    for (const auto& node : report.nodes) {
+      out << "  " << std::left << std::setw(10) << node.name << " load "
+          << std::fixed << std::setprecision(2) << node.cpu_load << "  cap "
+          << std::setprecision(1) << node.cpu_capacity << "x  ram "
+          << node.ram_free_mb << "/" << node.ram_total_mb << " MB  procs "
+          << node.running_processes << "\n";
+    }
+  }
+}
+
+void CommandLine::cmd_nodes(std::ostream& out) {
+  if (!logged_in()) {
+    out << "not logged in\n";
+    return;
+  }
+  Result<std::vector<monitor::GridNode>> nodes =
+      grid_.proxy(origin_site_).locate_resources(token_, {});
+  if (!nodes.is_ok()) {
+    out << "nodes failed: " << nodes.status().to_string() << "\n";
+    return;
+  }
+  out << nodes.value().size() << " node(s) in the grid\n";
+  for (const auto& node : nodes.value()) {
+    out << "  " << node.site << "/" << node.status.name << "  load "
+        << std::fixed << std::setprecision(2) << node.status.cpu_load << "\n";
+  }
+}
+
+void CommandLine::cmd_run(const std::vector<std::string>& args,
+                          std::ostream& out) {
+  if (!logged_in()) {
+    out << "not logged in\n";
+    return;
+  }
+  if (args.size() < 3 || args.size() > 4) {
+    out << "usage: run <app> <ranks> [rr|lb]\n";
+    return;
+  }
+  const std::uint32_t ranks =
+      static_cast<std::uint32_t>(std::stoul(args[2]));
+  SchedulerPolicy policy = SchedulerPolicy::kLoadBalanced;
+  if (args.size() == 4) {
+    if (args[3] == "rr") {
+      policy = SchedulerPolicy::kRoundRobin;
+    } else if (args[3] == "lb") {
+      policy = SchedulerPolicy::kLoadBalanced;
+    } else {
+      out << "unknown policy: " << args[3] << " (rr|lb)\n";
+      return;
+    }
+  }
+
+  const proxy::AppRunResult result =
+      grid_.run_app(origin_site_, user_, token_, args[1], ranks, policy);
+  if (!result.status.is_ok()) {
+    out << "run failed: " << result.status.to_string() << "\n";
+    return;
+  }
+  out << "app " << args[1] << " completed (exit " << result.exit_code
+      << "), " << result.placements.size() << " rank(s):\n";
+  for (const auto& p : result.placements) {
+    out << "  rank " << p.rank << " -> " << p.site << "/" << p.node << "\n";
+  }
+}
+
+void CommandLine::cmd_submit(const std::vector<std::string>& args,
+                             std::ostream& out) {
+  if (!logged_in()) {
+    out << "not logged in\n";
+    return;
+  }
+  if (args.size() < 3 || args.size() > 4) {
+    out << "usage: submit <app> <ranks> [rr|lb]\n";
+    return;
+  }
+  const std::uint32_t ranks =
+      static_cast<std::uint32_t>(std::stoul(args[2]));
+  const sched::Policy policy =
+      (args.size() == 4 && args[3] == "rr") ? sched::Policy::kRoundRobin
+                                            : sched::Policy::kLoadBalanced;
+  Result<std::uint64_t> job = grid_.proxy(origin_site_)
+                                  .submit_job(user_, token_, args[1], ranks,
+                                              policy);
+  if (!job.is_ok()) {
+    out << "submit failed: " << job.status().to_string() << "\n";
+    return;
+  }
+  out << "job " << job.value() << " queued\n";
+}
+
+void CommandLine::cmd_jobs(std::ostream& out) {
+  if (!logged_in()) {
+    out << "not logged in\n";
+    return;
+  }
+  const auto jobs = grid_.proxy(origin_site_).jobs();
+  out << jobs.size() << " job(s)\n";
+  for (const auto& job : jobs) {
+    out << "  #" << job.job_id << " " << job.executable << " x" << job.ranks
+        << " [" << proxy::job_state_name(job.state) << "]";
+    if (job.state == proxy::JobState::kFailed) {
+      out << " " << job.outcome.to_string();
+    }
+    out << "\n";
+  }
+}
+
+void CommandLine::cmd_wait(const std::vector<std::string>& args,
+                           std::ostream& out) {
+  if (!logged_in()) {
+    out << "not logged in\n";
+    return;
+  }
+  if (args.size() != 2) {
+    out << "usage: wait <job-id>\n";
+    return;
+  }
+  const std::uint64_t job_id = std::stoull(args[1]);
+  Result<proxy::JobRecord> job =
+      grid_.proxy(origin_site_).wait_job(job_id);
+  if (!job.is_ok()) {
+    out << "wait failed: " << job.status().to_string() << "\n";
+    return;
+  }
+  out << "job " << job_id << " "
+      << proxy::job_state_name(job.value().state) << "\n";
+}
+
+void CommandLine::cmd_fs(const std::vector<std::string>& args,
+                         std::ostream& out) {
+  if (!logged_in()) {
+    out << "not logged in\n";
+    return;
+  }
+  if (fs_ == nullptr) {
+    out << "no file service attached at this site\n";
+    return;
+  }
+  if (args.size() < 3) {
+    out << "usage: fs put|get|ls|rm ...\n";
+    return;
+  }
+  const std::string& verb = args[1];
+  const std::string& site = args[2];
+
+  if (verb == "ls") {
+    Result<std::vector<gridfs::FileInfo>> listing = fs_->list(token_, site);
+    if (!listing.is_ok()) {
+      out << "fs ls failed: " << listing.status().to_string() << "\n";
+      return;
+    }
+    out << listing.value().size() << " file(s) at " << site << "\n";
+    for (const auto& f : listing.value()) {
+      out << "  " << f.name << "  " << f.size << " B  owner " << f.owner
+          << "\n";
+    }
+    return;
+  }
+  if (verb == "put") {
+    if (args.size() < 5) {
+      out << "usage: fs put <site> <name> <text...>\n";
+      return;
+    }
+    std::string content;
+    for (std::size_t i = 4; i < args.size(); ++i) {
+      if (i > 4) content += " ";
+      content += args[i];
+    }
+    const Status stored = fs_->put(token_, user_, site, args[3],
+                                   to_bytes(content));
+    out << (stored.is_ok() ? "stored " + args[3] + " at " + site
+                           : "fs put failed: " + stored.to_string())
+        << "\n";
+    return;
+  }
+  if (verb == "get") {
+    if (args.size() != 4) {
+      out << "usage: fs get <site> <name>\n";
+      return;
+    }
+    Result<Bytes> content = fs_->get(token_, site, args[3]);
+    if (!content.is_ok()) {
+      out << "fs get failed: " << content.status().to_string() << "\n";
+      return;
+    }
+    out << to_string(content.value()) << "\n";
+    return;
+  }
+  if (verb == "rm") {
+    if (args.size() != 4) {
+      out << "usage: fs rm <site> <name>\n";
+      return;
+    }
+    const Status removed = fs_->remove(token_, user_, site, args[3]);
+    out << (removed.is_ok() ? "removed " + args[3]
+                            : "fs rm failed: " + removed.to_string())
+        << "\n";
+    return;
+  }
+  out << "unknown fs verb: " << verb << "\n";
+}
+
+void CommandLine::cmd_peers(const std::vector<std::string>& args,
+                            std::ostream& out) {
+  const std::string site = args.size() > 1 ? args[1] : origin_site_;
+  proxy::ProxyServer& proxy_server = grid_.proxy(site);
+  out << site << " peers:";
+  for (const auto& peer : proxy_server.peers()) {
+    out << " " << peer << (proxy_server.peer_alive(peer) ? "(up)" : "(down)");
+  }
+  out << "\n";
+}
+
+void CommandLine::cmd_whoami(std::ostream& out) {
+  if (!logged_in()) {
+    out << "not logged in\n";
+    return;
+  }
+  out << user_ << " @ " << origin_site_ << "\n";
+}
+
+void CommandLine::cmd_help(std::ostream& out) {
+  out << "commands:\n"
+         "  login <site> <user> <password>\n"
+         "  status [site ...]\n"
+         "  nodes\n"
+         "  run <app> <ranks> [rr|lb]\n"
+         "  submit <app> <ranks> [rr|lb]\n"
+         "  jobs\n"
+         "  wait <job-id>\n"
+         "  fs put|get|ls|rm <site> [name] [text...]\n"
+         "  peers [site]\n"
+         "  whoami\n"
+         "  help\n";
+}
+
+}  // namespace pg::grid

@@ -1,0 +1,67 @@
+// Command-line access interface (paper layer "Web Access Interface /
+// Command line"): a small interpreter over the Grid facade, used by the
+// examples and scriptable from tests.
+//
+// Commands:
+//   login <site> <user> <password>      authenticate; stores the ticket
+//   status [site ...]                   site/node table (whole grid if bare)
+//   nodes                               flattened node rows with load
+//   run <app> <ranks> [rr|lb]           run a registered MPI application
+//   submit <app> <ranks> [rr|lb]        queue an asynchronous batch job
+//   jobs                                list batch jobs
+//   wait <job-id>                       block until a job finishes
+//   fs put <site> <name> <text...>      store a file (needs attach_fs)
+//   fs get <site> <name>                fetch a file
+//   fs ls <site>                        list a site's files
+//   fs rm <site> <name>                 remove an owned file
+//   peers <site>                        peer connectivity of a proxy
+//   whoami                              session info
+//   help                                command list
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "grid/grid.hpp"
+#include "gridfs/gridfs.hpp"
+
+namespace pg::grid {
+
+class CommandLine {
+ public:
+  /// `origin_site` is the site whose proxy serves this user session.
+  CommandLine(Grid& grid, std::string origin_site);
+
+  /// Executes one command line; human-readable output goes to `out`.
+  /// Returns false only for unknown commands (errors still return true and
+  /// print a message — like a shell).
+  bool execute(const std::string& line, std::ostream& out);
+
+  /// Makes `fs` commands available (the service must outlive the CLI).
+  void attach_fs(gridfs::GridFileService* fs) { fs_ = fs; }
+
+  bool logged_in() const { return !token_.empty(); }
+  const Bytes& token() const { return token_; }
+  const std::string& user() const { return user_; }
+
+ private:
+  void cmd_login(const std::vector<std::string>& args, std::ostream& out);
+  void cmd_status(const std::vector<std::string>& args, std::ostream& out);
+  void cmd_nodes(std::ostream& out);
+  void cmd_run(const std::vector<std::string>& args, std::ostream& out);
+  void cmd_submit(const std::vector<std::string>& args, std::ostream& out);
+  void cmd_jobs(std::ostream& out);
+  void cmd_wait(const std::vector<std::string>& args, std::ostream& out);
+  void cmd_fs(const std::vector<std::string>& args, std::ostream& out);
+  void cmd_peers(const std::vector<std::string>& args, std::ostream& out);
+  void cmd_whoami(std::ostream& out);
+  void cmd_help(std::ostream& out);
+
+  Grid& grid_;
+  gridfs::GridFileService* fs_ = nullptr;
+  std::string origin_site_;
+  std::string user_;
+  Bytes token_;
+};
+
+}  // namespace pg::grid

@@ -1,0 +1,316 @@
+#include "grid/grid.hpp"
+
+#include <thread>
+
+#include "common/logging.hpp"
+#include "net/memory_channel.hpp"
+
+namespace pg::grid {
+
+// --------------------------------------------------------------- builder
+
+GridBuilder& GridBuilder::seed(std::uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+GridBuilder& GridBuilder::key_bits(std::size_t bits) {
+  key_bits_ = bits;
+  return *this;
+}
+
+GridBuilder& GridBuilder::security_mode(proxy::SecurityMode mode) {
+  mode_ = mode;
+  return *this;
+}
+
+GridBuilder& GridBuilder::add_site(const std::string& site) {
+  if (sites_.count(site) == 0) {
+    sites_[site];
+    site_order_.push_back(site);
+  }
+  return *this;
+}
+
+GridBuilder& GridBuilder::add_node(const std::string& site,
+                                   monitor::NodeProfile profile,
+                                   bool explicit_secure) {
+  add_site(site);
+  sites_[site].push_back(NodeSpec{std::move(profile), explicit_secure});
+  return *this;
+}
+
+GridBuilder& GridBuilder::add_nodes(const std::string& site, std::size_t count,
+                                    double cpu_capacity) {
+  for (std::size_t i = 0; i < count; ++i) {
+    monitor::NodeProfile profile;
+    profile.name = "node" + std::to_string(i);
+    profile.cpu_capacity = cpu_capacity;
+    add_node(site, std::move(profile));
+  }
+  return *this;
+}
+
+GridBuilder& GridBuilder::add_user(const std::string& user,
+                                   const std::string& password,
+                                   const std::vector<std::string>& permissions) {
+  users_[user] = UserSpec{password, permissions};
+  return *this;
+}
+
+Result<std::unique_ptr<Grid>> GridBuilder::build() {
+  if (sites_.empty())
+    return error(ErrorCode::kInvalidArgument, "grid needs at least one site");
+
+  std::unique_ptr<Grid> grid(new Grid());
+  Rng rng(seed_);
+
+  // One CA for the whole grid (paper §3 recommends exactly this).
+  grid->ca_ = std::make_unique<crypto::CertificateAuthority>("grid-ca",
+                                                             key_bits_, rng);
+  const TimeMicros now = grid->clock_.now();
+  const TimeMicros not_before = now - 60 * kMicrosPerSecond;
+  const TimeMicros not_after = now + 365LL * 24 * 3600 * kMicrosPerSecond;
+
+  // Kerberos-style realm key shared by every proxy, so any proxy verifies
+  // any ticket.
+  const Bytes realm_key = rng.next_bytes(32);
+
+  // Proxies.
+  for (const auto& site : site_order_) {
+    const crypto::RsaKeyPair keys = crypto::rsa_generate(key_bits_, rng);
+    proxy::ProxyConfig config;
+    config.site = site;
+    config.identity = tls::GsslIdentity{
+        grid->ca_->issue("proxy." + site, keys.pub, not_before, not_after),
+        keys.priv};
+    config.ca_name = grid->ca_->name();
+    config.ca_key = grid->ca_->public_key();
+    config.ticket_key = realm_key;
+    config.clock = &grid->clock_;
+    config.rng_seed = rng.next_u64();
+    config.mode = mode_;
+    grid->proxies_[site] =
+        std::make_unique<proxy::ProxyServer>(std::move(config));
+  }
+
+  // Full mesh of inter-proxy tunnels. Handshakes block, so each pair runs
+  // the two halves on two threads.
+  for (std::size_t i = 0; i < site_order_.size(); ++i) {
+    for (std::size_t j = i + 1; j < site_order_.size(); ++j) {
+      const std::string& a = site_order_[i];
+      const std::string& b = site_order_[j];
+      net::ChannelPair pair = net::make_memory_channel_pair();
+
+      Status accept_status;
+      std::thread acceptor([&] {
+        accept_status =
+            grid->proxies_[b]->connect_peer(a, std::move(pair.b), false);
+      });
+      const Status initiate_status =
+          grid->proxies_[a]->connect_peer(b, std::move(pair.a), true);
+      acceptor.join();
+      PG_RETURN_IF_ERROR(initiate_status);
+      PG_RETURN_IF_ERROR(accept_status);
+    }
+  }
+
+  // Nodes: stats source at the proxy, agent on the node, one channel each.
+  for (const auto& site : site_order_) {
+    proxy::ProxyServer& proxy_server = *grid->proxies_[site];
+    for (const NodeSpec& spec : sites_[site]) {
+      proxy_server.add_node_stats(std::make_unique<monitor::SyntheticStatsSource>(
+          spec.profile, rng.next_u64()));
+
+      const bool encrypted =
+          spec.explicit_secure ||
+          mode_ == proxy::SecurityMode::kPerNodeSecurity;
+
+      proxy::NodeAgentConfig agent_config;
+      agent_config.node_name = spec.profile.name;
+      agent_config.site = site;
+      agent_config.encrypted = encrypted;
+      agent_config.clock = &grid->clock_;
+      agent_config.rng_seed = rng.next_u64();
+      if (encrypted) {
+        const crypto::RsaKeyPair keys = crypto::rsa_generate(key_bits_, rng);
+        agent_config.gssl = tls::GsslConfig{
+            tls::GsslIdentity{
+                grid->ca_->issue("node." + site + "." + spec.profile.name,
+                                 keys.pub, not_before, not_after),
+                keys.priv},
+            grid->ca_->name(), grid->ca_->public_key(),
+            /*expected_peer=*/"proxy." + site};
+      }
+
+      net::ChannelPair pair = net::make_memory_channel_pair();
+      Status attach_status;
+      std::thread attacher([&] {
+        attach_status = proxy_server.attach_node(
+            spec.profile.name, std::move(pair.a), spec.explicit_secure);
+      });
+      Result<proxy::NodeAgentPtr> agent =
+          proxy::NodeAgent::create(std::move(agent_config), std::move(pair.b));
+      attacher.join();
+      PG_RETURN_IF_ERROR(attach_status);
+      if (!agent.is_ok()) return agent.status();
+      grid->agents_[site][spec.profile.name] = agent.take();
+    }
+  }
+
+  // Users replicated at every site (one administrative realm).
+  for (const auto& site : site_order_) {
+    auth::UserAuthenticator& auth = grid->proxies_[site]->authenticator();
+    for (const auto& [user, spec] : users_) {
+      Rng pw_rng(rng.next_u64());
+      auth.passwords().set_password(user, spec.password, pw_rng);
+      for (const auto& permission : spec.permissions) {
+        auth.acl().grant_user(user, permission);
+      }
+    }
+  }
+
+  return grid;
+}
+
+// ------------------------------------------------------------------ grid
+
+Grid::~Grid() { shutdown(); }
+
+std::vector<std::string> Grid::sites() const {
+  std::vector<std::string> out;
+  out.reserve(proxies_.size());
+  for (const auto& [site, p] : proxies_) out.push_back(site);
+  return out;
+}
+
+proxy::ProxyServer& Grid::proxy(const std::string& site) {
+  return *proxies_.at(site);
+}
+
+proxy::NodeAgent& Grid::node_agent(const std::string& site,
+                                   const std::string& node) {
+  return *agents_.at(site).at(node);
+}
+
+Result<Bytes> Grid::login(const std::string& site, const std::string& user,
+                          const std::string& password) {
+  const auto it = proxies_.find(site);
+  if (it == proxies_.end())
+    return error(ErrorCode::kNotFound, "no site " + site);
+  proto::AuthRequest request;
+  request.user = user;
+  request.method = proto::AuthMethod::kPassword;
+  request.credential = to_bytes(password);
+  const proto::AuthResponse response = it->second->login(request);
+  if (!response.ok)
+    return error(ErrorCode::kUnauthenticated, response.reason);
+  return response.token;
+}
+
+Result<std::vector<proto::StatusReport>> Grid::status(
+    const std::string& origin_site, BytesView token,
+    const std::vector<std::string>& sites) {
+  const auto it = proxies_.find(origin_site);
+  if (it == proxies_.end())
+    return error(ErrorCode::kNotFound, "no site " + origin_site);
+  return it->second->query_status(sites, token);
+}
+
+proxy::AppRunResult Grid::run_app(const std::string& origin_site,
+                                  const std::string& user, BytesView token,
+                                  const std::string& executable,
+                                  std::uint32_t ranks, SchedulerPolicy policy,
+                                  const sched::Constraints& constraints) {
+  proxy::AppRunResult result;
+  const auto it = proxies_.find(origin_site);
+  if (it == proxies_.end()) {
+    result.status = error(ErrorCode::kNotFound, "no site " + origin_site);
+    return result;
+  }
+  sched::SchedulerPtr scheduler =
+      policy == SchedulerPolicy::kRoundRobin
+          ? sched::make_round_robin_scheduler()
+          : sched::make_load_balanced_scheduler();
+  return it->second->run_app(user, token, executable, ranks, *scheduler,
+                             constraints);
+}
+
+void Grid::kill_link(const std::string& site_a, const std::string& site_b) {
+  const auto it = proxies_.find(site_a);
+  if (it != proxies_.end()) it->second->disconnect_peer(site_b);
+}
+
+void Grid::kill_proxy(const std::string& site) {
+  const auto it = proxies_.find(site);
+  if (it != proxies_.end()) it->second->shutdown();
+}
+
+void Grid::kill_node(const std::string& site, const std::string& node) {
+  const auto site_it = agents_.find(site);
+  if (site_it == agents_.end()) return;
+  const auto node_it = site_it->second.find(node);
+  if (node_it != site_it->second.end()) node_it->second->shutdown();
+}
+
+Status Grid::reconnect_link(const std::string& site_a,
+                            const std::string& site_b) {
+  const auto a = proxies_.find(site_a);
+  const auto b = proxies_.find(site_b);
+  if (a == proxies_.end() || b == proxies_.end())
+    return error(ErrorCode::kNotFound, "unknown site");
+
+  net::ChannelPair pair = net::make_memory_channel_pair();
+  Status accept_status;
+  std::thread acceptor([&] {
+    accept_status = b->second->connect_peer(site_a, std::move(pair.b), false);
+  });
+  const Status initiate_status =
+      a->second->connect_peer(site_b, std::move(pair.a), true);
+  acceptor.join();
+  PG_RETURN_IF_ERROR(initiate_status);
+  return accept_status;
+}
+
+TrafficReport Grid::traffic_report() const {
+  TrafficReport report;
+
+  auto accumulate = [](TrafficReport::PerClass& cls,
+                       const tls::LinkStats& stats) {
+    cls.messages += stats.messages_sent;
+    cls.payload_bytes += stats.payload_bytes_sent;
+    cls.wire_bytes += stats.wire_bytes_sent;
+    cls.crypto_bytes += stats.crypto_bytes;
+    cls.handshake_bytes += stats.handshake_bytes;
+  };
+
+  for (const auto& [site, proxy_server] : proxies_) {
+    for (const proxy::LinkReport& link : proxy_server->link_report()) {
+      accumulate(link.inter_site ? report.inter_site : report.intra_site,
+                 link.stats);
+    }
+    const proxy::ProxyMetrics metrics = proxy_server->metrics();
+    report.handshakes += metrics.handshakes;
+    report.control_calls += metrics.control_calls_sent;
+    report.control_notifies += metrics.control_notifies_sent;
+  }
+  // Node agents count the node->proxy direction.
+  for (const auto& [site, nodes] : agents_) {
+    for (const auto& [node, agent] : nodes) {
+      accumulate(report.intra_site, agent->link_stats());
+    }
+  }
+  return report;
+}
+
+void Grid::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  // Agents first (they join application runners), then proxies.
+  for (auto& [site, nodes] : agents_) {
+    for (auto& [node, agent] : nodes) agent->shutdown();
+  }
+  for (auto& [site, proxy_server] : proxies_) proxy_server->shutdown();
+}
+
+}  // namespace pg::grid

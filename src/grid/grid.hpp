@@ -1,0 +1,141 @@
+// Grid facade: builds a complete multi-site proxy grid in one process —
+// CA, proxy per site, node agents, the full GSSL peer mesh — and exposes
+// the user-level operations the paper's middleware offers, plus failure
+// injection and the traffic accounting the experiments read.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "crypto/cert.hpp"
+#include "monitor/stats_source.hpp"
+#include "proxy/node_agent.hpp"
+#include "proxy/proxy_server.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pg::grid {
+
+enum class SchedulerPolicy { kRoundRobin, kLoadBalanced };
+
+/// Traffic totals split the way the E2/E3 analysis needs them.
+struct TrafficReport {
+  struct PerClass {
+    std::uint64_t messages = 0;
+    std::uint64_t payload_bytes = 0;
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t crypto_bytes = 0;     // bytes that passed through a cipher
+    std::uint64_t handshake_bytes = 0;
+  };
+  PerClass inter_site;   // proxy <-> proxy
+  PerClass intra_site;   // proxy <-> node (both directions)
+  std::uint64_t handshakes = 0;
+  std::uint64_t control_calls = 0;
+  std::uint64_t control_notifies = 0;
+};
+
+class Grid;
+
+class GridBuilder {
+ public:
+  GridBuilder& seed(std::uint64_t seed);
+  GridBuilder& key_bits(std::size_t bits);  // RSA size (default 768)
+  GridBuilder& security_mode(proxy::SecurityMode mode);
+
+  GridBuilder& add_site(const std::string& site);
+  /// Adds a node to `site`. `explicit_secure` forces GSSL on this node's
+  /// link even in proxy-tunneling mode (the paper's "explicit call").
+  GridBuilder& add_node(const std::string& site,
+                        monitor::NodeProfile profile,
+                        bool explicit_secure = false);
+  /// Convenience: n identical nodes named node0..node{n-1}.
+  GridBuilder& add_nodes(const std::string& site, std::size_t count,
+                         double cpu_capacity = 1.0);
+
+  /// Registers a user (password + grants) at every site's proxy.
+  GridBuilder& add_user(const std::string& user, const std::string& password,
+                        const std::vector<std::string>& permissions);
+
+  /// Builds and starts the grid: issues certificates, connects the full
+  /// proxy mesh, attaches every node.
+  Result<std::unique_ptr<Grid>> build();
+
+ private:
+  friend class Grid;
+  struct NodeSpec {
+    monitor::NodeProfile profile;
+    bool explicit_secure = false;
+  };
+  struct UserSpec {
+    std::string password;
+    std::vector<std::string> permissions;
+  };
+
+  std::uint64_t seed_ = 42;
+  std::size_t key_bits_ = 768;
+  proxy::SecurityMode mode_ = proxy::SecurityMode::kProxyTunneling;
+  std::vector<std::string> site_order_;
+  std::map<std::string, std::vector<NodeSpec>> sites_;
+  std::map<std::string, UserSpec> users_;
+};
+
+class Grid {
+ public:
+  ~Grid();
+  Grid(const Grid&) = delete;
+  Grid& operator=(const Grid&) = delete;
+
+  std::vector<std::string> sites() const;
+  proxy::ProxyServer& proxy(const std::string& site);
+  proxy::NodeAgent& node_agent(const std::string& site,
+                               const std::string& node);
+  const Clock& clock() const { return clock_; }
+
+  // ---- user-level grid API (the "command line / web access" layer uses
+  // these; see grid/cli.hpp)
+  /// Password login at the user's home site. Returns the session ticket.
+  Result<Bytes> login(const std::string& site, const std::string& user,
+                      const std::string& password);
+
+  Result<std::vector<proto::StatusReport>> status(
+      const std::string& origin_site, BytesView token,
+      const std::vector<std::string>& sites = {});
+
+  proxy::AppRunResult run_app(const std::string& origin_site,
+                              const std::string& user, BytesView token,
+                              const std::string& executable,
+                              std::uint32_t ranks, SchedulerPolicy policy,
+                              const sched::Constraints& constraints = {});
+
+  // ---- failure injection (experiment E7)
+  /// Severs the inter-site link between two proxies.
+  void kill_link(const std::string& site_a, const std::string& site_b);
+  /// Takes a whole proxy down (all its links die).
+  void kill_proxy(const std::string& site);
+  /// Takes one node down.
+  void kill_node(const std::string& site, const std::string& node);
+
+  /// Re-establishes the inter-site link after kill_link: fresh channel,
+  /// fresh GSSL handshake (recovery path for E7).
+  Status reconnect_link(const std::string& site_a, const std::string& site_b);
+
+  // ---- experiment accounting
+  TrafficReport traffic_report() const;
+
+  void shutdown();
+
+ private:
+  friend class GridBuilder;
+  Grid() = default;
+
+  WallClock clock_;
+  std::unique_ptr<crypto::CertificateAuthority> ca_;
+  std::map<std::string, proxy::ProxyServerPtr> proxies_;
+  std::map<std::string, std::map<std::string, proxy::NodeAgentPtr>> agents_;
+  bool shut_down_ = false;
+};
+
+}  // namespace pg::grid

@@ -1,0 +1,306 @@
+#include "grid/web.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace pg::grid {
+
+namespace {
+
+/// Splits "GET /run?app=pi&ranks=4 HTTP/1.1" into parts; parses the query.
+struct Request {
+  std::string method;
+  std::string path;
+  std::map<std::string, std::string> query;
+};
+
+bool parse_request_line(const std::string& line, Request& out) {
+  std::istringstream in(line);
+  std::string target, version;
+  if (!(in >> out.method >> target >> version)) return false;
+  const std::size_t qmark = target.find('?');
+  out.path = target.substr(0, qmark);
+  if (qmark != std::string::npos) {
+    std::string pair;
+    std::istringstream qs(target.substr(qmark + 1));
+    while (std::getline(qs, pair, '&')) {
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        out.query[pair] = "";
+      } else {
+        out.query[pair.substr(0, eq)] = pair.substr(eq + 1);
+      }
+    }
+  }
+  return true;
+}
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string status_line(int code) {
+  switch (code) {
+    case 200: return "HTTP/1.0 200 OK";
+    case 302: return "HTTP/1.0 302 Found";
+    case 400: return "HTTP/1.0 400 Bad Request";
+    case 404: return "HTTP/1.0 404 Not Found";
+    case 500: return "HTTP/1.0 500 Internal Server Error";
+    default: return "HTTP/1.0 500 Internal Server Error";
+  }
+}
+
+}  // namespace
+
+WebInterface::WebInterface(Grid& grid, std::string origin_site)
+    : grid_(grid), origin_site_(std::move(origin_site)) {}
+
+WebInterface::~WebInterface() { stop(); }
+
+Status WebInterface::start(const std::string& user,
+                           const std::string& password, std::uint16_t port) {
+  Result<Bytes> token = grid_.login(origin_site_, user, password);
+  if (!token.is_ok()) return token.status();
+  user_ = user;
+  token_ = token.take();
+
+  Result<net::TcpListener> listener = net::TcpListener::bind(port);
+  if (!listener.is_ok()) return listener.status();
+  listener_.emplace(std::move(listener.value()));
+  port_ = listener_->port();
+
+  running_.store(true);
+  server_ = std::thread([this] { serve_loop(); });
+  return Status::ok();
+}
+
+void WebInterface::stop() {
+  if (!running_.exchange(false)) return;
+  // Nudge the accept loop: a throwaway connection guarantees it wakes even
+  // on platforms where closing the listener does not interrupt accept().
+  if (port_ != 0) {
+    Result<net::ChannelPtr> nudge = net::tcp_connect("127.0.0.1", port_);
+    if (nudge.is_ok()) nudge.value()->close();
+  }
+  if (listener_.has_value()) listener_->close();
+  if (server_.joinable()) server_.join();
+}
+
+void WebInterface::serve_loop() {
+  while (running_.load()) {
+    Result<net::ChannelPtr> conn = listener_->accept();
+    if (!conn.is_ok()) break;  // listener closed
+    handle_connection(*conn.value());
+    ++requests_;
+  }
+}
+
+void WebInterface::handle_connection(net::Channel& channel) {
+  // Read until the header terminator (requests are tiny GETs).
+  std::string raw;
+  std::uint8_t buf[1024];
+  while (raw.find("\r\n\r\n") == std::string::npos &&
+         raw.find("\n\n") == std::string::npos && raw.size() < 16384) {
+    Result<std::size_t> n = channel.read(buf, sizeof(buf));
+    if (!n.is_ok() || n.value() == 0) break;
+    raw.append(reinterpret_cast<char*>(buf), n.value());
+  }
+
+  Request request;
+  const std::size_t eol = raw.find('\n');
+  int http_status = 400;
+  std::string body = "bad request";
+  std::string content_type = "text/plain";
+  if (eol != std::string::npos &&
+      parse_request_line(raw.substr(0, eol), request)) {
+    body = route(request.method, request.path, request.query, content_type,
+                 http_status);
+  }
+
+  std::ostringstream response;
+  response << status_line(http_status) << "\r\n";
+  if (http_status == 302) response << "Location: /jobs\r\n";
+  response << "Content-Type: " << content_type << "\r\n"
+           << "Content-Length: " << body.size() << "\r\n"
+           << "Connection: close\r\n\r\n"
+           << body;
+  const std::string out = response.str();
+  (void)channel.write(to_bytes(out));
+  channel.close();
+}
+
+std::string WebInterface::route(
+    const std::string& method, const std::string& path,
+    const std::map<std::string, std::string>& query,
+    std::string& content_type, int& http_status) {
+  if (method != "GET") {
+    http_status = 400;
+    return "only GET is supported";
+  }
+  http_status = 200;
+  content_type = "text/html";
+  if (path == "/") return page_index();
+  if (path == "/status") return page_status();
+  if (path == "/jobs") return page_jobs();
+  if (path == "/status.json") {
+    content_type = "application/json";
+    return json_status();
+  }
+  if (path == "/jobs.json") {
+    content_type = "application/json";
+    return json_jobs();
+  }
+  if (path == "/run") return action_run(query, http_status);
+  http_status = 404;
+  content_type = "text/plain";
+  return "not found";
+}
+
+std::string WebInterface::page_index() const {
+  std::ostringstream out;
+  out << "<html><head><title>ProxyGrid</title></head><body>"
+      << "<h1>ProxyGrid portal</h1>"
+      << "<p>session: " << html_escape(user_) << " @ "
+      << html_escape(origin_site_) << "</p>"
+      << "<ul>"
+      << "<li><a href=\"/status\">grid status</a>"
+      << " (<a href=\"/status.json\">json</a>)</li>"
+      << "<li><a href=\"/jobs\">jobs</a>"
+      << " (<a href=\"/jobs.json\">json</a>)</li>"
+      << "<li>submit: /run?app=&lt;name&gt;&amp;ranks=N&amp;policy=rr|lb</li>"
+      << "</ul></body></html>";
+  return out.str();
+}
+
+std::string WebInterface::page_status() {
+  Result<std::vector<proto::StatusReport>> reports =
+      grid_.status(origin_site_, token_);
+  std::ostringstream out;
+  out << "<html><body><h1>grid status</h1>";
+  if (!reports.is_ok()) {
+    out << "<p>error: " << html_escape(reports.status().to_string())
+        << "</p></body></html>";
+    return out.str();
+  }
+  out << "<table border=1><tr><th>site</th><th>node</th><th>load</th>"
+      << "<th>capacity</th><th>ram free MB</th><th>procs</th></tr>";
+  for (const auto& report : reports.value()) {
+    for (const auto& node : report.nodes) {
+      out << "<tr><td>" << html_escape(report.site) << "</td><td>"
+          << html_escape(node.name) << "</td><td>" << node.cpu_load
+          << "</td><td>" << node.cpu_capacity << "</td><td>"
+          << node.ram_free_mb << "</td><td>" << node.running_processes
+          << "</td></tr>";
+    }
+  }
+  out << "</table><p><a href=\"/\">back</a></p></body></html>";
+  return out.str();
+}
+
+std::string WebInterface::json_status() {
+  Result<std::vector<proto::StatusReport>> reports =
+      grid_.status(origin_site_, token_);
+  std::ostringstream out;
+  out << "{\"sites\":[";
+  if (reports.is_ok()) {
+    bool first_site = true;
+    for (const auto& report : reports.value()) {
+      if (!first_site) out << ",";
+      first_site = false;
+      out << "{\"site\":\"" << report.site << "\",\"nodes\":[";
+      bool first_node = true;
+      for (const auto& node : report.nodes) {
+        if (!first_node) out << ",";
+        first_node = false;
+        out << "{\"name\":\"" << node.name << "\",\"load\":" << node.cpu_load
+            << ",\"capacity\":" << node.cpu_capacity
+            << ",\"ram_free_mb\":" << node.ram_free_mb
+            << ",\"procs\":" << node.running_processes << "}";
+      }
+      out << "]}";
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string WebInterface::page_jobs() {
+  const std::vector<proxy::JobRecord> jobs =
+      grid_.proxy(origin_site_).jobs();
+  std::ostringstream out;
+  out << "<html><body><h1>jobs</h1><table border=1>"
+      << "<tr><th>id</th><th>user</th><th>app</th><th>ranks</th>"
+      << "<th>state</th><th>outcome</th></tr>";
+  for (const auto& job : jobs) {
+    out << "<tr><td>" << job.job_id << "</td><td>" << html_escape(job.user)
+        << "</td><td>" << html_escape(job.executable) << "</td><td>"
+        << job.ranks << "</td><td>" << proxy::job_state_name(job.state)
+        << "</td><td>" << html_escape(job.outcome.to_string())
+        << "</td></tr>";
+  }
+  out << "</table><p><a href=\"/\">back</a></p></body></html>";
+  return out.str();
+}
+
+std::string WebInterface::json_jobs() {
+  const std::vector<proxy::JobRecord> jobs =
+      grid_.proxy(origin_site_).jobs();
+  std::ostringstream out;
+  out << "{\"jobs\":[";
+  bool first = true;
+  for (const auto& job : jobs) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"id\":" << job.job_id << ",\"user\":\"" << job.user
+        << "\",\"app\":\"" << job.executable << "\",\"ranks\":" << job.ranks
+        << ",\"state\":\"" << proxy::job_state_name(job.state) << "\"}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string WebInterface::action_run(
+    const std::map<std::string, std::string>& query, int& http_status) {
+  const auto app = query.find("app");
+  const auto ranks = query.find("ranks");
+  if (app == query.end() || ranks == query.end()) {
+    http_status = 400;
+    return "need app= and ranks=";
+  }
+  sched::Policy policy = sched::Policy::kLoadBalanced;
+  const auto policy_it = query.find("policy");
+  if (policy_it != query.end() && policy_it->second == "rr") {
+    policy = sched::Policy::kRoundRobin;
+  }
+
+  std::uint32_t rank_count = 0;
+  try {
+    rank_count = static_cast<std::uint32_t>(std::stoul(ranks->second));
+  } catch (const std::exception&) {
+    http_status = 400;
+    return "bad ranks value";
+  }
+
+  Result<std::uint64_t> job = grid_.proxy(origin_site_)
+                                  .submit_job(user_, token_, app->second,
+                                              rank_count, policy);
+  if (!job.is_ok()) {
+    http_status = 500;
+    return "submit failed: " + job.status().to_string();
+  }
+  http_status = 302;  // redirect to /jobs
+  return "submitted job " + std::to_string(job.value());
+}
+
+}  // namespace pg::grid

@@ -1,0 +1,71 @@
+// Web access interface (paper layer "Web Access Interface / Command line":
+// "the user will have a Web page at his/her disposal, facilitating access
+// to information").
+//
+// A deliberately small HTTP/1.0 server, period-appropriate for 2003: each
+// instance is one user's portal onto the grid (the session is established
+// at start-up, like logging into a site portal). Endpoints:
+//
+//   GET /                 portal index
+//   GET /status           site/node table (HTML)
+//   GET /status.json      the same as JSON
+//   GET /jobs             batch-job table (HTML)
+//   GET /jobs.json        the same as JSON
+//   GET /run?app=X&ranks=N&policy=rr|lb   submit a batch job, redirect to /jobs
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/status.hpp"
+#include "grid/grid.hpp"
+#include "net/tcp.hpp"
+
+namespace pg::grid {
+
+class WebInterface {
+ public:
+  WebInterface(Grid& grid, std::string origin_site);
+  ~WebInterface();
+
+  /// Logs `user` in at the origin site and starts serving on 127.0.0.1
+  /// (`port` 0 picks a free port).
+  Status start(const std::string& user, const std::string& password,
+               std::uint16_t port = 0);
+
+  std::uint16_t port() const { return port_; }
+  std::uint64_t requests_served() const { return requests_.load(); }
+
+  void stop();
+
+ private:
+  void serve_loop();
+  void handle_connection(net::Channel& channel);
+  std::string route(const std::string& method, const std::string& path,
+                    const std::map<std::string, std::string>& query,
+                    std::string& content_type, int& http_status);
+
+  std::string page_index() const;
+  std::string page_status();
+  std::string json_status();
+  std::string page_jobs();
+  std::string json_jobs();
+  std::string action_run(const std::map<std::string, std::string>& query,
+                         int& http_status);
+
+  Grid& grid_;
+  std::string origin_site_;
+  std::string user_;
+  Bytes token_;
+
+  std::optional<net::TcpListener> listener_;
+  std::uint16_t port_ = 0;
+  std::thread server_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace pg::grid

@@ -1,0 +1,375 @@
+#include "gridfs/gridfs.hpp"
+
+#include "common/serde.hpp"
+
+namespace pg::gridfs {
+
+namespace {
+
+constexpr std::size_t kMaxFileSize = 32 * 1024 * 1024;
+constexpr std::size_t kMaxListing = 100000;
+
+// ---- wire formats (extension-private; core protocol untouched) ----
+
+Bytes encode_put(BytesView token, const std::string& user,
+                 const std::string& name, BytesView content) {
+  BufferWriter w;
+  w.put_bytes(token);
+  w.put_string(user);
+  w.put_string(name);
+  w.put_bytes(content);
+  return w.take();
+}
+
+Bytes encode_get(BytesView token, const std::string& name) {
+  BufferWriter w;
+  w.put_bytes(token);
+  w.put_string(name);
+  return w.take();
+}
+
+Bytes encode_list(BytesView token) {
+  BufferWriter w;
+  w.put_bytes(token);
+  return w.take();
+}
+
+Bytes encode_remove(BytesView token, const std::string& user,
+                    const std::string& name) {
+  BufferWriter w;
+  w.put_bytes(token);
+  w.put_string(user);
+  w.put_string(name);
+  return w.take();
+}
+
+/// Replies: [ok bool][reason str][body bytes].
+Bytes encode_reply(const Status& status, BytesView body = {}) {
+  BufferWriter w;
+  w.put_bool(status.is_ok());
+  w.put_string(status.is_ok() ? "" : status.to_string());
+  w.put_bytes(body);
+  return w.take();
+}
+
+Result<Bytes> decode_reply(const proto::Envelope& envelope) {
+  if (envelope.op != proto::OpCode::kReply)
+    return error(ErrorCode::kProtocolError, "expected kReply");
+  BufferReader r(envelope.payload);
+  bool ok = false;
+  std::string reason;
+  Bytes body;
+  PG_RETURN_IF_ERROR(r.get_bool(ok));
+  PG_RETURN_IF_ERROR(r.get_string(reason));
+  PG_RETURN_IF_ERROR(r.get_bytes(body));
+  PG_RETURN_IF_ERROR(r.expect_end());
+  if (!ok) return error(ErrorCode::kUnavailable, "remote gridfs: " + reason);
+  return body;
+}
+
+Bytes encode_listing(const std::vector<FileInfo>& files) {
+  BufferWriter w;
+  w.put_varint(files.size());
+  for (const auto& f : files) {
+    w.put_string(f.name);
+    w.put_u64(f.size);
+    w.put_string(f.owner);
+    w.put_u64(f.modified_at);
+  }
+  return w.take();
+}
+
+Result<std::vector<FileInfo>> decode_listing(BytesView data) {
+  BufferReader r(data);
+  std::uint64_t n = 0;
+  PG_RETURN_IF_ERROR(r.get_varint(n));
+  if (n > kMaxListing)
+    return error(ErrorCode::kProtocolError, "listing too large");
+  std::vector<FileInfo> files(n);
+  for (auto& f : files) {
+    PG_RETURN_IF_ERROR(r.get_string(f.name));
+    PG_RETURN_IF_ERROR(r.get_u64(f.size));
+    PG_RETURN_IF_ERROR(r.get_string(f.owner));
+    PG_RETURN_IF_ERROR(r.get_u64(f.modified_at));
+  }
+  PG_RETURN_IF_ERROR(r.expect_end());
+  return files;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- attach
+
+Result<std::unique_ptr<GridFileService>> GridFileService::attach(
+    proxy::ProxyServer& proxy_server) {
+  std::unique_ptr<GridFileService> service(new GridFileService(proxy_server));
+  GridFileService* raw = service.get();
+  PG_RETURN_IF_ERROR(proxy_server.register_extension(
+      kFsPut, [raw](const proto::Envelope& env, proxy::Connection& conn) {
+        return raw->handle_put(env, conn);
+      }));
+  PG_RETURN_IF_ERROR(proxy_server.register_extension(
+      kFsGet, [raw](const proto::Envelope& env, proxy::Connection& conn) {
+        return raw->handle_get(env, conn);
+      }));
+  PG_RETURN_IF_ERROR(proxy_server.register_extension(
+      kFsList, [raw](const proto::Envelope& env, proxy::Connection& conn) {
+        return raw->handle_list(env, conn);
+      }));
+  PG_RETURN_IF_ERROR(proxy_server.register_extension(
+      kFsRemove, [raw](const proto::Envelope& env, proxy::Connection& conn) {
+        return raw->handle_remove(env, conn);
+      }));
+  return service;
+}
+
+// ----------------------------------------------------------- local store
+
+Status GridFileService::store_put(const std::string& user,
+                                  const std::string& name, Bytes content) {
+  if (name.empty())
+    return error(ErrorCode::kInvalidArgument, "empty file name");
+  if (content.size() > kMaxFileSize)
+    return error(ErrorCode::kInvalidArgument, "file too large");
+  std::lock_guard<std::mutex> lock(mutex_);
+  StoredFile& file = files_[name];
+  if (!file.owner.empty() && file.owner != user)
+    return error(ErrorCode::kPermissionDenied,
+                 name + " is owned by " + file.owner);
+  file.content = std::move(content);
+  file.owner = user;
+  file.modified_at = proxy_.clock().now();
+  return Status::ok();
+}
+
+Result<Bytes> GridFileService::store_get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = files_.find(name);
+  if (it == files_.end())
+    return error(ErrorCode::kNotFound, "no file " + name);
+  return it->second.content;
+}
+
+std::vector<FileInfo> GridFileService::store_list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FileInfo> out;
+  out.reserve(files_.size());
+  for (const auto& [name, file] : files_) {
+    out.push_back(FileInfo{name, file.content.size(), file.owner,
+                           static_cast<std::uint64_t>(file.modified_at)});
+  }
+  return out;
+}
+
+Status GridFileService::store_remove(const std::string& user,
+                                     const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = files_.find(name);
+  if (it == files_.end())
+    return error(ErrorCode::kNotFound, "no file " + name);
+  if (it->second.owner != user)
+    return error(ErrorCode::kPermissionDenied,
+                 name + " is owned by " + it->second.owner);
+  files_.erase(it);
+  return Status::ok();
+}
+
+std::size_t GridFileService::local_file_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.size();
+}
+
+std::uint64_t GridFileService::local_bytes_stored() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [name, file] : files_) total += file.content.size();
+  return total;
+}
+
+// ------------------------------------------------------------ client API
+
+Status GridFileService::put(BytesView token, const std::string& user,
+                            const std::string& site, const std::string& name,
+                            BytesView content) {
+  if (site == proxy_.site()) {
+    PG_RETURN_IF_ERROR(proxy_.authenticator().authorize(
+        token, "fs.write", proxy_.clock().now()));
+    return store_put(user, name, Bytes(content.begin(), content.end()));
+  }
+  Result<proto::Envelope> reply =
+      proxy_.call_peer(site, kFsPut, encode_put(token, user, name, content));
+  if (!reply.is_ok()) return reply.status();
+  return decode_reply(reply.value()).status();
+}
+
+Result<Bytes> GridFileService::get(BytesView token, const std::string& site,
+                                   const std::string& name) {
+  if (site == proxy_.site()) {
+    PG_RETURN_IF_ERROR(proxy_.authenticator().authorize(
+        token, "fs.read", proxy_.clock().now()));
+    return store_get(name);
+  }
+  Result<proto::Envelope> reply =
+      proxy_.call_peer(site, kFsGet, encode_get(token, name));
+  if (!reply.is_ok()) return reply.status();
+  return decode_reply(reply.value());
+}
+
+Result<std::vector<FileInfo>> GridFileService::list(BytesView token,
+                                                    const std::string& site) {
+  if (site == proxy_.site()) {
+    PG_RETURN_IF_ERROR(proxy_.authenticator().authorize(
+        token, "fs.read", proxy_.clock().now()));
+    return store_list();
+  }
+  Result<proto::Envelope> reply =
+      proxy_.call_peer(site, kFsList, encode_list(token));
+  if (!reply.is_ok()) return reply.status();
+  Result<Bytes> body = decode_reply(reply.value());
+  if (!body.is_ok()) return body.status();
+  return decode_listing(body.value());
+}
+
+Status GridFileService::remove(BytesView token, const std::string& user,
+                               const std::string& site,
+                               const std::string& name) {
+  if (site == proxy_.site()) {
+    PG_RETURN_IF_ERROR(proxy_.authenticator().authorize(
+        token, "fs.write", proxy_.clock().now()));
+    return store_remove(user, name);
+  }
+  Result<proto::Envelope> reply =
+      proxy_.call_peer(site, kFsRemove, encode_remove(token, user, name));
+  if (!reply.is_ok()) return reply.status();
+  return decode_reply(reply.value()).status();
+}
+
+Result<std::vector<std::string>> GridFileService::put_replicated(
+    BytesView token, const std::string& user, const std::string& name,
+    BytesView content, std::size_t replicas) {
+  if (replicas == 0)
+    return error(ErrorCode::kInvalidArgument, "replicas must be >= 1");
+
+  std::vector<std::string> targets = {proxy_.site()};
+  for (const auto& peer : proxy_.peers()) {
+    if (targets.size() >= replicas) break;
+    targets.push_back(peer);
+  }
+
+  std::vector<std::string> stored;
+  Status last_failure = Status::ok();
+  for (const auto& site : targets) {
+    const Status put_status = put(token, user, site, name, content);
+    if (put_status.is_ok()) {
+      stored.push_back(site);
+    } else {
+      last_failure = put_status;
+    }
+  }
+  if (stored.empty())
+    return error(ErrorCode::kUnavailable,
+                 "no replica stored: " + last_failure.to_string());
+  return stored;
+}
+
+Result<Bytes> GridFileService::get_any(BytesView token,
+                                       const std::string& name) {
+  std::vector<std::string> sources = {proxy_.site()};
+  for (const auto& peer : proxy_.peers()) sources.push_back(peer);
+
+  Status last_failure = Status::ok();
+  for (const auto& site : sources) {
+    Result<Bytes> content = get(token, site, name);
+    if (content.is_ok()) return content;
+    last_failure = content.status();
+  }
+  return error(ErrorCode::kNotFound,
+               name + " not found at any site: " + last_failure.to_string());
+}
+
+// ---------------------------------------------------------- remote side
+
+Status GridFileService::handle_put(const proto::Envelope& envelope,
+                                   proxy::Connection& conn) {
+  BufferReader r(envelope.payload);
+  Bytes token, content;
+  std::string user, name;
+  Status parse = Status::ok();
+  if (!(parse = r.get_bytes(token)).is_ok() ||
+      !(parse = r.get_string(user)).is_ok() ||
+      !(parse = r.get_string(name)).is_ok() ||
+      !(parse = r.get_bytes(content)).is_ok() ||
+      !(parse = r.expect_end()).is_ok()) {
+    return conn.respond(envelope, proto::OpCode::kReply, encode_reply(parse));
+  }
+
+  Status verdict = proxy_.authenticator().tickets().authorize(
+      token, "fs.write", proxy_.clock().now());
+  if (verdict.is_ok()) verdict = store_put(user, name, std::move(content));
+  return conn.respond(envelope, proto::OpCode::kReply, encode_reply(verdict));
+}
+
+Status GridFileService::handle_get(const proto::Envelope& envelope,
+                                   proxy::Connection& conn) {
+  BufferReader r(envelope.payload);
+  Bytes token;
+  std::string name;
+  Status parse = Status::ok();
+  if (!(parse = r.get_bytes(token)).is_ok() ||
+      !(parse = r.get_string(name)).is_ok() ||
+      !(parse = r.expect_end()).is_ok()) {
+    return conn.respond(envelope, proto::OpCode::kReply, encode_reply(parse));
+  }
+
+  const Status verdict = proxy_.authenticator().tickets().authorize(
+      token, "fs.read", proxy_.clock().now());
+  if (!verdict.is_ok())
+    return conn.respond(envelope, proto::OpCode::kReply,
+                        encode_reply(verdict));
+  Result<Bytes> content = store_get(name);
+  if (!content.is_ok())
+    return conn.respond(envelope, proto::OpCode::kReply,
+                        encode_reply(content.status()));
+  return conn.respond(envelope, proto::OpCode::kReply,
+                      encode_reply(Status::ok(), content.value()));
+}
+
+Status GridFileService::handle_list(const proto::Envelope& envelope,
+                                    proxy::Connection& conn) {
+  BufferReader r(envelope.payload);
+  Bytes token;
+  Status parse = Status::ok();
+  if (!(parse = r.get_bytes(token)).is_ok() ||
+      !(parse = r.expect_end()).is_ok()) {
+    return conn.respond(envelope, proto::OpCode::kReply, encode_reply(parse));
+  }
+
+  const Status verdict = proxy_.authenticator().tickets().authorize(
+      token, "fs.read", proxy_.clock().now());
+  if (!verdict.is_ok())
+    return conn.respond(envelope, proto::OpCode::kReply,
+                        encode_reply(verdict));
+  return conn.respond(envelope, proto::OpCode::kReply,
+                      encode_reply(Status::ok(), encode_listing(store_list())));
+}
+
+Status GridFileService::handle_remove(const proto::Envelope& envelope,
+                                      proxy::Connection& conn) {
+  BufferReader r(envelope.payload);
+  Bytes token;
+  std::string user, name;
+  Status parse = Status::ok();
+  if (!(parse = r.get_bytes(token)).is_ok() ||
+      !(parse = r.get_string(user)).is_ok() ||
+      !(parse = r.get_string(name)).is_ok() ||
+      !(parse = r.expect_end()).is_ok()) {
+    return conn.respond(envelope, proto::OpCode::kReply, encode_reply(parse));
+  }
+
+  Status verdict = proxy_.authenticator().tickets().authorize(
+      token, "fs.write", proxy_.clock().now());
+  if (verdict.is_ok()) verdict = store_remove(user, name);
+  return conn.respond(envelope, proto::OpCode::kReply, encode_reply(verdict));
+}
+
+}  // namespace pg::gridfs

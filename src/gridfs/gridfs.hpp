@@ -1,0 +1,105 @@
+// GridFS — a distributed file service built entirely on the proxy
+// architecture's extension mechanism.
+//
+// The paper names "distributed filing systems" as future work enabled by
+// the proxy design (§1), and promises that the control protocol's codes
+// "can be expanded to deal with a new situation" (§3). GridFS is that
+// demonstration: put/get/list/remove across sites using three extension op
+// codes and the generic kReply, with no change to the proxy core. Files
+// live in per-site stores; remote operations travel over the existing GSSL
+// tunnels and are authorized by the same session tickets ("fs.read" /
+// "fs.write").
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "proxy/proxy_server.hpp"
+
+namespace pg::gridfs {
+
+/// Extension op codes claimed by GridFS.
+constexpr proto::OpCode kFsPut = static_cast<proto::OpCode>(1010);
+constexpr proto::OpCode kFsGet = static_cast<proto::OpCode>(1011);
+constexpr proto::OpCode kFsList = static_cast<proto::OpCode>(1012);
+constexpr proto::OpCode kFsRemove = static_cast<proto::OpCode>(1013);
+
+struct FileInfo {
+  std::string name;
+  std::uint64_t size = 0;
+  std::string owner;
+  std::uint64_t modified_at = 0;
+
+  friend bool operator==(const FileInfo&, const FileInfo&) = default;
+};
+
+/// One instance per site, attached to that site's proxy. Construction
+/// registers the extension handlers; the client methods transparently
+/// operate on the local store or relay to the owning site's proxy.
+class GridFileService {
+ public:
+  /// Registers handlers on `proxy_server`; fails if another extension
+  /// already claimed the op codes.
+  static Result<std::unique_ptr<GridFileService>> attach(
+      proxy::ProxyServer& proxy_server);
+
+  // ---- client API (token must carry fs.write / fs.read) ----
+  /// Stores `content` at up to `replicas` distinct sites (this site first,
+  /// then peers in name order). Returns the sites that accepted; fails only
+  /// if NO site stored the file.
+  Result<std::vector<std::string>> put_replicated(
+      BytesView token, const std::string& user, const std::string& name,
+      BytesView content, std::size_t replicas);
+
+  /// Fetches `name` from any site that has it (this site first, then
+  /// peers) — the read path for replicated files when sites fail.
+  Result<Bytes> get_any(BytesView token, const std::string& name);
+
+  Status put(BytesView token, const std::string& user,
+             const std::string& site, const std::string& name,
+             BytesView content);
+  Result<Bytes> get(BytesView token, const std::string& site,
+                    const std::string& name);
+  Result<std::vector<FileInfo>> list(BytesView token, const std::string& site);
+  Status remove(BytesView token, const std::string& user,
+                const std::string& site, const std::string& name);
+
+  /// Files stored at THIS site.
+  std::size_t local_file_count() const;
+  std::uint64_t local_bytes_stored() const;
+
+ private:
+  explicit GridFileService(proxy::ProxyServer& proxy_server)
+      : proxy_(proxy_server) {}
+
+  struct StoredFile {
+    Bytes content;
+    std::string owner;
+    TimeMicros modified_at = 0;
+  };
+
+  // Local-store operations (already authorized).
+  Status store_put(const std::string& user, const std::string& name,
+                   Bytes content);
+  Result<Bytes> store_get(const std::string& name) const;
+  std::vector<FileInfo> store_list() const;
+  Status store_remove(const std::string& user, const std::string& name);
+
+  // Extension handlers (remote requests arriving at this site's proxy).
+  Status handle_put(const proto::Envelope& envelope, proxy::Connection& conn);
+  Status handle_get(const proto::Envelope& envelope, proxy::Connection& conn);
+  Status handle_list(const proto::Envelope& envelope, proxy::Connection& conn);
+  Status handle_remove(const proto::Envelope& envelope,
+                       proxy::Connection& conn);
+
+  proxy::ProxyServer& proxy_;
+  mutable std::mutex mutex_;
+  std::map<std::string, StoredFile> files_;
+};
+
+}  // namespace pg::gridfs

@@ -1,0 +1,72 @@
+#include "monitor/aggregator.hpp"
+
+namespace pg::monitor {
+
+void GridStatusCache::update(const proto::StatusReport& report,
+                             TimeMicros received_at) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[report.site];
+  // Keep the newer report (out-of-order delivery is possible).
+  if (entry.received_at <= received_at) {
+    entry.report = report;
+    entry.received_at = received_at;
+  }
+}
+
+std::optional<proto::StatusReport> GridStatusCache::get(
+    const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(site);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.report;
+}
+
+std::optional<TimeMicros> GridStatusCache::staleness(const std::string& site,
+                                                     TimeMicros now) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(site);
+  if (it == entries_.end()) return std::nullopt;
+  return now - it->second.received_at;
+}
+
+std::vector<proto::StatusReport> GridStatusCache::compile_global() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<proto::StatusReport> out;
+  out.reserve(entries_.size());
+  for (const auto& [site, entry] : entries_) out.push_back(entry.report);
+  return out;
+}
+
+void GridStatusCache::expire(TimeMicros now, TimeMicros max_age) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.received_at > max_age) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void GridStatusCache::forget(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.erase(site);
+}
+
+std::size_t GridStatusCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<GridNode> flatten(
+    const std::vector<proto::StatusReport>& reports) {
+  std::vector<GridNode> out;
+  for (const auto& report : reports) {
+    for (const auto& node : report.nodes) {
+      out.push_back(GridNode{report.site, node});
+    }
+  }
+  return out;
+}
+
+}  // namespace pg::monitor

@@ -1,0 +1,54 @@
+// Grid-wide status compilation (paper §3: "The global status is obtained by
+// compilation of all the sites' data" — on demand, per queried subset).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "proto/messages.hpp"
+
+namespace pg::monitor {
+
+/// Cache of the latest StatusReport per site, with staleness tracking.
+/// The proxy updates it from incoming reports; the grid API reads it.
+class GridStatusCache {
+ public:
+  void update(const proto::StatusReport& report, TimeMicros received_at);
+
+  std::optional<proto::StatusReport> get(const std::string& site) const;
+
+  /// Age of the newest report for `site`, or nullopt if never seen.
+  std::optional<TimeMicros> staleness(const std::string& site,
+                                      TimeMicros now) const;
+
+  /// All cached reports, sorted by site name — the "compiled" global view.
+  std::vector<proto::StatusReport> compile_global() const;
+
+  /// Drops reports older than `max_age` (failed sites age out).
+  void expire(TimeMicros now, TimeMicros max_age);
+
+  void forget(const std::string& site);
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    proto::StatusReport report;
+    TimeMicros received_at = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Flattens reports into (site, node) rows — scheduler input.
+struct GridNode {
+  std::string site;
+  proto::NodeStatus status;
+};
+std::vector<GridNode> flatten(const std::vector<proto::StatusReport>& reports);
+
+}  // namespace pg::monitor

@@ -1,0 +1,70 @@
+#include "monitor/site_collector.hpp"
+
+namespace pg::monitor {
+
+void SiteCollector::add_node(NodeStatsSourcePtr source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sources_[source->node_name()] = std::move(source);
+}
+
+bool SiteCollector::has_node(const std::string& node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sources_.count(node) > 0;
+}
+
+std::size_t SiteCollector::node_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sources_.size();
+}
+
+proto::StatusReport SiteCollector::collect(TimeMicros now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  proto::StatusReport report;
+  report.site = site_;
+  report.timestamp = static_cast<std::uint64_t>(now);
+  report.nodes.reserve(sources_.size());
+  for (auto& [name, source] : sources_) {
+    report.nodes.push_back(source->sample(now));
+    ++samples_;
+  }
+  return report;
+}
+
+Result<proto::NodeStatus> SiteCollector::collect_node(const std::string& node,
+                                                      TimeMicros now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sources_.find(node);
+  if (it == sources_.end())
+    return error(ErrorCode::kNotFound, "no node " + node + " in " + site_);
+  ++samples_;
+  return it->second->sample(now);
+}
+
+Status SiteCollector::process_started(const std::string& node,
+                                      std::uint64_t ram_mb) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sources_.find(node);
+  if (it == sources_.end())
+    return error(ErrorCode::kNotFound, "no node " + node + " in " + site_);
+  if (auto* synthetic = dynamic_cast<SyntheticStatsSource*>(it->second.get()))
+    synthetic->process_started(ram_mb);
+  return Status::ok();
+}
+
+Status SiteCollector::process_finished(const std::string& node,
+                                       std::uint64_t ram_mb) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sources_.find(node);
+  if (it == sources_.end())
+    return error(ErrorCode::kNotFound, "no node " + node + " in " + site_);
+  if (auto* synthetic = dynamic_cast<SyntheticStatsSource*>(it->second.get()))
+    synthetic->process_finished(ram_mb);
+  return Status::ok();
+}
+
+std::uint64_t SiteCollector::samples_taken() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+}  // namespace pg::monitor

@@ -1,0 +1,49 @@
+// Per-site status collection (paper §3: "each proxy responsible for the
+// collection and control of the site where it is located").
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/clock.hpp"
+#include "monitor/stats_source.hpp"
+#include "proto/messages.hpp"
+
+namespace pg::monitor {
+
+/// Owned by the site's proxy; samples every node of the site on demand.
+/// Thread-safe (the proxy's reader threads query it concurrently).
+class SiteCollector {
+ public:
+  explicit SiteCollector(std::string site) : site_(std::move(site)) {}
+
+  void add_node(NodeStatsSourcePtr source);
+  bool has_node(const std::string& node) const;
+  std::size_t node_count() const;
+
+  /// Snapshot of the whole site.
+  proto::StatusReport collect(TimeMicros now);
+
+  /// Snapshot of a single node; kNotFound if it isn't in this site.
+  Result<proto::NodeStatus> collect_node(const std::string& node,
+                                         TimeMicros now);
+
+  /// Process accounting passthrough (kNotFound on unknown node). Only
+  /// synthetic sources support accounting; others ignore it.
+  Status process_started(const std::string& node, std::uint64_t ram_mb);
+  Status process_finished(const std::string& node, std::uint64_t ram_mb);
+
+  /// Total samples taken — the "collection work" counter for E4.
+  std::uint64_t samples_taken() const;
+
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+  mutable std::mutex mutex_;
+  std::map<std::string, NodeStatsSourcePtr> sources_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace pg::monitor

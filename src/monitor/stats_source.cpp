@@ -1,0 +1,47 @@
+#include "monitor/stats_source.hpp"
+
+#include <algorithm>
+
+namespace pg::monitor {
+
+SyntheticStatsSource::SyntheticStatsSource(NodeProfile profile,
+                                           std::uint64_t seed)
+    : profile_(std::move(profile)), rng_(seed) {}
+
+proto::NodeStatus SyntheticStatsSource::sample(TimeMicros now) {
+  // Bounded random walk for the owner's background activity.
+  drift_ += (rng_.next_double() - 0.5) * profile_.load_jitter;
+  drift_ = std::clamp(drift_, -profile_.load_jitter, profile_.load_jitter);
+
+  // Each grid process saturates roughly one core-share of the node.
+  const double process_load =
+      std::min(1.0, static_cast<double>(running_) / profile_.cpu_capacity);
+
+  proto::NodeStatus s;
+  s.name = profile_.name;
+  s.cpu_capacity = profile_.cpu_capacity;
+  s.cpu_load =
+      std::clamp(profile_.baseline_load + drift_ + process_load, 0.0, 1.0);
+  s.ram_total_mb = profile_.ram_total_mb;
+  s.ram_free_mb =
+      profile_.ram_total_mb > ram_used_mb_
+          ? profile_.ram_total_mb - ram_used_mb_
+          : 0;
+  s.disk_total_mb = profile_.disk_total_mb;
+  s.disk_free_mb = profile_.disk_total_mb;  // disk usage not modelled yet
+  s.running_processes = running_;
+  s.timestamp = static_cast<std::uint64_t>(now);
+  return s;
+}
+
+void SyntheticStatsSource::process_started(std::uint64_t ram_mb) {
+  ++running_;
+  ram_used_mb_ += ram_mb;
+}
+
+void SyntheticStatsSource::process_finished(std::uint64_t ram_mb) {
+  if (running_ > 0) --running_;
+  ram_used_mb_ = ram_used_mb_ > ram_mb ? ram_used_mb_ - ram_mb : 0;
+}
+
+}  // namespace pg::monitor

@@ -1,0 +1,65 @@
+// Node statistics sources (paper layer 3: the Grid API reports
+// "availability of RAM memory, CPU and HD" per station).
+//
+// Real deployments would read /proc; here sources are synthetic but
+// *stateful*: scheduled work raises the reported load, so monitoring,
+// scheduling and execution close the same feedback loop the paper's
+// middleware has.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "proto/messages.hpp"
+
+namespace pg::monitor {
+
+/// Produces a NodeStatus snapshot on demand.
+class NodeStatsSource {
+ public:
+  virtual ~NodeStatsSource() = default;
+  virtual proto::NodeStatus sample(TimeMicros now) = 0;
+  virtual const std::string& node_name() const = 0;
+};
+
+using NodeStatsSourcePtr = std::unique_ptr<NodeStatsSource>;
+
+/// Hardware shape of a synthetic node.
+struct NodeProfile {
+  std::string name;
+  double cpu_capacity = 1.0;      // relative speed (1.0 = reference)
+  std::uint64_t ram_total_mb = 4096;
+  std::uint64_t disk_total_mb = 100000;
+  /// Background (owner) load the node always carries, 0..1. The paper's
+  /// requirement that the owner keeps priority shows up as this floor.
+  double baseline_load = 0.05;
+  /// Amplitude of the random load drift around the baseline.
+  double load_jitter = 0.05;
+};
+
+/// Synthetic source: baseline + seeded random walk + per-process load.
+class SyntheticStatsSource final : public NodeStatsSource {
+ public:
+  SyntheticStatsSource(NodeProfile profile, std::uint64_t seed);
+
+  proto::NodeStatus sample(TimeMicros now) override;
+  const std::string& node_name() const override { return profile_.name; }
+
+  /// Grid process accounting: each running process adds load and takes RAM.
+  void process_started(std::uint64_t ram_mb);
+  void process_finished(std::uint64_t ram_mb);
+  std::uint32_t running_processes() const { return running_; }
+
+  const NodeProfile& profile() const { return profile_; }
+
+ private:
+  NodeProfile profile_;
+  Rng rng_;
+  double drift_ = 0.0;
+  std::uint32_t running_ = 0;
+  std::uint64_t ram_used_mb_ = 0;
+};
+
+}  // namespace pg::monitor

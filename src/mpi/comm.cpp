@@ -1,0 +1,293 @@
+#include "mpi/comm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/serde.hpp"
+#include "mpi/datatypes.hpp"
+
+namespace pg::mpi {
+
+Comm::Comm(Fabric& fabric, std::uint32_t rank, std::uint32_t size)
+    : fabric_(fabric), rank_(rank), size_(size) {
+  assert(rank < size);
+}
+
+std::uint32_t Comm::collective_tag(std::uint32_t phase) {
+  // 3 bits of phase, 27 bits of sequence, top bits mark "reserved".
+  return kReservedTagBase | ((collective_seq_ & 0x07ff'ffff) << 3) |
+         (phase & 0x7);
+}
+
+Status Comm::send(std::uint32_t dst, std::uint32_t tag, BytesView data) {
+  if (tag >= kReservedTagBase)
+    return error(ErrorCode::kInvalidArgument, "tag in reserved range");
+  if (dst >= size_)
+    return error(ErrorCode::kInvalidArgument, "destination out of range");
+  MpiMessage m;
+  m.src = rank_;
+  m.dst = dst;
+  m.tag = tag;
+  m.payload.assign(data.begin(), data.end());
+  return fabric_.send(m);
+}
+
+Result<Bytes> Comm::recv(std::int32_t src, std::int32_t tag) {
+  Result<MpiMessage> m = recv_message(src, tag);
+  if (!m.is_ok()) return m.status();
+  return std::move(m.value().payload);
+}
+
+Result<MpiMessage> Comm::recv_message(std::int32_t src, std::int32_t tag) {
+  return fabric_.recv(rank_, src, tag);
+}
+
+Status Comm::barrier() {
+  const std::uint32_t arrive = collective_tag(0);
+  const std::uint32_t release = collective_tag(1);
+  ++collective_seq_;
+
+  if (rank_ == 0) {
+    for (std::uint32_t r = 1; r < size_; ++r) {
+      Result<MpiMessage> m = fabric_.recv(
+          rank_, static_cast<std::int32_t>(r), static_cast<std::int32_t>(arrive));
+      if (!m.is_ok()) return m.status();
+    }
+    for (std::uint32_t r = 1; r < size_; ++r) {
+      PG_RETURN_IF_ERROR(fabric_.send(MpiMessage{rank_, r, release, {}}));
+    }
+    return Status::ok();
+  }
+  PG_RETURN_IF_ERROR(fabric_.send(MpiMessage{rank_, 0, arrive, {}}));
+  Result<MpiMessage> m =
+      fabric_.recv(rank_, 0, static_cast<std::int32_t>(release));
+  return m.status();
+}
+
+Result<Bytes> Comm::broadcast(std::uint32_t root, BytesView data) {
+  if (root >= size_)
+    return error(ErrorCode::kInvalidArgument, "root out of range");
+  const std::uint32_t tag = collective_tag(0);
+  ++collective_seq_;
+
+  // Binomial tree (the classic MPICH algorithm): the root sends to
+  // O(log N) children and every receiver forwards onward, instead of the
+  // root pushing N-1 copies itself. Same total message count, but the
+  // root's egress and the critical path shrink from O(N) to O(log N).
+  const std::uint32_t relative = (rank_ + size_ - root) % size_;
+
+  Bytes payload(data.begin(), data.end());
+  std::uint32_t mask = 1;
+  while (mask < size_) {
+    if (relative & mask) {
+      const std::uint32_t src = (rank_ + size_ - mask) % size_;
+      Result<MpiMessage> m =
+          fabric_.recv(rank_, static_cast<std::int32_t>(src),
+                       static_cast<std::int32_t>(tag));
+      if (!m.is_ok()) return m.status();
+      payload = std::move(m.value().payload);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < size_) {
+      const std::uint32_t dst = (rank_ + mask) % size_;
+      PG_RETURN_IF_ERROR(fabric_.send(MpiMessage{rank_, dst, tag, payload}));
+    }
+    mask >>= 1;
+  }
+  return payload;
+}
+
+namespace {
+double apply_op(double acc, double v, ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return acc + v;
+    case ReduceOp::kMin: return std::min(acc, v);
+    case ReduceOp::kMax: return std::max(acc, v);
+    case ReduceOp::kProd: return acc * v;
+  }
+  return acc;
+}
+}  // namespace
+
+Result<double> Comm::reduce(std::uint32_t root, double value, ReduceOp op) {
+  if (root >= size_)
+    return error(ErrorCode::kInvalidArgument, "root out of range");
+  const std::uint32_t tag = collective_tag(0);
+  ++collective_seq_;
+
+  if (rank_ != root) {
+    PG_RETURN_IF_ERROR(fabric_.send(
+        MpiMessage{rank_, root, tag, pack_double(value)}));
+    return value;  // meaningful at root only
+  }
+
+  double acc = value;
+  for (std::uint32_t r = 0; r < size_; ++r) {
+    if (r == root) continue;
+    Result<MpiMessage> m = fabric_.recv(
+        rank_, static_cast<std::int32_t>(r), static_cast<std::int32_t>(tag));
+    if (!m.is_ok()) return m.status();
+    Result<double> v = unpack_double(m.value().payload);
+    if (!v.is_ok()) return v.status();
+    acc = apply_op(acc, v.value(), op);
+  }
+  return acc;
+}
+
+Result<double> Comm::allreduce(double value, ReduceOp op) {
+  Result<double> reduced = reduce(0, value, op);
+  if (!reduced.is_ok()) return reduced.status();
+  Result<Bytes> spread = broadcast(0, pack_double(reduced.value()));
+  if (!spread.is_ok()) return spread.status();
+  return unpack_double(spread.value());
+}
+
+Result<std::vector<double>> Comm::reduce_vector(
+    std::uint32_t root, const std::vector<double>& values, ReduceOp op) {
+  if (root >= size_)
+    return error(ErrorCode::kInvalidArgument, "root out of range");
+  const std::uint32_t tag = collective_tag(0);
+  ++collective_seq_;
+
+  if (rank_ != root) {
+    PG_RETURN_IF_ERROR(
+        fabric_.send(MpiMessage{rank_, root, tag, pack_doubles(values)}));
+    return values;  // meaningful at root only
+  }
+
+  std::vector<double> acc = values;
+  for (std::uint32_t r = 0; r < size_; ++r) {
+    if (r == root) continue;
+    Result<MpiMessage> m = fabric_.recv(
+        rank_, static_cast<std::int32_t>(r), static_cast<std::int32_t>(tag));
+    if (!m.is_ok()) return m.status();
+    Result<std::vector<double>> contribution =
+        unpack_doubles(m.value().payload);
+    if (!contribution.is_ok()) return contribution.status();
+    if (contribution.value().size() != acc.size())
+      return error(ErrorCode::kInvalidArgument,
+                   "reduce_vector length mismatch across ranks");
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      acc[i] = apply_op(acc[i], contribution.value()[i], op);
+    }
+  }
+  return acc;
+}
+
+Result<std::vector<double>> Comm::allreduce_vector(
+    const std::vector<double>& values, ReduceOp op) {
+  Result<std::vector<double>> reduced = reduce_vector(0, values, op);
+  if (!reduced.is_ok()) return reduced.status();
+  Result<Bytes> spread = broadcast(0, pack_doubles(reduced.value()));
+  if (!spread.is_ok()) return spread.status();
+  return unpack_doubles(spread.value());
+}
+
+Result<std::vector<Bytes>> Comm::gather(std::uint32_t root, BytesView data) {
+  if (root >= size_)
+    return error(ErrorCode::kInvalidArgument, "root out of range");
+  const std::uint32_t tag = collective_tag(0);
+  ++collective_seq_;
+
+  if (rank_ != root) {
+    MpiMessage m;
+    m.src = rank_;
+    m.dst = root;
+    m.tag = tag;
+    m.payload.assign(data.begin(), data.end());
+    PG_RETURN_IF_ERROR(fabric_.send(m));
+    return std::vector<Bytes>{};
+  }
+
+  std::vector<Bytes> out(size_);
+  out[root].assign(data.begin(), data.end());
+  for (std::uint32_t r = 0; r < size_; ++r) {
+    if (r == root) continue;
+    Result<MpiMessage> m = fabric_.recv(
+        rank_, static_cast<std::int32_t>(r), static_cast<std::int32_t>(tag));
+    if (!m.is_ok()) return m.status();
+    out[r] = std::move(m.value().payload);
+  }
+  return out;
+}
+
+Result<Bytes> Comm::scatter(std::uint32_t root,
+                            const std::vector<Bytes>& chunks) {
+  if (root >= size_)
+    return error(ErrorCode::kInvalidArgument, "root out of range");
+  const std::uint32_t tag = collective_tag(0);
+  ++collective_seq_;
+
+  if (rank_ == root) {
+    if (chunks.size() != size_)
+      return error(ErrorCode::kInvalidArgument,
+                   "scatter needs one chunk per rank");
+    for (std::uint32_t r = 0; r < size_; ++r) {
+      if (r == root) continue;
+      PG_RETURN_IF_ERROR(
+          fabric_.send(MpiMessage{rank_, r, tag, chunks[r]}));
+    }
+    return chunks[root];
+  }
+  Result<MpiMessage> m =
+      fabric_.recv(rank_, static_cast<std::int32_t>(root),
+                   static_cast<std::int32_t>(tag));
+  if (!m.is_ok()) return m.status();
+  return std::move(m.value().payload);
+}
+
+Result<std::vector<Bytes>> Comm::allgather(BytesView data) {
+  Result<std::vector<Bytes>> gathered = gather(0, data);
+  if (!gathered.is_ok()) return gathered.status();
+
+  // Root packs the vector and broadcasts it.
+  Bytes packed;
+  if (rank_ == 0) {
+    BufferWriter w;
+    w.put_varint(gathered.value().size());
+    for (const auto& b : gathered.value()) w.put_bytes(b);
+    packed = w.take();
+  }
+  Result<Bytes> spread = broadcast(0, packed);
+  if (!spread.is_ok()) return spread.status();
+
+  BufferReader r(spread.value());
+  std::uint64_t n = 0;
+  PG_RETURN_IF_ERROR(r.get_varint(n));
+  if (n != size_)
+    return error(ErrorCode::kProtocolError, "allgather size mismatch");
+  std::vector<Bytes> out(n);
+  for (auto& b : out) PG_RETURN_IF_ERROR(r.get_bytes(b));
+  PG_RETURN_IF_ERROR(r.expect_end());
+  return out;
+}
+
+Result<std::vector<Bytes>> Comm::alltoall(const std::vector<Bytes>& outgoing) {
+  if (outgoing.size() != size_)
+    return error(ErrorCode::kInvalidArgument,
+                 "alltoall needs one buffer per rank");
+  const std::uint32_t tag = collective_tag(0);
+  ++collective_seq_;
+
+  // Eager sends never block, so send-all-then-receive-all cannot deadlock.
+  for (std::uint32_t r = 0; r < size_; ++r) {
+    if (r == rank_) continue;
+    PG_RETURN_IF_ERROR(fabric_.send(MpiMessage{rank_, r, tag, outgoing[r]}));
+  }
+  std::vector<Bytes> incoming(size_);
+  incoming[rank_] = outgoing[rank_];
+  for (std::uint32_t r = 0; r < size_; ++r) {
+    if (r == rank_) continue;
+    Result<MpiMessage> m = fabric_.recv(
+        rank_, static_cast<std::int32_t>(r), static_cast<std::int32_t>(tag));
+    if (!m.is_ok()) return m.status();
+    incoming[r] = std::move(m.value().payload);
+  }
+  return incoming;
+}
+
+}  // namespace pg::mpi

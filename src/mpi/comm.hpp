@@ -1,0 +1,67 @@
+// MiniMPI communicator: point-to-point messaging plus the standard
+// collectives, implemented over any Fabric.
+//
+// Collectives use reserved tags derived from a per-communicator sequence
+// number; since every rank must call collectives in the same order (the MPI
+// contract), the sequences agree across ranks and instances never collide
+// with each other or with user traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "mpi/fabric.hpp"
+
+namespace pg::mpi {
+
+enum class ReduceOp { kSum, kMin, kMax, kProd };
+
+class Comm {
+ public:
+  Comm(Fabric& fabric, std::uint32_t rank, std::uint32_t size);
+
+  std::uint32_t rank() const { return rank_; }
+  std::uint32_t size() const { return size_; }
+
+  // ---- point-to-point (tags must be < kReservedTagBase)
+  Status send(std::uint32_t dst, std::uint32_t tag, BytesView data);
+  Result<Bytes> recv(std::int32_t src, std::int32_t tag);
+  /// Receive returning the full message (for kAnySource/kAnyTag callers
+  /// that need to know who sent).
+  Result<MpiMessage> recv_message(std::int32_t src, std::int32_t tag);
+
+  // ---- collectives (every rank must participate, in the same order)
+  Status barrier();
+  /// Root's `data` is distributed; every rank (including root) receives it.
+  Result<Bytes> broadcast(std::uint32_t root, BytesView data);
+  /// Result is meaningful at root only.
+  Result<double> reduce(std::uint32_t root, double value, ReduceOp op);
+  Result<double> allreduce(double value, ReduceOp op);
+  /// Element-wise reduction of equal-length vectors (meaningful at root).
+  Result<std::vector<double>> reduce_vector(std::uint32_t root,
+                                            const std::vector<double>& values,
+                                            ReduceOp op);
+  /// Element-wise reduction, result at every rank.
+  Result<std::vector<double>> allreduce_vector(
+      const std::vector<double>& values, ReduceOp op);
+  /// Root receives one entry per rank, in rank order (meaningful at root).
+  Result<std::vector<Bytes>> gather(std::uint32_t root, BytesView data);
+  /// Root provides size() chunks; every rank receives its chunk.
+  Result<Bytes> scatter(std::uint32_t root, const std::vector<Bytes>& chunks);
+  /// Every rank receives every rank's contribution, in rank order.
+  Result<std::vector<Bytes>> allgather(BytesView data);
+  /// outgoing[i] goes to rank i; returns incoming[i] from rank i.
+  Result<std::vector<Bytes>> alltoall(const std::vector<Bytes>& outgoing);
+
+ private:
+  std::uint32_t collective_tag(std::uint32_t phase);
+
+  Fabric& fabric_;
+  std::uint32_t rank_;
+  std::uint32_t size_;
+  std::uint32_t collective_seq_ = 0;
+};
+
+}  // namespace pg::mpi

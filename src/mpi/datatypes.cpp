@@ -1,0 +1,68 @@
+#include "mpi/datatypes.hpp"
+
+#include "common/serde.hpp"
+
+namespace pg::mpi {
+
+Bytes pack_double(double v) {
+  BufferWriter w;
+  w.put_double(v);
+  return w.take();
+}
+
+Result<double> unpack_double(BytesView data) {
+  BufferReader r(data);
+  double v = 0;
+  PG_RETURN_IF_ERROR(r.get_double(v));
+  PG_RETURN_IF_ERROR(r.expect_end());
+  return v;
+}
+
+Bytes pack_doubles(const std::vector<double>& values) {
+  BufferWriter w;
+  w.put_varint(values.size());
+  for (double v : values) w.put_double(v);
+  return w.take();
+}
+
+Result<std::vector<double>> unpack_doubles(BytesView data) {
+  BufferReader r(data);
+  std::uint64_t n = 0;
+  PG_RETURN_IF_ERROR(r.get_varint(n));
+  if (n > data.size() / 8 + 1)
+    return error(ErrorCode::kProtocolError, "double array length lie");
+  std::vector<double> out(n);
+  for (auto& v : out) PG_RETURN_IF_ERROR(r.get_double(v));
+  PG_RETURN_IF_ERROR(r.expect_end());
+  return out;
+}
+
+Bytes pack_u64(std::uint64_t v) {
+  BufferWriter w;
+  w.put_u64(v);
+  return w.take();
+}
+
+Result<std::uint64_t> unpack_u64(BytesView data) {
+  BufferReader r(data);
+  std::uint64_t v = 0;
+  PG_RETURN_IF_ERROR(r.get_u64(v));
+  PG_RETURN_IF_ERROR(r.expect_end());
+  return v;
+}
+
+Bytes pack_string(const std::string& s) {
+  BufferWriter w;
+  w.put_string(s);
+  return w.take();
+}
+
+Result<std::string> unpack_string(BytesView data) {
+  BufferReader r(data);
+  std::string s;
+  PG_RETURN_IF_ERROR(r.get_string(s));
+  PG_RETURN_IF_ERROR(r.expect_end());
+  return s;
+}
+
+}  // namespace pg::mpi

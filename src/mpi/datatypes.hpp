@@ -1,0 +1,25 @@
+// Payload packing helpers — MiniMPI's tiny datatype system.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace pg::mpi {
+
+Bytes pack_double(double v);
+Result<double> unpack_double(BytesView data);
+
+Bytes pack_doubles(const std::vector<double>& values);
+Result<std::vector<double>> unpack_doubles(BytesView data);
+
+Bytes pack_u64(std::uint64_t v);
+Result<std::uint64_t> unpack_u64(BytesView data);
+
+Bytes pack_string(const std::string& s);
+Result<std::string> unpack_string(BytesView data);
+
+}  // namespace pg::mpi

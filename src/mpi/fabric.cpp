@@ -1,0 +1,32 @@
+#include "mpi/fabric.hpp"
+
+namespace pg::mpi {
+
+LocalFabric::LocalFabric(std::uint32_t world_size) {
+  mailboxes_.reserve(world_size);
+  for (std::uint32_t i = 0; i < world_size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+Status LocalFabric::send(const MpiMessage& message) {
+  if (message.dst >= mailboxes_.size())
+    return error(ErrorCode::kInvalidArgument,
+                 "destination rank out of range");
+  routed_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(message.payload.size(), std::memory_order_relaxed);
+  return mailboxes_[message.dst]->deliver(message);
+}
+
+Result<MpiMessage> LocalFabric::recv(std::uint32_t rank, std::int32_t src,
+                                     std::int32_t tag) {
+  if (rank >= mailboxes_.size())
+    return error(ErrorCode::kInvalidArgument, "rank out of range");
+  return mailboxes_[rank]->recv(src, tag);
+}
+
+void LocalFabric::close_all() {
+  for (auto& mailbox : mailboxes_) mailbox->close();
+}
+
+}  // namespace pg::mpi

@@ -1,0 +1,56 @@
+// The fabric is MiniMPI's transport seam — the reason MPI applications run
+// unmodified either inside one cluster (LocalFabric, paper Figure 3a) or
+// across proxied sites (the proxy's multiplexed fabric, Figure 3b).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "mpi/mailbox.hpp"
+#include "mpi/message.hpp"
+
+namespace pg::mpi {
+
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  /// Routes one message toward its destination rank. Never blocks on the
+  /// receiver (MiniMPI models buffered/eager sends, like small-message MPI).
+  virtual Status send(const MpiMessage& message) = 0;
+
+  /// Blocking matched receive for `rank`.
+  virtual Result<MpiMessage> recv(std::uint32_t rank, std::int32_t src,
+                                  std::int32_t tag) = 0;
+
+  virtual std::uint32_t world_size() const = 0;
+};
+
+/// All ranks in one address space: a mailbox per rank, direct delivery —
+/// the plain cluster MPI of paper Figure 3(a).
+class LocalFabric final : public Fabric {
+ public:
+  explicit LocalFabric(std::uint32_t world_size);
+
+  Status send(const MpiMessage& message) override;
+  Result<MpiMessage> recv(std::uint32_t rank, std::int32_t src,
+                          std::int32_t tag) override;
+  std::uint32_t world_size() const override {
+    return static_cast<std::uint32_t>(mailboxes_.size());
+  }
+
+  /// Aborts all pending receives (failure injection / teardown).
+  void close_all();
+
+  /// Messages routed so far (experiment counters).
+  std::uint64_t messages_routed() const { return routed_.load(); }
+  std::uint64_t bytes_routed() const { return bytes_.load(); }
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<std::uint64_t> routed_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace pg::mpi

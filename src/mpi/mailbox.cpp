@@ -1,0 +1,58 @@
+#include "mpi/mailbox.hpp"
+
+namespace pg::mpi {
+
+Status Mailbox::deliver(MpiMessage message) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+      return error(ErrorCode::kUnavailable, "mailbox closed");
+    queue_.push_back(std::move(message));
+  }
+  arrived_.notify_all();
+  return Status::ok();
+}
+
+Result<MpiMessage> Mailbox::recv(std::int32_t src, std::int32_t tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*it, src, tag)) {
+        MpiMessage out = std::move(*it);
+        queue_.erase(it);
+        return out;
+      }
+    }
+    if (closed_)
+      return error(ErrorCode::kUnavailable, "mailbox closed");
+    arrived_.wait(lock);
+  }
+}
+
+Result<MpiMessage> Mailbox::try_recv(std::int32_t src, std::int32_t tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, src, tag)) {
+      MpiMessage out = std::move(*it);
+      queue_.erase(it);
+      return out;
+    }
+  }
+  if (closed_) return error(ErrorCode::kUnavailable, "mailbox closed");
+  return error(ErrorCode::kNotFound, "no matching message");
+}
+
+void Mailbox::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  arrived_.notify_all();
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace pg::mpi

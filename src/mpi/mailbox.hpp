@@ -1,0 +1,44 @@
+// Matching mailbox: the per-rank receive queue with MPI matching semantics
+// (filter by source and tag, wildcards allowed, FIFO within a match).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "common/status.hpp"
+#include "mpi/message.hpp"
+
+namespace pg::mpi {
+
+class Mailbox {
+ public:
+  /// Enqueues a message and wakes matching receivers. Fails after close().
+  Status deliver(MpiMessage message);
+
+  /// Blocks until a message matching (src, tag) arrives (wildcards:
+  /// kAnySource / kAnyTag), then removes and returns the earliest match.
+  Result<MpiMessage> recv(std::int32_t src, std::int32_t tag);
+
+  /// Non-blocking variant: kNotFound when nothing matches right now.
+  Result<MpiMessage> try_recv(std::int32_t src, std::int32_t tag);
+
+  /// Wakes all blocked receivers with kUnavailable and rejects future
+  /// deliveries. Messages already queued are still receivable.
+  void close();
+
+  std::size_t pending() const;
+
+ private:
+  bool matches(const MpiMessage& m, std::int32_t src, std::int32_t tag) const {
+    return (src == kAnySource || m.src == static_cast<std::uint32_t>(src)) &&
+           (tag == kAnyTag || m.tag == static_cast<std::uint32_t>(tag));
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable arrived_;
+  std::deque<MpiMessage> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace pg::mpi

@@ -1,0 +1,25 @@
+// MiniMPI message model.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace pg::mpi {
+
+/// Wildcards for receive matching (MPI_ANY_SOURCE / MPI_ANY_TAG).
+constexpr std::int32_t kAnySource = -1;
+constexpr std::int32_t kAnyTag = -1;
+
+/// Tags at or above this value are reserved for collectives; user tags must
+/// stay below.
+constexpr std::uint32_t kReservedTagBase = 0x4000'0000;
+
+struct MpiMessage {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t tag = 0;
+  Bytes payload;
+};
+
+}  // namespace pg::mpi

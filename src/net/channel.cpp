@@ -1,0 +1,17 @@
+#include "net/channel.hpp"
+
+namespace pg::net {
+
+Status Channel::read_exact(std::uint8_t* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    Result<std::size_t> got = read(buf + done, n - done);
+    if (!got.is_ok()) return got.status();
+    if (got.value() == 0)
+      return error(ErrorCode::kUnavailable, "peer closed mid-message");
+    done += got.value();
+  }
+  return Status::ok();
+}
+
+}  // namespace pg::net

@@ -1,0 +1,54 @@
+// Reliable byte-stream abstraction (paper layer "UDP/TCP").
+//
+// Everything above this line — framing, GSSL, the inter-proxy protocol —
+// only sees a Channel, so the same middleware runs over in-process pipes
+// (tests, benchmarks, the simulated grid) and real TCP sockets (examples).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace pg::net {
+
+/// Traffic counters every channel keeps; experiments read these to attribute
+/// bytes to link classes (intra-site vs inter-site).
+struct ChannelStats {
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> bytes_received{0};
+  std::atomic<std::uint64_t> writes{0};
+  std::atomic<std::uint64_t> reads{0};
+};
+
+/// A bidirectional, reliable, ordered byte stream.
+///
+/// Blocking semantics: read() waits for at least one byte or EOF/close;
+/// write() either accepts the whole buffer or fails. Both ends may be used
+/// from different threads, but each direction must have a single reader and
+/// a single writer.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Reads up to `max` bytes into `buf`. Returns the count read; 0 means
+  /// the peer closed cleanly (EOF).
+  virtual Result<std::size_t> read(std::uint8_t* buf, std::size_t max) = 0;
+
+  /// Writes the whole buffer or returns an error.
+  virtual Status write(BytesView data) = 0;
+
+  /// Closes both directions; concurrent blocked reads wake with EOF.
+  virtual void close() = 0;
+
+  virtual const ChannelStats& stats() const = 0;
+
+  /// Reads exactly n bytes (looping over read); error on early EOF.
+  Status read_exact(std::uint8_t* buf, std::size_t n);
+};
+
+using ChannelPtr = std::unique_ptr<Channel>;
+
+}  // namespace pg::net

@@ -1,0 +1,39 @@
+#include "net/framer.hpp"
+
+#include "common/serde.hpp"
+
+namespace pg::net {
+
+Status write_frame(Channel& channel, BytesView payload) {
+  if (payload.size() > kMaxFrameSize)
+    return error(ErrorCode::kInvalidArgument, "frame too large");
+  BufferWriter w;
+  w.put_u32(static_cast<std::uint32_t>(payload.size()));
+  w.put_raw(payload);
+  return channel.write(w.data());
+}
+
+Result<Bytes> read_frame(Channel& channel) {
+  std::uint8_t header[4];
+  // Distinguish clean EOF (no header bytes at all) from truncation.
+  Result<std::size_t> first = channel.read(header, 4);
+  if (!first.is_ok()) return first.status();
+  if (first.value() == 0) return error(ErrorCode::kUnavailable, "eof");
+  if (first.value() < 4) {
+    PG_RETURN_IF_ERROR(
+        channel.read_exact(header + first.value(), 4 - first.value()));
+  }
+
+  const std::uint32_t len = (static_cast<std::uint32_t>(header[0]) << 24) |
+                            (static_cast<std::uint32_t>(header[1]) << 16) |
+                            (static_cast<std::uint32_t>(header[2]) << 8) |
+                            static_cast<std::uint32_t>(header[3]);
+  if (len > kMaxFrameSize)
+    return error(ErrorCode::kProtocolError, "oversized frame");
+
+  Bytes payload(len);
+  if (len > 0) PG_RETURN_IF_ERROR(channel.read_exact(payload.data(), len));
+  return payload;
+}
+
+}  // namespace pg::net

@@ -1,0 +1,22 @@
+// Length-prefixed message framing over a byte stream.
+//
+// Frame layout: u32 big-endian length, then payload. The maximum frame size
+// bounds memory a malicious peer can make us allocate.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "net/channel.hpp"
+
+namespace pg::net {
+
+constexpr std::size_t kMaxFrameSize = 64 * 1024 * 1024;  // 64 MiB
+
+/// Writes one length-prefixed frame.
+Status write_frame(Channel& channel, BytesView payload);
+
+/// Reads one frame. kUnavailable with message "eof" signals a clean close
+/// at a frame boundary.
+Result<Bytes> read_frame(Channel& channel);
+
+}  // namespace pg::net

@@ -1,0 +1,95 @@
+#include "net/memory_channel.hpp"
+
+#include <memory>
+
+namespace pg::net {
+
+namespace internal {
+
+std::size_t PipeBuffer::read(std::uint8_t* buf, std::size_t max) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  readable_.wait(lock, [this] { return !data_.empty() || closed_; });
+  const std::size_t n = std::min(max, data_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    buf[i] = data_.front();
+    data_.pop_front();
+  }
+  return n;  // 0 only when closed and drained => EOF
+}
+
+void PipeBuffer::write(BytesView data) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    data_.insert(data_.end(), data.begin(), data.end());
+  }
+  readable_.notify_one();
+}
+
+void PipeBuffer::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  readable_.notify_all();
+}
+
+bool PipeBuffer::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace internal
+
+namespace {
+
+class MemoryChannel final : public Channel {
+ public:
+  MemoryChannel(std::shared_ptr<internal::PipeBuffer> incoming,
+                std::shared_ptr<internal::PipeBuffer> outgoing)
+      : incoming_(std::move(incoming)), outgoing_(std::move(outgoing)) {}
+
+  ~MemoryChannel() override { close(); }
+
+  Result<std::size_t> read(std::uint8_t* buf, std::size_t max) override {
+    const std::size_t n = incoming_->read(buf, max);
+    stats_.bytes_received.fetch_add(n, std::memory_order_relaxed);
+    stats_.reads.fetch_add(1, std::memory_order_relaxed);
+    return n;
+  }
+
+  Status write(BytesView data) override {
+    if (outgoing_->closed())
+      return error(ErrorCode::kUnavailable, "channel closed");
+    outgoing_->write(data);
+    stats_.bytes_sent.fetch_add(data.size(), std::memory_order_relaxed);
+    stats_.writes.fetch_add(1, std::memory_order_relaxed);
+    return Status::ok();
+  }
+
+  void close() override {
+    // Closing either end tears down both directions, like TCP RST:
+    // blocked readers on both sides wake with EOF.
+    incoming_->close();
+    outgoing_->close();
+  }
+
+  const ChannelStats& stats() const override { return stats_; }
+
+ private:
+  std::shared_ptr<internal::PipeBuffer> incoming_;
+  std::shared_ptr<internal::PipeBuffer> outgoing_;
+  ChannelStats stats_;
+};
+
+}  // namespace
+
+ChannelPair make_memory_channel_pair() {
+  auto a_to_b = std::make_shared<internal::PipeBuffer>();
+  auto b_to_a = std::make_shared<internal::PipeBuffer>();
+  ChannelPair pair;
+  pair.a = std::make_unique<MemoryChannel>(b_to_a, a_to_b);
+  pair.b = std::make_unique<MemoryChannel>(a_to_b, b_to_a);
+  return pair;
+}
+
+}  // namespace pg::net

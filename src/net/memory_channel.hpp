@@ -1,0 +1,46 @@
+// In-process channel pair backed by two byte queues.
+//
+// This is how the simulated grid wires nodes, proxies and sites together:
+// real threads, real bytes, real crypto — only the physical network is
+// replaced. Deterministic byte accounting makes the overhead experiments
+// (E2/E3/E4) exactly reproducible.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "net/channel.hpp"
+
+namespace pg::net {
+
+/// Creates two connected channel ends. Data written to one end is read from
+/// the other, FIFO, with no size limit (the grid's flow control lives at the
+/// protocol layer, as it did over 2003-era TCP buffers).
+struct ChannelPair {
+  ChannelPtr a;
+  ChannelPtr b;
+};
+ChannelPair make_memory_channel_pair();
+
+namespace internal {
+
+/// One direction of the pipe: a mutex-guarded byte queue.
+class PipeBuffer {
+ public:
+  // Returns false if the pipe is closed and drained.
+  std::size_t read(std::uint8_t* buf, std::size_t max);
+  void write(BytesView data);
+  void close();
+  bool closed() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable readable_;
+  std::deque<std::uint8_t> data_;
+  bool closed_ = false;
+};
+
+}  // namespace internal
+
+}  // namespace pg::net

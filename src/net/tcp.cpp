@@ -1,0 +1,168 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pg::net {
+
+namespace {
+
+Status errno_status(const char* what) {
+  return error(ErrorCode::kUnavailable,
+               std::string(what) + ": " + std::strerror(errno));
+}
+
+class TcpChannel final : public Channel {
+ public:
+  explicit TcpChannel(int fd) : fd_(fd) {}
+  ~TcpChannel() override { close(); }
+
+  Result<std::size_t> read(std::uint8_t* buf, std::size_t max) override {
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, max, 0);
+      if (n >= 0) {
+        stats_.bytes_received.fetch_add(static_cast<std::uint64_t>(n),
+                                        std::memory_order_relaxed);
+        stats_.reads.fetch_add(1, std::memory_order_relaxed);
+        return static_cast<std::size_t>(n);
+      }
+      if (errno == EINTR) continue;
+      return errno_status("recv");
+    }
+  }
+
+  Status write(BytesView data) override {
+    std::size_t done = 0;
+    while (done < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + done, data.size() - done,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return errno_status("send");
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    stats_.bytes_sent.fetch_add(data.size(), std::memory_order_relaxed);
+    stats_.writes.fetch_add(1, std::memory_order_relaxed);
+    return Status::ok();
+  }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  const ChannelStats& stats() const override { return stats_; }
+
+ private:
+  int fd_;
+  ChannelStats stats_;
+};
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Result<ChannelPtr> tcp_connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return error(ErrorCode::kInvalidArgument, "bad IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = errno_status("connect");
+    ::close(fd);
+    return s;
+  }
+  set_nodelay(fd);
+  return ChannelPtr(new TcpChannel(fd));
+}
+
+Result<TcpListener> TcpListener::bind(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket");
+
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = errno_status("bind");
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status s = errno_status("listen");
+    ::close(fd);
+    return s;
+  }
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const Status s = errno_status("getsockname");
+    ::close(fd);
+    return s;
+  }
+  return TcpListener(fd, ntohs(addr.sin_port));
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpListener::~TcpListener() { close(); }
+
+Result<ChannelPtr> TcpListener::accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return ChannelPtr(new TcpChannel(fd));
+    }
+    if (errno == EINTR) continue;
+    return errno_status("accept");
+  }
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    // shutdown() wakes any thread blocked in accept() (plain close() does
+    // not, on Linux); it returns ENOTCONN on listeners, which is fine.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace pg::net

@@ -1,0 +1,30 @@
+#include "proto/dispatcher.hpp"
+
+namespace pg::proto {
+
+Status Dispatcher::register_handler(OpCode op, Handler handler) {
+  auto [it, inserted] = handlers_.emplace(op, std::move(handler));
+  if (!inserted)
+    return error(ErrorCode::kAlreadyExists,
+                 std::string("handler already registered for ") +
+                     opcode_name(op));
+  return Status::ok();
+}
+
+void Dispatcher::set_handler(OpCode op, Handler handler) {
+  handlers_[op] = std::move(handler);
+}
+
+bool Dispatcher::has_handler(OpCode op) const {
+  return handlers_.count(op) > 0;
+}
+
+Status Dispatcher::dispatch(const Envelope& envelope) const {
+  const auto it = handlers_.find(envelope.op);
+  if (it != handlers_.end()) return it->second(envelope);
+  if (fallback_) return fallback_(envelope);
+  return error(ErrorCode::kNotFound,
+               std::string("no handler for op ") + opcode_name(envelope.op));
+}
+
+}  // namespace pg::proto

@@ -1,0 +1,41 @@
+// Op-code dispatch with an open registration API — the mechanism behind the
+// paper's "codes used in this protocol can be expanded" requirement.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "common/status.hpp"
+#include "proto/envelope.hpp"
+
+namespace pg::proto {
+
+/// Routes incoming envelopes to per-op handlers. Extension op codes
+/// (>= kExtensionBase) register exactly like built-ins, so new grid
+/// services slot in without touching the proxy core.
+class Dispatcher {
+ public:
+  /// A handler consumes the envelope and returns a status; protocol errors
+  /// propagate to the connection loop, which reports them to the peer.
+  using Handler = std::function<Status(const Envelope&)>;
+
+  /// Fails with kAlreadyExists if the op already has a handler.
+  Status register_handler(OpCode op, Handler handler);
+
+  /// Replaces or installs unconditionally (used by tests and shims).
+  void set_handler(OpCode op, Handler handler);
+
+  bool has_handler(OpCode op) const;
+
+  /// Invokes the matching handler, or the fallback, or fails kNotFound.
+  Status dispatch(const Envelope& envelope) const;
+
+  /// Called for ops with no registered handler (instead of kNotFound).
+  void set_fallback(Handler handler) { fallback_ = std::move(handler); }
+
+ private:
+  std::map<OpCode, Handler> handlers_;
+  Handler fallback_;
+};
+
+}  // namespace pg::proto

@@ -1,0 +1,66 @@
+#include "proto/envelope.hpp"
+
+#include "common/serde.hpp"
+
+namespace pg::proto {
+
+const char* opcode_name(OpCode op) {
+  switch (op) {
+    case OpCode::kHello: return "hello";
+    case OpCode::kHelloAck: return "hello_ack";
+    case OpCode::kPing: return "ping";
+    case OpCode::kPong: return "pong";
+    case OpCode::kAuthRequest: return "auth_request";
+    case OpCode::kAuthResponse: return "auth_response";
+    case OpCode::kStatusQuery: return "status_query";
+    case OpCode::kStatusReport: return "status_report";
+    case OpCode::kJobSubmit: return "job_submit";
+    case OpCode::kJobAccept: return "job_accept";
+    case OpCode::kJobComplete: return "job_complete";
+    case OpCode::kJobQuery: return "job_query";
+    case OpCode::kMpiOpen: return "mpi_open";
+    case OpCode::kMpiOpenAck: return "mpi_open_ack";
+    case OpCode::kMpiData: return "mpi_data";
+    case OpCode::kMpiClose: return "mpi_close";
+    case OpCode::kMpiStart: return "mpi_start";
+    case OpCode::kMpiDone: return "mpi_done";
+    case OpCode::kTunnelOpen: return "tunnel_open";
+    case OpCode::kTunnelData: return "tunnel_data";
+    case OpCode::kTunnelClose: return "tunnel_close";
+    case OpCode::kReply: return "reply";
+    case OpCode::kError: return "error";
+    case OpCode::kExtensionBase: return "extension";
+  }
+  return static_cast<std::uint16_t>(op) >=
+                 static_cast<std::uint16_t>(OpCode::kExtensionBase)
+             ? "extension"
+             : "unknown";
+}
+
+Bytes Envelope::serialize() const {
+  BufferWriter w;
+  w.put_u8(version);
+  w.put_u16(static_cast<std::uint16_t>(op));
+  w.put_u64(request_id);
+  w.put_bytes(payload);
+  return w.take();
+}
+
+Result<Envelope> Envelope::deserialize(BytesView data) {
+  BufferReader r(data);
+  Envelope env;
+  std::uint16_t op_raw = 0;
+  PG_RETURN_IF_ERROR(r.get_u8(env.version));
+  if (env.version != kProtocolVersion)
+    return error(ErrorCode::kProtocolError,
+                 "unsupported protocol version " +
+                     std::to_string(env.version));
+  PG_RETURN_IF_ERROR(r.get_u16(op_raw));
+  env.op = static_cast<OpCode>(op_raw);
+  PG_RETURN_IF_ERROR(r.get_u64(env.request_id));
+  PG_RETURN_IF_ERROR(r.get_bytes(env.payload));
+  PG_RETURN_IF_ERROR(r.expect_end());
+  return env;
+}
+
+}  // namespace pg::proto

@@ -1,0 +1,80 @@
+// Inter-proxy control protocol: envelope and expandable op-code space
+// (paper §3: "The control communication was standardized through the
+// creation of a protocol used among the proxies. The codes used in this
+// protocol can be expanded to deal with a new situation.")
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace pg::proto {
+
+constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Well-known operation codes. The space is open: proxies route unknown
+/// codes to registered extension handlers (see Dispatcher) instead of
+/// failing, which is how the paper expects the protocol to grow.
+enum class OpCode : std::uint16_t {
+  // Layer 1: membership / liveness
+  kHello = 1,
+  kHelloAck = 2,
+  kPing = 3,
+  kPong = 4,
+
+  // Layer 2: security
+  kAuthRequest = 10,
+  kAuthResponse = 11,
+
+  // Layer 3: control & monitoring
+  kStatusQuery = 20,
+  kStatusReport = 21,
+  kJobSubmit = 30,
+  kJobAccept = 31,
+  kJobComplete = 32,
+  /// Poll a remote batch job's state; answered with kJobComplete.
+  kJobQuery = 33,
+
+  // Layer 4: MPI support
+  kMpiOpen = 40,
+  kMpiOpenAck = 41,
+  kMpiData = 42,
+  kMpiClose = 43,
+  /// Second phase of application launch: sent only after every site acked
+  /// kMpiOpen, so routing tables exist everywhere before any rank runs.
+  kMpiStart = 44,
+  /// Unsolicited completion notice (node -> proxy, remote proxy -> origin).
+  kMpiDone = 45,
+
+  // Tunneling (explicit secure channels for site nodes)
+  kTunnelOpen = 50,
+  kTunnelData = 51,
+  kTunnelClose = 52,
+
+  /// Generic response to an extension request: the payload layout is the
+  /// extension's own. Lets new services get request/response semantics
+  /// without touching the core response set.
+  kReply = 98,
+  kError = 99,
+
+  // Extension codes start here; see Dispatcher::register_handler.
+  kExtensionBase = 1000,
+};
+
+const char* opcode_name(OpCode op);
+
+/// Every control message on the wire: version, op, correlation id, payload.
+struct Envelope {
+  std::uint8_t version = kProtocolVersion;
+  OpCode op = OpCode::kError;
+  /// Correlates responses with requests; 0 for unsolicited messages.
+  std::uint64_t request_id = 0;
+  Bytes payload;
+
+  Bytes serialize() const;
+  static Result<Envelope> deserialize(BytesView data);
+};
+
+}  // namespace pg::proto

@@ -1,0 +1,72 @@
+// Per-application routing table — the proxy's virtual-slave map.
+//
+// Paper §3: "For each MPI application started in the grid, a new address
+// space associated to this application is created in the proxy ... the
+// proxy distributes the processes throughout the grid, creating the virtual
+// slaves and associating them with the real nodes."
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "proto/messages.hpp"
+
+namespace pg::proxy {
+
+struct AppRouting {
+  std::uint64_t app_id = 0;
+  std::string executable;
+  std::uint32_t world_size = 0;
+  std::vector<proto::RankPlacement> placements;
+
+  const proto::RankPlacement* placement_of(std::uint32_t rank) const {
+    for (const auto& p : placements) {
+      if (p.rank == rank) return &p;
+    }
+    return nullptr;
+  }
+
+  /// Sites participating in the application, sorted and deduplicated.
+  std::vector<std::string> sites() const {
+    std::set<std::string> s;
+    for (const auto& p : placements) s.insert(p.site);
+    return {s.begin(), s.end()};
+  }
+
+  std::vector<std::uint32_t> ranks_on_site(const std::string& site) const {
+    std::vector<std::uint32_t> out;
+    for (const auto& p : placements) {
+      if (p.site == site) out.push_back(p.rank);
+    }
+    return out;
+  }
+
+  std::vector<std::uint32_t> ranks_on_node(const std::string& site,
+                                           const std::string& node) const {
+    std::vector<std::uint32_t> out;
+    for (const auto& p : placements) {
+      if (p.site == site && p.node == node) out.push_back(p.rank);
+    }
+    return out;
+  }
+
+  /// Nodes of `site` hosting at least one rank, sorted and deduplicated.
+  std::vector<std::string> nodes_on_site(const std::string& site) const {
+    std::set<std::string> s;
+    for (const auto& p : placements) {
+      if (p.site == site) s.insert(p.node);
+    }
+    return {s.begin(), s.end()};
+  }
+
+  /// Ranks NOT on `site` — the virtual slaves this site's proxy represents.
+  std::size_t virtual_slave_count(const std::string& site) const {
+    return placements.size() - ranks_on_site(site).size();
+  }
+};
+
+}  // namespace pg::proxy

@@ -1,0 +1,165 @@
+#include "proxy/connection.hpp"
+
+#include "common/logging.hpp"
+
+namespace pg::proxy {
+
+bool is_response_op(proto::OpCode op) {
+  switch (op) {
+    case proto::OpCode::kHelloAck:
+    case proto::OpCode::kAuthResponse:
+    case proto::OpCode::kStatusReport:
+    case proto::OpCode::kJobAccept:
+    case proto::OpCode::kJobComplete:
+    case proto::OpCode::kMpiOpenAck:
+    case proto::OpCode::kPong:
+    case proto::OpCode::kTunnelData:
+    case proto::OpCode::kReply:
+    case proto::OpCode::kError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Connection::Connection(std::string peer_name, net::ChannelPtr channel,
+                       tls::MessageLinkPtr link, bool initiator,
+                       EnvelopeHandler handler)
+    : peer_name_(std::move(peer_name)),
+      channel_(std::move(channel)),
+      link_(std::move(link)),
+      handler_(std::move(handler)),
+      next_id_(initiator ? 1 : 2) {}
+
+Connection::~Connection() { close(); }
+
+void Connection::start() {
+  bool expected = false;
+  if (started_.compare_exchange_strong(expected, true)) {
+    reader_ = std::thread([this] { reader_loop(); });
+  }
+}
+
+Status Connection::send_envelope(const proto::Envelope& envelope) {
+  if (!alive_.load(std::memory_order_acquire))
+    return error(ErrorCode::kUnavailable,
+                 "connection to " + peer_name_ + " is down");
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  return link_->send(envelope.serialize());
+}
+
+Status Connection::notify(proto::OpCode op, BytesView payload,
+                          std::uint64_t request_id) {
+  proto::Envelope envelope;
+  envelope.op = op;
+  envelope.request_id = request_id;
+  envelope.payload.assign(payload.begin(), payload.end());
+  return send_envelope(envelope);
+}
+
+Result<proto::Envelope> Connection::call(proto::OpCode op, BytesView payload,
+                                         TimeMicros timeout) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    id = next_id_;
+    next_id_ += 2;
+    pending_[id];  // create empty slot
+  }
+
+  proto::Envelope envelope;
+  envelope.op = op;
+  envelope.request_id = id;
+  envelope.payload.assign(payload.begin(), payload.end());
+  const Status sent = send_envelope(envelope);
+  if (!sent.is_ok()) {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.erase(id);
+    return sent;
+  }
+
+  std::unique_lock<std::mutex> lock(pending_mutex_);
+  const bool done = pending_cv_.wait_for(
+      lock, std::chrono::microseconds(timeout), [this, id] {
+        const auto it = pending_.find(id);
+        return it == pending_.end() || it->second.response.has_value() ||
+               it->second.failed;
+      });
+
+  const auto it = pending_.find(id);
+  if (it == pending_.end())
+    return error(ErrorCode::kInternal, "pending call slot vanished");
+  PendingCall slot = std::move(it->second);
+  pending_.erase(it);
+
+  if (slot.response.has_value()) return std::move(*slot.response);
+  if (slot.failed || !alive_.load(std::memory_order_acquire))
+    return error(ErrorCode::kUnavailable,
+                 "connection to " + peer_name_ + " failed mid-call");
+  (void)done;
+  return error(ErrorCode::kDeadlineExceeded,
+               "call to " + peer_name_ + " timed out");
+}
+
+Status Connection::respond(const proto::Envelope& request, proto::OpCode op,
+                           BytesView payload) {
+  return notify(op, payload, request.request_id);
+}
+
+void Connection::reader_loop() {
+  for (;;) {
+    Result<Bytes> frame = link_->recv();
+    if (!frame.is_ok()) break;
+
+    Result<proto::Envelope> envelope =
+        proto::Envelope::deserialize(frame.value());
+    if (!envelope.is_ok()) {
+      PG_WARN << "dropping malformed envelope from " << peer_name_ << ": "
+              << envelope.status().to_string();
+      continue;
+    }
+
+    const proto::Envelope& env = envelope.value();
+    if (env.request_id != 0 && is_response_op(env.op)) {
+      std::unique_lock<std::mutex> lock(pending_mutex_);
+      const auto it = pending_.find(env.request_id);
+      if (it != pending_.end()) {
+        it->second.response = env;
+        lock.unlock();
+        pending_cv_.notify_all();
+        continue;
+      }
+      // Not one of ours: ops like kTunnelData travel both as requests and
+      // as responses, so an unmatched id means this is an incoming request
+      // (id parity keeps the two directions' ids disjoint). Fall through.
+    }
+    handler_(env, *this);
+  }
+
+  // Link is gone: fail everything that is still waiting.
+  alive_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    for (auto& [id, slot] : pending_) slot.failed = true;
+  }
+  pending_cv_.notify_all();
+}
+
+void Connection::close() {
+  alive_.store(false, std::memory_order_release);
+  link_->close();
+  if (reader_.joinable()) {
+    if (reader_.get_id() == std::this_thread::get_id()) {
+      reader_.detach();  // close() called from our own handler
+    } else {
+      reader_.join();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    for (auto& [id, slot] : pending_) slot.failed = true;
+  }
+  pending_cv_.notify_all();
+}
+
+}  // namespace pg::proxy

@@ -1,0 +1,98 @@
+// Connection: one control-protocol endpoint over a MessageLink, with a
+// reader thread and request/response correlation.
+//
+// Used for both connection kinds in the architecture: proxy <-> proxy
+// (GSSL tunnels between sites) and proxy <-> node (plaintext by default,
+// GSSL when the deployment or an explicit request demands it).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "net/channel.hpp"
+#include "proto/envelope.hpp"
+#include "tls/link.hpp"
+
+namespace pg::proxy {
+
+/// Ops that only ever travel as responses to a call().
+bool is_response_op(proto::OpCode op);
+
+class Connection {
+ public:
+  /// Invoked on the reader thread for every envelope that is not a response
+  /// to a pending call. Must be thread-safe.
+  using EnvelopeHandler =
+      std::function<void(const proto::Envelope&, Connection&)>;
+
+  /// `initiator` selects the request-id parity (odd for the connecting
+  /// side, even for the accepting side) so ids never collide between the
+  /// two directions of one connection.
+  Connection(std::string peer_name, net::ChannelPtr channel,
+             tls::MessageLinkPtr link, bool initiator,
+             EnvelopeHandler handler);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Starts the reader thread. Call once, after construction.
+  void start();
+
+  /// Fire-and-forget envelope (request_id = 0 unless specified).
+  Status notify(proto::OpCode op, BytesView payload,
+                std::uint64_t request_id = 0);
+
+  /// Request/response round trip. Fails kDeadlineExceeded after `timeout`,
+  /// kUnavailable if the connection dies first.
+  Result<proto::Envelope> call(proto::OpCode op, BytesView payload,
+                               TimeMicros timeout = 30 * kMicrosPerSecond);
+
+  /// Sends a response correlated with `request`.
+  Status respond(const proto::Envelope& request, proto::OpCode op,
+                 BytesView payload);
+
+  /// Closes the link, fails pending calls, joins the reader.
+  void close();
+
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+  const std::string& peer_name() const { return peer_name_; }
+  bool is_encrypted() const { return link_->is_encrypted(); }
+  tls::LinkStats link_stats() const { return link_->stats(); }
+
+ private:
+  void reader_loop();
+  Status send_envelope(const proto::Envelope& envelope);
+
+  std::string peer_name_;
+  net::ChannelPtr channel_;  // owned; link_ references it
+  tls::MessageLinkPtr link_;
+  EnvelopeHandler handler_;
+  std::thread reader_;
+  std::atomic<bool> alive_{true};
+  std::atomic<bool> started_{false};
+
+  std::mutex send_mutex_;
+
+  // Pending calls: id -> slot the reader fills.
+  struct PendingCall {
+    std::optional<proto::Envelope> response;
+    bool failed = false;
+  };
+  std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;
+  std::map<std::uint64_t, PendingCall> pending_;
+  std::uint64_t next_id_;  // steps by 2; parity from `initiator`
+};
+
+using ConnectionPtr = std::unique_ptr<Connection>;
+
+}  // namespace pg::proxy

@@ -1,0 +1,118 @@
+#include "proxy/job_manager.hpp"
+
+namespace pg::proxy {
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kPending: return "pending";
+    case JobState::kRunning: return "running";
+    case JobState::kSucceeded: return "succeeded";
+    case JobState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+std::uint64_t JobManager::submit(const std::string& user,
+                                 const std::string& executable,
+                                 std::uint32_t ranks, sched::Policy policy,
+                                 Runner runner) {
+  JobRecord record;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    record.job_id = next_id_++;
+    record.user = user;
+    record.executable = executable;
+    record.ranks = ranks;
+    record.policy = policy;
+    record.state = JobState::kPending;
+    record.submitted_at = clock_.now();
+    jobs_[record.job_id] = record;
+  }
+  const std::uint64_t job_id = record.job_id;
+
+  const bool queued = pool_.submit([this, job_id, runner = std::move(runner)] {
+    JobRecord snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      JobRecord& job = jobs_[job_id];
+      job.state = JobState::kRunning;
+      job.started_at = clock_.now();
+      snapshot = job;
+    }
+    changed_.notify_all();
+
+    const RunOutcome outcome = runner(snapshot);
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      JobRecord& job = jobs_[job_id];
+      job.state =
+          outcome.status.is_ok() ? JobState::kSucceeded : JobState::kFailed;
+      job.outcome = outcome.status;
+      job.placements = outcome.placements;
+      job.finished_at = clock_.now();
+    }
+    changed_.notify_all();
+  });
+
+  if (!queued) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    JobRecord& job = jobs_[job_id];
+    job.state = JobState::kFailed;
+    job.outcome = error(ErrorCode::kUnavailable, "proxy shutting down");
+    job.finished_at = clock_.now();
+  }
+  return job_id;
+}
+
+Result<JobRecord> JobManager::info(std::uint64_t job_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end())
+    return error(ErrorCode::kNotFound,
+                 "no job " + std::to_string(job_id));
+  return it->second;
+}
+
+Result<JobRecord> JobManager::wait(std::uint64_t job_id,
+                                   TimeMicros timeout) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end())
+    return error(ErrorCode::kNotFound,
+                 "no job " + std::to_string(job_id));
+
+  const bool terminal = changed_.wait_for(
+      lock, std::chrono::microseconds(timeout), [this, job_id] {
+        const auto job = jobs_.find(job_id);
+        return job != jobs_.end() &&
+               (job->second.state == JobState::kSucceeded ||
+                job->second.state == JobState::kFailed);
+      });
+  if (!terminal)
+    return error(ErrorCode::kDeadlineExceeded,
+                 "job " + std::to_string(job_id) + " still running");
+  return jobs_.at(job_id);
+}
+
+std::vector<JobRecord> JobManager::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobRecord> out;
+  out.reserve(jobs_.size());
+  for (auto it = jobs_.rbegin(); it != jobs_.rend(); ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::size_t JobManager::active_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t active = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::kPending || job.state == JobState::kRunning)
+      ++active;
+  }
+  return active;
+}
+
+}  // namespace pg::proxy

@@ -1,0 +1,80 @@
+// Asynchronous batch-job management (paper layer 3 "Resource scheduling" +
+// the job control the Grid API exposes).
+//
+// submit() returns immediately with a job id; a worker from the proxy's
+// thread pool executes the job (scheduling + MPI launch) and records the
+// outcome. Clients poll info() or block in wait() — the usual batch-queue
+// interface 2003-era grid users expected.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "common/thread_pool.hpp"
+#include "proto/messages.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pg::proxy {
+
+enum class JobState { kPending, kRunning, kSucceeded, kFailed };
+
+const char* job_state_name(JobState state);
+
+struct JobRecord {
+  std::uint64_t job_id = 0;
+  std::string user;
+  std::string executable;
+  std::uint32_t ranks = 0;
+  sched::Policy policy = sched::Policy::kLoadBalanced;
+  JobState state = JobState::kPending;
+  Status outcome;
+  std::vector<proto::RankPlacement> placements;
+  TimeMicros submitted_at = 0;
+  TimeMicros started_at = 0;
+  TimeMicros finished_at = 0;
+};
+
+class JobManager {
+ public:
+  /// Executes one job; returns its outcome and placements. Runs on a pool
+  /// worker.
+  struct RunOutcome {
+    Status status;
+    std::vector<proto::RankPlacement> placements;
+  };
+  using Runner = std::function<RunOutcome(const JobRecord&)>;
+
+  JobManager(ThreadPool& pool, const Clock& clock)
+      : pool_(pool), clock_(clock) {}
+
+  /// Enqueues a job; returns its id immediately.
+  std::uint64_t submit(const std::string& user, const std::string& executable,
+                       std::uint32_t ranks, sched::Policy policy,
+                       Runner runner);
+
+  Result<JobRecord> info(std::uint64_t job_id) const;
+
+  /// Blocks until the job reaches a terminal state or `timeout` passes.
+  Result<JobRecord> wait(std::uint64_t job_id, TimeMicros timeout) const;
+
+  /// All jobs, newest first.
+  std::vector<JobRecord> list() const;
+
+  std::size_t active_count() const;
+
+ private:
+  ThreadPool& pool_;
+  const Clock& clock_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable changed_;
+  std::map<std::uint64_t, JobRecord> jobs_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace pg::proxy

@@ -1,0 +1,34 @@
+// Proxy counters read by the experiment harnesses.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tls/link.hpp"
+
+namespace pg::proxy {
+
+struct ProxyMetrics {
+  std::uint64_t control_calls_sent = 0;      // inter-proxy request/response
+  std::uint64_t control_notifies_sent = 0;   // inter-proxy one-way
+  std::uint64_t mpi_messages_local = 0;      // routed within the site
+  std::uint64_t mpi_messages_remote = 0;     // routed across sites
+  std::uint64_t mpi_bytes_local = 0;
+  std::uint64_t mpi_bytes_remote = 0;
+  std::uint64_t handshakes = 0;              // GSSL handshakes completed
+  std::uint64_t logins = 0;
+  std::uint64_t apps_run = 0;
+  std::uint64_t tunnels_relayed = 0;
+};
+
+/// One row per connection the proxy holds.
+struct LinkReport {
+  std::string peer;          // site name or node name
+  bool inter_site = false;   // proxy<->proxy (true) vs proxy<->node (false)
+  bool encrypted = false;
+  tls::LinkStats stats;
+};
+
+}  // namespace pg::proxy

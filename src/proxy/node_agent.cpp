@@ -1,0 +1,385 @@
+#include "proxy/node_agent.hpp"
+
+#include "common/logging.hpp"
+#include "common/serde.hpp"
+#include "mpi/mailbox.hpp"
+
+namespace pg::proxy {
+
+// ---------------------------------------------------------------- App
+
+struct NodeAgent::App {
+  AppRouting routing;
+  std::vector<std::uint32_t> local_ranks;  // ranks hosted on this node
+  std::map<std::uint32_t, std::unique_ptr<mpi::Mailbox>> mailboxes;
+  std::unique_ptr<AppFabric> fabric;
+  std::thread runner;
+  bool started = false;
+};
+
+class NodeAgent::AppFabric final : public mpi::Fabric {
+ public:
+  AppFabric(NodeAgent& agent, std::uint64_t app_id, std::uint32_t world_size)
+      : agent_(agent), app_id_(app_id), world_size_(world_size) {}
+
+  Status send(const mpi::MpiMessage& message) override {
+    return agent_.fabric_send(app_id_, message);
+  }
+
+  Result<mpi::MpiMessage> recv(std::uint32_t rank, std::int32_t src,
+                               std::int32_t tag) override {
+    mpi::Mailbox* mailbox = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(agent_.apps_mutex_);
+      const auto it = agent_.apps_.find(app_id_);
+      if (it == agent_.apps_.end())
+        return error(ErrorCode::kNotFound, "application torn down");
+      const auto mb = it->second->mailboxes.find(rank);
+      if (mb == it->second->mailboxes.end())
+        return error(ErrorCode::kInvalidArgument,
+                     "rank not hosted on this node");
+      mailbox = mb->second.get();
+    }
+    // Mailbox outlives this call: apps are only erased after their runner
+    // thread (the only caller) has finished.
+    return mailbox->recv(src, tag);
+  }
+
+  std::uint32_t world_size() const override { return world_size_; }
+
+ private:
+  NodeAgent& agent_;
+  std::uint64_t app_id_;
+  std::uint32_t world_size_;
+};
+
+// ------------------------------------------------------------- lifecycle
+
+NodeAgent::NodeAgent(NodeAgentConfig config) : config_(std::move(config)) {}
+
+Result<std::unique_ptr<NodeAgent>> NodeAgent::create(NodeAgentConfig config,
+                                                     net::ChannelPtr channel) {
+  std::unique_ptr<NodeAgent> agent(new NodeAgent(std::move(config)));
+
+  tls::MessageLinkPtr link;
+  if (agent->config_.encrypted) {
+    if (agent->config_.clock == nullptr)
+      return error(ErrorCode::kInvalidArgument,
+                   "encrypted node link needs a clock");
+    Rng rng(agent->config_.rng_seed);
+    Result<tls::GsslSessionPtr> session = tls::gssl_client_handshake(
+        *channel, agent->config_.gssl, *agent->config_.clock, rng);
+    if (!session.is_ok()) return session.status();
+    link = tls::make_secure_link(session.take());
+  } else {
+    link = tls::make_plain_link(*channel);
+  }
+
+  NodeAgent* raw = agent.get();
+  agent->connection_ = std::make_unique<Connection>(
+      "proxy." + agent->config_.site, std::move(channel), std::move(link),
+      /*initiator=*/true,
+      [raw](const proto::Envelope& env, Connection& conn) {
+        raw->handle(env, conn);
+      });
+  agent->connection_->start();
+  return agent;
+}
+
+NodeAgent::~NodeAgent() { shutdown(); }
+
+void NodeAgent::shutdown() {
+  // Wake any rank blocked in recv, then join runners.
+  std::map<std::uint64_t, std::unique_ptr<App>> apps;
+  {
+    std::lock_guard<std::mutex> lock(apps_mutex_);
+    apps.swap(apps_);
+  }
+  for (auto& [id, app] : apps) {
+    for (auto& [rank, mailbox] : app->mailboxes) mailbox->close();
+    if (app->runner.joinable()) app->runner.join();
+  }
+  if (connection_) connection_->close();
+}
+
+// ------------------------------------------------------------ dispatch
+
+void NodeAgent::handle(const proto::Envelope& envelope, Connection& conn) {
+  switch (envelope.op) {
+    case proto::OpCode::kMpiOpen:
+      handle_mpi_open(envelope, conn);
+      return;
+    case proto::OpCode::kMpiStart:
+      handle_mpi_start(envelope);
+      return;
+    case proto::OpCode::kMpiData:
+      handle_mpi_data(envelope);
+      return;
+    case proto::OpCode::kMpiClose:
+      handle_mpi_close(envelope);
+      return;
+    case proto::OpCode::kTunnelOpen:
+      handle_tunnel_open(envelope, conn);
+      return;
+    case proto::OpCode::kTunnelData:
+      handle_tunnel_data(envelope, conn);
+      return;
+    case proto::OpCode::kTunnelClose:
+      handle_tunnel_close(envelope);
+      return;
+    case proto::OpCode::kPing:
+      (void)conn.respond(envelope, proto::OpCode::kPong, {});
+      return;
+    default:
+      PG_WARN << "node " << config_.node_name << ": unexpected op "
+              << proto::opcode_name(envelope.op);
+  }
+}
+
+void NodeAgent::handle_mpi_open(const proto::Envelope& envelope,
+                                Connection& conn) {
+  Result<proto::MpiOpen> open = proto::MpiOpen::parse(envelope.payload);
+  proto::MpiOpenAck ack;
+  if (!open.is_ok()) {
+    ack.ok = false;
+    ack.reason = open.status().to_string();
+    (void)conn.respond(envelope, proto::OpCode::kMpiOpenAck, ack.serialize());
+    return;
+  }
+  ack.app_id = open.value().app_id;
+
+  if (!mpi::AppRegistry::instance().has_app(open.value().executable)) {
+    ack.ok = false;
+    ack.reason = "executable not installed: " + open.value().executable;
+    (void)conn.respond(envelope, proto::OpCode::kMpiOpenAck, ack.serialize());
+    return;
+  }
+
+  auto app = std::make_unique<App>();
+  app->routing.app_id = open.value().app_id;
+  app->routing.executable = open.value().executable;
+  app->routing.world_size = open.value().world_size;
+  app->routing.placements = open.value().placements;
+  app->local_ranks =
+      app->routing.ranks_on_node(config_.site, config_.node_name);
+  for (std::uint32_t rank : app->local_ranks) {
+    app->mailboxes.emplace(rank, std::make_unique<mpi::Mailbox>());
+  }
+  app->fabric = std::make_unique<AppFabric>(*this, app->routing.app_id,
+                                            app->routing.world_size);
+
+  {
+    std::lock_guard<std::mutex> lock(apps_mutex_);
+    apps_[app->routing.app_id] = std::move(app);
+  }
+  ack.ok = true;
+  (void)conn.respond(envelope, proto::OpCode::kMpiOpenAck, ack.serialize());
+}
+
+void NodeAgent::handle_mpi_start(const proto::Envelope& envelope) {
+  Result<proto::MpiClose> start = proto::MpiClose::parse(envelope.payload);
+  if (!start.is_ok()) return;
+  const std::uint64_t app_id = start.value().app_id;
+
+  std::lock_guard<std::mutex> lock(apps_mutex_);
+  const auto it = apps_.find(app_id);
+  if (it == apps_.end() || it->second->started) return;
+  App* app = it->second.get();
+  app->started = true;
+
+  app->runner = std::thread([this, app, app_id] {
+    Result<mpi::AppFn> fn =
+        mpi::AppRegistry::instance().lookup(app->routing.executable);
+    std::uint32_t exit_code = 0;
+    if (!fn.is_ok()) {
+      exit_code = 127;
+    } else {
+      const mpi::RunReport report =
+          mpi::run_ranks(*app->fabric, fn.value(), app->local_ranks,
+                         app->routing.world_size);
+      exit_code = report.status.is_ok() ? 0 : 1;
+    }
+    proto::JobComplete done;
+    done.job_id = app_id;
+    done.exit_code = exit_code;
+    done.output = to_bytes(config_.node_name);  // which node finished
+    (void)connection_->notify(proto::OpCode::kMpiDone, done.serialize());
+  });
+}
+
+void NodeAgent::handle_mpi_data(const proto::Envelope& envelope) {
+  Result<proto::MpiData> data = proto::MpiData::parse(envelope.payload);
+  if (!data.is_ok()) {
+    PG_WARN << "node " << config_.node_name << ": bad MpiData";
+    return;
+  }
+  std::lock_guard<std::mutex> lock(apps_mutex_);
+  const auto it = apps_.find(data.value().app_id);
+  if (it == apps_.end()) {
+    PG_WARN << "node " << config_.node_name << ": MpiData for unknown app "
+            << data.value().app_id;
+    return;
+  }
+  const auto mb = it->second->mailboxes.find(data.value().dst_rank);
+  if (mb == it->second->mailboxes.end()) {
+    PG_WARN << "node " << config_.node_name << ": MpiData for foreign rank "
+            << data.value().dst_rank;
+    return;
+  }
+  mpi::MpiMessage message;
+  message.src = data.value().src_rank;
+  message.dst = data.value().dst_rank;
+  message.tag = data.value().tag;
+  message.payload = std::move(data.value().payload);
+  (void)mb->second->deliver(std::move(message));
+}
+
+void NodeAgent::handle_mpi_close(const proto::Envelope& envelope) {
+  Result<proto::MpiClose> close_msg = proto::MpiClose::parse(envelope.payload);
+  if (!close_msg.is_ok()) return;
+
+  std::unique_ptr<App> app;
+  {
+    std::lock_guard<std::mutex> lock(apps_mutex_);
+    const auto it = apps_.find(close_msg.value().app_id);
+    if (it == apps_.end()) return;
+    app = std::move(it->second);
+    apps_.erase(it);
+  }
+  for (auto& [rank, mailbox] : app->mailboxes) mailbox->close();
+  if (app->runner.joinable()) app->runner.join();
+}
+
+// -------------------------------------------------------------- tunnels
+
+void NodeAgent::handle_tunnel_open(const proto::Envelope& envelope,
+                                   Connection& conn) {
+  Result<proto::TunnelOpen> open = proto::TunnelOpen::parse(envelope.payload);
+  if (!open.is_ok()) {
+    (void)conn.respond(envelope, proto::OpCode::kError,
+                       proto::ErrorMessage{0, "bad tunnel open"}.serialize());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(services_mutex_);
+    if (services_.count(open.value().target_service) == 0) {
+      proto::ErrorMessage err{
+          static_cast<std::uint16_t>(ErrorCode::kNotFound),
+          "no service " + open.value().target_service + " on " +
+              config_.node_name};
+      (void)conn.respond(envelope, proto::OpCode::kError, err.serialize());
+      return;
+    }
+    open_tunnels_[open.value().tunnel_id] = open.value().target_service;
+  }
+  (void)conn.respond(envelope, proto::OpCode::kTunnelData,
+                     proto::TunnelData{open.value().tunnel_id, {}}.serialize());
+}
+
+void NodeAgent::handle_tunnel_data(const proto::Envelope& envelope,
+                                   Connection& conn) {
+  Result<proto::TunnelData> data = proto::TunnelData::parse(envelope.payload);
+  if (!data.is_ok()) return;
+
+  ServiceHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(services_mutex_);
+    const auto tunnel = open_tunnels_.find(data.value().tunnel_id);
+    if (tunnel == open_tunnels_.end()) {
+      proto::ErrorMessage err{
+          static_cast<std::uint16_t>(ErrorCode::kNotFound),
+          "unknown tunnel"};
+      (void)conn.respond(envelope, proto::OpCode::kError, err.serialize());
+      return;
+    }
+    handler = services_[tunnel->second];
+  }
+  const Bytes response = handler(data.value().payload);
+  (void)conn.respond(
+      envelope, proto::OpCode::kTunnelData,
+      proto::TunnelData{data.value().tunnel_id, response}.serialize());
+}
+
+void NodeAgent::handle_tunnel_close(const proto::Envelope& envelope) {
+  Result<proto::TunnelClose> close_msg =
+      proto::TunnelClose::parse(envelope.payload);
+  if (!close_msg.is_ok()) return;
+  std::lock_guard<std::mutex> lock(services_mutex_);
+  open_tunnels_.erase(close_msg.value().tunnel_id);
+}
+
+// ---------------------------------------------------------------- sends
+
+Status NodeAgent::fabric_send(std::uint64_t app_id,
+                              const mpi::MpiMessage& message) {
+  // Same-node delivery goes straight to the local mailbox (real MPI uses
+  // shared memory for this); everything else goes up to the proxy.
+  {
+    std::lock_guard<std::mutex> lock(apps_mutex_);
+    const auto it = apps_.find(app_id);
+    if (it == apps_.end())
+      return error(ErrorCode::kNotFound, "application torn down");
+    const auto mb = it->second->mailboxes.find(message.dst);
+    if (mb != it->second->mailboxes.end()) {
+      return mb->second->deliver(message);
+    }
+  }
+
+  proto::MpiData data;
+  data.app_id = app_id;
+  data.src_rank = message.src;
+  data.dst_rank = message.dst;
+  data.tag = message.tag;
+  data.payload = message.payload;
+  return connection_->notify(proto::OpCode::kMpiData, data.serialize());
+}
+
+// -------------------------------------------------------------- services
+
+void NodeAgent::register_service(const std::string& service,
+                                 ServiceHandler handler) {
+  std::lock_guard<std::mutex> lock(services_mutex_);
+  services_[service] = std::move(handler);
+}
+
+Result<Bytes> NodeAgent::call_service(const std::string& site,
+                                      const std::string& node,
+                                      const std::string& service,
+                                      BytesView request, TimeMicros timeout) {
+  const std::uint64_t tunnel_id =
+      next_tunnel_id_.fetch_add(1, std::memory_order_relaxed);
+
+  proto::TunnelOpen open{tunnel_id, site, node, service};
+  Result<proto::Envelope> open_ack =
+      connection_->call(proto::OpCode::kTunnelOpen, open.serialize(), timeout);
+  if (!open_ack.is_ok()) return open_ack.status();
+  if (open_ack.value().op == proto::OpCode::kError) {
+    Result<proto::ErrorMessage> err =
+        proto::ErrorMessage::parse(open_ack.value().payload);
+    return error(ErrorCode::kUnavailable,
+                 err.is_ok() ? err.value().message : "tunnel open failed");
+  }
+
+  proto::TunnelData data{tunnel_id, Bytes(request.begin(), request.end())};
+  Result<proto::Envelope> reply =
+      connection_->call(proto::OpCode::kTunnelData, data.serialize(), timeout);
+  (void)connection_->notify(proto::OpCode::kTunnelClose,
+                            proto::TunnelClose{tunnel_id}.serialize());
+  if (!reply.is_ok()) return reply.status();
+  if (reply.value().op == proto::OpCode::kError) {
+    Result<proto::ErrorMessage> err =
+        proto::ErrorMessage::parse(reply.value().payload);
+    return error(ErrorCode::kUnavailable,
+                 err.is_ok() ? err.value().message : "tunnel call failed");
+  }
+  Result<proto::TunnelData> response =
+      proto::TunnelData::parse(reply.value().payload);
+  if (!response.is_ok()) return response.status();
+  return std::move(response.value().payload);
+}
+
+Status NodeAgent::ping(TimeMicros timeout) {
+  return connection_->call(proto::OpCode::kPing, {}, timeout).status();
+}
+
+}  // namespace pg::proxy

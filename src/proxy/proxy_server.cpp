@@ -1,0 +1,1184 @@
+#include "proxy/proxy_server.hpp"
+
+#include <functional>
+
+#include "common/logging.hpp"
+#include "common/serde.hpp"
+
+namespace pg::proxy {
+
+namespace {
+/// Per-rank RAM accounting charge (MB) while an application runs.
+constexpr std::uint64_t kRankRamMb = 64;
+
+std::uint64_t site_salt(const std::string& site) {
+  // Distinct app-id spaces per origin proxy so ids never collide grid-wide.
+  return static_cast<std::uint64_t>(std::hash<std::string>{}(site) & 0xffff)
+         << 48;
+}
+}  // namespace
+
+ProxyServer::ProxyServer(ProxyConfig config)
+    : config_(std::move(config)),
+      authenticator_(config_.site, config_.ticket_key,
+                     config_.ticket_lifetime),
+      collector_(config_.site),
+      rng_(config_.rng_seed),
+      next_app_id_(site_salt(config_.site) + 1),
+      job_manager_(workers_, *config_.clock) {}
+
+ProxyServer::~ProxyServer() { shutdown(); }
+
+tls::GsslConfig ProxyServer::gssl_config(
+    const std::string& expected_peer) const {
+  return tls::GsslConfig{config_.identity, config_.ca_name, config_.ca_key,
+                         expected_peer};
+}
+
+// ------------------------------------------------------------ composition
+
+void ProxyServer::add_node_stats(monitor::NodeStatsSourcePtr source) {
+  collector_.add_node(std::move(source));
+}
+
+Status ProxyServer::attach_node(const std::string& node_name,
+                                net::ChannelPtr channel,
+                                bool force_encrypted) {
+  const bool encrypted =
+      force_encrypted || config_.mode == SecurityMode::kPerNodeSecurity;
+
+  tls::MessageLinkPtr link;
+  if (encrypted) {
+    Rng handshake_rng = [this] {
+      std::lock_guard<std::mutex> lock(rng_mutex_);
+      return Rng(rng_.next_u64());
+    }();
+    Result<tls::GsslSessionPtr> session = tls::gssl_server_handshake(
+        *channel, gssl_config(""), *config_.clock, handshake_rng);
+    if (!session.is_ok()) return session.status();
+    link = tls::make_secure_link(session.take());
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      ++metrics_.handshakes;
+    }
+  } else {
+    link = tls::make_plain_link(*channel);
+  }
+
+  auto conn = std::make_unique<Connection>(
+      node_name, std::move(channel), std::move(link), /*initiator=*/false,
+      [this, node_name](const proto::Envelope& env, Connection& c) {
+        handle_node(node_name, env, c);
+      });
+  Connection* raw = conn.get();
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    if (nodes_.count(node_name) > 0)
+      return error(ErrorCode::kAlreadyExists,
+                   "node already attached: " + node_name);
+    nodes_[node_name] = std::move(conn);
+  }
+  raw->start();
+  return Status::ok();
+}
+
+Status ProxyServer::connect_peer(const std::string& peer_site,
+                                 net::ChannelPtr channel, bool initiate) {
+  Rng handshake_rng = [this] {
+    std::lock_guard<std::mutex> lock(rng_mutex_);
+    return Rng(rng_.next_u64());
+  }();
+
+  const std::string expected_subject = "proxy." + peer_site;
+  Result<tls::GsslSessionPtr> session =
+      initiate ? tls::gssl_client_handshake(*channel,
+                                            gssl_config(expected_subject),
+                                            *config_.clock, handshake_rng)
+               : tls::gssl_server_handshake(*channel,
+                                            gssl_config(expected_subject),
+                                            *config_.clock, handshake_rng);
+  if (!session.is_ok()) return session.status();
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++metrics_.handshakes;
+  }
+
+  auto conn = std::make_unique<Connection>(
+      peer_site, std::move(channel),
+      tls::make_secure_link(session.take()), initiate,
+      [this](const proto::Envelope& env, Connection& c) {
+        handle_peer(env, c);
+      });
+  Connection* raw = conn.get();
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    const auto existing = peers_.find(peer_site);
+    if (existing != peers_.end()) {
+      if (existing->second->alive())
+        return error(ErrorCode::kAlreadyExists,
+                     "peer already connected: " + peer_site);
+      // Reconnection after a failure: retire the dead connection.
+      existing->second->close();
+      peers_.erase(existing);
+    }
+    peers_[peer_site] = std::move(conn);
+  }
+  raw->start();
+
+  if (initiate) {
+    proto::Hello hello{config_.site, config_.identity.certificate.subject};
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      ++metrics_.control_calls_sent;
+    }
+    Result<proto::Envelope> ack =
+        raw->call(proto::OpCode::kHello, hello.serialize());
+    if (!ack.is_ok()) return ack.status();
+    Result<proto::HelloAck> parsed =
+        proto::HelloAck::parse(ack.value().payload);
+    if (!parsed.is_ok()) return parsed.status();
+    if (!parsed.value().accepted)
+      return error(ErrorCode::kPermissionDenied,
+                   "peer rejected hello: " + parsed.value().reason);
+  }
+  return Status::ok();
+}
+
+std::vector<std::string> ProxyServer::peers() const {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  std::vector<std::string> out;
+  out.reserve(peers_.size());
+  for (const auto& [site, conn] : peers_) out.push_back(site);
+  return out;
+}
+
+bool ProxyServer::peer_alive(const std::string& peer_site) const {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  const auto it = peers_.find(peer_site);
+  return it != peers_.end() && it->second->alive();
+}
+
+void ProxyServer::disconnect_peer(const std::string& peer_site) {
+  Connection* conn = peer_connection(peer_site);
+  if (conn != nullptr) conn->close();
+}
+
+Status ProxyServer::ping_peer(const std::string& peer_site,
+                              TimeMicros timeout) {
+  Connection* conn = peer_connection(peer_site);
+  if (conn == nullptr || !conn->alive())
+    return error(ErrorCode::kUnavailable, "no connection to " + peer_site);
+  return conn->call(proto::OpCode::kPing, {}, timeout).status();
+}
+
+std::vector<std::string> ProxyServer::alive_peers(TimeMicros timeout) {
+  std::vector<std::string> alive;
+  for (const auto& site : peers()) {
+    if (ping_peer(site, timeout).is_ok()) alive.push_back(site);
+  }
+  return alive;
+}
+
+Connection* ProxyServer::peer_connection(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  const auto it = peers_.find(site);
+  return it == peers_.end() ? nullptr : it->second.get();
+}
+
+Connection* ProxyServer::node_connection(const std::string& node) const {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  const auto it = nodes_.find(node);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+// ----------------------------------------------------------------- login
+
+proto::AuthResponse ProxyServer::login(const proto::AuthRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++metrics_.logins;
+  }
+  return authenticator_.authenticate(request, config_.clock->now());
+}
+
+Result<proto::AuthResponse> ProxyServer::login_at(
+    const std::string& site, const proto::AuthRequest& request) {
+  if (site == config_.site) return login(request);
+  Result<proto::Envelope> response =
+      call_peer(site, proto::OpCode::kAuthRequest, request.serialize());
+  if (!response.is_ok()) return response.status();
+  return proto::AuthResponse::parse(response.value().payload);
+}
+
+// ------------------------------------------------------------- layer 3
+
+proto::StatusReport ProxyServer::local_status() {
+  proto::StatusReport report = collector_.collect(config_.clock->now());
+  // The proxy holds every node's link, so it knows which stations are
+  // unreachable; dead nodes are not advertised (schedulers then route
+  // around them — part of the paper's failure-containment story).
+  std::erase_if(report.nodes, [this](const proto::NodeStatus& node) {
+    Connection* conn = node_connection(node.name);
+    return conn == nullptr || !conn->alive();
+  });
+  return report;
+}
+
+Result<std::vector<proto::StatusReport>> ProxyServer::query_status(
+    const std::vector<std::string>& sites, BytesView token) {
+  PG_RETURN_IF_ERROR(
+      authenticator_.authorize(token, "status.query", config_.clock->now()));
+
+  std::vector<std::string> targets = sites;
+  if (targets.empty()) {
+    targets.push_back(config_.site);
+    for (const auto& peer : peers()) targets.push_back(peer);
+  }
+
+  std::vector<proto::StatusReport> reports;
+  for (const auto& target : targets) {
+    if (target == config_.site) {
+      reports.push_back(local_status());
+      continue;
+    }
+    Connection* conn = peer_connection(target);
+    if (conn == nullptr || !conn->alive()) {
+      PG_WARN << config_.site << ": site " << target
+              << " unreachable for status query";
+      continue;  // distributed control: one dead site costs only itself
+    }
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      ++metrics_.control_calls_sent;
+    }
+    Result<proto::Envelope> response = conn->call(
+        proto::OpCode::kStatusQuery, proto::StatusQuery{}.serialize());
+    if (!response.is_ok()) {
+      PG_WARN << config_.site << ": status query to " << target
+              << " failed: " << response.status().to_string();
+      continue;
+    }
+    Result<proto::StatusReport> report =
+        proto::StatusReport::parse(response.value().payload);
+    if (!report.is_ok()) continue;
+    status_cache_.update(report.value(), config_.clock->now());
+    reports.push_back(report.take());
+  }
+  return reports;
+}
+
+std::size_t ProxyServer::push_status_to_peers() {
+  const Bytes report = local_status().serialize();
+  std::size_t pushed = 0;
+  for (const auto& peer : peers()) {
+    Connection* conn = peer_connection(peer);
+    if (conn == nullptr || !conn->alive()) continue;
+    if (conn->notify(proto::OpCode::kStatusReport, report).is_ok()) {
+      ++pushed;
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      ++metrics_.control_notifies_sent;
+    }
+  }
+  return pushed;
+}
+
+Result<std::vector<monitor::GridNode>> ProxyServer::locate_resources(
+    BytesView token, const sched::Constraints& constraints) {
+  Result<std::vector<proto::StatusReport>> reports = query_status({}, token);
+  if (!reports.is_ok()) return reports.status();
+
+  std::vector<monitor::GridNode> matches;
+  for (const auto& node : monitor::flatten(reports.value())) {
+    if (node.status.ram_free_mb < constraints.min_ram_mb) continue;
+    if (node.status.cpu_load > constraints.max_load) continue;
+    matches.push_back(node);
+  }
+  return matches;
+}
+
+// ------------------------------------------------------------- layer 4
+
+AppRunResult ProxyServer::run_app(const std::string& user, BytesView token,
+                                  const std::string& executable,
+                                  std::uint32_t ranks,
+                                  sched::Scheduler& scheduler,
+                                  const sched::Constraints& constraints,
+                                  TimeMicros timeout) {
+  AppRunResult result;
+
+  // Origin-side permission check (paper: validated at origin AND target).
+  result.status =
+      authenticator_.authorize(token, "mpi.run", config_.clock->now());
+  if (!result.status.is_ok()) return result;
+
+  // Collect grid status and schedule.
+  Result<std::vector<proto::StatusReport>> reports = query_status({}, token);
+  if (!reports.is_ok()) {
+    result.status = reports.status();
+    return result;
+  }
+  const std::vector<monitor::GridNode> nodes =
+      monitor::flatten(reports.value());
+  Result<std::vector<proto::RankPlacement>> placements =
+      scheduler.assign(nodes, ranks, constraints);
+  if (!placements.is_ok()) {
+    result.status = placements.status();
+    return result;
+  }
+
+  AppRouting routing;
+  routing.app_id = next_app_id_.fetch_add(1, std::memory_order_relaxed);
+  routing.executable = executable;
+  routing.world_size = ranks;
+  routing.placements = placements.take();
+  result.app_id = routing.app_id;
+  result.placements = routing.placements;
+
+  const std::vector<std::string> involved = routing.sites();
+
+  // Register the completion latch before anything can finish.
+  {
+    std::lock_guard<std::mutex> lock(apps_mutex_);
+    RunState& run = runs_[routing.app_id];
+    run.pending_sites.insert(involved.begin(), involved.end());
+  }
+
+  // Phase 1: open everywhere (routing tables + mailboxes, no threads yet).
+  std::vector<std::string> opened_remote;
+  Status open_status;
+  for (const auto& site_name : involved) {
+    if (site_name == config_.site) {
+      open_status = open_app_locally(routing, "");
+    } else {
+      Connection* conn = peer_connection(site_name);
+      if (conn == nullptr) {
+        open_status = error(ErrorCode::kUnavailable,
+                            "no connection to site " + site_name);
+      } else {
+        proto::MpiOpen open;
+        open.app_id = routing.app_id;
+        open.executable = routing.executable;
+        open.world_size = routing.world_size;
+        open.placements = routing.placements;
+        open.user = user;
+        open.token.assign(token.begin(), token.end());
+        {
+          std::lock_guard<std::mutex> lock(metrics_mutex_);
+          ++metrics_.control_calls_sent;
+        }
+        Result<proto::Envelope> ack =
+            conn->call(proto::OpCode::kMpiOpen, open.serialize());
+        if (!ack.is_ok()) {
+          open_status = ack.status();
+        } else {
+          Result<proto::MpiOpenAck> parsed =
+              proto::MpiOpenAck::parse(ack.value().payload);
+          if (!parsed.is_ok()) {
+            open_status = parsed.status();
+          } else if (!parsed.value().ok) {
+            open_status = error(ErrorCode::kFailedPrecondition,
+                                site_name + ": " + parsed.value().reason);
+          } else {
+            opened_remote.push_back(site_name);
+          }
+        }
+      }
+    }
+    if (!open_status.is_ok()) break;
+  }
+
+  if (!open_status.is_ok()) {
+    // Roll back whatever opened.
+    close_app_locally(routing.app_id);
+    const proto::MpiClose close_msg{routing.app_id};
+    for (const auto& site_name : opened_remote) {
+      if (Connection* conn = peer_connection(site_name)) {
+        (void)conn->notify(proto::OpCode::kMpiClose, close_msg.serialize());
+      }
+    }
+    std::lock_guard<std::mutex> lock(apps_mutex_);
+    runs_.erase(routing.app_id);
+    result.status = open_status;
+    return result;
+  }
+
+  // Phase 2: start everywhere. Routing state exists at every involved site,
+  // so no rank's first message can outrun its destination's tables.
+  const proto::MpiClose start_msg{routing.app_id};
+  for (const auto& site_name : involved) {
+    if (site_name == config_.site) {
+      start_app_locally(routing.app_id);
+    } else if (Connection* conn = peer_connection(site_name)) {
+      {
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        ++metrics_.control_notifies_sent;
+      }
+      (void)conn->notify(proto::OpCode::kMpiStart, start_msg.serialize());
+    }
+  }
+
+  // Wait for every involved site to report completion.
+  std::uint32_t exit_code = 0;
+  bool completed = false;
+  {
+    std::unique_lock<std::mutex> lock(apps_mutex_);
+    completed = runs_cv_.wait_for(
+        lock, std::chrono::microseconds(timeout), [this, &routing] {
+          const auto it = runs_.find(routing.app_id);
+          return it == runs_.end() || it->second.done();
+        });
+    const auto it = runs_.find(routing.app_id);
+    if (it != runs_.end()) {
+      exit_code = it->second.exit_code;
+      completed = completed && it->second.done();
+      runs_.erase(it);
+    }
+  }
+
+  // Teardown everywhere.
+  close_app_locally(routing.app_id);
+  const proto::MpiClose close_msg{routing.app_id};
+  for (const auto& site_name : opened_remote) {
+    if (Connection* conn = peer_connection(site_name)) {
+      {
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        ++metrics_.control_notifies_sent;
+      }
+      (void)conn->notify(proto::OpCode::kMpiClose, close_msg.serialize());
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++metrics_.apps_run;
+  }
+  result.exit_code = exit_code;
+  if (!completed) {
+    result.status =
+        error(ErrorCode::kDeadlineExceeded, "application did not complete");
+  } else if (exit_code != 0) {
+    result.status = error(ErrorCode::kInternal,
+                          "application exited with code " +
+                              std::to_string(exit_code));
+  }
+  return result;
+}
+
+Status ProxyServer::open_app_locally(const AppRouting& routing,
+                                     const std::string& origin_site) {
+  const std::vector<std::string> my_nodes =
+      routing.nodes_on_site(config_.site);
+  if (my_nodes.empty()) return Status::ok();
+
+  proto::MpiOpen open;
+  open.app_id = routing.app_id;
+  open.executable = routing.executable;
+  open.world_size = routing.world_size;
+  open.placements = routing.placements;
+
+  {
+    std::lock_guard<std::mutex> lock(apps_mutex_);
+    AppState& app = apps_[routing.app_id];
+    app.routing = routing;
+    app.origin_site = origin_site;
+    app.pending_nodes.insert(my_nodes.begin(), my_nodes.end());
+  }
+
+  for (const auto& node : my_nodes) {
+    Connection* conn = node_connection(node);
+    if (conn == nullptr)
+      return error(ErrorCode::kNotFound, "no such node: " + node);
+    Result<proto::Envelope> ack =
+        conn->call(proto::OpCode::kMpiOpen, open.serialize());
+    if (!ack.is_ok()) return ack.status();
+    Result<proto::MpiOpenAck> parsed =
+        proto::MpiOpenAck::parse(ack.value().payload);
+    if (!parsed.is_ok()) return parsed.status();
+    if (!parsed.value().ok)
+      return error(ErrorCode::kFailedPrecondition,
+                   node + ": " + parsed.value().reason);
+    // Load accounting: the scheduled ranks now occupy the node.
+    const std::size_t rank_count =
+        routing.ranks_on_node(config_.site, node).size();
+    for (std::size_t i = 0; i < rank_count; ++i) {
+      (void)collector_.process_started(node, kRankRamMb);
+    }
+  }
+  return Status::ok();
+}
+
+void ProxyServer::start_app_locally(std::uint64_t app_id) {
+  std::vector<std::string> my_nodes;
+  {
+    std::lock_guard<std::mutex> lock(apps_mutex_);
+    const auto it = apps_.find(app_id);
+    if (it == apps_.end()) return;
+    my_nodes = it->second.routing.nodes_on_site(config_.site);
+  }
+  const proto::MpiClose start_msg{app_id};
+  for (const auto& node : my_nodes) {
+    if (Connection* conn = node_connection(node)) {
+      (void)conn->notify(proto::OpCode::kMpiStart, start_msg.serialize());
+    }
+  }
+}
+
+void ProxyServer::close_app_locally(std::uint64_t app_id) {
+  std::vector<std::string> my_nodes;
+  {
+    std::lock_guard<std::mutex> lock(apps_mutex_);
+    const auto it = apps_.find(app_id);
+    if (it == apps_.end()) return;
+    my_nodes = it->second.routing.nodes_on_site(config_.site);
+    apps_.erase(it);
+  }
+  const proto::MpiClose close_msg{app_id};
+  for (const auto& node : my_nodes) {
+    if (Connection* conn = node_connection(node)) {
+      (void)conn->notify(proto::OpCode::kMpiClose, close_msg.serialize());
+    }
+  }
+}
+
+void ProxyServer::site_finished(std::uint64_t app_id, const std::string& site,
+                                std::uint32_t exit_code) {
+  {
+    std::lock_guard<std::mutex> lock(apps_mutex_);
+    const auto it = runs_.find(app_id);
+    if (it == runs_.end()) return;
+    it->second.pending_sites.erase(site);
+    it->second.exit_code = std::max(it->second.exit_code, exit_code);
+  }
+  runs_cv_.notify_all();
+}
+
+// ------------------------------------------------------------- handlers
+
+void ProxyServer::handle_peer(const proto::Envelope& envelope,
+                              Connection& conn) {
+  switch (envelope.op) {
+    case proto::OpCode::kHello:
+      handle_hello(envelope, conn);
+      return;
+    case proto::OpCode::kPing:
+      (void)conn.respond(envelope, proto::OpCode::kPong, {});
+      return;
+    case proto::OpCode::kStatusQuery:
+      handle_status_query(envelope, conn);
+      return;
+    case proto::OpCode::kStatusReport: {
+      // Unsolicited push from a peer (push-mode monitoring).
+      Result<proto::StatusReport> report =
+          proto::StatusReport::parse(envelope.payload);
+      if (report.is_ok())
+        status_cache_.update(report.value(), config_.clock->now());
+      return;
+    }
+    case proto::OpCode::kAuthRequest:
+      handle_auth_request(envelope, conn);
+      return;
+    case proto::OpCode::kJobSubmit:
+      handle_job_submit(envelope, conn);
+      return;
+    case proto::OpCode::kJobQuery:
+      handle_job_query(envelope, conn);
+      return;
+    case proto::OpCode::kMpiOpen:
+      handle_mpi_open_from_peer(envelope, conn);
+      return;
+    case proto::OpCode::kMpiStart:
+      handle_mpi_start(envelope);
+      return;
+    case proto::OpCode::kMpiData:
+      route_mpi_data(envelope);
+      return;
+    case proto::OpCode::kMpiDone:
+      handle_mpi_done_from_peer(envelope);
+      return;
+    case proto::OpCode::kMpiClose:
+      handle_mpi_close(envelope);
+      return;
+    case proto::OpCode::kTunnelOpen:
+    case proto::OpCode::kTunnelData:
+    case proto::OpCode::kTunnelClose:
+      handle_tunnel_from_peer(envelope, conn);
+      return;
+    default: {
+      const Status dispatched = dispatch_extension(envelope, conn);
+      if (!dispatched.is_ok()) {
+        PG_WARN << config_.site << ": unhandled peer op "
+                << proto::opcode_name(envelope.op);
+      }
+    }
+  }
+}
+
+void ProxyServer::handle_node(const std::string& node,
+                              const proto::Envelope& envelope,
+                              Connection& conn) {
+  switch (envelope.op) {
+    case proto::OpCode::kPing:
+      (void)conn.respond(envelope, proto::OpCode::kPong, {});
+      return;
+    case proto::OpCode::kMpiData:
+      route_mpi_data(envelope);
+      return;
+    case proto::OpCode::kMpiDone:
+      handle_mpi_done_from_node(envelope);
+      return;
+    case proto::OpCode::kTunnelOpen:
+    case proto::OpCode::kTunnelData:
+    case proto::OpCode::kTunnelClose:
+      handle_tunnel_from_node(node, envelope, conn);
+      return;
+    default: {
+      const Status dispatched = dispatch_extension(envelope, conn);
+      if (!dispatched.is_ok()) {
+        PG_WARN << config_.site << ": unhandled node op "
+                << proto::opcode_name(envelope.op) << " from " << node;
+      }
+    }
+  }
+}
+
+void ProxyServer::handle_hello(const proto::Envelope& envelope,
+                               Connection& conn) {
+  Result<proto::Hello> hello = proto::Hello::parse(envelope.payload);
+  proto::HelloAck ack;
+  ack.site = config_.site;
+  if (!hello.is_ok()) {
+    ack.accepted = false;
+    ack.reason = hello.status().to_string();
+  } else if (hello.value().site != conn.peer_name()) {
+    // The certificate pinned this connection to a site; the announced name
+    // must match it.
+    ack.accepted = false;
+    ack.reason = "announced site " + hello.value().site +
+                 " does not match authenticated identity " + conn.peer_name();
+  } else {
+    ack.accepted = true;
+  }
+  (void)conn.respond(envelope, proto::OpCode::kHelloAck, ack.serialize());
+}
+
+void ProxyServer::handle_status_query(const proto::Envelope& envelope,
+                                      Connection& conn) {
+  // Remote proxies only ever ask for THIS site (distributed collection).
+  (void)conn.respond(envelope, proto::OpCode::kStatusReport,
+                     local_status().serialize());
+}
+
+void ProxyServer::handle_auth_request(const proto::Envelope& envelope,
+                                      Connection& conn) {
+  Result<proto::AuthRequest> request =
+      proto::AuthRequest::parse(envelope.payload);
+  proto::AuthResponse response;
+  if (!request.is_ok()) {
+    response.ok = false;
+    response.reason = request.status().to_string();
+  } else {
+    response = login(request.value());
+  }
+  (void)conn.respond(envelope, proto::OpCode::kAuthResponse,
+                     response.serialize());
+}
+
+void ProxyServer::handle_mpi_open_from_peer(const proto::Envelope& envelope,
+                                            Connection& conn) {
+  Result<proto::MpiOpen> open = proto::MpiOpen::parse(envelope.payload);
+  proto::MpiOpenAck ack;
+  if (!open.is_ok()) {
+    ack.ok = false;
+    ack.reason = open.status().to_string();
+    (void)conn.respond(envelope, proto::OpCode::kMpiOpenAck, ack.serialize());
+    return;
+  }
+  ack.app_id = open.value().app_id;
+
+  // Destination-side permission check (paper: "validated at the
+  // originating and destination proxies"). The ticket verifies under the
+  // realm key regardless of which proxy minted it.
+  const Status allowed = authenticator_.tickets().authorize(
+      open.value().token, "mpi.run", config_.clock->now());
+  if (!allowed.is_ok()) {
+    ack.ok = false;
+    ack.reason = allowed.to_string();
+    (void)conn.respond(envelope, proto::OpCode::kMpiOpenAck, ack.serialize());
+    return;
+  }
+
+  AppRouting routing;
+  routing.app_id = open.value().app_id;
+  routing.executable = open.value().executable;
+  routing.world_size = open.value().world_size;
+  routing.placements = open.value().placements;
+
+  const Status opened = open_app_locally(routing, conn.peer_name());
+  ack.ok = opened.is_ok();
+  if (!opened.is_ok()) ack.reason = opened.to_string();
+  (void)conn.respond(envelope, proto::OpCode::kMpiOpenAck, ack.serialize());
+}
+
+void ProxyServer::handle_mpi_start(const proto::Envelope& envelope) {
+  Result<proto::MpiClose> start = proto::MpiClose::parse(envelope.payload);
+  if (start.is_ok()) start_app_locally(start.value().app_id);
+}
+
+void ProxyServer::handle_mpi_close(const proto::Envelope& envelope) {
+  Result<proto::MpiClose> close_msg =
+      proto::MpiClose::parse(envelope.payload);
+  if (close_msg.is_ok()) close_app_locally(close_msg.value().app_id);
+}
+
+void ProxyServer::route_mpi_data(const proto::Envelope& envelope) {
+  Result<proto::MpiData> data = proto::MpiData::parse(envelope.payload);
+  if (!data.is_ok()) {
+    PG_WARN << config_.site << ": dropping malformed MpiData";
+    return;
+  }
+
+  const proto::RankPlacement* target = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(apps_mutex_);
+    const auto it = apps_.find(data.value().app_id);
+    if (it == apps_.end()) {
+      PG_WARN << config_.site << ": MpiData for unknown app "
+              << data.value().app_id;
+      return;
+    }
+    target = it->second.routing.placement_of(data.value().dst_rank);
+  }
+  if (target == nullptr) {
+    PG_WARN << config_.site << ": MpiData for unknown rank "
+            << data.value().dst_rank;
+    return;
+  }
+
+  if (target->site == config_.site) {
+    if (Connection* conn = node_connection(target->node)) {
+      (void)conn->notify(proto::OpCode::kMpiData, envelope.payload);
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      ++metrics_.mpi_messages_local;
+      metrics_.mpi_bytes_local += data.value().payload.size();
+    }
+    return;
+  }
+  if (Connection* conn = peer_connection(target->site)) {
+    (void)conn->notify(proto::OpCode::kMpiData, envelope.payload);
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++metrics_.mpi_messages_remote;
+    metrics_.mpi_bytes_remote += data.value().payload.size();
+  } else {
+    PG_WARN << config_.site << ": no route to site " << target->site;
+  }
+}
+
+void ProxyServer::handle_mpi_done_from_node(const proto::Envelope& envelope) {
+  Result<proto::JobComplete> done =
+      proto::JobComplete::parse(envelope.payload);
+  if (!done.is_ok()) return;
+  const std::string node = to_string(done.value().output);
+  const std::uint64_t app_id = done.value().job_id;
+
+  bool site_done = false;
+  std::string origin_site;
+  std::uint32_t exit_code = 0;
+  {
+    std::lock_guard<std::mutex> lock(apps_mutex_);
+    const auto it = apps_.find(app_id);
+    if (it == apps_.end()) return;
+    AppState& app = it->second;
+    app.pending_nodes.erase(node);
+    app.exit_code = std::max(app.exit_code, done.value().exit_code);
+    // Release the load accounted to this node's ranks.
+    const std::size_t rank_count =
+        app.routing.ranks_on_node(config_.site, node).size();
+    for (std::size_t i = 0; i < rank_count; ++i) {
+      (void)collector_.process_finished(node, kRankRamMb);
+    }
+    if (app.pending_nodes.empty()) {
+      site_done = true;
+      origin_site = app.origin_site;
+      exit_code = app.exit_code;
+    }
+  }
+  if (!site_done) return;
+
+  if (origin_site.empty()) {
+    // We are the origin: our own site is finished.
+    site_finished(app_id, config_.site, exit_code);
+  } else if (Connection* conn = peer_connection(origin_site)) {
+    proto::JobComplete report;
+    report.job_id = app_id;
+    report.exit_code = exit_code;
+    report.output = to_bytes(config_.site);
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      ++metrics_.control_notifies_sent;
+    }
+    (void)conn->notify(proto::OpCode::kMpiDone, report.serialize());
+  }
+}
+
+void ProxyServer::handle_mpi_done_from_peer(const proto::Envelope& envelope) {
+  Result<proto::JobComplete> done =
+      proto::JobComplete::parse(envelope.payload);
+  if (!done.is_ok()) return;
+  site_finished(done.value().job_id, to_string(done.value().output),
+                done.value().exit_code);
+}
+
+void ProxyServer::handle_job_submit(const proto::Envelope& envelope,
+                                    Connection& conn) {
+  Result<proto::JobSubmit> request =
+      proto::JobSubmit::parse(envelope.payload);
+  proto::JobAccept accept;
+  if (!request.is_ok()) {
+    accept.accepted = false;
+    accept.reason = request.status().to_string();
+    (void)conn.respond(envelope, proto::OpCode::kJobAccept,
+                       accept.serialize());
+    return;
+  }
+  const sched::Policy policy =
+      (!request.value().args.empty() && request.value().args[0] == "rr")
+          ? sched::Policy::kRoundRobin
+          : sched::Policy::kLoadBalanced;
+  sched::Constraints constraints;
+  constraints.min_ram_mb = request.value().min_ram_mb;
+
+  Result<std::uint64_t> job =
+      submit_job(request.value().user, request.value().token,
+                 request.value().executable, request.value().ranks, policy,
+                 constraints);
+  if (!job.is_ok()) {
+    accept.accepted = false;
+    accept.reason = job.status().to_string();
+  } else {
+    accept.accepted = true;
+    accept.job_id = job.value();
+  }
+  (void)conn.respond(envelope, proto::OpCode::kJobAccept, accept.serialize());
+}
+
+void ProxyServer::handle_job_query(const proto::Envelope& envelope,
+                                   Connection& conn) {
+  Result<proto::JobComplete> probe =
+      proto::JobComplete::parse(envelope.payload);
+  if (!probe.is_ok()) {
+    (void)conn.respond(
+        envelope, proto::OpCode::kError,
+        proto::ErrorMessage{
+            static_cast<std::uint16_t>(ErrorCode::kProtocolError),
+            "bad job query"}
+            .serialize());
+    return;
+  }
+  Result<JobRecord> record = job_info(probe.value().job_id);
+  if (!record.is_ok()) {
+    (void)conn.respond(
+        envelope, proto::OpCode::kError,
+        proto::ErrorMessage{static_cast<std::uint16_t>(ErrorCode::kNotFound),
+                            record.status().message()}
+            .serialize());
+    return;
+  }
+  proto::JobComplete reply;
+  reply.job_id = probe.value().job_id;
+  reply.exit_code = static_cast<std::uint32_t>(record.value().state);
+  reply.output = to_bytes(record.value().outcome.to_string());
+  (void)conn.respond(envelope, proto::OpCode::kJobComplete,
+                     reply.serialize());
+}
+
+// ------------------------------------------------------------ batch jobs
+
+Result<std::uint64_t> ProxyServer::submit_job(
+    const std::string& user, BytesView token, const std::string& executable,
+    std::uint32_t ranks, sched::Policy policy,
+    const sched::Constraints& constraints) {
+  PG_RETURN_IF_ERROR(
+      authenticator_.authorize(token, "job.submit", config_.clock->now()));
+
+  const Bytes token_copy(token.begin(), token.end());
+  return job_manager_.submit(
+      user, executable, ranks, policy,
+      [this, user, token_copy, constraints](const JobRecord& job) {
+        sched::SchedulerPtr scheduler = sched::make_scheduler(job.policy);
+        const AppRunResult result =
+            run_app(user, token_copy, job.executable, job.ranks, *scheduler,
+                    constraints);
+        return JobManager::RunOutcome{result.status, result.placements};
+      });
+}
+
+Result<JobRecord> ProxyServer::job_info(std::uint64_t job_id) const {
+  return job_manager_.info(job_id);
+}
+
+Result<JobRecord> ProxyServer::wait_job(std::uint64_t job_id,
+                                        TimeMicros timeout) {
+  return job_manager_.wait(job_id, timeout);
+}
+
+std::vector<JobRecord> ProxyServer::jobs() const {
+  return job_manager_.list();
+}
+
+Result<std::uint64_t> ProxyServer::submit_job_at(const std::string& site,
+                                                 const std::string& user,
+                                                 BytesView token,
+                                                 const std::string& executable,
+                                                 std::uint32_t ranks,
+                                                 sched::Policy policy) {
+  if (site == config_.site)
+    return submit_job(user, token, executable, ranks, policy);
+
+  proto::JobSubmit request;
+  request.user = user;
+  request.executable = executable;
+  request.ranks = ranks;
+  request.args = {policy == sched::Policy::kRoundRobin ? "rr" : "lb"};
+  request.token.assign(token.begin(), token.end());
+  Result<proto::Envelope> response =
+      call_peer(site, proto::OpCode::kJobSubmit, request.serialize());
+  if (!response.is_ok()) return response.status();
+  Result<proto::JobAccept> accept =
+      proto::JobAccept::parse(response.value().payload);
+  if (!accept.is_ok()) return accept.status();
+  if (!accept.value().accepted)
+    return error(ErrorCode::kFailedPrecondition,
+                 site + " rejected job: " + accept.value().reason);
+  return accept.value().job_id;
+}
+
+Result<JobRecord> ProxyServer::query_job_at(const std::string& site,
+                                            std::uint64_t job_id) {
+  if (site == config_.site) return job_info(job_id);
+
+  proto::JobComplete probe;
+  probe.job_id = job_id;
+  Result<proto::Envelope> response =
+      call_peer(site, proto::OpCode::kJobQuery, probe.serialize());
+  if (!response.is_ok()) return response.status();
+  if (response.value().op == proto::OpCode::kError) {
+    Result<proto::ErrorMessage> err =
+        proto::ErrorMessage::parse(response.value().payload);
+    return error(ErrorCode::kNotFound,
+                 err.is_ok() ? err.value().message : "remote job error");
+  }
+  Result<proto::JobComplete> reply =
+      proto::JobComplete::parse(response.value().payload);
+  if (!reply.is_ok()) return reply.status();
+
+  // exit_code carries the JobState; output carries the outcome text.
+  JobRecord record;
+  record.job_id = job_id;
+  record.state = static_cast<JobState>(reply.value().exit_code);
+  const std::string outcome = to_string(reply.value().output);
+  if (record.state == JobState::kFailed) {
+    record.outcome = error(ErrorCode::kInternal, outcome);
+  }
+  return record;
+}
+
+// --------------------------------------------------------------- tunnels
+
+void ProxyServer::relay_async(std::function<void()> work) {
+  if (!workers_.submit(std::move(work))) {
+    PG_WARN << config_.site << ": relay dropped during shutdown";
+  }
+}
+
+void ProxyServer::handle_tunnel_from_node(const std::string& node,
+                                          const proto::Envelope& envelope,
+                                          Connection& conn) {
+  PG_DEBUG << config_.site << ": tunnel op " << proto::opcode_name(envelope.op)
+           << " from " << node;
+  // Remember where each tunnel points so TunnelData (which carries only the
+  // tunnel id) can be routed.
+  if (envelope.op == proto::OpCode::kTunnelOpen) {
+    Result<proto::TunnelOpen> open =
+        proto::TunnelOpen::parse(envelope.payload);
+    if (!open.is_ok()) return;
+    std::lock_guard<std::mutex> lock(tunnels_mutex_);
+    tunnels_[open.value().tunnel_id] = open.value();
+  }
+
+  std::uint64_t tunnel_id = 0;
+  if (envelope.op == proto::OpCode::kTunnelData) {
+    Result<proto::TunnelData> data =
+        proto::TunnelData::parse(envelope.payload);
+    if (!data.is_ok()) return;
+    tunnel_id = data.value().tunnel_id;
+  } else if (envelope.op == proto::OpCode::kTunnelClose) {
+    Result<proto::TunnelClose> close_msg =
+        proto::TunnelClose::parse(envelope.payload);
+    if (!close_msg.is_ok()) return;
+    tunnel_id = close_msg.value().tunnel_id;
+  } else {
+    Result<proto::TunnelOpen> open =
+        proto::TunnelOpen::parse(envelope.payload);
+    tunnel_id = open.value().tunnel_id;
+  }
+
+  proto::TunnelOpen route;
+  {
+    std::lock_guard<std::mutex> lock(tunnels_mutex_);
+    const auto it = tunnels_.find(tunnel_id);
+    if (it == tunnels_.end()) {
+      (void)conn.respond(
+          envelope, proto::OpCode::kError,
+          proto::ErrorMessage{static_cast<std::uint16_t>(ErrorCode::kNotFound),
+                              "unknown tunnel"}
+              .serialize());
+      return;
+    }
+    route = it->second;
+    if (envelope.op == proto::OpCode::kTunnelClose) tunnels_.erase(it);
+  }
+  (void)node;
+
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++metrics_.tunnels_relayed;
+  }
+
+  // Resolve the next hop: a node of this site, or the target site's proxy.
+  Connection* next = route.target_site == config_.site
+                         ? node_connection(route.target_node)
+                         : peer_connection(route.target_site);
+  if (next == nullptr) {
+    (void)conn.respond(
+        envelope, proto::OpCode::kError,
+        proto::ErrorMessage{static_cast<std::uint16_t>(ErrorCode::kNotFound),
+                            "no route to " + route.target_site}
+            .serialize());
+    return;
+  }
+
+  if (envelope.op == proto::OpCode::kTunnelClose) {
+    (void)next->notify(envelope.op, envelope.payload);
+    return;
+  }
+
+  // Relay the call off the reader thread: crossing tunnels would otherwise
+  // deadlock two proxies' readers against each other.
+  const proto::Envelope request = envelope;
+  relay_async([this, next, request, &conn] {
+    PG_DEBUG << config_.site << ": relaying "
+             << proto::opcode_name(request.op) << " to " << next->peer_name();
+    Result<proto::Envelope> response = next->call(request.op, request.payload);
+    PG_DEBUG << config_.site << ": relay result "
+             << response.status().to_string();
+    if (!response.is_ok()) {
+      (void)conn.respond(
+          request, proto::OpCode::kError,
+          proto::ErrorMessage{
+              static_cast<std::uint16_t>(response.status().code()),
+              response.status().message()}
+              .serialize());
+      return;
+    }
+    (void)conn.respond(request, response.value().op,
+                       response.value().payload);
+  });
+}
+
+void ProxyServer::handle_tunnel_from_peer(const proto::Envelope& envelope,
+                                          Connection& conn) {
+  // At the destination site the relay logic is identical: record the route
+  // on open, forward toward the target node.
+  handle_tunnel_from_node(conn.peer_name(), envelope, conn);
+}
+
+// ---------------------------------------------------------- introspection
+
+Status ProxyServer::register_extension(proto::OpCode op,
+                                       ExtensionHandler handler) {
+  if (static_cast<std::uint16_t>(op) <
+      static_cast<std::uint16_t>(proto::OpCode::kExtensionBase))
+    return error(ErrorCode::kInvalidArgument,
+                 "extension ops start at kExtensionBase");
+  std::lock_guard<std::mutex> lock(extensions_mutex_);
+  const auto [it, inserted] = extensions_.emplace(op, std::move(handler));
+  if (!inserted)
+    return error(ErrorCode::kAlreadyExists,
+                 std::string("extension already registered for ") +
+                     proto::opcode_name(op));
+  return Status::ok();
+}
+
+Status ProxyServer::dispatch_extension(const proto::Envelope& envelope,
+                                       Connection& conn) {
+  ExtensionHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(extensions_mutex_);
+    const auto it = extensions_.find(envelope.op);
+    if (it == extensions_.end())
+      return error(ErrorCode::kNotFound,
+                   std::string("no handler for op ") +
+                       proto::opcode_name(envelope.op));
+    handler = it->second;
+  }
+  return handler(envelope, conn);
+}
+
+Result<proto::Envelope> ProxyServer::call_peer(const std::string& site,
+                                               proto::OpCode op,
+                                               BytesView payload,
+                                               TimeMicros timeout) {
+  Connection* conn = peer_connection(site);
+  if (conn == nullptr || !conn->alive())
+    return error(ErrorCode::kUnavailable, "no connection to site " + site);
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++metrics_.control_calls_sent;
+  }
+  return conn->call(op, payload, timeout);
+}
+
+Status ProxyServer::notify_peer(const std::string& site, proto::OpCode op,
+                                BytesView payload) {
+  Connection* conn = peer_connection(site);
+  if (conn == nullptr || !conn->alive())
+    return error(ErrorCode::kUnavailable, "no connection to site " + site);
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++metrics_.control_notifies_sent;
+  }
+  return conn->notify(op, payload);
+}
+
+ProxyMetrics ProxyServer::metrics() const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  return metrics_;
+}
+
+std::vector<LinkReport> ProxyServer::link_report() const {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  std::vector<LinkReport> out;
+  for (const auto& [site, conn] : peers_) {
+    out.push_back(LinkReport{site, true, conn->is_encrypted(),
+                             conn->link_stats()});
+  }
+  for (const auto& [node, conn] : nodes_) {
+    out.push_back(LinkReport{node, false, conn->is_encrypted(),
+                             conn->link_stats()});
+  }
+  return out;
+}
+
+void ProxyServer::shutdown() {
+  if (shut_down_.exchange(true)) return;
+
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (auto& [site, conn] : peers_) conn->close();
+    for (auto& [node, conn] : nodes_) conn->close();
+  }
+  workers_.shutdown();
+  runs_cv_.notify_all();
+}
+
+}  // namespace pg::proxy

@@ -1,0 +1,297 @@
+// ProxyServer — the paper's contribution: a gateway at the site border that
+// carries ALL grid functionality, so nodes stay untouched.
+//
+// Layer map (paper Figure 2 -> this class):
+//   1 Communication        peer/node Connections, control protocol dispatch
+//   2 Security             GSSL tunnels between sites, host certificates,
+//                          UserAuthenticator (password/signature/ticket),
+//                          per-user/group ACLs, destination-side checks
+//   3 Grid API + Control   site collection, on-demand global status,
+//                          resource location, job submission
+//   4 MPI support          virtual-slave routing tables, communication
+//                          multiplexing between sites, two-phase app launch
+//   Resource scheduling    pluggable Scheduler (round-robin / load-balanced)
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "auth/authenticator.hpp"
+#include "common/thread_pool.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "monitor/aggregator.hpp"
+#include "monitor/site_collector.hpp"
+#include "net/channel.hpp"
+#include "proxy/app_routing.hpp"
+#include "proxy/connection.hpp"
+#include "proxy/job_manager.hpp"
+#include "proxy/metrics.hpp"
+#include "sched/scheduler.hpp"
+#include "tls/gssl.hpp"
+
+namespace pg::proxy {
+
+/// Deployment policy for intra-site links (the E2 experiment variable).
+enum class SecurityMode {
+  /// The paper's design: plaintext inside the site, GSSL only between
+  /// proxies ("traffic tunneling ... using SSL only among the sites").
+  kProxyTunneling,
+  /// Globus-like baseline: every node's link is also GSSL-protected, so
+  /// "all the cluster's nodes reflect the overhead".
+  kPerNodeSecurity,
+};
+
+struct ProxyConfig {
+  std::string site;
+  tls::GsslIdentity identity;           // cert subject: "proxy.<site>"
+  std::string ca_name;
+  crypto::RsaPublicKey ca_key;
+  Bytes ticket_key;                     // realm key shared by all proxies
+  TimeMicros ticket_lifetime = 3600 * kMicrosPerSecond;
+  const Clock* clock = nullptr;
+  std::uint64_t rng_seed = 1;
+  SecurityMode mode = SecurityMode::kProxyTunneling;
+};
+
+/// Outcome of a grid application run.
+struct AppRunResult {
+  Status status;
+  std::uint64_t app_id = 0;
+  std::uint32_t exit_code = 0;
+  std::vector<proto::RankPlacement> placements;
+};
+
+class ProxyServer {
+ public:
+  explicit ProxyServer(ProxyConfig config);
+  ~ProxyServer();
+
+  ProxyServer(const ProxyServer&) = delete;
+  ProxyServer& operator=(const ProxyServer&) = delete;
+
+  const std::string& site() const { return config_.site; }
+  SecurityMode mode() const { return config_.mode; }
+  const Clock& clock() const { return *config_.clock; }
+
+  // ---- site composition -------------------------------------------------
+  /// Registers a node's stats source with the site collector.
+  void add_node_stats(monitor::NodeStatsSourcePtr source);
+
+  /// Accepts a node's connection (the proxy side of the link). In
+  /// kPerNodeSecurity mode — or when `force_encrypted` — runs the GSSL
+  /// server handshake first. Blocks until the node side completes it.
+  Status attach_node(const std::string& node_name, net::ChannelPtr channel,
+                     bool force_encrypted = false);
+
+  // ---- peering ----------------------------------------------------------
+  /// Establishes the GSSL tunnel to another site's proxy and exchanges
+  /// Hello. The initiator runs the client handshake. Reconnecting a peer
+  /// whose previous link died replaces the dead connection.
+  Status connect_peer(const std::string& peer_site, net::ChannelPtr channel,
+                      bool initiate);
+
+  std::vector<std::string> peers() const;
+  bool peer_alive(const std::string& peer_site) const;
+
+  /// Severs the link to a peer (failure injection). Both ends observe the
+  /// closure; pending calls fail with kUnavailable.
+  void disconnect_peer(const std::string& peer_site);
+
+  /// Active liveness probe: one Ping/Pong round trip.
+  Status ping_peer(const std::string& peer_site,
+                   TimeMicros timeout = 5 * kMicrosPerSecond);
+
+  /// Probes every peer; returns the sites that answered.
+  std::vector<std::string> alive_peers(
+      TimeMicros timeout = 5 * kMicrosPerSecond);
+
+  // ---- layer 2: security -------------------------------------------------
+  auth::UserAuthenticator& authenticator() { return authenticator_; }
+
+  /// Authenticates a user at this (their home) proxy.
+  proto::AuthResponse login(const proto::AuthRequest& request);
+
+  /// Authenticates against ANOTHER site's proxy through the control
+  /// protocol (the user's home site differs from the proxy they reached).
+  Result<proto::AuthResponse> login_at(const std::string& site,
+                                       const proto::AuthRequest& request);
+
+  // ---- layer 3: grid API -------------------------------------------------
+  /// Status of the named sites ("" entry or empty list = every known site,
+  /// self included). Remote sites cost one control round trip each — the
+  /// distributed-collection property of E4.
+  Result<std::vector<proto::StatusReport>> query_status(
+      const std::vector<std::string>& sites, BytesView token);
+
+  /// Grid-wide node rows matching the constraints (resource location).
+  Result<std::vector<monitor::GridNode>> locate_resources(
+      BytesView token, const sched::Constraints& constraints);
+
+  /// This site's own report, no network involved.
+  proto::StatusReport local_status();
+
+  /// Push-mode monitoring: broadcasts this site's report to every peer
+  /// (the E4 ablation contrasts this with on-demand pull). Returns the
+  /// number of peers notified.
+  std::size_t push_status_to_peers();
+
+  /// Reports other sites have pushed or that pull queries cached.
+  monitor::GridStatusCache& status_cache() { return status_cache_; }
+
+  // ---- layer 4: MPI support ----------------------------------------------
+  /// Runs a registered application across the grid: authorize, collect
+  /// status, schedule, two-phase launch, wait for completion.
+  AppRunResult run_app(const std::string& user, BytesView token,
+                       const std::string& executable, std::uint32_t ranks,
+                       sched::Scheduler& scheduler,
+                       const sched::Constraints& constraints = {},
+                       TimeMicros timeout = 120 * kMicrosPerSecond);
+
+  // ---- batch jobs ---------------------------------------------------------
+  /// Enqueues an application run as an asynchronous batch job (requires
+  /// "job.submit"; the run itself still requires "mpi.run"). Returns the
+  /// job id immediately.
+  Result<std::uint64_t> submit_job(const std::string& user, BytesView token,
+                                   const std::string& executable,
+                                   std::uint32_t ranks, sched::Policy policy,
+                                   const sched::Constraints& constraints = {});
+
+  Result<JobRecord> job_info(std::uint64_t job_id) const;
+  Result<JobRecord> wait_job(std::uint64_t job_id,
+                             TimeMicros timeout = 120 * kMicrosPerSecond);
+  std::vector<JobRecord> jobs() const;
+
+  /// Submits a batch job at ANOTHER site's proxy over the control protocol
+  /// (kJobSubmit / kJobAccept). The remote proxy becomes the job's origin;
+  /// returns the remote job id.
+  Result<std::uint64_t> submit_job_at(const std::string& site,
+                                      const std::string& user,
+                                      BytesView token,
+                                      const std::string& executable,
+                                      std::uint32_t ranks,
+                                      sched::Policy policy);
+
+  /// Polls a remote job's state (kJobQuery / kJobComplete). The returned
+  /// record carries state and outcome (not placements).
+  Result<JobRecord> query_job_at(const std::string& site,
+                                 std::uint64_t job_id);
+
+  // ---- protocol extension -------------------------------------------------
+  /// Handler for an extension op: receives the envelope and the connection
+  /// it arrived on (so it can respond, typically with kReply).
+  using ExtensionHandler =
+      std::function<Status(const proto::Envelope&, Connection&)>;
+
+  /// Registers a handler for an extension op code (>= kExtensionBase).
+  Status register_extension(proto::OpCode op, ExtensionHandler handler);
+
+  /// Request/response to a peer proxy — the transport extensions build on.
+  Result<proto::Envelope> call_peer(const std::string& site, proto::OpCode op,
+                                    BytesView payload,
+                                    TimeMicros timeout = 30 * kMicrosPerSecond);
+  /// One-way message to a peer proxy.
+  Status notify_peer(const std::string& site, proto::OpCode op,
+                     BytesView payload);
+
+  // ---- introspection ------------------------------------------------------
+  ProxyMetrics metrics() const;
+  std::vector<LinkReport> link_report() const;
+  monitor::SiteCollector& collector() { return collector_; }
+
+  void shutdown();
+
+ private:
+  struct RunState {
+    std::set<std::string> pending_sites;
+    std::uint32_t exit_code = 0;
+    bool done() const { return pending_sites.empty(); }
+  };
+
+  struct AppState {
+    AppRouting routing;
+    std::string origin_site;  // empty when this proxy is the origin
+    std::set<std::string> pending_nodes;
+    std::uint32_t exit_code = 0;
+  };
+
+  // -- handlers (reader threads)
+  void handle_peer(const proto::Envelope& envelope, Connection& conn);
+  void handle_node(const std::string& node, const proto::Envelope& envelope,
+                   Connection& conn);
+  void handle_hello(const proto::Envelope& envelope, Connection& conn);
+  void handle_status_query(const proto::Envelope& envelope, Connection& conn);
+  void handle_auth_request(const proto::Envelope& envelope, Connection& conn);
+  void handle_job_submit(const proto::Envelope& envelope, Connection& conn);
+  void handle_job_query(const proto::Envelope& envelope, Connection& conn);
+  void handle_mpi_open_from_peer(const proto::Envelope& envelope,
+                                 Connection& conn);
+  void handle_mpi_start(const proto::Envelope& envelope);
+  void handle_mpi_close(const proto::Envelope& envelope);
+  void route_mpi_data(const proto::Envelope& envelope);
+  void handle_mpi_done_from_node(const proto::Envelope& envelope);
+  void handle_mpi_done_from_peer(const proto::Envelope& envelope);
+  void handle_tunnel_from_node(const std::string& node,
+                               const proto::Envelope& envelope,
+                               Connection& conn);
+  void handle_tunnel_from_peer(const proto::Envelope& envelope,
+                               Connection& conn);
+
+  // -- internals
+  Status open_app_locally(const AppRouting& routing,
+                          const std::string& origin_site);
+  void start_app_locally(std::uint64_t app_id);
+  void close_app_locally(std::uint64_t app_id);
+  void site_finished(std::uint64_t app_id, const std::string& site,
+                     std::uint32_t exit_code);
+  Connection* peer_connection(const std::string& site) const;
+  Connection* node_connection(const std::string& node) const;
+  tls::GsslConfig gssl_config(const std::string& expected_peer) const;
+  void relay_async(std::function<void()> work);
+
+  Status dispatch_extension(const proto::Envelope& envelope, Connection& conn);
+
+  ProxyConfig config_;
+  auth::UserAuthenticator authenticator_;
+  monitor::SiteCollector collector_;
+  monitor::GridStatusCache status_cache_;
+  mutable std::mutex extensions_mutex_;
+  std::map<proto::OpCode, ExtensionHandler> extensions_;
+  Rng rng_;
+  mutable std::mutex rng_mutex_;
+
+  mutable std::mutex conns_mutex_;
+  std::map<std::string, ConnectionPtr> peers_;
+  std::map<std::string, ConnectionPtr> nodes_;
+
+  mutable std::mutex apps_mutex_;
+  std::condition_variable runs_cv_;
+  std::map<std::uint64_t, AppState> apps_;
+  std::map<std::uint64_t, RunState> runs_;
+  std::atomic<std::uint64_t> next_app_id_;
+
+  // Workers for blocking relays (tunnels) and asynchronous job execution;
+  // reader threads must never block on multi-hop calls.
+  ThreadPool workers_{4};
+  JobManager job_manager_;
+
+  // Open tunnels this proxy relays (tunnel id -> original open request).
+  mutable std::mutex tunnels_mutex_;
+  std::map<std::uint64_t, proto::TunnelOpen> tunnels_;
+
+  mutable std::mutex metrics_mutex_;
+  ProxyMetrics metrics_;
+
+  std::atomic<bool> shut_down_{false};
+};
+
+using ProxyServerPtr = std::unique_ptr<ProxyServer>;
+
+}  // namespace pg::proxy

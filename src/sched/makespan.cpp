@@ -1,0 +1,55 @@
+#include "sched/makespan.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pg::sched {
+
+MakespanResult evaluate_makespan_weighted(
+    const std::vector<monitor::GridNode>& nodes,
+    const std::vector<proto::RankPlacement>& placements,
+    const std::vector<double>& task_costs) {
+  assert(placements.size() == task_costs.size());
+
+  // Work queued per (site, node).
+  std::map<std::pair<std::string, std::string>, double> queued;
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    queued[{placements[i].site, placements[i].node}] += task_costs[i];
+  }
+
+  MakespanResult result;
+  double total_time = 0.0;
+  double max_time = 0.0;
+  std::size_t busy_nodes = 0;
+
+  for (const auto& node : nodes) {
+    const auto it = queued.find({node.site, node.status.name});
+    const double work = (it == queued.end() ? 0.0 : it->second);
+    const double background = node.status.cpu_load;
+    const double capacity =
+        node.status.cpu_capacity > 0 ? node.status.cpu_capacity : 1e-9;
+    const double finish = (work + background) / capacity;
+    total_time += finish;
+    max_time = std::max(max_time, finish);
+    if (work > 0) ++busy_nodes;
+  }
+
+  result.makespan = max_time;
+  if (!nodes.empty() && max_time > 0) {
+    const double mean_time = total_time / static_cast<double>(nodes.size());
+    result.load_imbalance = mean_time > 0 ? max_time / mean_time : 0.0;
+    result.average_utilization = mean_time / max_time;
+  }
+  (void)busy_nodes;
+  return result;
+}
+
+MakespanResult evaluate_makespan(
+    const std::vector<monitor::GridNode>& nodes,
+    const std::vector<proto::RankPlacement>& placements, double task_cost) {
+  return evaluate_makespan_weighted(
+      nodes, placements,
+      std::vector<double>(placements.size(), task_cost));
+}
+
+}  // namespace pg::sched

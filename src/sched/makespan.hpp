@@ -1,0 +1,36 @@
+// Makespan evaluation of a placement — the quality metric for experiment E5
+// (round-robin vs load-balanced distribution).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "monitor/aggregator.hpp"
+#include "proto/messages.hpp"
+
+namespace pg::sched {
+
+struct MakespanResult {
+  double makespan = 0.0;          // time until the last node finishes
+  double average_utilization = 0; // mean busy fraction across nodes
+  double load_imbalance = 0.0;    // max node time / mean node time
+};
+
+/// Evaluates a placement of equal-cost tasks (`task_cost` work units each)
+/// on heterogeneous nodes. Node finish time = (queued work + background
+/// load) / cpu_capacity. This mirrors the model the LoadBalancedScheduler
+/// optimizes, and is how the paper's "best possible use ... of the
+/// available resources" claim is quantified.
+MakespanResult evaluate_makespan(
+    const std::vector<monitor::GridNode>& nodes,
+    const std::vector<proto::RankPlacement>& placements,
+    double task_cost = 1.0);
+
+/// Variant with per-task costs (placements[i] runs tasks_costs[i]).
+MakespanResult evaluate_makespan_weighted(
+    const std::vector<monitor::GridNode>& nodes,
+    const std::vector<proto::RankPlacement>& placements,
+    const std::vector<double>& task_costs);
+
+}  // namespace pg::sched

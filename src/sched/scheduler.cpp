@@ -1,0 +1,118 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+
+namespace pg::sched {
+
+namespace {
+
+/// Nodes that satisfy the constraints, in deterministic (site, name) order.
+std::vector<const monitor::GridNode*> eligible_nodes(
+    const std::vector<monitor::GridNode>& nodes,
+    const Constraints& constraints) {
+  std::vector<const monitor::GridNode*> out;
+  for (const auto& node : nodes) {
+    if (node.status.ram_free_mb < constraints.min_ram_mb) continue;
+    if (node.status.cpu_load > constraints.max_load) continue;
+    out.push_back(&node);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const monitor::GridNode* a, const monitor::GridNode* b) {
+              if (a->site != b->site) return a->site < b->site;
+              return a->status.name < b->status.name;
+            });
+  return out;
+}
+
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  Result<std::vector<proto::RankPlacement>> assign(
+      const std::vector<monitor::GridNode>& nodes, std::uint32_t ranks,
+      const Constraints& constraints) override {
+    const auto eligible = eligible_nodes(nodes, constraints);
+    if (eligible.empty())
+      return error(ErrorCode::kUnavailable, "no eligible node");
+
+    std::vector<proto::RankPlacement> placements;
+    placements.reserve(ranks);
+    for (std::uint32_t rank = 0; rank < ranks; ++rank) {
+      const monitor::GridNode* node = eligible[rank % eligible.size()];
+      placements.push_back(
+          proto::RankPlacement{rank, node->site, node->status.name});
+    }
+    return placements;
+  }
+
+  std::string name() const override { return "round-robin"; }
+};
+
+class LoadBalancedScheduler final : public Scheduler {
+ public:
+  Result<std::vector<proto::RankPlacement>> assign(
+      const std::vector<monitor::GridNode>& nodes, std::uint32_t ranks,
+      const Constraints& constraints) override {
+    const auto eligible = eligible_nodes(nodes, constraints);
+    if (eligible.empty())
+      return error(ErrorCode::kUnavailable, "no eligible node");
+
+    // Projected queue length per node: current work (reported load and
+    // running processes) plus what this call has already assigned, all
+    // normalized by capacity. Greedy min-finish-time (classic list
+    // scheduling, 2-approximation for makespan).
+    struct Slot {
+      const monitor::GridNode* node;
+      double queued;  // work units already queued on this node
+    };
+    std::vector<Slot> slots;
+    slots.reserve(eligible.size());
+    for (const auto* node : eligible) {
+      const double existing = node->status.running_processes +
+                              node->status.cpu_load;
+      slots.push_back(Slot{node, existing});
+    }
+
+    std::vector<proto::RankPlacement> placements;
+    placements.reserve(ranks);
+    for (std::uint32_t rank = 0; rank < ranks; ++rank) {
+      Slot* best = &slots.front();
+      double best_finish = finish_time(*best);
+      for (auto& slot : slots) {
+        const double f = finish_time(slot);
+        if (f < best_finish) {
+          best = &slot;
+          best_finish = f;
+        }
+      }
+      placements.push_back(proto::RankPlacement{rank, best->node->site,
+                                                best->node->status.name});
+      best->queued += 1.0;
+    }
+    return placements;
+  }
+
+  std::string name() const override { return "load-balanced"; }
+
+ private:
+  static double finish_time(const auto& slot) {
+    // One more unit of work, finishing after everything queued, scaled by
+    // node speed.
+    return (slot.queued + 1.0) / slot.node->status.cpu_capacity;
+  }
+};
+
+}  // namespace
+
+SchedulerPtr make_scheduler(Policy policy) {
+  return policy == Policy::kRoundRobin ? make_round_robin_scheduler()
+                                       : make_load_balanced_scheduler();
+}
+
+SchedulerPtr make_round_robin_scheduler() {
+  return std::make_unique<RoundRobinScheduler>();
+}
+
+SchedulerPtr make_load_balanced_scheduler() {
+  return std::make_unique<LoadBalancedScheduler>();
+}
+
+}  // namespace pg::sched

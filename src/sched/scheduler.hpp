@@ -1,0 +1,56 @@
+// Resource scheduling (paper "Resource scheduling" layer).
+//
+// Two policies, matching the paper's comparison:
+//  * RoundRobinScheduler — "In its original form, the MPI uses the
+//    round-robin method to distribute the processes among the nodes."
+//  * LoadBalancedScheduler — the proxy's planned scheduler: "balanced
+//    process distribution using the grid's status information."
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "monitor/aggregator.hpp"
+#include "proto/messages.hpp"
+
+namespace pg::sched {
+
+/// Placement request constraints.
+struct Constraints {
+  std::uint64_t min_ram_mb = 0;   // node must have at least this free
+  double max_load = 1.0;          // skip nodes loaded beyond this
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Assigns `ranks` processes to the given nodes. Nodes may receive more
+  /// than one rank. Fails kUnavailable when no node satisfies the
+  /// constraints.
+  virtual Result<std::vector<proto::RankPlacement>> assign(
+      const std::vector<monitor::GridNode>& nodes, std::uint32_t ranks,
+      const Constraints& constraints) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using SchedulerPtr = std::unique_ptr<Scheduler>;
+
+/// Scheduling policy selector used by the job-facing APIs.
+enum class Policy { kRoundRobin, kLoadBalanced };
+
+/// Factory over Policy.
+SchedulerPtr make_scheduler(Policy policy);
+
+/// Cycles eligible nodes in (site, node)-name order, ignoring load.
+SchedulerPtr make_round_robin_scheduler();
+
+/// Greedy least-finish-time: each rank goes to the node whose projected
+/// completion (existing load + already-assigned ranks, scaled by capacity)
+/// is smallest. Uses the status data the proxies collect.
+SchedulerPtr make_load_balanced_scheduler();
+
+}  // namespace pg::sched

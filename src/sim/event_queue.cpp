@@ -1,0 +1,31 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace pg::sim {
+
+void EventQueue::schedule_at(TimeMicros when, Action action) {
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::step(TimeMicros until) {
+  if (queue_.empty() || queue_.top().when > until) return false;
+  // priority_queue::top() is const; move out via const_cast of the action
+  // only (safe: the element is popped immediately and never reordered by
+  // mutating `when`/`seq`).
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.when;
+  event.action();
+  return true;
+}
+
+std::size_t EventQueue::run(TimeMicros until) {
+  std::size_t executed = 0;
+  while (step(until)) ++executed;
+  return executed;
+}
+
+}  // namespace pg::sim

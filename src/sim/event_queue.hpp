@@ -1,0 +1,58 @@
+// Minimal discrete-event simulation engine.
+//
+// Drives the scheduling and monitoring experiments on virtual time:
+// deterministic, instant, independent of the host machine's load — the
+// property that lets EXPERIMENTS.md report reproducible numbers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace pg::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute virtual time `when` (>= now()).
+  /// Events at equal times fire in scheduling order (stable).
+  void schedule_at(TimeMicros when, Action action);
+  void schedule_after(TimeMicros delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Runs events until the queue drains or `until` is passed.
+  /// Returns the number of events executed.
+  std::size_t run(TimeMicros until = INT64_MAX);
+
+  /// Executes at most one event; false if the queue is empty or the next
+  /// event is later than `until`.
+  bool step(TimeMicros until = INT64_MAX);
+
+  TimeMicros now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimeMicros when;
+    std::uint64_t seq;  // tie-break: stable FIFO at equal times
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TimeMicros now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace pg::sim

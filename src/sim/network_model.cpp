@@ -1,0 +1,56 @@
+#include "sim/network_model.hpp"
+
+#include <cmath>
+
+namespace pg::sim {
+
+namespace {
+TimeMicros bytes_to_micros(std::uint64_t bytes, double mb_per_s) {
+  if (mb_per_s <= 0) return 0;
+  const double seconds =
+      static_cast<double>(bytes) / (mb_per_s * 1024.0 * 1024.0);
+  return static_cast<TimeMicros>(std::llround(seconds * 1e6));
+}
+}  // namespace
+
+TimeMicros LinkProfile::transfer_time(std::uint64_t bytes,
+                                      bool encrypted) const {
+  TimeMicros t = latency + bytes_to_micros(bytes, bandwidth_mb_per_s);
+  if (encrypted) t += bytes_to_micros(bytes, crypto_mb_per_s);
+  return t;
+}
+
+LinkProfile lan_link() {
+  return LinkProfile{
+      .name = "lan",
+      .latency = 100,               // 0.1 ms switch + stack
+      .bandwidth_mb_per_s = 12.5,   // 100 Mbit
+      .crypto_mb_per_s = 50.0,
+  };
+}
+
+LinkProfile wan_link() {
+  return LinkProfile{
+      .name = "wan",
+      .latency = 15'000,            // 15 ms one-way
+      .bandwidth_mb_per_s = 1.25,   // 10 Mbit
+      .crypto_mb_per_s = 50.0,
+  };
+}
+
+TimeMicros Path::transfer_time(std::uint64_t bytes) const {
+  TimeMicros total = 0;
+  for (const auto& hop : hops) {
+    total += hop.link.transfer_time(bytes, hop.encrypted);
+  }
+  return total;
+}
+
+TimeMicros modelled_time(const TrafficSummary& traffic,
+                         const LinkProfile& link) {
+  return static_cast<TimeMicros>(traffic.messages) * link.latency +
+         bytes_to_micros(traffic.bytes, link.bandwidth_mb_per_s) +
+         bytes_to_micros(traffic.crypto_bytes, link.crypto_mb_per_s);
+}
+
+}  // namespace pg::sim

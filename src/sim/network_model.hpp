@@ -1,0 +1,55 @@
+// Analytical network cost model.
+//
+// The threaded grid runs over in-process channels, which have no physical
+// latency; this model converts the byte/message counters those channels
+// collect into modelled WAN/LAN transfer times, so the overhead experiments
+// can report time-shaped results as well as byte counts. Profiles default to
+// 2003-era hardware (Fast Ethernet LANs, ~10 Mbit inter-site links, ~50 MB/s
+// software crypto), matching the paper's setting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace pg::sim {
+
+struct LinkProfile {
+  std::string name;
+  TimeMicros latency = 0;         // one-way propagation + stack cost
+  double bandwidth_mb_per_s = 12.5;  // payload bandwidth (MB/s)
+  double crypto_mb_per_s = 50.0;     // cipher+MAC throughput (MB/s)
+
+  /// Time for one message of `bytes` over this link.
+  TimeMicros transfer_time(std::uint64_t bytes, bool encrypted) const;
+};
+
+/// Typical profiles for the reproduction's topology.
+LinkProfile lan_link();        // intra-site: 100 Mbit switched Ethernet
+LinkProfile wan_link();        // inter-site: 10 Mbit, 30 ms RTT Internet path
+
+/// A path is a sequence of store-and-forward hops (e.g. node->proxy->proxy
+/// ->node). Total = sum of hop times for the same payload.
+struct Path {
+  struct Hop {
+    LinkProfile link;
+    bool encrypted = false;
+  };
+  std::vector<Hop> hops;
+
+  TimeMicros transfer_time(std::uint64_t bytes) const;
+};
+
+/// Aggregate traffic converted to time: messages * latency + bytes at
+/// bandwidth (+ crypto) — the bulk formula used by the benches.
+struct TrafficSummary {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t crypto_bytes = 0;  // subset of bytes that was ciphered
+};
+TimeMicros modelled_time(const TrafficSummary& traffic,
+                         const LinkProfile& link);
+
+}  // namespace pg::sim

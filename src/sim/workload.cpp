@@ -1,0 +1,68 @@
+#include "sim/workload.hpp"
+
+namespace pg::sim {
+
+std::vector<monitor::GridNode> generate_grid(
+    const std::vector<SiteSpec>& sites, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<monitor::GridNode> out;
+  for (const auto& site : sites) {
+    for (std::size_t i = 0; i < site.nodes; ++i) {
+      proto::NodeStatus status;
+      status.name = "node" + std::to_string(i);
+      status.cpu_capacity =
+          site.min_capacity +
+          rng.next_double() * (site.max_capacity - site.min_capacity);
+      status.cpu_load =
+          site.min_load + rng.next_double() * (site.max_load - site.min_load);
+      status.ram_total_mb = 4096;
+      status.ram_free_mb = 2048 + rng.next_below(2048);
+      status.disk_total_mb = 100000;
+      status.disk_free_mb = 50000 + rng.next_below(50000);
+      status.running_processes = 0;
+      out.push_back(monitor::GridNode{site.name, std::move(status)});
+    }
+  }
+  return out;
+}
+
+std::vector<monitor::GridNode> generate_uniform_grid(std::size_t site_count,
+                                                     std::size_t nodes_per_site,
+                                                     double max_speed_ratio,
+                                                     std::uint64_t seed) {
+  std::vector<SiteSpec> specs;
+  specs.reserve(site_count);
+  for (std::size_t s = 0; s < site_count; ++s) {
+    SiteSpec spec;
+    spec.name = "site" + std::string(1, static_cast<char>('A' + (s % 26))) +
+                (s >= 26 ? std::to_string(s / 26) : "");
+    spec.nodes = nodes_per_site;
+    spec.min_capacity = 1.0;
+    spec.max_capacity = max_speed_ratio;
+    specs.push_back(spec);
+  }
+  return generate_grid(specs, seed);
+}
+
+std::vector<double> generate_task_costs(std::size_t count, double min_cost,
+                                        double max_cost, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(min_cost + rng.next_double() * (max_cost - min_cost));
+  }
+  return out;
+}
+
+std::vector<std::size_t> message_size_sweep(std::size_t min_bytes,
+                                            std::size_t max_bytes) {
+  std::vector<std::size_t> out;
+  for (std::size_t size = min_bytes; size <= max_bytes; size *= 2) {
+    out.push_back(size);
+    if (size > max_bytes / 2) break;
+  }
+  return out;
+}
+
+}  // namespace pg::sim

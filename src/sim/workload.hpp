@@ -1,0 +1,47 @@
+// Seeded synthetic workload generators used by tests and benchmarks.
+//
+// Substitutes for the production traces the paper's authors would have had:
+// heterogeneous clusters, job streams and message-size sweeps with
+// controlled distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "monitor/aggregator.hpp"
+
+namespace pg::sim {
+
+/// Shape of a generated site.
+struct SiteSpec {
+  std::string name;
+  std::size_t nodes = 4;
+  double min_capacity = 1.0;  // node speeds uniform in [min, max]
+  double max_capacity = 1.0;
+  double min_load = 0.0;      // background load uniform in [min, max]
+  double max_load = 0.3;
+};
+
+/// Generates flattened (site, node) rows ready for the schedulers.
+std::vector<monitor::GridNode> generate_grid(const std::vector<SiteSpec>& sites,
+                                             std::uint64_t seed);
+
+/// Convenience: `site_count` sites of `nodes_per_site` nodes with
+/// heterogeneity ratio `max_speed_ratio` (1.0 = homogeneous).
+std::vector<monitor::GridNode> generate_uniform_grid(std::size_t site_count,
+                                                     std::size_t nodes_per_site,
+                                                     double max_speed_ratio,
+                                                     std::uint64_t seed);
+
+/// Task cost stream: uniform in [min_cost, max_cost].
+std::vector<double> generate_task_costs(std::size_t count, double min_cost,
+                                        double max_cost, std::uint64_t seed);
+
+/// Message size sweep used by the latency/bandwidth experiments:
+/// powers of two from `min_bytes` to `max_bytes` inclusive.
+std::vector<std::size_t> message_size_sweep(std::size_t min_bytes,
+                                            std::size_t max_bytes);
+
+}  // namespace pg::sim

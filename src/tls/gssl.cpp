@@ -1,0 +1,405 @@
+// GSSL handshake and session implementation.
+#include "tls/gssl.hpp"
+
+#include <mutex>
+
+#include "common/serde.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "tls/record.hpp"
+
+namespace pg::tls {
+
+namespace {
+
+using internal::Record;
+using internal::RecordCipher;
+using internal::RecordType;
+
+constexpr std::size_t kNonceSize = 32;
+constexpr std::size_t kPremasterSize = 48;
+constexpr std::size_t kRecordHeaderSize = 5;
+
+enum class HsType : std::uint8_t {
+  kClientHello = 1,
+  kServerHello = 2,
+  kKeyExchange = 3,
+  kCertVerify = 4,
+  kFinished = 5,
+};
+
+// ---------------------------------------------------------------------
+// Handshake message encoding.
+
+Bytes encode_hello(HsType type, BytesView nonce,
+                   const crypto::Certificate& cert) {
+  BufferWriter w;
+  w.put_u8(static_cast<std::uint8_t>(type));
+  w.put_bytes(nonce);
+  w.put_bytes(cert.serialize());
+  return w.take();
+}
+
+struct Hello {
+  Bytes nonce;
+  crypto::Certificate certificate;
+};
+
+Result<Hello> decode_hello(HsType expected, BytesView payload) {
+  BufferReader r(payload);
+  std::uint8_t type = 0;
+  PG_RETURN_IF_ERROR(r.get_u8(type));
+  if (type != static_cast<std::uint8_t>(expected))
+    return error(ErrorCode::kProtocolError, "unexpected handshake message");
+  Hello hello;
+  Bytes cert_bytes;
+  PG_RETURN_IF_ERROR(r.get_bytes(hello.nonce));
+  PG_RETURN_IF_ERROR(r.get_bytes(cert_bytes));
+  PG_RETURN_IF_ERROR(r.expect_end());
+  if (hello.nonce.size() != kNonceSize)
+    return error(ErrorCode::kProtocolError, "bad hello nonce size");
+  Result<crypto::Certificate> cert =
+      crypto::Certificate::deserialize(cert_bytes);
+  if (!cert.is_ok()) return cert.status();
+  hello.certificate = cert.take();
+  return hello;
+}
+
+Bytes encode_blob(HsType type, BytesView blob) {
+  BufferWriter w;
+  w.put_u8(static_cast<std::uint8_t>(type));
+  w.put_bytes(blob);
+  return w.take();
+}
+
+Result<Bytes> decode_blob(HsType expected, BytesView payload) {
+  BufferReader r(payload);
+  std::uint8_t type = 0;
+  PG_RETURN_IF_ERROR(r.get_u8(type));
+  if (type != static_cast<std::uint8_t>(expected))
+    return error(ErrorCode::kProtocolError, "unexpected handshake message");
+  Bytes blob;
+  PG_RETURN_IF_ERROR(r.get_bytes(blob));
+  PG_RETURN_IF_ERROR(r.expect_end());
+  return blob;
+}
+
+// ---------------------------------------------------------------------
+// Key schedule.
+
+struct SessionKeys {
+  Bytes client_key, server_key;
+  Bytes client_mac, server_mac;
+  Bytes client_iv, server_iv;
+};
+
+Bytes derive_master(BytesView premaster, BytesView client_nonce,
+                    BytesView server_nonce) {
+  Bytes salt;
+  append(salt, client_nonce);
+  append(salt, server_nonce);
+  return crypto::hkdf(salt, premaster, to_bytes("gssl master secret"), 32);
+}
+
+SessionKeys derive_keys(BytesView master) {
+  const Bytes block =
+      crypto::hkdf_expand(master, to_bytes("gssl key expansion"), 152);
+  SessionKeys keys;
+  auto slice = [&block](std::size_t off, std::size_t len) {
+    return Bytes(block.begin() + static_cast<std::ptrdiff_t>(off),
+                 block.begin() + static_cast<std::ptrdiff_t>(off + len));
+  };
+  keys.client_key = slice(0, 32);
+  keys.server_key = slice(32, 32);
+  keys.client_mac = slice(64, 32);
+  keys.server_mac = slice(96, 32);
+  keys.client_iv = slice(128, 12);
+  keys.server_iv = slice(140, 12);
+  return keys;
+}
+
+Bytes finished_mac(BytesView master, std::string_view label,
+                   BytesView transcript) {
+  Bytes input = to_bytes(label);
+  append(input, crypto::sha256(transcript));
+  return crypto::hmac_sha256(master, input);
+}
+
+// ---------------------------------------------------------------------
+// Handshake plumbing shared by both sides.
+
+class HandshakeIo {
+ public:
+  explicit HandshakeIo(net::Channel& channel) : channel_(channel) {}
+
+  Status send(BytesView payload) {
+    bytes_ += payload.size() + kRecordHeaderSize;
+    append(transcript_, payload);
+    return internal::write_record(channel_, RecordType::kHandshake, payload);
+  }
+
+  Result<Bytes> recv() {
+    Result<Record> record = internal::read_record(channel_);
+    if (!record.is_ok()) return record.status();
+    if (record.value().type == RecordType::kAlert)
+      return error(ErrorCode::kCryptoError,
+                   "peer alert: " + to_string(record.value().payload));
+    if (record.value().type != RecordType::kHandshake)
+      return error(ErrorCode::kProtocolError,
+                   "expected handshake record");
+    bytes_ += record.value().payload.size() + kRecordHeaderSize;
+    append(transcript_, record.value().payload);
+    return std::move(record.value().payload);
+  }
+
+  /// Transcript of every handshake payload exchanged so far, in order.
+  const Bytes& transcript() const { return transcript_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+  void send_alert(const std::string& reason) {
+    (void)internal::write_record(channel_, RecordType::kAlert,
+                                 to_bytes(reason));
+  }
+
+ private:
+  net::Channel& channel_;
+  Bytes transcript_;
+  std::uint64_t bytes_ = 0;
+};
+
+Status verify_peer_cert(const crypto::Certificate& cert,
+                        const GsslConfig& config, const Clock& clock) {
+  PG_RETURN_IF_ERROR(crypto::CertificateAuthority::verify_with_key(
+      cert, config.ca_name, config.ca_key, clock.now()));
+  if (!config.expected_peer.empty() && cert.subject != config.expected_peer)
+    return error(ErrorCode::kCryptoError,
+                 "peer subject mismatch: got " + cert.subject + ", want " +
+                     config.expected_peer);
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------
+// Session.
+
+class GsslSessionImpl final : public GsslSession {
+ public:
+  GsslSessionImpl(net::Channel& channel, RecordCipher send_cipher,
+                  RecordCipher recv_cipher, crypto::Certificate peer,
+                  std::uint64_t handshake_bytes)
+      : channel_(channel),
+        send_cipher_(std::move(send_cipher)),
+        recv_cipher_(std::move(recv_cipher)),
+        peer_(std::move(peer)) {
+    stats_.handshake_bytes = handshake_bytes;
+  }
+
+  Status send(BytesView message) override {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    const Bytes sealed = send_cipher_.seal(RecordType::kData, message);
+    PG_RETURN_IF_ERROR(
+        internal::write_record(channel_, RecordType::kData, sealed));
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++stats_.records_sent;
+    stats_.plaintext_bytes_sent += message.size();
+    stats_.ciphertext_bytes_sent += sealed.size() + kRecordHeaderSize;
+    return Status::ok();
+  }
+
+  Result<Bytes> recv() override {
+    std::lock_guard<std::mutex> lock(recv_mutex_);
+    for (;;) {
+      Result<Record> record = internal::read_record(channel_);
+      if (!record.is_ok()) return record.status();
+      if (record.value().type == RecordType::kAlert)
+        return error(ErrorCode::kCryptoError,
+                     "peer alert: " + to_string(record.value().payload));
+      if (record.value().type != RecordType::kData)
+        return error(ErrorCode::kProtocolError,
+                     "unexpected record type after handshake");
+      Result<Bytes> plain =
+          recv_cipher_.open(RecordType::kData, record.value().payload);
+      if (plain.is_ok()) {
+        std::lock_guard<std::mutex> slock(stats_mutex_);
+        ++stats_.records_received;
+      }
+      return plain;
+    }
+  }
+
+  void close() override { channel_.close(); }
+
+  const crypto::Certificate& peer_certificate() const override {
+    return peer_;
+  }
+
+  GsslStats stats() const override {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+  }
+
+ private:
+  net::Channel& channel_;
+  std::mutex send_mutex_;
+  std::mutex recv_mutex_;
+  mutable std::mutex stats_mutex_;
+  RecordCipher send_cipher_;
+  RecordCipher recv_cipher_;
+  crypto::Certificate peer_;
+  GsslStats stats_;
+};
+
+}  // namespace
+
+Result<GsslSessionPtr> gssl_client_handshake(net::Channel& channel,
+                                             const GsslConfig& config,
+                                             const Clock& clock, Rng& rng) {
+  HandshakeIo io(channel);
+
+  // -> ClientHello
+  const Bytes client_nonce = rng.next_bytes(kNonceSize);
+  PG_RETURN_IF_ERROR(io.send(
+      encode_hello(HsType::kClientHello, client_nonce, config.identity.certificate)));
+
+  // <- ServerHello
+  Result<Bytes> sh_payload = io.recv();
+  if (!sh_payload.is_ok()) return sh_payload.status();
+  Result<Hello> server_hello =
+      decode_hello(HsType::kServerHello, sh_payload.value());
+  if (!server_hello.is_ok()) return server_hello.status();
+  {
+    const Status cert_ok =
+        verify_peer_cert(server_hello.value().certificate, config, clock);
+    if (!cert_ok.is_ok()) {
+      io.send_alert(cert_ok.to_string());
+      return cert_ok;
+    }
+  }
+
+  // -> KeyExchange (premaster under the server's public key)
+  const Bytes premaster = rng.next_bytes(kPremasterSize);
+  Result<Bytes> encrypted = crypto::rsa_encrypt(
+      server_hello.value().certificate.public_key, premaster, rng);
+  if (!encrypted.is_ok()) return encrypted.status();
+  PG_RETURN_IF_ERROR(
+      io.send(encode_blob(HsType::kKeyExchange, encrypted.value())));
+
+  // -> CertVerify (proof of possession of the client key)
+  const Bytes cv_signature = crypto::rsa_sign(
+      config.identity.private_key, crypto::sha256(io.transcript()));
+  PG_RETURN_IF_ERROR(io.send(encode_blob(HsType::kCertVerify, cv_signature)));
+
+  const Bytes master =
+      derive_master(premaster, client_nonce, server_hello.value().nonce);
+
+  // -> Finished
+  const Bytes client_fin =
+      finished_mac(master, "client finished", io.transcript());
+  PG_RETURN_IF_ERROR(io.send(encode_blob(HsType::kFinished, client_fin)));
+
+  // <- Finished
+  const Bytes pre_server_fin_transcript = io.transcript();
+  Result<Bytes> fin_payload = io.recv();
+  if (!fin_payload.is_ok()) return fin_payload.status();
+  Result<Bytes> server_fin = decode_blob(HsType::kFinished, fin_payload.value());
+  if (!server_fin.is_ok()) return server_fin.status();
+  const Bytes expected_fin =
+      finished_mac(master, "server finished", pre_server_fin_transcript);
+  if (!constant_time_equal(server_fin.value(), expected_fin))
+    return error(ErrorCode::kCryptoError, "server Finished MAC mismatch");
+
+  const SessionKeys keys = derive_keys(master);
+  return GsslSessionPtr(new GsslSessionImpl(
+      channel,
+      RecordCipher(keys.client_key, keys.client_mac, keys.client_iv),
+      RecordCipher(keys.server_key, keys.server_mac, keys.server_iv),
+      server_hello.value().certificate, io.bytes()));
+}
+
+Result<GsslSessionPtr> gssl_server_handshake(net::Channel& channel,
+                                             const GsslConfig& config,
+                                             const Clock& clock, Rng& rng) {
+  HandshakeIo io(channel);
+
+  // <- ClientHello
+  Result<Bytes> ch_payload = io.recv();
+  if (!ch_payload.is_ok()) return ch_payload.status();
+  Result<Hello> client_hello =
+      decode_hello(HsType::kClientHello, ch_payload.value());
+  if (!client_hello.is_ok()) return client_hello.status();
+  {
+    const Status cert_ok =
+        verify_peer_cert(client_hello.value().certificate, config, clock);
+    if (!cert_ok.is_ok()) {
+      io.send_alert(cert_ok.to_string());
+      return cert_ok;
+    }
+  }
+
+  // -> ServerHello
+  const Bytes server_nonce = rng.next_bytes(kNonceSize);
+  PG_RETURN_IF_ERROR(io.send(encode_hello(
+      HsType::kServerHello, server_nonce, config.identity.certificate)));
+
+  // <- KeyExchange
+  Result<Bytes> kx_payload = io.recv();
+  if (!kx_payload.is_ok()) return kx_payload.status();
+  Result<Bytes> encrypted =
+      decode_blob(HsType::kKeyExchange, kx_payload.value());
+  if (!encrypted.is_ok()) return encrypted.status();
+  const Bytes pre_cv_transcript = io.transcript();
+  Result<Bytes> premaster =
+      crypto::rsa_decrypt(config.identity.private_key, encrypted.value());
+  if (!premaster.is_ok()) {
+    io.send_alert("key exchange failed");
+    return premaster.status();
+  }
+  if (premaster.value().size() != kPremasterSize) {
+    io.send_alert("bad premaster size");
+    return error(ErrorCode::kCryptoError, "bad premaster size");
+  }
+
+  // <- CertVerify
+  Result<Bytes> cv_payload = io.recv();
+  if (!cv_payload.is_ok()) return cv_payload.status();
+  Result<Bytes> cv_signature =
+      decode_blob(HsType::kCertVerify, cv_payload.value());
+  if (!cv_signature.is_ok()) return cv_signature.status();
+  if (!crypto::rsa_verify(client_hello.value().certificate.public_key,
+                          crypto::sha256(pre_cv_transcript),
+                          cv_signature.value())) {
+    io.send_alert("certificate verify failed");
+    return error(ErrorCode::kCryptoError,
+                 "client CertVerify signature invalid");
+  }
+
+  const Bytes master = derive_master(premaster.value(),
+                                     client_hello.value().nonce, server_nonce);
+
+  // <- Finished
+  const Bytes pre_client_fin_transcript = io.transcript();
+  Result<Bytes> fin_payload = io.recv();
+  if (!fin_payload.is_ok()) return fin_payload.status();
+  Result<Bytes> client_fin =
+      decode_blob(HsType::kFinished, fin_payload.value());
+  if (!client_fin.is_ok()) return client_fin.status();
+  const Bytes expected_fin =
+      finished_mac(master, "client finished", pre_client_fin_transcript);
+  if (!constant_time_equal(client_fin.value(), expected_fin)) {
+    io.send_alert("finished mismatch");
+    return error(ErrorCode::kCryptoError, "client Finished MAC mismatch");
+  }
+
+  // -> Finished
+  const Bytes server_fin =
+      finished_mac(master, "server finished", io.transcript());
+  PG_RETURN_IF_ERROR(io.send(encode_blob(HsType::kFinished, server_fin)));
+
+  const SessionKeys keys = derive_keys(master);
+  return GsslSessionPtr(new GsslSessionImpl(
+      channel,
+      RecordCipher(keys.server_key, keys.server_mac, keys.server_iv),
+      RecordCipher(keys.client_key, keys.client_mac, keys.client_iv),
+      client_hello.value().certificate, io.bytes()));
+}
+
+}  // namespace pg::tls

@@ -1,0 +1,88 @@
+#include "tls/link.hpp"
+
+#include <mutex>
+
+#include "net/framer.hpp"
+
+namespace pg::tls {
+
+namespace {
+
+class PlainLink final : public MessageLink {
+ public:
+  explicit PlainLink(net::Channel& channel) : channel_(channel) {}
+
+  Status send(BytesView message) override {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    PG_RETURN_IF_ERROR(net::write_frame(channel_, message));
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++stats_.messages_sent;
+    stats_.payload_bytes_sent += message.size();
+    stats_.wire_bytes_sent += message.size() + 4;
+    return Status::ok();
+  }
+
+  Result<Bytes> recv() override {
+    Result<Bytes> frame = net::read_frame(channel_);
+    if (frame.is_ok()) {
+      std::lock_guard<std::mutex> slock(stats_mutex_);
+      ++stats_.messages_received;
+    }
+    return frame;
+  }
+
+  void close() override { channel_.close(); }
+  bool is_encrypted() const override { return false; }
+
+  LinkStats stats() const override {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    return stats_;
+  }
+
+ private:
+  net::Channel& channel_;
+  std::mutex send_mutex_;
+  mutable std::mutex stats_mutex_;
+  LinkStats stats_;
+};
+
+class SecureLink final : public MessageLink {
+ public:
+  explicit SecureLink(GsslSessionPtr session) : session_(std::move(session)) {}
+
+  Status send(BytesView message) override {
+    return session_->send(message);
+  }
+
+  Result<Bytes> recv() override { return session_->recv(); }
+
+  void close() override { session_->close(); }
+  bool is_encrypted() const override { return true; }
+
+  LinkStats stats() const override {
+    const GsslStats gs = session_->stats();
+    LinkStats ls;
+    ls.messages_sent = gs.records_sent;
+    ls.messages_received = gs.records_received;
+    ls.payload_bytes_sent = gs.plaintext_bytes_sent;
+    ls.wire_bytes_sent = gs.ciphertext_bytes_sent;
+    ls.crypto_bytes = gs.plaintext_bytes_sent;
+    ls.handshake_bytes = gs.handshake_bytes;
+    return ls;
+  }
+
+ private:
+  GsslSessionPtr session_;
+};
+
+}  // namespace
+
+MessageLinkPtr make_plain_link(net::Channel& channel) {
+  return std::make_unique<PlainLink>(channel);
+}
+
+MessageLinkPtr make_secure_link(GsslSessionPtr session) {
+  return std::make_unique<SecureLink>(std::move(session));
+}
+
+}  // namespace pg::tls

@@ -1,0 +1,52 @@
+// MessageLink — a message-oriented connection that is either plaintext or
+// GSSL-protected.
+//
+// The paper's edge-tunneling rule (§3): "By default, the local communication
+// at each site is not encrypted ... If a node in the site requires a safe
+// channel, it can be made available by the proxy through an explicit call."
+// The proxy and MPI layers therefore talk to a MessageLink and never care
+// which kind they got; deployment policy decides.
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "net/channel.hpp"
+#include "tls/gssl.hpp"
+
+namespace pg::tls {
+
+struct LinkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t payload_bytes_sent = 0;
+  std::uint64_t wire_bytes_sent = 0;   // payload + framing (+ crypto overhead)
+  std::uint64_t crypto_bytes = 0;      // bytes that passed through the cipher
+  std::uint64_t handshake_bytes = 0;   // 0 for plaintext links
+};
+
+/// One end of a message pipe. Thread-compatible: one sender thread and one
+/// receiver thread may operate concurrently.
+class MessageLink {
+ public:
+  virtual ~MessageLink() = default;
+
+  virtual Status send(BytesView message) = 0;
+  virtual Result<Bytes> recv() = 0;
+  virtual void close() = 0;
+  virtual bool is_encrypted() const = 0;
+  virtual LinkStats stats() const = 0;
+};
+
+using MessageLinkPtr = std::unique_ptr<MessageLink>;
+
+/// Plaintext link: length-prefixed frames straight over the channel.
+/// The link does not own the channel.
+MessageLinkPtr make_plain_link(net::Channel& channel);
+
+/// Secure link wrapping an established GSSL session (which must outlive
+/// this link's channel use; the link takes ownership of the session).
+MessageLinkPtr make_secure_link(GsslSessionPtr session);
+
+}  // namespace pg::tls

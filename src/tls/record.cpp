@@ -1,0 +1,103 @@
+#include "tls/record.hpp"
+
+#include "common/serde.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace pg::tls::internal {
+
+namespace {
+constexpr std::size_t kMaxRecordSize = 16 * 1024 * 1024;
+constexpr std::size_t kMacSize = crypto::kSha256DigestSize;
+}  // namespace
+
+Status write_record(net::Channel& channel, RecordType type,
+                    BytesView payload) {
+  if (payload.size() > kMaxRecordSize)
+    return error(ErrorCode::kInvalidArgument, "record too large");
+  BufferWriter w;
+  w.put_u8(static_cast<std::uint8_t>(type));
+  w.put_u32(static_cast<std::uint32_t>(payload.size()));
+  w.put_raw(payload);
+  return channel.write(w.data());
+}
+
+Result<Record> read_record(net::Channel& channel) {
+  std::uint8_t header[5];
+  Result<std::size_t> first = channel.read(header, 5);
+  if (!first.is_ok()) return first.status();
+  if (first.value() == 0) return error(ErrorCode::kUnavailable, "eof");
+  if (first.value() < 5) {
+    PG_RETURN_IF_ERROR(
+        channel.read_exact(header + first.value(), 5 - first.value()));
+  }
+
+  const auto raw_type = header[0];
+  if (raw_type < 1 || raw_type > 3)
+    return error(ErrorCode::kProtocolError, "unknown record type");
+  const std::uint32_t len = (static_cast<std::uint32_t>(header[1]) << 24) |
+                            (static_cast<std::uint32_t>(header[2]) << 16) |
+                            (static_cast<std::uint32_t>(header[3]) << 8) |
+                            static_cast<std::uint32_t>(header[4]);
+  if (len > kMaxRecordSize)
+    return error(ErrorCode::kProtocolError, "oversized record");
+
+  Record record;
+  record.type = static_cast<RecordType>(raw_type);
+  record.payload.resize(len);
+  if (len > 0)
+    PG_RETURN_IF_ERROR(channel.read_exact(record.payload.data(), len));
+  return record;
+}
+
+RecordCipher::RecordCipher(Bytes key, Bytes mac_key, Bytes iv)
+    : key_(std::move(key)), mac_key_(std::move(mac_key)), iv_(std::move(iv)) {}
+
+Bytes RecordCipher::nonce_for(std::uint64_t seq) const {
+  // 12-byte nonce = iv XOR (zero-padded big-endian seq), TLS 1.3 style.
+  Bytes nonce = iv_;
+  for (int i = 0; i < 8; ++i) {
+    nonce[nonce.size() - 1 - static_cast<std::size_t>(i)] ^=
+        static_cast<std::uint8_t>(seq >> (8 * i));
+  }
+  return nonce;
+}
+
+Bytes RecordCipher::mac_input(std::uint64_t seq, RecordType type,
+                              BytesView ciphertext) const {
+  BufferWriter w;
+  w.put_u64(seq);
+  w.put_u8(static_cast<std::uint8_t>(type));
+  w.put_raw(ciphertext);
+  return w.take();
+}
+
+Bytes RecordCipher::seal(RecordType type, BytesView plaintext) {
+  const Bytes nonce = nonce_for(seq_);
+  Bytes out = crypto::chacha20_xor(key_, nonce, 1, plaintext);
+  const Bytes mac = crypto::hmac_sha256(mac_key_, mac_input(seq_, type, out));
+  append(out, mac);
+  ++seq_;
+  return out;
+}
+
+Result<Bytes> RecordCipher::open(RecordType type,
+                                 BytesView protected_payload) {
+  if (protected_payload.size() < kMacSize)
+    return error(ErrorCode::kCryptoError, "record shorter than MAC");
+  const BytesView ciphertext =
+      protected_payload.subspan(0, protected_payload.size() - kMacSize);
+  const BytesView mac = protected_payload.subspan(ciphertext.size());
+
+  const Bytes expected =
+      crypto::hmac_sha256(mac_key_, mac_input(seq_, type, ciphertext));
+  if (!constant_time_equal(mac, expected))
+    return error(ErrorCode::kCryptoError, "record MAC mismatch");
+
+  const Bytes nonce = nonce_for(seq_);
+  ++seq_;
+  return crypto::chacha20_xor(key_, nonce, 1, ciphertext);
+}
+
+}  // namespace pg::tls::internal

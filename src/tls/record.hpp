@@ -1,0 +1,53 @@
+// GSSL record layer (internal to src/tls).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "net/channel.hpp"
+
+namespace pg::tls::internal {
+
+enum class RecordType : std::uint8_t {
+  kHandshake = 1,
+  kData = 2,
+  kAlert = 3,
+};
+
+struct Record {
+  RecordType type;
+  Bytes payload;
+};
+
+/// Writes [type u8][len u32][payload]. Payload is already protected (or
+/// plaintext during the handshake).
+Status write_record(net::Channel& channel, RecordType type, BytesView payload);
+
+/// Reads one record; enforces a size bound against hostile peers.
+Result<Record> read_record(net::Channel& channel);
+
+/// Directional record protection: ChaCha20 encryption + HMAC-SHA-256
+/// (encrypt-then-MAC), nonce = iv XOR sequence number.
+class RecordCipher {
+ public:
+  RecordCipher(Bytes key, Bytes mac_key, Bytes iv);
+
+  /// Protects `plaintext`; increments the send sequence.
+  Bytes seal(RecordType type, BytesView plaintext);
+
+  /// Verifies and decrypts; increments the receive sequence on success.
+  Result<Bytes> open(RecordType type, BytesView protected_payload);
+
+ private:
+  Bytes nonce_for(std::uint64_t seq) const;
+  Bytes mac_input(std::uint64_t seq, RecordType type,
+                  BytesView ciphertext) const;
+
+  Bytes key_;
+  Bytes mac_key_;
+  Bytes iv_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace pg::tls::internal

@@ -1,0 +1,393 @@
+// Tests for layer-2 security: passwords, ACLs, signatures, tickets, and the
+// combined authenticator.
+#include <gtest/gtest.h>
+
+#include "auth/acl.hpp"
+#include "auth/authenticator.hpp"
+#include "auth/password.hpp"
+#include "auth/signature.hpp"
+#include "auth/ticket.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "crypto/rsa.hpp"
+
+namespace pg::auth {
+namespace {
+
+// ------------------------------------------------------------- passwords
+
+TEST(PasswordStore, AcceptsCorrectPassword) {
+  Rng rng(1);
+  PasswordStore store(100);
+  store.set_password("alice", "hunter2", rng);
+  EXPECT_TRUE(store.verify("alice", "hunter2").is_ok());
+}
+
+TEST(PasswordStore, RejectsWrongPassword) {
+  Rng rng(2);
+  PasswordStore store(100);
+  store.set_password("alice", "hunter2", rng);
+  EXPECT_EQ(store.verify("alice", "hunter3").code(),
+            ErrorCode::kUnauthenticated);
+}
+
+TEST(PasswordStore, RejectsUnknownUserIndistinguishably) {
+  Rng rng(3);
+  PasswordStore store(100);
+  store.set_password("alice", "pw", rng);
+  const Status unknown = store.verify("mallory", "pw");
+  const Status wrong = store.verify("alice", "bad");
+  EXPECT_EQ(unknown.code(), wrong.code());
+  EXPECT_EQ(unknown.message(), wrong.message());  // no user-enumeration oracle
+}
+
+TEST(PasswordStore, PasswordChangeInvalidatesOld) {
+  Rng rng(4);
+  PasswordStore store(100);
+  store.set_password("alice", "old", rng);
+  store.set_password("alice", "new", rng);
+  EXPECT_FALSE(store.verify("alice", "old").is_ok());
+  EXPECT_TRUE(store.verify("alice", "new").is_ok());
+}
+
+TEST(PasswordStore, RemoveUser) {
+  Rng rng(5);
+  PasswordStore store(100);
+  store.set_password("alice", "pw", rng);
+  EXPECT_TRUE(store.has_user("alice"));
+  store.remove_user("alice");
+  EXPECT_FALSE(store.has_user("alice"));
+  EXPECT_FALSE(store.verify("alice", "pw").is_ok());
+}
+
+TEST(PasswordStore, SaltsDifferPerUser) {
+  // Same password, two users: stored hashes must differ (salted).
+  Rng rng(6);
+  PasswordStore store(100);
+  store.set_password("u1", "same", rng);
+  store.set_password("u2", "same", rng);
+  // Indirect check: both verify, and cross-verification is impossible to
+  // observe; the real property is no crash + both valid.
+  EXPECT_TRUE(store.verify("u1", "same").is_ok());
+  EXPECT_TRUE(store.verify("u2", "same").is_ok());
+}
+
+// ------------------------------------------------------------------ ACLs
+
+TEST(AccessControl, DirectGrant) {
+  AccessControl acl;
+  acl.grant_user("alice", "mpi.run");
+  EXPECT_TRUE(acl.check("alice", "mpi.run").is_ok());
+  EXPECT_EQ(acl.check("alice", "job.submit").code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(acl.check("bob", "mpi.run").code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(AccessControl, GroupGrant) {
+  AccessControl acl;
+  acl.grant_group("physicists", "mpi.run");
+  acl.add_to_group("alice", "physicists");
+  EXPECT_TRUE(acl.check("alice", "mpi.run").is_ok());
+  acl.remove_from_group("alice", "physicists");
+  EXPECT_FALSE(acl.check("alice", "mpi.run").is_ok());
+}
+
+TEST(AccessControl, WildcardGrant) {
+  AccessControl acl;
+  acl.grant_user("admin", "mpi.*");
+  EXPECT_TRUE(acl.check("admin", "mpi.run").is_ok());
+  EXPECT_TRUE(acl.check("admin", "mpi.open").is_ok());
+  EXPECT_FALSE(acl.check("admin", "job.submit").is_ok());
+}
+
+TEST(AccessControl, RevokeUser) {
+  AccessControl acl;
+  acl.grant_user("alice", "status.query");
+  acl.revoke_user("alice", "status.query");
+  EXPECT_FALSE(acl.check("alice", "status.query").is_ok());
+}
+
+TEST(AccessControl, RevokeGroup) {
+  AccessControl acl;
+  acl.grant_group("g", "p.x");
+  acl.add_to_group("u", "g");
+  acl.revoke_group("g", "p.x");
+  EXPECT_FALSE(acl.check("u", "p.x").is_ok());
+}
+
+TEST(AccessControl, EffectivePermissionsMergeUserAndGroups) {
+  AccessControl acl;
+  acl.grant_user("alice", "job.submit");
+  acl.grant_group("physicists", "mpi.run");
+  acl.grant_group("staff", "status.query");
+  acl.add_to_group("alice", "physicists");
+  acl.add_to_group("alice", "staff");
+  const auto perms = acl.effective_permissions("alice");
+  EXPECT_EQ(perms,
+            (std::vector<std::string>{"job.submit", "mpi.run", "status.query"}));
+}
+
+TEST(AccessControl, GroupsOf) {
+  AccessControl acl;
+  acl.add_to_group("alice", "b-group");
+  acl.add_to_group("alice", "a-group");
+  EXPECT_EQ(acl.groups_of("alice"),
+            (std::vector<std::string>{"a-group", "b-group"}));
+  EXPECT_TRUE(acl.groups_of("nobody").empty());
+}
+
+// ------------------------------------------------------------ signatures
+
+class SignatureTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(100);
+    keys_ = new crypto::RsaKeyPair(crypto::rsa_generate(768, rng));
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    keys_ = nullptr;
+  }
+  static crypto::RsaKeyPair* keys_;
+};
+crypto::RsaKeyPair* SignatureTest::keys_ = nullptr;
+
+TEST_F(SignatureTest, ValidSignatureAccepted) {
+  SignatureAuthenticator auth("siteA", 60 * kMicrosPerSecond);
+  auth.register_user_key("alice", keys_->pub);
+  const TimeMicros ts = 1'000'000;
+  const Bytes cred =
+      make_signature_credential("alice", "siteA", ts, keys_->priv);
+  EXPECT_TRUE(auth.verify("alice", ts, cred, ts + 1000).is_ok());
+}
+
+TEST_F(SignatureTest, ReplayRejected) {
+  SignatureAuthenticator auth("siteA", 60 * kMicrosPerSecond);
+  auth.register_user_key("alice", keys_->pub);
+  const TimeMicros ts = 1'000'000;
+  const Bytes cred =
+      make_signature_credential("alice", "siteA", ts, keys_->priv);
+  ASSERT_TRUE(auth.verify("alice", ts, cred, ts + 1000).is_ok());
+  EXPECT_EQ(auth.verify("alice", ts, cred, ts + 2000).code(),
+            ErrorCode::kUnauthenticated);
+}
+
+TEST_F(SignatureTest, StaleTimestampRejected) {
+  SignatureAuthenticator auth("siteA", 1 * kMicrosPerSecond);
+  auth.register_user_key("alice", keys_->pub);
+  const TimeMicros ts = 1'000'000;
+  const Bytes cred =
+      make_signature_credential("alice", "siteA", ts, keys_->priv);
+  EXPECT_FALSE(auth.verify("alice", ts, cred, ts + 10'000'000).is_ok());
+}
+
+TEST_F(SignatureTest, WrongSiteRejected) {
+  // A credential minted for siteB must not authenticate at siteA.
+  SignatureAuthenticator auth("siteA", 60 * kMicrosPerSecond);
+  auth.register_user_key("alice", keys_->pub);
+  const TimeMicros ts = 1'000'000;
+  const Bytes cred =
+      make_signature_credential("alice", "siteB", ts, keys_->priv);
+  EXPECT_FALSE(auth.verify("alice", ts, cred, ts).is_ok());
+}
+
+TEST_F(SignatureTest, UnknownUserRejected) {
+  SignatureAuthenticator auth("siteA", 60 * kMicrosPerSecond);
+  const Bytes cred = make_signature_credential("ghost", "siteA", 0, keys_->priv);
+  EXPECT_FALSE(auth.verify("ghost", 0, cred, 0).is_ok());
+}
+
+TEST_F(SignatureTest, WrongKeyRejected) {
+  Rng rng(101);
+  const crypto::RsaKeyPair other = crypto::rsa_generate(768, rng);
+  SignatureAuthenticator auth("siteA", 60 * kMicrosPerSecond);
+  auth.register_user_key("alice", keys_->pub);
+  const TimeMicros ts = 5'000'000;
+  const Bytes cred = make_signature_credential("alice", "siteA", ts, other.priv);
+  EXPECT_FALSE(auth.verify("alice", ts, cred, ts).is_ok());
+}
+
+// --------------------------------------------------------------- tickets
+
+TEST(Ticket, IssueVerifyRoundTrip) {
+  Rng rng(7);
+  TicketService service(rng.next_bytes(32), 3600 * kMicrosPerSecond);
+  const Bytes sealed =
+      service.issue_sealed("alice", {"mpi.run", "status.query"}, 1000);
+  const auto ticket = service.verify(sealed, 2000);
+  ASSERT_TRUE(ticket.is_ok());
+  EXPECT_EQ(ticket.value().user, "alice");
+  EXPECT_EQ(ticket.value().permissions,
+            (std::vector<std::string>{"mpi.run", "status.query"}));
+}
+
+TEST(Ticket, ExpiredRejected) {
+  Rng rng(8);
+  TicketService service(rng.next_bytes(32), 100);
+  const Bytes sealed = service.issue_sealed("alice", {}, 1000);
+  EXPECT_TRUE(service.verify(sealed, 1100).is_ok());
+  EXPECT_EQ(service.verify(sealed, 1101).status().code(),
+            ErrorCode::kUnauthenticated);
+}
+
+TEST(Ticket, NotYetValidRejected) {
+  Rng rng(9);
+  TicketService service(rng.next_bytes(32), 1000);
+  const Bytes sealed = service.issue_sealed("alice", {}, 5000);
+  EXPECT_FALSE(service.verify(sealed, 4000).is_ok());
+}
+
+TEST(Ticket, TamperedTicketRejected) {
+  Rng rng(10);
+  TicketService service(rng.next_bytes(32), 1000);
+  Bytes sealed = service.issue_sealed("alice", {"mpi.run"}, 0);
+  // Flip a byte in the body (e.g., try to become another user).
+  sealed[3] ^= 0xff;
+  EXPECT_FALSE(service.verify(sealed, 10).is_ok());
+}
+
+TEST(Ticket, ForeignKeyRejected) {
+  Rng rng(11);
+  TicketService service_a(rng.next_bytes(32), 1000);
+  TicketService service_b(rng.next_bytes(32), 1000);
+  const Bytes sealed = service_a.issue_sealed("alice", {}, 0);
+  EXPECT_FALSE(service_b.verify(sealed, 10).is_ok());
+}
+
+TEST(Ticket, SharedRealmKeyVerifiesAcrossProxies) {
+  // Paper model: any proxy of the realm validates tickets from any other.
+  Rng rng(12);
+  const Bytes realm_key = rng.next_bytes(32);
+  TicketService proxy_a(realm_key, 1000);
+  TicketService proxy_b(realm_key, 1000);
+  const Bytes sealed = proxy_a.issue_sealed("alice", {"mpi.run"}, 0);
+  EXPECT_TRUE(proxy_b.verify(sealed, 10).is_ok());
+  EXPECT_TRUE(proxy_b.authorize(sealed, "mpi.run", 10).is_ok());
+}
+
+TEST(Ticket, AuthorizeChecksPermissions) {
+  Rng rng(13);
+  TicketService service(rng.next_bytes(32), 1000);
+  const Bytes sealed = service.issue_sealed("alice", {"mpi.*"}, 0);
+  EXPECT_TRUE(service.authorize(sealed, "mpi.run", 10).is_ok());
+  EXPECT_EQ(service.authorize(sealed, "job.submit", 10).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST(Ticket, KeyRotationInvalidatesOutstanding) {
+  Rng rng(14);
+  TicketService service(rng.next_bytes(32), 1000);
+  const Bytes sealed = service.issue_sealed("alice", {}, 0);
+  service.rotate_key(rng.next_bytes(32));
+  EXPECT_FALSE(service.verify(sealed, 10).is_ok());
+}
+
+// ---------------------------------------------------- UserAuthenticator
+
+class AuthenticatorTest : public ::testing::Test {
+ protected:
+  AuthenticatorTest()
+      : rng_(21), auth_("siteA", Rng(22).next_bytes(32),
+                        3600 * kMicrosPerSecond) {
+    auth_.passwords().set_password("alice", "correct horse", rng_);
+    auth_.acl().grant_user("alice", "mpi.run");
+    auth_.acl().grant_user("alice", "status.query");
+  }
+
+  Rng rng_;
+  UserAuthenticator auth_;
+};
+
+TEST_F(AuthenticatorTest, PasswordLoginYieldsUsableTicket) {
+  proto::AuthRequest request;
+  request.user = "alice";
+  request.method = proto::AuthMethod::kPassword;
+  request.credential = to_bytes("correct horse");
+
+  const proto::AuthResponse response = auth_.authenticate(request, 1000);
+  ASSERT_TRUE(response.ok) << response.reason;
+  EXPECT_TRUE(auth_.authorize(response.token, "mpi.run", 2000).is_ok());
+  EXPECT_TRUE(auth_.authorize(response.token, "status.query", 2000).is_ok());
+  EXPECT_FALSE(auth_.authorize(response.token, "admin.shutdown", 2000).is_ok());
+}
+
+TEST_F(AuthenticatorTest, BadPasswordRejected) {
+  proto::AuthRequest request;
+  request.user = "alice";
+  request.method = proto::AuthMethod::kPassword;
+  request.credential = to_bytes("wrong");
+  const proto::AuthResponse response = auth_.authenticate(request, 1000);
+  EXPECT_FALSE(response.ok);
+  EXPECT_TRUE(response.token.empty());
+}
+
+TEST_F(AuthenticatorTest, SignatureLogin) {
+  Rng rng(23);
+  const crypto::RsaKeyPair keys = crypto::rsa_generate(768, rng);
+  auth_.signatures().register_user_key("alice", keys.pub);
+
+  proto::AuthRequest request;
+  request.user = "alice";
+  request.method = proto::AuthMethod::kSignature;
+  request.timestamp = 5'000'000;
+  request.credential = make_signature_credential(
+      "alice", "siteA", static_cast<TimeMicros>(request.timestamp), keys.priv);
+
+  const proto::AuthResponse response =
+      auth_.authenticate(request, 5'000'500);
+  ASSERT_TRUE(response.ok) << response.reason;
+  EXPECT_TRUE(auth_.authorize(response.token, "mpi.run", 5'001'000).is_ok());
+}
+
+TEST_F(AuthenticatorTest, TicketRenewal) {
+  // Login once with a password, then re-authenticate using the ticket
+  // itself (kTicket method) — the "single authentication per session" flow.
+  proto::AuthRequest login;
+  login.user = "alice";
+  login.method = proto::AuthMethod::kPassword;
+  login.credential = to_bytes("correct horse");
+  const proto::AuthResponse first = auth_.authenticate(login, 1000);
+  ASSERT_TRUE(first.ok);
+
+  proto::AuthRequest renew;
+  renew.user = "alice";
+  renew.method = proto::AuthMethod::kTicket;
+  renew.credential = first.token;
+  const proto::AuthResponse second = auth_.authenticate(renew, 2000);
+  ASSERT_TRUE(second.ok) << second.reason;
+  EXPECT_TRUE(auth_.authorize(second.token, "mpi.run", 3000).is_ok());
+}
+
+TEST_F(AuthenticatorTest, TicketForOtherUserRejected) {
+  proto::AuthRequest login;
+  login.user = "alice";
+  login.method = proto::AuthMethod::kPassword;
+  login.credential = to_bytes("correct horse");
+  const proto::AuthResponse first = auth_.authenticate(login, 1000);
+  ASSERT_TRUE(first.ok);
+
+  proto::AuthRequest stolen;
+  stolen.user = "mallory";
+  stolen.method = proto::AuthMethod::kTicket;
+  stolen.credential = first.token;
+  EXPECT_FALSE(auth_.authenticate(stolen, 2000).ok);
+}
+
+TEST_F(AuthenticatorTest, PermissionChangesAppearOnNextLogin) {
+  proto::AuthRequest login;
+  login.user = "alice";
+  login.method = proto::AuthMethod::kPassword;
+  login.credential = to_bytes("correct horse");
+
+  const proto::AuthResponse before = auth_.authenticate(login, 1000);
+  ASSERT_TRUE(before.ok);
+  EXPECT_FALSE(auth_.authorize(before.token, "job.submit", 1500).is_ok());
+
+  auth_.acl().grant_user("alice", "job.submit");
+  const proto::AuthResponse after = auth_.authenticate(login, 2000);
+  ASSERT_TRUE(after.ok);
+  EXPECT_TRUE(auth_.authorize(after.token, "job.submit", 2500).is_ok());
+}
+
+}  // namespace
+}  // namespace pg::auth

@@ -1,0 +1,117 @@
+// Tests for the dynamic-scheduling discrete-event simulation.
+#include <gtest/gtest.h>
+
+#include "sched/des.hpp"
+#include "sim/workload.hpp"
+
+namespace pg::sched {
+namespace {
+
+monitor::GridNode make_node(const std::string& site, const std::string& name,
+                            double capacity = 1.0) {
+  monitor::GridNode node;
+  node.site = site;
+  node.status.name = name;
+  node.status.cpu_capacity = capacity;
+  node.status.ram_free_mb = 2048;
+  return node;
+}
+
+TEST(JobStream, GeneratesRequestedShape) {
+  const auto jobs = generate_job_stream(50, 1000, 2, 4, 1.0, 2.0, 7);
+  ASSERT_EQ(jobs.size(), 50u);
+  TimeMicros prev = -1;
+  for (const auto& job : jobs) {
+    EXPECT_GT(job.arrival, prev);  // strictly increasing arrivals
+    prev = job.arrival;
+    EXPECT_GE(job.task_costs.size(), 2u);
+    EXPECT_LE(job.task_costs.size(), 4u);
+    for (double c : job.task_costs) {
+      EXPECT_GE(c, 1.0);
+      EXPECT_LT(c, 2.0);
+    }
+  }
+}
+
+TEST(JobStream, DeterministicForSeed) {
+  const auto a = generate_job_stream(20, 500, 1, 3, 0.5, 1.5, 42);
+  const auto b = generate_job_stream(20, 500, 1, 3, 0.5, 1.5, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].task_costs, b[i].task_costs);
+  }
+}
+
+TEST(DynamicSchedule, SingleJobSingleNode) {
+  const std::vector<monitor::GridNode> nodes = {make_node("s", "n", 2.0)};
+  std::vector<DesJob> jobs(1);
+  jobs[0].arrival = 0;
+  jobs[0].task_costs = {4.0};  // 4 units on a 2x node = 2 s
+
+  auto scheduler = make_round_robin_scheduler();
+  const DesResult result =
+      simulate_dynamic_schedule(nodes, jobs, *scheduler);
+  EXPECT_EQ(result.jobs_completed, 1u);
+  EXPECT_DOUBLE_EQ(result.mean_completion_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(result.makespan_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(result.mean_utilization, 1.0);
+}
+
+TEST(DynamicSchedule, QueueingDelaysLaterJobs) {
+  const std::vector<monitor::GridNode> nodes = {make_node("s", "n", 1.0)};
+  std::vector<DesJob> jobs(2);
+  jobs[0].arrival = 0;
+  jobs[0].task_costs = {10.0};
+  jobs[1].arrival = 1 * kMicrosPerSecond;  // arrives while job 0 runs
+  jobs[1].task_costs = {1.0};
+
+  auto scheduler = make_round_robin_scheduler();
+  const DesResult result =
+      simulate_dynamic_schedule(nodes, jobs, *scheduler);
+  EXPECT_EQ(result.jobs_completed, 2u);
+  // Job 1 waits 9 s then runs 1 s => completion 10 s; mean = (10+10)/2.
+  EXPECT_DOUBLE_EQ(result.mean_completion_seconds, 10.0);
+}
+
+TEST(DynamicSchedule, LoadBalancedBeatsRoundRobinUnderHeterogeneity) {
+  const auto nodes = sim::generate_uniform_grid(2, 4, 4.0, 11);
+  const auto jobs = generate_job_stream(60, 500'000, 2, 6, 1.0, 3.0, 13);
+
+  auto rr = make_round_robin_scheduler();
+  auto lb = make_load_balanced_scheduler();
+  const DesResult rr_result = simulate_dynamic_schedule(nodes, jobs, *rr);
+  const DesResult lb_result = simulate_dynamic_schedule(nodes, jobs, *lb);
+
+  EXPECT_EQ(rr_result.jobs_completed, 60u);
+  EXPECT_EQ(lb_result.jobs_completed, 60u);
+  EXPECT_LT(lb_result.mean_completion_seconds,
+            rr_result.mean_completion_seconds);
+}
+
+TEST(DynamicSchedule, HomogeneousLightLoadNearTie) {
+  // With identical nodes and light load both policies behave similarly;
+  // the LB must never be dramatically worse.
+  const auto nodes = sim::generate_uniform_grid(2, 4, 1.0, 3);
+  const auto jobs = generate_job_stream(30, 5'000'000, 1, 2, 0.5, 1.0, 5);
+
+  auto rr = make_round_robin_scheduler();
+  auto lb = make_load_balanced_scheduler();
+  const DesResult rr_result = simulate_dynamic_schedule(nodes, jobs, *rr);
+  const DesResult lb_result = simulate_dynamic_schedule(nodes, jobs, *lb);
+  EXPECT_LE(lb_result.mean_completion_seconds,
+            rr_result.mean_completion_seconds * 1.25);
+}
+
+TEST(DynamicSchedule, UtilizationBounded) {
+  const auto nodes = sim::generate_uniform_grid(2, 2, 2.0, 9);
+  const auto jobs = generate_job_stream(40, 100'000, 2, 4, 1.0, 2.0, 21);
+  auto lb = make_load_balanced_scheduler();
+  const DesResult result = simulate_dynamic_schedule(nodes, jobs, *lb);
+  EXPECT_GT(result.mean_utilization, 0.0);
+  EXPECT_LE(result.mean_utilization, 1.0);
+  EXPECT_GE(result.p95_completion_seconds, result.mean_completion_seconds);
+}
+
+}  // namespace
+}  // namespace pg::sched

@@ -1,0 +1,203 @@
+// Edge cases across modules: serde specials, ACL wildcard corners, GSSL
+// payload-size sweeps, certificate fingerprints, monitor expiry corners,
+// scheduler degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <future>
+#include <cstring>
+#include <limits>
+
+#include "auth/acl.hpp"
+#include "common/serde.hpp"
+#include "crypto/cert.hpp"
+#include "monitor/aggregator.hpp"
+#include "net/memory_channel.hpp"
+#include "sched/scheduler.hpp"
+#include "tls/gssl.hpp"
+
+namespace pg {
+namespace {
+
+// ------------------------------------------------------------------ serde
+
+TEST(SerdeEdge, DoubleSpecialValues) {
+  for (double v : {0.0, -0.0, std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity(),
+                   std::numeric_limits<double>::denorm_min(),
+                   std::numeric_limits<double>::max()}) {
+    BufferWriter w;
+    w.put_double(v);
+    BufferReader r(w.data());
+    double back = 0;
+    ASSERT_TRUE(r.get_double(back).is_ok());
+    EXPECT_EQ(std::memcmp(&v, &back, sizeof(double)), 0);
+  }
+  // NaN round-trips bit-exactly too.
+  const double nan = std::nan("");
+  BufferWriter w;
+  w.put_double(nan);
+  BufferReader r(w.data());
+  double back = 0;
+  ASSERT_TRUE(r.get_double(back).is_ok());
+  EXPECT_TRUE(std::isnan(back));
+}
+
+TEST(SerdeEdge, EmptyBytesAndStrings) {
+  BufferWriter w;
+  w.put_bytes(Bytes{});
+  w.put_string("");
+  BufferReader r(w.data());
+  Bytes b;
+  std::string s;
+  ASSERT_TRUE(r.get_bytes(b).is_ok());
+  ASSERT_TRUE(r.get_string(s).is_ok());
+  EXPECT_TRUE(b.empty());
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(r.expect_end().is_ok());
+}
+
+TEST(SerdeEdge, ZeroLengthReaderBehaviour) {
+  BufferReader r(BytesView{});
+  EXPECT_TRUE(r.at_end());
+  EXPECT_TRUE(r.expect_end().is_ok());
+  std::uint8_t v;
+  EXPECT_FALSE(r.get_u8(v).is_ok());
+}
+
+// -------------------------------------------------------------------- ACL
+
+TEST(AclEdge, WildcardDoesNotMatchBareNamespace) {
+  auth::AccessControl acl;
+  acl.grant_user("u", "mpi.*");
+  // "mpi.*" covers "mpi.run" and even "mpi.sub.deep", but not "mpi" itself
+  // and not "mpirun" (prefix confusion).
+  EXPECT_TRUE(acl.check("u", "mpi.run").is_ok());
+  EXPECT_TRUE(acl.check("u", "mpi.sub.deep").is_ok());
+  EXPECT_FALSE(acl.check("u", "mpi").is_ok());
+  EXPECT_FALSE(acl.check("u", "mpirun").is_ok());
+}
+
+TEST(AclEdge, LiteralStarIsNotAWildcardElsewhere) {
+  auth::AccessControl acl;
+  acl.grant_user("u", "*");  // a literal "*" permission, not "everything"
+  EXPECT_FALSE(acl.check("u", "mpi.run").is_ok());
+  EXPECT_TRUE(acl.check("u", "*").is_ok());
+}
+
+TEST(AclEdge, MultipleGroupsUnion) {
+  auth::AccessControl acl;
+  acl.grant_group("g1", "a.x");
+  acl.grant_group("g2", "b.y");
+  acl.add_to_group("u", "g1");
+  acl.add_to_group("u", "g2");
+  EXPECT_TRUE(acl.check("u", "a.x").is_ok());
+  EXPECT_TRUE(acl.check("u", "b.y").is_ok());
+  acl.remove_from_group("u", "g1");
+  EXPECT_FALSE(acl.check("u", "a.x").is_ok());
+  EXPECT_TRUE(acl.check("u", "b.y").is_ok());
+}
+
+// ------------------------------------------------------------------- GSSL
+
+class GsslPayloadSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GsslPayloadSweep, RoundTripsAllSizes) {
+  static Rng rng(1001);
+  static crypto::CertificateAuthority ca("sweep-ca", 512, rng);
+  static const crypto::RsaKeyPair a_keys = crypto::rsa_generate(512, rng);
+  static const crypto::RsaKeyPair b_keys = crypto::rsa_generate(512, rng);
+  ManualClock clock(1000);
+  const tls::GsslConfig a_cfg{
+      {ca.issue("a", a_keys.pub, 0, 1'000'000'000), a_keys.priv},
+      ca.name(), ca.public_key(), ""};
+  const tls::GsslConfig b_cfg{
+      {ca.issue("b", b_keys.pub, 0, 1'000'000'000), b_keys.priv},
+      ca.name(), ca.public_key(), ""};
+
+  net::ChannelPair pair = net::make_memory_channel_pair();
+  Rng a_rng(1), b_rng(2);
+  auto server = std::async(std::launch::async, [&] {
+    return tls::gssl_server_handshake(*pair.b, b_cfg, clock, b_rng);
+  });
+  auto client = tls::gssl_client_handshake(*pair.a, a_cfg, clock, a_rng);
+  auto server_session = server.get();
+  ASSERT_TRUE(client.is_ok());
+  ASSERT_TRUE(server_session.is_ok());
+
+  Rng data_rng(GetParam());
+  const Bytes payload = data_rng.next_bytes(GetParam());
+  ASSERT_TRUE(client.value()->send(payload).is_ok());
+  Result<Bytes> got = server_session.value()->recv();
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value(), payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GsslPayloadSweep,
+                         ::testing::Values(0, 1, 31, 32, 33, 1023, 1024,
+                                           65536, 1 << 20));
+
+// ----------------------------------------------------------- certificates
+
+TEST(CertEdge, FingerprintsDifferPerCertificate) {
+  Rng rng(1003);
+  crypto::CertificateAuthority ca("fp-ca", 512, rng);
+  const crypto::RsaKeyPair keys = crypto::rsa_generate(512, rng);
+  const auto c1 = ca.issue("same-subject", keys.pub, 0, 100);
+  const auto c2 = ca.issue("same-subject", keys.pub, 0, 100);
+  // Serial numbers differ, so fingerprints must too.
+  EXPECT_NE(c1.fingerprint(), c2.fingerprint());
+}
+
+TEST(CertEdge, ValidityBoundariesInclusive) {
+  Rng rng(1004);
+  crypto::CertificateAuthority ca("b-ca", 512, rng);
+  const crypto::RsaKeyPair keys = crypto::rsa_generate(512, rng);
+  const auto cert = ca.issue("s", keys.pub, 100, 200);
+  EXPECT_TRUE(ca.verify(cert, 100).is_ok());   // inclusive start
+  EXPECT_TRUE(ca.verify(cert, 200).is_ok());   // inclusive end
+  EXPECT_FALSE(ca.verify(cert, 99).is_ok());
+  EXPECT_FALSE(ca.verify(cert, 201).is_ok());
+}
+
+// ---------------------------------------------------------------- monitor
+
+TEST(MonitorEdge, ExpireExactBoundaryKept) {
+  monitor::GridStatusCache cache;
+  proto::StatusReport report;
+  report.site = "s";
+  cache.update(report, 100);
+  // Age exactly equal to max_age survives (strictly-older is dropped).
+  cache.expire(/*now=*/300, /*max_age=*/200);
+  EXPECT_TRUE(cache.get("s").has_value());
+  cache.expire(/*now=*/301, /*max_age=*/200);
+  EXPECT_FALSE(cache.get("s").has_value());
+}
+
+// -------------------------------------------------------------- scheduler
+
+TEST(SchedEdge, ZeroRanksYieldsEmptyPlacement) {
+  monitor::GridNode node;
+  node.site = "s";
+  node.status.name = "n";
+  node.status.ram_free_mb = 100;
+  auto rr = sched::make_round_robin_scheduler();
+  const auto placement = rr->assign({node}, 0, {});
+  ASSERT_TRUE(placement.is_ok());
+  EXPECT_TRUE(placement.value().empty());
+}
+
+TEST(SchedEdge, FactoryMapsPolicies) {
+  EXPECT_EQ(sched::make_scheduler(sched::Policy::kRoundRobin)->name(),
+            "round-robin");
+  EXPECT_EQ(sched::make_scheduler(sched::Policy::kLoadBalanced)->name(),
+            "load-balanced");
+}
+
+TEST(SchedEdge, EmptyNodeListFails) {
+  auto lb = sched::make_load_balanced_scheduler();
+  EXPECT_EQ(lb->assign({}, 4, {}).status().code(), ErrorCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace pg

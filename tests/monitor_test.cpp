@@ -1,0 +1,197 @@
+// Tests for node stats sources, site collection and the grid status cache.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "monitor/aggregator.hpp"
+#include "monitor/site_collector.hpp"
+#include "monitor/stats_source.hpp"
+
+namespace pg::monitor {
+namespace {
+
+NodeProfile profile(const std::string& name, double capacity = 1.0) {
+  NodeProfile p;
+  p.name = name;
+  p.cpu_capacity = capacity;
+  p.ram_total_mb = 4096;
+  return p;
+}
+
+TEST(SyntheticStatsSource, ReportsProfileShape) {
+  SyntheticStatsSource source(profile("n0", 2.0), 1);
+  const proto::NodeStatus s = source.sample(1000);
+  EXPECT_EQ(s.name, "n0");
+  EXPECT_EQ(s.cpu_capacity, 2.0);
+  EXPECT_EQ(s.ram_total_mb, 4096u);
+  EXPECT_EQ(s.timestamp, 1000u);
+  EXPECT_GE(s.cpu_load, 0.0);
+  EXPECT_LE(s.cpu_load, 1.0);
+}
+
+TEST(SyntheticStatsSource, LoadStaysBounded) {
+  SyntheticStatsSource source(profile("n0"), 2);
+  for (int i = 0; i < 1000; ++i) {
+    const proto::NodeStatus s = source.sample(i);
+    EXPECT_GE(s.cpu_load, 0.0);
+    EXPECT_LE(s.cpu_load, 1.0);
+  }
+}
+
+TEST(SyntheticStatsSource, ProcessAccountingRaisesLoad) {
+  SyntheticStatsSource source(profile("n0", 4.0), 3);
+  const double idle_load = source.sample(0).cpu_load;
+  source.process_started(512);
+  source.process_started(512);
+  const proto::NodeStatus busy = source.sample(1);
+  EXPECT_GT(busy.cpu_load, idle_load);
+  EXPECT_EQ(busy.running_processes, 2u);
+  EXPECT_EQ(busy.ram_free_mb, 4096u - 1024u);
+
+  source.process_finished(512);
+  source.process_finished(512);
+  const proto::NodeStatus done = source.sample(2);
+  EXPECT_EQ(done.running_processes, 0u);
+  EXPECT_EQ(done.ram_free_mb, 4096u);
+}
+
+TEST(SyntheticStatsSource, SaturatesAtFullLoad) {
+  SyntheticStatsSource source(profile("n0", 1.0), 4);
+  for (int i = 0; i < 10; ++i) source.process_started(1);
+  EXPECT_LE(source.sample(0).cpu_load, 1.0);
+}
+
+TEST(SyntheticStatsSource, DeterministicForSeed) {
+  SyntheticStatsSource a(profile("n0"), 42);
+  SyntheticStatsSource b(profile("n0"), 42);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.sample(i).cpu_load, b.sample(i).cpu_load);
+  }
+}
+
+TEST(SiteCollector, CollectsAllNodes) {
+  SiteCollector collector("siteA");
+  for (int i = 0; i < 5; ++i) {
+    collector.add_node(std::make_unique<SyntheticStatsSource>(
+        profile("node" + std::to_string(i)), i));
+  }
+  EXPECT_EQ(collector.node_count(), 5u);
+
+  const proto::StatusReport report = collector.collect(777);
+  EXPECT_EQ(report.site, "siteA");
+  EXPECT_EQ(report.nodes.size(), 5u);
+  EXPECT_EQ(report.timestamp, 777u);
+  EXPECT_EQ(collector.samples_taken(), 5u);
+}
+
+TEST(SiteCollector, CollectSingleNode) {
+  SiteCollector collector("siteA");
+  collector.add_node(std::make_unique<SyntheticStatsSource>(profile("n0"), 1));
+  const auto got = collector.collect_node("n0", 1);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().name, "n0");
+  EXPECT_FALSE(collector.collect_node("missing", 1).is_ok());
+}
+
+TEST(SiteCollector, ProcessAccountingRouted) {
+  SiteCollector collector("siteA");
+  collector.add_node(std::make_unique<SyntheticStatsSource>(profile("n0"), 1));
+  ASSERT_TRUE(collector.process_started("n0", 100).is_ok());
+  EXPECT_EQ(collector.collect_node("n0", 1).value().running_processes, 1u);
+  ASSERT_TRUE(collector.process_finished("n0", 100).is_ok());
+  EXPECT_EQ(collector.collect_node("n0", 2).value().running_processes, 0u);
+  EXPECT_EQ(collector.process_started("ghost", 1).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(GridStatusCache, UpdateAndGet) {
+  GridStatusCache cache;
+  proto::StatusReport report;
+  report.site = "siteA";
+  report.timestamp = 10;
+  cache.update(report, 100);
+
+  const auto got = cache.get("siteA");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->timestamp, 10u);
+  EXPECT_FALSE(cache.get("siteB").has_value());
+}
+
+TEST(GridStatusCache, KeepsNewerOnOutOfOrder) {
+  GridStatusCache cache;
+  proto::StatusReport newer;
+  newer.site = "siteA";
+  newer.timestamp = 20;
+  proto::StatusReport older;
+  older.site = "siteA";
+  older.timestamp = 10;
+
+  cache.update(newer, 200);
+  cache.update(older, 100);  // late arrival of the old report
+  EXPECT_EQ(cache.get("siteA")->timestamp, 20u);
+}
+
+TEST(GridStatusCache, Staleness) {
+  GridStatusCache cache;
+  proto::StatusReport report;
+  report.site = "siteA";
+  cache.update(report, 100);
+  EXPECT_EQ(cache.staleness("siteA", 250).value(), 150);
+  EXPECT_FALSE(cache.staleness("siteB", 250).has_value());
+}
+
+TEST(GridStatusCache, ExpireDropsOldSites) {
+  GridStatusCache cache;
+  proto::StatusReport a;
+  a.site = "siteA";
+  proto::StatusReport b;
+  b.site = "siteB";
+  cache.update(a, 100);
+  cache.update(b, 500);
+  cache.expire(/*now=*/600, /*max_age=*/200);
+  EXPECT_FALSE(cache.get("siteA").has_value());
+  EXPECT_TRUE(cache.get("siteB").has_value());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(GridStatusCache, CompileGlobalSorted) {
+  GridStatusCache cache;
+  for (const char* site : {"siteC", "siteA", "siteB"}) {
+    proto::StatusReport r;
+    r.site = site;
+    cache.update(r, 1);
+  }
+  const auto all = cache.compile_global();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].site, "siteA");
+  EXPECT_EQ(all[2].site, "siteC");
+}
+
+TEST(GridStatusCache, ForgetRemovesSite) {
+  GridStatusCache cache;
+  proto::StatusReport r;
+  r.site = "siteA";
+  cache.update(r, 1);
+  cache.forget("siteA");
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(Flatten, ProducesSiteNodeRows) {
+  std::vector<proto::StatusReport> reports(2);
+  reports[0].site = "siteA";
+  reports[0].nodes.resize(2);
+  reports[0].nodes[0].name = "n0";
+  reports[0].nodes[1].name = "n1";
+  reports[1].site = "siteB";
+  reports[1].nodes.resize(1);
+  reports[1].nodes[0].name = "n0";
+
+  const auto rows = flatten(reports);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].site, "siteA");
+  EXPECT_EQ(rows[2].site, "siteB");
+  EXPECT_EQ(rows[2].status.name, "n0");
+}
+
+}  // namespace
+}  // namespace pg::monitor

@@ -1,0 +1,190 @@
+// Tests for channels, framing and TCP.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.hpp"
+#include "net/channel.hpp"
+#include "net/framer.hpp"
+#include "net/memory_channel.hpp"
+#include "net/tcp.hpp"
+
+namespace pg::net {
+namespace {
+
+TEST(MemoryChannel, RoundTripSimple) {
+  ChannelPair pair = make_memory_channel_pair();
+  ASSERT_TRUE(pair.a->write(to_bytes("hello grid")).is_ok());
+
+  std::uint8_t buf[64];
+  Result<std::size_t> n = pair.b->read(buf, sizeof(buf));
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(std::string(buf, buf + n.value()), "hello grid");
+}
+
+TEST(MemoryChannel, BothDirections) {
+  ChannelPair pair = make_memory_channel_pair();
+  ASSERT_TRUE(pair.a->write(to_bytes("ping")).is_ok());
+  ASSERT_TRUE(pair.b->write(to_bytes("pong")).is_ok());
+
+  std::uint8_t buf[16];
+  Result<std::size_t> n = pair.b->read(buf, sizeof(buf));
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(std::string(buf, buf + n.value()), "ping");
+  n = pair.a->read(buf, sizeof(buf));
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(std::string(buf, buf + n.value()), "pong");
+}
+
+TEST(MemoryChannel, PartialReads) {
+  ChannelPair pair = make_memory_channel_pair();
+  ASSERT_TRUE(pair.a->write(to_bytes("abcdef")).is_ok());
+
+  std::uint8_t buf[2];
+  std::string got;
+  for (int i = 0; i < 3; ++i) {
+    Result<std::size_t> n = pair.b->read(buf, 2);
+    ASSERT_TRUE(n.is_ok());
+    got.append(buf, buf + n.value());
+  }
+  EXPECT_EQ(got, "abcdef");
+}
+
+TEST(MemoryChannel, CloseWakesBlockedReader) {
+  ChannelPair pair = make_memory_channel_pair();
+  std::thread closer([&pair] { pair.a->close(); });
+  std::uint8_t buf[8];
+  Result<std::size_t> n = pair.b->read(buf, sizeof(buf));
+  closer.join();
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(n.value(), 0u);  // EOF
+}
+
+TEST(MemoryChannel, WriteAfterCloseFails) {
+  ChannelPair pair = make_memory_channel_pair();
+  pair.b->close();
+  EXPECT_EQ(pair.a->write(to_bytes("x")).code(), ErrorCode::kUnavailable);
+}
+
+TEST(MemoryChannel, DrainsBufferedDataBeforeEof) {
+  ChannelPair pair = make_memory_channel_pair();
+  ASSERT_TRUE(pair.a->write(to_bytes("tail")).is_ok());
+  // NOTE: close() is symmetric (like RST), so we close after the reader has
+  // a chance to drain. Buffered bytes survive the writer-side close.
+  std::uint8_t buf[8];
+  Result<std::size_t> n = pair.b->read(buf, sizeof(buf));
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(std::string(buf, buf + n.value()), "tail");
+}
+
+TEST(MemoryChannel, StatsCountBytes) {
+  ChannelPair pair = make_memory_channel_pair();
+  ASSERT_TRUE(pair.a->write(Bytes(100, 0x55)).is_ok());
+  std::uint8_t buf[100];
+  ASSERT_TRUE(pair.b->read_exact(buf, 100).is_ok());
+  EXPECT_EQ(pair.a->stats().bytes_sent.load(), 100u);
+  EXPECT_EQ(pair.b->stats().bytes_received.load(), 100u);
+}
+
+TEST(MemoryChannel, ReadExactAcrossWrites) {
+  ChannelPair pair = make_memory_channel_pair();
+  std::thread writer([&pair] {
+    for (int i = 0; i < 10; ++i)
+      ASSERT_TRUE(pair.a->write(Bytes(10, static_cast<std::uint8_t>(i))).is_ok());
+  });
+  std::uint8_t buf[100];
+  ASSERT_TRUE(pair.b->read_exact(buf, 100).is_ok());
+  writer.join();
+  EXPECT_EQ(buf[0], 0);
+  EXPECT_EQ(buf[99], 9);
+}
+
+TEST(Framer, RoundTrip) {
+  ChannelPair pair = make_memory_channel_pair();
+  ASSERT_TRUE(write_frame(*pair.a, to_bytes("frame one")).is_ok());
+  ASSERT_TRUE(write_frame(*pair.a, to_bytes("")).is_ok());
+  ASSERT_TRUE(write_frame(*pair.a, to_bytes("three")).is_ok());
+
+  Result<Bytes> f1 = read_frame(*pair.b);
+  Result<Bytes> f2 = read_frame(*pair.b);
+  Result<Bytes> f3 = read_frame(*pair.b);
+  ASSERT_TRUE(f1.is_ok());
+  ASSERT_TRUE(f2.is_ok());
+  ASSERT_TRUE(f3.is_ok());
+  EXPECT_EQ(to_string(f1.value()), "frame one");
+  EXPECT_TRUE(f2.value().empty());
+  EXPECT_EQ(to_string(f3.value()), "three");
+}
+
+TEST(Framer, LargeFrame) {
+  ChannelPair pair = make_memory_channel_pair();
+  Rng rng(1);
+  const Bytes big = rng.next_bytes(1 << 20);
+  std::thread writer(
+      [&pair, &big] { ASSERT_TRUE(write_frame(*pair.a, big).is_ok()); });
+  Result<Bytes> got = read_frame(*pair.b);
+  writer.join();
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value(), big);
+}
+
+TEST(Framer, EofAtBoundaryIsClean) {
+  ChannelPair pair = make_memory_channel_pair();
+  ASSERT_TRUE(write_frame(*pair.a, to_bytes("last")).is_ok());
+  ASSERT_TRUE(read_frame(*pair.b).is_ok());
+  pair.a->close();
+  Result<Bytes> eof = read_frame(*pair.b);
+  EXPECT_FALSE(eof.is_ok());
+  EXPECT_EQ(eof.status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(eof.status().message(), "eof");
+}
+
+TEST(Framer, OversizedFrameRejected) {
+  ChannelPair pair = make_memory_channel_pair();
+  // Forge a header advertising 2 GiB.
+  const Bytes evil = {0x80, 0x00, 0x00, 0x00};
+  ASSERT_TRUE(pair.a->write(evil).is_ok());
+  Result<Bytes> got = read_frame(*pair.b);
+  EXPECT_FALSE(got.is_ok());
+  EXPECT_EQ(got.status().code(), ErrorCode::kProtocolError);
+}
+
+TEST(Tcp, ConnectAndEcho) {
+  Result<TcpListener> listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  const std::uint16_t port = listener.value().port();
+
+  std::thread server([&listener] {
+    Result<ChannelPtr> conn = listener.value().accept();
+    ASSERT_TRUE(conn.is_ok());
+    Result<Bytes> frame = read_frame(*conn.value());
+    ASSERT_TRUE(frame.is_ok());
+    ASSERT_TRUE(write_frame(*conn.value(), frame.value()).is_ok());
+  });
+
+  Result<ChannelPtr> client = tcp_connect("127.0.0.1", port);
+  ASSERT_TRUE(client.is_ok());
+  ASSERT_TRUE(write_frame(*client.value(), to_bytes("over tcp")).is_ok());
+  Result<Bytes> echoed = read_frame(*client.value());
+  server.join();
+  ASSERT_TRUE(echoed.is_ok());
+  EXPECT_EQ(to_string(echoed.value()), "over tcp");
+}
+
+TEST(Tcp, ConnectToClosedPortFails) {
+  // Bind then immediately close to get a (very likely) dead port.
+  Result<TcpListener> listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  const std::uint16_t port = listener.value().port();
+  listener.value().close();
+  Result<ChannelPtr> conn = tcp_connect("127.0.0.1", port);
+  EXPECT_FALSE(conn.is_ok());
+}
+
+TEST(Tcp, BadAddressRejected) {
+  EXPECT_EQ(tcp_connect("not-an-ip", 1234).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace pg::net

@@ -1,0 +1,167 @@
+// Failure-recovery tests: link reconnection and proxy-level edge cases
+// with a manually controlled clock (ticket expiry mid-session).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "grid/grid.hpp"
+#include "mpi/runtime.hpp"
+#include "net/memory_channel.hpp"
+
+namespace pg::grid {
+namespace {
+
+std::unique_ptr<Grid> build_grid(std::size_t sites) {
+  static const bool registered = [] {
+    mpi::AppRegistry::instance().register_app(
+        "recovery-noop", [](mpi::Comm& comm) { return comm.barrier(); });
+    return true;
+  }();
+  (void)registered;
+  GridBuilder builder;
+  builder.seed(301).key_bits(512);
+  for (std::size_t s = 0; s < sites; ++s) {
+    builder.add_nodes("site" + std::to_string(s), 1);
+  }
+  builder.add_user("u", "p", {"mpi.run", "status.query"});
+  auto built = builder.build();
+  EXPECT_TRUE(built.is_ok());
+  return built.is_ok() ? built.take() : nullptr;
+}
+
+TEST(Recovery, LinkReconnectRestoresService) {
+  auto grid = build_grid(3);
+  ASSERT_NE(grid, nullptr);
+  auto token = grid->login("site0", "u", "p");
+  ASSERT_TRUE(token.is_ok());
+
+  // Healthy: 3 sites visible.
+  ASSERT_EQ(grid->status("site0", token.value()).value().size(), 3u);
+
+  // Cut site0 <-> site1.
+  grid->kill_link("site0", "site1");
+  for (int i = 0; i < 200 && grid->proxy("site0").peer_alive("site1"); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_FALSE(grid->proxy("site0").peer_alive("site1"));
+  EXPECT_EQ(grid->status("site0", token.value()).value().size(), 2u);
+
+  // Reconnect: fresh channel, fresh GSSL handshake, dead conn replaced.
+  ASSERT_TRUE(grid->reconnect_link("site0", "site1").is_ok());
+  EXPECT_TRUE(grid->proxy("site0").peer_alive("site1"));
+  EXPECT_TRUE(grid->proxy("site1").peer_alive("site0"));
+  EXPECT_EQ(grid->status("site0", token.value()).value().size(), 3u);
+
+  // And applications span the healed link again.
+  const auto result = grid->run_app("site0", "u", token.value(),
+                                    "recovery-noop", 3,
+                                    SchedulerPolicy::kRoundRobin);
+  EXPECT_TRUE(result.status.is_ok()) << result.status.to_string();
+}
+
+TEST(Recovery, ReconnectWhileAliveRejected) {
+  auto grid = build_grid(2);
+  ASSERT_NE(grid, nullptr);
+  // The link is healthy; reconnecting must refuse rather than duplicate.
+  EXPECT_EQ(grid->reconnect_link("site0", "site1").code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(Recovery, ReconnectUnknownSiteFails) {
+  auto grid = build_grid(2);
+  ASSERT_NE(grid, nullptr);
+  EXPECT_EQ(grid->reconnect_link("site0", "nowhere").code(),
+            ErrorCode::kNotFound);
+}
+
+// ------------------------------------------------- manual-clock proxy
+
+TEST(TicketExpiry, SessionDiesWhenTicketLapses) {
+  // A proxy on a manual clock: the session ticket expires mid-session and
+  // requests start failing until the user logs in again.
+  ManualClock clock(1'000'000);
+  Rng rng(11);
+  crypto::CertificateAuthority ca("ca", 512, rng);
+  const crypto::RsaKeyPair keys = crypto::rsa_generate(512, rng);
+
+  proxy::ProxyConfig config;
+  config.site = "lab";
+  config.identity = tls::GsslIdentity{
+      ca.issue("proxy.lab", keys.pub, 0, 1'000'000'000'000LL), keys.priv};
+  config.ca_name = ca.name();
+  config.ca_key = ca.public_key();
+  config.ticket_key = rng.next_bytes(32);
+  config.ticket_lifetime = 10 * kMicrosPerSecond;  // short-lived tickets
+  config.clock = &clock;
+  config.rng_seed = 3;
+  proxy::ProxyServer proxy_server(std::move(config));
+
+  Rng pw_rng(4);
+  proxy_server.authenticator().passwords().set_password("alice", "pw",
+                                                        pw_rng);
+  proxy_server.authenticator().acl().grant_user("alice", "status.query");
+
+  proto::AuthRequest login;
+  login.user = "alice";
+  login.method = proto::AuthMethod::kPassword;
+  login.credential = to_bytes("pw");
+  const proto::AuthResponse session = proxy_server.login(login);
+  ASSERT_TRUE(session.ok);
+
+  // Within lifetime: works.
+  clock.advance(5 * kMicrosPerSecond);
+  EXPECT_TRUE(proxy_server.query_status({"lab"}, session.token).is_ok());
+
+  // Past lifetime: the ticket is dead.
+  clock.advance(10 * kMicrosPerSecond);
+  EXPECT_EQ(proxy_server.query_status({"lab"}, session.token).status().code(),
+            ErrorCode::kUnauthenticated);
+
+  // Re-login restores access (fresh ticket).
+  const proto::AuthResponse fresh = proxy_server.login(login);
+  ASSERT_TRUE(fresh.ok);
+  EXPECT_TRUE(proxy_server.query_status({"lab"}, fresh.token).is_ok());
+  proxy_server.shutdown();
+}
+
+TEST(TicketExpiry, CertificateExpiryBlocksNewTunnels) {
+  // Certificates with a short validity: peering succeeds before expiry and
+  // fails after, proving the clock actually gates the handshake.
+  ManualClock clock(1'000'000);
+  Rng rng(21);
+  crypto::CertificateAuthority ca("ca", 512, rng);
+
+  auto make_config = [&](const std::string& site,
+                         TimeMicros not_after) {
+    const crypto::RsaKeyPair keys = crypto::rsa_generate(512, rng);
+    proxy::ProxyConfig config;
+    config.site = site;
+    config.identity = tls::GsslIdentity{
+        ca.issue("proxy." + site, keys.pub, 0, not_after), keys.priv};
+    config.ca_name = ca.name();
+    config.ca_key = ca.public_key();
+    config.ticket_key = Bytes(32, 1);
+    config.clock = &clock;
+    return config;
+  };
+
+  proxy::ProxyServer a(make_config("a", 2'000'000));
+  proxy::ProxyServer b(make_config("b", 1'000'000'000));
+
+  // After a's certificate expires, b must refuse the handshake.
+  clock.set(3'000'000);
+  net::ChannelPair pair = net::make_memory_channel_pair();
+  Status accept_status;
+  std::thread acceptor([&] {
+    accept_status = b.connect_peer("a", std::move(pair.b), false);
+  });
+  const Status initiate_status = a.connect_peer("b", std::move(pair.a), true);
+  acceptor.join();
+  EXPECT_FALSE(accept_status.is_ok());
+  EXPECT_FALSE(initiate_status.is_ok());
+  a.shutdown();
+  b.shutdown();
+}
+
+}  // namespace
+}  // namespace pg::grid

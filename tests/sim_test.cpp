@@ -1,0 +1,143 @@
+// Tests for the discrete-event engine, network cost model and workloads.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/network_model.hpp"
+#include "sim/workload.hpp"
+
+namespace pg::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&order] { order.push_back(3); });
+  q.schedule_at(10, [&order] { order.push_back(1); });
+  q.schedule_at(20, [&order] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, StableAtEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) q.schedule_after(5, chain);
+  };
+  q.schedule_at(0, chain);
+  q.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(q.now(), 45);
+}
+
+TEST(EventQueue, RunUntilStopsEarly) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10, [&fired] { ++fired; });
+  q.schedule_at(100, [&fired] { ++fired; });
+  EXPECT_EQ(q.run(50), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, StepOne) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1, [&fired] { ++fired; });
+  q.schedule_at(2, [&fired] { ++fired; });
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(NetworkModel, LatencyDominatesSmallMessages) {
+  const LinkProfile wan = wan_link();
+  const TimeMicros tiny = wan.transfer_time(64, false);
+  EXPECT_GE(tiny, wan.latency);
+  EXPECT_LT(tiny, wan.latency + 1000);
+}
+
+TEST(NetworkModel, BandwidthDominatesLargeMessages) {
+  const LinkProfile wan = wan_link();
+  const TimeMicros big = wan.transfer_time(10 * 1024 * 1024, false);
+  // 10 MiB at 1.25 MB/s = 8 s >> latency.
+  EXPECT_GT(big, 7 * kMicrosPerSecond);
+}
+
+TEST(NetworkModel, EncryptionAddsCost) {
+  const LinkProfile lan = lan_link();
+  const std::uint64_t bytes = 1024 * 1024;
+  EXPECT_GT(lan.transfer_time(bytes, true), lan.transfer_time(bytes, false));
+}
+
+TEST(NetworkModel, PathSumsHops) {
+  Path path;
+  path.hops = {{lan_link(), false}, {wan_link(), true}, {lan_link(), false}};
+  const std::uint64_t bytes = 4096;
+  const TimeMicros expected = lan_link().transfer_time(bytes, false) * 2 +
+                              wan_link().transfer_time(bytes, true);
+  EXPECT_EQ(path.transfer_time(bytes), expected);
+}
+
+TEST(NetworkModel, ModelledTimeAggregates) {
+  TrafficSummary t;
+  t.messages = 10;
+  t.bytes = 1024 * 1024;
+  t.crypto_bytes = 512 * 1024;
+  const LinkProfile lan = lan_link();
+  const TimeMicros with_crypto = modelled_time(t, lan);
+  t.crypto_bytes = 0;
+  EXPECT_GT(with_crypto, modelled_time(t, lan));
+}
+
+TEST(Workload, GeneratesRequestedShape) {
+  const auto nodes = generate_uniform_grid(3, 4, 2.0, 1);
+  EXPECT_EQ(nodes.size(), 12u);
+  for (const auto& n : nodes) {
+    EXPECT_GE(n.status.cpu_capacity, 1.0);
+    EXPECT_LE(n.status.cpu_capacity, 2.0);
+  }
+  EXPECT_EQ(nodes[0].site, "siteA");
+  EXPECT_EQ(nodes[11].site, "siteC");
+}
+
+TEST(Workload, DeterministicForSeed) {
+  const auto a = generate_uniform_grid(2, 3, 3.0, 7);
+  const auto b = generate_uniform_grid(2, 3, 3.0, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].status.cpu_capacity, b[i].status.cpu_capacity);
+    EXPECT_EQ(a[i].status.cpu_load, b[i].status.cpu_load);
+  }
+}
+
+TEST(Workload, TaskCostsInRange) {
+  const auto costs = generate_task_costs(100, 0.5, 2.5, 3);
+  ASSERT_EQ(costs.size(), 100u);
+  for (double c : costs) {
+    EXPECT_GE(c, 0.5);
+    EXPECT_LT(c, 2.5);
+  }
+}
+
+TEST(Workload, MessageSweepIsPowersOfTwo) {
+  const auto sweep = message_size_sweep(64, 1024);
+  EXPECT_EQ(sweep, (std::vector<std::size_t>{64, 128, 256, 512, 1024}));
+}
+
+}  // namespace
+}  // namespace pg::sim

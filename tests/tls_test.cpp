@@ -1,0 +1,323 @@
+// GSSL handshake, record protection and link tests.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "crypto/cert.hpp"
+#include "net/memory_channel.hpp"
+#include "tls/gssl.hpp"
+#include "tls/link.hpp"
+#include "tls/record.hpp"
+
+namespace pg::tls {
+namespace {
+
+constexpr std::size_t kTestKeyBits = 768;
+
+/// Shared PKI for all GSSL tests: one CA, two host identities.
+class GsslTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new Rng(2024);
+    ca_ = new crypto::CertificateAuthority("grid-ca", kTestKeyBits, *rng_);
+    alice_ = new GsslIdentity(make_identity("proxy.siteA.grid"));
+    bob_ = new GsslIdentity(make_identity("proxy.siteB.grid"));
+  }
+  static void TearDownTestSuite() {
+    delete alice_;
+    delete bob_;
+    delete ca_;
+    delete rng_;
+    alice_ = bob_ = nullptr;
+    ca_ = nullptr;
+    rng_ = nullptr;
+  }
+
+  static GsslIdentity make_identity(const std::string& subject) {
+    const crypto::RsaKeyPair keys = crypto::rsa_generate(kTestKeyBits, *rng_);
+    return GsslIdentity{ca_->issue(subject, keys.pub, 0, 1'000'000'000),
+                        keys.priv};
+  }
+
+  static GsslConfig config_for(const GsslIdentity& id,
+                               const std::string& expected_peer = "") {
+    return GsslConfig{id, ca_->name(), ca_->public_key(), expected_peer};
+  }
+
+  /// Runs both handshake halves on a memory channel pair.
+  struct SessionPair {
+    net::ChannelPair channels;
+    GsslSessionPtr client;
+    GsslSessionPtr server;
+    Status client_status;
+    Status server_status;
+  };
+
+  static SessionPair handshake(const GsslConfig& client_cfg,
+                               const GsslConfig& server_cfg) {
+    SessionPair out;
+    out.channels = net::make_memory_channel_pair();
+    ManualClock clock(1000);
+    Rng client_rng(7), server_rng(8);
+
+    auto server_future = std::async(std::launch::async, [&] {
+      return gssl_server_handshake(*out.channels.b, server_cfg, clock,
+                                   server_rng);
+    });
+    Result<GsslSessionPtr> client = gssl_client_handshake(
+        *out.channels.a, client_cfg, clock, client_rng);
+    Result<GsslSessionPtr> server = server_future.get();
+
+    out.client_status = client.status();
+    out.server_status = server.status();
+    if (client.is_ok()) out.client = client.take();
+    if (server.is_ok()) out.server = server.take();
+    return out;
+  }
+
+  static Rng* rng_;
+  static crypto::CertificateAuthority* ca_;
+  static GsslIdentity* alice_;
+  static GsslIdentity* bob_;
+};
+
+Rng* GsslTest::rng_ = nullptr;
+crypto::CertificateAuthority* GsslTest::ca_ = nullptr;
+GsslIdentity* GsslTest::alice_ = nullptr;
+GsslIdentity* GsslTest::bob_ = nullptr;
+
+TEST_F(GsslTest, HandshakeSucceeds) {
+  SessionPair pair = handshake(config_for(*alice_), config_for(*bob_));
+  ASSERT_TRUE(pair.client_status.is_ok()) << pair.client_status.to_string();
+  ASSERT_TRUE(pair.server_status.is_ok()) << pair.server_status.to_string();
+  EXPECT_EQ(pair.client->peer_certificate().subject, "proxy.siteB.grid");
+  EXPECT_EQ(pair.server->peer_certificate().subject, "proxy.siteA.grid");
+}
+
+TEST_F(GsslTest, DataFlowsBothWays) {
+  SessionPair pair = handshake(config_for(*alice_), config_for(*bob_));
+  ASSERT_TRUE(pair.client_status.is_ok());
+  ASSERT_TRUE(pair.server_status.is_ok());
+
+  ASSERT_TRUE(pair.client->send(to_bytes("from client")).is_ok());
+  ASSERT_TRUE(pair.server->send(to_bytes("from server")).is_ok());
+
+  Result<Bytes> at_server = pair.server->recv();
+  Result<Bytes> at_client = pair.client->recv();
+  ASSERT_TRUE(at_server.is_ok());
+  ASSERT_TRUE(at_client.is_ok());
+  EXPECT_EQ(to_string(at_server.value()), "from client");
+  EXPECT_EQ(to_string(at_client.value()), "from server");
+}
+
+TEST_F(GsslTest, ManyMessagesKeepSequence) {
+  SessionPair pair = handshake(config_for(*alice_), config_for(*bob_));
+  ASSERT_TRUE(pair.client_status.is_ok());
+  for (int i = 0; i < 100; ++i) {
+    const std::string msg = "msg-" + std::to_string(i);
+    ASSERT_TRUE(pair.client->send(to_bytes(msg)).is_ok());
+    Result<Bytes> got = pair.server->recv();
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(to_string(got.value()), msg);
+  }
+}
+
+TEST_F(GsslTest, CiphertextDiffersFromPlaintext) {
+  SessionPair pair = handshake(config_for(*alice_), config_for(*bob_));
+  ASSERT_TRUE(pair.client_status.is_ok());
+  const std::uint64_t sent_before =
+      pair.channels.a->stats().bytes_sent.load();
+  const Bytes secret = to_bytes("TOP-SECRET-GRID-PAYLOAD");
+  ASSERT_TRUE(pair.client->send(secret).is_ok());
+  ASSERT_TRUE(pair.server->recv().is_ok());
+  // More bytes than the plaintext must have crossed (MAC + header).
+  const std::uint64_t wire_bytes =
+      pair.channels.a->stats().bytes_sent.load() - sent_before;
+  EXPECT_GT(wire_bytes, secret.size() + 32);
+}
+
+TEST_F(GsslTest, ExpectedPeerEnforced) {
+  SessionPair pair = handshake(config_for(*alice_, "proxy.siteB.grid"),
+                               config_for(*bob_, "proxy.siteA.grid"));
+  EXPECT_TRUE(pair.client_status.is_ok());
+  EXPECT_TRUE(pair.server_status.is_ok());
+
+  SessionPair bad = handshake(config_for(*alice_, "proxy.siteC.grid"),
+                              config_for(*bob_));
+  EXPECT_EQ(bad.client_status.code(), ErrorCode::kCryptoError);
+}
+
+TEST_F(GsslTest, UntrustedClientCertificateRejected) {
+  // An identity signed by a different CA must be refused by the server.
+  Rng rogue_rng(99);
+  crypto::CertificateAuthority rogue_ca("rogue-ca", kTestKeyBits, rogue_rng);
+  const crypto::RsaKeyPair keys = crypto::rsa_generate(kTestKeyBits, rogue_rng);
+  const GsslIdentity intruder{
+      rogue_ca.issue("proxy.siteA.grid", keys.pub, 0, 1'000'000'000),
+      keys.priv};
+
+  SessionPair pair = handshake(config_for(intruder), config_for(*bob_));
+  EXPECT_EQ(pair.server_status.code(), ErrorCode::kCryptoError);
+  EXPECT_FALSE(pair.client_status.is_ok());
+}
+
+TEST_F(GsslTest, ExpiredCertificateRejected) {
+  const crypto::RsaKeyPair keys = crypto::rsa_generate(kTestKeyBits, *rng_);
+  // Validity window entirely in the past relative to the clock (t=1000).
+  const GsslIdentity expired{
+      ca_->issue("proxy.siteX.grid", keys.pub, 0, 10), keys.priv};
+  SessionPair pair = handshake(config_for(expired), config_for(*bob_));
+  EXPECT_EQ(pair.server_status.code(), ErrorCode::kCryptoError);
+}
+
+TEST_F(GsslTest, StolenCertificateWithoutKeyRejected) {
+  // An attacker presenting alice's certificate but signing with its own key
+  // must fail CertVerify.
+  Rng thief_rng(123);
+  const crypto::RsaKeyPair thief_keys =
+      crypto::rsa_generate(kTestKeyBits, thief_rng);
+  const GsslIdentity thief{alice_->certificate, thief_keys.priv};
+  SessionPair pair = handshake(config_for(thief), config_for(*bob_));
+  EXPECT_EQ(pair.server_status.code(), ErrorCode::kCryptoError);
+}
+
+TEST_F(GsslTest, TamperedRecordDetected) {
+  SessionPair pair = handshake(config_for(*alice_), config_for(*bob_));
+  ASSERT_TRUE(pair.client_status.is_ok());
+
+  // Send through a hostile middlebox: write a data record manually with a
+  // flipped ciphertext bit by intercepting at the channel level. Simplest
+  // equivalent: send normally, but flip a bit in transit by writing our own
+  // bogus record afterwards and checking the receiver rejects it.
+  ASSERT_TRUE(pair.client->send(to_bytes("good")).is_ok());
+  ASSERT_TRUE(pair.server->recv().is_ok());
+
+  // Forge: type=data, len=40, garbage payload (wrong MAC for seq 1).
+  Bytes forged = {0x02, 0x00, 0x00, 0x00, 0x28};
+  forged.resize(5 + 40, 0xaa);
+  ASSERT_TRUE(pair.channels.a->write(forged).is_ok());
+  Result<Bytes> got = pair.server->recv();
+  EXPECT_EQ(got.status().code(), ErrorCode::kCryptoError);
+}
+
+TEST_F(GsslTest, StatsAccumulate) {
+  SessionPair pair = handshake(config_for(*alice_), config_for(*bob_));
+  ASSERT_TRUE(pair.client_status.is_ok());
+  EXPECT_GT(pair.client->stats().handshake_bytes, 500u);
+
+  ASSERT_TRUE(pair.client->send(Bytes(1000, 1)).is_ok());
+  ASSERT_TRUE(pair.server->recv().is_ok());
+  const GsslStats stats = pair.client->stats();
+  EXPECT_EQ(stats.records_sent, 1u);
+  EXPECT_EQ(stats.plaintext_bytes_sent, 1000u);
+  EXPECT_GT(stats.ciphertext_bytes_sent, 1000u);
+}
+
+TEST_F(GsslTest, PlainLinkRoundTrip) {
+  net::ChannelPair channels = net::make_memory_channel_pair();
+  MessageLinkPtr a = make_plain_link(*channels.a);
+  MessageLinkPtr b = make_plain_link(*channels.b);
+
+  ASSERT_TRUE(a->send(to_bytes("local traffic")).is_ok());
+  Result<Bytes> got = b->recv();
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(to_string(got.value()), "local traffic");
+  EXPECT_FALSE(a->is_encrypted());
+  EXPECT_EQ(a->stats().crypto_bytes, 0u);
+  EXPECT_EQ(a->stats().handshake_bytes, 0u);
+}
+
+TEST_F(GsslTest, SecureLinkRoundTrip) {
+  SessionPair pair = handshake(config_for(*alice_), config_for(*bob_));
+  ASSERT_TRUE(pair.client_status.is_ok());
+  MessageLinkPtr a = make_secure_link(std::move(pair.client));
+  MessageLinkPtr b = make_secure_link(std::move(pair.server));
+
+  ASSERT_TRUE(a->send(to_bytes("tunneled")).is_ok());
+  Result<Bytes> got = b->recv();
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(to_string(got.value()), "tunneled");
+  EXPECT_TRUE(a->is_encrypted());
+  EXPECT_GT(a->stats().crypto_bytes, 0u);
+  EXPECT_GT(a->stats().handshake_bytes, 0u);
+}
+
+TEST_F(GsslTest, PlainLinkCheaperOnWire) {
+  // The quantitative heart of the paper's edge-tunneling argument: a
+  // plaintext hop moves fewer wire bytes than an encrypted hop for the
+  // same payload.
+  net::ChannelPair plain_channels = net::make_memory_channel_pair();
+  MessageLinkPtr plain = make_plain_link(*plain_channels.a);
+  MessageLinkPtr plain_rx = make_plain_link(*plain_channels.b);
+
+  SessionPair secure_pair = handshake(config_for(*alice_), config_for(*bob_));
+  ASSERT_TRUE(secure_pair.client_status.is_ok());
+  MessageLinkPtr secure = make_secure_link(std::move(secure_pair.client));
+  MessageLinkPtr secure_rx = make_secure_link(std::move(secure_pair.server));
+
+  const Bytes payload(4096, 0x42);
+  ASSERT_TRUE(plain->send(payload).is_ok());
+  ASSERT_TRUE(plain_rx->recv().is_ok());
+  ASSERT_TRUE(secure->send(payload).is_ok());
+  ASSERT_TRUE(secure_rx->recv().is_ok());
+
+  EXPECT_LT(plain->stats().wire_bytes_sent, secure->stats().wire_bytes_sent);
+}
+
+// Record cipher unit tests (below the session layer).
+
+TEST(RecordCipher, SealOpenRoundTrip) {
+  Rng rng(3);
+  const Bytes key = rng.next_bytes(32), mac = rng.next_bytes(32),
+              iv = rng.next_bytes(12);
+  internal::RecordCipher tx(key, mac, iv);
+  internal::RecordCipher rx(key, mac, iv);
+
+  for (int i = 0; i < 10; ++i) {
+    const Bytes msg = rng.next_bytes(100 + static_cast<std::size_t>(i));
+    const Bytes sealed = tx.seal(internal::RecordType::kData, msg);
+    Result<Bytes> opened = rx.open(internal::RecordType::kData, sealed);
+    ASSERT_TRUE(opened.is_ok());
+    EXPECT_EQ(opened.value(), msg);
+  }
+}
+
+TEST(RecordCipher, ReplayDetected) {
+  Rng rng(4);
+  const Bytes key = rng.next_bytes(32), mac = rng.next_bytes(32),
+              iv = rng.next_bytes(12);
+  internal::RecordCipher tx(key, mac, iv);
+  internal::RecordCipher rx(key, mac, iv);
+
+  const Bytes sealed = tx.seal(internal::RecordType::kData, to_bytes("m"));
+  ASSERT_TRUE(rx.open(internal::RecordType::kData, sealed).is_ok());
+  // Replaying the same record fails: receiver sequence has advanced.
+  EXPECT_EQ(rx.open(internal::RecordType::kData, sealed).status().code(),
+            ErrorCode::kCryptoError);
+}
+
+TEST(RecordCipher, TypeConfusionDetected) {
+  Rng rng(5);
+  const Bytes key = rng.next_bytes(32), mac = rng.next_bytes(32),
+              iv = rng.next_bytes(12);
+  internal::RecordCipher tx(key, mac, iv);
+  internal::RecordCipher rx(key, mac, iv);
+  const Bytes sealed = tx.seal(internal::RecordType::kData, to_bytes("m"));
+  EXPECT_EQ(
+      rx.open(internal::RecordType::kHandshake, sealed).status().code(),
+      ErrorCode::kCryptoError);
+}
+
+TEST(RecordCipher, TruncatedRecordRejected) {
+  Rng rng(6);
+  internal::RecordCipher rx(rng.next_bytes(32), rng.next_bytes(32),
+                            rng.next_bytes(12));
+  EXPECT_EQ(rx.open(internal::RecordType::kData, Bytes(10, 0)).status().code(),
+            ErrorCode::kCryptoError);
+}
+
+}  // namespace
+}  // namespace pg::tls
