@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_handshake.dir/bench_handshake.cpp.o"
+  "CMakeFiles/bench_handshake.dir/bench_handshake.cpp.o.d"
+  "bench_handshake"
+  "bench_handshake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_handshake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mpi_proxy.dir/bench_mpi_proxy.cpp.o"
+  "CMakeFiles/bench_mpi_proxy.dir/bench_mpi_proxy.cpp.o.d"
+  "bench_mpi_proxy"
+  "bench_mpi_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpi_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cluster_interconnect.cpp" "examples/CMakeFiles/cluster_interconnect.dir/cluster_interconnect.cpp.o" "gcc" "examples/CMakeFiles/cluster_interconnect.dir/cluster_interconnect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/pg_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/gridfs/CMakeFiles/pg_gridfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/pg_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/pg_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/pg_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/pg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/pg_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/pg_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/pg_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_interconnect.dir/cluster_interconnect.cpp.o"
+  "CMakeFiles/cluster_interconnect.dir/cluster_interconnect.cpp.o.d"
+  "cluster_interconnect"
+  "cluster_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_sites.dir/tcp_sites.cpp.o"
+  "CMakeFiles/tcp_sites.dir/tcp_sites.cpp.o.d"
+  "tcp_sites"
+  "tcp_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

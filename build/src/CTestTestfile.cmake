@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("tls")
+subdirs("net")
+subdirs("sim")
+subdirs("proto")
+subdirs("auth")
+subdirs("monitor")
+subdirs("sched")
+subdirs("mpi")
+subdirs("proxy")
+subdirs("gridfs")
+subdirs("grid")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/auth/acl.cpp" "src/auth/CMakeFiles/pg_auth.dir/acl.cpp.o" "gcc" "src/auth/CMakeFiles/pg_auth.dir/acl.cpp.o.d"
+  "/root/repo/src/auth/authenticator.cpp" "src/auth/CMakeFiles/pg_auth.dir/authenticator.cpp.o" "gcc" "src/auth/CMakeFiles/pg_auth.dir/authenticator.cpp.o.d"
+  "/root/repo/src/auth/password.cpp" "src/auth/CMakeFiles/pg_auth.dir/password.cpp.o" "gcc" "src/auth/CMakeFiles/pg_auth.dir/password.cpp.o.d"
+  "/root/repo/src/auth/signature.cpp" "src/auth/CMakeFiles/pg_auth.dir/signature.cpp.o" "gcc" "src/auth/CMakeFiles/pg_auth.dir/signature.cpp.o.d"
+  "/root/repo/src/auth/ticket.cpp" "src/auth/CMakeFiles/pg_auth.dir/ticket.cpp.o" "gcc" "src/auth/CMakeFiles/pg_auth.dir/ticket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/pg_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_auth.dir/acl.cpp.o"
+  "CMakeFiles/pg_auth.dir/acl.cpp.o.d"
+  "CMakeFiles/pg_auth.dir/authenticator.cpp.o"
+  "CMakeFiles/pg_auth.dir/authenticator.cpp.o.d"
+  "CMakeFiles/pg_auth.dir/password.cpp.o"
+  "CMakeFiles/pg_auth.dir/password.cpp.o.d"
+  "CMakeFiles/pg_auth.dir/signature.cpp.o"
+  "CMakeFiles/pg_auth.dir/signature.cpp.o.d"
+  "CMakeFiles/pg_auth.dir/ticket.cpp.o"
+  "CMakeFiles/pg_auth.dir/ticket.cpp.o.d"
+  "libpg_auth.a"
+  "libpg_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

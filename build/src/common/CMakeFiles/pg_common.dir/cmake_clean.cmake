@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_common.dir/bytes.cpp.o"
+  "CMakeFiles/pg_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/pg_common.dir/logging.cpp.o"
+  "CMakeFiles/pg_common.dir/logging.cpp.o.d"
+  "CMakeFiles/pg_common.dir/rng.cpp.o"
+  "CMakeFiles/pg_common.dir/rng.cpp.o.d"
+  "CMakeFiles/pg_common.dir/serde.cpp.o"
+  "CMakeFiles/pg_common.dir/serde.cpp.o.d"
+  "CMakeFiles/pg_common.dir/status.cpp.o"
+  "CMakeFiles/pg_common.dir/status.cpp.o.d"
+  "CMakeFiles/pg_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/pg_common.dir/thread_pool.cpp.o.d"
+  "libpg_common.a"
+  "libpg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/pg_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/pg_crypto.dir/cert.cpp.o"
+  "CMakeFiles/pg_crypto.dir/cert.cpp.o.d"
+  "CMakeFiles/pg_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/pg_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/pg_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/pg_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/pg_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/pg_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/pg_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/pg_crypto.dir/sha256.cpp.o.d"
+  "libpg_crypto.a"
+  "libpg_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

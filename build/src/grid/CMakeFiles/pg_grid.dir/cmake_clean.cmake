@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_grid.dir/cli.cpp.o"
+  "CMakeFiles/pg_grid.dir/cli.cpp.o.d"
+  "CMakeFiles/pg_grid.dir/grid.cpp.o"
+  "CMakeFiles/pg_grid.dir/grid.cpp.o.d"
+  "CMakeFiles/pg_grid.dir/web.cpp.o"
+  "CMakeFiles/pg_grid.dir/web.cpp.o.d"
+  "libpg_grid.a"
+  "libpg_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_gridfs.dir/gridfs.cpp.o"
+  "CMakeFiles/pg_gridfs.dir/gridfs.cpp.o.d"
+  "libpg_gridfs.a"
+  "libpg_gridfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_gridfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

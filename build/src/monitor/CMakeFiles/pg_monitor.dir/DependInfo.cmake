@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/aggregator.cpp" "src/monitor/CMakeFiles/pg_monitor.dir/aggregator.cpp.o" "gcc" "src/monitor/CMakeFiles/pg_monitor.dir/aggregator.cpp.o.d"
+  "/root/repo/src/monitor/site_collector.cpp" "src/monitor/CMakeFiles/pg_monitor.dir/site_collector.cpp.o" "gcc" "src/monitor/CMakeFiles/pg_monitor.dir/site_collector.cpp.o.d"
+  "/root/repo/src/monitor/stats_source.cpp" "src/monitor/CMakeFiles/pg_monitor.dir/stats_source.cpp.o" "gcc" "src/monitor/CMakeFiles/pg_monitor.dir/stats_source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/pg_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_monitor.dir/aggregator.cpp.o"
+  "CMakeFiles/pg_monitor.dir/aggregator.cpp.o.d"
+  "CMakeFiles/pg_monitor.dir/site_collector.cpp.o"
+  "CMakeFiles/pg_monitor.dir/site_collector.cpp.o.d"
+  "CMakeFiles/pg_monitor.dir/stats_source.cpp.o"
+  "CMakeFiles/pg_monitor.dir/stats_source.cpp.o.d"
+  "libpg_monitor.a"
+  "libpg_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_mpi.dir/comm.cpp.o"
+  "CMakeFiles/pg_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/pg_mpi.dir/datatypes.cpp.o"
+  "CMakeFiles/pg_mpi.dir/datatypes.cpp.o.d"
+  "CMakeFiles/pg_mpi.dir/fabric.cpp.o"
+  "CMakeFiles/pg_mpi.dir/fabric.cpp.o.d"
+  "CMakeFiles/pg_mpi.dir/mailbox.cpp.o"
+  "CMakeFiles/pg_mpi.dir/mailbox.cpp.o.d"
+  "CMakeFiles/pg_mpi.dir/runtime.cpp.o"
+  "CMakeFiles/pg_mpi.dir/runtime.cpp.o.d"
+  "libpg_mpi.a"
+  "libpg_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

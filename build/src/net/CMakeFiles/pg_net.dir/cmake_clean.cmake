@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_net.dir/channel.cpp.o"
+  "CMakeFiles/pg_net.dir/channel.cpp.o.d"
+  "CMakeFiles/pg_net.dir/framer.cpp.o"
+  "CMakeFiles/pg_net.dir/framer.cpp.o.d"
+  "CMakeFiles/pg_net.dir/memory_channel.cpp.o"
+  "CMakeFiles/pg_net.dir/memory_channel.cpp.o.d"
+  "CMakeFiles/pg_net.dir/tcp.cpp.o"
+  "CMakeFiles/pg_net.dir/tcp.cpp.o.d"
+  "libpg_net.a"
+  "libpg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/dispatcher.cpp" "src/proto/CMakeFiles/pg_proto.dir/dispatcher.cpp.o" "gcc" "src/proto/CMakeFiles/pg_proto.dir/dispatcher.cpp.o.d"
+  "/root/repo/src/proto/envelope.cpp" "src/proto/CMakeFiles/pg_proto.dir/envelope.cpp.o" "gcc" "src/proto/CMakeFiles/pg_proto.dir/envelope.cpp.o.d"
+  "/root/repo/src/proto/messages.cpp" "src/proto/CMakeFiles/pg_proto.dir/messages.cpp.o" "gcc" "src/proto/CMakeFiles/pg_proto.dir/messages.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_proto.dir/dispatcher.cpp.o"
+  "CMakeFiles/pg_proto.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/pg_proto.dir/envelope.cpp.o"
+  "CMakeFiles/pg_proto.dir/envelope.cpp.o.d"
+  "CMakeFiles/pg_proto.dir/messages.cpp.o"
+  "CMakeFiles/pg_proto.dir/messages.cpp.o.d"
+  "libpg_proto.a"
+  "libpg_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_proxy.dir/connection.cpp.o"
+  "CMakeFiles/pg_proxy.dir/connection.cpp.o.d"
+  "CMakeFiles/pg_proxy.dir/job_manager.cpp.o"
+  "CMakeFiles/pg_proxy.dir/job_manager.cpp.o.d"
+  "CMakeFiles/pg_proxy.dir/node_agent.cpp.o"
+  "CMakeFiles/pg_proxy.dir/node_agent.cpp.o.d"
+  "CMakeFiles/pg_proxy.dir/proxy_server.cpp.o"
+  "CMakeFiles/pg_proxy.dir/proxy_server.cpp.o.d"
+  "libpg_proxy.a"
+  "libpg_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/des.cpp" "src/sched/CMakeFiles/pg_sched.dir/des.cpp.o" "gcc" "src/sched/CMakeFiles/pg_sched.dir/des.cpp.o.d"
+  "/root/repo/src/sched/makespan.cpp" "src/sched/CMakeFiles/pg_sched.dir/makespan.cpp.o" "gcc" "src/sched/CMakeFiles/pg_sched.dir/makespan.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/pg_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/pg_sched.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/pg_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/pg_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

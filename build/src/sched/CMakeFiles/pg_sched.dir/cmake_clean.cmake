@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_sched.dir/des.cpp.o"
+  "CMakeFiles/pg_sched.dir/des.cpp.o.d"
+  "CMakeFiles/pg_sched.dir/makespan.cpp.o"
+  "CMakeFiles/pg_sched.dir/makespan.cpp.o.d"
+  "CMakeFiles/pg_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/pg_sched.dir/scheduler.cpp.o.d"
+  "libpg_sched.a"
+  "libpg_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/pg_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/pg_sim.dir/network_model.cpp.o"
+  "CMakeFiles/pg_sim.dir/network_model.cpp.o.d"
+  "CMakeFiles/pg_sim.dir/workload.cpp.o"
+  "CMakeFiles/pg_sim.dir/workload.cpp.o.d"
+  "libpg_sim.a"
+  "libpg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tls/gssl.cpp" "src/tls/CMakeFiles/pg_tls.dir/gssl.cpp.o" "gcc" "src/tls/CMakeFiles/pg_tls.dir/gssl.cpp.o.d"
+  "/root/repo/src/tls/link.cpp" "src/tls/CMakeFiles/pg_tls.dir/link.cpp.o" "gcc" "src/tls/CMakeFiles/pg_tls.dir/link.cpp.o.d"
+  "/root/repo/src/tls/record.cpp" "src/tls/CMakeFiles/pg_tls.dir/record.cpp.o" "gcc" "src/tls/CMakeFiles/pg_tls.dir/record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pg_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_tls.dir/gssl.cpp.o"
+  "CMakeFiles/pg_tls.dir/gssl.cpp.o.d"
+  "CMakeFiles/pg_tls.dir/link.cpp.o"
+  "CMakeFiles/pg_tls.dir/link.cpp.o.d"
+  "CMakeFiles/pg_tls.dir/record.cpp.o"
+  "CMakeFiles/pg_tls.dir/record.cpp.o.d"
+  "libpg_tls.a"
+  "libpg_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
