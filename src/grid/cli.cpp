@@ -1,9 +1,12 @@
 #include "grid/cli.hpp"
 
+#include <algorithm>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 #include <vector>
+
+#include "telemetry/trace.hpp"
 
 namespace pg::grid {
 
@@ -43,6 +46,8 @@ bool CommandLine::execute(const std::string& line, std::ostream& out) {
     cmd_fs(args, out);
   } else if (cmd == "peers") {
     cmd_peers(args, out);
+  } else if (cmd == "stats") {
+    cmd_stats(args, out);
   } else if (cmd == "whoami") {
     cmd_whoami(out);
   } else if (cmd == "help") {
@@ -301,6 +306,35 @@ void CommandLine::cmd_peers(const std::vector<std::string>& args,
   out << "\n";
 }
 
+void CommandLine::cmd_stats(const std::vector<std::string>& args,
+                            std::ostream& out) {
+  const std::string site = args.size() > 1 ? args[1] : origin_site_;
+  const std::vector<std::string> sites = grid_.sites();
+  if (std::find(sites.begin(), sites.end(), site) == sites.end()) {
+    out << "unknown site: " << site << "\n";
+    return;
+  }
+  const proxy::ProxyMetrics m = grid_.proxy(site).metrics();
+  out << site << " proxy counters:\n"
+      << "  control calls sent     " << m.control_calls_sent << "\n"
+      << "  control notifies sent  " << m.control_notifies_sent << "\n"
+      << "  mpi messages local     " << m.mpi_messages_local << " ("
+      << m.mpi_bytes_local << " B)\n"
+      << "  mpi messages remote    " << m.mpi_messages_remote << " ("
+      << m.mpi_bytes_remote << " B)\n"
+      << "  handshakes             " << m.handshakes << "\n"
+      << "  logins                 " << m.logins << "\n"
+      << "  apps run               " << m.apps_run << "\n"
+      << "  tunnels relayed        " << m.tunnels_relayed << "\n";
+  const std::vector<std::uint64_t> traces =
+      telemetry::Tracer::global().recent_traces(8);
+  out << "recent traces:";
+  for (const std::uint64_t id : traces) {
+    out << " " << std::hex << id << std::dec;
+  }
+  out << "\n";
+}
+
 void CommandLine::cmd_whoami(std::ostream& out) {
   if (!logged_in()) {
     out << "not logged in\n";
@@ -320,6 +354,7 @@ void CommandLine::cmd_help(std::ostream& out) {
          "  wait <job-id>\n"
          "  fs put|get|ls|rm <site> [name] [text...]\n"
          "  peers [site]\n"
+         "  stats [site]\n"
          "  whoami\n"
          "  help\n";
 }

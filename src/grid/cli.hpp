@@ -15,6 +15,7 @@
 //   fs ls <site>                        list a site's files
 //   fs rm <site> <name>                 remove an owned file
 //   peers <site>                        peer connectivity of a proxy
+//   stats [site]                        proxy counters + recent trace ids
 //   whoami                              session info
 //   help                                command list
 #pragma once
@@ -54,6 +55,7 @@ class CommandLine {
   void cmd_wait(const std::vector<std::string>& args, std::ostream& out);
   void cmd_fs(const std::vector<std::string>& args, std::ostream& out);
   void cmd_peers(const std::vector<std::string>& args, std::ostream& out);
+  void cmd_stats(const std::vector<std::string>& args, std::ostream& out);
   void cmd_whoami(std::ostream& out);
   void cmd_help(std::ostream& out);
 

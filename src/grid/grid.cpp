@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "net/memory_channel.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pg::grid {
 
@@ -195,14 +196,20 @@ proxy::NodeAgent& Grid::node_agent(const std::string& site,
 
 Result<Bytes> Grid::login(const std::string& site, const std::string& user,
                           const std::string& password) {
+  telemetry::Span span =
+      telemetry::Tracer::global().start_span("grid.login", site);
+  span.set_note(user + "@" + site);
   const auto it = proxies_.find(site);
-  if (it == proxies_.end())
+  if (it == proxies_.end()) {
+    span.set_ok(false);
     return error(ErrorCode::kNotFound, "no site " + site);
+  }
   proto::AuthRequest request;
   request.user = user;
   request.method = proto::AuthMethod::kPassword;
   request.credential = to_bytes(password);
   const proto::AuthResponse response = it->second->login(request);
+  span.set_ok(response.ok);
   if (!response.ok)
     return error(ErrorCode::kUnauthenticated, response.reason);
   return response.token;
@@ -250,7 +257,16 @@ void Grid::kill_node(const std::string& site, const std::string& node) {
   const auto site_it = agents_.find(site);
   if (site_it == agents_.end()) return;
   const auto node_it = site_it->second.find(node);
-  if (node_it != site_it->second.end()) node_it->second->shutdown();
+  if (node_it == site_it->second.end()) return;
+  node_it->second->shutdown();
+  // The proxy learns of the death asynchronously (its reader observes EOF).
+  // Wait for its view to settle so the node is already gone from status
+  // reports and scheduling when this returns.
+  const auto proxy_it = proxies_.find(site);
+  if (proxy_it == proxies_.end()) return;
+  for (int i = 0; i < 500 && proxy_it->second->node_alive(node); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 }
 
 Status Grid::reconnect_link(const std::string& site_a,

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pg::grid {
 
@@ -101,8 +103,10 @@ void WebInterface::serve_loop() {
   while (running_.load()) {
     Result<net::ChannelPtr> conn = listener_->accept();
     if (!conn.is_ok()) break;  // listener closed
-    handle_connection(*conn.value());
+    // Count before handling: handle_connection closes the channel, so the
+    // client may observe the response before a post-handling increment.
     ++requests_;
+    handle_connection(*conn.value());
   }
 }
 
@@ -162,6 +166,18 @@ std::string WebInterface::route(
     return json_jobs();
   }
   if (path == "/run") return action_run(query, http_status);
+  if (path == "/metrics") {
+    content_type = "text/plain; version=0.0.4";
+    return telemetry::MetricRegistry::global().to_prometheus();
+  }
+  if (path == "/metrics.json") {
+    content_type = "application/json";
+    return telemetry::MetricRegistry::global().to_json();
+  }
+  if (path == "/traces") return page_traces();
+  if (path.rfind("/trace/", 0) == 0) {
+    return page_trace(path.substr(7), http_status);
+  }
   http_status = 404;
   content_type = "text/plain";
   return "not found";
@@ -179,6 +195,9 @@ std::string WebInterface::page_index() const {
       << "<li><a href=\"/jobs\">jobs</a>"
       << " (<a href=\"/jobs.json\">json</a>)</li>"
       << "<li>submit: /run?app=&lt;name&gt;&amp;ranks=N&amp;policy=rr|lb</li>"
+      << "<li><a href=\"/metrics\">metrics</a>"
+      << " (<a href=\"/metrics.json\">json</a>)</li>"
+      << "<li><a href=\"/traces\">traces</a></li>"
       << "</ul></body></html>";
   return out.str();
 }
@@ -267,6 +286,53 @@ std::string WebInterface::json_jobs() {
         << ",\"state\":\"" << proxy::job_state_name(job.state) << "\"}";
   }
   out << "]}";
+  return out.str();
+}
+
+std::string WebInterface::page_traces() {
+  const std::vector<std::uint64_t> ids =
+      telemetry::Tracer::global().recent_traces();
+  std::ostringstream out;
+  out << "<html><body><h1>recent traces</h1><ul>";
+  for (const std::uint64_t id : ids) {
+    out << "<li><a href=\"/trace/" << std::hex << id << std::dec << "\">"
+        << std::hex << id << std::dec << "</a></li>";
+  }
+  out << "</ul><p><a href=\"/\">back</a></p></body></html>";
+  return out.str();
+}
+
+std::string WebInterface::page_trace(const std::string& id_text,
+                                     int& http_status) {
+  std::uint64_t trace_id = 0;
+  try {
+    trace_id = std::stoull(id_text, nullptr, 16);
+  } catch (const std::exception&) {
+    http_status = 400;
+    return "bad trace id";
+  }
+  const std::vector<telemetry::SpanRecord> spans =
+      telemetry::Tracer::global().trace(trace_id);
+  if (spans.empty()) {
+    http_status = 404;
+    return "no such trace";
+  }
+  std::ostringstream out;
+  out << "<html><body><h1>trace " << std::hex << trace_id << std::dec
+      << "</h1><table border=1>"
+      << "<tr><th>span</th><th>parent</th><th>name</th><th>component</th>"
+      << "<th>start &micro;s</th><th>duration &micro;s</th><th>ok</th>"
+      << "<th>note</th></tr>";
+  for (const auto& span : spans) {
+    out << "<tr><td>" << std::hex << span.span_id << "</td><td>"
+        << span.parent_span_id << std::dec << "</td><td>"
+        << html_escape(span.name) << "</td><td>"
+        << html_escape(span.component) << "</td><td>" << span.start_micros
+        << "</td><td>" << (span.end_micros - span.start_micros) << "</td><td>"
+        << (span.ok ? "yes" : "no") << "</td><td>" << html_escape(span.note)
+        << "</td></tr>";
+  }
+  out << "</table><p><a href=\"/traces\">back</a></p></body></html>";
   return out.str();
 }
 

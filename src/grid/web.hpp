@@ -12,6 +12,10 @@
 //   GET /jobs             batch-job table (HTML)
 //   GET /jobs.json        the same as JSON
 //   GET /run?app=X&ranks=N&policy=rr|lb   submit a batch job, redirect to /jobs
+//   GET /metrics          process metric registry, Prometheus text format
+//   GET /metrics.json     the same as JSON
+//   GET /traces           recent trace ids (HTML)
+//   GET /trace/<hex id>   span table of one trace (HTML)
 #pragma once
 
 #include <atomic>
@@ -53,6 +57,8 @@ class WebInterface {
   std::string json_status();
   std::string page_jobs();
   std::string json_jobs();
+  std::string page_traces();
+  std::string page_trace(const std::string& id_text, int& http_status);
   std::string action_run(const std::map<std::string, std::string>& query,
                          int& http_status);
 

@@ -1,6 +1,20 @@
 #include "mpi/fabric.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace pg::mpi {
+
+namespace {
+
+telemetry::Histogram& local_message_bytes() {
+  static telemetry::Histogram& histogram =
+      telemetry::MetricRegistry::global().histogram(
+          "pg_mpi_message_bytes", "MPI message payload sizes (bytes)",
+          telemetry::size_buckets_bytes(), {{"scope", "local"}});
+  return histogram;
+}
+
+}  // namespace
 
 LocalFabric::LocalFabric(std::uint32_t world_size) {
   mailboxes_.reserve(world_size);
@@ -15,6 +29,7 @@ Status LocalFabric::send(const MpiMessage& message) {
                  "destination rank out of range");
   routed_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(message.payload.size(), std::memory_order_relaxed);
+  local_message_bytes().observe(static_cast<double>(message.payload.size()));
   return mailboxes_[message.dst]->deliver(message);
 }
 

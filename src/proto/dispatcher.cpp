@@ -2,8 +2,27 @@
 
 namespace pg::proto {
 
+namespace {
+
+telemetry::Counter& op_counter(OpCode op) {
+  return telemetry::MetricRegistry::global().counter(
+      "pg_proto_dispatched_total", "Envelopes dispatched, by op",
+      {{"op", opcode_name(op)}});
+}
+
+telemetry::Histogram& dispatch_micros() {
+  static telemetry::Histogram& histogram =
+      telemetry::MetricRegistry::global().histogram(
+          "pg_proto_dispatch_micros", "Dispatcher handler latency (microseconds)",
+          telemetry::duration_buckets_micros(), {});
+  return histogram;
+}
+
+}  // namespace
+
 Status Dispatcher::register_handler(OpCode op, Handler handler) {
-  auto [it, inserted] = handlers_.emplace(op, std::move(handler));
+  auto [it, inserted] =
+      handlers_.emplace(op, Entry{std::move(handler), &op_counter(op)});
   if (!inserted)
     return error(ErrorCode::kAlreadyExists,
                  std::string("handler already registered for ") +
@@ -12,7 +31,7 @@ Status Dispatcher::register_handler(OpCode op, Handler handler) {
 }
 
 void Dispatcher::set_handler(OpCode op, Handler handler) {
-  handlers_[op] = std::move(handler);
+  handlers_[op] = Entry{std::move(handler), &op_counter(op)};
 }
 
 bool Dispatcher::has_handler(OpCode op) const {
@@ -21,8 +40,15 @@ bool Dispatcher::has_handler(OpCode op) const {
 
 Status Dispatcher::dispatch(const Envelope& envelope) const {
   const auto it = handlers_.find(envelope.op);
-  if (it != handlers_.end()) return it->second(envelope);
-  if (fallback_) return fallback_(envelope);
+  if (it != handlers_.end()) {
+    it->second.dispatched->increment();
+    telemetry::ScopedTimer timer(dispatch_micros());
+    return it->second.handler(envelope);
+  }
+  if (fallback_) {
+    telemetry::ScopedTimer timer(dispatch_micros());
+    return fallback_(envelope);
+  }
   return error(ErrorCode::kNotFound,
                std::string("no handler for op ") + opcode_name(envelope.op));
 }

@@ -7,6 +7,7 @@
 
 #include "common/status.hpp"
 #include "proto/envelope.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace pg::proto {
 
@@ -34,7 +35,14 @@ class Dispatcher {
   void set_fallback(Handler handler) { fallback_ = std::move(handler); }
 
  private:
-  std::map<OpCode, Handler> handlers_;
+  // The per-op counter is resolved at registration so the dispatch path
+  // pays only a sharded add, never a registry lookup.
+  struct Entry {
+    Handler handler;
+    telemetry::Counter* dispatched = nullptr;
+  };
+
+  std::map<OpCode, Entry> handlers_;
   Handler fallback_;
 };
 

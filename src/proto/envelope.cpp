@@ -42,6 +42,8 @@ Bytes Envelope::serialize() const {
   w.put_u8(version);
   w.put_u16(static_cast<std::uint16_t>(op));
   w.put_u64(request_id);
+  w.put_u64(trace_id);
+  w.put_u64(span_id);
   w.put_bytes(payload);
   return w.take();
 }
@@ -58,6 +60,8 @@ Result<Envelope> Envelope::deserialize(BytesView data) {
   PG_RETURN_IF_ERROR(r.get_u16(op_raw));
   env.op = static_cast<OpCode>(op_raw);
   PG_RETURN_IF_ERROR(r.get_u64(env.request_id));
+  PG_RETURN_IF_ERROR(r.get_u64(env.trace_id));
+  PG_RETURN_IF_ERROR(r.get_u64(env.span_id));
   PG_RETURN_IF_ERROR(r.get_bytes(env.payload));
   PG_RETURN_IF_ERROR(r.expect_end());
   return env;

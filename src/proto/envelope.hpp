@@ -12,7 +12,8 @@
 
 namespace pg::proto {
 
-constexpr std::uint8_t kProtocolVersion = 1;
+/// Version 2 added the trace-context pair (see docs/PROTOCOL.md).
+constexpr std::uint8_t kProtocolVersion = 2;
 
 /// Well-known operation codes. The space is open: proxies route unknown
 /// codes to registered extension handlers (see Dispatcher) instead of
@@ -65,12 +66,19 @@ enum class OpCode : std::uint16_t {
 
 const char* opcode_name(OpCode op);
 
-/// Every control message on the wire: version, op, correlation id, payload.
+/// Every control message on the wire: version, op, correlation id, trace
+/// context, payload.
 struct Envelope {
   std::uint8_t version = kProtocolVersion;
   OpCode op = OpCode::kError;
   /// Correlates responses with requests; 0 for unsolicited messages.
   std::uint64_t request_id = 0;
+  /// Distributed-trace context (telemetry/trace.hpp): the sender's trace id
+  /// and span id, 0/0 when the operation is untraced. The receiving proxy
+  /// installs this as the handler thread's current context, which is how
+  /// one grid operation yields a single cross-site trace.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
   Bytes payload;
 
   Bytes serialize() const;

@@ -1,6 +1,7 @@
 #include "proxy/connection.hpp"
 
 #include "common/logging.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pg::proxy {
 
@@ -53,8 +54,17 @@ Status Connection::notify(proto::OpCode op, BytesView payload,
   proto::Envelope envelope;
   envelope.op = op;
   envelope.request_id = request_id;
+  stamp_trace(envelope);
   envelope.payload.assign(payload.begin(), payload.end());
   return send_envelope(envelope);
+}
+
+void Connection::stamp_trace(proto::Envelope& envelope) {
+  // Carry the calling thread's trace context across the hop; the peer's
+  // reader installs it before dispatching (see reader_loop).
+  const telemetry::TraceContext ctx = telemetry::Tracer::current();
+  envelope.trace_id = ctx.trace_id;
+  envelope.span_id = ctx.span_id;
 }
 
 Result<proto::Envelope> Connection::call(proto::OpCode op, BytesView payload,
@@ -70,6 +80,7 @@ Result<proto::Envelope> Connection::call(proto::OpCode op, BytesView payload,
   proto::Envelope envelope;
   envelope.op = op;
   envelope.request_id = id;
+  stamp_trace(envelope);
   envelope.payload.assign(payload.begin(), payload.end());
   const Status sent = send_envelope(envelope);
   if (!sent.is_ok()) {
@@ -133,6 +144,10 @@ void Connection::reader_loop() {
       // as responses, so an unmatched id means this is an incoming request
       // (id parity keeps the two directions' ids disjoint). Fall through.
     }
+    // The sender's trace context becomes this thread's current context for
+    // the handler, so spans the handler opens parent across the hop.
+    telemetry::ScopedTraceContext trace_scope(
+        telemetry::TraceContext{env.trace_id, env.span_id});
     handler_(env, *this);
   }
 

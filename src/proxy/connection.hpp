@@ -71,6 +71,8 @@ class Connection {
  private:
   void reader_loop();
   Status send_envelope(const proto::Envelope& envelope);
+  /// Copies the calling thread's trace context onto an outgoing envelope.
+  static void stamp_trace(proto::Envelope& envelope);
 
   std::string peer_name_;
   net::ChannelPtr channel_;  // owned; link_ references it

@@ -1,6 +1,19 @@
 #include "proxy/job_manager.hpp"
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace pg::proxy {
+
+namespace {
+
+telemetry::Counter& jobs_counter(const char* state) {
+  return telemetry::MetricRegistry::global().counter(
+      "pg_proxy_jobs_total", "Batch jobs by terminal state",
+      {{"state", state}});
+}
+
+}  // namespace
 
 const char* job_state_name(JobState state) {
   switch (state) {
@@ -29,8 +42,19 @@ std::uint64_t JobManager::submit(const std::string& user,
     jobs_[record.job_id] = record;
   }
   const std::uint64_t job_id = record.job_id;
+  jobs_counter("submitted").increment();
 
-  const bool queued = pool_.submit([this, job_id, runner = std::move(runner)] {
+  // Capture the submitter's trace context so the worker-thread execution
+  // span parents to the submitting operation, not to whatever the worker
+  // ran last.
+  const telemetry::TraceContext submit_ctx = telemetry::Tracer::current();
+
+  const bool queued = pool_.submit([this, job_id, submit_ctx,
+                                    runner = std::move(runner)] {
+    telemetry::ScopedTraceContext trace_scope(submit_ctx);
+    telemetry::Span span =
+        telemetry::Tracer::global().start_span("job.execute");
+    span.set_note("job " + std::to_string(job_id));
     JobRecord snapshot;
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -42,6 +66,8 @@ std::uint64_t JobManager::submit(const std::string& user,
     changed_.notify_all();
 
     const RunOutcome outcome = runner(snapshot);
+    span.set_ok(outcome.status.is_ok());
+    jobs_counter(outcome.status.is_ok() ? "succeeded" : "failed").increment();
 
     {
       std::lock_guard<std::mutex> lock(mutex_);

@@ -1,0 +1,112 @@
+#include "proxy/metrics.hpp"
+
+namespace pg::proxy {
+
+namespace {
+
+telemetry::Counter& site_counter(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& site) {
+  return telemetry::MetricRegistry::global().counter(name, help,
+                                                     {{"site", site}});
+}
+
+/// The ops a proxy receives often enough to pre-resolve a counter for.
+constexpr proto::OpCode kCountedOps[] = {
+    proto::OpCode::kHello,      proto::OpCode::kPing,
+    proto::OpCode::kStatusQuery, proto::OpCode::kStatusReport,
+    proto::OpCode::kAuthRequest, proto::OpCode::kJobSubmit,
+    proto::OpCode::kJobQuery,    proto::OpCode::kMpiOpen,
+    proto::OpCode::kMpiStart,    proto::OpCode::kMpiData,
+    proto::OpCode::kMpiClose,    proto::OpCode::kMpiDone,
+    proto::OpCode::kTunnelOpen,  proto::OpCode::kTunnelData,
+    proto::OpCode::kTunnelClose,
+};
+
+}  // namespace
+
+ProxyInstruments::ProxyInstruments(const std::string& site)
+    : control_calls_sent(site_counter("pg_proxy_control_calls_sent_total",
+                                      "Inter-proxy request/response calls",
+                                      site)),
+      control_notifies_sent(
+          site_counter("pg_proxy_control_notifies_sent_total",
+                       "Inter-proxy one-way notifications", site)),
+      mpi_messages_local(site_counter("pg_proxy_mpi_messages_local_total",
+                                      "MPI messages routed within the site",
+                                      site)),
+      mpi_messages_remote(site_counter("pg_proxy_mpi_messages_remote_total",
+                                       "MPI messages routed across sites",
+                                       site)),
+      mpi_bytes_local(site_counter("pg_proxy_mpi_bytes_local_total",
+                                   "MPI payload bytes routed within the site",
+                                   site)),
+      mpi_bytes_remote(site_counter("pg_proxy_mpi_bytes_remote_total",
+                                    "MPI payload bytes routed across sites",
+                                    site)),
+      handshakes(site_counter("pg_proxy_handshakes_total",
+                              "GSSL handshakes completed by this proxy",
+                              site)),
+      logins(site_counter("pg_proxy_logins_total",
+                          "User authentications served", site)),
+      apps_run(site_counter("pg_proxy_apps_run_total",
+                            "Grid applications launched from this proxy",
+                            site)),
+      tunnels_relayed(site_counter("pg_proxy_tunnels_relayed_total",
+                                   "Tunnel envelopes relayed", site)),
+      dispatch_micros(telemetry::MetricRegistry::global().histogram(
+          "pg_proxy_dispatch_micros",
+          "Control-envelope handler latency (microseconds)",
+          telemetry::duration_buckets_micros(), {{"site", site}})),
+      mpi_message_bytes_local(telemetry::MetricRegistry::global().histogram(
+          "pg_proxy_mpi_message_bytes",
+          "Routed MPI message payload sizes (bytes)",
+          telemetry::size_buckets_bytes(),
+          {{"site", site}, {"scope", "local"}})),
+      mpi_message_bytes_remote(telemetry::MetricRegistry::global().histogram(
+          "pg_proxy_mpi_message_bytes",
+          "Routed MPI message payload sizes (bytes)",
+          telemetry::size_buckets_bytes(),
+          {{"site", site}, {"scope", "remote"}})),
+      op_other_(telemetry::MetricRegistry::global().counter(
+          "pg_proxy_ops_received_total", "Control envelopes received, by op",
+          {{"site", site}, {"op", "other"}})) {
+  for (const proto::OpCode op : kCountedOps) {
+    op_counters_.emplace_back(
+        static_cast<std::uint16_t>(op),
+        &telemetry::MetricRegistry::global().counter(
+            "pg_proxy_ops_received_total",
+            "Control envelopes received, by op",
+            {{"site", site}, {"op", proto::opcode_name(op)}}));
+  }
+  baseline_ = snapshot();  // zero the view for this proxy instance
+}
+
+telemetry::Counter& ProxyInstruments::op_received(proto::OpCode op) {
+  const std::uint16_t raw = static_cast<std::uint16_t>(op);
+  for (const auto& [code, counter] : op_counters_) {
+    if (code == raw) return *counter;
+  }
+  return op_other_;
+}
+
+ProxyMetrics ProxyInstruments::snapshot() const {
+  ProxyMetrics m;
+  m.control_calls_sent =
+      control_calls_sent.value() - baseline_.control_calls_sent;
+  m.control_notifies_sent =
+      control_notifies_sent.value() - baseline_.control_notifies_sent;
+  m.mpi_messages_local =
+      mpi_messages_local.value() - baseline_.mpi_messages_local;
+  m.mpi_messages_remote =
+      mpi_messages_remote.value() - baseline_.mpi_messages_remote;
+  m.mpi_bytes_local = mpi_bytes_local.value() - baseline_.mpi_bytes_local;
+  m.mpi_bytes_remote = mpi_bytes_remote.value() - baseline_.mpi_bytes_remote;
+  m.handshakes = handshakes.value() - baseline_.handshakes;
+  m.logins = logins.value() - baseline_.logins;
+  m.apps_run = apps_run.value() - baseline_.apps_run;
+  m.tunnels_relayed = tunnels_relayed.value() - baseline_.tunnels_relayed;
+  return m;
+}
+
+}  // namespace pg::proxy

@@ -1,15 +1,23 @@
 // Proxy counters read by the experiment harnesses.
+//
+// The live counters are telemetry::Counter instruments in the process-wide
+// MetricRegistry (sharded atomics — safe to bump from any proxy worker or
+// reader thread). ProxyMetrics stays a plain snapshot struct so benches and
+// experiments keep their `metrics().field` reads; ProxyInstruments is the
+// registry-backed view that produces it.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "proto/envelope.hpp"
+#include "telemetry/metrics.hpp"
 #include "tls/link.hpp"
 
 namespace pg::proxy {
 
+/// Point-in-time snapshot of one proxy's counters (plain values).
 struct ProxyMetrics {
   std::uint64_t control_calls_sent = 0;      // inter-proxy request/response
   std::uint64_t control_notifies_sent = 0;   // inter-proxy one-way
@@ -21,6 +29,46 @@ struct ProxyMetrics {
   std::uint64_t logins = 0;
   std::uint64_t apps_run = 0;
   std::uint64_t tunnels_relayed = 0;
+};
+
+/// One proxy's registry-backed instruments, labelled {site=<name>}.
+///
+/// The registry is process-global and counters are monotonic, so a second
+/// grid reusing a site name would otherwise inherit the first grid's
+/// totals; snapshot() subtracts the baseline captured at construction to
+/// keep per-proxy-instance semantics.
+class ProxyInstruments {
+ public:
+  explicit ProxyInstruments(const std::string& site);
+
+  telemetry::Counter& control_calls_sent;
+  telemetry::Counter& control_notifies_sent;
+  telemetry::Counter& mpi_messages_local;
+  telemetry::Counter& mpi_messages_remote;
+  telemetry::Counter& mpi_bytes_local;
+  telemetry::Counter& mpi_bytes_remote;
+  telemetry::Counter& handshakes;
+  telemetry::Counter& logins;
+  telemetry::Counter& apps_run;
+  telemetry::Counter& tunnels_relayed;
+
+  /// Inter-proxy envelope dispatch latency (handler run time, micros).
+  telemetry::Histogram& dispatch_micros;
+  /// Routed MPI payload sizes, split by scope.
+  telemetry::Histogram& mpi_message_bytes_local;
+  telemetry::Histogram& mpi_message_bytes_remote;
+
+  /// Counter for one received op, labelled {site, op}; cheap enough for
+  /// the dispatch path (pointer deref + sharded add) because the lookups
+  /// happened at construction.
+  telemetry::Counter& op_received(proto::OpCode op);
+
+  ProxyMetrics snapshot() const;
+
+ private:
+  ProxyMetrics baseline_;
+  std::vector<std::pair<std::uint16_t, telemetry::Counter*>> op_counters_;
+  telemetry::Counter& op_other_;
 };
 
 /// One row per connection the proxy holds.

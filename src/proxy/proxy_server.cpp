@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "common/serde.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pg::proxy {
 
@@ -25,7 +26,8 @@ ProxyServer::ProxyServer(ProxyConfig config)
       collector_(config_.site),
       rng_(config_.rng_seed),
       next_app_id_(site_salt(config_.site) + 1),
-      job_manager_(workers_, *config_.clock) {}
+      job_manager_(workers_, *config_.clock),
+      instruments_(config_.site) {}
 
 ProxyServer::~ProxyServer() { shutdown(); }
 
@@ -57,10 +59,7 @@ Status ProxyServer::attach_node(const std::string& node_name,
         *channel, gssl_config(""), *config_.clock, handshake_rng);
     if (!session.is_ok()) return session.status();
     link = tls::make_secure_link(session.take());
-    {
-      std::lock_guard<std::mutex> lock(metrics_mutex_);
-      ++metrics_.handshakes;
-    }
+    instruments_.handshakes.increment();
   } else {
     link = tls::make_plain_link(*channel);
   }
@@ -98,10 +97,7 @@ Status ProxyServer::connect_peer(const std::string& peer_site,
                                             gssl_config(expected_subject),
                                             *config_.clock, handshake_rng);
   if (!session.is_ok()) return session.status();
-  {
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
-    ++metrics_.handshakes;
-  }
+  instruments_.handshakes.increment();
 
   auto conn = std::make_unique<Connection>(
       peer_site, std::move(channel),
@@ -110,6 +106,7 @@ Status ProxyServer::connect_peer(const std::string& peer_site,
         handle_peer(env, c);
       });
   Connection* raw = conn.get();
+  std::unique_ptr<Connection> retired;
   {
     std::lock_guard<std::mutex> lock(conns_mutex_);
     const auto existing = peers_.find(peer_site);
@@ -118,19 +115,19 @@ Status ProxyServer::connect_peer(const std::string& peer_site,
         return error(ErrorCode::kAlreadyExists,
                      "peer already connected: " + peer_site);
       // Reconnection after a failure: retire the dead connection.
-      existing->second->close();
+      retired = std::move(existing->second);
       peers_.erase(existing);
     }
     peers_[peer_site] = std::move(conn);
   }
+  // Joining the dead connection's reader must happen outside conns_mutex_
+  // (the reader may be blocked acquiring it) — same rule as shutdown().
+  if (retired) retired->close();
   raw->start();
 
   if (initiate) {
     proto::Hello hello{config_.site, config_.identity.certificate.subject};
-    {
-      std::lock_guard<std::mutex> lock(metrics_mutex_);
-      ++metrics_.control_calls_sent;
-    }
+    instruments_.control_calls_sent.increment();
     Result<proto::Envelope> ack =
         raw->call(proto::OpCode::kHello, hello.serialize());
     if (!ack.is_ok()) return ack.status();
@@ -150,6 +147,12 @@ std::vector<std::string> ProxyServer::peers() const {
   out.reserve(peers_.size());
   for (const auto& [site, conn] : peers_) out.push_back(site);
   return out;
+}
+
+bool ProxyServer::node_alive(const std::string& node) const {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  const auto it = nodes_.find(node);
+  return it != nodes_.end() && it->second->alive();
 }
 
 bool ProxyServer::peer_alive(const std::string& peer_site) const {
@@ -194,11 +197,13 @@ Connection* ProxyServer::node_connection(const std::string& node) const {
 // ----------------------------------------------------------------- login
 
 proto::AuthResponse ProxyServer::login(const proto::AuthRequest& request) {
-  {
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
-    ++metrics_.logins;
-  }
-  return authenticator_.authenticate(request, config_.clock->now());
+  telemetry::Span span =
+      telemetry::Tracer::global().start_span("proxy.login", config_.site);
+  instruments_.logins.increment();
+  proto::AuthResponse response =
+      authenticator_.authenticate(request, config_.clock->now());
+  span.set_ok(response.ok);
+  return response;
 }
 
 Result<proto::AuthResponse> ProxyServer::login_at(
@@ -247,10 +252,7 @@ Result<std::vector<proto::StatusReport>> ProxyServer::query_status(
               << " unreachable for status query";
       continue;  // distributed control: one dead site costs only itself
     }
-    {
-      std::lock_guard<std::mutex> lock(metrics_mutex_);
-      ++metrics_.control_calls_sent;
-    }
+    instruments_.control_calls_sent.increment();
     Result<proto::Envelope> response = conn->call(
         proto::OpCode::kStatusQuery, proto::StatusQuery{}.serialize());
     if (!response.is_ok()) {
@@ -275,8 +277,7 @@ std::size_t ProxyServer::push_status_to_peers() {
     if (conn == nullptr || !conn->alive()) continue;
     if (conn->notify(proto::OpCode::kStatusReport, report).is_ok()) {
       ++pushed;
-      std::lock_guard<std::mutex> lock(metrics_mutex_);
-      ++metrics_.control_notifies_sent;
+      instruments_.control_notifies_sent.increment();
     }
   }
   return pushed;
@@ -304,25 +305,37 @@ AppRunResult ProxyServer::run_app(const std::string& user, BytesView token,
                                   sched::Scheduler& scheduler,
                                   const sched::Constraints& constraints,
                                   TimeMicros timeout) {
+  telemetry::Span run_span =
+      telemetry::Tracer::global().start_span("proxy.run_app", config_.site);
+  run_span.set_note(executable);
   AppRunResult result;
 
   // Origin-side permission check (paper: validated at origin AND target).
   result.status =
       authenticator_.authorize(token, "mpi.run", config_.clock->now());
-  if (!result.status.is_ok()) return result;
-
-  // Collect grid status and schedule.
-  Result<std::vector<proto::StatusReport>> reports = query_status({}, token);
-  if (!reports.is_ok()) {
-    result.status = reports.status();
+  if (!result.status.is_ok()) {
+    run_span.set_ok(false);
     return result;
   }
-  const std::vector<monitor::GridNode> nodes =
-      monitor::flatten(reports.value());
-  Result<std::vector<proto::RankPlacement>> placements =
-      scheduler.assign(nodes, ranks, constraints);
+
+  // Collect grid status and schedule.
+  Result<std::vector<proto::RankPlacement>> placements = [&] {
+    telemetry::Span sched_span =
+        telemetry::Tracer::global().start_span("proxy.schedule", config_.site);
+    Result<std::vector<proto::StatusReport>> reports = query_status({}, token);
+    if (!reports.is_ok()) {
+      sched_span.set_ok(false);
+      return Result<std::vector<proto::RankPlacement>>(reports.status());
+    }
+    const std::vector<monitor::GridNode> nodes =
+        monitor::flatten(reports.value());
+    auto assigned = scheduler.assign(nodes, ranks, constraints);
+    sched_span.set_ok(assigned.is_ok());
+    return assigned;
+  }();
   if (!placements.is_ok()) {
     result.status = placements.status();
+    run_span.set_ok(false);
     return result;
   }
 
@@ -362,10 +375,7 @@ AppRunResult ProxyServer::run_app(const std::string& user, BytesView token,
         open.placements = routing.placements;
         open.user = user;
         open.token.assign(token.begin(), token.end());
-        {
-          std::lock_guard<std::mutex> lock(metrics_mutex_);
-          ++metrics_.control_calls_sent;
-        }
+        instruments_.control_calls_sent.increment();
         Result<proto::Envelope> ack =
             conn->call(proto::OpCode::kMpiOpen, open.serialize());
         if (!ack.is_ok()) {
@@ -409,10 +419,7 @@ AppRunResult ProxyServer::run_app(const std::string& user, BytesView token,
     if (site_name == config_.site) {
       start_app_locally(routing.app_id);
     } else if (Connection* conn = peer_connection(site_name)) {
-      {
-        std::lock_guard<std::mutex> lock(metrics_mutex_);
-        ++metrics_.control_notifies_sent;
-      }
+      instruments_.control_notifies_sent.increment();
       (void)conn->notify(proto::OpCode::kMpiStart, start_msg.serialize());
     }
   }
@@ -440,18 +447,12 @@ AppRunResult ProxyServer::run_app(const std::string& user, BytesView token,
   const proto::MpiClose close_msg{routing.app_id};
   for (const auto& site_name : opened_remote) {
     if (Connection* conn = peer_connection(site_name)) {
-      {
-        std::lock_guard<std::mutex> lock(metrics_mutex_);
-        ++metrics_.control_notifies_sent;
-      }
+      instruments_.control_notifies_sent.increment();
       (void)conn->notify(proto::OpCode::kMpiClose, close_msg.serialize());
     }
   }
 
-  {
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
-    ++metrics_.apps_run;
-  }
+  instruments_.apps_run.increment();
   result.exit_code = exit_code;
   if (!completed) {
     result.status =
@@ -461,6 +462,7 @@ AppRunResult ProxyServer::run_app(const std::string& user, BytesView token,
                           "application exited with code " +
                               std::to_string(exit_code));
   }
+  run_span.set_ok(result.status.is_ok());
   return result;
 }
 
@@ -556,6 +558,15 @@ void ProxyServer::site_finished(std::uint64_t app_id, const std::string& site,
 
 void ProxyServer::handle_peer(const proto::Envelope& envelope,
                               Connection& conn) {
+  instruments_.op_received(envelope.op).increment();
+  if (envelope.op == proto::OpCode::kMpiData) {
+    // Hot path: counters only — no span, no dispatch timer.
+    route_mpi_data(envelope);
+    return;
+  }
+  telemetry::ScopedTimer dispatch_timer(instruments_.dispatch_micros);
+  telemetry::Span span = telemetry::Tracer::global().start_span(
+      std::string("peer.") + proto::opcode_name(envelope.op), config_.site);
   switch (envelope.op) {
     case proto::OpCode::kHello:
       handle_hello(envelope, conn);
@@ -589,9 +600,6 @@ void ProxyServer::handle_peer(const proto::Envelope& envelope,
     case proto::OpCode::kMpiStart:
       handle_mpi_start(envelope);
       return;
-    case proto::OpCode::kMpiData:
-      route_mpi_data(envelope);
-      return;
     case proto::OpCode::kMpiDone:
       handle_mpi_done_from_peer(envelope);
       return;
@@ -616,12 +624,16 @@ void ProxyServer::handle_peer(const proto::Envelope& envelope,
 void ProxyServer::handle_node(const std::string& node,
                               const proto::Envelope& envelope,
                               Connection& conn) {
+  instruments_.op_received(envelope.op).increment();
+  if (envelope.op == proto::OpCode::kMpiData) {
+    // Hot path: counters only — no dispatch timer.
+    route_mpi_data(envelope);
+    return;
+  }
+  telemetry::ScopedTimer dispatch_timer(instruments_.dispatch_micros);
   switch (envelope.op) {
     case proto::OpCode::kPing:
       (void)conn.respond(envelope, proto::OpCode::kPong, {});
-      return;
-    case proto::OpCode::kMpiData:
-      route_mpi_data(envelope);
       return;
     case proto::OpCode::kMpiDone:
       handle_mpi_done_from_node(envelope);
@@ -757,17 +769,19 @@ void ProxyServer::route_mpi_data(const proto::Envelope& envelope) {
   if (target->site == config_.site) {
     if (Connection* conn = node_connection(target->node)) {
       (void)conn->notify(proto::OpCode::kMpiData, envelope.payload);
-      std::lock_guard<std::mutex> lock(metrics_mutex_);
-      ++metrics_.mpi_messages_local;
-      metrics_.mpi_bytes_local += data.value().payload.size();
+      instruments_.mpi_messages_local.increment();
+      instruments_.mpi_bytes_local.increment(data.value().payload.size());
+      instruments_.mpi_message_bytes_local.observe(
+          static_cast<double>(data.value().payload.size()));
     }
     return;
   }
   if (Connection* conn = peer_connection(target->site)) {
     (void)conn->notify(proto::OpCode::kMpiData, envelope.payload);
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
-    ++metrics_.mpi_messages_remote;
-    metrics_.mpi_bytes_remote += data.value().payload.size();
+    instruments_.mpi_messages_remote.increment();
+    instruments_.mpi_bytes_remote.increment(data.value().payload.size());
+    instruments_.mpi_message_bytes_remote.observe(
+        static_cast<double>(data.value().payload.size()));
   } else {
     PG_WARN << config_.site << ": no route to site " << target->site;
   }
@@ -812,10 +826,7 @@ void ProxyServer::handle_mpi_done_from_node(const proto::Envelope& envelope) {
     report.job_id = app_id;
     report.exit_code = exit_code;
     report.output = to_bytes(config_.site);
-    {
-      std::lock_guard<std::mutex> lock(metrics_mutex_);
-      ++metrics_.control_notifies_sent;
-    }
+    instruments_.control_notifies_sent.increment();
     (void)conn->notify(proto::OpCode::kMpiDone, report.serialize());
   }
 }
@@ -1039,10 +1050,7 @@ void ProxyServer::handle_tunnel_from_node(const std::string& node,
   }
   (void)node;
 
-  {
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
-    ++metrics_.tunnels_relayed;
-  }
+  instruments_.tunnels_relayed.increment();
 
   // Resolve the next hop: a node of this site, or the target site's proxy.
   Connection* next = route.target_site == config_.site
@@ -1131,10 +1139,7 @@ Result<proto::Envelope> ProxyServer::call_peer(const std::string& site,
   Connection* conn = peer_connection(site);
   if (conn == nullptr || !conn->alive())
     return error(ErrorCode::kUnavailable, "no connection to site " + site);
-  {
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
-    ++metrics_.control_calls_sent;
-  }
+  instruments_.control_calls_sent.increment();
   return conn->call(op, payload, timeout);
 }
 
@@ -1143,17 +1148,11 @@ Status ProxyServer::notify_peer(const std::string& site, proto::OpCode op,
   Connection* conn = peer_connection(site);
   if (conn == nullptr || !conn->alive())
     return error(ErrorCode::kUnavailable, "no connection to site " + site);
-  {
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
-    ++metrics_.control_notifies_sent;
-  }
+  instruments_.control_notifies_sent.increment();
   return conn->notify(op, payload);
 }
 
-ProxyMetrics ProxyServer::metrics() const {
-  std::lock_guard<std::mutex> lock(metrics_mutex_);
-  return metrics_;
-}
+ProxyMetrics ProxyServer::metrics() const { return instruments_.snapshot(); }
 
 std::vector<LinkReport> ProxyServer::link_report() const {
   std::lock_guard<std::mutex> lock(conns_mutex_);
@@ -1172,11 +1171,18 @@ std::vector<LinkReport> ProxyServer::link_report() const {
 void ProxyServer::shutdown() {
   if (shut_down_.exchange(true)) return;
 
+  // Snapshot under the lock but close outside it: close() joins the
+  // connection's reader thread, and a reader mid-handler may itself need
+  // conns_mutex_ (peer_connection/node_connection), so joining while
+  // holding the lock deadlocks shutdown against in-flight dispatch.
+  std::vector<Connection*> open;
   {
     std::lock_guard<std::mutex> lock(conns_mutex_);
-    for (auto& [site, conn] : peers_) conn->close();
-    for (auto& [node, conn] : nodes_) conn->close();
+    open.reserve(peers_.size() + nodes_.size());
+    for (auto& [site, conn] : peers_) open.push_back(conn.get());
+    for (auto& [node, conn] : nodes_) open.push_back(conn.get());
   }
+  for (Connection* conn : open) conn->close();
   workers_.shutdown();
   runs_cv_.notify_all();
 }

@@ -100,6 +100,7 @@ class ProxyServer {
 
   std::vector<std::string> peers() const;
   bool peer_alive(const std::string& peer_site) const;
+  bool node_alive(const std::string& node) const;
 
   /// Severs the link to a peer (failure injection). Both ends observe the
   /// closure; pending calls fail with kUnavailable.
@@ -286,8 +287,8 @@ class ProxyServer {
   mutable std::mutex tunnels_mutex_;
   std::map<std::uint64_t, proto::TunnelOpen> tunnels_;
 
-  mutable std::mutex metrics_mutex_;
-  ProxyMetrics metrics_;
+  // Registry-backed counters/histograms, labelled with this proxy's site.
+  ProxyInstruments instruments_;
 
   std::atomic<bool> shut_down_{false};
 };

@@ -2,9 +2,30 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+
 namespace pg::sched {
 
 namespace {
+
+/// Decision-time histogram and decision counter for one policy, resolved
+/// once per policy name.
+struct SchedInstruments {
+  telemetry::Histogram& assign_micros;
+  telemetry::Counter& assignments;
+
+  static SchedInstruments make(const std::string& policy) {
+    auto& registry = telemetry::MetricRegistry::global();
+    return SchedInstruments{
+        registry.histogram("pg_sched_assign_micros",
+                           "Scheduler decision time (microseconds)",
+                           telemetry::duration_buckets_micros(),
+                           {{"policy", policy}}),
+        registry.counter("pg_sched_assignments_total",
+                         "Scheduling decisions made", {{"policy", policy}}),
+    };
+  }
+};
 
 /// Nodes that satisfy the constraints, in deterministic (site, name) order.
 std::vector<const monitor::GridNode*> eligible_nodes(
@@ -29,6 +50,9 @@ class RoundRobinScheduler final : public Scheduler {
   Result<std::vector<proto::RankPlacement>> assign(
       const std::vector<monitor::GridNode>& nodes, std::uint32_t ranks,
       const Constraints& constraints) override {
+    static SchedInstruments instruments = SchedInstruments::make("round-robin");
+    telemetry::ScopedTimer timer(instruments.assign_micros);
+    instruments.assignments.increment();
     const auto eligible = eligible_nodes(nodes, constraints);
     if (eligible.empty())
       return error(ErrorCode::kUnavailable, "no eligible node");
@@ -51,6 +75,10 @@ class LoadBalancedScheduler final : public Scheduler {
   Result<std::vector<proto::RankPlacement>> assign(
       const std::vector<monitor::GridNode>& nodes, std::uint32_t ranks,
       const Constraints& constraints) override {
+    static SchedInstruments instruments =
+        SchedInstruments::make("load-balanced");
+    telemetry::ScopedTimer timer(instruments.assign_micros);
+    instruments.assignments.increment();
     const auto eligible = eligible_nodes(nodes, constraints);
     if (eligible.empty())
       return error(ErrorCode::kUnavailable, "no eligible node");

@@ -1,0 +1,184 @@
+// Telemetry metric registry — the observability substrate for the proxy
+// stack (ROADMAP: "you cannot optimize what you cannot measure").
+//
+// Design constraints, in order:
+//   1. Hot-path increments (one per routed MPI message) must never contend
+//      on a global lock: Counter and Histogram stripe their state across
+//      cache-line-aligned shards indexed by a per-thread slot, so
+//      concurrent writers touch disjoint lines and use only relaxed
+//      atomics. Reads sum the shards.
+//   2. Instrument lookup is mutex-protected but happens once per call
+//      site: callers cache the returned reference (instruments are never
+//      destroyed while the registry lives).
+//   3. Export formats: Prometheus text exposition (served by
+//      grid::WebInterface at /metrics) and JSON (for the experiment
+//      harnesses).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pg::telemetry {
+
+/// Metric labels, e.g. {{"site", "siteA"}}. Ordered so a label set has one
+/// canonical encoding.
+using Labels = std::map<std::string, std::string>;
+
+namespace internal {
+/// Stable per-thread shard slot. Threads are assigned round-robin at first
+/// use, so up to kShardCount concurrent writers never share a cache line.
+constexpr std::size_t kShardCount = 16;
+std::size_t thread_shard();
+}  // namespace internal
+
+/// Monotonic counter with sharded relaxed atomics.
+class Counter {
+ public:
+  void increment(std::uint64_t delta = 1) {
+    shards_[internal::thread_shard()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, internal::kShardCount> shards_;
+};
+
+/// Last-value gauge (single atomic; gauges are not hot-path).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. Bucket bounds are upper bounds (cumulative
+/// `le` semantics, Prometheus-style); an implicit +Inf bucket catches the
+/// rest. Counts and the running sum are sharded like Counter.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  /// Snapshot of the histogram, coherent enough for export (relaxed reads).
+  struct Snapshot {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  // per bucket, bounds.size() + 1
+    std::uint64_t count = 0;
+    double sum = 0;
+  };
+  Snapshot snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  struct alignas(64) Shard {
+    // Bucket counts live in the registry-owned flat array slice for this
+    // shard; sum uses a CAS loop (atomic<double>::fetch_add is not
+    // universally lock-free).
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // shard-major
+  std::array<Shard, internal::kShardCount> shards_;
+};
+
+/// Default bucket sets.
+std::vector<double> duration_buckets_micros();  // 1us .. 10s, log spaced
+std::vector<double> size_buckets_bytes();       // 64B .. 16MiB
+
+/// Thread-safe named-instrument registry.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Process-wide registry (what /metrics and the CLI export).
+  static MetricRegistry& global();
+
+  /// Returns the counter for (name, labels), creating it on first use.
+  /// `help` is recorded on first creation of the family. The reference
+  /// stays valid for the registry's lifetime.
+  Counter& counter(const std::string& name, const std::string& help = "",
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help = "",
+               const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help = "",
+                       std::vector<double> bounds = duration_buckets_micros(),
+                       const Labels& labels = {});
+
+  /// Prometheus text exposition format (text/plain; version 0.0.4).
+  std::string to_prometheus() const;
+  /// One JSON object: {"metrics":[{name, type, labels, value...}, ...]}.
+  std::string to_json() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Instrument {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    Kind kind;
+    std::string help;
+    // Keyed by canonical label encoding; pointers stable (node-based map).
+    std::map<std::string, Instrument> instruments;
+  };
+
+  Family& family(const std::string& name, Kind kind, const std::string& help);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family> families_;
+};
+
+/// RAII timer recording elapsed wall microseconds into a histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_.observe(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram& histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pg::telemetry

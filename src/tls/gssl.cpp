@@ -6,11 +6,45 @@
 #include "common/serde.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
+#include "telemetry/metrics.hpp"
 #include "tls/record.hpp"
 
 namespace pg::tls {
 
 namespace {
+
+/// Registry instruments for GSSL, resolved once per process.
+struct TlsInstruments {
+  telemetry::Histogram& client_handshake_micros;
+  telemetry::Histogram& server_handshake_micros;
+  telemetry::Histogram& seal_micros;
+  telemetry::Histogram& open_micros;
+
+  static TlsInstruments& get() {
+    auto& registry = telemetry::MetricRegistry::global();
+    static TlsInstruments instruments{
+        registry.histogram("pg_tls_handshake_micros",
+                           "GSSL handshake duration (microseconds)",
+                           telemetry::duration_buckets_micros(),
+                           {{"role", "client"}}),
+        registry.histogram("pg_tls_handshake_micros",
+                           "GSSL handshake duration (microseconds)",
+                           telemetry::duration_buckets_micros(),
+                           {{"role", "server"}}),
+        registry.histogram("pg_tls_record_micros",
+                           "GSSL record encrypt+MAC / MAC+decrypt time "
+                           "(microseconds)",
+                           telemetry::duration_buckets_micros(),
+                           {{"op", "seal"}}),
+        registry.histogram("pg_tls_record_micros",
+                           "GSSL record encrypt+MAC / MAC+decrypt time "
+                           "(microseconds)",
+                           telemetry::duration_buckets_micros(),
+                           {{"op", "open"}}),
+    };
+    return instruments;
+  }
+};
 
 using internal::Record;
 using internal::RecordCipher;
@@ -195,7 +229,11 @@ class GsslSessionImpl final : public GsslSession {
 
   Status send(BytesView message) override {
     std::lock_guard<std::mutex> lock(send_mutex_);
-    const Bytes sealed = send_cipher_.seal(RecordType::kData, message);
+    Bytes sealed;
+    {
+      telemetry::ScopedTimer timer(TlsInstruments::get().seal_micros);
+      sealed = send_cipher_.seal(RecordType::kData, message);
+    }
     PG_RETURN_IF_ERROR(
         internal::write_record(channel_, RecordType::kData, sealed));
     std::lock_guard<std::mutex> slock(stats_mutex_);
@@ -216,8 +254,10 @@ class GsslSessionImpl final : public GsslSession {
       if (record.value().type != RecordType::kData)
         return error(ErrorCode::kProtocolError,
                      "unexpected record type after handshake");
-      Result<Bytes> plain =
-          recv_cipher_.open(RecordType::kData, record.value().payload);
+      Result<Bytes> plain = [&] {
+        telemetry::ScopedTimer timer(TlsInstruments::get().open_micros);
+        return recv_cipher_.open(RecordType::kData, record.value().payload);
+      }();
       if (plain.is_ok()) {
         std::lock_guard<std::mutex> slock(stats_mutex_);
         ++stats_.records_received;
@@ -253,6 +293,7 @@ class GsslSessionImpl final : public GsslSession {
 Result<GsslSessionPtr> gssl_client_handshake(net::Channel& channel,
                                              const GsslConfig& config,
                                              const Clock& clock, Rng& rng) {
+  telemetry::ScopedTimer timer(TlsInstruments::get().client_handshake_micros);
   HandshakeIo io(channel);
 
   // -> ClientHello
@@ -318,6 +359,7 @@ Result<GsslSessionPtr> gssl_client_handshake(net::Channel& channel,
 Result<GsslSessionPtr> gssl_server_handshake(net::Channel& channel,
                                              const GsslConfig& config,
                                              const Clock& clock, Rng& rng) {
+  telemetry::ScopedTimer timer(TlsInstruments::get().server_handshake_micros);
   HandshakeIo io(channel);
 
   // <- ClientHello

@@ -13,6 +13,7 @@
 #include "mpi/runtime.hpp"
 #include "net/framer.hpp"
 #include "net/tcp.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pg {
 namespace {
@@ -460,6 +461,42 @@ TEST_F(WebTest, CountsRequests) {
   http_get("/");
   http_get("/status");
   EXPECT_GE(web_->requests_served(), 2u);
+}
+
+TEST_F(WebTest, ServesPrometheusMetrics) {
+  // start() logged webadmin in, so the login counter is live by now.
+  const std::string response = http_get("/metrics");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain"), std::string::npos);
+  EXPECT_NE(response.find("# TYPE pg_proxy_logins_total counter"),
+            std::string::npos);
+  EXPECT_NE(response.find("pg_proxy_logins_total{site=\"siteA\"}"),
+            std::string::npos);
+  EXPECT_NE(response.find("pg_tls_handshake_micros_bucket"),
+            std::string::npos);
+
+  const std::string json = http_get("/metrics.json");
+  EXPECT_NE(json.find("application/json"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"pg_proxy_logins_total\""),
+            std::string::npos);
+}
+
+TEST_F(WebTest, ServesTracePages) {
+  // The login performed by start() recorded at least one span.
+  const std::string listing = http_get("/traces");
+  EXPECT_NE(listing.find("200 OK"), std::string::npos);
+  EXPECT_NE(listing.find("/trace/"), std::string::npos);
+
+  const auto recent = telemetry::Tracer::global().recent_traces(1);
+  ASSERT_FALSE(recent.empty());
+  std::ostringstream path;
+  path << "/trace/" << std::hex << recent.front();
+  const std::string page = http_get(path.str());
+  EXPECT_NE(page.find("200 OK"), std::string::npos);
+  EXPECT_NE(page.find("<table"), std::string::npos);
+
+  EXPECT_NE(http_get("/trace/zzz").find("400"), std::string::npos);
+  EXPECT_NE(http_get("/trace/1").find("404"), std::string::npos);
 }
 
 TEST_F(JobTest, RemoteSubmissionThroughControlProtocol) {

@@ -1,0 +1,294 @@
+// Telemetry subsystem tests: sharded counters/histograms under concurrency,
+// exporter formats, span parenting and context propagation, and an
+// end-to-end check that one cross-site grid operation produces a single
+// connected trace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "mpi/runtime.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace pg::telemetry {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Counter, ConcurrentIncrementsEqualSerialTotal) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(Counter, DeltaIncrements) {
+  Counter counter;
+  counter.increment(5);
+  counter.increment(37);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge gauge;
+  gauge.set(10);
+  gauge.add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.set(-5);
+  EXPECT_EQ(gauge.value(), -5);
+}
+
+TEST(Histogram, BucketsAndSum) {
+  Histogram histogram({10.0, 100.0, 1000.0});
+  histogram.observe(5);     // <= 10
+  histogram.observe(10);    // <= 10 (le is inclusive)
+  histogram.observe(50);    // <= 100
+  histogram.observe(5000);  // +Inf
+  const Histogram::Snapshot snap = histogram.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 0u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 5065.0);
+}
+
+TEST(Histogram, ConcurrentObservesEqualSerialTotal) {
+  Histogram histogram(duration_buckets_micros());
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        histogram.observe(static_cast<double>((t * 31 + i) % 2048));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+}
+
+TEST(Registry, SameNameAndLabelsSameInstrument) {
+  MetricRegistry registry;
+  Counter& a = registry.counter("reg_test_total", "help", {{"k", "v"}});
+  Counter& b = registry.counter("reg_test_total", "help", {{"k", "v"}});
+  Counter& c = registry.counter("reg_test_total", "help", {{"k", "w"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+}
+
+TEST(Registry, PrometheusFormat) {
+  MetricRegistry registry;
+  registry.counter("prom_requests_total", "Requests served", {{"site", "a"}})
+      .increment(3);
+  registry.gauge("prom_temperature", "Current value").set(21);
+  Histogram& h = registry.histogram("prom_latency_micros", "Latency",
+                                    {10.0, 100.0}, {});
+  h.observe(7);
+  h.observe(50);
+  h.observe(500);
+
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("# HELP prom_requests_total Requests served"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE prom_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("prom_requests_total{site=\"a\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("prom_temperature 21"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE prom_latency_micros histogram"),
+            std::string::npos);
+  // Cumulative buckets: le=10 -> 1, le=100 -> 2, +Inf -> 3.
+  EXPECT_NE(text.find("prom_latency_micros_bucket{le=\"10\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("prom_latency_micros_bucket{le=\"100\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("prom_latency_micros_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("prom_latency_micros_count 3"), std::string::npos);
+}
+
+TEST(Registry, JsonFormat) {
+  MetricRegistry registry;
+  registry.counter("json_ops_total", "Ops", {{"op", "x"}}).increment(9);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"name\":\"json_ops_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"op\":\"x\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":9"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- traces
+
+TEST(Trace, NestedSpansParentAndRestore) {
+  Tracer tracer;
+  EXPECT_FALSE(Tracer::current().valid());
+  {
+    Span outer = tracer.start_span("outer", "compA");
+    const TraceContext outer_ctx = outer.context();
+    EXPECT_TRUE(outer_ctx.valid());
+    EXPECT_EQ(Tracer::current().span_id, outer_ctx.span_id);
+    {
+      Span inner = tracer.start_span("inner");
+      EXPECT_EQ(inner.context().trace_id, outer_ctx.trace_id);
+      EXPECT_EQ(Tracer::current().span_id, inner.context().span_id);
+    }
+    // Inner ended: outer is current again.
+    EXPECT_EQ(Tracer::current().span_id, outer_ctx.span_id);
+
+    const std::vector<SpanRecord> spans = tracer.trace(outer_ctx.trace_id);
+    ASSERT_EQ(spans.size(), 1u);  // only inner committed so far
+    EXPECT_EQ(spans[0].name, "inner");
+    EXPECT_EQ(spans[0].parent_span_id, outer_ctx.span_id);
+  }
+  EXPECT_FALSE(Tracer::current().valid());
+}
+
+TEST(Trace, ScopedContextPropagatesAcrossThreads) {
+  Tracer tracer;
+  Span root = tracer.start_span("root");
+  const TraceContext ctx = root.context();
+
+  std::thread worker([&tracer, ctx] {
+    ScopedTraceContext scope(ctx);
+    Span child = tracer.start_span("worker");
+    EXPECT_EQ(child.context().trace_id, ctx.trace_id);
+  });
+  worker.join();
+  root.end();
+
+  const std::vector<SpanRecord> spans = tracer.trace(ctx.trace_id);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "worker");
+  EXPECT_EQ(spans[0].parent_span_id, ctx.span_id);
+}
+
+TEST(Trace, SpanEndIsIdempotentAndMovable) {
+  Tracer tracer;
+  Span span = tracer.start_span("once");
+  const std::uint64_t trace_id = span.context().trace_id;
+  Span moved = std::move(span);
+  moved.end();
+  moved.end();
+  EXPECT_EQ(tracer.trace(trace_id).size(), 1u);
+}
+
+TEST(Trace, RingBufferWrapsAroundKeepingNewest) {
+  Tracer tracer(4);
+  std::uint64_t last_trace = 0;
+  for (int i = 0; i < 10; ++i) {
+    Span span = tracer.start_span("span" + std::to_string(i));
+    last_trace = span.context().trace_id;
+  }
+  const std::vector<SpanRecord> all = tracer.snapshot();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all.back().trace_id, last_trace);
+  EXPECT_EQ(all.back().name, "span9");
+  // recent_traces is newest-first.
+  const std::vector<std::uint64_t> recent = tracer.recent_traces();
+  ASSERT_EQ(recent.size(), 4u);
+  EXPECT_EQ(recent.front(), last_trace);
+}
+
+TEST(Trace, FailureFlagAndNoteRecorded) {
+  Tracer tracer;
+  std::uint64_t trace_id = 0;
+  {
+    Span span = tracer.start_span("op");
+    trace_id = span.context().trace_id;
+    span.set_ok(false);
+    span.set_note("boom");
+  }
+  const std::vector<SpanRecord> spans = tracer.trace(trace_id);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_FALSE(spans[0].ok);
+  EXPECT_EQ(spans[0].note, "boom");
+}
+
+// ------------------------------------------------- cross-site integration
+
+/// One grid operation must yield ONE trace whose spans cover login,
+/// scheduling, and at least one hop handled by a REMOTE proxy.
+TEST(TraceIntegration, CrossSiteAppYieldsSingleConnectedTrace) {
+  static bool registered = [] {
+    mpi::AppRegistry::instance().register_app(
+        "noop-telemetry", [](mpi::Comm&) -> Status { return Status::ok(); });
+    return true;
+  }();
+  (void)registered;
+
+  grid::GridBuilder builder;
+  builder.seed(99).key_bits(768);
+  builder.add_nodes("siteA", 2);
+  builder.add_nodes("siteB", 2);
+  builder.add_user("alice", "pw", {"mpi.run", "status.query"});
+  Result<std::unique_ptr<grid::Grid>> grid = builder.build();
+  ASSERT_TRUE(grid.is_ok()) << grid.status().to_string();
+
+  Tracer& tracer = Tracer::global();
+  Span session = tracer.start_span("test.session");
+  const std::uint64_t trace_id = session.context().trace_id;
+
+  Result<Bytes> token = grid.value()->login("siteA", "alice", "pw");
+  ASSERT_TRUE(token.is_ok()) << token.status().to_string();
+
+  // 4 ranks round-robin over 2 sites x 2 nodes: both sites participate.
+  const proxy::AppRunResult run = grid.value()->run_app(
+      "siteA", "alice", token.value(), "noop-telemetry", 4,
+      grid::SchedulerPolicy::kRoundRobin);
+  ASSERT_TRUE(run.status.is_ok()) << run.status.to_string();
+  std::set<std::string> placed_sites;
+  for (const auto& p : run.placements) placed_sites.insert(p.site);
+  ASSERT_EQ(placed_sites.size(), 2u) << "app did not span two sites";
+
+  session.end();
+
+  const std::vector<SpanRecord> spans = tracer.trace(trace_id);
+  ASSERT_FALSE(spans.empty());
+
+  auto has_span = [&spans](const std::string& name) {
+    return std::any_of(spans.begin(), spans.end(),
+                       [&name](const SpanRecord& s) { return s.name == name; });
+  };
+  EXPECT_TRUE(has_span("grid.login"));
+  EXPECT_TRUE(has_span("proxy.login"));
+  EXPECT_TRUE(has_span("proxy.run_app"));
+  EXPECT_TRUE(has_span("proxy.schedule"));
+
+  // At least one span of this trace was recorded by the REMOTE proxy: its
+  // component is siteB (the reader thread installed the sender's context
+  // from the envelope, so the hop joined the same trace automatically).
+  EXPECT_TRUE(std::any_of(spans.begin(), spans.end(), [](const SpanRecord& s) {
+    return s.component == "siteB";
+  })) << "no span recorded at the remote site joined the trace";
+
+  // Connectivity: every span's parent is the session root, another span of
+  // the trace, or 0 only for the root itself.
+  std::set<std::uint64_t> ids;
+  ids.insert(session.context().span_id);
+  for (const auto& span : spans) ids.insert(span.span_id);
+  for (const auto& span : spans) {
+    if (span.span_id == session.context().span_id) continue;
+    EXPECT_TRUE(ids.count(span.parent_span_id) == 1)
+        << "span " << span.name << " is orphaned";
+  }
+}
+
+}  // namespace
+}  // namespace pg::telemetry
