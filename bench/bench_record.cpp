@@ -1,0 +1,142 @@
+// E-record — sealed-record throughput of the GSSL record pipeline.
+//
+// Measures the inter-proxy hot path at three altitudes:
+//   * BM_SealedRecord — producing one wire-ready sealed record (cipher +
+//     MAC + framing) from a plaintext payload, steady state.
+//   * BM_OpenRecord   — verifying + decrypting one sealed record.
+//   * BM_SessionPipe  — full GsslSession send/recv over a memory channel.
+//
+// The committed before/after numbers live in bench/results/bench_record.json;
+// the CI bench smoke job compares a fresh run against the committed baseline.
+#include <benchmark/benchmark.h>
+
+#include <future>
+
+#include "common/rng.hpp"
+#include "crypto/cert.hpp"
+#include "crypto/rsa.hpp"
+#include "net/memory_channel.hpp"
+#include "tls/gssl.hpp"
+#include "tls/record.hpp"
+
+namespace {
+
+using namespace pg;
+using tls::internal::RecordCipher;
+using tls::internal::RecordType;
+
+struct CipherEnv {
+  Bytes key, mac, iv;
+  CipherEnv() {
+    Rng rng(21);
+    key = rng.next_bytes(32);
+    mac = rng.next_bytes(32);
+    iv = rng.next_bytes(12);
+  }
+  RecordCipher make() const { return RecordCipher(key, mac, iv); }
+};
+
+CipherEnv& cipher_env() {
+  static CipherEnv env;
+  return env;
+}
+
+// Steady-state production of one wire-ready sealed record into a warm
+// reused buffer — the exact shape of GsslSession::send.
+void BM_SealedRecord(benchmark::State& state) {
+  RecordCipher tx = cipher_env().make();
+  Rng rng(22);
+  const Bytes payload = rng.next_bytes(static_cast<std::size_t>(state.range(0)));
+  Bytes wire;
+  for (auto _ : state) {
+    if (!tx.seal_record(RecordType::kData, payload, wire).is_ok()) {
+      state.SkipWithError("seal failed");
+      return;
+    }
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SealedRecord)
+    ->Arg(64)
+    ->Arg(4 * 1024)
+    ->Arg(64 * 1024)
+    ->Arg(1024 * 1024);
+
+// Verify + decrypt of a sealed record (seal happens in-loop so the
+// sequence numbers stay matched; subtract BM_SealedRecord to isolate).
+void BM_SealOpenRecord(benchmark::State& state) {
+  RecordCipher tx = cipher_env().make();
+  RecordCipher rx = cipher_env().make();
+  Rng rng(23);
+  const Bytes payload = rng.next_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Bytes sealed = tx.seal(RecordType::kData, payload);
+    Result<Bytes> opened = rx.open(RecordType::kData, sealed);
+    if (!opened.is_ok()) {
+      state.SkipWithError("open failed");
+      return;
+    }
+    benchmark::DoNotOptimize(opened.value().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SealOpenRecord)
+    ->Arg(64)
+    ->Arg(4 * 1024)
+    ->Arg(64 * 1024)
+    ->Arg(1024 * 1024);
+
+// Full session path: seal + record framing + channel write + read + open.
+void BM_SessionPipe(benchmark::State& state) {
+  Rng rng(24);
+  crypto::CertificateAuthority ca("bench-ca", 512, rng);
+  const crypto::RsaKeyPair a_keys = crypto::rsa_generate(512, rng);
+  const crypto::RsaKeyPair b_keys = crypto::rsa_generate(512, rng);
+  ManualClock clock(1000);
+  const tls::GsslConfig a_cfg{
+      {ca.issue("a", a_keys.pub, 0, 1'000'000'000), a_keys.priv},
+      ca.name(), ca.public_key(), ""};
+  const tls::GsslConfig b_cfg{
+      {ca.issue("b", b_keys.pub, 0, 1'000'000'000), b_keys.priv},
+      ca.name(), ca.public_key(), ""};
+
+  net::ChannelPair pair = net::make_memory_channel_pair();
+  Rng a_rng(1), b_rng(2);
+  auto server = std::async(std::launch::async, [&] {
+    return tls::gssl_server_handshake(*pair.b, b_cfg, clock, b_rng);
+  });
+  auto client = tls::gssl_client_handshake(*pair.a, a_cfg, clock, a_rng);
+  auto server_session = server.get();
+  if (!client.is_ok() || !server_session.is_ok()) {
+    state.SkipWithError("handshake failed");
+    return;
+  }
+
+  const Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    if (!client.value()->send(payload).is_ok()) {
+      state.SkipWithError("send failed");
+      return;
+    }
+    auto received = server_session.value()->recv();
+    if (!received.is_ok()) {
+      state.SkipWithError("recv failed");
+      return;
+    }
+    benchmark::DoNotOptimize(received.value().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SessionPipe)
+    ->Arg(64)
+    ->Arg(4 * 1024)
+    ->Arg(64 * 1024)
+    ->Arg(1024 * 1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compare a fresh google-benchmark JSON run against a committed baseline.
+
+Usage: compare_bench.py <committed.json> <current.json> [max_slowdown]
+
+The committed file may be either a raw google-benchmark dump or the
+combined {"baseline": ..., "optimized": ...} format written to
+bench/results/; the "optimized" section is used when present. Fails
+(exit 1) if any benchmark present in both files is more than
+`max_slowdown` times slower (by bytes_per_second, falling back to
+real_time) than the committed reference. Benchmarks that appear in only
+one file are reported but do not fail the run.
+"""
+
+import json
+import sys
+
+
+def load_benchmarks(path, prefer_optimized):
+    with open(path) as f:
+        doc = json.load(f)
+    if prefer_optimized and "optimized" in doc:
+        doc = doc["optimized"]
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = bench
+    return out
+
+
+def throughput(bench):
+    # Higher is better. bytes_per_second when the benchmark reports it,
+    # otherwise inverse time.
+    bps = bench.get("bytes_per_second")
+    if bps:
+        return float(bps)
+    real = float(bench.get("real_time", 0.0))
+    return 1.0 / real if real > 0 else 0.0
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    committed = load_benchmarks(argv[1], prefer_optimized=True)
+    current = load_benchmarks(argv[2], prefer_optimized=False)
+    max_slowdown = float(argv[3]) if len(argv) > 3 else 3.0
+
+    failures = []
+    for name, ref in sorted(committed.items()):
+        cur = current.get(name)
+        if cur is None:
+            print(f"  [skip] {name}: not in current run")
+            continue
+        ref_tp, cur_tp = throughput(ref), throughput(cur)
+        if ref_tp <= 0 or cur_tp <= 0:
+            print(f"  [skip] {name}: no usable throughput")
+            continue
+        slowdown = ref_tp / cur_tp
+        status = "FAIL" if slowdown > max_slowdown else "ok"
+        print(f"  [{status:>4}] {name}: {cur_tp / 1e6:8.1f} MB/s "
+              f"vs committed {ref_tp / 1e6:8.1f} MB/s "
+              f"({slowdown:.2f}x slower)")
+        if slowdown > max_slowdown:
+            failures.append(name)
+
+    for name in sorted(set(current) - set(committed)):
+        print(f"  [new ] {name}: no committed reference")
+
+    if failures:
+        print(f"{len(failures)} benchmark(s) regressed more than "
+              f"{max_slowdown}x: {', '.join(failures)}")
+        return 1
+    print("benchmark comparison passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

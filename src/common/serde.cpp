@@ -106,9 +106,12 @@ Status BufferReader::get_bytes(Bytes& out) {
 }
 
 Status BufferReader::get_string(std::string& out) {
-  Bytes raw;
-  PG_RETURN_IF_ERROR(get_bytes(raw));
-  out.assign(raw.begin(), raw.end());
+  std::uint64_t n = 0;
+  PG_RETURN_IF_ERROR(get_varint(n));
+  const std::size_t len = static_cast<std::size_t>(n);
+  PG_RETURN_IF_ERROR(need(len));
+  out.assign(reinterpret_cast<const char*>(data_.data()) + pos_, len);
+  pos_ += len;
   return Status::ok();
 }
 

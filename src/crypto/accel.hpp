@@ -1,0 +1,35 @@
+// Hardware-accelerated back-ends for the symmetric primitives (internal).
+//
+// Each entry point has a portable scalar twin in sha256.cpp / chacha20.cpp;
+// the accelerated translation units are compiled with the matching ISA
+// flags and guarded by a runtime CPUID check, so the same binary runs on
+// hardware without the extensions. Outputs are bit-identical to the scalar
+// paths (the RFC/FIPS known-answer tests cover both).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pg::crypto::detail {
+
+/// True when the CPU (and this build) support the SHA-NI compression path.
+bool sha256_ni_available();
+
+/// Compresses `nblocks` 64-byte blocks into `state` using SHA-NI.
+/// Precondition: sha256_ni_available().
+void sha256_ni_compress(std::uint32_t state[8], const std::uint8_t* blocks,
+                        std::size_t nblocks);
+
+/// True when the CPU (and this build) support the AVX2 ChaCha20 path.
+bool chacha20_avx2_available();
+
+/// XORs full 64-byte keystream blocks into `out` starting at the counter in
+/// `state[12]`. Processes an even number of blocks (pairs fill a 256-bit
+/// lane) and returns how many it consumed; the caller advances state[12]
+/// by the return value and handles the remainder with the scalar path.
+/// Precondition: chacha20_avx2_available().
+std::size_t chacha20_avx2_xor_blocks(const std::uint32_t state[16],
+                                     const std::uint8_t* in, std::uint8_t* out,
+                                     std::size_t nblocks);
+
+}  // namespace pg::crypto::detail

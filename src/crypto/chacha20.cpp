@@ -1,6 +1,9 @@
 #include "crypto/chacha20.hpp"
 
 #include <cassert>
+#include <cstring>
+
+#include "crypto/accel.hpp"
 
 namespace pg::crypto {
 
@@ -60,16 +63,79 @@ void ChaCha20::refill() {
   block_pos_ = 0;
 }
 
-void ChaCha20::process(std::uint8_t* data, std::size_t len) {
-  for (std::size_t i = 0; i < len; ++i) {
-    if (block_pos_ == 64) refill();
-    data[i] ^= block_[block_pos_++];
+void ChaCha20::xor_block(const std::uint8_t* in, std::uint8_t* out) {
+  std::array<std::uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  std::uint8_t ks[64];
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = x[i] + state_[i];
+    ks[i * 4] = static_cast<std::uint8_t>(v);
+    ks[i * 4 + 1] = static_cast<std::uint8_t>(v >> 8);
+    ks[i * 4 + 2] = static_cast<std::uint8_t>(v >> 16);
+    ks[i * 4 + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  state_[12] += 1;  // block counter
+  // Word-wise XOR through memcpy keeps this endian-safe and alias-legal.
+  for (int i = 0; i < 8; ++i) {
+    std::uint64_t a, b;
+    std::memcpy(&a, in + i * 8, 8);
+    std::memcpy(&b, ks + i * 8, 8);
+    a ^= b;
+    std::memcpy(out + i * 8, &a, 8);
   }
 }
 
+void ChaCha20::process(const std::uint8_t* in, std::uint8_t* out,
+                       std::size_t len) {
+  std::size_t offset = 0;
+
+  // Drain any keystream left over from a previous partial block.
+  while (block_pos_ < 64 && offset < len) {
+    out[offset] = static_cast<std::uint8_t>(in[offset] ^ block_[block_pos_++]);
+    ++offset;
+  }
+
+  std::size_t full = (len - offset) / 64;
+  if (full >= 2 && detail::chacha20_avx2_available()) {
+    const std::size_t done = detail::chacha20_avx2_xor_blocks(
+        state_.data(), in + offset, out + offset, full);
+    state_[12] += static_cast<std::uint32_t>(done);
+    offset += done * 64;
+    full -= done;
+  }
+  while (full-- > 0) {
+    xor_block(in + offset, out + offset);
+    offset += 64;
+  }
+
+  // Trailing partial block: generate keystream into block_ and keep the
+  // unused remainder for the next call (streaming semantics unchanged).
+  if (offset < len) {
+    refill();
+    while (offset < len) {
+      out[offset] =
+          static_cast<std::uint8_t>(in[offset] ^ block_[block_pos_++]);
+      ++offset;
+    }
+  }
+}
+
+void ChaCha20::process(std::uint8_t* data, std::size_t len) {
+  process(data, data, len);
+}
+
 Bytes ChaCha20::process_copy(BytesView data) {
-  Bytes out(data.begin(), data.end());
-  process(out.data(), out.size());
+  Bytes out(data.size());
+  process(data.data(), out.data(), out.size());
   return out;
 }
 

@@ -25,11 +25,18 @@ class ChaCha20 {
   /// XORs `data` in place with the next keystream bytes.
   void process(std::uint8_t* data, std::size_t len);
 
+  /// XORs `in` with the next keystream bytes into `out`. `in == out` is
+  /// allowed (in-place); other overlaps are not. Full 64-byte blocks take a
+  /// word-wise fast path (AVX2 when the CPU has it); only a trailing
+  /// partial block falls back to byte-at-a-time.
+  void process(const std::uint8_t* in, std::uint8_t* out, std::size_t len);
+
   /// Convenience: returns data ^ keystream.
   Bytes process_copy(BytesView data);
 
  private:
   void refill();
+  void xor_block(const std::uint8_t* in, std::uint8_t* out);
 
   std::array<std::uint32_t, 16> state_;
   std::array<std::uint8_t, 64> block_;

@@ -1,0 +1,186 @@
+// ChaCha20 keystream XOR via AVX2, two blocks per 256-bit register.
+//
+// Layout: each ymm row holds one state row for two consecutive blocks, one
+// per 128-bit lane (lane 1 runs counter+1). The quarter-round shuffles are
+// per-lane, so the classic SSE row rotation immediates apply unchanged.
+// Four blocks are processed per loop iteration (two independent pairs) to
+// hide the add/xor/rotate dependency chain. Compiled with -mavx2 (see
+// src/crypto/CMakeLists.txt); stubbed out on other targets.
+#include "crypto/accel.hpp"
+
+#if defined(__x86_64__) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace pg::crypto::detail {
+
+namespace {
+
+inline __m256i rotl16(__m256i x) {
+  const __m256i mask =
+      _mm256_set_epi8(13, 12, 15, 14, 9, 8, 11, 10, 5, 4, 7, 6, 1, 0, 3, 2,
+                      13, 12, 15, 14, 9, 8, 11, 10, 5, 4, 7, 6, 1, 0, 3, 2);
+  return _mm256_shuffle_epi8(x, mask);
+}
+
+inline __m256i rotl8(__m256i x) {
+  const __m256i mask =
+      _mm256_set_epi8(14, 13, 12, 15, 10, 9, 8, 11, 6, 5, 4, 7, 2, 1, 0, 3,
+                      14, 13, 12, 15, 10, 9, 8, 11, 6, 5, 4, 7, 2, 1, 0, 3);
+  return _mm256_shuffle_epi8(x, mask);
+}
+
+inline __m256i rotl12(__m256i x) {
+  return _mm256_or_si256(_mm256_slli_epi32(x, 12), _mm256_srli_epi32(x, 20));
+}
+
+inline __m256i rotl7(__m256i x) {
+  return _mm256_or_si256(_mm256_slli_epi32(x, 7), _mm256_srli_epi32(x, 25));
+}
+
+/// One ChaCha double round on a two-block row set.
+#define PG_CHACHA_DROUND(a, b, c, d)                \
+  do {                                              \
+    a = _mm256_add_epi32(a, b);                     \
+    d = rotl16(_mm256_xor_si256(d, a));             \
+    c = _mm256_add_epi32(c, d);                     \
+    b = rotl12(_mm256_xor_si256(b, c));             \
+    a = _mm256_add_epi32(a, b);                     \
+    d = rotl8(_mm256_xor_si256(d, a));              \
+    c = _mm256_add_epi32(c, d);                     \
+    b = rotl7(_mm256_xor_si256(b, c));              \
+    b = _mm256_shuffle_epi32(b, 0x39);              \
+    c = _mm256_shuffle_epi32(c, 0x4E);              \
+    d = _mm256_shuffle_epi32(d, 0x93);              \
+    a = _mm256_add_epi32(a, b);                     \
+    d = rotl16(_mm256_xor_si256(d, a));             \
+    c = _mm256_add_epi32(c, d);                     \
+    b = rotl12(_mm256_xor_si256(b, c));             \
+    a = _mm256_add_epi32(a, b);                     \
+    d = rotl8(_mm256_xor_si256(d, a));              \
+    c = _mm256_add_epi32(c, d);                     \
+    b = rotl7(_mm256_xor_si256(b, c));              \
+    b = _mm256_shuffle_epi32(b, 0x93);              \
+    c = _mm256_shuffle_epi32(c, 0x4E);              \
+    d = _mm256_shuffle_epi32(d, 0x39);              \
+  } while (0)
+
+/// XORs the finished two-block row set against 128 input bytes.
+inline void store_pair(__m256i a, __m256i b, __m256i c, __m256i d,
+                       const std::uint8_t* in, std::uint8_t* out) {
+  const __m256i r0 = _mm256_permute2x128_si256(a, b, 0x20);  // block0 rows 0,1
+  const __m256i r1 = _mm256_permute2x128_si256(c, d, 0x20);  // block0 rows 2,3
+  const __m256i r2 = _mm256_permute2x128_si256(a, b, 0x31);  // block1 rows 0,1
+  const __m256i r3 = _mm256_permute2x128_si256(c, d, 0x31);  // block1 rows 2,3
+  _mm256_storeu_si256(
+      reinterpret_cast<__m256i*>(out),
+      _mm256_xor_si256(
+          r0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in))));
+  _mm256_storeu_si256(
+      reinterpret_cast<__m256i*>(out + 32),
+      _mm256_xor_si256(
+          r1, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + 32))));
+  _mm256_storeu_si256(
+      reinterpret_cast<__m256i*>(out + 64),
+      _mm256_xor_si256(
+          r2, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + 64))));
+  _mm256_storeu_si256(
+      reinterpret_cast<__m256i*>(out + 96),
+      _mm256_xor_si256(
+          r3, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + 96))));
+}
+
+/// Builds the counter/nonce row pair for blocks `ctr` and `ctr+1`.
+inline __m256i counter_row(const std::uint32_t state[16], std::uint32_t ctr) {
+  const __m128i lo = _mm_set_epi32(static_cast<int>(state[15]),
+                                   static_cast<int>(state[14]),
+                                   static_cast<int>(state[13]),
+                                   static_cast<int>(ctr));
+  const __m128i hi = _mm_set_epi32(static_cast<int>(state[15]),
+                                   static_cast<int>(state[14]),
+                                   static_cast<int>(state[13]),
+                                   static_cast<int>(ctr + 1));
+  return _mm256_set_m128i(hi, lo);
+}
+
+}  // namespace
+
+bool chacha20_avx2_available() {
+  static const bool ok = __builtin_cpu_supports("avx2") != 0;
+  return ok;
+}
+
+std::size_t chacha20_avx2_xor_blocks(const std::uint32_t state[16],
+                                     const std::uint8_t* in, std::uint8_t* out,
+                                     std::size_t nblocks) {
+  const __m256i row0 = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0])));
+  const __m256i row1 = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4])));
+  const __m256i row2 = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[8])));
+
+  std::uint32_t ctr = state[12];  // 32-bit block counter, wraps like scalar
+  std::size_t done = 0;
+
+  // Four blocks per iteration: two interleaved pairs.
+  while (nblocks - done >= 4) {
+    __m256i a0 = row0, b0 = row1, c0 = row2, d0 = counter_row(state, ctr);
+    __m256i a1 = row0, b1 = row1, c1 = row2,
+            d1 = counter_row(state, ctr + 2);
+    const __m256i d0_orig = d0, d1_orig = d1;
+    for (int round = 0; round < 10; ++round) {
+      PG_CHACHA_DROUND(a0, b0, c0, d0);
+      PG_CHACHA_DROUND(a1, b1, c1, d1);
+    }
+    a0 = _mm256_add_epi32(a0, row0);
+    b0 = _mm256_add_epi32(b0, row1);
+    c0 = _mm256_add_epi32(c0, row2);
+    d0 = _mm256_add_epi32(d0, d0_orig);
+    a1 = _mm256_add_epi32(a1, row0);
+    b1 = _mm256_add_epi32(b1, row1);
+    c1 = _mm256_add_epi32(c1, row2);
+    d1 = _mm256_add_epi32(d1, d1_orig);
+    store_pair(a0, b0, c0, d0, in, out);
+    store_pair(a1, b1, c1, d1, in + 128, out + 128);
+    in += 256;
+    out += 256;
+    ctr += 4;
+    done += 4;
+  }
+
+  if (nblocks - done >= 2) {
+    __m256i a = row0, b = row1, c = row2, d = counter_row(state, ctr);
+    const __m256i d_orig = d;
+    for (int round = 0; round < 10; ++round) {
+      PG_CHACHA_DROUND(a, b, c, d);
+    }
+    a = _mm256_add_epi32(a, row0);
+    b = _mm256_add_epi32(b, row1);
+    c = _mm256_add_epi32(c, row2);
+    d = _mm256_add_epi32(d, d_orig);
+    store_pair(a, b, c, d, in, out);
+    done += 2;
+  }
+
+  return done;
+}
+
+#undef PG_CHACHA_DROUND
+
+}  // namespace pg::crypto::detail
+
+#else  // !(__x86_64__ && __AVX2__)
+
+namespace pg::crypto::detail {
+
+bool chacha20_avx2_available() { return false; }
+
+std::size_t chacha20_avx2_xor_blocks(const std::uint32_t*, const std::uint8_t*,
+                                     std::uint8_t*, std::size_t) {
+  return 0;
+}
+
+}  // namespace pg::crypto::detail
+
+#endif

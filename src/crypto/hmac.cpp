@@ -1,35 +1,51 @@
 #include "crypto/hmac.hpp"
 
 #include <cassert>
-
-#include "crypto/sha256.hpp"
+#include <cstring>
 
 namespace pg::crypto {
 
-Bytes hmac_sha256(BytesView key, BytesView data) {
-  Bytes k(kSha256BlockSize, 0);
+HmacSha256::HmacSha256(BytesView key) {
+  std::uint8_t k[kSha256BlockSize] = {};
   if (key.size() > kSha256BlockSize) {
-    const Bytes hashed = sha256(key);
-    std::copy(hashed.begin(), hashed.end(), k.begin());
+    Sha256 h;
+    h.update(key);
+    h.finish_into(k);
   } else {
-    std::copy(key.begin(), key.end(), k.begin());
+    std::memcpy(k, key.data(), key.size());
   }
 
-  Bytes ipad(kSha256BlockSize), opad(kSha256BlockSize);
-  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
-    ipad[i] = k[i] ^ 0x36;
-    opad[i] = k[i] ^ 0x5c;
-  }
+  std::uint8_t pad[kSha256BlockSize];
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) pad[i] = k[i] ^ 0x36;
+  inner_base_.update(BytesView(pad, kSha256BlockSize));
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) pad[i] = k[i] ^ 0x5c;
+  outer_base_.update(BytesView(pad, kSha256BlockSize));
 
-  Sha256 inner;
-  inner.update(ipad);
-  inner.update(data);
-  const Bytes inner_digest = inner.finish();
+  inner_ = inner_base_;
+}
 
-  Sha256 outer;
-  outer.update(opad);
-  outer.update(inner_digest);
-  return outer.finish();
+void HmacSha256::reset() { inner_ = inner_base_; }
+
+void HmacSha256::update(BytesView data) { inner_.update(data); }
+
+void HmacSha256::finish_into(std::uint8_t* out) {
+  std::uint8_t digest[kSha256DigestSize];
+  inner_.finish_into(digest);
+  Sha256 outer = outer_base_;
+  outer.update(BytesView(digest, kSha256DigestSize));
+  outer.finish_into(out);
+}
+
+Bytes HmacSha256::finish() {
+  Bytes tag(kSha256DigestSize);
+  finish_into(tag.data());
+  return tag;
+}
+
+Bytes hmac_sha256(BytesView key, BytesView data) {
+  HmacSha256 mac(key);
+  mac.update(data);
+  return mac.finish();
 }
 
 Bytes hkdf_extract(BytesView salt, BytesView ikm) {

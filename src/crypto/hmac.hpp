@@ -2,8 +2,31 @@
 #pragma once
 
 #include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
 
 namespace pg::crypto {
+
+/// Streaming HMAC-SHA-256 context. Keying pre-hashes the ipad/opad blocks
+/// once; reset() rewinds to the keyed state by copying the saved inner
+/// context, so one keyed object can MAC any number of messages without
+/// re-deriving the pads or touching the heap.
+class HmacSha256 {
+ public:
+  explicit HmacSha256(BytesView key);
+
+  /// Rewinds to the freshly keyed state.
+  void reset();
+  void update(BytesView data);
+  /// Writes the 32-byte tag to `out` and leaves the context finalized;
+  /// call reset() before the next message.
+  void finish_into(std::uint8_t* out);
+  Bytes finish();
+
+ private:
+  Sha256 inner_base_;  // keyed with ipad, never finalized
+  Sha256 outer_base_;  // keyed with opad, never finalized
+  Sha256 inner_;       // working copy of inner_base_
+};
 
 /// HMAC-SHA-256 of `data` under `key`. Any key length is accepted.
 Bytes hmac_sha256(BytesView key, BytesView data);

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "crypto/accel.hpp"
+
 namespace pg::crypto {
 
 namespace {
@@ -78,6 +80,15 @@ void Sha256::process_block(const std::uint8_t* block) {
   state_[7] += h;
 }
 
+void Sha256::process_blocks(const std::uint8_t* blocks, std::size_t nblocks) {
+  if (detail::sha256_ni_available()) {
+    detail::sha256_ni_compress(state_.data(), blocks, nblocks);
+    return;
+  }
+  for (std::size_t i = 0; i < nblocks; ++i)
+    process_block(blocks + i * kSha256BlockSize);
+}
+
 void Sha256::update(BytesView data) {
   total_len_ += data.size();
   std::size_t offset = 0;
@@ -89,14 +100,15 @@ void Sha256::update(BytesView data) {
     buffer_len_ += take;
     offset = take;
     if (buffer_len_ == kSha256BlockSize) {
-      process_block(buffer_.data());
+      process_blocks(buffer_.data(), 1);
       buffer_len_ = 0;
     }
   }
 
-  while (offset + kSha256BlockSize <= data.size()) {
-    process_block(data.data() + offset);
-    offset += kSha256BlockSize;
+  const std::size_t full = (data.size() - offset) / kSha256BlockSize;
+  if (full > 0) {
+    process_blocks(data.data() + offset, full);
+    offset += full * kSha256BlockSize;
   }
 
   if (offset < data.size()) {
@@ -105,7 +117,7 @@ void Sha256::update(BytesView data) {
   }
 }
 
-Bytes Sha256::finish() {
+void Sha256::finish_into(std::uint8_t* out) {
   const std::uint64_t bit_len = total_len_ * 8;
 
   // Padding: 0x80, zeros, 8-byte big-endian bit length.
@@ -119,13 +131,17 @@ Bytes Sha256::finish() {
   update(BytesView(pad, pad_len));
   update(BytesView(len_bytes, 8));
 
-  Bytes digest(kSha256DigestSize);
   for (int i = 0; i < 8; ++i) {
-    digest[i * 4] = static_cast<std::uint8_t>(state_[i] >> 24);
-    digest[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
-    digest[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
-    digest[i * 4 + 3] = static_cast<std::uint8_t>(state_[i]);
+    out[i * 4] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(state_[i]);
   }
+}
+
+Bytes Sha256::finish() {
+  Bytes digest(kSha256DigestSize);
+  finish_into(digest.data());
   return digest;
 }
 

@@ -24,9 +24,12 @@ class Sha256 {
   /// Finalizes and returns the 32-byte digest. The object must be reset()
   /// before further use.
   Bytes finish();
+  /// Allocation-free finalize: writes the digest to `out` (32 bytes).
+  void finish_into(std::uint8_t* out);
 
  private:
   void process_block(const std::uint8_t* block);
+  void process_blocks(const std::uint8_t* blocks, std::size_t nblocks);
 
   std::array<std::uint32_t, 8> state_;
   std::array<std::uint8_t, kSha256BlockSize> buffer_;

@@ -1,0 +1,170 @@
+// SHA-256 compression via the x86 SHA extensions (SHA-NI).
+//
+// Follows the canonical two-lane layout: STATE0 holds {A,B,E,F} and STATE1
+// holds {C,D,G,H}, with the message schedule advanced four rounds at a time
+// by sha256msg1/msg2. This file is compiled with -msha -msse4.1 (see
+// src/crypto/CMakeLists.txt); everything is stubbed out on other targets.
+#include "crypto/accel.hpp"
+
+#if defined(__x86_64__) && defined(__SHA__)
+
+#include <immintrin.h>
+
+namespace pg::crypto::detail {
+
+namespace {
+
+alignas(16) constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline __m128i k_group(int g) {
+  return _mm_load_si128(reinterpret_cast<const __m128i*>(&kK[4 * g]));
+}
+
+}  // namespace
+
+bool sha256_ni_available() {
+  static const bool ok = __builtin_cpu_supports("sha") != 0 &&
+                         __builtin_cpu_supports("sse4.1") != 0;
+  return ok;
+}
+
+void sha256_ni_compress(std::uint32_t state[8], const std::uint8_t* blocks,
+                        std::size_t nblocks) {
+  const __m128i kByteSwap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);    // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);         // CDGH
+
+  while (nblocks-- > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+    __m128i msg;
+
+    // Rounds 0-3.
+    __m128i msg0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks)), kByteSwap);
+    msg = _mm_add_epi32(msg0, k_group(0));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 4-7.
+    __m128i msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 16)),
+        kByteSwap);
+    msg = _mm_add_epi32(msg1, k_group(1));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 8-11.
+    __m128i msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 32)),
+        kByteSwap);
+    msg = _mm_add_epi32(msg2, k_group(2));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 12-15.
+    __m128i msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 48)),
+        kByteSwap);
+
+    // Rounds 12 through 51: full schedule pipeline. `cur` feeds the round
+    // constant adds, `next` absorbs alignr+msg2, `prev` runs msg1.
+#define PG_SHA_GROUP(g, cur, prev, next)                 \
+  do {                                                   \
+    msg = _mm_add_epi32(cur, k_group(g));                \
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg); \
+    tmp = _mm_alignr_epi8(cur, prev, 4);                 \
+    next = _mm_add_epi32(next, tmp);                     \
+    next = _mm_sha256msg2_epu32(next, cur);              \
+    msg = _mm_shuffle_epi32(msg, 0x0E);                  \
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg); \
+    prev = _mm_sha256msg1_epu32(prev, cur);              \
+  } while (0)
+
+    PG_SHA_GROUP(3, msg3, msg2, msg0);
+    PG_SHA_GROUP(4, msg0, msg3, msg1);
+    PG_SHA_GROUP(5, msg1, msg0, msg2);
+    PG_SHA_GROUP(6, msg2, msg1, msg3);
+    PG_SHA_GROUP(7, msg3, msg2, msg0);
+    PG_SHA_GROUP(8, msg0, msg3, msg1);
+    PG_SHA_GROUP(9, msg1, msg0, msg2);
+    PG_SHA_GROUP(10, msg2, msg1, msg3);
+    PG_SHA_GROUP(11, msg3, msg2, msg0);
+    PG_SHA_GROUP(12, msg0, msg3, msg1);
+#undef PG_SHA_GROUP
+
+    // Rounds 52-55 (schedule tail: no further msg1).
+    msg = _mm_add_epi32(msg1, k_group(13));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 56-59.
+    msg = _mm_add_epi32(msg2, k_group(14));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 60-63.
+    msg = _mm_add_epi32(msg3, k_group(15));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    blocks += 64;
+  }
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);     // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);  // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);       // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);          // HGFE
+
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+}  // namespace pg::crypto::detail
+
+#else  // !(__x86_64__ && __SHA__)
+
+namespace pg::crypto::detail {
+
+bool sha256_ni_available() { return false; }
+
+void sha256_ni_compress(std::uint32_t*, const std::uint8_t*, std::size_t) {}
+
+}  // namespace pg::crypto::detail
+
+#endif

@@ -96,7 +96,32 @@ Result<std::vector<FileInfo>> decode_listing(BytesView data) {
   return files;
 }
 
+telemetry::Counter& fs_counter(const std::string& name,
+                               const std::string& help,
+                               const std::string& site) {
+  return telemetry::MetricRegistry::global().counter(name, help,
+                                                     {{"site", site}});
+}
+
 }  // namespace
+
+GridFileService::FsInstruments::FsInstruments(const std::string& site)
+    : puts(fs_counter("pg_gridfs_puts_total", "Files stored at this site",
+                      site)),
+      gets(fs_counter("pg_gridfs_gets_total", "File reads served by this site",
+                      site)),
+      removes(fs_counter("pg_gridfs_removes_total",
+                         "Files removed from this site", site)),
+      bytes_written(fs_counter("pg_gridfs_bytes_written_total",
+                               "File content bytes accepted by this site",
+                               site)),
+      files_stored(telemetry::MetricRegistry::global().gauge(
+          "pg_gridfs_files_stored", "Files currently held by this site",
+          {{"site", site}})),
+      bytes_stored(telemetry::MetricRegistry::global().gauge(
+          "pg_gridfs_bytes_stored",
+          "File content bytes currently held by this site",
+          {{"site", site}})) {}
 
 // ---------------------------------------------------------------- attach
 
@@ -132,10 +157,16 @@ Status GridFileService::store_put(const std::string& user,
   if (content.size() > kMaxFileSize)
     return error(ErrorCode::kInvalidArgument, "file too large");
   std::lock_guard<std::mutex> lock(mutex_);
+  const bool existed = files_.count(name) > 0;
   StoredFile& file = files_[name];
   if (!file.owner.empty() && file.owner != user)
     return error(ErrorCode::kPermissionDenied,
                  name + " is owned by " + file.owner);
+  instruments_.bytes_stored.add(static_cast<std::int64_t>(content.size()) -
+                                static_cast<std::int64_t>(file.content.size()));
+  if (!existed) instruments_.files_stored.add(1);
+  instruments_.puts.increment();
+  instruments_.bytes_written.increment(content.size());
   file.content = std::move(content);
   file.owner = user;
   file.modified_at = proxy_.clock().now();
@@ -147,6 +178,7 @@ Result<Bytes> GridFileService::store_get(const std::string& name) const {
   const auto it = files_.find(name);
   if (it == files_.end())
     return error(ErrorCode::kNotFound, "no file " + name);
+  instruments_.gets.increment();
   return it->second.content;
 }
 
@@ -170,6 +202,10 @@ Status GridFileService::store_remove(const std::string& user,
   if (it->second.owner != user)
     return error(ErrorCode::kPermissionDenied,
                  name + " is owned by " + it->second.owner);
+  instruments_.bytes_stored.add(
+      -static_cast<std::int64_t>(it->second.content.size()));
+  instruments_.files_stored.add(-1);
+  instruments_.removes.increment();
   files_.erase(it);
   return Status::ok();
 }

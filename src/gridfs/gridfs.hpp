@@ -20,6 +20,7 @@
 #include "common/clock.hpp"
 #include "common/status.hpp"
 #include "proxy/proxy_server.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace pg::gridfs {
 
@@ -74,8 +75,19 @@ class GridFileService {
   std::uint64_t local_bytes_stored() const;
 
  private:
+  /// Registry instruments for this site's store, labelled {site=<name>}.
+  struct FsInstruments {
+    explicit FsInstruments(const std::string& site);
+    telemetry::Counter& puts;
+    telemetry::Counter& gets;
+    telemetry::Counter& removes;
+    telemetry::Counter& bytes_written;
+    telemetry::Gauge& files_stored;
+    telemetry::Gauge& bytes_stored;
+  };
+
   explicit GridFileService(proxy::ProxyServer& proxy_server)
-      : proxy_(proxy_server) {}
+      : proxy_(proxy_server), instruments_(proxy_server.site()) {}
 
   struct StoredFile {
     Bytes content;
@@ -98,6 +110,7 @@ class GridFileService {
                        proxy::Connection& conn);
 
   proxy::ProxyServer& proxy_;
+  FsInstruments instruments_;
   mutable std::mutex mutex_;
   std::map<std::string, StoredFile> files_;
 };

@@ -1,16 +1,31 @@
 #include "net/framer.hpp"
 
-#include "common/serde.hpp"
+#include <cstring>
 
 namespace pg::net {
 
 Status write_frame(Channel& channel, BytesView payload) {
   if (payload.size() > kMaxFrameSize)
     return error(ErrorCode::kInvalidArgument, "frame too large");
-  BufferWriter w;
-  w.put_u32(static_cast<std::uint32_t>(payload.size()));
-  w.put_raw(payload);
-  return channel.write(w.data());
+
+  std::uint8_t header[4];
+  header[0] = static_cast<std::uint8_t>(payload.size() >> 24);
+  header[1] = static_cast<std::uint8_t>(payload.size() >> 16);
+  header[2] = static_cast<std::uint8_t>(payload.size() >> 8);
+  header[3] = static_cast<std::uint8_t>(payload.size());
+
+  // Small frames coalesce with the header into one write; larger ones go
+  // out as header + payload, which the single-writer Channel contract
+  // keeps atomic with respect to other frames.
+  std::uint8_t coalesced[4 + 1024];
+  if (payload.size() <= sizeof(coalesced) - 4) {
+    std::memcpy(coalesced, header, 4);
+    if (!payload.empty())
+      std::memcpy(coalesced + 4, payload.data(), payload.size());
+    return channel.write(BytesView(coalesced, 4 + payload.size()));
+  }
+  PG_RETURN_IF_ERROR(channel.write(BytesView(header, 4)));
+  return channel.write(payload);
 }
 
 Result<Bytes> read_frame(Channel& channel) {

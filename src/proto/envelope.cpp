@@ -37,15 +37,47 @@ const char* opcode_name(OpCode op) {
              : "unknown";
 }
 
+namespace {
+
+inline void push_u64_be(Bytes& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8)
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+inline void push_varint(Bytes& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+}  // namespace
+
+void serialize_envelope(OpCode op, std::uint64_t request_id,
+                        std::uint64_t trace_id, std::uint64_t span_id,
+                        BytesView payload, Bytes& out) {
+  out.clear();
+  out.reserve(3 + 3 * 8 + 10 + payload.size());
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(static_cast<std::uint16_t>(op) >> 8));
+  out.push_back(static_cast<std::uint8_t>(static_cast<std::uint16_t>(op)));
+  push_u64_be(out, request_id);
+  push_u64_be(out, trace_id);
+  push_u64_be(out, span_id);
+  push_varint(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void Envelope::serialize_into(Bytes& out) const {
+  serialize_envelope(op, request_id, trace_id, span_id, payload, out);
+  out[0] = version;  // honor a caller-overridden version byte
+}
+
 Bytes Envelope::serialize() const {
-  BufferWriter w;
-  w.put_u8(version);
-  w.put_u16(static_cast<std::uint16_t>(op));
-  w.put_u64(request_id);
-  w.put_u64(trace_id);
-  w.put_u64(span_id);
-  w.put_bytes(payload);
-  return w.take();
+  Bytes out;
+  serialize_into(out);
+  return out;
 }
 
 Result<Envelope> Envelope::deserialize(BytesView data) {

@@ -82,7 +82,16 @@ struct Envelope {
   Bytes payload;
 
   Bytes serialize() const;
+  /// Serializes into `out`, reusing its capacity (hot send path).
+  void serialize_into(Bytes& out) const;
   static Result<Envelope> deserialize(BytesView data);
 };
+
+/// Serializes an envelope straight from its parts into `out`, reusing its
+/// capacity. Same wire bytes as Envelope::serialize(); lets senders skip
+/// building an Envelope (and copying the payload into it) entirely.
+void serialize_envelope(OpCode op, std::uint64_t request_id,
+                        std::uint64_t trace_id, std::uint64_t span_id,
+                        BytesView payload, Bytes& out);
 
 }  // namespace pg::proto

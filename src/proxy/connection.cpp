@@ -41,30 +41,23 @@ void Connection::start() {
   }
 }
 
-Status Connection::send_envelope(const proto::Envelope& envelope) {
+Status Connection::send_parts(proto::OpCode op, std::uint64_t request_id,
+                              BytesView payload) {
   if (!alive_.load(std::memory_order_acquire))
     return error(ErrorCode::kUnavailable,
                  "connection to " + peer_name_ + " is down");
+  // Carry the calling thread's trace context across the hop; the peer's
+  // reader installs it before dispatching (see reader_loop).
+  const telemetry::TraceContext ctx = telemetry::Tracer::current();
   std::lock_guard<std::mutex> lock(send_mutex_);
-  return link_->send(envelope.serialize());
+  proto::serialize_envelope(op, request_id, ctx.trace_id, ctx.span_id,
+                            payload, send_buf_);
+  return link_->send(send_buf_);
 }
 
 Status Connection::notify(proto::OpCode op, BytesView payload,
                           std::uint64_t request_id) {
-  proto::Envelope envelope;
-  envelope.op = op;
-  envelope.request_id = request_id;
-  stamp_trace(envelope);
-  envelope.payload.assign(payload.begin(), payload.end());
-  return send_envelope(envelope);
-}
-
-void Connection::stamp_trace(proto::Envelope& envelope) {
-  // Carry the calling thread's trace context across the hop; the peer's
-  // reader installs it before dispatching (see reader_loop).
-  const telemetry::TraceContext ctx = telemetry::Tracer::current();
-  envelope.trace_id = ctx.trace_id;
-  envelope.span_id = ctx.span_id;
+  return send_parts(op, request_id, payload);
 }
 
 Result<proto::Envelope> Connection::call(proto::OpCode op, BytesView payload,
@@ -77,12 +70,7 @@ Result<proto::Envelope> Connection::call(proto::OpCode op, BytesView payload,
     pending_[id];  // create empty slot
   }
 
-  proto::Envelope envelope;
-  envelope.op = op;
-  envelope.request_id = id;
-  stamp_trace(envelope);
-  envelope.payload.assign(payload.begin(), payload.end());
-  const Status sent = send_envelope(envelope);
+  const Status sent = send_parts(op, id, payload);
   if (!sent.is_ok()) {
     std::lock_guard<std::mutex> lock(pending_mutex_);
     pending_.erase(id);

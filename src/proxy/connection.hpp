@@ -70,9 +70,11 @@ class Connection {
 
  private:
   void reader_loop();
-  Status send_envelope(const proto::Envelope& envelope);
-  /// Copies the calling thread's trace context onto an outgoing envelope.
-  static void stamp_trace(proto::Envelope& envelope);
+  /// Serializes op/id/trace/payload straight into the reusable send buffer
+  /// and writes it — no Envelope object, no payload copy. Stamps the
+  /// calling thread's trace context onto the wire envelope.
+  Status send_parts(proto::OpCode op, std::uint64_t request_id,
+                    BytesView payload);
 
   std::string peer_name_;
   net::ChannelPtr channel_;  // owned; link_ references it
@@ -83,6 +85,7 @@ class Connection {
   std::atomic<bool> started_{false};
 
   std::mutex send_mutex_;
+  Bytes send_buf_;  // guarded by send_mutex_
 
   // Pending calls: id -> slot the reader fills.
   struct PendingCall {

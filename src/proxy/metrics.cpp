@@ -54,6 +54,12 @@ ProxyInstruments::ProxyInstruments(const std::string& site)
                             site)),
       tunnels_relayed(site_counter("pg_proxy_tunnels_relayed_total",
                                    "Tunnel envelopes relayed", site)),
+      tunnel_bytes_relayed(
+          site_counter("pg_proxy_tunnel_bytes_relayed_total",
+                       "TunnelData payload bytes relayed", site)),
+      open_tunnels(telemetry::MetricRegistry::global().gauge(
+          "pg_proxy_open_tunnels", "Tunnels with a live routing entry",
+          {{"site", site}})),
       dispatch_micros(telemetry::MetricRegistry::global().histogram(
           "pg_proxy_dispatch_micros",
           "Control-envelope handler latency (microseconds)",
@@ -106,6 +112,9 @@ ProxyMetrics ProxyInstruments::snapshot() const {
   m.logins = logins.value() - baseline_.logins;
   m.apps_run = apps_run.value() - baseline_.apps_run;
   m.tunnels_relayed = tunnels_relayed.value() - baseline_.tunnels_relayed;
+  m.tunnel_bytes_relayed =
+      tunnel_bytes_relayed.value() - baseline_.tunnel_bytes_relayed;
+  m.open_tunnels = open_tunnels.value();  // gauge: current state, no baseline
   return m;
 }
 

@@ -29,6 +29,8 @@ struct ProxyMetrics {
   std::uint64_t logins = 0;
   std::uint64_t apps_run = 0;
   std::uint64_t tunnels_relayed = 0;
+  std::uint64_t tunnel_bytes_relayed = 0;    // TunnelData payload bytes
+  std::int64_t open_tunnels = 0;             // currently routed tunnels
 };
 
 /// One proxy's registry-backed instruments, labelled {site=<name>}.
@@ -51,6 +53,9 @@ class ProxyInstruments {
   telemetry::Counter& logins;
   telemetry::Counter& apps_run;
   telemetry::Counter& tunnels_relayed;
+  telemetry::Counter& tunnel_bytes_relayed;
+  /// Tunnels with a live routing entry; +1 on open, -1 on close.
+  telemetry::Gauge& open_tunnels;
 
   /// Inter-proxy envelope dispatch latency (handler run time, micros).
   telemetry::Histogram& dispatch_micros;

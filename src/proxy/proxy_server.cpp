@@ -1013,7 +1013,8 @@ void ProxyServer::handle_tunnel_from_node(const std::string& node,
         proto::TunnelOpen::parse(envelope.payload);
     if (!open.is_ok()) return;
     std::lock_guard<std::mutex> lock(tunnels_mutex_);
-    tunnels_[open.value().tunnel_id] = open.value();
+    if (tunnels_.insert_or_assign(open.value().tunnel_id, open.value()).second)
+      instruments_.open_tunnels.add(1);
   }
 
   std::uint64_t tunnel_id = 0;
@@ -1022,6 +1023,7 @@ void ProxyServer::handle_tunnel_from_node(const std::string& node,
         proto::TunnelData::parse(envelope.payload);
     if (!data.is_ok()) return;
     tunnel_id = data.value().tunnel_id;
+    instruments_.tunnel_bytes_relayed.increment(data.value().payload.size());
   } else if (envelope.op == proto::OpCode::kTunnelClose) {
     Result<proto::TunnelClose> close_msg =
         proto::TunnelClose::parse(envelope.payload);
@@ -1046,7 +1048,10 @@ void ProxyServer::handle_tunnel_from_node(const std::string& node,
       return;
     }
     route = it->second;
-    if (envelope.op == proto::OpCode::kTunnelClose) tunnels_.erase(it);
+    if (envelope.op == proto::OpCode::kTunnelClose) {
+      tunnels_.erase(it);
+      instruments_.open_tunnels.add(-1);
+    }
   }
   (void)node;
 

@@ -1,6 +1,7 @@
 // GSSL handshake and session implementation.
 #include "tls/gssl.hpp"
 
+#include <atomic>
 #include <mutex>
 
 #include "common/serde.hpp"
@@ -19,6 +20,8 @@ struct TlsInstruments {
   telemetry::Histogram& server_handshake_micros;
   telemetry::Histogram& seal_micros;
   telemetry::Histogram& open_micros;
+  telemetry::Counter& records_sealed;
+  telemetry::Counter& records_opened;
 
   static TlsInstruments& get() {
     auto& registry = telemetry::MetricRegistry::global();
@@ -41,6 +44,12 @@ struct TlsInstruments {
                            "(microseconds)",
                            telemetry::duration_buckets_micros(),
                            {{"op", "open"}}),
+        registry.counter("pg_tls_records_total",
+                         "GSSL data records protected/unprotected",
+                         {{"op", "seal"}}),
+        registry.counter("pg_tls_records_total",
+                         "GSSL data records protected/unprotected",
+                         {{"op", "open"}}),
     };
     return instruments;
   }
@@ -50,9 +59,10 @@ using internal::Record;
 using internal::RecordCipher;
 using internal::RecordType;
 
+using internal::kRecordHeaderSize;
+
 constexpr std::size_t kNonceSize = 32;
 constexpr std::size_t kPremasterSize = 48;
-constexpr std::size_t kRecordHeaderSize = 5;
 
 enum class HsType : std::uint8_t {
   kClientHello = 1,
@@ -223,47 +233,48 @@ class GsslSessionImpl final : public GsslSession {
       : channel_(channel),
         send_cipher_(std::move(send_cipher)),
         recv_cipher_(std::move(recv_cipher)),
-        peer_(std::move(peer)) {
-    stats_.handshake_bytes = handshake_bytes;
-  }
+        peer_(std::move(peer)),
+        handshake_bytes_(handshake_bytes) {}
 
   Status send(BytesView message) override {
     std::lock_guard<std::mutex> lock(send_mutex_);
-    Bytes sealed;
+    // One reusable buffer, one write: seal_record lays out
+    // [header][ciphertext][mac] in send_buf_, reusing its capacity.
     {
       telemetry::ScopedTimer timer(TlsInstruments::get().seal_micros);
-      sealed = send_cipher_.seal(RecordType::kData, message);
+      PG_RETURN_IF_ERROR(
+          send_cipher_.seal_record(RecordType::kData, message, send_buf_));
     }
-    PG_RETURN_IF_ERROR(
-        internal::write_record(channel_, RecordType::kData, sealed));
-    std::lock_guard<std::mutex> slock(stats_mutex_);
-    ++stats_.records_sent;
-    stats_.plaintext_bytes_sent += message.size();
-    stats_.ciphertext_bytes_sent += sealed.size() + kRecordHeaderSize;
+    PG_RETURN_IF_ERROR(channel_.write(send_buf_));
+    TlsInstruments::get().records_sealed.increment();
+    records_sent_.fetch_add(1, std::memory_order_relaxed);
+    plaintext_bytes_sent_.fetch_add(message.size(),
+                                    std::memory_order_relaxed);
+    ciphertext_bytes_sent_.fetch_add(send_buf_.size(),
+                                     std::memory_order_relaxed);
     return Status::ok();
   }
 
   Result<Bytes> recv() override {
     std::lock_guard<std::mutex> lock(recv_mutex_);
-    for (;;) {
-      Result<Record> record = internal::read_record(channel_);
-      if (!record.is_ok()) return record.status();
-      if (record.value().type == RecordType::kAlert)
-        return error(ErrorCode::kCryptoError,
-                     "peer alert: " + to_string(record.value().payload));
-      if (record.value().type != RecordType::kData)
-        return error(ErrorCode::kProtocolError,
-                     "unexpected record type after handshake");
-      Result<Bytes> plain = [&] {
-        telemetry::ScopedTimer timer(TlsInstruments::get().open_micros);
-        return recv_cipher_.open(RecordType::kData, record.value().payload);
-      }();
-      if (plain.is_ok()) {
-        std::lock_guard<std::mutex> slock(stats_mutex_);
-        ++stats_.records_received;
-      }
-      return plain;
-    }
+    PG_RETURN_IF_ERROR(internal::read_record_into(channel_, recv_record_));
+    if (recv_record_.type == RecordType::kAlert)
+      return error(ErrorCode::kCryptoError,
+                   "peer alert: " + to_string(recv_record_.payload));
+    if (recv_record_.type != RecordType::kData)
+      return error(ErrorCode::kProtocolError,
+                   "unexpected record type after handshake");
+    Result<std::size_t> plain_len = [&] {
+      telemetry::ScopedTimer timer(TlsInstruments::get().open_micros);
+      return recv_cipher_.open_in_place(RecordType::kData, recv_record_.payload);
+    }();
+    if (!plain_len.is_ok()) return plain_len.status();
+    TlsInstruments::get().records_opened.increment();
+    records_received_.fetch_add(1, std::memory_order_relaxed);
+    // The only allocation on the receive path: the caller-visible result.
+    return Bytes(recv_record_.payload.begin(),
+                 recv_record_.payload.begin() +
+                     static_cast<std::ptrdiff_t>(plain_len.value()));
   }
 
   void close() override { channel_.close(); }
@@ -273,19 +284,31 @@ class GsslSessionImpl final : public GsslSession {
   }
 
   GsslStats stats() const override {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    return stats_;
+    GsslStats stats;
+    stats.records_sent = records_sent_.load(std::memory_order_relaxed);
+    stats.records_received = records_received_.load(std::memory_order_relaxed);
+    stats.plaintext_bytes_sent =
+        plaintext_bytes_sent_.load(std::memory_order_relaxed);
+    stats.ciphertext_bytes_sent =
+        ciphertext_bytes_sent_.load(std::memory_order_relaxed);
+    stats.handshake_bytes = handshake_bytes_;
+    return stats;
   }
 
  private:
   net::Channel& channel_;
   std::mutex send_mutex_;
   std::mutex recv_mutex_;
-  mutable std::mutex stats_mutex_;
   RecordCipher send_cipher_;
   RecordCipher recv_cipher_;
   crypto::Certificate peer_;
-  GsslStats stats_;
+  Bytes send_buf_;               // guarded by send_mutex_
+  internal::Record recv_record_;  // guarded by recv_mutex_
+  const std::uint64_t handshake_bytes_;
+  std::atomic<std::uint64_t> records_sent_{0};
+  std::atomic<std::uint64_t> records_received_{0};
+  std::atomic<std::uint64_t> plaintext_bytes_sent_{0};
+  std::atomic<std::uint64_t> ciphertext_bytes_sent_{0};
 };
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "tls/link.hpp"
 
+#include <atomic>
 #include <mutex>
 
 #include "net/framer.hpp"
@@ -15,19 +16,16 @@ class PlainLink final : public MessageLink {
   Status send(BytesView message) override {
     std::lock_guard<std::mutex> lock(send_mutex_);
     PG_RETURN_IF_ERROR(net::write_frame(channel_, message));
-    std::lock_guard<std::mutex> slock(stats_mutex_);
-    ++stats_.messages_sent;
-    stats_.payload_bytes_sent += message.size();
-    stats_.wire_bytes_sent += message.size() + 4;
+    messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    payload_bytes_sent_.fetch_add(message.size(), std::memory_order_relaxed);
+    wire_bytes_sent_.fetch_add(message.size() + 4, std::memory_order_relaxed);
     return Status::ok();
   }
 
   Result<Bytes> recv() override {
     Result<Bytes> frame = net::read_frame(channel_);
-    if (frame.is_ok()) {
-      std::lock_guard<std::mutex> slock(stats_mutex_);
-      ++stats_.messages_received;
-    }
+    if (frame.is_ok())
+      messages_received_.fetch_add(1, std::memory_order_relaxed);
     return frame;
   }
 
@@ -35,15 +33,23 @@ class PlainLink final : public MessageLink {
   bool is_encrypted() const override { return false; }
 
   LinkStats stats() const override {
-    std::lock_guard<std::mutex> slock(stats_mutex_);
-    return stats_;
+    LinkStats stats;
+    stats.messages_sent = messages_sent_.load(std::memory_order_relaxed);
+    stats.messages_received =
+        messages_received_.load(std::memory_order_relaxed);
+    stats.payload_bytes_sent =
+        payload_bytes_sent_.load(std::memory_order_relaxed);
+    stats.wire_bytes_sent = wire_bytes_sent_.load(std::memory_order_relaxed);
+    return stats;
   }
 
  private:
   net::Channel& channel_;
   std::mutex send_mutex_;
-  mutable std::mutex stats_mutex_;
-  LinkStats stats_;
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> messages_received_{0};
+  std::atomic<std::uint64_t> payload_bytes_sent_{0};
+  std::atomic<std::uint64_t> wire_bytes_sent_{0};
 };
 
 class SecureLink final : public MessageLink {

@@ -102,6 +102,37 @@ TEST(Hmac, Rfc4231Case6LongKey) {
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
 }
 
+TEST(Hmac, StreamingMatchesOneShot) {
+  Rng rng(11);
+  const Bytes key = rng.next_bytes(32);
+  const Bytes data = rng.next_bytes(500);
+  const Bytes expected = hmac_sha256(key, data);
+
+  HmacSha256 mac(key);
+  // Split points cover empty updates, block boundaries, and odd sizes.
+  const std::size_t splits[] = {0, 1, 63, 64, 65, 200, 500};
+  std::size_t prev = 0;
+  for (const std::size_t at : splits) {
+    mac.update(BytesView(data.data() + prev, at - prev));
+    prev = at;
+  }
+  EXPECT_EQ(mac.finish(), expected);
+}
+
+TEST(Hmac, ResetReusesPrecomputedPads) {
+  const Bytes key(131, 0xaa);  // long key: hashed-key path
+  const Bytes msg = to_bytes(
+      "Test Using Larger Than Block-Size Key - Hash Key First");
+  HmacSha256 mac(key);
+  for (int round = 0; round < 3; ++round) {
+    mac.reset();
+    mac.update(msg);
+    EXPECT_EQ(
+        hex_encode(mac.finish()),
+        "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+  }
+}
+
 TEST(Hkdf, Rfc5869Case1) {
   const Bytes ikm(22, 0x0b);
   const Bytes salt = from_hex("000102030405060708090a0b0c");
@@ -156,6 +187,56 @@ TEST(ChaCha, RoundTrip) {
       EXPECT_NE(cipher, plain);
     }
   }
+}
+
+TEST(ChaCha, Rfc8439KeystreamBlock) {
+  // RFC 8439 §2.3.2: block function with the standard test key/nonce at
+  // counter 1. XOR against zeros exposes the raw keystream, which pins the
+  // block fast path (scalar and AVX2) to the reference serialization.
+  const Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = from_hex("000000090000004a00000000");
+  const Bytes keystream = chacha20_xor(key, nonce, 1, Bytes(64, 0));
+  EXPECT_EQ(hex_encode(keystream),
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+            "c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2"
+            "b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha, BlockBoundaryChunksMatchOneShot) {
+  // Chunk sizes straddling the 64-byte block boundary exercise every path:
+  // buffered-tail drain, bulk full blocks, and partial-block keystream
+  // carry-over between calls.
+  Rng rng(7);
+  const Bytes key = rng.next_bytes(kChaChaKeySize);
+  const Bytes nonce = rng.next_bytes(kChaChaNonceSize);
+  const std::size_t chunks[] = {63, 64, 65, 128 + 1};
+  std::size_t total = 0;
+  for (const std::size_t c : chunks) total += c;
+  const Bytes data = rng.next_bytes(total);
+
+  const Bytes oneshot = chacha20_xor(key, nonce, 0, data);
+
+  // In-place streaming.
+  Bytes in_place = data;
+  ChaCha20 stream1(key, nonce, 0);
+  std::size_t off = 0;
+  for (const std::size_t c : chunks) {
+    stream1.process(in_place.data() + off, c);
+    off += c;
+  }
+  EXPECT_EQ(in_place, oneshot);
+
+  // Source-to-destination streaming.
+  Bytes out(total);
+  ChaCha20 stream2(key, nonce, 0);
+  off = 0;
+  for (const std::size_t c : chunks) {
+    stream2.process(data.data() + off, out.data() + off, c);
+    off += c;
+  }
+  EXPECT_EQ(out, oneshot);
 }
 
 TEST(ChaCha, StreamingMatchesOneShot) {

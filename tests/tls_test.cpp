@@ -1,7 +1,11 @@
 // GSSL handshake, record protection and link tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <future>
+#include <new>
 #include <thread>
 
 #include "common/clock.hpp"
@@ -11,6 +15,24 @@
 #include "tls/gssl.hpp"
 #include "tls/link.hpp"
 #include "tls/record.hpp"
+
+// Global heap-allocation counter so record-path tests can assert the
+// steady-state seal/open cycle stays off the heap. Tests build as one
+// binary per module, so the override is contained to tls_test.
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace pg::tls {
 namespace {
@@ -317,6 +339,129 @@ TEST(RecordCipher, TruncatedRecordRejected) {
                             rng.next_bytes(12));
   EXPECT_EQ(rx.open(internal::RecordType::kData, Bytes(10, 0)).status().code(),
             ErrorCode::kCryptoError);
+}
+
+TEST(RecordCipher, SealRecordMatchesLegacySeal) {
+  // The zero-copy path must be bit-identical to the allocating one: same
+  // ciphertext, same MAC, prefixed by the wire header.
+  Rng rng(7);
+  const Bytes key = rng.next_bytes(32), mac = rng.next_bytes(32),
+              iv = rng.next_bytes(12);
+  internal::RecordCipher legacy(key, mac, iv);
+  internal::RecordCipher fast(key, mac, iv);
+
+  Bytes wire;
+  for (int i = 0; i < 3; ++i) {
+    const Bytes msg = rng.next_bytes(777);
+    const Bytes sealed = legacy.seal(internal::RecordType::kData, msg);
+    ASSERT_TRUE(
+        fast.seal_record(internal::RecordType::kData, msg, wire).is_ok());
+    ASSERT_EQ(wire.size(), internal::kRecordHeaderSize + sealed.size());
+    EXPECT_EQ(wire[0], static_cast<std::uint8_t>(internal::RecordType::kData));
+    const std::uint32_t len =
+        (std::uint32_t{wire[1]} << 24) | (std::uint32_t{wire[2]} << 16) |
+        (std::uint32_t{wire[3]} << 8) | std::uint32_t{wire[4]};
+    EXPECT_EQ(len, sealed.size());
+    EXPECT_TRUE(std::equal(sealed.begin(), sealed.end(),
+                           wire.begin() + internal::kRecordHeaderSize));
+  }
+}
+
+TEST(RecordCipher, WireRoundTripAcrossSizes) {
+  // seal_record → memory channel → read_record_into → open_in_place, at the
+  // empty, minimal, typical and maximal record sizes.
+  Rng rng(8);
+  const Bytes key = rng.next_bytes(32), mac = rng.next_bytes(32),
+              iv = rng.next_bytes(12);
+  internal::RecordCipher tx(key, mac, iv);
+  internal::RecordCipher rx(key, mac, iv);
+  net::ChannelPair pipe = net::make_memory_channel_pair();
+
+  Bytes wire;
+  internal::Record record;
+  const std::size_t sizes[] = {0, 1, 64 * 1024,
+                               internal::kMaxRecordSize - internal::kMacSize};
+  for (const std::size_t n : sizes) {
+    const Bytes msg = rng.next_bytes(n);
+    ASSERT_TRUE(
+        tx.seal_record(internal::RecordType::kData, msg, wire).is_ok());
+    ASSERT_TRUE(pipe.a->write(wire).is_ok());
+    ASSERT_TRUE(internal::read_record_into(*pipe.b, record).is_ok());
+    ASSERT_EQ(record.type, internal::RecordType::kData);
+    const Result<std::size_t> plain =
+        rx.open_in_place(internal::RecordType::kData, record.payload);
+    ASSERT_TRUE(plain.is_ok());
+    ASSERT_EQ(plain.value(), n);
+    EXPECT_TRUE(std::equal(msg.begin(), msg.end(), record.payload.begin()));
+  }
+}
+
+TEST(RecordCipher, SequenceSkewRejected) {
+  Rng rng(9);
+  const Bytes key = rng.next_bytes(32), mac = rng.next_bytes(32),
+              iv = rng.next_bytes(12);
+  internal::RecordCipher tx(key, mac, iv);
+  internal::RecordCipher rx(key, mac, iv);
+
+  Bytes wire;
+  ASSERT_TRUE(
+      tx.seal_record(internal::RecordType::kData, to_bytes("first"), wire)
+          .is_ok());
+  const Bytes first(wire.begin() + internal::kRecordHeaderSize, wire.end());
+  ASSERT_TRUE(
+      tx.seal_record(internal::RecordType::kData, to_bytes("second"), wire)
+          .is_ok());
+  const Bytes second(wire.begin() + internal::kRecordHeaderSize, wire.end());
+
+  // Record #2 delivered first: the receiver MACs with seq 0, the record
+  // was sealed at seq 1.
+  Bytes skewed = second;
+  EXPECT_EQ(
+      rx.open_in_place(internal::RecordType::kData, skewed).status().code(),
+      ErrorCode::kCryptoError);
+
+  // A failed open leaves the sequence (and buffer) untouched, so the
+  // in-order record still opens, and #2 opens after it.
+  Bytes in_order = first;
+  const Result<std::size_t> opened =
+      rx.open_in_place(internal::RecordType::kData, in_order);
+  ASSERT_TRUE(opened.is_ok());
+  EXPECT_EQ(Bytes(in_order.begin(), in_order.begin() + opened.value()),
+            to_bytes("first"));
+  skewed = second;
+  EXPECT_TRUE(
+      rx.open_in_place(internal::RecordType::kData, skewed).is_ok());
+}
+
+TEST(RecordCipher, SteadyStateSealOpenDoesNotAllocate) {
+  Rng rng(10);
+  const Bytes key = rng.next_bytes(32), mac = rng.next_bytes(32),
+              iv = rng.next_bytes(12);
+  internal::RecordCipher tx(key, mac, iv);
+  internal::RecordCipher rx(key, mac, iv);
+  const Bytes payload = rng.next_bytes(64 * 1024);
+
+  Bytes wire;
+  Bytes record;
+  // Warm the reusable buffers: the first cycle grows them to working size.
+  ASSERT_TRUE(
+      tx.seal_record(internal::RecordType::kData, payload, wire).is_ok());
+  record.assign(wire.begin() + internal::kRecordHeaderSize, wire.end());
+  ASSERT_TRUE(rx.open_in_place(internal::RecordType::kData, record).is_ok());
+
+  // Steady state: a full seal + open cycle performs no heap allocation.
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  const Status sealed =
+      tx.seal_record(internal::RecordType::kData, payload, wire);
+  record.assign(wire.begin() + internal::kRecordHeaderSize, wire.end());
+  const Result<std::size_t> opened =
+      rx.open_in_place(internal::RecordType::kData, record);
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+
+  ASSERT_TRUE(sealed.is_ok());
+  ASSERT_TRUE(opened.is_ok());
+  EXPECT_EQ(opened.value(), payload.size());
+  EXPECT_EQ(after, before);
 }
 
 }  // namespace
