@@ -1,0 +1,139 @@
+// Resilience-layer cost: what the fault-tolerant fabric charges when
+// nothing is failing, and what it buys when something is.
+//
+// BM_ResilienceFailureFreeOverhead runs the same control-plane workload
+// (grid-wide status queries, which fan out over every inter-proxy link)
+// on two grids: a bare one, and one carrying the full resilience stack —
+// FaultyChannel wrappers (at rest), heartbeats, and the retry-wrapped
+// call path. The overhead_pct counter is the headline number; the budget
+// is <2% on the failure-free path.
+//
+// BM_RetryAbsorbsDrops puts real drops on the node links and shows the
+// retry + re-dispatch machinery converting them into successful jobs.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "net/faulty_channel.hpp"
+
+namespace {
+
+using namespace pgbench;
+
+constexpr int kQueries = 200;
+
+double time_queries(grid::Grid& grid, const Bytes& token, int queries) {
+  WallClock wall;
+  const TimeMicros start = wall.now();
+  for (int i = 0; i < queries; ++i) {
+    const auto reports = grid.status("site0", token, {});
+    if (!reports.is_ok() || reports.value().size() != 3) return -1.0;
+  }
+  return static_cast<double>(wall.now() - start);
+}
+
+void BM_ResilienceFailureFreeOverhead(benchmark::State& state) {
+  register_bench_apps();
+  for (auto _ : state) {
+    auto bare = make_bench_grid(3, 2);
+    if (bare == nullptr) {
+      state.SkipWithError("grid build failed");
+      return;
+    }
+
+    grid::GridBuilder builder;
+    builder.seed(1).key_bits(512).fault_injection();
+    for (std::size_t s = 0; s < 3; ++s) {
+      builder.add_nodes("site" + std::to_string(s), 2);
+    }
+    builder.add_user("bench", "pw", {"mpi.run", "status.query", "job.submit"});
+    builder.configure_proxy([](proxy::ProxyConfig& config) {
+      config.heartbeat_interval = 50 * kMicrosPerMilli;
+    });
+    auto built = builder.build();
+    if (!built.is_ok()) {
+      state.SkipWithError("resilient grid build failed");
+      return;
+    }
+    auto resilient = built.take();
+
+    const Bytes bare_token = bench_login(*bare);
+    const Bytes res_token = bench_login(*resilient);
+
+    // Warm both paths, then measure.
+    (void)time_queries(*bare, bare_token, 20);
+    (void)time_queries(*resilient, res_token, 20);
+    const double bare_us = time_queries(*bare, bare_token, kQueries);
+    const double res_us = time_queries(*resilient, res_token, kQueries);
+    if (bare_us <= 0 || res_us <= 0) {
+      state.SkipWithError("status query failed mid-measurement");
+      return;
+    }
+
+    state.counters["bare_us_per_query"] = bare_us / kQueries;
+    state.counters["resilient_us_per_query"] = res_us / kQueries;
+    state.counters["overhead_pct"] = (res_us / bare_us - 1.0) * 100.0;
+    bare->shutdown();
+    resilient->shutdown();
+  }
+}
+BENCHMARK(BM_ResilienceFailureFreeOverhead)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RetryAbsorbsDrops(benchmark::State& state) {
+  register_bench_apps();
+  for (auto _ : state) {
+    grid::GridBuilder builder;
+    builder.seed(2).key_bits(512).fault_injection();
+    builder.add_nodes("site0", 3);
+    builder.add_user("bench", "pw", {"mpi.run", "status.query", "job.submit"});
+    builder.configure_proxy([](proxy::ProxyConfig& config) {
+      config.job_max_attempts = 3;
+      config.job_run_timeout = 2 * kMicrosPerSecond;
+      config.retry.per_try_timeout = 500 * kMicrosPerMilli;
+      config.retry.initial_backoff = 5 * kMicrosPerMilli;
+    });
+    auto built = builder.build();
+    if (!built.is_ok()) {
+      state.SkipWithError("grid build failed");
+      return;
+    }
+    auto grid = built.take();
+    const Bytes token = bench_login(*grid);
+
+    net::FaultPolicy drops;
+    drops.drop_rate = 0.05;
+    grid->intra_site_injector()->set_policy(drops);
+
+    constexpr int kJobs = 5;
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < kJobs; ++i) {
+      const auto id = grid->proxy("site0").submit_job(
+          "bench", token, "burn", 3, sched::Policy::kLoadBalanced);
+      if (id.is_ok()) ids.push_back(id.value());
+    }
+    int succeeded = 0;
+    for (const std::uint64_t id : ids) {
+      const auto record =
+          grid->proxy("site0").wait_job(id, 30 * kMicrosPerSecond);
+      if (record.is_ok() &&
+          record.value().state == proxy::JobState::kSucceeded) {
+        ++succeeded;
+      }
+    }
+    state.counters["jobs"] = kJobs;
+    state.counters["jobs_succeeded"] = succeeded;
+    state.counters["frames_dropped"] =
+        static_cast<double>(grid->intra_site_injector()->dropped());
+    state.counters["rpc_retries"] =
+        static_cast<double>(grid->proxy("site0").metrics().retries);
+
+    grid->intra_site_injector()->set_policy({});
+    grid->shutdown();
+  }
+}
+BENCHMARK(BM_RetryAbsorbsDrops)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -59,6 +59,17 @@ GridBuilder& GridBuilder::add_user(const std::string& user,
   return *this;
 }
 
+GridBuilder& GridBuilder::fault_injection(bool enabled) {
+  fault_injection_ = enabled;
+  return *this;
+}
+
+GridBuilder& GridBuilder::configure_proxy(
+    std::function<void(proxy::ProxyConfig&)> hook) {
+  configure_proxy_ = std::move(hook);
+  return *this;
+}
+
 Result<std::unique_ptr<Grid>> GridBuilder::build() {
   if (sites_.empty())
     return error(ErrorCode::kInvalidArgument, "grid needs at least one site");
@@ -77,6 +88,13 @@ Result<std::unique_ptr<Grid>> GridBuilder::build() {
   // any ticket.
   const Bytes realm_key = rng.next_bytes(32);
 
+  if (fault_injection_) {
+    grid->inter_injector_ =
+        std::make_shared<net::FaultInjector>(rng.next_u64());
+    grid->intra_injector_ =
+        std::make_shared<net::FaultInjector>(rng.next_u64());
+  }
+
   // Proxies.
   for (const auto& site : site_order_) {
     const crypto::RsaKeyPair keys = crypto::rsa_generate(key_bits_, rng);
@@ -91,6 +109,7 @@ Result<std::unique_ptr<Grid>> GridBuilder::build() {
     config.clock = &grid->clock_;
     config.rng_seed = rng.next_u64();
     config.mode = mode_;
+    if (configure_proxy_) configure_proxy_(config);
     grid->proxies_[site] =
         std::make_unique<proxy::ProxyServer>(std::move(config));
   }
@@ -102,14 +121,24 @@ Result<std::unique_ptr<Grid>> GridBuilder::build() {
       const std::string& a = site_order_[i];
       const std::string& b = site_order_[j];
       net::ChannelPair pair = net::make_memory_channel_pair();
+      net::ChannelPtr end_a = std::move(pair.a);
+      net::ChannelPtr end_b = std::move(pair.b);
+      if (grid->inter_injector_) {
+        end_a = net::make_faulty_channel(std::move(end_a),
+                                         grid->inter_injector_,
+                                         net::FaultDirection::kForward);
+        end_b = net::make_faulty_channel(std::move(end_b),
+                                         grid->inter_injector_,
+                                         net::FaultDirection::kReverse);
+      }
 
       Status accept_status;
       std::thread acceptor([&] {
         accept_status =
-            grid->proxies_[b]->connect_peer(a, std::move(pair.b), false);
+            grid->proxies_[b]->connect_peer(a, std::move(end_b), false);
       });
       const Status initiate_status =
-          grid->proxies_[a]->connect_peer(b, std::move(pair.a), true);
+          grid->proxies_[a]->connect_peer(b, std::move(end_a), true);
       acceptor.join();
       PG_RETURN_IF_ERROR(initiate_status);
       PG_RETURN_IF_ERROR(accept_status);
@@ -145,13 +174,23 @@ Result<std::unique_ptr<Grid>> GridBuilder::build() {
       }
 
       net::ChannelPair pair = net::make_memory_channel_pair();
+      net::ChannelPtr proxy_end = std::move(pair.a);
+      net::ChannelPtr node_end = std::move(pair.b);
+      if (grid->intra_injector_) {
+        proxy_end = net::make_faulty_channel(std::move(proxy_end),
+                                             grid->intra_injector_,
+                                             net::FaultDirection::kForward);
+        node_end = net::make_faulty_channel(std::move(node_end),
+                                            grid->intra_injector_,
+                                            net::FaultDirection::kReverse);
+      }
       Status attach_status;
       std::thread attacher([&] {
         attach_status = proxy_server.attach_node(
-            spec.profile.name, std::move(pair.a), spec.explicit_secure);
+            spec.profile.name, std::move(proxy_end), spec.explicit_secure);
       });
       Result<proxy::NodeAgentPtr> agent =
-          proxy::NodeAgent::create(std::move(agent_config), std::move(pair.b));
+          proxy::NodeAgent::create(std::move(agent_config), std::move(node_end));
       attacher.join();
       PG_RETURN_IF_ERROR(attach_status);
       if (!agent.is_ok()) return agent.status();
@@ -277,12 +316,20 @@ Status Grid::reconnect_link(const std::string& site_a,
     return error(ErrorCode::kNotFound, "unknown site");
 
   net::ChannelPair pair = net::make_memory_channel_pair();
+  net::ChannelPtr end_a = std::move(pair.a);
+  net::ChannelPtr end_b = std::move(pair.b);
+  if (inter_injector_) {
+    end_a = net::make_faulty_channel(std::move(end_a), inter_injector_,
+                                     net::FaultDirection::kForward);
+    end_b = net::make_faulty_channel(std::move(end_b), inter_injector_,
+                                     net::FaultDirection::kReverse);
+  }
   Status accept_status;
   std::thread acceptor([&] {
-    accept_status = b->second->connect_peer(site_a, std::move(pair.b), false);
+    accept_status = b->second->connect_peer(site_a, std::move(end_b), false);
   });
   const Status initiate_status =
-      a->second->connect_peer(site_b, std::move(pair.a), true);
+      a->second->connect_peer(site_b, std::move(end_a), true);
   acceptor.join();
   PG_RETURN_IF_ERROR(initiate_status);
   return accept_status;

@@ -4,6 +4,7 @@
 // injection and the traffic accounting the experiments read.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -13,6 +14,7 @@
 #include "common/rng.hpp"
 #include "crypto/cert.hpp"
 #include "monitor/stats_source.hpp"
+#include "net/faulty_channel.hpp"
 #include "proxy/node_agent.hpp"
 #include "proxy/proxy_server.hpp"
 #include "sched/scheduler.hpp"
@@ -59,6 +61,17 @@ class GridBuilder {
   GridBuilder& add_user(const std::string& user, const std::string& password,
                         const std::vector<std::string>& permissions);
 
+  /// Wraps every link (inter-site and proxy<->node) in a FaultyChannel.
+  /// The injectors start with all faults off; chaos tests fetch them via
+  /// Grid::inter_site_injector()/intra_site_injector() and set policies
+  /// once the grid is up (faults during build would break handshakes).
+  GridBuilder& fault_injection(bool enabled = true);
+
+  /// Called on each site's ProxyConfig after the builder fills in the
+  /// defaults and before the ProxyServer is created — the knob for
+  /// heartbeat intervals, retry policy, and job attempt limits in tests.
+  GridBuilder& configure_proxy(std::function<void(proxy::ProxyConfig&)> hook);
+
   /// Builds and starts the grid: issues certificates, connects the full
   /// proxy mesh, attaches every node.
   Result<std::unique_ptr<Grid>> build();
@@ -77,6 +90,8 @@ class GridBuilder {
   std::uint64_t seed_ = 42;
   std::size_t key_bits_ = 768;
   proxy::SecurityMode mode_ = proxy::SecurityMode::kProxyTunneling;
+  bool fault_injection_ = false;
+  std::function<void(proxy::ProxyConfig&)> configure_proxy_;
   std::vector<std::string> site_order_;
   std::map<std::string, std::vector<NodeSpec>> sites_;
   std::map<std::string, UserSpec> users_;
@@ -119,8 +134,17 @@ class Grid {
   void kill_node(const std::string& site, const std::string& node);
 
   /// Re-establishes the inter-site link after kill_link: fresh channel,
-  /// fresh GSSL handshake (recovery path for E7).
+  /// fresh GSSL handshake (recovery path for E7). Fault injection, when
+  /// enabled, also wraps the fresh link (same shared injector).
   Status reconnect_link(const std::string& site_a, const std::string& site_b);
+
+  // ---- chaos harness (null unless built with fault_injection())
+  /// Shared fault source for every inter-site link. The initiating side of
+  /// each pair (earlier site in add_site order) is the kForward direction.
+  net::FaultInjectorPtr inter_site_injector() const { return inter_injector_; }
+  /// Shared fault source for every proxy<->node link; the proxy side is
+  /// the kForward direction.
+  net::FaultInjectorPtr intra_site_injector() const { return intra_injector_; }
 
   // ---- experiment accounting
   TrafficReport traffic_report() const;
@@ -133,6 +157,8 @@ class Grid {
 
   WallClock clock_;
   std::unique_ptr<crypto::CertificateAuthority> ca_;
+  net::FaultInjectorPtr inter_injector_;
+  net::FaultInjectorPtr intra_injector_;
   std::map<std::string, proxy::ProxyServerPtr> proxies_;
   std::map<std::string, std::map<std::string, proxy::NodeAgentPtr>> agents_;
   bool shut_down_ = false;

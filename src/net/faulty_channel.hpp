@@ -1,0 +1,112 @@
+// FaultyChannel — a deterministic fault-injection decorator over Channel.
+//
+// The chaos harness wraps any channel (in-memory pipe or TCP) so existing
+// tests and examples run under injected network faults: dropped writes,
+// delivery delays, duplicated writes, corrupted bytes, and one-way
+// partitions. All randomness comes from one seeded Rng inside a shared
+// FaultInjector, so a fault schedule is reproducible for a given seed and
+// message order.
+//
+// Faults act on whole write() calls. The link layers above write one frame
+// or one GSSL record per write on the control path, so a dropped write is a
+// dropped message on a plaintext link — and a dead link on a GSSL one (the
+// record sequence numbers no longer match, which is exactly how a real
+// tampered TLS stream dies). Both are fault modes the resilience layer has
+// to survive.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "net/channel.hpp"
+
+namespace pg::net {
+
+/// Probabilistic fault rates, applied independently per write.
+struct FaultPolicy {
+  double drop_rate = 0.0;       // silently discard the write
+  double duplicate_rate = 0.0;  // deliver the write twice
+  double corrupt_rate = 0.0;    // flip one byte before delivery
+  double delay_rate = 0.0;      // stall the writer before delivery
+  TimeMicros max_delay = 0;     // uniform in [0, max_delay) when delayed
+  /// One-way partition: every write on channels tagged kForward is
+  /// silently dropped while writes on kReverse channels still flow.
+  bool partition_forward = false;
+};
+
+/// Shared fault source: policy + seeded Rng + counters. One injector is
+/// typically shared by every channel of a link class (e.g. all inter-site
+/// links of a grid), so the fault schedule is a single deterministic
+/// stream.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  /// Replaces the active policy. A default-constructed FaultPolicy turns
+  /// all faults off (the injector starts in that state).
+  void set_policy(const FaultPolicy& policy) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    policy_ = policy;
+  }
+  FaultPolicy policy() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return policy_;
+  }
+
+  /// Schedules an unconditional drop of the n-th write (1-based, counted
+  /// across every channel sharing this injector) — the deterministic
+  /// "kill exactly that message" knob.
+  void schedule_drop(std::uint64_t nth_write) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    scheduled_drops_.insert(nth_write);
+  }
+
+  // Fault totals, for test assertions and harness logs.
+  std::uint64_t writes_seen() const { return writes_seen_.load(); }
+  std::uint64_t dropped() const { return dropped_.load(); }
+  std::uint64_t duplicated() const { return duplicated_.load(); }
+  std::uint64_t corrupted() const { return corrupted_.load(); }
+  std::uint64_t delayed() const { return delayed_.load(); }
+
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    bool corrupt = false;
+    TimeMicros delay = 0;
+    std::size_t corrupt_salt = 0;  // picks the flipped byte
+  };
+
+  /// One draw from the fault stream for a write on a `forward` channel.
+  /// Also advances the fault counters for whatever the decision applies.
+  Decision decide(bool forward);
+
+ private:
+  mutable std::mutex mutex_;
+  Rng rng_{0};
+  FaultPolicy policy_;
+  std::set<std::uint64_t> scheduled_drops_;
+  std::uint64_t write_index_ = 0;  // guarded by mutex_
+
+  std::atomic<std::uint64_t> writes_seen_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> duplicated_{0};
+  std::atomic<std::uint64_t> corrupted_{0};
+  std::atomic<std::uint64_t> delayed_{0};
+};
+
+using FaultInjectorPtr = std::shared_ptr<FaultInjector>;
+
+/// Which side of a channel pair this decorator wraps; selects the victim
+/// direction of a one-way partition.
+enum class FaultDirection { kForward, kReverse };
+
+/// Wraps `inner` so every write consults the injector. Reads pass through
+/// untouched (faults are injected on the sending side).
+ChannelPtr make_faulty_channel(ChannelPtr inner, FaultInjectorPtr injector,
+                               FaultDirection direction);
+
+}  // namespace pg::net

@@ -10,6 +10,7 @@ const char* opcode_name(OpCode op) {
     case OpCode::kHelloAck: return "hello_ack";
     case OpCode::kPing: return "ping";
     case OpCode::kPong: return "pong";
+    case OpCode::kHeartbeat: return "heartbeat";
     case OpCode::kAuthRequest: return "auth_request";
     case OpCode::kAuthResponse: return "auth_response";
     case OpCode::kStatusQuery: return "status_query";
@@ -24,6 +25,7 @@ const char* opcode_name(OpCode op) {
     case OpCode::kMpiClose: return "mpi_close";
     case OpCode::kMpiStart: return "mpi_start";
     case OpCode::kMpiDone: return "mpi_done";
+    case OpCode::kMpiAbort: return "mpi_abort";
     case OpCode::kTunnelOpen: return "tunnel_open";
     case OpCode::kTunnelData: return "tunnel_data";
     case OpCode::kTunnelClose: return "tunnel_close";

@@ -24,6 +24,10 @@ enum class OpCode : std::uint16_t {
   kHelloAck = 2,
   kPing = 3,
   kPong = 4,
+  /// Unsolicited keepalive on inter-proxy links. No payload, no reply —
+  /// receipt alone refreshes the peer's liveness clock; a configurable run
+  /// of missed intervals marks the site dead (docs/RESILIENCE.md).
+  kHeartbeat = 5,
 
   // Layer 2: security
   kAuthRequest = 10,
@@ -48,6 +52,10 @@ enum class OpCode : std::uint16_t {
   kMpiStart = 44,
   /// Unsolicited completion notice (node -> proxy, remote proxy -> origin).
   kMpiDone = 45,
+  /// Unsolicited failure notice (remote proxy -> origin): a site lost a
+  /// node hosting ranks of the app. The origin fails the run with a
+  /// retryable error so the job layer can re-dispatch it.
+  kMpiAbort = 46,
 
   // Tunneling (explicit secure channels for site nodes)
   kTunnelOpen = 50,

@@ -338,6 +338,22 @@ Result<MpiClose> MpiClose::parse(BytesView data) {
   return m;
 }
 
+Bytes MpiAbort::serialize() const {
+  BufferWriter w;
+  w.put_u64(app_id);
+  w.put_string(reason);
+  return w.take();
+}
+
+Result<MpiAbort> MpiAbort::parse(BytesView data) {
+  BufferReader r(data);
+  MpiAbort m;
+  PG_RETURN_IF_ERROR(r.get_u64(m.app_id));
+  PG_RETURN_IF_ERROR(r.get_string(m.reason));
+  PG_RETURN_IF_ERROR(r.expect_end());
+  return m;
+}
+
 // ------------------------------------------------------------- tunnels
 
 Bytes TunnelOpen::serialize() const {

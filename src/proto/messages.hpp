@@ -192,6 +192,16 @@ struct MpiClose {
   static Result<MpiClose> parse(BytesView data);
 };
 
+/// Sent by a site that can no longer run its share of an app (a hosting
+/// node died). The origin proxy fails the run with a retryable error.
+struct MpiAbort {
+  std::uint64_t app_id = 0;
+  std::string reason;
+
+  Bytes serialize() const;
+  static Result<MpiAbort> parse(BytesView data);
+};
+
 // ------------------------------------------------------------- tunnels
 
 struct TunnelOpen {

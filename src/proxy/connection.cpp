@@ -1,9 +1,22 @@
 #include "proxy/connection.hpp"
 
+#include <chrono>
+
 #include "common/logging.hpp"
 #include "telemetry/trace.hpp"
 
 namespace pg::proxy {
+
+namespace {
+/// Completed-request ids remembered per connection for retransmit replies.
+constexpr std::size_t kDedupWindow = 128;
+}  // namespace
+
+TimeMicros steady_micros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 bool is_response_op(proto::OpCode op) {
   switch (op) {
@@ -30,6 +43,7 @@ Connection::Connection(std::string peer_name, net::ChannelPtr channel,
       channel_(std::move(channel)),
       link_(std::move(link)),
       handler_(std::move(handler)),
+      last_activity_(steady_micros()),
       next_id_(initiator ? 1 : 2) {}
 
 Connection::~Connection() { close(); }
@@ -39,6 +53,21 @@ void Connection::start() {
   if (started_.compare_exchange_strong(expected, true)) {
     reader_ = std::thread([this] { reader_loop(); });
   }
+}
+
+void Connection::set_on_close(std::function<void(const Status&)> on_close) {
+  std::lock_guard<std::mutex> lock(reason_mutex_);
+  on_close_ = std::move(on_close);
+}
+
+Status Connection::close_reason() const {
+  std::lock_guard<std::mutex> lock(reason_mutex_);
+  return close_reason_;
+}
+
+void Connection::record_close_reason(const Status& reason) {
+  std::lock_guard<std::mutex> lock(reason_mutex_);
+  if (close_reason_.is_ok()) close_reason_ = reason;
 }
 
 Status Connection::send_parts(proto::OpCode op, std::uint64_t request_id,
@@ -62,12 +91,23 @@ Status Connection::notify(proto::OpCode op, BytesView payload,
 
 Result<proto::Envelope> Connection::call(proto::OpCode op, BytesView payload,
                                          TimeMicros timeout) {
-  std::uint64_t id = 0;
+  return call_with_id(op, payload, allocate_request_id(), timeout);
+}
+
+std::uint64_t Connection::allocate_request_id() {
+  std::lock_guard<std::mutex> lock(pending_mutex_);
+  const std::uint64_t id = next_id_;
+  next_id_ += 2;
+  return id;
+}
+
+Result<proto::Envelope> Connection::call_with_id(proto::OpCode op,
+                                                 BytesView payload,
+                                                 std::uint64_t id,
+                                                 TimeMicros timeout) {
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
-    id = next_id_;
-    next_id_ += 2;
-    pending_[id];  // create empty slot
+    pending_[id];  // create empty slot (or re-arm it on a retry)
   }
 
   const Status sent = send_parts(op, id, payload);
@@ -102,13 +142,27 @@ Result<proto::Envelope> Connection::call(proto::OpCode op, BytesView payload,
 
 Status Connection::respond(const proto::Envelope& request, proto::OpCode op,
                            BytesView payload) {
+  if (request.request_id != 0) {
+    std::lock_guard<std::mutex> lock(dedup_mutex_);
+    const auto it = dedup_.find(request.request_id);
+    if (it != dedup_.end()) {
+      it->second.responded = true;
+      it->second.op = op;
+      it->second.response_payload.assign(payload.begin(), payload.end());
+    }
+  }
   return notify(op, payload, request.request_id);
 }
 
 void Connection::reader_loop() {
+  Status recv_failure;
   for (;;) {
     Result<Bytes> frame = link_->recv();
-    if (!frame.is_ok()) break;
+    if (!frame.is_ok()) {
+      recv_failure = frame.status();
+      break;
+    }
+    last_activity_.store(steady_micros(), std::memory_order_relaxed);
 
     Result<proto::Envelope> envelope =
         proto::Envelope::deserialize(frame.value());
@@ -132,6 +186,28 @@ void Connection::reader_loop() {
       // as responses, so an unmatched id means this is an incoming request
       // (id parity keeps the two directions' ids disjoint). Fall through.
     }
+    if (env.request_id != 0 && !is_response_op(env.op)) {
+      // Request dedup: a retried request whose original is still being
+      // handled is dropped; one already answered gets the cached response
+      // retransmitted instead of re-running the handler.
+      std::unique_lock<std::mutex> lock(dedup_mutex_);
+      const auto it = dedup_.find(env.request_id);
+      if (it != dedup_.end()) {
+        if (it->second.responded) {
+          const proto::OpCode resp_op = it->second.op;
+          const Bytes resp_payload = it->second.response_payload;
+          lock.unlock();
+          (void)notify(resp_op, resp_payload, env.request_id);
+        }
+        continue;
+      }
+      dedup_.emplace(env.request_id, DedupEntry{});
+      dedup_order_.push_back(env.request_id);
+      while (dedup_order_.size() > kDedupWindow) {
+        dedup_.erase(dedup_order_.front());
+        dedup_order_.pop_front();
+      }
+    }
     // The sender's trace context becomes this thread's current context for
     // the handler, so spans the handler opens parent across the hop.
     telemetry::ScopedTraceContext trace_scope(
@@ -140,15 +216,35 @@ void Connection::reader_loop() {
   }
 
   // Link is gone: fail everything that is still waiting.
+  record_close_reason(recv_failure.is_ok()
+                          ? error(ErrorCode::kUnavailable, "link closed")
+                          : recv_failure);
   alive_.store(false, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
     for (auto& [id, slot] : pending_) slot.failed = true;
   }
   pending_cv_.notify_all();
+
+  // Fire the death notification exactly once, off every lock. The reader
+  // exits exactly once per connection, so this is the single call site.
+  std::function<void(const Status&)> on_close;
+  Status reason;
+  {
+    std::lock_guard<std::mutex> lock(reason_mutex_);
+    on_close = std::move(on_close_);
+    on_close_ = nullptr;
+    reason = close_reason_;
+  }
+  if (on_close) on_close(reason);
 }
 
 void Connection::close() {
+  close(error(ErrorCode::kUnavailable, "closed locally"));
+}
+
+void Connection::close(const Status& reason) {
+  record_close_reason(reason);
   alive_.store(false, std::memory_order_release);
   link_->close();
   if (reader_.joinable()) {

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -47,6 +48,11 @@ class Connection {
   /// Starts the reader thread. Call once, after construction.
   void start();
 
+  /// Registers a callback fired exactly once, on the reader thread, when
+  /// the connection dies (remote failure or local close()), with the close
+  /// reason. Set before start(); must not block.
+  void set_on_close(std::function<void(const Status&)> on_close);
+
   /// Fire-and-forget envelope (request_id = 0 unless specified).
   Status notify(proto::OpCode op, BytesView payload,
                 std::uint64_t request_id = 0);
@@ -56,14 +62,38 @@ class Connection {
   Result<proto::Envelope> call(proto::OpCode op, BytesView payload,
                                TimeMicros timeout = 30 * kMicrosPerSecond);
 
-  /// Sends a response correlated with `request`.
+  /// Reserves a request id for call_with_id(). Retry loops allocate one id
+  /// per logical request and reuse it across attempts so the receiver's
+  /// dedup window recognizes retransmissions.
+  std::uint64_t allocate_request_id();
+
+  /// call() with a caller-provided id (from allocate_request_id). A late
+  /// response to an earlier attempt with the same id satisfies the retry.
+  Result<proto::Envelope> call_with_id(proto::OpCode op, BytesView payload,
+                                       std::uint64_t request_id,
+                                       TimeMicros timeout);
+
+  /// Sends a response correlated with `request`, and caches it in the dedup
+  /// window so a retransmitted request gets the same answer back.
   Status respond(const proto::Envelope& request, proto::OpCode op,
                  BytesView payload);
 
-  /// Closes the link, fails pending calls, joins the reader.
+  /// Closes the link, fails pending calls, joins the reader. `reason` is
+  /// recorded as the close reason (first cause wins) — pass why when the
+  /// caller knows better than "closed locally" (e.g. heartbeat timeout).
   void close();
+  void close(const Status& reason);
 
   bool alive() const { return alive_.load(std::memory_order_acquire); }
+  /// Why the connection died; Ok while it is still alive. The first cause
+  /// wins: the reader's receive error, or "closed locally".
+  Status close_reason() const;
+  /// steady_micros() timestamp of the last envelope received from the peer
+  /// (connection construction time before any traffic). Feeds the
+  /// heartbeat-based liveness check in ProxyServer.
+  TimeMicros last_activity() const {
+    return last_activity_.load(std::memory_order_relaxed);
+  }
   const std::string& peer_name() const { return peer_name_; }
   bool is_encrypted() const { return link_->is_encrypted(); }
   tls::LinkStats link_stats() const { return link_->stats(); }
@@ -75,6 +105,8 @@ class Connection {
   /// calling thread's trace context onto the wire envelope.
   Status send_parts(proto::OpCode op, std::uint64_t request_id,
                     BytesView payload);
+  /// Records `reason` as the close reason if none is set yet.
+  void record_close_reason(const Status& reason);
 
   std::string peer_name_;
   net::ChannelPtr channel_;  // owned; link_ references it
@@ -83,9 +115,14 @@ class Connection {
   std::thread reader_;
   std::atomic<bool> alive_{true};
   std::atomic<bool> started_{false};
+  std::atomic<TimeMicros> last_activity_;
 
   std::mutex send_mutex_;
   Bytes send_buf_;  // guarded by send_mutex_
+
+  mutable std::mutex reason_mutex_;
+  Status close_reason_;  // Ok until the connection dies; guarded by ^
+  std::function<void(const Status&)> on_close_;
 
   // Pending calls: id -> slot the reader fills.
   struct PendingCall {
@@ -96,7 +133,23 @@ class Connection {
   std::condition_variable pending_cv_;
   std::map<std::uint64_t, PendingCall> pending_;
   std::uint64_t next_id_;  // steps by 2; parity from `initiator`
+
+  // Receiver-side dedup window, so retried requests stay idempotent: an
+  // incoming request id that is still being handled is dropped, one whose
+  // response was already sent gets that response retransmitted.
+  struct DedupEntry {
+    bool responded = false;
+    proto::OpCode op = proto::OpCode::kError;
+    Bytes response_payload;
+  };
+  std::mutex dedup_mutex_;
+  std::map<std::uint64_t, DedupEntry> dedup_;
+  std::deque<std::uint64_t> dedup_order_;  // FIFO eviction
 };
+
+/// Monotonic clock in microseconds (std::chrono::steady_clock); the time
+/// base of Connection::last_activity().
+TimeMicros steady_micros();
 
 using ConnectionPtr = std::unique_ptr<Connection>;
 

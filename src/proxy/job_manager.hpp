@@ -22,9 +22,20 @@
 
 namespace pg::proxy {
 
-enum class JobState { kPending, kRunning, kSucceeded, kFailed };
+/// kRetrying: the last attempt failed with a transient error (node died,
+/// site unreachable) and the job is queued for re-dispatch through the
+/// scheduler — surviving nodes get the re-placed ranks.
+enum class JobState { kPending, kRunning, kSucceeded, kFailed, kRetrying };
 
 const char* job_state_name(JobState state);
+
+/// One execution attempt of a job, kept for post-mortems: why did attempt
+/// N fail, and how long did it run?
+struct JobAttempt {
+  TimeMicros started_at = 0;
+  TimeMicros finished_at = 0;
+  Status outcome;
+};
 
 struct JobRecord {
   std::uint64_t job_id = 0;
@@ -36,8 +47,11 @@ struct JobRecord {
   Status outcome;
   std::vector<proto::RankPlacement> placements;
   TimeMicros submitted_at = 0;
-  TimeMicros started_at = 0;
+  TimeMicros started_at = 0;  // first attempt's start
   TimeMicros finished_at = 0;
+  /// Attempt budget; transient failures re-dispatch until it is spent.
+  std::uint32_t max_attempts = 1;
+  std::vector<JobAttempt> attempts;
 };
 
 class JobManager {
@@ -53,15 +67,23 @@ class JobManager {
   JobManager(ThreadPool& pool, const Clock& clock)
       : pool_(pool), clock_(clock) {}
 
-  /// Enqueues a job; returns its id immediately.
+  /// Enqueues a job; returns its id immediately. A job whose attempt fails
+  /// with a transient error (kUnavailable, kDeadlineExceeded) moves to
+  /// kRetrying and is re-dispatched until `max_attempts` is spent; every
+  /// other failure is terminal on the first attempt.
   std::uint64_t submit(const std::string& user, const std::string& executable,
                        std::uint32_t ranks, sched::Policy policy,
-                       Runner runner);
+                       Runner runner, std::uint32_t max_attempts = 1);
 
   Result<JobRecord> info(std::uint64_t job_id) const;
 
   /// Blocks until the job reaches a terminal state or `timeout` passes.
   Result<JobRecord> wait(std::uint64_t job_id, TimeMicros timeout) const;
+
+  /// wait() against an absolute deadline on the manager's clock, so
+  /// callers composing several waits share one budget and can't block
+  /// forever on a job whose site vanished. wait() delegates here.
+  Result<JobRecord> wait_for(std::uint64_t job_id, TimeMicros deadline) const;
 
   /// All jobs, newest first.
   std::vector<JobRecord> list() const;
@@ -69,6 +91,10 @@ class JobManager {
   std::size_t active_count() const;
 
  private:
+  /// Queues one execution attempt on the pool; re-queues itself while the
+  /// job keeps failing transiently with budget left.
+  void dispatch_attempt(std::uint64_t job_id, Runner runner);
+
   ThreadPool& pool_;
   const Clock& clock_;
   mutable std::mutex mutex_;

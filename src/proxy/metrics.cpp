@@ -60,6 +60,19 @@ ProxyInstruments::ProxyInstruments(const std::string& site)
       open_tunnels(telemetry::MetricRegistry::global().gauge(
           "pg_proxy_open_tunnels", "Tunnels with a live routing entry",
           {{"site", site}})),
+      retries(site_counter("pg_retry_total",
+                           "Control-RPC attempts retried after a transient "
+                           "failure",
+                           site)),
+      deadline_exceeded(site_counter("pg_deadline_exceeded_total",
+                                     "Control-RPC deadline budgets exhausted",
+                                     site)),
+      heartbeat_missed(site_counter("pg_heartbeat_missed_total",
+                                    "Heartbeat intervals with a silent peer",
+                                    site)),
+      disconnects(site_counter("pg_proxy_disconnects_sum",
+                               "Peer/node connections lost (all reasons)",
+                               site)),
       dispatch_micros(telemetry::MetricRegistry::global().histogram(
           "pg_proxy_dispatch_micros",
           "Control-envelope handler latency (microseconds)",
@@ -86,6 +99,21 @@ ProxyInstruments::ProxyInstruments(const std::string& site)
             {{"site", site}, {"op", proto::opcode_name(op)}}));
   }
   baseline_ = snapshot();  // zero the view for this proxy instance
+}
+
+void ProxyInstruments::disconnect(const std::string& site,
+                                  const std::string& peer,
+                                  const Status& reason) {
+  disconnects.increment();
+  // Reason label uses the error-code name, not the message, to keep the
+  // series cardinality bounded.
+  telemetry::MetricRegistry::global()
+      .counter("pg_proxy_disconnects_total",
+               "Peer/node connections lost, by reason",
+               {{"site", site},
+                {"peer", peer},
+                {"reason", error_code_name(reason.code())}})
+      .increment();
 }
 
 telemetry::Counter& ProxyInstruments::op_received(proto::OpCode op) {
@@ -115,6 +143,11 @@ ProxyMetrics ProxyInstruments::snapshot() const {
   m.tunnel_bytes_relayed =
       tunnel_bytes_relayed.value() - baseline_.tunnel_bytes_relayed;
   m.open_tunnels = open_tunnels.value();  // gauge: current state, no baseline
+  m.retries = retries.value() - baseline_.retries;
+  m.deadline_exceeded =
+      deadline_exceeded.value() - baseline_.deadline_exceeded;
+  m.heartbeat_missed = heartbeat_missed.value() - baseline_.heartbeat_missed;
+  m.disconnects = disconnects.value() - baseline_.disconnects;
   return m;
 }
 

@@ -31,6 +31,10 @@ struct ProxyMetrics {
   std::uint64_t tunnels_relayed = 0;
   std::uint64_t tunnel_bytes_relayed = 0;    // TunnelData payload bytes
   std::int64_t open_tunnels = 0;             // currently routed tunnels
+  std::uint64_t retries = 0;                 // control-RPC attempts retried
+  std::uint64_t deadline_exceeded = 0;       // control-RPC budgets exhausted
+  std::uint64_t heartbeat_missed = 0;        // intervals with a silent peer
+  std::uint64_t disconnects = 0;             // peer/node connections lost
 };
 
 /// One proxy's registry-backed instruments, labelled {site=<name>}.
@@ -56,6 +60,17 @@ class ProxyInstruments {
   telemetry::Counter& tunnel_bytes_relayed;
   /// Tunnels with a live routing entry; +1 on open, -1 on close.
   telemetry::Gauge& open_tunnels;
+  telemetry::Counter& retries;
+  telemetry::Counter& deadline_exceeded;
+  telemetry::Counter& heartbeat_missed;
+  /// Sum over reasons; the per-reason breakdown lives in the registry as
+  /// pg_proxy_disconnects_total{site,peer,reason} (see disconnect()).
+  telemetry::Counter& disconnects;
+
+  /// Records a lost connection: bumps `disconnects` and the reason-labelled
+  /// registry counter. Cold path, so the labelled lookup happens here.
+  void disconnect(const std::string& site, const std::string& peer,
+                  const Status& reason);
 
   /// Inter-proxy envelope dispatch latency (handler run time, micros).
   telemetry::Histogram& dispatch_micros;

@@ -3,6 +3,7 @@
 #include "common/logging.hpp"
 #include "common/serde.hpp"
 #include "mpi/mailbox.hpp"
+#include "proxy/resilience.hpp"
 
 namespace pg::proxy {
 
@@ -33,7 +34,7 @@ class NodeAgent::AppFabric final : public mpi::Fabric {
       std::lock_guard<std::mutex> lock(agent_.apps_mutex_);
       const auto it = agent_.apps_.find(app_id_);
       if (it == agent_.apps_.end())
-        return error(ErrorCode::kNotFound, "application torn down");
+        return error(ErrorCode::kUnavailable, "application torn down");
       const auto mb = it->second->mailboxes.find(rank);
       if (mb == it->second->mailboxes.end())
         return error(ErrorCode::kInvalidArgument,
@@ -197,7 +198,13 @@ void NodeAgent::handle_mpi_start(const proto::Envelope& envelope) {
       const mpi::RunReport report =
           mpi::run_ranks(*app->fabric, fn.value(), app->local_ranks,
                          app->routing.world_size);
-      exit_code = report.status.is_ok() ? 0 : 1;
+      // kUnavailable means the fabric/mailboxes were torn down under the
+      // app (node or link failure), not that the app itself failed —
+      // report kNodeLostExit so the origin proxy treats it as retryable.
+      exit_code = report.status.is_ok() ? 0
+                  : report.status.code() == ErrorCode::kUnavailable
+                      ? kNodeLostExit
+                      : 1;
     }
     proto::JobComplete done;
     done.job_id = app_id;
@@ -318,7 +325,7 @@ Status NodeAgent::fabric_send(std::uint64_t app_id,
     std::lock_guard<std::mutex> lock(apps_mutex_);
     const auto it = apps_.find(app_id);
     if (it == apps_.end())
-      return error(ErrorCode::kNotFound, "application torn down");
+      return error(ErrorCode::kUnavailable, "application torn down");
     const auto mb = it->second->mailboxes.find(message.dst);
     if (mb != it->second->mailboxes.end()) {
       return mb->second->deliver(message);

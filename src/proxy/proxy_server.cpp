@@ -1,6 +1,9 @@
 #include "proxy/proxy_server.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <functional>
+#include <thread>
 
 #include "common/logging.hpp"
 #include "common/serde.hpp"
@@ -27,7 +30,11 @@ ProxyServer::ProxyServer(ProxyConfig config)
       rng_(config_.rng_seed),
       next_app_id_(site_salt(config_.site) + 1),
       job_manager_(workers_, *config_.clock),
-      instruments_(config_.site) {}
+      instruments_(config_.site) {
+  if (config_.heartbeat_interval > 0) {
+    heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
+  }
+}
 
 ProxyServer::~ProxyServer() { shutdown(); }
 
@@ -69,6 +76,9 @@ Status ProxyServer::attach_node(const std::string& node_name,
       [this, node_name](const proto::Envelope& env, Connection& c) {
         handle_node(node_name, env, c);
       });
+  conn->set_on_close([this, node_name](const Status& reason) {
+    on_node_down(node_name, reason);
+  });
   Connection* raw = conn.get();
   {
     std::lock_guard<std::mutex> lock(conns_mutex_);
@@ -105,6 +115,9 @@ Status ProxyServer::connect_peer(const std::string& peer_site,
       [this](const proto::Envelope& env, Connection& c) {
         handle_peer(env, c);
       });
+  conn->set_on_close([this, peer_site](const Status& reason) {
+    on_peer_down(peer_site, reason);
+  });
   Connection* raw = conn.get();
   std::unique_ptr<Connection> retired;
   {
@@ -252,9 +265,8 @@ Result<std::vector<proto::StatusReport>> ProxyServer::query_status(
               << " unreachable for status query";
       continue;  // distributed control: one dead site costs only itself
     }
-    instruments_.control_calls_sent.increment();
-    Result<proto::Envelope> response = conn->call(
-        proto::OpCode::kStatusQuery, proto::StatusQuery{}.serialize());
+    Result<proto::Envelope> response = call_peer(
+        target, proto::OpCode::kStatusQuery, proto::StatusQuery{}.serialize());
     if (!response.is_ok()) {
       PG_WARN << config_.site << ": status query to " << target
               << " failed: " << response.status().to_string();
@@ -363,34 +375,27 @@ AppRunResult ProxyServer::run_app(const std::string& user, BytesView token,
     if (site_name == config_.site) {
       open_status = open_app_locally(routing, "");
     } else {
-      Connection* conn = peer_connection(site_name);
-      if (conn == nullptr) {
-        open_status = error(ErrorCode::kUnavailable,
-                            "no connection to site " + site_name);
+      proto::MpiOpen open;
+      open.app_id = routing.app_id;
+      open.executable = routing.executable;
+      open.world_size = routing.world_size;
+      open.placements = routing.placements;
+      open.user = user;
+      open.token.assign(token.begin(), token.end());
+      Result<proto::Envelope> ack =
+          call_peer(site_name, proto::OpCode::kMpiOpen, open.serialize());
+      if (!ack.is_ok()) {
+        open_status = ack.status();
       } else {
-        proto::MpiOpen open;
-        open.app_id = routing.app_id;
-        open.executable = routing.executable;
-        open.world_size = routing.world_size;
-        open.placements = routing.placements;
-        open.user = user;
-        open.token.assign(token.begin(), token.end());
-        instruments_.control_calls_sent.increment();
-        Result<proto::Envelope> ack =
-            conn->call(proto::OpCode::kMpiOpen, open.serialize());
-        if (!ack.is_ok()) {
-          open_status = ack.status();
+        Result<proto::MpiOpenAck> parsed =
+            proto::MpiOpenAck::parse(ack.value().payload);
+        if (!parsed.is_ok()) {
+          open_status = parsed.status();
+        } else if (!parsed.value().ok) {
+          open_status = error(ErrorCode::kFailedPrecondition,
+                              site_name + ": " + parsed.value().reason);
         } else {
-          Result<proto::MpiOpenAck> parsed =
-              proto::MpiOpenAck::parse(ack.value().payload);
-          if (!parsed.is_ok()) {
-            open_status = parsed.status();
-          } else if (!parsed.value().ok) {
-            open_status = error(ErrorCode::kFailedPrecondition,
-                                site_name + ": " + parsed.value().reason);
-          } else {
-            opened_remote.push_back(site_name);
-          }
+          opened_remote.push_back(site_name);
         }
       }
     }
@@ -424,9 +429,11 @@ AppRunResult ProxyServer::run_app(const std::string& user, BytesView token,
     }
   }
 
-  // Wait for every involved site to report completion.
+  // Wait for every involved site to report completion (or a failure
+  // verdict from the death-detection paths).
   std::uint32_t exit_code = 0;
   bool completed = false;
+  Status run_failure;
   {
     std::unique_lock<std::mutex> lock(apps_mutex_);
     completed = runs_cv_.wait_for(
@@ -437,6 +444,7 @@ AppRunResult ProxyServer::run_app(const std::string& user, BytesView token,
     const auto it = runs_.find(routing.app_id);
     if (it != runs_.end()) {
       exit_code = it->second.exit_code;
+      run_failure = it->second.failure;
       completed = completed && it->second.done();
       runs_.erase(it);
     }
@@ -457,6 +465,13 @@ AppRunResult ProxyServer::run_app(const std::string& user, BytesView token,
   if (!completed) {
     result.status =
         error(ErrorCode::kDeadlineExceeded, "application did not complete");
+  } else if (!run_failure.is_ok()) {
+    result.status = run_failure;  // retryable: a node or site died mid-run
+  } else if (exit_code == kNodeLostExit) {
+    // A node's ranks were torn down by infrastructure failure, not by the
+    // application; surface it as transient so the job layer re-dispatches.
+    result.status =
+        error(ErrorCode::kUnavailable, "node lost mid-run (exit 143)");
   } else if (exit_code != 0) {
     result.status = error(ErrorCode::kInternal,
                           "application exited with code " +
@@ -486,12 +501,16 @@ Status ProxyServer::open_app_locally(const AppRouting& routing,
     app.pending_nodes.insert(my_nodes.begin(), my_nodes.end());
   }
 
+  // Bound the node round trips: a node link swallowing the open must not
+  // stall the launch past the retry budget.
+  const TimeMicros node_budget =
+      config_.retry.per_try_timeout * (config_.retry.max_attempts + 1);
   for (const auto& node : my_nodes) {
     Connection* conn = node_connection(node);
     if (conn == nullptr)
       return error(ErrorCode::kNotFound, "no such node: " + node);
     Result<proto::Envelope> ack =
-        conn->call(proto::OpCode::kMpiOpen, open.serialize());
+        call_node(node, proto::OpCode::kMpiOpen, open.serialize(), node_budget);
     if (!ack.is_ok()) return ack.status();
     Result<proto::MpiOpenAck> parsed =
         proto::MpiOpenAck::parse(ack.value().payload);
@@ -554,6 +573,16 @@ void ProxyServer::site_finished(std::uint64_t app_id, const std::string& site,
   runs_cv_.notify_all();
 }
 
+void ProxyServer::fail_run(std::uint64_t app_id, const Status& reason) {
+  {
+    std::lock_guard<std::mutex> lock(apps_mutex_);
+    const auto it = runs_.find(app_id);
+    if (it == runs_.end()) return;
+    if (it->second.failure.is_ok()) it->second.failure = reason;
+  }
+  runs_cv_.notify_all();
+}
+
 // ------------------------------------------------------------- handlers
 
 void ProxyServer::handle_peer(const proto::Envelope& envelope,
@@ -562,6 +591,11 @@ void ProxyServer::handle_peer(const proto::Envelope& envelope,
   if (envelope.op == proto::OpCode::kMpiData) {
     // Hot path: counters only — no span, no dispatch timer.
     route_mpi_data(envelope);
+    return;
+  }
+  if (envelope.op == proto::OpCode::kHeartbeat) {
+    // Receipt already refreshed last_activity(); nothing else to do, and
+    // no span — heartbeats would drown real traces.
     return;
   }
   telemetry::ScopedTimer dispatch_timer(instruments_.dispatch_micros);
@@ -602,6 +636,9 @@ void ProxyServer::handle_peer(const proto::Envelope& envelope,
       return;
     case proto::OpCode::kMpiDone:
       handle_mpi_done_from_peer(envelope);
+      return;
+    case proto::OpCode::kMpiAbort:
+      handle_mpi_abort_from_peer(envelope);
       return;
     case proto::OpCode::kMpiClose:
       handle_mpi_close(envelope);
@@ -794,6 +831,29 @@ void ProxyServer::handle_mpi_done_from_node(const proto::Envelope& envelope) {
   const std::string node = to_string(done.value().output);
   const std::uint64_t app_id = done.value().job_id;
 
+  // kNodeLostExit is not a result, it is a death notice: the node's ranks
+  // were torn down under the app, so ranks elsewhere will never hear from
+  // them again. Abort the whole run now instead of letting the survivors
+  // block until the run deadline.
+  if (done.value().exit_code == kNodeLostExit) {
+    std::string origin_site;
+    {
+      std::lock_guard<std::mutex> lock(apps_mutex_);
+      const auto it = apps_.find(app_id);
+      if (it == apps_.end()) return;
+      origin_site = it->second.origin_site;
+    }
+    const std::string why = "node " + node + " lost mid-run (exit 143)";
+    if (origin_site.empty()) {
+      fail_run(app_id, error(ErrorCode::kUnavailable, why));
+    } else if (Connection* conn = peer_connection(origin_site)) {
+      instruments_.control_notifies_sent.increment();
+      (void)conn->notify(proto::OpCode::kMpiAbort,
+                         proto::MpiAbort{app_id, why}.serialize());
+    }
+    return;
+  }
+
   bool site_done = false;
   std::string origin_site;
   std::uint32_t exit_code = 0;
@@ -837,6 +897,13 @@ void ProxyServer::handle_mpi_done_from_peer(const proto::Envelope& envelope) {
   if (!done.is_ok()) return;
   site_finished(done.value().job_id, to_string(done.value().output),
                 done.value().exit_code);
+}
+
+void ProxyServer::handle_mpi_abort_from_peer(const proto::Envelope& envelope) {
+  Result<proto::MpiAbort> abort_msg = proto::MpiAbort::parse(envelope.payload);
+  if (!abort_msg.is_ok()) return;
+  fail_run(abort_msg.value().app_id,
+           error(ErrorCode::kUnavailable, abort_msg.value().reason));
 }
 
 void ProxyServer::handle_job_submit(const proto::Envelope& envelope,
@@ -918,9 +985,10 @@ Result<std::uint64_t> ProxyServer::submit_job(
         sched::SchedulerPtr scheduler = sched::make_scheduler(job.policy);
         const AppRunResult result =
             run_app(user, token_copy, job.executable, job.ranks, *scheduler,
-                    constraints);
+                    constraints, config_.job_run_timeout);
         return JobManager::RunOutcome{result.status, result.placements};
-      });
+      },
+      config_.job_max_attempts);
 }
 
 Result<JobRecord> ProxyServer::job_info(std::uint64_t job_id) const {
@@ -1137,15 +1205,76 @@ Status ProxyServer::dispatch_extension(const proto::Envelope& envelope,
   return handler(envelope, conn);
 }
 
+Result<proto::Envelope> ProxyServer::call_with_retry(
+    const std::function<Connection*()>& resolve, const std::string& target,
+    proto::OpCode op, BytesView payload, TimeMicros timeout) {
+  const RetryPolicy& policy = config_.retry;
+  const TimeMicros deadline = steady_micros() + timeout;
+  // Jitter salt: deterministic per (target, op) stream, no RNG plumbing.
+  const std::uint64_t salt = std::hash<std::string>{}(target) ^
+                             static_cast<std::uint64_t>(op);
+  Status last;
+  Connection* id_conn = nullptr;
+  std::uint64_t request_id = 0;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    Connection* conn = resolve();
+    if (conn == nullptr || !conn->alive()) {
+      last = error(ErrorCode::kUnavailable, "no connection to " + target);
+    } else {
+      const TimeMicros remaining = deadline - steady_micros();
+      if (remaining <= 0) break;
+      if (conn != id_conn) {
+        // First attempt, or a reconnect replaced the connection: ids are
+        // per-connection, so retries on the SAME connection reuse the id
+        // (receiver dedups) while a fresh connection gets a fresh one.
+        id_conn = conn;
+        request_id = conn->allocate_request_id();
+      }
+      Result<proto::Envelope> response = conn->call_with_id(
+          op, payload, request_id, std::min(policy.per_try_timeout, remaining));
+      if (response.is_ok()) return response;
+      last = response.status();
+      if (last.code() == ErrorCode::kDeadlineExceeded)
+        instruments_.deadline_exceeded.increment();
+      if (!is_transient(last)) return response;
+    }
+    if (attempt >= policy.max_attempts) break;
+    const TimeMicros remaining = deadline - steady_micros();
+    if (remaining <= 0) break;
+    instruments_.retries.increment();
+    const TimeMicros backoff = std::min(
+        retry_backoff(policy, attempt, salt + request_id), remaining);
+    if (backoff > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+  }
+  if (steady_micros() >= deadline) {
+    instruments_.deadline_exceeded.increment();
+    return error(ErrorCode::kDeadlineExceeded,
+                 "retry budget for " + target + " exhausted: " +
+                     last.to_string());
+  }
+  return last.is_ok()
+             ? error(ErrorCode::kUnavailable, "no connection to " + target)
+             : last;
+}
+
 Result<proto::Envelope> ProxyServer::call_peer(const std::string& site,
                                                proto::OpCode op,
                                                BytesView payload,
                                                TimeMicros timeout) {
-  Connection* conn = peer_connection(site);
-  if (conn == nullptr || !conn->alive())
-    return error(ErrorCode::kUnavailable, "no connection to site " + site);
   instruments_.control_calls_sent.increment();
-  return conn->call(op, payload, timeout);
+  return call_with_retry([this, &site] { return peer_connection(site); },
+                         site, op, payload, timeout);
+}
+
+Result<proto::Envelope> ProxyServer::call_node(const std::string& node,
+                                               proto::OpCode op,
+                                               BytesView payload,
+                                               TimeMicros timeout) {
+  // Node round trips are intra-site: retried like peer calls but not
+  // counted as inter-proxy control traffic.
+  return call_with_retry([this, &node] { return node_connection(node); },
+                         node, op, payload, timeout);
 }
 
 Status ProxyServer::notify_peer(const std::string& site, proto::OpCode op,
@@ -1173,8 +1302,145 @@ std::vector<LinkReport> ProxyServer::link_report() const {
   return out;
 }
 
+// ------------------------------------------------------------ resilience
+
+void ProxyServer::on_peer_down(const std::string& site, const Status& reason) {
+  instruments_.disconnect(config_.site, site, reason);
+  if (shut_down_.load(std::memory_order_acquire)) return;
+
+  // A reconnect may already have replaced the dead connection (this fires
+  // from the OLD connection's reader); if a live link exists, there is
+  // nothing to purge.
+  if (peer_alive(site)) return;
+
+  PG_WARN << config_.site << ": peer " << site
+          << " down: " << reason.to_string();
+
+  // Scheduling/status: stop advertising the dead site's nodes.
+  status_cache_.forget(site);
+
+  // Tunnels: drop every route through the dead site.
+  {
+    std::lock_guard<std::mutex> lock(tunnels_mutex_);
+    for (auto it = tunnels_.begin(); it != tunnels_.end();) {
+      if (it->second.target_site == site) {
+        it = tunnels_.erase(it);
+        instruments_.open_tunnels.add(-1);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Runs waiting on the dead site fail fast (retryable) instead of timing
+  // out; apps the dead site originated will never be started or closed by
+  // it, so close them here.
+  std::vector<std::uint64_t> waiting_runs;
+  std::vector<std::uint64_t> orphaned_apps;
+  {
+    std::lock_guard<std::mutex> lock(apps_mutex_);
+    for (const auto& [app_id, run] : runs_) {
+      if (run.pending_sites.count(site) > 0) waiting_runs.push_back(app_id);
+    }
+    for (const auto& [app_id, app] : apps_) {
+      if (app.origin_site == site) orphaned_apps.push_back(app_id);
+    }
+  }
+  for (const std::uint64_t app_id : waiting_runs) {
+    fail_run(app_id,
+             error(ErrorCode::kUnavailable, "site " + site + " died mid-run"));
+  }
+  for (const std::uint64_t app_id : orphaned_apps) {
+    close_app_locally(app_id);
+  }
+}
+
+void ProxyServer::on_node_down(const std::string& node, const Status& reason) {
+  instruments_.disconnect(config_.site, node, reason);
+  if (shut_down_.load(std::memory_order_acquire)) return;
+
+  PG_WARN << config_.site << ": node " << node
+          << " down: " << reason.to_string();
+
+  // Any app with ranks placed on the node cannot complete. Fail local
+  // runs; for apps another site launched here, notify the origin so ITS
+  // run fails (and its job layer re-dispatches).
+  struct Affected {
+    std::uint64_t app_id = 0;
+    std::string origin_site;
+  };
+  std::vector<Affected> affected;
+  {
+    std::lock_guard<std::mutex> lock(apps_mutex_);
+    for (const auto& [app_id, app] : apps_) {
+      if (app.pending_nodes.count(node) > 0)
+        affected.push_back({app_id, app.origin_site});
+    }
+  }
+  for (const auto& app : affected) {
+    const std::string why = "node " + node + " died mid-run";
+    if (app.origin_site.empty()) {
+      fail_run(app.app_id, error(ErrorCode::kUnavailable, why));
+    } else if (Connection* conn = peer_connection(app.origin_site)) {
+      instruments_.control_notifies_sent.increment();
+      (void)conn->notify(proto::OpCode::kMpiAbort,
+                         proto::MpiAbort{app.app_id, why}.serialize());
+    }
+  }
+}
+
+void ProxyServer::heartbeat_loop() {
+  const TimeMicros interval = config_.heartbeat_interval;
+  const std::uint32_t threshold =
+      std::max<std::uint32_t>(1, config_.heartbeat_miss_threshold);
+  std::unique_lock<std::mutex> lock(hb_mutex_);
+  while (!shut_down_.load(std::memory_order_acquire)) {
+    hb_cv_.wait_for(lock, std::chrono::microseconds(interval), [this] {
+      return shut_down_.load(std::memory_order_acquire);
+    });
+    if (shut_down_.load(std::memory_order_acquire)) break;
+    lock.unlock();
+
+    struct Probe {
+      std::string site;
+      TimeMicros idle = 0;
+    };
+    const TimeMicros now = steady_micros();
+    std::vector<Probe> probes;
+    {
+      std::lock_guard<std::mutex> g(conns_mutex_);
+      for (const auto& [site, conn] : peers_) {
+        if (conn->alive())
+          probes.push_back({site, now - conn->last_activity()});
+      }
+    }
+    for (const auto& probe : probes) {
+      if (probe.idle > interval) instruments_.heartbeat_missed.increment();
+      if (probe.idle > interval * threshold) {
+        // Declare the peer dead. close() triggers on_peer_down (via the
+        // reader's exit) with this reason, which purges its state.
+        if (Connection* conn = peer_connection(probe.site)) {
+          conn->close(error(ErrorCode::kUnavailable,
+                            "heartbeat timeout: peer silent for " +
+                                std::to_string(probe.idle) + "us"));
+        }
+      } else if (Connection* conn = peer_connection(probe.site)) {
+        (void)conn->notify(proto::OpCode::kHeartbeat, {});
+      }
+    }
+    lock.lock();
+  }
+}
+
 void ProxyServer::shutdown() {
   if (shut_down_.exchange(true)) return;
+  // Stop the heartbeat monitor before touching connections so it cannot
+  // race the close sweep below.
+  {
+    std::lock_guard<std::mutex> lock(hb_mutex_);
+  }
+  hb_cv_.notify_all();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
 
   // Snapshot under the lock but close outside it: close() joins the
   // connection's reader thread, and a reader mid-handler may itself need

@@ -34,6 +34,7 @@
 #include "proxy/connection.hpp"
 #include "proxy/job_manager.hpp"
 #include "proxy/metrics.hpp"
+#include "proxy/resilience.hpp"
 #include "sched/scheduler.hpp"
 #include "tls/gssl.hpp"
 
@@ -59,6 +60,20 @@ struct ProxyConfig {
   const Clock* clock = nullptr;
   std::uint64_t rng_seed = 1;
   SecurityMode mode = SecurityMode::kProxyTunneling;
+
+  // ---- resilience knobs (docs/RESILIENCE.md) ----
+  /// Retry/deadline policy for control RPCs to peers and nodes.
+  RetryPolicy retry;
+  /// Keepalive period on inter-proxy links; 0 disables heartbeating (the
+  /// default, so deployments that never lose links pay nothing).
+  TimeMicros heartbeat_interval = 0;
+  /// Consecutive silent intervals before a peer is declared dead and its
+  /// tunnels/status/runs are purged.
+  std::uint32_t heartbeat_miss_threshold = 3;
+  /// Attempt budget for batch jobs whose run fails transiently.
+  std::uint32_t job_max_attempts = 3;
+  /// run_app deadline used for batch-job attempts.
+  TimeMicros job_run_timeout = 120 * kMicrosPerSecond;
 };
 
 /// Outcome of a grid application run.
@@ -213,7 +228,10 @@ class ProxyServer {
   struct RunState {
     std::set<std::string> pending_sites;
     std::uint32_t exit_code = 0;
-    bool done() const { return pending_sites.empty(); }
+    /// Set when a site or node involved in the run died; run_app returns
+    /// it (retryable) instead of waiting out the remaining sites.
+    Status failure;
+    bool done() const { return pending_sites.empty() || !failure.is_ok(); }
   };
 
   struct AppState {
@@ -236,6 +254,7 @@ class ProxyServer {
                                  Connection& conn);
   void handle_mpi_start(const proto::Envelope& envelope);
   void handle_mpi_close(const proto::Envelope& envelope);
+  void handle_mpi_abort_from_peer(const proto::Envelope& envelope);
   void route_mpi_data(const proto::Envelope& envelope);
   void handle_mpi_done_from_node(const proto::Envelope& envelope);
   void handle_mpi_done_from_peer(const proto::Envelope& envelope);
@@ -252,10 +271,30 @@ class ProxyServer {
   void close_app_locally(std::uint64_t app_id);
   void site_finished(std::uint64_t app_id, const std::string& site,
                      std::uint32_t exit_code);
+  /// Fails the run latch with a retryable error; run_app returns it.
+  void fail_run(std::uint64_t app_id, const Status& reason);
   Connection* peer_connection(const std::string& site) const;
   Connection* node_connection(const std::string& node) const;
   tls::GsslConfig gssl_config(const std::string& expected_peer) const;
   void relay_async(std::function<void()> work);
+
+  // -- resilience
+  /// Retrying request/response against whatever connection `resolve`
+  /// currently returns (re-resolved each attempt so a reconnect is picked
+  /// up). Per-attempt deadline from config_.retry, total budget `timeout`;
+  /// the request id is reused per connection so retries dedup at the
+  /// receiver.
+  Result<proto::Envelope> call_with_retry(
+      const std::function<Connection*()>& resolve, const std::string& target,
+      proto::OpCode op, BytesView payload, TimeMicros timeout);
+  Result<proto::Envelope> call_node(const std::string& node, proto::OpCode op,
+                                    BytesView payload, TimeMicros timeout);
+  /// Reader-thread callback when a peer/node connection dies; also the
+  /// heartbeat monitor's verdict path (which close()s first). Purges all
+  /// state that referenced the peer so nothing waits on a corpse.
+  void on_peer_down(const std::string& site, const Status& reason);
+  void on_node_down(const std::string& node, const Status& reason);
+  void heartbeat_loop();
 
   Status dispatch_extension(const proto::Envelope& envelope, Connection& conn);
 
@@ -289,6 +328,11 @@ class ProxyServer {
 
   // Registry-backed counters/histograms, labelled with this proxy's site.
   ProxyInstruments instruments_;
+
+  // Heartbeat monitor (runs only when config_.heartbeat_interval > 0).
+  std::mutex hb_mutex_;
+  std::condition_variable hb_cv_;
+  std::thread heartbeat_thread_;
 
   std::atomic<bool> shut_down_{false};
 };

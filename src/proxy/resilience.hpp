@@ -1,0 +1,61 @@
+// Retry/deadline policy for inter-proxy and proxy->node control RPCs.
+//
+// The paper's proxies assume the links between sites just work; this layer
+// is what makes the reproduction survive the links NOT working (see
+// docs/RESILIENCE.md). Retries are only issued for transient failures and
+// reuse the original request id, so the receiver's dedup window keeps a
+// retried op idempotent.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+
+namespace pg::proxy {
+
+struct RetryPolicy {
+  /// Total tries per logical request, first attempt included.
+  std::uint32_t max_attempts = 3;
+  /// Deadline for each individual attempt (clipped to the caller's budget).
+  TimeMicros per_try_timeout = 5 * kMicrosPerSecond;
+  /// Backoff before attempt N+1 doubles from here, capped at max_backoff,
+  /// then jittered to +/-50% so synchronized retry storms decorrelate.
+  TimeMicros initial_backoff = 50'000;
+  TimeMicros max_backoff = 2'000'000;
+};
+
+/// Failures worth retrying: the peer or link may come back (or a reconnect
+/// may already have replaced it). Everything else would fail identically.
+inline bool is_transient(const Status& status) {
+  return status.code() == ErrorCode::kUnavailable ||
+         status.code() == ErrorCode::kDeadlineExceeded;
+}
+
+/// Backoff before attempt `attempt` + 1, with deterministic jitter derived
+/// from `salt` (no RNG plumbing: the same call sequence always backs off
+/// identically, which keeps chaos runs reproducible).
+inline TimeMicros retry_backoff(const RetryPolicy& policy,
+                                std::uint32_t attempt, std::uint64_t salt) {
+  TimeMicros base = policy.initial_backoff;
+  for (std::uint32_t i = 1; i < attempt && base < policy.max_backoff; ++i) {
+    base *= 2;
+  }
+  if (base > policy.max_backoff) base = policy.max_backoff;
+  if (base <= 0) return 0;
+  // splitmix64 finalizer over (salt, attempt): cheap, well-mixed.
+  std::uint64_t z = salt + attempt * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const std::uint64_t span = static_cast<std::uint64_t>(base);
+  return static_cast<TimeMicros>(span / 2 + z % span);  // [b/2, 3b/2)
+}
+
+/// Exit code a NodeAgent reports when ranks were torn down by node-side
+/// infrastructure failure (mailboxes closed, fabric gone) rather than by
+/// the application itself. The origin proxy maps it to a retryable
+/// kUnavailable so the job layer can re-dispatch on surviving nodes.
+constexpr std::uint32_t kNodeLostExit = 143;
+
+}  // namespace pg::proxy

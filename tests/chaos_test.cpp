@@ -1,0 +1,248 @@
+// Chaos suite: the whole grid under seeded network faults plus a node
+// kill. The assertion is convergence, not any particular schedule: every
+// submitted job must reach a terminal state (kSucceeded, or kFailed with
+// its retry budget spent / a non-transient cause), no wait may hang, and
+// the grid must shut down cleanly afterwards.
+//
+// The fault schedule is deterministic per seed; CI sweeps PG_CHAOS_SEED
+// across ~20 values so flakes show up as a reproducible seed, not a
+// shrug.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+
+#include "grid/grid.hpp"
+#include "mpi/runtime.hpp"
+#include "net/memory_channel.hpp"
+#include "proxy/resilience.hpp"
+
+namespace pg::grid {
+namespace {
+
+std::uint64_t chaos_seed() {
+  if (const char* env = std::getenv("PG_CHAOS_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 8051;  // fixed default; CI varies it
+}
+
+void register_chaos_apps() {
+  static const bool registered = [] {
+    mpi::AppRegistry::instance().register_app(
+        "chaos-barrier", [](mpi::Comm& comm) { return comm.barrier(); });
+    mpi::AppRegistry::instance().register_app(
+        "chaos-slow", [](mpi::Comm& comm) {
+          Status s = comm.barrier();
+          if (!s.is_ok()) return s;
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+          return comm.barrier();
+        });
+    return true;
+  }();
+  (void)registered;
+}
+
+// ------------------------------------------------- FaultyChannel basics
+
+TEST(FaultyChannel, SameSeedSameSchedule) {
+  // Two injectors with one seed make identical decisions for the same
+  // write sequence — the property the seed sweep relies on.
+  net::FaultPolicy policy;
+  policy.drop_rate = 0.3;
+  policy.duplicate_rate = 0.2;
+  policy.corrupt_rate = 0.1;
+
+  auto run = [&policy](std::uint64_t seed) {
+    net::FaultInjector injector(seed);
+    injector.set_policy(policy);
+    std::string trace;
+    for (int i = 0; i < 64; ++i) {
+      const auto d = injector.decide(/*forward=*/true);
+      trace += d.drop ? 'D' : d.duplicate ? '2' : d.corrupt ? 'C' : '.';
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(FaultyChannel, ScheduledDropKillsExactlyThatWrite) {
+  net::ChannelPair pair = net::make_memory_channel_pair();
+  auto injector = std::make_shared<net::FaultInjector>(1);
+  injector->schedule_drop(2);
+  net::ChannelPtr faulty = net::make_faulty_channel(
+      std::move(pair.a), injector, net::FaultDirection::kForward);
+
+  const Bytes one = to_bytes("one"), two = to_bytes("two"),
+              three = to_bytes("three");
+  ASSERT_TRUE(faulty->write(one).is_ok());
+  ASSERT_TRUE(faulty->write(two).is_ok());  // swallowed
+  ASSERT_TRUE(faulty->write(three).is_ok());
+  faulty->close();
+
+  Bytes buffer(64, 0);
+  std::string received;
+  for (;;) {
+    const Result<std::size_t> n = pair.b->read(buffer.data(), buffer.size());
+    if (!n.is_ok() || n.value() == 0) break;
+    received.append(reinterpret_cast<const char*>(buffer.data()), n.value());
+  }
+  EXPECT_EQ(received, "onethree");
+  EXPECT_EQ(injector->dropped(), 1u);
+  EXPECT_EQ(injector->writes_seen(), 3u);
+}
+
+TEST(FaultyChannel, OneWayPartitionDropsOnlyForward) {
+  auto injector = std::make_shared<net::FaultInjector>(2);
+  net::FaultPolicy policy;
+  policy.partition_forward = true;
+  injector->set_policy(policy);
+
+  net::ChannelPair pair = net::make_memory_channel_pair();
+  net::ChannelPtr fwd = net::make_faulty_channel(
+      std::move(pair.a), injector, net::FaultDirection::kForward);
+  net::ChannelPtr rev = net::make_faulty_channel(
+      std::move(pair.b), injector, net::FaultDirection::kReverse);
+
+  ASSERT_TRUE(fwd->write(to_bytes("lost")).is_ok());   // partitioned away
+  ASSERT_TRUE(rev->write(to_bytes("back")).is_ok());   // still flows
+  Bytes buffer(16, 0);
+  const Result<std::size_t> n = fwd->read(buffer.data(), buffer.size());
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(buffer.data()),
+                        n.value()),
+            "back");
+  EXPECT_EQ(injector->dropped(), 1u);
+  fwd->close();
+  rev->close();
+}
+
+// ------------------------------------------------------ grid under chaos
+
+TEST(Chaos, JobsConvergeUnderDropsAndNodeKill) {
+  register_chaos_apps();
+  const std::uint64_t seed = chaos_seed();
+  SCOPED_TRACE("PG_CHAOS_SEED=" + std::to_string(seed));
+
+  GridBuilder builder;
+  builder.seed(seed).key_bits(512).fault_injection();
+  builder.add_nodes("site0", 2).add_nodes("site1", 2).add_nodes("site2", 2);
+  builder.add_user("u", "p", {"mpi.run", "status.query", "job.submit"});
+  builder.configure_proxy([](proxy::ProxyConfig& config) {
+    config.heartbeat_interval = 50 * kMicrosPerMilli;
+    config.heartbeat_miss_threshold = 3;
+    config.job_max_attempts = 3;
+    config.job_run_timeout = 4 * kMicrosPerSecond;
+    config.retry.per_try_timeout = kMicrosPerSecond;
+    config.retry.initial_backoff = 10 * kMicrosPerMilli;
+    config.retry.max_backoff = 200 * kMicrosPerMilli;
+  });
+  auto built = builder.build();
+  ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+  auto grid = built.take();
+  auto token = grid->login("site0", "u", "p");
+  ASSERT_TRUE(token.is_ok());
+
+  // Chaos on: >=10% drop everywhere, plus delivery delays. On the GSSL
+  // inter-site mesh a dropped record desynchronizes the sequence MACs and
+  // kills the link (heartbeats then detect it and on_peer_down purges the
+  // site); on the plaintext node links a drop is a lost message that
+  // retries and job re-dispatch must absorb.
+  {
+    net::FaultPolicy inter;
+    inter.drop_rate = 0.10;
+    inter.delay_rate = 0.2;
+    inter.max_delay = 2 * kMicrosPerMilli;
+    grid->inter_site_injector()->set_policy(inter);
+
+    net::FaultPolicy intra;
+    intra.drop_rate = 0.10;
+    intra.delay_rate = 0.2;
+    intra.max_delay = kMicrosPerMilli;
+    grid->intra_site_injector()->set_policy(intra);
+  }
+
+  // Jobs from every site; submission itself must survive the chaos.
+  struct Submitted {
+    std::string site;
+    std::uint64_t job_id = 0;
+  };
+  const std::vector<std::string> sites = {"site0", "site1", "site2"};
+  std::vector<Submitted> jobs;
+  for (int i = 0; i < 6; ++i) {
+    const std::string& site = sites[i % sites.size()];
+    const auto id = grid->proxy(site).submit_job(
+        "u", token.value(), i % 2 == 0 ? "chaos-barrier" : "chaos-slow", 2,
+        sched::Policy::kLoadBalanced);
+    ASSERT_TRUE(id.is_ok()) << id.status().to_string();
+    jobs.push_back({site, id.value()});
+
+    // Halfway through, take a node down for good.
+    if (i == 2) grid->kill_node("site0", "node0");
+  }
+
+  // Convergence: every job terminal, every wait returns.
+  for (const Submitted& job : jobs) {
+    const auto record =
+        grid->proxy(job.site).wait_job(job.job_id, 60 * kMicrosPerSecond);
+    ASSERT_TRUE(record.is_ok())
+        << job.site << " job " << job.job_id << ": "
+        << record.status().to_string();
+    const proxy::JobRecord& r = record.value();
+    EXPECT_TRUE(r.state == proxy::JobState::kSucceeded ||
+                r.state == proxy::JobState::kFailed)
+        << job_state_name(r.state);
+    ASSERT_FALSE(r.attempts.empty());
+    EXPECT_LE(r.attempts.size(), r.max_attempts);
+    if (r.state == proxy::JobState::kFailed) {
+      // A failed job either spent its whole budget on transient errors or
+      // hit a non-transient one — never "gave up early".
+      EXPECT_TRUE(r.attempts.size() == r.max_attempts ||
+                  !proxy::is_transient(r.outcome))
+          << r.attempts.size() << " attempts, " << r.outcome.to_string();
+    }
+  }
+
+  // The chaos was real, and the grid noticed it.
+  EXPECT_GT(grid->inter_site_injector()->dropped() +
+                grid->intra_site_injector()->dropped(),
+            0u);
+  std::uint64_t disconnects = 0;
+  for (const std::string& site : sites) {
+    disconnects += grid->proxy(site).metrics().disconnects;
+  }
+  EXPECT_GE(disconnects, 1u);  // at least the killed node's link
+
+  // Quiesce the fault stream so teardown isn't throttled by delays.
+  grid->inter_site_injector()->set_policy({});
+  grid->intra_site_injector()->set_policy({});
+  grid->shutdown();
+}
+
+TEST(Chaos, CleanGridUnchangedByInjectorsAtRest) {
+  // fault_injection() with all-zero policies must not change behavior:
+  // the wrapped grid still builds, runs an app, and reports status.
+  register_chaos_apps();
+  GridBuilder builder;
+  builder.seed(chaos_seed() + 1).key_bits(512).fault_injection();
+  builder.add_nodes("site0", 2).add_nodes("site1", 1);
+  builder.add_user("u", "p", {"mpi.run", "status.query"});
+  auto built = builder.build();
+  ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+  auto grid = built.take();
+
+  auto token = grid->login("site0", "u", "p");
+  ASSERT_TRUE(token.is_ok());
+  EXPECT_EQ(grid->status("site0", token.value()).value().size(), 2u);
+  const auto result =
+      grid->run_app("site0", "u", token.value(), "chaos-barrier", 3,
+                    SchedulerPolicy::kRoundRobin);
+  EXPECT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_EQ(grid->inter_site_injector()->dropped(), 0u);
+  EXPECT_EQ(grid->intra_site_injector()->dropped(), 0u);
+  grid->shutdown();
+}
+
+}  // namespace
+}  // namespace pg::grid

@@ -1,12 +1,16 @@
-// Failure-recovery tests: link reconnection and proxy-level edge cases
-// with a manually controlled clock (ticket expiry mid-session).
+// Failure-recovery tests: link reconnection, node death mid-run with
+// job-level re-dispatch, and proxy-level edge cases with a manually
+// controlled clock (ticket expiry mid-session).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "grid/grid.hpp"
 #include "mpi/runtime.hpp"
 #include "net/memory_channel.hpp"
+#include "proxy/resilience.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace pg::grid {
 namespace {
@@ -72,6 +76,78 @@ TEST(Recovery, ReconnectUnknownSiteFails) {
   ASSERT_NE(grid, nullptr);
   EXPECT_EQ(grid->reconnect_link("site0", "nowhere").code(),
             ErrorCode::kNotFound);
+}
+
+// --------------------------------------------- node death + re-dispatch
+
+/// Ranks that have entered the current attempt; lets the test kill the
+/// node only once every rank is actually running.
+std::atomic<int> g_ranks_started{0};
+
+TEST(Recovery, NodeDeathMidRunRedispatchesJob) {
+  static const bool registered = [] {
+    mpi::AppRegistry::instance().register_app(
+        "recovery-slow", [](mpi::Comm& comm) {
+          g_ranks_started.fetch_add(1);
+          Status s = comm.barrier();
+          if (!s.is_ok()) return s;
+          std::this_thread::sleep_for(std::chrono::milliseconds(300));
+          return comm.barrier();
+        });
+    return true;
+  }();
+  (void)registered;
+
+  GridBuilder builder;
+  builder.seed(302).key_bits(512);
+  builder.add_nodes("site0", 3);
+  builder.add_user("u", "p", {"mpi.run", "status.query", "job.submit"});
+  builder.configure_proxy([](proxy::ProxyConfig& config) {
+    config.job_max_attempts = 3;
+    config.job_run_timeout = 20 * kMicrosPerSecond;
+  });
+  auto built = builder.build();
+  ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+  auto grid = built.take();
+  auto token = grid->login("site0", "u", "p");
+  ASSERT_TRUE(token.is_ok());
+
+  g_ranks_started.store(0);
+  const auto job_id = grid->proxy("site0").submit_job(
+      "u", token.value(), "recovery-slow", 3, sched::Policy::kRoundRobin);
+  ASSERT_TRUE(job_id.is_ok()) << job_id.status().to_string();
+
+  // Wait for every rank to be running, then pull a node out from under
+  // the attempt while the ranks sit in their sleep.
+  for (int i = 0; i < 2000 && g_ranks_started.load() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(g_ranks_started.load(), 3);
+  grid->kill_node("site0", "node0");
+
+  const auto record =
+      grid->proxy("site0").wait_job(job_id.value(), 60 * kMicrosPerSecond);
+  ASSERT_TRUE(record.is_ok()) << record.status().to_string();
+  const proxy::JobRecord& r = record.value();
+
+  // The first attempt died with the node (transient), and the job was
+  // re-dispatched onto the two survivors — passing through kRetrying on
+  // the way — until it succeeded.
+  EXPECT_EQ(r.state, proxy::JobState::kSucceeded)
+      << job_state_name(r.state) << ": " << r.outcome.to_string();
+  ASSERT_GE(r.attempts.size(), 2u);
+  EXPECT_FALSE(r.attempts.front().outcome.is_ok());
+  EXPECT_TRUE(proxy::is_transient(r.attempts.front().outcome))
+      << r.attempts.front().outcome.to_string();
+  EXPECT_TRUE(r.attempts.back().outcome.is_ok());
+  for (const proto::RankPlacement& placement : r.placements) {
+    EXPECT_NE(placement.node, "node0");
+  }
+  EXPECT_GE(telemetry::MetricRegistry::global()
+                .counter("pg_job_redispatch_total")
+                .value(),
+            1u);
+  grid->shutdown();
 }
 
 // ------------------------------------------------- manual-clock proxy
