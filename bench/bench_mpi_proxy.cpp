@@ -115,6 +115,17 @@ void BM_AllreduceLocal(benchmark::State& state) {
 BENCHMARK(BM_AllreduceLocal)->Arg(4)->Arg(8)->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+// Sum of data-plane envelopes the proxies routed (local node forwards +
+// inter-site sends) — the quantity the batching fast path shrinks.
+double proxy_messages_routed(grid::Grid& grid) {
+  double routed = 0;
+  for (const auto& site : grid.sites()) {
+    const proxy::ProxyMetrics m = grid.proxy(site).metrics();
+    routed += static_cast<double>(m.mpi_messages_local + m.mpi_messages_remote);
+  }
+  return routed;
+}
+
 void BM_AllreduceTwoSites(benchmark::State& state) {
   const auto ranks = static_cast<std::uint32_t>(state.range(0));
   app_params().iterations.store(32);
@@ -135,10 +146,51 @@ void BM_AllreduceTwoSites(benchmark::State& state) {
     }
     state.counters["us_per_allreduce"] =
         static_cast<double>(wall.now() - start) / 32.0;
+    state.counters["messages_routed"] = proxy_messages_routed(*grid);
+    const grid::TrafficReport traffic = grid->traffic_report();
+    state.counters["crypto_bytes"] =
+        static_cast<double>(traffic.inter_site.crypto_bytes);
     grid->shutdown();
   }
 }
 BENCHMARK(BM_AllreduceTwoSites)->Arg(4)->Arg(8)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Cross-site broadcast fan-out: 16 ranks over 2 sites x 4 nodes. The
+// site-aware fast path ships ONE payload per destination site per bcast;
+// messages_routed / crypto_bytes make the multiplexing visible.
+void BM_BcastTwoSites(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const std::uint32_t ranks = 16;
+  const int iters = 16;
+  app_params().message_bytes.store(bytes);
+  app_params().iterations.store(iters);
+  for (auto _ : state) {
+    auto grid = make_bench_grid(2, 4);
+    if (grid == nullptr) {
+      state.SkipWithError("grid build failed");
+      return;
+    }
+    const Bytes token = bench_login(*grid);
+    const auto result = grid->run_app("site0", "bench", token, "bcast", ranks,
+                                      grid::SchedulerPolicy::kRoundRobin);
+    if (!result.status.is_ok()) {
+      state.SkipWithError(result.status.to_string().c_str());
+      return;
+    }
+    const double micros =
+        static_cast<double>(app_params().measured_micros.load());
+    state.counters["us_per_bcast"] = micros / iters;
+    state.counters["MB_per_s"] =
+        micros > 0 ? static_cast<double>(bytes) * ranks * iters / micros : 0;
+    state.counters["messages_routed"] = proxy_messages_routed(*grid);
+    const grid::TrafficReport traffic = grid->traffic_report();
+    state.counters["crypto_bytes"] =
+        static_cast<double>(traffic.inter_site.crypto_bytes);
+    grid->shutdown();
+  }
+}
+BENCHMARK(BM_BcastTwoSites)->Arg(64)->Arg(1024)->Arg(4096)->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -34,6 +34,7 @@ inline AppParams& app_params() {
 ///   "stencil"  — halo exchange ring, message_bytes per halo, iterations
 ///   "pingpong" — rank 0 <-> rank 1 round trips, measured_micros output
 ///   "allreduce"— iterations of allreduce over doubles
+///   "bcast"    — rank 0 broadcasts message_bytes to all, iterations times
 ///   "burn"     — barrier only
 inline void register_bench_apps() {
   static const bool done = [] {
@@ -89,6 +90,25 @@ inline void register_bench_apps() {
           for (int i = 0; i < iters; ++i) {
             Result<double> v = comm.allreduce(1.0, mpi::ReduceOp::kSum);
             if (!v.is_ok()) return v.status();
+          }
+          return Status::ok();
+        });
+
+    mpi::AppRegistry::instance().register_app(
+        "bcast", [&params](mpi::Comm& comm) -> Status {
+          const std::size_t bytes = params.message_bytes.load();
+          const int iters = params.iterations.load();
+          const Bytes payload(bytes, 0x7c);
+          WallClock wall;
+          const TimeMicros start = wall.now();
+          for (int i = 0; i < iters; ++i) {
+            Result<Bytes> got = comm.broadcast(0, payload);
+            if (!got.is_ok()) return got.status();
+            if (got.value().size() != bytes)
+              return error(ErrorCode::kInternal, "bcast size mismatch");
+          }
+          if (comm.rank() == 0) {
+            params.measured_micros.store(wall.now() - start);
           }
           return Status::ok();
         });

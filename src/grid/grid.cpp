@@ -1,5 +1,7 @@
 #include "grid/grid.hpp"
 
+#include <chrono>
+#include <functional>
 #include <thread>
 
 #include "common/logging.hpp"
@@ -67,6 +69,15 @@ GridBuilder& GridBuilder::fault_injection(bool enabled) {
 GridBuilder& GridBuilder::configure_proxy(
     std::function<void(proxy::ProxyConfig&)> hook) {
   configure_proxy_ = std::move(hook);
+  return *this;
+}
+
+GridBuilder& GridBuilder::auto_reconnect(bool enabled,
+                                         proxy::RetryPolicy policy,
+                                         TimeMicros poll_interval) {
+  auto_reconnect_ = enabled;
+  reconnect_policy_ = policy;
+  reconnect_poll_interval_ = poll_interval;
   return *this;
 }
 
@@ -210,6 +221,13 @@ Result<std::unique_ptr<Grid>> GridBuilder::build() {
     }
   }
 
+  if (auto_reconnect_) {
+    grid->auto_reconnect_ = true;
+    grid->reconnect_policy_ = reconnect_policy_;
+    grid->reconnect_poll_interval_ = reconnect_poll_interval_;
+    grid->start_reconnect_monitor();
+  }
+
   return grid;
 }
 
@@ -335,6 +353,67 @@ Status Grid::reconnect_link(const std::string& site_a,
   return accept_status;
 }
 
+void Grid::start_reconnect_monitor() {
+  reconnect_thread_ = std::thread([this] { reconnect_loop(); });
+}
+
+void Grid::reconnect_loop() {
+  // Per-pair consecutive-failure counter; backoff resets once a reconnect
+  // succeeds. Deterministic jitter (salted with the pair name) keeps chaos
+  // runs reproducible — same rationale as the control-RPC retries.
+  struct PairState {
+    std::uint32_t attempt = 0;
+    TimeMicros next_due = 0;
+  };
+  const std::vector<std::string> site_list = sites();
+  std::map<std::pair<std::string, std::string>, PairState> state;
+
+  std::unique_lock<std::mutex> lock(reconnect_mutex_);
+  while (!reconnect_stop_) {
+    reconnect_cv_.wait_for(
+        lock, std::chrono::microseconds(reconnect_poll_interval_),
+        [this] { return reconnect_stop_; });
+    if (reconnect_stop_) return;
+    lock.unlock();
+
+    const TimeMicros now = clock_.now();
+    for (std::size_t i = 0; i < site_list.size(); ++i) {
+      for (std::size_t j = i + 1; j < site_list.size(); ++j) {
+        const std::string& a = site_list[i];
+        const std::string& b = site_list[j];
+        proxy::ProxyServer& proxy_a = *proxies_.at(a);
+        proxy::ProxyServer& proxy_b = *proxies_.at(b);
+        // A deliberately killed proxy is not a link failure; leave its
+        // links down until someone restarts it.
+        if (proxy_a.is_shut_down() || proxy_b.is_shut_down()) continue;
+        PairState& pair_state = state[{a, b}];
+        if (proxy_a.peer_alive(b) && proxy_b.peer_alive(a)) {
+          pair_state = PairState{};
+          continue;
+        }
+        if (now < pair_state.next_due) continue;
+        const Status status = reconnect_link(a, b);
+        if (status.is_ok()) {
+          PG_DEBUG << "grid: auto-reconnect restored link " << a << "<->"
+                   << b << " after " << pair_state.attempt
+                   << " failed attempts";
+          pair_state = PairState{};
+        } else {
+          ++pair_state.attempt;
+          const std::uint64_t salt = std::hash<std::string>{}(a + "|" + b);
+          pair_state.next_due =
+              now + proxy::retry_backoff(reconnect_policy_,
+                                         pair_state.attempt, salt);
+          PG_WARN << "grid: auto-reconnect " << a << "<->" << b
+                  << " failed (" << status.message() << "), attempt "
+                  << pair_state.attempt;
+        }
+      }
+    }
+    lock.lock();
+  }
+}
+
 TrafficReport Grid::traffic_report() const {
   TrafficReport report;
 
@@ -369,6 +448,16 @@ TrafficReport Grid::traffic_report() const {
 void Grid::shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
+  // Stop the reconnect monitor before tearing proxies down so it never
+  // races a reconnect against a dying proxy.
+  if (reconnect_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(reconnect_mutex_);
+      reconnect_stop_ = true;
+    }
+    reconnect_cv_.notify_all();
+    reconnect_thread_.join();
+  }
   // Agents first (they join application runners), then proxies.
   for (auto& [site, nodes] : agents_) {
     for (auto& [node, agent] : nodes) agent->shutdown();

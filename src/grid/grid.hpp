@@ -4,10 +4,13 @@
 // injection and the traffic accounting the experiments read.
 #pragma once
 
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -17,6 +20,7 @@
 #include "net/faulty_channel.hpp"
 #include "proxy/node_agent.hpp"
 #include "proxy/proxy_server.hpp"
+#include "proxy/resilience.hpp"
 #include "sched/scheduler.hpp"
 
 namespace pg::grid {
@@ -72,6 +76,15 @@ class GridBuilder {
   /// heartbeat intervals, retry policy, and job attempt limits in tests.
   GridBuilder& configure_proxy(std::function<void(proxy::ProxyConfig&)> hook);
 
+  /// Starts a monitor thread that watches every inter-site link and
+  /// re-establishes purged ones automatically (fresh channel + GSSL
+  /// handshake) with exponential backoff from `policy`. Turns
+  /// Grid::reconnect_link from a manual/test-only recovery call into a
+  /// self-healing loop. `poll_interval` bounds detection latency.
+  GridBuilder& auto_reconnect(bool enabled = true,
+                              proxy::RetryPolicy policy = {},
+                              TimeMicros poll_interval = 50'000);
+
   /// Builds and starts the grid: issues certificates, connects the full
   /// proxy mesh, attaches every node.
   Result<std::unique_ptr<Grid>> build();
@@ -91,6 +104,9 @@ class GridBuilder {
   std::size_t key_bits_ = 768;
   proxy::SecurityMode mode_ = proxy::SecurityMode::kProxyTunneling;
   bool fault_injection_ = false;
+  bool auto_reconnect_ = false;
+  proxy::RetryPolicy reconnect_policy_;
+  TimeMicros reconnect_poll_interval_ = 50'000;
   std::function<void(proxy::ProxyConfig&)> configure_proxy_;
   std::vector<std::string> site_order_;
   std::map<std::string, std::vector<NodeSpec>> sites_;
@@ -155,6 +171,9 @@ class Grid {
   friend class GridBuilder;
   Grid() = default;
 
+  void start_reconnect_monitor();
+  void reconnect_loop();
+
   WallClock clock_;
   std::unique_ptr<crypto::CertificateAuthority> ca_;
   net::FaultInjectorPtr inter_injector_;
@@ -162,6 +181,15 @@ class Grid {
   std::map<std::string, proxy::ProxyServerPtr> proxies_;
   std::map<std::string, std::map<std::string, proxy::NodeAgentPtr>> agents_;
   bool shut_down_ = false;
+
+  // ---- auto-reconnect monitor (opt-in via GridBuilder::auto_reconnect)
+  bool auto_reconnect_ = false;
+  proxy::RetryPolicy reconnect_policy_;
+  TimeMicros reconnect_poll_interval_ = 50'000;
+  std::thread reconnect_thread_;
+  std::mutex reconnect_mutex_;
+  std::condition_variable reconnect_cv_;
+  bool reconnect_stop_ = false;
 };
 
 }  // namespace pg::grid

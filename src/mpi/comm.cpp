@@ -53,8 +53,12 @@ Status Comm::barrier() {
           rank_, static_cast<std::int32_t>(r), static_cast<std::int32_t>(arrive));
       if (!m.is_ok()) return m.status();
     }
-    for (std::uint32_t r = 1; r < size_; ++r) {
-      PG_RETURN_IF_ERROR(fabric_.send(MpiMessage{rank_, r, release, {}}));
+    std::vector<std::uint32_t> others;
+    others.reserve(size_ - 1);
+    for (std::uint32_t r = 1; r < size_; ++r) others.push_back(r);
+    if (!others.empty()) {
+      PG_RETURN_IF_ERROR(
+          fabric_.multicast(MpiMessage{rank_, 0, release, {}}, others));
     }
     return Status::ok();
   }
@@ -70,35 +74,30 @@ Result<Bytes> Comm::broadcast(std::uint32_t root, BytesView data) {
   const std::uint32_t tag = collective_tag(0);
   ++collective_seq_;
 
-  // Binomial tree (the classic MPICH algorithm): the root sends to
-  // O(log N) children and every receiver forwards onward, instead of the
-  // root pushing N-1 copies itself. Same total message count, but the
-  // root's egress and the critical path shrink from O(N) to O(log N).
-  const std::uint32_t relative = (rank_ + size_ - root) % size_;
-
-  Bytes payload(data.begin(), data.end());
-  std::uint32_t mask = 1;
-  while (mask < size_) {
-    if (relative & mask) {
-      const std::uint32_t src = (rank_ + size_ - mask) % size_;
-      Result<MpiMessage> m =
-          fabric_.recv(rank_, static_cast<std::int32_t>(src),
-                       static_cast<std::int32_t>(tag));
-      if (!m.is_ok()) return m.status();
-      payload = std::move(m.value().payload);
-      break;
+  // Root multicast: one fabric operation addressed to every other rank.
+  // The fabric decides how to spread it — locally that's a delivery loop,
+  // but the proxied fabric puts the payload on each inter-site link ONCE
+  // and lets the far proxy fan out to its local ranks. A binomial tree
+  // (the classic single-cluster algorithm) would instead bounce log N
+  // copies back and forth across the same slow inter-site links.
+  if (rank_ == root) {
+    Bytes payload(data.begin(), data.end());
+    std::vector<std::uint32_t> others;
+    others.reserve(size_ - 1);
+    for (std::uint32_t r = 0; r < size_; ++r) {
+      if (r != root) others.push_back(r);
     }
-    mask <<= 1;
-  }
-  mask >>= 1;
-  while (mask > 0) {
-    if (relative + mask < size_) {
-      const std::uint32_t dst = (rank_ + mask) % size_;
-      PG_RETURN_IF_ERROR(fabric_.send(MpiMessage{rank_, dst, tag, payload}));
+    if (!others.empty()) {
+      PG_RETURN_IF_ERROR(
+          fabric_.multicast(MpiMessage{rank_, 0, tag, payload}, others));
     }
-    mask >>= 1;
+    return payload;
   }
-  return payload;
+  Result<MpiMessage> m =
+      fabric_.recv(rank_, static_cast<std::int32_t>(root),
+                   static_cast<std::int32_t>(tag));
+  if (!m.is_ok()) return m.status();
+  return std::move(m.value().payload);
 }
 
 namespace {
@@ -226,11 +225,13 @@ Result<Bytes> Comm::scatter(std::uint32_t root,
     if (chunks.size() != size_)
       return error(ErrorCode::kInvalidArgument,
                    "scatter needs one chunk per rank");
+    std::vector<MpiMessage> batch;
+    batch.reserve(size_ - 1);
     for (std::uint32_t r = 0; r < size_; ++r) {
       if (r == root) continue;
-      PG_RETURN_IF_ERROR(
-          fabric_.send(MpiMessage{rank_, r, tag, chunks[r]}));
+      batch.push_back(MpiMessage{rank_, r, tag, chunks[r]});
     }
+    PG_RETURN_IF_ERROR(fabric_.send_batch(batch));
     return chunks[root];
   }
   Result<MpiMessage> m =
@@ -274,10 +275,15 @@ Result<std::vector<Bytes>> Comm::alltoall(const std::vector<Bytes>& outgoing) {
   ++collective_seq_;
 
   // Eager sends never block, so send-all-then-receive-all cannot deadlock.
+  // One batch lets the proxied fabric ship a single envelope per remote
+  // site instead of one per (sender, receiver) pair.
+  std::vector<MpiMessage> batch;
+  batch.reserve(size_ - 1);
   for (std::uint32_t r = 0; r < size_; ++r) {
     if (r == rank_) continue;
-    PG_RETURN_IF_ERROR(fabric_.send(MpiMessage{rank_, r, tag, outgoing[r]}));
+    batch.push_back(MpiMessage{rank_, r, tag, outgoing[r]});
   }
+  PG_RETURN_IF_ERROR(fabric_.send_batch(batch));
   std::vector<Bytes> incoming(size_);
   incoming[rank_] = outgoing[rank_];
   for (std::uint32_t r = 0; r < size_; ++r) {

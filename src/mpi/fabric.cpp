@@ -16,6 +16,21 @@ telemetry::Histogram& local_message_bytes() {
 
 }  // namespace
 
+Status Fabric::multicast(const MpiMessage& message,
+                         const std::vector<std::uint32_t>& dst_ranks) {
+  MpiMessage copy = message;
+  for (std::uint32_t dst : dst_ranks) {
+    copy.dst = dst;
+    PG_RETURN_IF_ERROR(send(copy));
+  }
+  return Status::ok();
+}
+
+Status Fabric::send_batch(const std::vector<MpiMessage>& messages) {
+  for (const MpiMessage& m : messages) PG_RETURN_IF_ERROR(send(m));
+  return Status::ok();
+}
+
 LocalFabric::LocalFabric(std::uint32_t world_size) {
   mailboxes_.reserve(world_size);
   for (std::uint32_t i = 0; i < world_size; ++i) {

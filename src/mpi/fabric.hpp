@@ -24,6 +24,17 @@ class Fabric {
   virtual Result<MpiMessage> recv(std::uint32_t rank, std::int32_t src,
                                   std::int32_t tag) = 0;
 
+  /// Delivers one payload to many destinations (`message.dst` is ignored).
+  /// Default: a loop of send(). Proxied fabrics override it so the payload
+  /// crosses each inter-site link once and fans out at the far proxy.
+  virtual Status multicast(const MpiMessage& message,
+                           const std::vector<std::uint32_t>& dst_ranks);
+
+  /// Sends many messages as one fabric operation. Default: a loop of
+  /// send(). Proxied fabrics override it to coalesce frames sharing a
+  /// destination site into one batch envelope per link.
+  virtual Status send_batch(const std::vector<MpiMessage>& messages);
+
   virtual std::uint32_t world_size() const = 0;
 };
 

@@ -1,31 +1,47 @@
 #include "mpi/mailbox.hpp"
 
+#include <algorithm>
+
 namespace pg::mpi {
 
 Status Mailbox::deliver(MpiMessage message) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_)
-      return error(ErrorCode::kUnavailable, "mailbox closed");
-    queue_.push_back(std::move(message));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_)
+    return error(ErrorCode::kUnavailable, "mailbox closed");
+  queue_.push_back(std::move(message));
+  const MpiMessage& arrived = queue_.back();
+  // Wake every waiter whose predicate can match — only one will take the
+  // message, but several may be eligible and FIFO order is theirs to race.
+  for (Waiter* w : waiters_) {
+    if (matches(arrived, w->src, w->tag)) w->wake.notify_one();
   }
-  arrived_.notify_all();
   return Status::ok();
 }
 
 Result<MpiMessage> Mailbox::recv(std::int32_t src, std::int32_t tag) {
   std::unique_lock<std::mutex> lock(mutex_);
+  Waiter self{src, tag, {}};
+  bool registered = false;
   for (;;) {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (matches(*it, src, tag)) {
         MpiMessage out = std::move(*it);
         queue_.erase(it);
+        if (registered)
+          waiters_.erase(std::find(waiters_.begin(), waiters_.end(), &self));
         return out;
       }
     }
-    if (closed_)
+    if (closed_) {
+      if (registered)
+        waiters_.erase(std::find(waiters_.begin(), waiters_.end(), &self));
       return error(ErrorCode::kUnavailable, "mailbox closed");
-    arrived_.wait(lock);
+    }
+    if (!registered) {
+      waiters_.push_back(&self);
+      registered = true;
+    }
+    self.wake.wait(lock);
   }
 }
 
@@ -43,11 +59,9 @@ Result<MpiMessage> Mailbox::try_recv(std::int32_t src, std::int32_t tag) {
 }
 
 void Mailbox::close() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    closed_ = true;
-  }
-  arrived_.notify_all();
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  for (Waiter* w : waiters_) w->wake.notify_one();
 }
 
 std::size_t Mailbox::pending() const {

@@ -1,10 +1,15 @@
 // Matching mailbox: the per-rank receive queue with MPI matching semantics
 // (filter by source and tag, wildcards allowed, FIFO within a match).
+//
+// Wakeups are targeted: deliver() signals only the blocked receivers whose
+// (src, tag) predicate can match the new message, so a fan-out delivery to
+// a mailbox with many selective receivers does not stampede them all.
 #pragma once
 
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <vector>
 
 #include "common/status.hpp"
 #include "mpi/message.hpp"
@@ -30,14 +35,22 @@ class Mailbox {
   std::size_t pending() const;
 
  private:
+  /// One blocked recv(): its match predicate plus a private condition
+  /// variable, registered in `waiters_` for the duration of the wait.
+  struct Waiter {
+    std::int32_t src;
+    std::int32_t tag;
+    std::condition_variable wake;
+  };
+
   bool matches(const MpiMessage& m, std::int32_t src, std::int32_t tag) const {
     return (src == kAnySource || m.src == static_cast<std::uint32_t>(src)) &&
            (tag == kAnyTag || m.tag == static_cast<std::uint32_t>(tag));
   }
 
   mutable std::mutex mutex_;
-  std::condition_variable arrived_;
   std::deque<MpiMessage> queue_;
+  std::vector<Waiter*> waiters_;
   bool closed_ = false;
 };
 

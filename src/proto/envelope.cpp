@@ -26,6 +26,7 @@ const char* opcode_name(OpCode op) {
     case OpCode::kMpiStart: return "mpi_start";
     case OpCode::kMpiDone: return "mpi_done";
     case OpCode::kMpiAbort: return "mpi_abort";
+    case OpCode::kMpiBatch: return "mpi_batch";
     case OpCode::kTunnelOpen: return "tunnel_open";
     case OpCode::kTunnelData: return "tunnel_data";
     case OpCode::kTunnelClose: return "tunnel_close";
@@ -87,7 +88,7 @@ Result<Envelope> Envelope::deserialize(BytesView data) {
   Envelope env;
   std::uint16_t op_raw = 0;
   PG_RETURN_IF_ERROR(r.get_u8(env.version));
-  if (env.version != kProtocolVersion)
+  if (env.version < kMinProtocolVersion || env.version > kProtocolVersion)
     return error(ErrorCode::kProtocolError,
                  "unsupported protocol version " +
                      std::to_string(env.version));

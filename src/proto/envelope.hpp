@@ -12,8 +12,11 @@
 
 namespace pg::proto {
 
-/// Version 2 added the trace-context pair (see docs/PROTOCOL.md).
-constexpr std::uint8_t kProtocolVersion = 2;
+/// Version 2 added the trace-context pair; version 3 added the kMpiBatch
+/// data-plane op (see docs/PROTOCOL.md). The header layout is unchanged
+/// since v2, so both versions are accepted at parse time.
+constexpr std::uint8_t kProtocolVersion = 3;
+constexpr std::uint8_t kMinProtocolVersion = 2;
 
 /// Well-known operation codes. The space is open: proxies route unknown
 /// codes to registered extension handlers (see Dispatcher) instead of
@@ -56,6 +59,11 @@ enum class OpCode : std::uint16_t {
   /// node hosting ranks of the app. The origin fails the run with a
   /// retryable error so the job layer can re-dispatch it.
   kMpiAbort = 46,
+  /// Coalesced MPI data frames (protocol v3): one envelope — one sealed
+  /// record on GSSL links — carrying many MpiData-equivalent frames bound
+  /// for the same destination, each addressable to multiple ranks (the
+  /// site-aware collective fan-out). Payload is proto::MpiBatch.
+  kMpiBatch = 47,
 
   // Tunneling (explicit secure channels for site nodes)
   kTunnelOpen = 50,

@@ -324,6 +324,44 @@ Result<MpiData> MpiData::parse(BytesView data) {
   return m;
 }
 
+Bytes MpiBatch::serialize() const {
+  BufferWriter w;
+  w.put_string(origin);
+  w.put_u64(seq);
+  w.put_varint(frames.size());
+  for (const auto& f : frames) {
+    w.put_u64(f.app_id);
+    w.put_u32(f.src_rank);
+    w.put_u32(f.tag);
+    w.put_varint(f.dst_ranks.size());
+    for (const std::uint32_t dst : f.dst_ranks) w.put_u32(dst);
+    w.put_bytes(f.payload);
+  }
+  return w.take();
+}
+
+Result<MpiBatch> MpiBatch::parse(BytesView data) {
+  BufferReader r(data);
+  MpiBatch m;
+  PG_RETURN_IF_ERROR(r.get_string(m.origin));
+  PG_RETURN_IF_ERROR(r.get_u64(m.seq));
+  std::uint64_t n = 0;
+  PG_RETURN_IF_ERROR(get_count(r, n));
+  m.frames.resize(n);
+  for (auto& f : m.frames) {
+    PG_RETURN_IF_ERROR(r.get_u64(f.app_id));
+    PG_RETURN_IF_ERROR(r.get_u32(f.src_rank));
+    PG_RETURN_IF_ERROR(r.get_u32(f.tag));
+    std::uint64_t dsts = 0;
+    PG_RETURN_IF_ERROR(get_count(r, dsts));
+    f.dst_ranks.resize(dsts);
+    for (auto& dst : f.dst_ranks) PG_RETURN_IF_ERROR(r.get_u32(dst));
+    PG_RETURN_IF_ERROR(r.get_bytes(f.payload));
+  }
+  PG_RETURN_IF_ERROR(r.expect_end());
+  return m;
+}
+
 Bytes MpiClose::serialize() const {
   BufferWriter w;
   w.put_u64(app_id);

@@ -185,6 +185,36 @@ struct MpiData {
   static Result<MpiData> parse(BytesView data);
 };
 
+/// One logical MPI message inside a kMpiBatch envelope. `dst_ranks` with
+/// more than one entry is a fan-out frame: the payload travels the link
+/// once and the receiver delivers it to every listed rank (the proxy's
+/// site-aware collective multiplexing).
+struct MpiFrame {
+  std::uint64_t app_id = 0;
+  std::uint32_t src_rank = 0;
+  std::uint32_t tag = 0;
+  std::vector<std::uint32_t> dst_ranks;
+  Bytes payload;
+
+  friend bool operator==(const MpiFrame&, const MpiFrame&) = default;
+};
+
+/// kMpiBatch payload: MpiData-equivalent frames coalesced into one
+/// envelope / one sealed record per link flush. (origin, seq) identifies
+/// the batch so receivers can drop a duplicated or retransmitted batch
+/// after the first delivery.
+struct MpiBatch {
+  /// Sender identity, unique per process: a proxy uses its site name, a
+  /// node agent "<site>/<node>".
+  std::string origin;
+  /// Monotonic per sender; receivers keep a per-origin window of seen ids.
+  std::uint64_t seq = 0;
+  std::vector<MpiFrame> frames;
+
+  Bytes serialize() const;
+  static Result<MpiBatch> parse(BytesView data);
+};
+
 struct MpiClose {
   std::uint64_t app_id = 0;
 

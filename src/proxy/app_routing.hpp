@@ -8,8 +8,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -23,7 +25,39 @@ struct AppRouting {
   std::uint32_t world_size = 0;
   std::vector<proto::RankPlacement> placements;
 
+  /// Builds the rank→placement hash index and precomputes the per-site
+  /// views below. Called once when the table is registered (app creation);
+  /// every accessor falls back to a scan when the index was never built,
+  /// so hand-assembled tables in tests keep working. Must be re-called if
+  /// `placements` is mutated afterwards.
+  void build_index() {
+    rank_index_.clear();
+    rank_index_.reserve(placements.size());
+    sites_.clear();
+    ranks_by_site_.clear();
+    nodes_by_site_.clear();
+    for (std::size_t i = 0; i < placements.size(); ++i) {
+      rank_index_.emplace(placements[i].rank, i);
+    }
+    std::map<std::string, std::set<std::string>> nodes;
+    for (const auto& p : placements) {
+      ranks_by_site_[p.site].push_back(p.rank);
+      nodes[p.site].insert(p.node);
+    }
+    for (auto& [site, node_set] : nodes) {
+      sites_.push_back(site);
+      nodes_by_site_[site].assign(node_set.begin(), node_set.end());
+    }
+    indexed_ = true;
+  }
+
+  bool indexed() const { return indexed_; }
+
   const proto::RankPlacement* placement_of(std::uint32_t rank) const {
+    if (indexed_) {
+      const auto it = rank_index_.find(rank);
+      return it == rank_index_.end() ? nullptr : &placements[it->second];
+    }
     for (const auto& p : placements) {
       if (p.rank == rank) return &p;
     }
@@ -32,12 +66,18 @@ struct AppRouting {
 
   /// Sites participating in the application, sorted and deduplicated.
   std::vector<std::string> sites() const {
+    if (indexed_) return sites_;
     std::set<std::string> s;
     for (const auto& p : placements) s.insert(p.site);
     return {s.begin(), s.end()};
   }
 
   std::vector<std::uint32_t> ranks_on_site(const std::string& site) const {
+    if (indexed_) {
+      const auto it = ranks_by_site_.find(site);
+      return it == ranks_by_site_.end() ? std::vector<std::uint32_t>{}
+                                        : it->second;
+    }
     std::vector<std::uint32_t> out;
     for (const auto& p : placements) {
       if (p.site == site) out.push_back(p.rank);
@@ -56,6 +96,11 @@ struct AppRouting {
 
   /// Nodes of `site` hosting at least one rank, sorted and deduplicated.
   std::vector<std::string> nodes_on_site(const std::string& site) const {
+    if (indexed_) {
+      const auto it = nodes_by_site_.find(site);
+      return it == nodes_by_site_.end() ? std::vector<std::string>{}
+                                        : it->second;
+    }
     std::set<std::string> s;
     for (const auto& p : placements) {
       if (p.site == site) s.insert(p.node);
@@ -67,6 +112,13 @@ struct AppRouting {
   std::size_t virtual_slave_count(const std::string& site) const {
     return placements.size() - ranks_on_site(site).size();
   }
+
+ private:
+  bool indexed_ = false;
+  std::unordered_map<std::uint32_t, std::size_t> rank_index_;
+  std::vector<std::string> sites_;
+  std::unordered_map<std::string, std::vector<std::uint32_t>> ranks_by_site_;
+  std::unordered_map<std::string, std::vector<std::string>> nodes_by_site_;
 };
 
 }  // namespace pg::proxy

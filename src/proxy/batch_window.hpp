@@ -1,0 +1,49 @@
+// Duplicate suppression for kMpiBatch deliveries.
+//
+// Batches are identified by (origin, seq) — see proto::MpiBatch. Links can
+// replay a batch (fault injection duplicates intra-site frames; inter-site
+// retries can resend after a timed-out flush), and a batch fans out to many
+// mailboxes, so the receiver must treat a retransmission as ONE delivery.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+namespace pg::proxy {
+
+/// Per-origin sliding window of recently seen batch sequence numbers.
+class BatchDedupWindow {
+ public:
+  explicit BatchDedupWindow(std::size_t window = 256) : window_(window) {}
+
+  /// Records (origin, seq); returns true when it was already recorded —
+  /// i.e. the batch is a duplicate and must be dropped whole.
+  bool seen_before(const std::string& origin, std::uint64_t seq) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Window& w = windows_[origin];
+    if (w.seen.count(seq) != 0) return true;
+    w.seen.insert(seq);
+    w.order.push_back(seq);
+    while (w.order.size() > window_) {
+      w.seen.erase(w.order.front());
+      w.order.pop_front();
+    }
+    return false;
+  }
+
+ private:
+  struct Window {
+    std::unordered_set<std::uint64_t> seen;
+    std::deque<std::uint64_t> order;
+  };
+
+  std::size_t window_;
+  std::mutex mutex_;
+  std::map<std::string, Window> windows_;
+};
+
+}  // namespace pg::proxy

@@ -18,12 +18,29 @@ constexpr proto::OpCode kCountedOps[] = {
     proto::OpCode::kAuthRequest, proto::OpCode::kJobSubmit,
     proto::OpCode::kJobQuery,    proto::OpCode::kMpiOpen,
     proto::OpCode::kMpiStart,    proto::OpCode::kMpiData,
-    proto::OpCode::kMpiClose,    proto::OpCode::kMpiDone,
-    proto::OpCode::kTunnelOpen,  proto::OpCode::kTunnelData,
-    proto::OpCode::kTunnelClose,
+    proto::OpCode::kMpiBatch,    proto::OpCode::kMpiClose,
+    proto::OpCode::kMpiDone,     proto::OpCode::kTunnelOpen,
+    proto::OpCode::kTunnelData,  proto::OpCode::kTunnelClose,
+};
+
+constexpr FlushReason kFlushReasons[] = {
+    FlushReason::kImmediate, FlushReason::kCombine,  FlushReason::kBytes,
+    FlushReason::kFrames,    FlushReason::kInterval, FlushReason::kTeardown,
 };
 
 }  // namespace
+
+const char* flush_reason_name(FlushReason reason) {
+  switch (reason) {
+    case FlushReason::kImmediate: return "immediate";
+    case FlushReason::kCombine: return "combine";
+    case FlushReason::kBytes: return "bytes";
+    case FlushReason::kFrames: return "frames";
+    case FlushReason::kInterval: return "interval";
+    case FlushReason::kTeardown: return "teardown";
+  }
+  return "unknown";
+}
 
 ProxyInstruments::ProxyInstruments(const std::string& site)
     : control_calls_sent(site_counter("pg_proxy_control_calls_sent_total",
@@ -44,6 +61,18 @@ ProxyInstruments::ProxyInstruments(const std::string& site)
       mpi_bytes_remote(site_counter("pg_proxy_mpi_bytes_remote_total",
                                     "MPI payload bytes routed across sites",
                                     site)),
+      mpi_batch_messages(site_counter(
+          "pg_mpi_batch_messages",
+          "MPI data frames coalesced into kMpiBatch envelopes", site)),
+      mpi_batch_duplicates(site_counter(
+          "pg_mpi_batch_duplicates_total",
+          "Duplicate kMpiBatch envelopes dropped by the dedup window", site)),
+      mpi_fanout(site_counter(
+          "pg_mpi_fanout_total",
+          "Logical MPI deliveries fanned out from batch frames", site)),
+      mpi_batch_flushes(site_counter(
+          "pg_mpi_batch_flush_sum",
+          "kMpiBatch envelopes flushed (all reasons)", site)),
       handshakes(site_counter("pg_proxy_handshakes_total",
                               "GSSL handshakes completed by this proxy",
                               site)),
@@ -98,7 +127,17 @@ ProxyInstruments::ProxyInstruments(const std::string& site)
             "Control envelopes received, by op",
             {{"site", site}, {"op", proto::opcode_name(op)}}));
   }
+  for (const FlushReason reason : kFlushReasons) {
+    flush_counters_.push_back(&telemetry::MetricRegistry::global().counter(
+        "pg_mpi_batch_flush_total", "kMpiBatch envelopes flushed, by reason",
+        {{"site", site}, {"reason", flush_reason_name(reason)}}));
+  }
   baseline_ = snapshot();  // zero the view for this proxy instance
+}
+
+void ProxyInstruments::batch_flush(FlushReason reason) {
+  mpi_batch_flushes.increment();
+  flush_counters_[static_cast<std::size_t>(reason)]->increment();
 }
 
 void ProxyInstruments::disconnect(const std::string& site,
@@ -136,6 +175,13 @@ ProxyMetrics ProxyInstruments::snapshot() const {
       mpi_messages_remote.value() - baseline_.mpi_messages_remote;
   m.mpi_bytes_local = mpi_bytes_local.value() - baseline_.mpi_bytes_local;
   m.mpi_bytes_remote = mpi_bytes_remote.value() - baseline_.mpi_bytes_remote;
+  m.mpi_batch_messages =
+      mpi_batch_messages.value() - baseline_.mpi_batch_messages;
+  m.mpi_batch_flushes =
+      mpi_batch_flushes.value() - baseline_.mpi_batch_flushes;
+  m.mpi_batch_duplicates =
+      mpi_batch_duplicates.value() - baseline_.mpi_batch_duplicates;
+  m.mpi_fanout = mpi_fanout.value() - baseline_.mpi_fanout;
   m.handshakes = handshakes.value() - baseline_.handshakes;
   m.logins = logins.value() - baseline_.logins;
   m.apps_run = apps_run.value() - baseline_.apps_run;

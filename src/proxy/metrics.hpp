@@ -21,10 +21,14 @@ namespace pg::proxy {
 struct ProxyMetrics {
   std::uint64_t control_calls_sent = 0;      // inter-proxy request/response
   std::uint64_t control_notifies_sent = 0;   // inter-proxy one-way
-  std::uint64_t mpi_messages_local = 0;      // routed within the site
-  std::uint64_t mpi_messages_remote = 0;     // routed across sites
+  std::uint64_t mpi_messages_local = 0;      // envelopes routed within the site
+  std::uint64_t mpi_messages_remote = 0;     // envelopes routed across sites
   std::uint64_t mpi_bytes_local = 0;
   std::uint64_t mpi_bytes_remote = 0;
+  std::uint64_t mpi_batch_messages = 0;      // frames coalesced into batches
+  std::uint64_t mpi_batch_flushes = 0;       // batch envelopes sent, all reasons
+  std::uint64_t mpi_batch_duplicates = 0;    // duplicate batches dropped
+  std::uint64_t mpi_fanout = 0;              // logical deliveries fanned out
   std::uint64_t handshakes = 0;              // GSSL handshakes completed
   std::uint64_t logins = 0;
   std::uint64_t apps_run = 0;
@@ -36,6 +40,18 @@ struct ProxyMetrics {
   std::uint64_t heartbeat_missed = 0;        // intervals with a silent peer
   std::uint64_t disconnects = 0;             // peer/node connections lost
 };
+
+/// Why a kMpiBatch envelope left the proxy's batcher (flush-policy label).
+enum class FlushReason : std::uint8_t {
+  kImmediate = 0,  // idle link, single enqueue drained itself right away
+  kCombine,        // picked up by an already-active drainer
+  kBytes,          // byte budget reached
+  kFrames,         // frame budget reached
+  kInterval,       // timer retry of frames parked on a dead link
+  kTeardown,       // app close / proxy shutdown forced the flush
+};
+
+const char* flush_reason_name(FlushReason reason);
 
 /// One proxy's registry-backed instruments, labelled {site=<name>}.
 ///
@@ -53,6 +69,16 @@ class ProxyInstruments {
   telemetry::Counter& mpi_messages_remote;
   telemetry::Counter& mpi_bytes_local;
   telemetry::Counter& mpi_bytes_remote;
+  /// Data frames coalesced into kMpiBatch envelopes (pg_mpi_batch_messages).
+  telemetry::Counter& mpi_batch_messages;
+  /// Duplicate kMpiBatch envelopes dropped by the dedup window.
+  telemetry::Counter& mpi_batch_duplicates;
+  /// Logical deliveries produced by fanning out batch frames
+  /// (pg_mpi_fanout_total).
+  telemetry::Counter& mpi_fanout;
+  /// Sum over reasons; the per-reason breakdown lives in the registry as
+  /// pg_mpi_batch_flush_total{site,reason} (see batch_flush()).
+  telemetry::Counter& mpi_batch_flushes;
   telemetry::Counter& handshakes;
   telemetry::Counter& logins;
   telemetry::Counter& apps_run;
@@ -72,6 +98,10 @@ class ProxyInstruments {
   void disconnect(const std::string& site, const std::string& peer,
                   const Status& reason);
 
+  /// Records one flushed batch envelope: bumps `mpi_batch_flushes` and the
+  /// reason-labelled registry counter (pre-resolved — safe on the hot path).
+  void batch_flush(FlushReason reason);
+
   /// Inter-proxy envelope dispatch latency (handler run time, micros).
   telemetry::Histogram& dispatch_micros;
   /// Routed MPI payload sizes, split by scope.
@@ -88,6 +118,7 @@ class ProxyInstruments {
  private:
   ProxyMetrics baseline_;
   std::vector<std::pair<std::uint16_t, telemetry::Counter*>> op_counters_;
+  std::vector<telemetry::Counter*> flush_counters_;  // indexed by FlushReason
   telemetry::Counter& op_other_;
 };
 

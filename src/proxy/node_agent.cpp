@@ -27,6 +27,15 @@ class NodeAgent::AppFabric final : public mpi::Fabric {
     return agent_.fabric_send(app_id_, message);
   }
 
+  Status multicast(const mpi::MpiMessage& message,
+                   const std::vector<std::uint32_t>& dst_ranks) override {
+    return agent_.fabric_multicast(app_id_, message, dst_ranks);
+  }
+
+  Status send_batch(const std::vector<mpi::MpiMessage>& messages) override {
+    return agent_.fabric_send_batch(app_id_, messages);
+  }
+
   Result<mpi::MpiMessage> recv(std::uint32_t rank, std::int32_t src,
                                std::int32_t tag) override {
     mpi::Mailbox* mailbox = nullptr;
@@ -116,6 +125,9 @@ void NodeAgent::handle(const proto::Envelope& envelope, Connection& conn) {
     case proto::OpCode::kMpiData:
       handle_mpi_data(envelope);
       return;
+    case proto::OpCode::kMpiBatch:
+      handle_mpi_batch(envelope);
+      return;
     case proto::OpCode::kMpiClose:
       handle_mpi_close(envelope);
       return;
@@ -161,6 +173,7 @@ void NodeAgent::handle_mpi_open(const proto::Envelope& envelope,
   app->routing.executable = open.value().executable;
   app->routing.world_size = open.value().world_size;
   app->routing.placements = open.value().placements;
+  app->routing.build_index();
   app->local_ranks =
       app->routing.ranks_on_node(config_.site, config_.node_name);
   for (std::uint32_t rank : app->local_ranks) {
@@ -239,6 +252,42 @@ void NodeAgent::handle_mpi_data(const proto::Envelope& envelope) {
   message.tag = data.value().tag;
   message.payload = std::move(data.value().payload);
   (void)mb->second->deliver(std::move(message));
+}
+
+void NodeAgent::handle_mpi_batch(const proto::Envelope& envelope) {
+  Result<proto::MpiBatch> batch = proto::MpiBatch::parse(envelope.payload);
+  if (!batch.is_ok()) {
+    PG_WARN << "node " << config_.node_name << ": bad MpiBatch";
+    return;
+  }
+  if (batch_dedup_.seen_before(batch.value().origin, batch.value().seq)) {
+    PG_DEBUG << "node " << config_.node_name << ": duplicate batch "
+             << batch.value().origin << "#" << batch.value().seq;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(apps_mutex_);
+  for (proto::MpiFrame& frame : batch.value().frames) {
+    const auto it = apps_.find(frame.app_id);
+    if (it == apps_.end()) {
+      PG_WARN << "node " << config_.node_name << ": MpiBatch for unknown app "
+              << frame.app_id;
+      continue;
+    }
+    for (std::uint32_t dst : frame.dst_ranks) {
+      const auto mb = it->second->mailboxes.find(dst);
+      if (mb == it->second->mailboxes.end()) {
+        PG_WARN << "node " << config_.node_name
+                << ": MpiBatch for foreign rank " << dst;
+        continue;
+      }
+      mpi::MpiMessage message;
+      message.src = frame.src_rank;
+      message.dst = dst;
+      message.tag = frame.tag;
+      message.payload = frame.payload;
+      (void)mb->second->deliver(std::move(message));
+    }
+  }
 }
 
 void NodeAgent::handle_mpi_close(const proto::Envelope& envelope) {
@@ -339,6 +388,78 @@ Status NodeAgent::fabric_send(std::uint64_t app_id,
   data.tag = message.tag;
   data.payload = message.payload;
   return connection_->notify(proto::OpCode::kMpiData, data.serialize());
+}
+
+std::string NodeAgent::batch_origin() const {
+  return config_.site + "/" + config_.node_name;
+}
+
+Status NodeAgent::fabric_multicast(std::uint64_t app_id,
+                                   const mpi::MpiMessage& message,
+                                   const std::vector<std::uint32_t>& dst_ranks) {
+  // Local destinations get direct mailbox deliveries; every remote
+  // destination shares ONE frame in one kMpiBatch envelope — the payload
+  // crosses the node->proxy link once, and the proxies fan it out.
+  std::vector<std::uint32_t> remote;
+  {
+    std::lock_guard<std::mutex> lock(apps_mutex_);
+    const auto it = apps_.find(app_id);
+    if (it == apps_.end())
+      return error(ErrorCode::kUnavailable, "application torn down");
+    for (std::uint32_t dst : dst_ranks) {
+      const auto mb = it->second->mailboxes.find(dst);
+      if (mb == it->second->mailboxes.end()) {
+        remote.push_back(dst);
+        continue;
+      }
+      mpi::MpiMessage local = message;
+      local.dst = dst;
+      PG_RETURN_IF_ERROR(mb->second->deliver(std::move(local)));
+    }
+  }
+  if (remote.empty()) return Status::ok();
+
+  proto::MpiBatch batch;
+  batch.origin = batch_origin();
+  batch.seq = batch_seq_.fetch_add(1, std::memory_order_relaxed);
+  proto::MpiFrame frame;
+  frame.app_id = app_id;
+  frame.src_rank = message.src;
+  frame.tag = message.tag;
+  frame.dst_ranks = std::move(remote);
+  frame.payload = message.payload;
+  batch.frames.push_back(std::move(frame));
+  return connection_->notify(proto::OpCode::kMpiBatch, batch.serialize());
+}
+
+Status NodeAgent::fabric_send_batch(
+    std::uint64_t app_id, const std::vector<mpi::MpiMessage>& messages) {
+  proto::MpiBatch batch;
+  {
+    std::lock_guard<std::mutex> lock(apps_mutex_);
+    const auto it = apps_.find(app_id);
+    if (it == apps_.end())
+      return error(ErrorCode::kUnavailable, "application torn down");
+    for (const mpi::MpiMessage& message : messages) {
+      const auto mb = it->second->mailboxes.find(message.dst);
+      if (mb != it->second->mailboxes.end()) {
+        PG_RETURN_IF_ERROR(mb->second->deliver(message));
+        continue;
+      }
+      proto::MpiFrame frame;
+      frame.app_id = app_id;
+      frame.src_rank = message.src;
+      frame.tag = message.tag;
+      frame.dst_ranks = {message.dst};
+      frame.payload = message.payload;
+      batch.frames.push_back(std::move(frame));
+    }
+  }
+  if (batch.frames.empty()) return Status::ok();
+
+  batch.origin = batch_origin();
+  batch.seq = batch_seq_.fetch_add(1, std::memory_order_relaxed);
+  return connection_->notify(proto::OpCode::kMpiBatch, batch.serialize());
 }
 
 // -------------------------------------------------------------- services

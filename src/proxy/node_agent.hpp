@@ -13,6 +13,7 @@
 // link runs GSSL — which is how experiment E2 contrasts the two designs.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -28,6 +29,7 @@
 #include "mpi/runtime.hpp"
 #include "net/channel.hpp"
 #include "proxy/app_routing.hpp"
+#include "proxy/batch_window.hpp"
 #include "proxy/connection.hpp"
 #include "tls/gssl.hpp"
 
@@ -89,15 +91,28 @@ class NodeAgent {
   void handle_mpi_open(const proto::Envelope& envelope, Connection& conn);
   void handle_mpi_start(const proto::Envelope& envelope);
   void handle_mpi_data(const proto::Envelope& envelope);
+  void handle_mpi_batch(const proto::Envelope& envelope);
   void handle_mpi_close(const proto::Envelope& envelope);
   void handle_tunnel_open(const proto::Envelope& envelope, Connection& conn);
   void handle_tunnel_data(const proto::Envelope& envelope, Connection& conn);
   void handle_tunnel_close(const proto::Envelope& envelope);
 
   Status fabric_send(std::uint64_t app_id, const mpi::MpiMessage& message);
+  Status fabric_multicast(std::uint64_t app_id, const mpi::MpiMessage& message,
+                          const std::vector<std::uint32_t>& dst_ranks);
+  Status fabric_send_batch(std::uint64_t app_id,
+                           const std::vector<mpi::MpiMessage>& messages);
+  /// This node's kMpiBatch sender identity ("<site>/<node>").
+  std::string batch_origin() const;
 
   NodeAgentConfig config_;
   ConnectionPtr connection_;
+
+  /// Sequence numbers for batches this node originates, and the window of
+  /// batches already received (intra-site links can duplicate frames under
+  /// fault injection).
+  std::atomic<std::uint64_t> batch_seq_{1};
+  BatchDedupWindow batch_dedup_;
 
   std::mutex apps_mutex_;
   std::map<std::uint64_t, std::unique_ptr<App>> apps_;

@@ -34,6 +34,9 @@ ProxyServer::ProxyServer(ProxyConfig config)
   if (config_.heartbeat_interval > 0) {
     heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
   }
+  if (config_.mpi_batch_flush_interval > 0) {
+    flusher_thread_ = std::thread([this] { flusher_loop(); });
+  }
 }
 
 ProxyServer::~ProxyServer() { shutdown(); }
@@ -86,6 +89,7 @@ Status ProxyServer::attach_node(const std::string& node_name,
       return error(ErrorCode::kAlreadyExists,
                    "node already attached: " + node_name);
     nodes_[node_name] = std::move(conn);
+    conns_generation_.fetch_add(1, std::memory_order_release);
   }
   raw->start();
   return Status::ok();
@@ -132,6 +136,7 @@ Status ProxyServer::connect_peer(const std::string& peer_site,
       peers_.erase(existing);
     }
     peers_[peer_site] = std::move(conn);
+    conns_generation_.fetch_add(1, std::memory_order_release);
   }
   // Joining the dead connection's reader must happen outside conns_mutex_
   // (the reader may be blocked acquiring it) — same rule as shutdown().
@@ -356,6 +361,7 @@ AppRunResult ProxyServer::run_app(const std::string& user, BytesView token,
   routing.executable = executable;
   routing.world_size = ranks;
   routing.placements = placements.take();
+  routing.build_index();
   result.app_id = routing.app_id;
   result.placements = routing.placements;
 
@@ -497,6 +503,7 @@ Status ProxyServer::open_app_locally(const AppRouting& routing,
     std::lock_guard<std::mutex> lock(apps_mutex_);
     AppState& app = apps_[routing.app_id];
     app.routing = routing;
+    if (!app.routing.indexed()) app.routing.build_index();
     app.origin_site = origin_site;
     app.pending_nodes.insert(my_nodes.begin(), my_nodes.end());
   }
@@ -559,6 +566,10 @@ void ProxyServer::close_app_locally(std::uint64_t app_id) {
       (void)conn->notify(proto::OpCode::kMpiClose, close_msg.serialize());
     }
   }
+  // Push out any frames still queued for peer sites: ranks elsewhere may be
+  // blocked on data sent just before this site's share of the app ended.
+  if (config_.mpi_batch_flush_interval > 0)
+    flush_batches(FlushReason::kTeardown);
 }
 
 void ProxyServer::site_finished(std::uint64_t app_id, const std::string& site,
@@ -591,6 +602,10 @@ void ProxyServer::handle_peer(const proto::Envelope& envelope,
   if (envelope.op == proto::OpCode::kMpiData) {
     // Hot path: counters only — no span, no dispatch timer.
     route_mpi_data(envelope);
+    return;
+  }
+  if (envelope.op == proto::OpCode::kMpiBatch) {
+    handle_mpi_batch(envelope);  // hot path too
     return;
   }
   if (envelope.op == proto::OpCode::kHeartbeat) {
@@ -665,6 +680,10 @@ void ProxyServer::handle_node(const std::string& node,
   if (envelope.op == proto::OpCode::kMpiData) {
     // Hot path: counters only — no dispatch timer.
     route_mpi_data(envelope);
+    return;
+  }
+  if (envelope.op == proto::OpCode::kMpiBatch) {
+    handle_mpi_batch(envelope);  // hot path too
     return;
   }
   telemetry::ScopedTimer dispatch_timer(instruments_.dispatch_micros);
@@ -761,6 +780,7 @@ void ProxyServer::handle_mpi_open_from_peer(const proto::Envelope& envelope,
   routing.executable = open.value().executable;
   routing.world_size = open.value().world_size;
   routing.placements = open.value().placements;
+  routing.build_index();
 
   const Status opened = open_app_locally(routing, conn.peer_name());
   ack.ok = opened.is_ok();
@@ -779,6 +799,42 @@ void ProxyServer::handle_mpi_close(const proto::Envelope& envelope) {
   if (close_msg.is_ok()) close_app_locally(close_msg.value().app_id);
 }
 
+bool ProxyServer::resolve_rank_route(std::uint64_t app_id,
+                                     std::uint32_t dst_rank, bool& local,
+                                     std::string& target, Connection*& conn) {
+  const std::uint64_t generation =
+      conns_generation_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(apps_mutex_);
+    const auto it = apps_.find(app_id);
+    if (it == apps_.end()) return false;
+    const auto cached = it->second.route_cache.find(dst_rank);
+    if (cached != it->second.route_cache.end() &&
+        cached->second.generation == generation) {
+      local = cached->second.local;
+      target = cached->second.target;
+      conn = cached->second.conn;
+      return true;
+    }
+    const proto::RankPlacement* placement =
+        it->second.routing.placement_of(dst_rank);
+    if (placement == nullptr) return false;
+    local = placement->site == config_.site;
+    target = local ? placement->node : placement->site;
+  }
+  // Connection maps have their own lock; resolve outside apps_mutex_ and
+  // write the cache entry back (a lost race just re-resolves next time).
+  conn = local ? node_connection(target) : peer_connection(target);
+  {
+    std::lock_guard<std::mutex> lock(apps_mutex_);
+    const auto it = apps_.find(app_id);
+    if (it != apps_.end())
+      it->second.route_cache[dst_rank] =
+          RouteEntry{local, target, conn, generation};
+  }
+  return true;
+}
+
 void ProxyServer::route_mpi_data(const proto::Envelope& envelope) {
   Result<proto::MpiData> data = proto::MpiData::parse(envelope.payload);
   if (!data.is_ok()) {
@@ -786,25 +842,18 @@ void ProxyServer::route_mpi_data(const proto::Envelope& envelope) {
     return;
   }
 
-  const proto::RankPlacement* target = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(apps_mutex_);
-    const auto it = apps_.find(data.value().app_id);
-    if (it == apps_.end()) {
-      PG_WARN << config_.site << ": MpiData for unknown app "
-              << data.value().app_id;
-      return;
-    }
-    target = it->second.routing.placement_of(data.value().dst_rank);
-  }
-  if (target == nullptr) {
-    PG_WARN << config_.site << ": MpiData for unknown rank "
-            << data.value().dst_rank;
+  bool local = false;
+  std::string target;
+  Connection* conn = nullptr;
+  if (!resolve_rank_route(data.value().app_id, data.value().dst_rank, local,
+                          target, conn)) {
+    PG_WARN << config_.site << ": MpiData for unknown app "
+            << data.value().app_id << " / rank " << data.value().dst_rank;
     return;
   }
 
-  if (target->site == config_.site) {
-    if (Connection* conn = node_connection(target->node)) {
+  if (local) {
+    if (conn != nullptr) {
       (void)conn->notify(proto::OpCode::kMpiData, envelope.payload);
       instruments_.mpi_messages_local.increment();
       instruments_.mpi_bytes_local.increment(data.value().payload.size());
@@ -813,14 +862,242 @@ void ProxyServer::route_mpi_data(const proto::Envelope& envelope) {
     }
     return;
   }
-  if (Connection* conn = peer_connection(target->site)) {
+
+  if (config_.mpi_batch_flush_interval > 0) {
+    // Remote singles go through the per-site batcher: an idle link flushes
+    // the frame immediately; under bursts, same-site frames coalesce into
+    // one sealed record. The original payload rides along so a lone frame
+    // still leaves as plain kMpiData with zero re-serialization.
+    proto::MpiFrame frame;
+    frame.app_id = data.value().app_id;
+    frame.src_rank = data.value().src_rank;
+    frame.tag = data.value().tag;
+    frame.dst_ranks = {data.value().dst_rank};
+    frame.payload = std::move(data.value().payload);
+    enqueue_remote_frame(target, std::move(frame),
+                         Bytes(envelope.payload.begin(),
+                               envelope.payload.end()));
+    return;
+  }
+  if (conn != nullptr) {
     (void)conn->notify(proto::OpCode::kMpiData, envelope.payload);
     instruments_.mpi_messages_remote.increment();
     instruments_.mpi_bytes_remote.increment(data.value().payload.size());
     instruments_.mpi_message_bytes_remote.observe(
         static_cast<double>(data.value().payload.size()));
   } else {
-    PG_WARN << config_.site << ": no route to site " << target->site;
+    PG_WARN << config_.site << ": no route to site " << target;
+  }
+}
+
+void ProxyServer::handle_mpi_batch(const proto::Envelope& envelope) {
+  Result<proto::MpiBatch> batch = proto::MpiBatch::parse(envelope.payload);
+  if (!batch.is_ok()) {
+    PG_WARN << config_.site << ": dropping malformed MpiBatch";
+    return;
+  }
+  if (batch_dedup_.seen_before(batch.value().origin, batch.value().seq)) {
+    instruments_.mpi_batch_duplicates.increment();
+    return;
+  }
+  for (proto::MpiFrame& frame : batch.value().frames) {
+    route_mpi_frame(std::move(frame));
+  }
+}
+
+void ProxyServer::route_mpi_frame(proto::MpiFrame frame) {
+  // Split the frame's destinations: ranks on this site group per hosting
+  // node (one kMpiBatch down each node link), remote ranks group per peer
+  // site (one queued frame each — the payload crosses every link once).
+  std::map<std::string, std::vector<std::uint32_t>> per_node;
+  std::map<std::string, Connection*> node_conns;
+  std::map<std::string, std::vector<std::uint32_t>> per_site;
+  for (const std::uint32_t dst : frame.dst_ranks) {
+    bool local = false;
+    std::string target;
+    Connection* conn = nullptr;
+    if (!resolve_rank_route(frame.app_id, dst, local, target, conn)) {
+      PG_WARN << config_.site << ": batch frame for unknown app "
+              << frame.app_id << " / rank " << dst;
+      continue;
+    }
+    if (local) {
+      per_node[target].push_back(dst);
+      node_conns[target] = conn;
+    } else {
+      per_site[target].push_back(dst);
+    }
+  }
+
+  for (auto& [node, dsts] : per_node) {
+    Connection* conn = node_conns[node];
+    if (conn == nullptr) {
+      PG_WARN << config_.site << ": no link to node " << node;
+      continue;
+    }
+    proto::MpiBatch out;
+    out.origin = config_.site;
+    out.seq = batch_seq_.fetch_add(1, std::memory_order_relaxed);
+    proto::MpiFrame fanned;
+    fanned.app_id = frame.app_id;
+    fanned.src_rank = frame.src_rank;
+    fanned.tag = frame.tag;
+    fanned.dst_ranks = std::move(dsts);
+    fanned.payload = frame.payload;
+    instruments_.mpi_fanout.increment(fanned.dst_ranks.size());
+    out.frames.push_back(std::move(fanned));
+    (void)conn->notify(proto::OpCode::kMpiBatch, out.serialize());
+    instruments_.mpi_messages_local.increment();
+    instruments_.mpi_bytes_local.increment(frame.payload.size());
+    instruments_.mpi_message_bytes_local.observe(
+        static_cast<double>(frame.payload.size()));
+  }
+
+  for (auto& [site, dsts] : per_site) {
+    proto::MpiFrame forward;
+    forward.app_id = frame.app_id;
+    forward.src_rank = frame.src_rank;
+    forward.tag = frame.tag;
+    forward.dst_ranks = std::move(dsts);
+    forward.payload = frame.payload;
+    instruments_.mpi_fanout.increment(forward.dst_ranks.size());
+    enqueue_remote_frame(site, std::move(forward), {});
+  }
+}
+
+void ProxyServer::enqueue_remote_frame(const std::string& site,
+                                       proto::MpiFrame frame, Bytes raw) {
+  instruments_.mpi_batch_messages.increment();
+  std::unique_lock<std::mutex> lock(batch_mutex_);
+  SiteBatch& batch = batches_[site];
+  batch.bytes += frame.payload.size();
+  batch.frames.push_back(QueuedFrame{std::move(frame), std::move(raw)});
+  if (batch.flushing) return;  // active drainer will carry this frame too
+  batch.flushing = true;
+  batch.deadline = 0;
+  drain_site_locked(lock, site, FlushReason::kImmediate);
+}
+
+void ProxyServer::drain_site_locked(std::unique_lock<std::mutex>& lock,
+                                    const std::string& site,
+                                    FlushReason trigger) {
+  bool first = true;
+  for (;;) {
+    SiteBatch& batch = batches_[site];
+    if (batch.frames.empty()) {
+      batch.flushing = false;
+      batch.deadline = 0;
+      return;
+    }
+
+    // Carve one envelope's worth of frames off the front.
+    std::vector<QueuedFrame> chunk;
+    std::size_t chunk_bytes = 0;
+    bool bytes_full = false;
+    while (!batch.frames.empty() &&
+           chunk.size() < config_.mpi_batch_max_frames) {
+      const std::size_t size = batch.frames.front().frame.payload.size();
+      if (!chunk.empty() &&
+          chunk_bytes + size > config_.mpi_batch_max_bytes) {
+        bytes_full = true;
+        break;
+      }
+      chunk_bytes += size;
+      chunk.push_back(std::move(batch.frames.front()));
+      batch.frames.erase(batch.frames.begin());
+    }
+    batch.bytes -= chunk_bytes;
+    const FlushReason reason =
+        bytes_full                ? FlushReason::kBytes
+        : chunk.size() >= config_.mpi_batch_max_frames ? FlushReason::kFrames
+        : first                   ? trigger
+                                  : FlushReason::kCombine;
+    first = false;
+
+    // Network I/O happens outside the lock; the `flushing` flag keeps this
+    // thread the queue's only drainer meanwhile.
+    lock.unlock();
+    Connection* conn = peer_connection(site);
+    if (conn == nullptr || !conn->alive()) {
+      lock.lock();
+      if (trigger == FlushReason::kTeardown) {
+        // Match the unbatched path: a send to a dead site vanishes.
+        continue;
+      }
+      // Park the chunk; the flusher thread retries after the interval, by
+      // which time auto-reconnect may have revived the link.
+      SiteBatch& parked = batches_[site];
+      parked.frames.insert(parked.frames.begin(),
+                           std::make_move_iterator(chunk.begin()),
+                           std::make_move_iterator(chunk.end()));
+      parked.bytes += chunk_bytes;
+      parked.flushing = false;
+      parked.deadline = steady_micros() + config_.mpi_batch_flush_interval;
+      batch_cv_.notify_all();
+      return;
+    }
+
+    if (chunk.size() == 1 && !chunk[0].raw.empty()) {
+      // Lone plain data message: forward the original kMpiData payload.
+      (void)conn->notify(proto::OpCode::kMpiData, chunk[0].raw);
+    } else {
+      proto::MpiBatch out;
+      out.origin = config_.site;
+      out.seq = batch_seq_.fetch_add(1, std::memory_order_relaxed);
+      out.frames.reserve(chunk.size());
+      for (QueuedFrame& queued : chunk)
+        out.frames.push_back(std::move(queued.frame));
+      (void)conn->notify(proto::OpCode::kMpiBatch, out.serialize());
+    }
+    instruments_.mpi_messages_remote.increment();
+    instruments_.mpi_bytes_remote.increment(chunk_bytes);
+    instruments_.mpi_message_bytes_remote.observe(
+        static_cast<double>(chunk_bytes));
+    instruments_.batch_flush(reason);
+    lock.lock();
+  }
+}
+
+void ProxyServer::flush_batches(FlushReason reason) {
+  std::unique_lock<std::mutex> lock(batch_mutex_);
+  for (auto& [site, batch] : batches_) {
+    if (batch.flushing || batch.frames.empty()) continue;
+    batch.flushing = true;
+    batch.deadline = 0;
+    drain_site_locked(lock, site, reason);
+  }
+}
+
+void ProxyServer::flusher_loop() {
+  std::unique_lock<std::mutex> lock(batch_mutex_);
+  while (!shut_down_.load(std::memory_order_acquire)) {
+    TimeMicros now = steady_micros();
+    TimeMicros next = 0;
+    for (const auto& [site, batch] : batches_) {
+      if (batch.frames.empty() || batch.flushing || batch.deadline == 0)
+        continue;
+      if (next == 0 || batch.deadline < next) next = batch.deadline;
+    }
+    const TimeMicros wait =
+        next == 0 ? config_.mpi_batch_flush_interval
+                  : (next > now ? next - now : TimeMicros{1});
+    batch_cv_.wait_for(lock, std::chrono::microseconds(wait));
+    if (shut_down_.load(std::memory_order_acquire)) break;
+
+    now = steady_micros();
+    std::vector<std::string> due;
+    for (const auto& [site, batch] : batches_) {
+      if (!batch.frames.empty() && !batch.flushing && batch.deadline != 0 &&
+          batch.deadline <= now)
+        due.push_back(site);
+    }
+    for (const std::string& site : due) {
+      SiteBatch& batch = batches_[site];
+      if (batch.flushing || batch.frames.empty()) continue;
+      batch.flushing = true;
+      batch.deadline = 0;
+      drain_site_locked(lock, site, FlushReason::kInterval);
+    }
   }
 }
 
@@ -1306,6 +1583,7 @@ std::vector<LinkReport> ProxyServer::link_report() const {
 
 void ProxyServer::on_peer_down(const std::string& site, const Status& reason) {
   instruments_.disconnect(config_.site, site, reason);
+  conns_generation_.fetch_add(1, std::memory_order_release);
   if (shut_down_.load(std::memory_order_acquire)) return;
 
   // A reconnect may already have replaced the dead connection (this fires
@@ -1357,6 +1635,7 @@ void ProxyServer::on_peer_down(const std::string& site, const Status& reason) {
 
 void ProxyServer::on_node_down(const std::string& node, const Status& reason) {
   instruments_.disconnect(config_.site, node, reason);
+  conns_generation_.fetch_add(1, std::memory_order_release);
   if (shut_down_.load(std::memory_order_acquire)) return;
 
   PG_WARN << config_.site << ": node " << node
@@ -1441,6 +1720,16 @@ void ProxyServer::shutdown() {
   }
   hb_cv_.notify_all();
   if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+
+  // Stop the batch flusher, then push out whatever is still queued while
+  // the links are up (frames for dead sites are dropped, as an unbatched
+  // send to a dead site would have been).
+  {
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+  }
+  batch_cv_.notify_all();
+  if (flusher_thread_.joinable()) flusher_thread_.join();
+  flush_batches(FlushReason::kTeardown);
 
   // Snapshot under the lock but close outside it: close() joins the
   // connection's reader thread, and a reader mid-handler may itself need

@@ -21,6 +21,7 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "auth/authenticator.hpp"
@@ -31,6 +32,7 @@
 #include "monitor/site_collector.hpp"
 #include "net/channel.hpp"
 #include "proxy/app_routing.hpp"
+#include "proxy/batch_window.hpp"
 #include "proxy/connection.hpp"
 #include "proxy/job_manager.hpp"
 #include "proxy/metrics.hpp"
@@ -74,6 +76,18 @@ struct ProxyConfig {
   std::uint32_t job_max_attempts = 3;
   /// run_app deadline used for batch-job attempts.
   TimeMicros job_run_timeout = 120 * kMicrosPerSecond;
+
+  // ---- MPI data-plane batching (docs/PERFORMANCE.md, "MPI data plane") ----
+  /// Retry period for batch frames parked on a dead inter-site link, and
+  /// the flusher thread's poll bound. 0 disables batching entirely: every
+  /// remote frame goes out by itself, as before protocol v3. Batching adds
+  /// no latency on an idle link (a lone enqueue drains itself immediately);
+  /// coalescing only happens when sends genuinely pile up.
+  TimeMicros mpi_batch_flush_interval = 2000;
+  /// Payload-byte budget per flushed kMpiBatch envelope.
+  std::size_t mpi_batch_max_bytes = 256 * 1024;
+  /// Frame budget per flushed kMpiBatch envelope.
+  std::size_t mpi_batch_max_frames = 64;
 };
 
 /// Outcome of a grid application run.
@@ -222,6 +236,11 @@ class ProxyServer {
   std::vector<LinkReport> link_report() const;
   monitor::SiteCollector& collector() { return collector_; }
 
+  /// True once shutdown() ran (link monitors skip dead proxies).
+  bool is_shut_down() const {
+    return shut_down_.load(std::memory_order_acquire);
+  }
+
   void shutdown();
 
  private:
@@ -234,11 +253,43 @@ class ProxyServer {
     bool done() const { return pending_sites.empty() || !failure.is_ok(); }
   };
 
+  /// Cached resolution of one destination rank: where it lives and the
+  /// connection that reaches it. Valid only while `generation` matches
+  /// conns_generation_ (bumped whenever a connection is added or lost).
+  struct RouteEntry {
+    bool local = false;
+    std::string target;  // node name (local) or peer site (remote)
+    Connection* conn = nullptr;
+    std::uint64_t generation = 0;
+  };
+
   struct AppState {
     AppRouting routing;
     std::string origin_site;  // empty when this proxy is the origin
     std::set<std::string> pending_nodes;
     std::uint32_t exit_code = 0;
+    std::unordered_map<std::uint32_t, RouteEntry> route_cache;
+  };
+
+  /// One queued data frame bound for a peer site.
+  struct QueuedFrame {
+    proto::MpiFrame frame;
+    /// Original kMpiData envelope payload when the frame wraps exactly one
+    /// plain data message; a single-frame flush then goes out as kMpiData
+    /// with no re-serialization (the zero-copy path for serial traffic).
+    Bytes raw;
+  };
+
+  /// Per-destination-site outgoing batch queue (greedy-drain batching).
+  struct SiteBatch {
+    std::vector<QueuedFrame> frames;
+    std::size_t bytes = 0;
+    /// True while one thread drains this queue; concurrent enqueuers just
+    /// append — their frames ride in the drainer's next envelope.
+    bool flushing = false;
+    /// When nonzero, the flusher thread retries at this steady-clock time
+    /// (frames parked because the peer link was down).
+    TimeMicros deadline = 0;
   };
 
   // -- handlers (reader threads)
@@ -256,6 +307,7 @@ class ProxyServer {
   void handle_mpi_close(const proto::Envelope& envelope);
   void handle_mpi_abort_from_peer(const proto::Envelope& envelope);
   void route_mpi_data(const proto::Envelope& envelope);
+  void handle_mpi_batch(const proto::Envelope& envelope);
   void handle_mpi_done_from_node(const proto::Envelope& envelope);
   void handle_mpi_done_from_peer(const proto::Envelope& envelope);
   void handle_tunnel_from_node(const std::string& node,
@@ -277,6 +329,32 @@ class ProxyServer {
   Connection* node_connection(const std::string& node) const;
   tls::GsslConfig gssl_config(const std::string& expected_peer) const;
   void relay_async(std::function<void()> work);
+
+  // -- MPI data-plane fast path
+  /// Resolves where `dst_rank` lives through the per-app route cache
+  /// (falls back to the indexed routing table + connection maps on a miss
+  /// or a generation change). False when the app or rank is unknown; the
+  /// resolved connection may still be null when no link exists.
+  bool resolve_rank_route(std::uint64_t app_id, std::uint32_t dst_rank,
+                          bool& local, std::string& target,
+                          Connection*& conn);
+  /// Routes one (possibly fan-out) frame: local destinations become one
+  /// kMpiBatch per hosting node, remote destinations one queued frame per
+  /// peer site.
+  void route_mpi_frame(proto::MpiFrame frame);
+  /// Queues a frame for `site` and drains the queue unless another thread
+  /// already is. `raw` optionally carries the frame's original kMpiData
+  /// payload (see QueuedFrame). With batching disabled the frame is sent
+  /// straight away.
+  void enqueue_remote_frame(const std::string& site, proto::MpiFrame frame,
+                            Bytes raw);
+  /// Drains batches_[site] to the peer link; call with `lock` held and the
+  /// site's `flushing` flag owned. Unlocks around every network send.
+  void drain_site_locked(std::unique_lock<std::mutex>& lock,
+                         const std::string& site, FlushReason trigger);
+  /// Drains every idle non-empty site queue (teardown / shutdown).
+  void flush_batches(FlushReason reason);
+  void flusher_loop();
 
   // -- resilience
   /// Retrying request/response against whatever connection `resolve`
@@ -310,6 +388,8 @@ class ProxyServer {
   mutable std::mutex conns_mutex_;
   std::map<std::string, ConnectionPtr> peers_;
   std::map<std::string, ConnectionPtr> nodes_;
+  /// Bumped on every connection add/loss; invalidates RouteEntry caches.
+  std::atomic<std::uint64_t> conns_generation_{1};
 
   mutable std::mutex apps_mutex_;
   std::condition_variable runs_cv_;
@@ -333,6 +413,16 @@ class ProxyServer {
   std::mutex hb_mutex_;
   std::condition_variable hb_cv_;
   std::thread heartbeat_thread_;
+
+  // Outgoing MPI batch queues, one per destination site, plus the timer
+  // thread that retries frames parked on dead links (runs only when
+  // config_.mpi_batch_flush_interval > 0).
+  std::mutex batch_mutex_;
+  std::condition_variable batch_cv_;
+  std::map<std::string, SiteBatch> batches_;
+  std::thread flusher_thread_;
+  std::atomic<std::uint64_t> batch_seq_{1};
+  BatchDedupWindow batch_dedup_;
 
   std::atomic<bool> shut_down_{false};
 };

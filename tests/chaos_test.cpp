@@ -9,13 +9,17 @@
 // shrug.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <thread>
 
 #include "grid/grid.hpp"
+#include "mpi/datatypes.hpp"
 #include "mpi/runtime.hpp"
 #include "net/memory_channel.hpp"
+#include "proto/messages.hpp"
 #include "proxy/resilience.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace pg::grid {
 namespace {
@@ -217,6 +221,247 @@ TEST(Chaos, JobsConvergeUnderDropsAndNodeKill) {
   // Quiesce the fault stream so teardown isn't throttled by delays.
   grid->inter_site_injector()->set_policy({});
   grid->intra_site_injector()->set_policy({});
+  grid->shutdown();
+}
+
+TEST(Chaos, CrossSiteCollectivesConvergeUnderDropAndDuplicate) {
+  // Collective-heavy jobs spanning sites while the links drop AND
+  // duplicate writes. On the GSSL mesh a duplicated record desynchronizes
+  // the sequence MACs and kills the link just like a drop; on the
+  // plaintext node links the batch dedup window absorbs replayed batch
+  // envelopes. The assertion stays convergence: every job terminal,
+  // clean shutdown.
+  static const bool registered = [] {
+    mpi::AppRegistry::instance().register_app(
+        "chaos-collective", [](mpi::Comm& comm) -> Status {
+          for (int iter = 0; iter < 3; ++iter) {
+            Result<Bytes> root_word = comm.broadcast(
+                0, comm.rank() == 0 ? mpi::pack_u64(iter) : Bytes{});
+            if (!root_word.is_ok()) return root_word.status();
+            if (mpi::unpack_u64(root_word.value()).value() !=
+                static_cast<std::uint64_t>(iter))
+              return error(ErrorCode::kInternal, "broadcast value wrong");
+            Result<double> sum = comm.allreduce(1.0, mpi::ReduceOp::kSum);
+            if (!sum.is_ok()) return sum.status();
+            if (sum.value() != static_cast<double>(comm.size()))
+              return error(ErrorCode::kInternal, "allreduce value wrong");
+          }
+          return Status::ok();
+        });
+    return true;
+  }();
+  (void)registered;
+
+  const std::uint64_t seed = chaos_seed() + 17;
+  SCOPED_TRACE("PG_CHAOS_SEED=" + std::to_string(seed));
+  GridBuilder builder;
+  builder.seed(seed).key_bits(512).fault_injection();
+  builder.add_nodes("site0", 2).add_nodes("site1", 2);
+  builder.add_user("u", "p", {"mpi.run", "status.query", "job.submit"});
+  builder.configure_proxy([](proxy::ProxyConfig& config) {
+    config.heartbeat_interval = 50 * kMicrosPerMilli;
+    config.heartbeat_miss_threshold = 3;
+    config.job_max_attempts = 3;
+    config.job_run_timeout = 4 * kMicrosPerSecond;
+    config.retry.per_try_timeout = kMicrosPerSecond;
+    config.retry.initial_backoff = 10 * kMicrosPerMilli;
+    config.retry.max_backoff = 200 * kMicrosPerMilli;
+  });
+  auto built = builder.build();
+  ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+  auto grid = built.take();
+  auto token = grid->login("site0", "u", "p");
+  ASSERT_TRUE(token.is_ok());
+
+  {
+    net::FaultPolicy inter;
+    inter.drop_rate = 0.05;
+    inter.duplicate_rate = 0.05;
+    inter.delay_rate = 0.2;
+    inter.max_delay = 2 * kMicrosPerMilli;
+    grid->inter_site_injector()->set_policy(inter);
+
+    net::FaultPolicy intra;
+    intra.drop_rate = 0.05;
+    intra.duplicate_rate = 0.10;
+    intra.delay_rate = 0.2;
+    intra.max_delay = kMicrosPerMilli;
+    grid->intra_site_injector()->set_policy(intra);
+  }
+
+  std::vector<std::uint64_t> jobs;
+  for (int i = 0; i < 4; ++i) {
+    const auto id = grid->proxy("site0").submit_job(
+        "u", token.value(), "chaos-collective", 4, sched::Policy::kRoundRobin);
+    ASSERT_TRUE(id.is_ok()) << id.status().to_string();
+    jobs.push_back(id.value());
+  }
+  for (const std::uint64_t job : jobs) {
+    const auto record =
+        grid->proxy("site0").wait_job(job, 60 * kMicrosPerSecond);
+    ASSERT_TRUE(record.is_ok()) << record.status().to_string();
+    EXPECT_TRUE(record.value().state == proxy::JobState::kSucceeded ||
+                record.value().state == proxy::JobState::kFailed)
+        << job_state_name(record.value().state);
+  }
+
+  // The chaos was real.
+  EXPECT_GT(grid->inter_site_injector()->dropped() +
+                grid->intra_site_injector()->dropped() +
+                grid->inter_site_injector()->duplicated() +
+                grid->intra_site_injector()->duplicated(),
+            0u);
+
+  grid->inter_site_injector()->set_policy({});
+  grid->intra_site_injector()->set_policy({});
+  grid->shutdown();
+}
+
+TEST(Chaos, DuplicateBatchDroppedByDedupWindow) {
+  // Deterministic replay: the same (origin, seq) batch envelope delivered
+  // twice counts as ONE delivery — the second is dropped and counted.
+  GridBuilder builder;
+  builder.seed(chaos_seed() + 29).key_bits(512);
+  builder.add_nodes("site0", 1).add_nodes("site1", 1);
+  auto built = builder.build();
+  ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+  auto grid = built.take();
+
+  proto::MpiBatch batch;
+  batch.origin = "replayer";
+  batch.seq = 4242;
+  proto::MpiFrame frame;
+  frame.app_id = 999;  // unknown app: routing drops it harmlessly
+  frame.src_rank = 0;
+  frame.tag = 1;
+  frame.dst_ranks = {1};
+  frame.payload = to_bytes("dup");
+  batch.frames = {frame};
+  const Bytes wire = batch.serialize();
+
+  ASSERT_TRUE(grid->proxy("site0")
+                  .notify_peer("site1", proto::OpCode::kMpiBatch, wire)
+                  .is_ok());
+  ASSERT_TRUE(grid->proxy("site0")
+                  .notify_peer("site1", proto::OpCode::kMpiBatch, wire)
+                  .is_ok());
+
+  // Notifies are async; wait for the receiver to process both.
+  std::uint64_t duplicates = 0;
+  for (int i = 0; i < 2000; ++i) {
+    duplicates = grid->proxy("site1").metrics().mpi_batch_duplicates;
+    if (duplicates >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(duplicates, 1u);
+  grid->shutdown();
+}
+
+// Phases for the teardown-flush app: 0 = launching, 1 = the side link is
+// dead (senders fire into the parked queue), 2 = link restored (everyone
+// may exit).
+std::atomic<int> g_park_phase{0};
+std::atomic<int> g_park_started{0};
+
+TEST(Chaos, ParkedBatchFlushesOnAppTeardown) {
+  // Frames queued for a dead site must not strand: app teardown flushes
+  // them (reason "teardown") once the link is back, instead of leaving
+  // them parked until the (here: enormous) retry interval.
+  //
+  // Topology matters: the killed link is site1<->site2, which is on no
+  // path to the origin (site0), so the run survives — origin-facing
+  // failure detection would otherwise fail the run and close the app
+  // before anything parks.
+  static const bool registered = [] {
+    mpi::AppRegistry::instance().register_app(
+        "park-send", [](mpi::Comm& comm) -> Status {
+          g_park_started.fetch_add(1);
+          while (g_park_phase.load() < 1)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          // Fire-and-forget to every other rank: whichever ranks sit on
+          // the severed pair park their frames; nobody ever receives, so
+          // teardown owns the queues.
+          for (std::uint32_t r = 0; r < comm.size(); ++r) {
+            if (r == comm.rank()) continue;
+            for (int i = 0; i < 3; ++i)
+              PG_RETURN_IF_ERROR(comm.send(r, 5, to_bytes("parked")));
+          }
+          while (g_park_phase.load() < 2)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          return Status::ok();
+        });
+    return true;
+  }();
+  (void)registered;
+
+  GridBuilder builder;
+  builder.seed(chaos_seed() + 31).key_bits(512);
+  builder.add_nodes("site0", 1).add_nodes("site1", 1).add_nodes("site2", 1);
+  builder.add_user("u", "p", {"mpi.run", "status.query"});
+  builder.configure_proxy([](proxy::ProxyConfig& config) {
+    // Park "forever": only teardown may flush within the test's lifetime.
+    config.mpi_batch_flush_interval = 600 * kMicrosPerSecond;
+  });
+  auto built = builder.build();
+  ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+  auto grid = built.take();
+  auto token = grid->login("site0", "u", "p");
+  ASSERT_TRUE(token.is_ok());
+
+  const std::uint64_t teardown_flushes_before =
+      telemetry::MetricRegistry::global()
+          .counter("pg_mpi_batch_flush_total",
+                   "kMpiBatch envelopes flushed, by reason",
+                   {{"site", "site1"}, {"reason", "teardown"}})
+          .value();
+
+  g_park_phase.store(0);
+  g_park_started.store(0);
+  proxy::AppRunResult result;
+  std::thread runner([&] {
+    result = grid->run_app("site0", "u", token.value(), "park-send", 3,
+                           SchedulerPolicy::kRoundRobin);
+  });
+
+  for (int i = 0; i < 5000 && g_park_started.load() < 3; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(g_park_started.load(), 3);
+
+  grid->kill_link("site1", "site2");
+  for (int i = 0; i < 1000 && grid->proxy("site1").peer_alive("site2"); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_FALSE(grid->proxy("site1").peer_alive("site2"));
+
+  g_park_phase.store(1);  // senders fire; site1<->site2 frames park
+  std::uint64_t queued = 0;
+  for (int i = 0; i < 5000; ++i) {
+    queued = grid->proxy("site1").metrics().mpi_batch_messages +
+             grid->proxy("site2").metrics().mpi_batch_messages;
+    if (queued >= 12) break;  // each side: 3 frames per remote peer
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(queued, 12u);
+
+  ASSERT_TRUE(grid->reconnect_link("site1", "site2").is_ok());
+  g_park_phase.store(2);
+  runner.join();
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+
+  // App close flushed the parked frames over the healed link.
+  std::uint64_t teardown_flushes = 0;
+  for (int i = 0; i < 2000; ++i) {
+    teardown_flushes =
+        telemetry::MetricRegistry::global()
+            .counter("pg_mpi_batch_flush_total",
+                     "kMpiBatch envelopes flushed, by reason",
+                     {{"site", "site1"}, {"reason", "teardown"}})
+            .value() -
+        teardown_flushes_before;
+    if (teardown_flushes >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(teardown_flushes, 1u);
+  EXPECT_GE(grid->proxy("site1").metrics().mpi_batch_flushes, 1u);
   grid->shutdown();
 }
 

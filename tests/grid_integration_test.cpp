@@ -55,6 +55,16 @@ void register_apps() {
         });
     mpi::AppRegistry::instance().register_app(
         "noop", [](mpi::Comm&) -> Status { return Status::ok(); });
+    mpi::AppRegistry::instance().register_app(
+        "bcast-check", [](mpi::Comm& comm) -> Status {
+          const Bytes data(2048, 0x5a);
+          Result<Bytes> got =
+              comm.broadcast(0, comm.rank() == 0 ? data : Bytes{});
+          if (!got.is_ok()) return got.status();
+          if (got.value() != data)
+            return error(ErrorCode::kInternal, "broadcast payload wrong");
+          return Status::ok();
+        });
     return true;
   }();
   (void)done;
@@ -206,6 +216,37 @@ TEST(GridMpi, PiAcrossTwoSites) {
       grid->proxy("siteA").metrics().mpi_messages_remote +
       grid->proxy("siteB").metrics().mpi_messages_remote;
   EXPECT_GT(remote_msgs, 0u);
+}
+
+TEST(GridMpi, CrossSiteBroadcastCostsOneEnvelopePerRemoteSite) {
+  // The fast-path acceptance property: a 16-rank broadcast across 2 sites
+  // crosses the inter-site link in at most (sites - 1) data envelopes —
+  // one multi-destination batch per remote site, fanned out by the far
+  // proxy — instead of one per remote rank.
+  auto grid = make_grid(proxy::SecurityMode::kProxyTunneling, 2, 2);
+  ASSERT_NE(grid, nullptr);
+  Result<Bytes> token = grid->login("siteA", "alice", "correct-horse");
+  ASSERT_TRUE(token.is_ok());
+
+  const proxy::AppRunResult result =
+      grid->run_app("siteA", "alice", token.value(), "bcast-check", 16,
+                    SchedulerPolicy::kRoundRobin);
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_EQ(result.exit_code, 0u);
+  std::set<std::string> used_sites;
+  for (const auto& p : result.placements) used_sites.insert(p.site);
+  ASSERT_EQ(used_sites.size(), 2u);
+
+  const proxy::ProxyMetrics a = grid->proxy("siteA").metrics();
+  const proxy::ProxyMetrics b = grid->proxy("siteB").metrics();
+  const std::uint64_t remote_envelopes =
+      a.mpi_messages_remote + b.mpi_messages_remote;
+  EXPECT_GE(remote_envelopes, 1u);   // the payload did cross sites
+  EXPECT_LE(remote_envelopes, grid->sites().size() - 1);
+  // The crossing happened through the batcher, and the receiving proxy
+  // fanned the one envelope out to its local ranks.
+  EXPECT_GE(a.mpi_batch_messages + b.mpi_batch_messages, 1u);
+  EXPECT_GE(a.mpi_fanout + b.mpi_fanout, 12u);
 }
 
 TEST(GridMpi, RingAcrossThreeSites) {

@@ -74,6 +74,35 @@ TEST(Mailbox, QueuedMessagesSurviveClose) {
   EXPECT_FALSE(box.deliver(MpiMessage{}).is_ok());
 }
 
+TEST(Mailbox, TargetedWakeupLeavesNonMatchingReceiverBlocked) {
+  // Two receivers block on disjoint (src, tag) matches; a delivery must
+  // wake only the one whose predicate it satisfies.
+  Mailbox box;
+  std::atomic<int> got_a{0};
+  std::atomic<int> got_b{0};
+  std::thread receiver_a([&] {
+    const auto m = box.recv(1, 10);
+    if (m.is_ok()) got_a.store(1);
+  });
+  std::thread receiver_b([&] {
+    const auto m = box.recv(2, 20);
+    if (m.is_ok()) got_b.store(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  ASSERT_TRUE(box.deliver(MpiMessage{2, 0, 20, to_bytes("b")}).is_ok());
+  for (int i = 0; i < 1000 && got_b.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(got_b.load(), 1);
+  EXPECT_EQ(got_a.load(), 0);  // its message never arrived; still parked
+
+  ASSERT_TRUE(box.deliver(MpiMessage{1, 0, 10, to_bytes("a")}).is_ok());
+  receiver_a.join();
+  receiver_b.join();
+  EXPECT_EQ(got_a.load(), 1);
+}
+
 TEST(Mailbox, TryRecvNonBlocking) {
   Mailbox box;
   EXPECT_EQ(box.try_recv(kAnySource, kAnyTag).status().code(),
@@ -449,6 +478,28 @@ TEST(Runtime, FabricCountsTraffic) {
   EXPECT_TRUE(report.status.is_ok());
   EXPECT_EQ(fabric.messages_routed(), 1u);
   EXPECT_EQ(fabric.bytes_routed(), 100u);
+}
+
+TEST(Runtime, DefaultMulticastAndBatchDeliverToEveryDestination) {
+  // The Fabric base-class fallbacks: multicast and send_batch degrade to a
+  // loop of send(), stamping each copy's dst.
+  LocalFabric fabric(4);
+  MpiMessage message{0, 0, 7, to_bytes("fan")};
+  ASSERT_TRUE(fabric.multicast(message, {1, 2, 3}).is_ok());
+  for (std::uint32_t r : {1u, 2u, 3u}) {
+    const auto got = fabric.recv(r, 0, 7);
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(got.value().dst, r);
+    EXPECT_EQ(to_string(got.value().payload), "fan");
+  }
+  EXPECT_EQ(fabric.messages_routed(), 3u);
+
+  const std::vector<MpiMessage> batch = {{0, 1, 8, to_bytes("x")},
+                                         {0, 2, 8, to_bytes("y")}};
+  ASSERT_TRUE(fabric.send_batch(batch).is_ok());
+  EXPECT_EQ(to_string(fabric.recv(1, 0, 8).value().payload), "x");
+  EXPECT_EQ(to_string(fabric.recv(2, 0, 8).value().payload), "y");
+  EXPECT_EQ(fabric.messages_routed(), 5u);
 }
 
 TEST(AppRegistry, RegisterLookupUnregister) {

@@ -30,6 +30,22 @@ TEST(Envelope, RejectsBadVersion) {
   EXPECT_EQ(back.status().code(), ErrorCode::kProtocolError);
 }
 
+TEST(Envelope, AcceptsPreviousProtocolVersion) {
+  // v3 introduced kMpiBatch; a v2 peer's envelopes must still parse.
+  Envelope env;
+  env.version = kMinProtocolVersion;
+  env.op = OpCode::kPing;
+  const auto back = Envelope::deserialize(env.serialize());
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().version, kMinProtocolVersion);
+
+  Envelope below;
+  below.version = kMinProtocolVersion - 1;
+  below.op = OpCode::kPing;
+  EXPECT_EQ(Envelope::deserialize(below.serialize()).status().code(),
+            ErrorCode::kProtocolError);
+}
+
 TEST(Envelope, RejectsTruncation) {
   Envelope env;
   env.op = OpCode::kPing;
@@ -174,6 +190,37 @@ TEST(Messages, MpiDataRoundTrip) {
   EXPECT_EQ(back.value().dst_rank, 3u);
 }
 
+TEST(Messages, MpiBatchRoundTrip) {
+  MpiBatch batch;
+  batch.origin = "siteA";
+  batch.seq = 900;
+  MpiFrame fan;
+  fan.app_id = 5;
+  fan.src_rank = 0;
+  fan.tag = 42;
+  fan.dst_ranks = {1, 2, 3};
+  fan.payload = Bytes(512, 0xab);
+  MpiFrame single;
+  single.app_id = 5;
+  single.src_rank = 3;
+  single.tag = 7;
+  single.dst_ranks = {0};
+  single.payload = to_bytes("pt2pt");
+  batch.frames = {fan, single};
+
+  const auto back = MpiBatch::parse(batch.serialize());
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back.value().origin, "siteA");
+  EXPECT_EQ(back.value().seq, 900u);
+  ASSERT_EQ(back.value().frames.size(), 2u);
+  EXPECT_EQ(back.value().frames[0], fan);
+  EXPECT_EQ(back.value().frames[1], single);
+}
+
+TEST(Messages, MpiBatchOpcodeNamed) {
+  EXPECT_STREQ(opcode_name(OpCode::kMpiBatch), "mpi_batch");
+}
+
 TEST(Messages, TunnelMessagesRoundTrip) {
   TunnelOpen open{11, "siteB", "node2", "mpi"};
   const auto open_back = TunnelOpen::parse(open.serialize());
@@ -219,6 +266,7 @@ TEST(Messages, FuzzDecodeSafety) {
     (void)MpiOpen::parse(junk);
     (void)MpiOpenAck::parse(junk);
     (void)MpiData::parse(junk);
+    (void)MpiBatch::parse(junk);
     (void)MpiClose::parse(junk);
     (void)TunnelOpen::parse(junk);
     (void)TunnelData::parse(junk);
@@ -247,6 +295,28 @@ TEST(Messages, MutationFuzzStatusReport) {
     if (parsed.is_ok()) {
       // Whatever parsed must re-serialize to something parseable.
       EXPECT_TRUE(StatusReport::parse(parsed.value().serialize()).is_ok());
+    }
+  }
+}
+
+TEST(Messages, MutationFuzzMpiBatch) {
+  MpiBatch batch;
+  batch.origin = "s";
+  MpiFrame frame;
+  frame.app_id = 1;
+  frame.dst_ranks = {0, 1};
+  frame.payload = to_bytes("xy");
+  batch.frames = {frame, frame};
+  const Bytes wire = batch.serialize();
+
+  Rng rng(27182);
+  for (int iter = 0; iter < 500; ++iter) {
+    Bytes mutated = wire;
+    const std::size_t pos = rng.next_below(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    const auto parsed = MpiBatch::parse(mutated);
+    if (parsed.is_ok()) {
+      EXPECT_TRUE(MpiBatch::parse(parsed.value().serialize()).is_ok());
     }
   }
 }

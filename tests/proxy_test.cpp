@@ -189,5 +189,38 @@ TEST(AppRouting, PlacementLookups) {
   EXPECT_EQ(routing.virtual_slave_count("siteC"), 4u);
 }
 
+TEST(AppRouting, IndexedLookupsMatchScans) {
+  // build_index() precomputes what placement_of/sites/ranks_on_site/
+  // nodes_on_site otherwise derive per call; results must be identical.
+  AppRouting routing;
+  routing.app_id = 2;
+  routing.world_size = 5;
+  routing.placements = {{0, "siteA", "n0"},
+                        {1, "siteA", "n1"},
+                        {2, "siteB", "n0"},
+                        {3, "siteB", "n0"},
+                        {4, "siteC", "n2"}};
+  EXPECT_FALSE(routing.indexed());
+  routing.build_index();
+  ASSERT_TRUE(routing.indexed());
+
+  ASSERT_NE(routing.placement_of(2), nullptr);
+  EXPECT_EQ(routing.placement_of(2)->site, "siteB");
+  EXPECT_EQ(routing.placement_of(2)->node, "n0");
+  EXPECT_EQ(routing.placement_of(99), nullptr);
+
+  EXPECT_EQ(routing.sites(),
+            (std::vector<std::string>{"siteA", "siteB", "siteC"}));
+  EXPECT_EQ(routing.ranks_on_site("siteB"),
+            (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_EQ(routing.ranks_on_site("nowhere"), (std::vector<std::uint32_t>{}));
+  EXPECT_EQ(routing.ranks_on_node("siteB", "n0"),
+            (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_EQ(routing.nodes_on_site("siteA"),
+            (std::vector<std::string>{"n0", "n1"}));
+  EXPECT_EQ(routing.virtual_slave_count("siteA"), 3u);
+  EXPECT_EQ(routing.virtual_slave_count("siteC"), 4u);
+}
+
 }  // namespace
 }  // namespace pg::proxy

@@ -63,6 +63,70 @@ TEST(Recovery, LinkReconnectRestoresService) {
   EXPECT_TRUE(result.status.is_ok()) << result.status.to_string();
 }
 
+TEST(Recovery, AutoReconnectHealsSeveredLinkWithoutManualIntervention) {
+  static const bool registered = [] {
+    mpi::AppRegistry::instance().register_app(
+        "recovery-noop2", [](mpi::Comm& comm) { return comm.barrier(); });
+    return true;
+  }();
+  (void)registered;
+
+  GridBuilder builder;
+  builder.seed(303).key_bits(512);
+  builder.add_nodes("site0", 1).add_nodes("site1", 1);
+  builder.add_user("u", "p", {"mpi.run", "status.query"});
+  proxy::RetryPolicy policy;
+  policy.initial_backoff = 10 * kMicrosPerMilli;
+  policy.max_backoff = 100 * kMicrosPerMilli;
+  builder.auto_reconnect(true, policy, /*poll_interval=*/10 * kMicrosPerMilli);
+  auto built = builder.build();
+  ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+  auto grid = built.take();
+  auto token = grid->login("site0", "u", "p");
+  ASSERT_TRUE(token.is_ok());
+
+  // Sever the only inter-site link; the monitor must bring it back with no
+  // reconnect_link call from the test.
+  grid->kill_link("site0", "site1");
+  bool healed = false;
+  for (int i = 0; i < 5000; ++i) {
+    if (grid->proxy("site0").peer_alive("site1") &&
+        grid->proxy("site1").peer_alive("site0")) {
+      healed = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(healed);
+
+  // The healed link carries real work again.
+  EXPECT_EQ(grid->status("site0", token.value()).value().size(), 2u);
+  const auto result = grid->run_app("site0", "u", token.value(),
+                                    "recovery-noop2", 2,
+                                    SchedulerPolicy::kRoundRobin);
+  EXPECT_TRUE(result.status.is_ok()) << result.status.to_string();
+  grid->shutdown();
+}
+
+TEST(Recovery, AutoReconnectLeavesKilledProxyDown) {
+  GridBuilder builder;
+  builder.seed(304).key_bits(512);
+  builder.add_nodes("site0", 1).add_nodes("site1", 1);
+  proxy::RetryPolicy policy;
+  policy.initial_backoff = 10 * kMicrosPerMilli;
+  builder.auto_reconnect(true, policy, /*poll_interval=*/10 * kMicrosPerMilli);
+  auto built = builder.build();
+  ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+  auto grid = built.take();
+
+  // A deliberately killed proxy is not a link failure: the monitor must
+  // not resurrect its links.
+  grid->kill_proxy("site1");
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_FALSE(grid->proxy("site0").peer_alive("site1"));
+  grid->shutdown();
+}
+
 TEST(Recovery, ReconnectWhileAliveRejected) {
   auto grid = build_grid(2);
   ASSERT_NE(grid, nullptr);
