@@ -54,6 +54,16 @@ GridBuilder& GridBuilder::add_nodes(const std::string& site, std::size_t count,
   return *this;
 }
 
+GridBuilder& GridBuilder::topology(const TopologySpec& spec) {
+  for (const TopologySpec::Site& site : spec.sites) {
+    add_site(site.name);
+    for (const monitor::NodeProfile& node : site.nodes) {
+      add_node(site.name, node);
+    }
+  }
+  return *this;
+}
+
 GridBuilder& GridBuilder::add_user(const std::string& user,
                                    const std::string& password,
                                    const std::vector<std::string>& permissions) {
@@ -324,6 +334,37 @@ void Grid::kill_node(const std::string& site, const std::string& node) {
   for (int i = 0; i < 500 && proxy_it->second->node_alive(node); ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
+}
+
+Status Grid::apply_fault(const FaultCommand& command) {
+  const auto known = [this](const std::string& site) {
+    return proxies_.count(site) > 0;
+  };
+  switch (command.op) {
+    case FaultCommand::Op::kKillNode: {
+      const auto site_it = agents_.find(command.site);
+      if (site_it == agents_.end() ||
+          site_it->second.count(command.node) == 0)
+        return error(ErrorCode::kInvalidArgument,
+                     "no node " + command.site + "/" + command.node);
+      kill_node(command.site, command.node);
+      return Status::ok();
+    }
+    case FaultCommand::Op::kKillProxy:
+      if (!known(command.site))
+        return error(ErrorCode::kInvalidArgument, "no site " + command.site);
+      kill_proxy(command.site);
+      return Status::ok();
+    case FaultCommand::Op::kKillLink:
+      if (!known(command.site) || !known(command.peer))
+        return error(ErrorCode::kInvalidArgument,
+                     "no link " + command.site + "-" + command.peer);
+      kill_link(command.site, command.peer);
+      return Status::ok();
+    case FaultCommand::Op::kHealLink:
+      return reconnect_link(command.site, command.peer);
+  }
+  return error(ErrorCode::kInvalidArgument, "unknown fault op");
 }
 
 Status Grid::reconnect_link(const std::string& site_a,

@@ -27,6 +27,28 @@ namespace pg::grid {
 
 enum class SchedulerPolicy { kRoundRobin, kLoadBalanced };
 
+/// Declarative multi-site topology — the seam the scenario harness
+/// (src/scenario) uses to stand up a real grid from a parsed scenario
+/// config instead of hand-written add_site/add_node call chains.
+struct TopologySpec {
+  struct Site {
+    std::string name;
+    std::vector<monitor::NodeProfile> nodes;
+  };
+  std::vector<Site> sites;
+};
+
+/// One scripted fault, the live-grid counterpart of a scenario timeline
+/// entry. Applied through Grid::apply_fault so a scripted run and a test
+/// share one control surface.
+struct FaultCommand {
+  enum class Op { kKillNode, kKillProxy, kKillLink, kHealLink };
+  Op op = Op::kKillLink;
+  std::string site;    // kKillNode / kKillProxy target; link endpoint A
+  std::string peer;    // link endpoint B
+  std::string node;    // kKillNode target
+};
+
 /// Traffic totals split the way the E2/E3 analysis needs them.
 struct TrafficReport {
   struct PerClass {
@@ -60,6 +82,9 @@ class GridBuilder {
   /// Convenience: n identical nodes named node0..node{n-1}.
   GridBuilder& add_nodes(const std::string& site, std::size_t count,
                          double cpu_capacity = 1.0);
+
+  /// Adds every site and node of `spec` (scenario-config entry point).
+  GridBuilder& topology(const TopologySpec& spec);
 
   /// Registers a user (password + grants) at every site's proxy.
   GridBuilder& add_user(const std::string& user, const std::string& password,
@@ -153,6 +178,10 @@ class Grid {
   /// fresh GSSL handshake (recovery path for E7). Fault injection, when
   /// enabled, also wraps the fresh link (same shared injector).
   Status reconnect_link(const std::string& site_a, const std::string& site_b);
+
+  /// Scripted fault control: dispatches a FaultCommand to the matching
+  /// kill/reconnect call above. kInvalidArgument for unknown targets.
+  Status apply_fault(const FaultCommand& command);
 
   // ---- chaos harness (null unless built with fault_injection())
   /// Shared fault source for every inter-site link. The initiating side of

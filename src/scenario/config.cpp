@@ -1,0 +1,324 @@
+#include "scenario/config.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "scenario/json.hpp"
+
+namespace pg::scenario {
+
+namespace {
+
+Status invalid(const std::string& what) {
+  return error(ErrorCode::kInvalidArgument, "scenario: " + what);
+}
+
+double number_or(const Json& obj, const std::string& key, double fallback) {
+  const Json* v = obj.find(key);
+  return v && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string string_or(const Json& obj, const std::string& key,
+                      const std::string& fallback) {
+  const Json* v = obj.find(key);
+  return v && v->is_string() ? v->as_string() : fallback;
+}
+
+/// Seconds-denominated config field -> TimeMicros.
+TimeMicros seconds_field(const Json& obj, const std::string& key,
+                         TimeMicros fallback) {
+  const Json* v = obj.find(key);
+  if (!v || !v->is_number()) return fallback;
+  return static_cast<TimeMicros>(
+      std::llround(v->as_number() * kMicrosPerSecond));
+}
+
+/// Accepts either a number (fixed) or a [min, max] pair.
+Status parse_range(const Json& obj, const std::string& key, double& min_out,
+                   double& max_out) {
+  const Json* v = obj.find(key);
+  if (!v) return Status::ok();
+  if (v->is_number()) {
+    min_out = max_out = v->as_number();
+    return Status::ok();
+  }
+  if (v->is_array() && v->as_array().size() == 2 &&
+      v->as_array()[0].is_number() && v->as_array()[1].is_number()) {
+    min_out = v->as_array()[0].as_number();
+    max_out = v->as_array()[1].as_number();
+    if (min_out > max_out) return invalid("'" + key + "' range inverted");
+    return Status::ok();
+  }
+  return invalid("'" + key + "' must be a number or [min, max]");
+}
+
+Status parse_topology(const Json& json, Topology& out) {
+  const Json* topo = json.find("topology");
+  if (!topo || !topo->is_object()) return invalid("missing 'topology' object");
+  const Json* sites = topo->find("sites");
+  if (!sites || !sites->is_array() || sites->as_array().empty())
+    return invalid("'topology.sites' must be a non-empty array");
+  for (const Json& entry : sites->as_array()) {
+    if (!entry.is_object()) return invalid("site entry must be an object");
+    SiteGroup group;
+    group.name = string_or(entry, "name", "");
+    group.prefix = string_or(entry, "prefix", "site");
+    group.count =
+        static_cast<std::size_t>(number_or(entry, "count", group.name.empty() ? 0 : 1));
+    if (group.name.empty() && group.count == 0)
+      return invalid("site entry needs 'name' or 'count'");
+    group.nodes = static_cast<std::size_t>(number_or(entry, "nodes", 4));
+    if (group.nodes == 0) return invalid("site entry needs nodes >= 1");
+    PG_RETURN_IF_ERROR(
+        parse_range(entry, "capacity", group.capacity_min, group.capacity_max));
+    PG_RETURN_IF_ERROR(
+        parse_range(entry, "background_load", group.load_min, group.load_max));
+    out.groups.push_back(std::move(group));
+  }
+  out.intra_profile = string_or(*topo, "intra_link", "lan");
+  out.inter_profile = string_or(*topo, "inter_link", "wan");
+  for (const std::string& name : {out.intra_profile, out.inter_profile}) {
+    if (!sim::link_profile_by_name(name))
+      return invalid("unknown link profile '" + name + "'");
+  }
+  if (const Json* links = topo->find("links")) {
+    if (!links->is_array()) return invalid("'topology.links' must be an array");
+    for (const Json& entry : links->as_array()) {
+      LinkOverride link;
+      link.a = string_or(entry, "a", "");
+      link.b = string_or(entry, "b", "");
+      link.profile = string_or(entry, "profile", "");
+      if (link.a.empty() || link.b.empty() ||
+          !sim::link_profile_by_name(link.profile))
+        return invalid("link override needs 'a', 'b' and a known 'profile'");
+      out.overrides.push_back(std::move(link));
+    }
+  }
+  return Status::ok();
+}
+
+Status parse_workload(const Json& json, Workload& out) {
+  const Json* wl = json.find("workload");
+  if (!wl) return Status::ok();  // defaults: pure-fault scenarios are legal
+  if (!wl->is_object()) return invalid("'workload' must be an object");
+  out.jobs = static_cast<std::size_t>(number_or(*wl, "jobs", 100));
+
+  if (const Json* arrival = wl->find("arrival")) {
+    const std::string pattern = string_or(*arrival, "pattern", "poisson");
+    if (pattern == "poisson") {
+      out.arrival.pattern = sim::ArrivalPattern::kPoisson;
+    } else if (pattern == "burst") {
+      out.arrival.pattern = sim::ArrivalPattern::kBurst;
+    } else if (pattern == "diurnal") {
+      out.arrival.pattern = sim::ArrivalPattern::kDiurnal;
+    } else {
+      return invalid("unknown arrival pattern '" + pattern + "'");
+    }
+    out.arrival.mean_interarrival = seconds_field(
+        *arrival, "mean_interarrival_s", out.arrival.mean_interarrival);
+    out.arrival.burst_size = static_cast<std::size_t>(
+        number_or(*arrival, "burst_size", out.arrival.burst_size));
+    out.arrival.burst_gap =
+        seconds_field(*arrival, "burst_gap_s", out.arrival.burst_gap);
+    out.arrival.day_length =
+        seconds_field(*arrival, "day_length_s", out.arrival.day_length);
+    out.arrival.peak_to_trough =
+        number_or(*arrival, "peak_to_trough", out.arrival.peak_to_trough);
+  }
+
+  if (const Json* cost = wl->find("task_cost")) {
+    out.cost_dist = string_or(*cost, "dist", "uniform");
+    if (out.cost_dist != "uniform" && out.cost_dist != "pareto")
+      return invalid("task_cost.dist must be 'uniform' or 'pareto'");
+    out.cost_min = number_or(*cost, "min", out.cost_min);
+    out.cost_max = number_or(*cost, "max", out.cost_max);
+    out.pareto_alpha = number_or(*cost, "alpha", out.pareto_alpha);
+    out.pareto_x_min = number_or(*cost, "x_min", out.pareto_x_min);
+    out.pareto_cap = number_or(*cost, "cap", out.pareto_cap);
+    if (out.pareto_alpha <= 1.0)
+      return invalid("task_cost.alpha must be > 1 (finite mean)");
+  }
+
+  double ranks_min = out.ranks_min, ranks_max = out.ranks_max;
+  PG_RETURN_IF_ERROR(parse_range(*wl, "ranks", ranks_min, ranks_max));
+  out.ranks_min = static_cast<std::uint32_t>(ranks_min);
+  out.ranks_max = static_cast<std::uint32_t>(ranks_max);
+  if (out.ranks_min == 0) return invalid("ranks must be >= 1");
+
+  if (const Json* mpi = wl->find("mpi")) {
+    out.messages_per_rank = static_cast<std::uint32_t>(
+        number_or(*mpi, "messages_per_rank", out.messages_per_rank));
+    double bytes_min = out.bytes_min, bytes_max = out.bytes_max;
+    PG_RETURN_IF_ERROR(parse_range(*mpi, "bytes", bytes_min, bytes_max));
+    out.bytes_min = static_cast<std::uint32_t>(bytes_min);
+    out.bytes_max = static_cast<std::uint32_t>(bytes_max);
+  }
+
+  const std::string policy = string_or(*wl, "policy", "load_balanced");
+  if (policy == "load_balanced") {
+    out.policy = sched::Policy::kLoadBalanced;
+  } else if (policy == "round_robin") {
+    out.policy = sched::Policy::kRoundRobin;
+  } else {
+    return invalid("unknown scheduling policy '" + policy + "'");
+  }
+  return Status::ok();
+}
+
+Status parse_timeline(const Json& json, std::vector<TimelineEvent>& out) {
+  const Json* timeline = json.find("timeline");
+  if (!timeline) return Status::ok();
+  if (!timeline->is_array()) return invalid("'timeline' must be an array");
+  for (const Json& entry : timeline->as_array()) {
+    if (!entry.is_object()) return invalid("timeline entry must be an object");
+    TimelineEvent event;
+    const std::string op = string_or(entry, "op", "");
+    if (op == "kill_node") {
+      event.op = TimelineEvent::Op::kKillNode;
+    } else if (op == "kill_proxy") {
+      event.op = TimelineEvent::Op::kKillProxy;
+    } else if (op == "sever_link") {
+      event.op = TimelineEvent::Op::kSeverLink;
+    } else if (op == "partition") {
+      event.op = TimelineEvent::Op::kPartition;
+    } else if (op == "degrade_link") {
+      event.op = TimelineEvent::Op::kDegradeLink;
+    } else if (op == "slow_site") {
+      event.op = TimelineEvent::Op::kSlowSite;
+    } else {
+      return invalid("unknown timeline op '" + op + "'");
+    }
+    event.at = seconds_field(entry, "at_s", 0);
+    event.duration = seconds_field(entry, "duration_s", 0);
+    event.site = string_or(entry, "site", "");
+    event.node = string_or(entry, "node", "");
+    event.link_a = string_or(entry, "a", "");
+    event.link_b = string_or(entry, "b", "");
+    event.factor = number_or(entry, "factor", 1.0);
+    event.repeat =
+        static_cast<std::uint32_t>(number_or(entry, "repeat", 1));
+    event.period = seconds_field(entry, "period_s", 0);
+    if (const Json* group = entry.find("group")) {
+      if (!group->is_array()) return invalid("'group' must be an array");
+      for (const Json& member : group->as_array()) {
+        if (!member.is_string()) return invalid("'group' members are strings");
+        event.group.push_back(member.as_string());
+      }
+    }
+    // Op-specific shape checks.
+    switch (event.op) {
+      case TimelineEvent::Op::kKillNode:
+        if (event.site.empty() || event.node.empty())
+          return invalid("kill_node needs 'site' and 'node'");
+        break;
+      case TimelineEvent::Op::kKillProxy:
+      case TimelineEvent::Op::kSlowSite:
+        if (event.site.empty()) return invalid(op + " needs 'site'");
+        break;
+      case TimelineEvent::Op::kSeverLink:
+      case TimelineEvent::Op::kDegradeLink:
+        if (event.link_a.empty() || event.link_b.empty())
+          return invalid(op + " needs 'a' and 'b'");
+        break;
+      case TimelineEvent::Op::kPartition:
+        if (event.group.empty()) return invalid("partition needs 'group'");
+        break;
+    }
+    if (event.repeat > 1 && event.period <= 0)
+      return invalid("repeated timeline entry needs 'period_s' > 0");
+    out.push_back(std::move(event));
+  }
+  return Status::ok();
+}
+
+Status parse_assertions(const Json& json, std::vector<Assertion>& out) {
+  const Json* asserts = json.find("assert");
+  if (!asserts) return Status::ok();
+  if (!asserts->is_array()) return invalid("'assert' must be an array");
+  for (const Json& entry : asserts->as_array()) {
+    Assertion a;
+    a.metric = string_or(entry, "metric", "");
+    a.op = string_or(entry, "op", "");
+    const Json* value = entry.find("value");
+    if (a.metric.empty() || !value || !value->is_number())
+      return invalid("assertion needs 'metric', 'op' and numeric 'value'");
+    if (a.op != "<=" && a.op != ">=" && a.op != "<" && a.op != ">" &&
+        a.op != "==")
+      return invalid("assertion op must be one of <=, >=, <, >, ==");
+    a.value = value->as_number();
+    out.push_back(std::move(a));
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<ScenarioConfig> parse_scenario(const std::string& json_text) {
+  auto parsed = parse_json(json_text);
+  if (!parsed.is_ok()) return parsed.status();
+  const Json& json = parsed.value();
+  if (!json.is_object()) return invalid("document must be an object");
+
+  ScenarioConfig config;
+  config.name = string_or(json, "name", "unnamed");
+  config.description = string_or(json, "description", "");
+  config.duration = seconds_field(json, "duration_s", config.duration);
+  config.status_interval =
+      seconds_field(json, "status_interval_s", config.status_interval);
+  config.status_max_age =
+      seconds_field(json, "status_max_age_s", 5 * config.status_interval);
+  config.batch_window_messages = static_cast<std::uint32_t>(
+      number_or(json, "batch_window_messages", config.batch_window_messages));
+  if (config.duration <= 0) return invalid("duration_s must be > 0");
+  if (config.status_interval <= 0)
+    return invalid("status_interval_s must be > 0");
+
+  PG_RETURN_IF_ERROR(parse_topology(json, config.topology));
+  PG_RETURN_IF_ERROR(parse_workload(json, config.workload));
+  PG_RETURN_IF_ERROR(parse_timeline(json, config.timeline));
+  PG_RETURN_IF_ERROR(parse_assertions(json, config.assertions));
+  return config;
+}
+
+Result<ScenarioConfig> load_scenario(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return error(ErrorCode::kNotFound, "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto config = parse_scenario(buffer.str());
+  if (!config.is_ok()) {
+    return error(config.status().code(),
+                 path + ": " + config.status().message());
+  }
+  return config;
+}
+
+std::vector<ExpandedSite> expand_topology(const Topology& topology,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ExpandedSite> sites;
+  for (const SiteGroup& group : topology.groups) {
+    for (std::size_t s = 0; s < group.count; ++s) {
+      ExpandedSite site;
+      site.name = group.name.empty() || group.count > 1
+                      ? group.prefix + std::to_string(sites.size())
+                      : group.name;
+      for (std::size_t n = 0; n < group.nodes; ++n) {
+        ExpandedNode node;
+        node.name = "node" + std::to_string(n);
+        node.capacity =
+            group.capacity_min +
+            rng.next_double() * (group.capacity_max - group.capacity_min);
+        node.background_load =
+            group.load_min + rng.next_double() * (group.load_max - group.load_min);
+        site.nodes.push_back(std::move(node));
+      }
+      sites.push_back(std::move(site));
+    }
+  }
+  return sites;
+}
+
+}  // namespace pg::scenario

@@ -1,0 +1,310 @@
+#include "scenario/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pg::scenario {
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::set(std::string key, Json value) {
+  type_ = Type::kObject;
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::push_back(Json value) {
+  type_ = Type::kArray;
+  array_.push_back(std::move(value));
+}
+
+namespace {
+
+void write_escaped(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void write_number(double n, std::string& out) {
+  // Integers print without a fraction so counters stay readable and the
+  // output is byte-stable across runs.
+  if (n == std::floor(n) && std::fabs(n) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(n));
+    out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", n);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+  const std::string close_pad(static_cast<std::size_t>(indent * depth), ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* colon = indent > 0 ? ": " : ":";
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: write_number(number_, out); break;
+    case Type::kString: write_escaped(string_, out); break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out.push_back(',');
+        out += nl;
+        out += pad;
+        array_[i].write(out, indent, depth + 1);
+      }
+      out += nl;
+      out += close_pad;
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) out.push_back(',');
+        out += nl;
+        out += pad;
+        write_escaped(object_[i].first, out);
+        out += colon;
+        object_[i].second.write(out, indent, depth + 1);
+      }
+      out += nl;
+      out += close_pad;
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  write(out, 0, 0);
+  return out;
+}
+
+std::string Json::dump_pretty() const {
+  std::string out;
+  write(out, 2, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> parse() {
+    auto value = parse_value();
+    if (!value.is_ok()) return value;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return value;
+  }
+
+ private:
+  Result<Json> fail(const std::string& what) {
+    return error(ErrorCode::kInvalidArgument,
+                 "json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        // Line comments: scenario configs are hand-written; let authors
+        // annotate them.
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s.is_ok()) return s.status();
+      return Json(std::move(s.value()));
+    }
+    if (c == 't' || c == 'f') return parse_keyword();
+    if (c == 'n') return parse_keyword();
+    return parse_number();
+  }
+
+  Result<Json> parse_keyword() {
+    static const struct {
+      const char* word;
+      std::size_t len;
+    } kKeywords[] = {{"true", 4}, {"false", 5}, {"null", 4}};
+    for (const auto& kw : kKeywords) {
+      if (text_.compare(pos_, kw.len, kw.word) == 0) {
+        pos_ += kw.len;
+        if (kw.word[0] == 't') return Json(true);
+        if (kw.word[0] == 'f') return Json(false);
+        return Json();
+      }
+    }
+    return fail("invalid token");
+  }
+
+  Result<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '-' || text_[pos_] == '+') &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      if (std::isdigit(static_cast<unsigned char>(text_[pos_]))) digits = true;
+      ++pos_;
+    }
+    if (!digits) return fail("invalid number");
+    return Json(std::strtod(text_.c_str() + start, nullptr));
+  }
+
+  Result<std::string> parse_string() {
+    if (text_[pos_] != '"') {
+      return Result<std::string>(
+          error(ErrorCode::kInvalidArgument,
+                "json: expected string at offset " + std::to_string(pos_)));
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        default:
+          return Result<std::string>(
+              error(ErrorCode::kInvalidArgument,
+                    "json: unsupported escape at offset " +
+                        std::to_string(pos_ - 1)));
+      }
+    }
+    return Result<std::string>(
+        error(ErrorCode::kInvalidArgument, "json: unterminated string"));
+  }
+
+  Result<Json> parse_array() {
+    ++pos_;  // '['
+    JsonArray items;
+    skip_ws();
+    if (consume(']')) return Json(std::move(items));
+    while (true) {
+      auto value = parse_value();
+      if (!value.is_ok()) return value;
+      items.push_back(std::move(value.value()));
+      if (consume(',')) continue;
+      if (consume(']')) return Json(std::move(items));
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  Result<Json> parse_object() {
+    ++pos_;  // '{'
+    JsonObject members;
+    skip_ws();
+    if (consume('}')) return Json(std::move(members));
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key.is_ok()) return key.status();
+      if (!consume(':')) return fail("expected ':'");
+      auto value = parse_value();
+      if (!value.is_ok()) return value;
+      members.emplace_back(std::move(key.value()), std::move(value.value()));
+      if (consume(',')) continue;
+      if (consume('}')) return Json(std::move(members));
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> parse_json(const std::string& text) {
+  return Parser(text).parse();
+}
+
+}  // namespace pg::scenario

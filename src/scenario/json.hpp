@@ -1,0 +1,83 @@
+// Minimal JSON value, parser and writer for scenario configs and the
+// pg_scenario --json output.
+//
+// Deliberately tiny: the scenario schema (docs/SIMULATION.md) needs
+// objects, arrays, strings, numbers and bools — no streaming, no \uXXXX
+// surrogate pairs, no arbitrary-precision numbers. Object keys keep
+// insertion order so a config round-trips in the author's layout and the
+// writer's output is byte-stable, which the determinism tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace pg::scenario {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double n) : type_(Type::kNumber), number_(n) {}
+  Json(int n) : type_(Type::kNumber), number_(n) {}
+  Json(std::int64_t n)
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Json(std::uint64_t n)
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(JsonArray a) : type_(Type::kArray), array_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const JsonArray& as_array() const { return array_; }
+  const JsonObject& as_object() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+
+  /// Appends a member (object) / element (array) — builder-style output.
+  void set(std::string key, Json value);
+  void push_back(Json value);
+
+  /// Compact serialization (no whitespace), byte-stable for equal values.
+  std::string dump() const;
+  /// Pretty serialization with 2-space indentation.
+  std::string dump_pretty() const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+/// Errors carry a byte offset and a short description.
+Result<Json> parse_json(const std::string& text);
+
+}  // namespace pg::scenario

@@ -1,0 +1,126 @@
+#include "scenario/live.hpp"
+
+#include <algorithm>
+
+#include "mpi/runtime.hpp"
+
+namespace pg::scenario {
+
+namespace {
+
+constexpr std::size_t kMaxLiveNodes = 24;
+const char* kLiveUser = "scenario";
+const char* kLivePassword = "scenario-pw";
+const char* kLiveApp = "scenario-noop";
+
+void register_live_app() {
+  static bool done = [] {
+    mpi::AppRegistry::instance().register_app(
+        kLiveApp, [](mpi::Comm& comm) -> Status {
+          // Rank 0 collects one value from everyone: enough traffic to
+          // exercise placement + the MPI fabric without burning CPU.
+          auto total = comm.allreduce(1.0, mpi::ReduceOp::kSum);
+          if (!total.is_ok()) return total.status();
+          return Status::ok();
+        });
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+Result<LiveRunReport> run_live(const ScenarioConfig& config,
+                               std::uint64_t seed, std::size_t max_jobs) {
+  const auto expanded = expand_topology(config.topology, seed);
+  std::size_t total_nodes = 0;
+  grid::TopologySpec spec;
+  for (const ExpandedSite& site : expanded) {
+    grid::TopologySpec::Site out;
+    out.name = site.name;
+    for (const ExpandedNode& node : site.nodes) {
+      monitor::NodeProfile profile;
+      profile.name = node.name;
+      profile.cpu_capacity = node.capacity;
+      profile.baseline_load = node.background_load;
+      profile.load_jitter = 0.0;
+      out.nodes.push_back(std::move(profile));
+      ++total_nodes;
+    }
+    spec.sites.push_back(std::move(out));
+  }
+  if (total_nodes > kMaxLiveNodes)
+    return error(ErrorCode::kInvalidArgument,
+                 "live mode is capped at " + std::to_string(kMaxLiveNodes) +
+                     " nodes; scenario '" + config.name + "' has " +
+                     std::to_string(total_nodes));
+
+  register_live_app();
+  grid::GridBuilder builder;
+  builder.seed(seed)
+      .key_bits(512)  // throwaway keys; live mode validates behavior, not RSA
+      .topology(spec)
+      .add_user(kLiveUser, kLivePassword, {"mpi.run", "status.query"});
+  auto built = builder.build();
+  if (!built.is_ok()) return built.status();
+  std::unique_ptr<grid::Grid> grid = built.take();
+
+  LiveRunReport report;
+  const std::string origin = spec.sites.front().name;
+  auto token = grid->login(origin, kLiveUser, kLivePassword);
+  if (!token.is_ok()) return token.status();
+
+  const grid::SchedulerPolicy policy =
+      config.workload.policy == sched::Policy::kRoundRobin
+          ? grid::SchedulerPolicy::kRoundRobin
+          : grid::SchedulerPolicy::kLoadBalanced;
+  const std::size_t jobs = std::min(max_jobs, config.workload.jobs);
+  const std::uint32_t ranks = std::min<std::uint32_t>(
+      config.workload.ranks_min, static_cast<std::uint32_t>(total_nodes));
+  for (std::size_t i = 0; i < jobs; ++i) {
+    ++report.jobs_attempted;
+    const proxy::AppRunResult result =
+        grid->run_app(origin, kLiveUser, token.value(), kLiveApp,
+                      std::max<std::uint32_t>(1, ranks), policy);
+    if (result.status.is_ok() && result.exit_code == 0)
+      ++report.jobs_succeeded;
+  }
+
+  // Replay the timeline ops that have a live counterpart, in order.
+  // Durations are ignored: wall time is the live run's scarce resource,
+  // so each fault is applied, observed, and (for links) healed inline.
+  for (const TimelineEvent& event : config.timeline) {
+    grid::FaultCommand command;
+    switch (event.op) {
+      case TimelineEvent::Op::kKillNode:
+        command.op = grid::FaultCommand::Op::kKillNode;
+        command.site = event.site;
+        command.node = event.node;
+        break;
+      case TimelineEvent::Op::kSeverLink:
+        command.op = grid::FaultCommand::Op::kKillLink;
+        command.site = event.link_a;
+        command.peer = event.link_b;
+        break;
+      default:
+        ++report.faults_skipped;  // bandwidth/slow-site have no live knob
+        continue;
+    }
+    PG_RETURN_IF_ERROR(grid->apply_fault(command));
+    ++report.faults_applied;
+    if (event.op == TimelineEvent::Op::kSeverLink) {
+      grid::FaultCommand heal;
+      heal.op = grid::FaultCommand::Op::kHealLink;
+      heal.site = event.link_a;
+      heal.peer = event.link_b;
+      PG_RETURN_IF_ERROR(grid->apply_fault(heal));
+      ++report.faults_applied;
+    }
+  }
+
+  report.traffic = grid->traffic_report();
+  grid->shutdown();
+  return report;
+}
+
+}  // namespace pg::scenario

@@ -1,0 +1,36 @@
+// Live cross-validation: run a (small) scenario against the real grid.
+//
+// The virtual-time engine answers "what happens at 50 sites"; this bridge
+// answers "does the model's small end agree with the threaded stack". It
+// stands up a real grid — CA, GSSL mesh, proxies, node agents — from the
+// scenario topology through the GridBuilder::topology seam, pushes a
+// handful of the scenario's jobs through the real scheduler and MPI
+// fabric, and replays the timeline's link/node faults through
+// Grid::apply_fault. Wall-clock, so scenarios are capped in size; the
+// corpus's baseline_3site is the intended customer.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "grid/grid.hpp"
+#include "scenario/config.hpp"
+
+namespace pg::scenario {
+
+struct LiveRunReport {
+  std::size_t jobs_attempted = 0;
+  std::size_t jobs_succeeded = 0;
+  std::size_t faults_applied = 0;
+  std::size_t faults_skipped = 0;  // ops with no live counterpart
+  grid::TrafficReport traffic;
+};
+
+/// Builds the real grid from `config`'s topology and runs up to
+/// `max_jobs` jobs plus the timeline's applicable faults. Refuses
+/// topologies above 24 nodes (live bring-up is O(sites^2) handshakes).
+Result<LiveRunReport> run_live(const ScenarioConfig& config,
+                               std::uint64_t seed,
+                               std::size_t max_jobs = 4);
+
+}  // namespace pg::scenario

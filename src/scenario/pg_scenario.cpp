@@ -1,0 +1,123 @@
+// pg_scenario: run declarative grid scenarios from the command line.
+//
+//   pg_scenario --list                       # exported metric names
+//   pg_scenario --run <config.json> [--seed N] [--json] [--pretty]
+//   pg_scenario --run <config.json> --live   # small-corpus live cross-check
+//
+// Exit status: 0 on success with all assertions passing, 1 on assertion
+// failure, 2 on usage/config errors. CI's seed sweep is `for seed in ...;
+// do pg_scenario --run x.json --seed $seed; done` plus the exit code.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "scenario/engine.hpp"
+#include "scenario/live.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --list\n"
+               "       %s --run <config.json> [--seed N] [--json] [--pretty]"
+               " [--live]\n",
+               argv0, argv0);
+  return 2;
+}
+
+int run_live_mode(const pg::scenario::ScenarioConfig& config,
+                  std::uint64_t seed) {
+  auto live = pg::scenario::run_live(config, seed);
+  if (!live.is_ok()) {
+    std::fprintf(stderr, "live run failed: %s\n",
+                 live.status().to_string().c_str());
+    return 2;
+  }
+  const auto& r = live.value();
+  std::printf("live: jobs %zu/%zu ok, faults applied=%zu skipped=%zu, "
+              "inter-site wire bytes=%llu\n",
+              r.jobs_succeeded, r.jobs_attempted, r.faults_applied,
+              r.faults_skipped,
+              static_cast<unsigned long long>(r.traffic.inter_site.wire_bytes));
+  return r.jobs_succeeded == r.jobs_attempted ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  std::uint64_t seed = 1;
+  bool list = false, json = false, pretty = false, live = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--run" && i + 1 < argc) {
+      config_path = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--pretty") {
+      json = pretty = true;
+    } else if (arg == "--live") {
+      live = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (list) {
+    for (const auto& name : pg::scenario::ScenarioStats::metric_names())
+      std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  if (config_path.empty()) return usage(argv[0]);
+
+  auto config = pg::scenario::load_scenario(config_path);
+  if (!config.is_ok()) {
+    std::fprintf(stderr, "%s: %s\n", config_path.c_str(),
+                 config.status().to_string().c_str());
+    return 2;
+  }
+
+  if (live) return run_live_mode(config.value(), seed);
+
+  auto run = pg::scenario::run_scenario(config.value(), seed);
+  if (!run.is_ok()) {
+    std::fprintf(stderr, "scenario failed: %s\n",
+                 run.status().to_string().c_str());
+    return 2;
+  }
+
+  const auto& result = run.value();
+  if (json) {
+    std::printf("%s\n", result.stats.to_json(pretty).c_str());
+  } else {
+    std::printf("scenario '%s' seed=%llu: jobs %llu/%llu completed, "
+                "placement mean %.3fx oracle, wire bytes saved %llu, "
+                "events %llu, log sha256 %.16s...\n",
+                config.value().name.c_str(),
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(result.stats.jobs_completed),
+                static_cast<unsigned long long>(result.stats.jobs_submitted),
+                result.stats.placement_mean_quality,
+                static_cast<unsigned long long>(result.stats.wire_bytes_saved),
+                static_cast<unsigned long long>(result.stats.events_executed),
+                result.stats.event_log_sha256.c_str());
+  }
+
+  bool failed = false;
+  for (const auto& outcome : result.assertions) {
+    const char* verdict = outcome.passed ? "PASS" : "FAIL";
+    if (!outcome.passed) failed = true;
+    std::fprintf(json ? stderr : stdout,
+                 "[%s] %s %s %g (observed %g)%s%s\n", verdict,
+                 outcome.assertion.metric.c_str(),
+                 outcome.assertion.op.c_str(), outcome.assertion.value,
+                 outcome.observed, outcome.detail.empty() ? "" : " — ",
+                 outcome.detail.c_str());
+  }
+  return failed ? 1 : 0;
+}

@@ -1,0 +1,164 @@
+#include "scenario/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "scenario/json.hpp"
+
+namespace pg::scenario {
+
+namespace {
+
+double seconds(TimeMicros t) {
+  return static_cast<double>(t) / kMicrosPerSecond;
+}
+
+struct RecoverySummary {
+  double count = 0;
+  double converged = 0;
+  double mean_s = 0;
+  double max_s = 0;
+};
+
+RecoverySummary summarize_recoveries(
+    const std::vector<RecoveryRecord>& recoveries) {
+  RecoverySummary out;
+  out.count = static_cast<double>(recoveries.size());
+  double total = 0;
+  for (const RecoveryRecord& r : recoveries) {
+    if (r.convergence < 0) continue;
+    out.converged += 1;
+    const double s = seconds(r.convergence);
+    total += s;
+    out.max_s = std::max(out.max_s, s);
+  }
+  if (out.converged > 0) out.mean_s = total / out.converged;
+  return out;
+}
+
+}  // namespace
+
+Result<double> ScenarioStats::metric(const std::string& name) const {
+  const RecoverySummary rec = summarize_recoveries(recoveries);
+  const double unbatched = static_cast<double>(envelopes_unbatched);
+  const double batched = static_cast<double>(envelopes_batched);
+  if (name == "jobs.submitted") return static_cast<double>(jobs_submitted);
+  if (name == "jobs.completed") return static_cast<double>(jobs_completed);
+  if (name == "jobs.failed") return static_cast<double>(jobs_failed);
+  if (name == "jobs.redispatched")
+    return static_cast<double>(jobs_redispatched);
+  if (name == "jobs.mean_completion_s") return mean_completion_s;
+  if (name == "jobs.p95_completion_s") return p95_completion_s;
+  if (name == "placement.mean_quality_vs_oracle")
+    return placement_mean_quality;
+  if (name == "placement.worst_quality_vs_oracle")
+    return placement_worst_quality;
+  if (name == "batching.envelopes_unbatched") return unbatched;
+  if (name == "batching.envelopes_batched") return batched;
+  if (name == "batching.envelope_savings_ratio")
+    return unbatched > 0 ? (unbatched - batched) / unbatched : 0.0;
+  if (name == "batching.wire_bytes_saved")
+    return static_cast<double>(wire_bytes_saved);
+  if (name == "batching.crypto_bytes_saved")
+    return static_cast<double>(crypto_bytes_saved);
+  if (name == "recovery.events") return rec.count;
+  if (name == "recovery.converged") return rec.converged;
+  if (name == "recovery.unconverged") return rec.count - rec.converged;
+  if (name == "recovery.mean_convergence_s") return rec.mean_s;
+  if (name == "recovery.max_convergence_s") return rec.max_s;
+  if (name == "traffic.status_messages")
+    return static_cast<double>(status_messages);
+  if (name == "traffic.status_bytes") return static_cast<double>(status_bytes);
+  if (name == "traffic.mpi_messages") return static_cast<double>(mpi_messages);
+  if (name == "traffic.mpi_inter_site_messages")
+    return static_cast<double>(mpi_inter_site_messages);
+  if (name == "traffic.mpi_bytes") return static_cast<double>(mpi_bytes);
+  if (name == "engine.events_executed")
+    return static_cast<double>(events_executed);
+  if (name == "engine.virtual_end_s") return seconds(virtual_end);
+  return error(ErrorCode::kNotFound, "unknown metric '" + name + "'");
+}
+
+std::vector<std::string> ScenarioStats::metric_names() {
+  return {
+      "jobs.submitted",
+      "jobs.completed",
+      "jobs.failed",
+      "jobs.redispatched",
+      "jobs.mean_completion_s",
+      "jobs.p95_completion_s",
+      "placement.mean_quality_vs_oracle",
+      "placement.worst_quality_vs_oracle",
+      "batching.envelopes_unbatched",
+      "batching.envelopes_batched",
+      "batching.envelope_savings_ratio",
+      "batching.wire_bytes_saved",
+      "batching.crypto_bytes_saved",
+      "recovery.events",
+      "recovery.converged",
+      "recovery.unconverged",
+      "recovery.mean_convergence_s",
+      "recovery.max_convergence_s",
+      "traffic.status_messages",
+      "traffic.status_bytes",
+      "traffic.mpi_messages",
+      "traffic.mpi_inter_site_messages",
+      "traffic.mpi_bytes",
+      "engine.events_executed",
+      "engine.virtual_end_s",
+  };
+}
+
+std::string ScenarioStats::to_json(bool pretty) const {
+  Json doc;
+  Json metrics;
+  for (const std::string& name : metric_names()) {
+    auto value = metric(name);
+    metrics.set(name, value.is_ok() ? Json(value.value()) : Json());
+  }
+  doc.set("metrics", std::move(metrics));
+
+  Json recovery_list{JsonArray{}};
+  for (const RecoveryRecord& r : recoveries) {
+    Json entry;
+    entry.set("label", r.label);
+    entry.set("at_s", seconds(r.at));
+    if (r.convergence >= 0) {
+      entry.set("convergence_s", seconds(r.convergence));
+    } else {
+      entry.set("convergence_s", Json());
+    }
+    recovery_list.push_back(std::move(entry));
+  }
+  doc.set("recoveries", std::move(recovery_list));
+  doc.set("event_log_sha256", event_log_sha256);
+  return pretty ? doc.dump_pretty() : doc.dump();
+}
+
+std::vector<AssertionOutcome> evaluate_assertions(
+    const std::vector<Assertion>& assertions, const ScenarioStats& stats) {
+  std::vector<AssertionOutcome> out;
+  out.reserve(assertions.size());
+  for (const Assertion& a : assertions) {
+    AssertionOutcome outcome;
+    outcome.assertion = a;
+    auto value = stats.metric(a.metric);
+    if (!value.is_ok()) {
+      outcome.passed = false;
+      outcome.detail = value.status().message();
+      out.push_back(std::move(outcome));
+      continue;
+    }
+    const double v = value.value();
+    outcome.observed = v;
+    if (a.op == "<=") outcome.passed = v <= a.value;
+    else if (a.op == ">=") outcome.passed = v >= a.value;
+    else if (a.op == "<") outcome.passed = v < a.value;
+    else if (a.op == ">") outcome.passed = v > a.value;
+    else outcome.passed = v == a.value;
+    out.push_back(std::move(outcome));
+  }
+  return out;
+}
+
+}  // namespace pg::scenario

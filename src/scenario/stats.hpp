@@ -1,0 +1,88 @@
+// Per-run scenario statistics, metric lookup, and assertion evaluation.
+//
+// Everything here is deterministic for (config, seed) except wall_ms,
+// which is excluded from the deterministic JSON view that the replay
+// tests hash.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "scenario/config.hpp"
+
+namespace pg::scenario {
+
+/// One recorded fault-recovery measurement: the scripted event and how
+/// long the grid took to re-converge afterwards (every surviving proxy's
+/// status cache consistent with the post-event topology).
+struct RecoveryRecord {
+  std::string label;            // e.g. "kill_node site3/node5"
+  TimeMicros at = 0;            // virtual time of the disruptive event
+  TimeMicros convergence = 0;   // event -> converged; -1 if never converged
+};
+
+struct ScenarioStats {
+  // jobs.*
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_redispatched = 0;
+  double mean_completion_s = 0;
+  double p95_completion_s = 0;
+
+  // placement.* — chosen placement's modelled completion vs. an oracle
+  // (load-balanced scheduler with perfect, fresh knowledge). Ratio >= ~1;
+  // the gap is the price of stale/partial status under faults.
+  double placement_mean_quality = 0;
+  double placement_worst_quality = 0;
+  std::uint64_t placement_samples = 0;
+
+  // batching.* — inter-site MPI envelope economics, batched vs. naive.
+  std::uint64_t envelopes_unbatched = 0;
+  std::uint64_t envelopes_batched = 0;
+  std::uint64_t wire_bytes_saved = 0;
+  std::uint64_t crypto_bytes_saved = 0;
+
+  // recovery.*
+  std::vector<RecoveryRecord> recoveries;
+
+  // traffic.*
+  std::uint64_t status_messages = 0;
+  std::uint64_t status_bytes = 0;
+  std::uint64_t mpi_messages = 0;
+  std::uint64_t mpi_inter_site_messages = 0;
+  std::uint64_t mpi_bytes = 0;
+
+  // engine.*
+  std::uint64_t events_executed = 0;
+  TimeMicros virtual_end = 0;
+  std::string event_log_sha256;  // hash of the deterministic event log
+  double wall_ms = 0;            // non-deterministic; excluded from hashes
+
+  /// Dotted-name metric lookup ("placement.mean_quality_vs_oracle", ...).
+  /// Unknown names are an error so a typo in a config assertion fails the
+  /// run loudly instead of asserting against 0.
+  Result<double> metric(const std::string& name) const;
+
+  /// Names exported by metric(), in stable order (for --list and docs).
+  static std::vector<std::string> metric_names();
+
+  /// Deterministic JSON view (no wall_ms). `pretty` = indented.
+  std::string to_json(bool pretty) const;
+};
+
+struct AssertionOutcome {
+  Assertion assertion;
+  double observed = 0;
+  bool passed = false;
+  std::string detail;  // set when the metric itself failed to resolve
+};
+
+/// Evaluates every assertion against the stats. Order mirrors the config.
+std::vector<AssertionOutcome> evaluate_assertions(
+    const std::vector<Assertion>& assertions, const ScenarioStats& stats);
+
+}  // namespace pg::scenario

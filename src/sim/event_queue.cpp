@@ -7,7 +7,13 @@ namespace pg::sim {
 
 void EventQueue::schedule_at(TimeMicros when, Action action) {
   assert(when >= now_ && "cannot schedule into the past");
-  queue_.push(Event{when, next_seq_++, std::move(action)});
+  queue_.push(Event{when, next_seq_++, std::string(), std::move(action)});
+}
+
+void EventQueue::schedule_at(TimeMicros when, std::string label,
+                             Action action) {
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.push(Event{when, next_seq_++, std::move(label), std::move(action)});
 }
 
 bool EventQueue::step(TimeMicros until) {
@@ -18,6 +24,7 @@ bool EventQueue::step(TimeMicros until) {
   Event event = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   now_ = event.when;
+  if (observer_) observer_(event.when, event.label);
   event.action();
   return true;
 }

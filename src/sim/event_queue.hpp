@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -17,13 +18,27 @@ namespace pg::sim {
 class EventQueue {
  public:
   using Action = std::function<void()>;
+  /// Observer hook: fires immediately before each event executes with the
+  /// event's virtual time and its label ("" for unlabeled events). The
+  /// scenario engine (src/scenario) uses it to build the deterministic
+  /// event log that the replay/determinism tests compare byte-for-byte.
+  using Observer = std::function<void(TimeMicros when, const std::string& label)>;
 
   /// Schedules `action` at absolute virtual time `when` (>= now()).
   /// Events at equal times fire in scheduling order (stable).
   void schedule_at(TimeMicros when, Action action);
+  /// Labeled variant: `label` is reported to the observer when the event
+  /// fires. Labels are data, not identity — two events may share one.
+  void schedule_at(TimeMicros when, std::string label, Action action);
   void schedule_after(TimeMicros delay, Action action) {
     schedule_at(now_ + delay, std::move(action));
   }
+  void schedule_after(TimeMicros delay, std::string label, Action action) {
+    schedule_at(now_ + delay, std::move(label), std::move(action));
+  }
+
+  /// Installs (or clears, with nullptr) the pre-execution observer.
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
 
   /// Runs events until the queue drains or `until` is passed.
   /// Returns the number of events executed.
@@ -41,6 +56,7 @@ class EventQueue {
   struct Event {
     TimeMicros when;
     std::uint64_t seq;  // tie-break: stable FIFO at equal times
+    std::string label;
     Action action;
   };
   struct Later {
@@ -51,8 +67,21 @@ class EventQueue {
   };
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Observer observer_;
   TimeMicros now_ = 0;
   std::uint64_t next_seq_ = 0;
+};
+
+/// Clock adapter over an EventQueue: components written against pg::Clock
+/// (ticket validity, staleness checks, retry deadlines) run unmodified on
+/// virtual time inside a simulation. The queue must outlive the clock.
+class EventClock final : public Clock {
+ public:
+  explicit EventClock(const EventQueue& queue) : queue_(queue) {}
+  TimeMicros now() const override { return queue_.now(); }
+
+ private:
+  const EventQueue& queue_;
 };
 
 }  // namespace pg::sim

@@ -38,6 +38,36 @@ LinkProfile wan_link() {
   };
 }
 
+LinkProfile datacenter_link() {
+  return LinkProfile{
+      .name = "datacenter",
+      .latency = 50,                  // 50 µs: ToR switch + kernel stack
+      .bandwidth_mb_per_s = 3200.0,   // 25 GbE payload rate
+      .crypto_mb_per_s = 2500.0,      // AES-NI / SHA-NI class throughput
+  };
+}
+
+LinkProfile intercontinental_link() {
+  return LinkProfile{
+      .name = "intercontinental",
+      .latency = 75'000,              // 75 ms one-way trans-oceanic path
+      .bandwidth_mb_per_s = 125.0,    // 1 Gbit committed rate
+      .crypto_mb_per_s = 2500.0,
+  };
+}
+
+std::optional<LinkProfile> link_profile_by_name(const std::string& name) {
+  if (name == "lan") return lan_link();
+  if (name == "wan") return wan_link();
+  if (name == "datacenter") return datacenter_link();
+  if (name == "intercontinental") return intercontinental_link();
+  return std::nullopt;
+}
+
+std::vector<std::string> link_profile_names() {
+  return {"lan", "wan", "datacenter", "intercontinental"};
+}
+
 TimeMicros Path::transfer_time(std::uint64_t bytes) const {
   TimeMicros total = 0;
   for (const auto& hop : hops) {

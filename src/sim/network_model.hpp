@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,17 @@ struct LinkProfile {
 /// Typical profiles for the reproduction's topology.
 LinkProfile lan_link();        // intra-site: 100 Mbit switched Ethernet
 LinkProfile wan_link();        // inter-site: 10 Mbit, 30 ms RTT Internet path
+/// Modern profiles, for running the paper's architecture at today's scale
+/// (the scenario harness's WAN topologies mix all four).
+LinkProfile datacenter_link();        // intra-DC: 25 GbE, AES-NI-class crypto
+LinkProfile intercontinental_link();  // trans-oceanic: 1 Gbit, 150 ms RTT
+
+/// Profile lookup by name ("lan", "wan", "datacenter", "intercontinental")
+/// — the form scenario configs and bench flags use. nullopt for unknown.
+std::optional<LinkProfile> link_profile_by_name(const std::string& name);
+
+/// Names accepted by link_profile_by_name, in stable order.
+std::vector<std::string> link_profile_names();
 
 /// A path is a sequence of store-and-forward hops (e.g. node->proxy->proxy
 /// ->node). Total = sum of hop times for the same payload.

@@ -1,5 +1,8 @@
 #include "sim/workload.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace pg::sim {
 
 std::vector<monitor::GridNode> generate_grid(
@@ -51,6 +54,87 @@ std::vector<double> generate_task_costs(std::size_t count, double min_cost,
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     out.push_back(min_cost + rng.next_double() * (max_cost - min_cost));
+  }
+  return out;
+}
+
+std::vector<double> generate_pareto_task_costs(std::size_t count, double alpha,
+                                               double x_min, double cap,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Inverse transform: x = x_min / u^(1/alpha), u in (0, 1].
+    const double u = std::max(1e-12, 1.0 - rng.next_double());
+    out.push_back(std::min(cap, x_min / std::pow(u, 1.0 / alpha)));
+  }
+  return out;
+}
+
+namespace {
+TimeMicros exponential_gap(Rng& rng, double mean_micros) {
+  const double u = std::max(1e-12, rng.next_double());
+  return std::max<TimeMicros>(
+      1, static_cast<TimeMicros>(std::llround(-std::log(u) * mean_micros)));
+}
+}  // namespace
+
+std::vector<TimeMicros> generate_arrivals(std::size_t count,
+                                          const ArrivalSpec& spec,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TimeMicros> out;
+  out.reserve(count);
+  const double mean = static_cast<double>(spec.mean_interarrival);
+  switch (spec.pattern) {
+    case ArrivalPattern::kPoisson: {
+      TimeMicros t = 0;
+      while (out.size() < count) {
+        t += exponential_gap(rng, mean);
+        out.push_back(t);
+      }
+      break;
+    }
+    case ArrivalPattern::kBurst: {
+      // Bursts start on a fixed cadence; jobs inside a burst are tightly
+      // spaced (mean/burst_size), which is what makes the queue spike.
+      TimeMicros burst_start = 0;
+      while (out.size() < count) {
+        TimeMicros t = burst_start;
+        for (std::size_t i = 0; i < spec.burst_size && out.size() < count;
+             ++i) {
+          t += exponential_gap(
+              rng, mean / static_cast<double>(std::max<std::size_t>(
+                              1, spec.burst_size)));
+          out.push_back(t);
+        }
+        burst_start += spec.burst_gap;
+      }
+      // Spill from a long burst can overlap the next burst's start.
+      std::sort(out.begin(), out.end());
+      break;
+    }
+    case ArrivalPattern::kDiurnal: {
+      // Thinning: draw from a homogeneous process at the peak rate, keep a
+      // candidate with probability rate(t)/peak. peak/trough rates are
+      // chosen so the long-run mean interarrival matches the spec.
+      const double ratio = std::max(1.0, spec.peak_to_trough);
+      const double mean_rate = 1.0 / std::max(1.0, mean);  // arrivals/µs
+      const double peak_rate = mean_rate * 2.0 * ratio / (ratio + 1.0);
+      const double trough_rate = peak_rate / ratio;
+      TimeMicros t = 0;
+      while (out.size() < count) {
+        t += exponential_gap(rng, 1.0 / peak_rate);
+        const double phase = 2.0 * M_PI * static_cast<double>(t) /
+                             static_cast<double>(spec.day_length);
+        const double rate =
+            trough_rate +
+            (peak_rate - trough_rate) * 0.5 * (1.0 + std::sin(phase));
+        if (rng.next_double() * peak_rate <= rate) out.push_back(t);
+      }
+      break;
+    }
   }
   return out;
 }

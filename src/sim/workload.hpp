@@ -39,6 +39,42 @@ std::vector<monitor::GridNode> generate_uniform_grid(std::size_t site_count,
 std::vector<double> generate_task_costs(std::size_t count, double min_cost,
                                         double max_cost, std::uint64_t seed);
 
+/// Heavy-tailed task cost stream: Pareto with shape `alpha` and scale
+/// `x_min` (costs >= x_min; smaller alpha = heavier tail), truncated at
+/// `cap` so a single sample cannot dominate a whole simulation run. Real
+/// grid job sizes are famously heavy-tailed; the uniform stream above
+/// understates queueing effects.
+std::vector<double> generate_pareto_task_costs(std::size_t count, double alpha,
+                                               double x_min, double cap,
+                                               std::uint64_t seed);
+
+/// Arrival-process shapes for job streams.
+enum class ArrivalPattern {
+  kPoisson,  // memoryless: exponential interarrival around the mean
+  kBurst,    // bursts of `burst_size` closely spaced jobs every `burst_gap`
+  kDiurnal,  // Poisson with a sinusoidal day/night rate modulation
+};
+
+struct ArrivalSpec {
+  ArrivalPattern pattern = ArrivalPattern::kPoisson;
+  /// Long-run mean interarrival (kPoisson/kDiurnal) or within-burst
+  /// spacing scale (kBurst).
+  TimeMicros mean_interarrival = kMicrosPerSecond;
+  // kBurst shape.
+  std::size_t burst_size = 10;
+  TimeMicros burst_gap = 30 * kMicrosPerSecond;
+  // kDiurnal shape: one "day" lasts `day_length`; the instantaneous rate
+  // swings between peak and trough with ratio `peak_to_trough`.
+  TimeMicros day_length = 240 * kMicrosPerSecond;
+  double peak_to_trough = 4.0;
+};
+
+/// `count` absolute arrival times (non-decreasing, starting after 0),
+/// deterministic in `seed`.
+std::vector<TimeMicros> generate_arrivals(std::size_t count,
+                                          const ArrivalSpec& spec,
+                                          std::uint64_t seed);
+
 /// Message size sweep used by the latency/bandwidth experiments:
 /// powers of two from `min_bytes` to `max_bytes` inclusive.
 std::vector<std::size_t> message_size_sweep(std::size_t min_bytes,

@@ -1,0 +1,280 @@
+// Tests for the scenario harness: JSON parsing, config validation,
+// deterministic replay, assertion evaluation, the committed corpus, and
+// the live cross-validation bridge.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/config.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/json.hpp"
+#include "scenario/live.hpp"
+#include "scenario/stats.hpp"
+
+#ifndef PG_SCENARIO_DIR
+#define PG_SCENARIO_DIR "scenarios"
+#endif
+
+namespace pg::scenario {
+namespace {
+
+std::string corpus(const std::string& name) {
+  return std::string(PG_SCENARIO_DIR) + "/" + name;
+}
+
+// ------------------------------------------------------------------ JSON
+
+TEST(Json, ParsesScalarsAndContainers) {
+  auto doc = parse_json(R"({"a": 1, "b": [true, null, "x"], "c": -2.5})");
+  ASSERT_TRUE(doc.is_ok());
+  const Json& json = doc.value();
+  ASSERT_TRUE(json.is_object());
+  EXPECT_EQ(json.find("a")->as_number(), 1.0);
+  const Json& b = *json.find("b");
+  ASSERT_TRUE(b.is_array());
+  ASSERT_EQ(b.as_array().size(), 3u);
+  EXPECT_TRUE(b.as_array()[0].as_bool());
+  EXPECT_TRUE(b.as_array()[1].is_null());
+  EXPECT_EQ(b.as_array()[2].as_string(), "x");
+  EXPECT_EQ(json.find("c")->as_number(), -2.5);
+}
+
+TEST(Json, SupportsLineComments) {
+  auto doc = parse_json("// leading comment\n{\"a\": 1 // trailing\n}");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc.value().find("a")->as_number(), 1.0);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_FALSE(parse_json("{\"a\": }").is_ok());
+  EXPECT_FALSE(parse_json("{\"a\" 1}").is_ok());
+  EXPECT_FALSE(parse_json("[1, 2,]").is_ok());
+  EXPECT_FALSE(parse_json("{\"a\": 1} trailing").is_ok());
+}
+
+TEST(Json, DumpIsStableAndRoundTrips) {
+  const std::string text = R"({"z": 1, "a": [1, 2], "m": {"k": "v"}})";
+  auto doc = parse_json(text);
+  ASSERT_TRUE(doc.is_ok());
+  const std::string once = doc.value().dump();
+  auto again = parse_json(once);
+  ASSERT_TRUE(again.is_ok());
+  // Key order is preserved (insertion order), so dumps are byte-stable.
+  EXPECT_EQ(once, again.value().dump());
+  EXPECT_NE(once.find("\"z\""), std::string::npos);
+  EXPECT_LT(once.find("\"z\""), once.find("\"a\""));
+}
+
+// ---------------------------------------------------------------- config
+
+const char* kMinimalScenario = R"({
+  "name": "mini",
+  "duration_s": 10,
+  "topology": {"sites": [{"name": "a", "nodes": 2}, {"name": "b", "nodes": 2}]},
+  "workload": {"jobs": 5, "arrival": {"pattern": "poisson",
+               "mean_interarrival_s": 1}}
+})";
+
+TEST(Config, ParsesMinimalScenario) {
+  auto config = parse_scenario(kMinimalScenario);
+  ASSERT_TRUE(config.is_ok());
+  EXPECT_EQ(config.value().name, "mini");
+  EXPECT_EQ(config.value().duration, 10 * kMicrosPerSecond);
+  EXPECT_EQ(config.value().topology.groups.size(), 2u);
+  EXPECT_EQ(config.value().workload.jobs, 5u);
+}
+
+TEST(Config, RejectsUnknownLinkProfile) {
+  auto config = parse_scenario(R"({
+    "name": "x", "topology": {"sites": [{"name": "a"}],
+    "inter_link": "string-and-cans"}})");
+  EXPECT_FALSE(config.is_ok());
+}
+
+TEST(Config, RejectsMalformedTimeline) {
+  // kill_node without a node.
+  EXPECT_FALSE(parse_scenario(R"({
+    "name": "x", "topology": {"sites": [{"name": "a"}]},
+    "timeline": [{"op": "kill_node", "at_s": 1, "site": "a"}]})")
+                   .is_ok());
+  // Unknown op.
+  EXPECT_FALSE(parse_scenario(R"({
+    "name": "x", "topology": {"sites": [{"name": "a"}]},
+    "timeline": [{"op": "unplug_everything", "at_s": 1}]})")
+                   .is_ok());
+  // repeat without period.
+  EXPECT_FALSE(parse_scenario(R"({
+    "name": "x", "topology": {"sites": [{"name": "a"}, {"name": "b"}]},
+    "timeline": [{"op": "sever_link", "a": "a", "b": "b", "repeat": 3}]})")
+                   .is_ok());
+}
+
+TEST(Config, RejectsBadAssertionsAndPareto) {
+  EXPECT_FALSE(parse_scenario(R"({
+    "name": "x", "topology": {"sites": [{"name": "a"}]},
+    "assert": [{"metric": "jobs.completed", "op": "~=", "value": 1}]})")
+                   .is_ok());
+  EXPECT_FALSE(parse_scenario(R"({
+    "name": "x", "topology": {"sites": [{"name": "a"}]},
+    "workload": {"task_cost": {"dist": "pareto", "alpha": 0.9}}})")
+                   .is_ok());
+}
+
+TEST(Config, ExpandTopologyIsGenerativeAndDeterministic) {
+  Topology topology;
+  SiteGroup group;
+  group.prefix = "s";
+  group.count = 5;
+  group.nodes = 3;
+  group.capacity_min = 1.0;
+  group.capacity_max = 2.0;
+  topology.groups.push_back(group);
+  const auto a = expand_topology(topology, 9);
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_EQ(a[0].name, "s0");
+  EXPECT_EQ(a[4].name, "s4");
+  ASSERT_EQ(a[2].nodes.size(), 3u);
+  bool heterogeneous = false;
+  for (const auto& site : a)
+    for (const auto& node : site.nodes) {
+      EXPECT_GE(node.capacity, 1.0);
+      EXPECT_LE(node.capacity, 2.0);
+      if (node.capacity != a[0].nodes[0].capacity) heterogeneous = true;
+    }
+  EXPECT_TRUE(heterogeneous);
+  const auto b = expand_topology(topology, 9);
+  ASSERT_EQ(b.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t n = 0; n < a[i].nodes.size(); ++n)
+      EXPECT_EQ(a[i].nodes[n].capacity, b[i].nodes[n].capacity);
+}
+
+// ---------------------------------------------------------------- engine
+
+TEST(Engine, RunsMinimalScenario) {
+  auto config = parse_scenario(kMinimalScenario);
+  ASSERT_TRUE(config.is_ok());
+  auto run = run_scenario(config.value(), 1);
+  ASSERT_TRUE(run.is_ok());
+  EXPECT_EQ(run.value().stats.jobs_submitted, 5u);
+  EXPECT_EQ(run.value().stats.jobs_completed, 5u);
+  EXPECT_FALSE(run.value().event_log.empty());
+  EXPECT_EQ(run.value().stats.event_log_sha256.size(), 64u);
+}
+
+TEST(Engine, DeterministicReplay) {
+  // The tentpole regression: same config + same seed => byte-identical
+  // event log and identical deterministic stats JSON, twice in a row.
+  auto config = load_scenario(corpus("wan_10site.json"));
+  ASSERT_TRUE(config.is_ok()) << config.status().to_string();
+  auto first = run_scenario(config.value(), 42);
+  auto second = run_scenario(config.value(), 42);
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  ASSERT_EQ(first.value().event_log.size(), second.value().event_log.size());
+  EXPECT_EQ(first.value().event_log, second.value().event_log);
+  EXPECT_EQ(first.value().stats.event_log_sha256,
+            second.value().stats.event_log_sha256);
+  EXPECT_EQ(first.value().stats.to_json(false),
+            second.value().stats.to_json(false));
+  // And a different seed must actually change the run.
+  auto other = run_scenario(config.value(), 43);
+  ASSERT_TRUE(other.is_ok());
+  EXPECT_NE(first.value().stats.event_log_sha256,
+            other.value().stats.event_log_sha256);
+}
+
+TEST(Engine, AssertionViolationIsReportedNotFatal) {
+  auto config = parse_scenario(kMinimalScenario);
+  ASSERT_TRUE(config.is_ok());
+  config.value().assertions.push_back({"jobs.completed", ">=", 1e9});
+  config.value().assertions.push_back({"jobs.failed", "==", 0});
+  auto run = run_scenario(config.value(), 1);
+  ASSERT_TRUE(run.is_ok());
+  ASSERT_EQ(run.value().assertions.size(), 2u);
+  EXPECT_FALSE(run.value().assertions[0].passed);
+  EXPECT_TRUE(run.value().assertions[1].passed);
+  EXPECT_FALSE(run.value().all_assertions_passed());
+}
+
+TEST(Engine, UnknownMetricInAssertionFailsLoudly) {
+  auto config = parse_scenario(kMinimalScenario);
+  ASSERT_TRUE(config.is_ok());
+  config.value().assertions.push_back({"jobs.compleeted", ">=", 0});
+  auto run = run_scenario(config.value(), 1);
+  ASSERT_TRUE(run.is_ok());
+  ASSERT_EQ(run.value().assertions.size(), 1u);
+  EXPECT_FALSE(run.value().assertions[0].passed);
+  EXPECT_FALSE(run.value().assertions[0].detail.empty());
+}
+
+TEST(Engine, KillNodeRecoveryConverges) {
+  auto config = parse_scenario(R"({
+    "name": "kill", "duration_s": 30, "status_interval_s": 1,
+    "topology": {"sites": [{"name": "a", "nodes": 2}, {"name": "b", "nodes": 2}]},
+    "workload": {"jobs": 10, "arrival": {"pattern": "poisson",
+                 "mean_interarrival_s": 1}},
+    "timeline": [{"op": "kill_node", "at_s": 5, "site": "a",
+                  "node": "node0", "duration_s": 5}]})");
+  ASSERT_TRUE(config.is_ok()) << config.status().to_string();
+  auto run = run_scenario(config.value(), 3);
+  ASSERT_TRUE(run.is_ok()) << run.status().to_string();
+  ASSERT_GE(run.value().stats.recoveries.size(), 1u);
+  for (const RecoveryRecord& r : run.value().stats.recoveries)
+    EXPECT_GE(r.convergence, 0) << r.label << " never converged";
+}
+
+TEST(Engine, CorpusSmallScenariosPass) {
+  for (const char* name : {"baseline_3site.json", "flapping_link.json",
+                           "rolling_partition.json"}) {
+    auto config = load_scenario(corpus(name));
+    ASSERT_TRUE(config.is_ok()) << name << ": " << config.status().to_string();
+    auto run = run_scenario(config.value(), 1);
+    ASSERT_TRUE(run.is_ok()) << name << ": " << run.status().to_string();
+    for (const AssertionOutcome& outcome : run.value().assertions)
+      EXPECT_TRUE(outcome.passed)
+          << name << ": " << outcome.assertion.metric << " "
+          << outcome.assertion.op << " " << outcome.assertion.value
+          << " observed " << outcome.observed << " " << outcome.detail;
+  }
+}
+
+TEST(Engine, Scale50SiteCompletesDeterministically) {
+  // The acceptance scenario: 50 sites x 20 nodes = 1000 nodes must run to
+  // the horizon with every corpus assertion green. (The per-test TIMEOUT
+  // in tests/CMakeLists.txt enforces the wall-clock budget.)
+  auto config = load_scenario(corpus("scale_50site.json"));
+  ASSERT_TRUE(config.is_ok()) << config.status().to_string();
+  auto run = run_scenario(config.value(), 1);
+  ASSERT_TRUE(run.is_ok()) << run.status().to_string();
+  EXPECT_GE(run.value().stats.jobs_completed, 1400u);
+  for (const AssertionOutcome& outcome : run.value().assertions)
+    EXPECT_TRUE(outcome.passed)
+        << outcome.assertion.metric << " observed " << outcome.observed;
+  // Replay determinism at full scale.
+  auto replay = run_scenario(config.value(), 1);
+  ASSERT_TRUE(replay.is_ok());
+  EXPECT_EQ(run.value().stats.event_log_sha256,
+            replay.value().stats.event_log_sha256);
+}
+
+// ------------------------------------------------------------------ live
+
+TEST(Live, BaselineScenarioRunsOnRealGrid) {
+  auto config = load_scenario(corpus("baseline_3site.json"));
+  ASSERT_TRUE(config.is_ok()) << config.status().to_string();
+  auto live = run_live(config.value(), 7, /*max_jobs=*/2);
+  ASSERT_TRUE(live.is_ok()) << live.status().to_string();
+  EXPECT_EQ(live.value().jobs_attempted, 2u);
+  EXPECT_EQ(live.value().jobs_succeeded, 2u);
+  EXPECT_GT(live.value().traffic.inter_site.wire_bytes, 0u);
+}
+
+TEST(Live, RefusesOversizedTopology) {
+  auto config = load_scenario(corpus("scale_50site.json"));
+  ASSERT_TRUE(config.is_ok());
+  EXPECT_FALSE(run_live(config.value(), 1).is_ok());
+}
+
+}  // namespace
+}  // namespace pg::scenario

@@ -1,6 +1,8 @@
 // Tests for the discrete-event engine, network cost model and workloads.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/event_queue.hpp"
 #include "sim/network_model.hpp"
 #include "sim/workload.hpp"
@@ -137,6 +139,111 @@ TEST(Workload, TaskCostsInRange) {
 TEST(Workload, MessageSweepIsPowersOfTwo) {
   const auto sweep = message_size_sweep(64, 1024);
   EXPECT_EQ(sweep, (std::vector<std::size_t>{64, 128, 256, 512, 1024}));
+}
+
+TEST(NetworkModel, ProfileLookupByName) {
+  for (const std::string& name : link_profile_names()) {
+    EXPECT_TRUE(link_profile_by_name(name).has_value()) << name;
+  }
+  EXPECT_FALSE(link_profile_by_name("carrier-pigeon").has_value());
+  // Tiny messages are latency-bound: DC fastest, trans-oceanic slowest.
+  const LinkProfile dc = *link_profile_by_name("datacenter");
+  const LinkProfile lan = *link_profile_by_name("lan");
+  const LinkProfile wan = *link_profile_by_name("wan");
+  const LinkProfile inter = *link_profile_by_name("intercontinental");
+  EXPECT_LT(dc.transfer_time(64, false), lan.transfer_time(64, false));
+  EXPECT_LT(lan.transfer_time(64, false), wan.transfer_time(64, false));
+  EXPECT_LT(wan.transfer_time(64, false), inter.transfer_time(64, false));
+  // Bulk transfers are bandwidth-bound: the modern trans-oceanic pipe
+  // beats the paper's 2003-era 10 Mbit WAN despite 5x the latency.
+  const std::uint64_t bulk = 10 << 20;
+  EXPECT_LT(dc.transfer_time(bulk, false), lan.transfer_time(bulk, false));
+  EXPECT_LT(inter.transfer_time(bulk, false), wan.transfer_time(bulk, false));
+}
+
+TEST(Workload, ParetoCostsRespectScaleAndCap) {
+  const double alpha = 1.5, x_min = 0.5, cap = 32.0;
+  const auto costs = generate_pareto_task_costs(5000, alpha, x_min, cap, 11);
+  ASSERT_EQ(costs.size(), 5000u);
+  double max_seen = 0;
+  for (double c : costs) {
+    EXPECT_GE(c, x_min);
+    EXPECT_LE(c, cap);
+    max_seen = std::max(max_seen, c);
+  }
+  // Heavy tail: some samples should land well beyond the uniform range.
+  EXPECT_GT(max_seen, 8.0);
+  // Determinism.
+  EXPECT_EQ(costs, generate_pareto_task_costs(5000, alpha, x_min, cap, 11));
+}
+
+TEST(Workload, ParetoTailHeavierThanUniformMean) {
+  // With alpha=1.5, x_min=0.5 the (untruncated) mean is alpha*x_min/(alpha-1)
+  // = 1.5; the truncated sample mean should sit near it and the sample
+  // median well below it — the signature of a heavy tail.
+  const auto costs = generate_pareto_task_costs(20000, 1.5, 0.5, 64.0, 29);
+  std::vector<double> sorted = costs;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0;
+  for (double c : costs) sum += c;
+  const double mean = sum / static_cast<double>(costs.size());
+  const double median = sorted[sorted.size() / 2];
+  EXPECT_GT(mean, 1.1);
+  EXPECT_LT(median, mean * 0.8);
+}
+
+TEST(Workload, PoissonArrivalsMatchMeanRate) {
+  ArrivalSpec spec;
+  spec.pattern = ArrivalPattern::kPoisson;
+  spec.mean_interarrival = 500'000;  // 0.5 s
+  const auto arrivals = generate_arrivals(2000, spec, 5);
+  ASSERT_EQ(arrivals.size(), 2000u);
+  for (std::size_t i = 1; i < arrivals.size(); ++i)
+    EXPECT_GE(arrivals[i], arrivals[i - 1]);
+  const double mean_gap =
+      static_cast<double>(arrivals.back()) / static_cast<double>(arrivals.size());
+  EXPECT_NEAR(mean_gap, 500'000, 50'000);
+}
+
+TEST(Workload, BurstArrivalsCluster) {
+  ArrivalSpec spec;
+  spec.pattern = ArrivalPattern::kBurst;
+  spec.mean_interarrival = 200'000;
+  spec.burst_size = 10;
+  spec.burst_gap = 30 * kMicrosPerSecond;
+  const auto arrivals = generate_arrivals(100, spec, 7);
+  ASSERT_EQ(arrivals.size(), 100u);
+  // 100 jobs in bursts of 10: everything inside one burst arrives within
+  // a small multiple of the within-burst spacing, far below burst_gap.
+  for (std::size_t b = 0; b < 10; ++b) {
+    const TimeMicros spread = arrivals[b * 10 + 9] - arrivals[b * 10];
+    EXPECT_LT(spread, spec.burst_gap / 2) << "burst " << b;
+  }
+  // Consecutive bursts are separated by roughly burst_gap.
+  EXPECT_GT(arrivals[10] - arrivals[9], spec.burst_gap / 2);
+}
+
+TEST(Workload, DiurnalArrivalsModulateRate) {
+  ArrivalSpec spec;
+  spec.pattern = ArrivalPattern::kDiurnal;
+  spec.mean_interarrival = 100'000;          // 0.1 s long-run mean
+  spec.day_length = 60 * kMicrosPerSecond;   // 1-minute "days"
+  spec.peak_to_trough = 8.0;
+  const auto arrivals = generate_arrivals(4000, spec, 13);
+  ASSERT_EQ(arrivals.size(), 4000u);
+  // Count arrivals in the first half vs. second half of each day: the
+  // sinusoid peaks in one half, so the halves must be visibly unequal.
+  std::size_t first_half = 0, second_half = 0;
+  for (TimeMicros t : arrivals) {
+    const TimeMicros phase = t % spec.day_length;
+    (phase < spec.day_length / 2 ? first_half : second_half)++;
+  }
+  const double ratio =
+      static_cast<double>(std::max(first_half, second_half)) /
+      static_cast<double>(std::max<std::size_t>(1, std::min(first_half, second_half)));
+  EXPECT_GT(ratio, 1.5);
+  // Determinism.
+  EXPECT_EQ(arrivals, generate_arrivals(4000, spec, 13));
 }
 
 }  // namespace
