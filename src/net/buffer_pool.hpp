@@ -1,0 +1,44 @@
+// BufferPool — recycled receive buffers for the reactor core.
+//
+// Ten thousand idle connections must not pin ten thousand read buffers:
+// a reactor connection borrows a buffer when bytes arrive, decodes frames
+// out of it, and returns it as soon as the stream is fully consumed. The
+// pool keeps a bounded free list of warmed-up buffers (capacity already
+// grown to the working frame size) so steady-state reads allocate nothing.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace pg::net {
+
+class BufferPool {
+ public:
+  /// `max_pooled` bounds the free list; `reserve_bytes` is the capacity a
+  /// freshly created buffer starts with (64 KiB default matches the
+  /// reactor's per-readiness read chunk).
+  explicit BufferPool(std::size_t max_pooled = 64,
+                      std::size_t reserve_bytes = 64 * 1024);
+
+  /// Borrows a buffer (empty, capacity >= reserve_bytes).
+  Bytes acquire();
+
+  /// Returns a buffer to the pool. Cleared here; oversized free lists just
+  /// drop the buffer on the floor.
+  void release(Bytes buffer);
+
+  std::size_t pooled() const;
+  std::uint64_t allocations() const { return allocations_; }
+
+ private:
+  const std::size_t max_pooled_;
+  const std::size_t reserve_bytes_;
+  mutable std::mutex mutex_;
+  std::vector<Bytes> free_;      // guarded by mutex_
+  std::uint64_t allocations_ = 0;  // guarded by mutex_ (reads are racy-ok)
+};
+
+}  // namespace pg::net

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "common/bytes.hpp"
@@ -21,6 +22,17 @@ struct ChannelStats {
   std::atomic<std::uint64_t> bytes_received{0};
   std::atomic<std::uint64_t> writes{0};
   std::atomic<std::uint64_t> reads{0};
+  /// Event-mode slow-peer accounting: writes that queued instead of going
+  /// straight to the wire, and writer stalls on a full send queue.
+  std::atomic<std::uint64_t> queued_writes{0};
+  std::atomic<std::uint64_t> backpressure_waits{0};
+};
+
+/// Outcome of a non-blocking read attempt (see Channel::try_read).
+struct TryReadResult {
+  std::size_t n = 0;        // bytes placed in the buffer
+  bool eof = false;         // peer closed cleanly (only when n == 0)
+  bool would_block = false; // no data right now (only when n == 0)
 };
 
 /// A bidirectional, reliable, ordered byte stream.
@@ -29,6 +41,13 @@ struct ChannelStats {
 /// write() either accepts the whole buffer or fails. Both ends may be used
 /// from different threads, but each direction must have a single reader and
 /// a single writer.
+///
+/// Event-driven extension: channels that support the reactor core
+/// (net/reactor.hpp) additionally implement enter_event_mode() plus either
+/// event_fd() (fd-backed, epoll-able) or watch_readable() (in-process,
+/// callback-based). In event mode the reactor is the single reader and uses
+/// try_read(); writes may queue internally, drained by the reactor via
+/// flush_pending_writes() when the peer can accept more.
 class Channel {
  public:
   virtual ~Channel() = default;
@@ -37,16 +56,55 @@ class Channel {
   /// the peer closed cleanly (EOF).
   virtual Result<std::size_t> read(std::uint8_t* buf, std::size_t max) = 0;
 
-  /// Writes the whole buffer or returns an error.
+  /// Writes the whole buffer or returns an error. In event mode the bytes
+  /// may be queued (bounded; the caller blocks on a full queue) and the
+  /// call still means "accepted for delivery in order".
   virtual Status write(BytesView data) = 0;
 
-  /// Closes both directions; concurrent blocked reads wake with EOF.
+  /// Closes both directions; concurrent blocked reads wake with EOF, and
+  /// writers blocked on event-mode backpressure wake with an error.
   virtual void close() = 0;
 
   virtual const ChannelStats& stats() const = 0;
 
   /// Reads exactly n bytes (looping over read); error on early EOF.
   Status read_exact(std::uint8_t* buf, std::size_t n);
+
+  // ---- event-driven extension (net/reactor.hpp) ------------------------
+
+  /// Switches the channel into event mode. `on_want_write` is invoked
+  /// (from any writer thread) when the internal send queue transitions
+  /// from empty to non-empty, i.e. when the reactor should start watching
+  /// writability. Returns false when the channel cannot be event-driven.
+  virtual bool enter_event_mode(std::function<void()> on_want_write) {
+    (void)on_want_write;
+    return false;
+  }
+
+  /// The epoll-able file descriptor, or -1 for in-process channels (which
+  /// must support watch_readable instead).
+  virtual int event_fd() const { return -1; }
+
+  /// Non-blocking read attempt; only meaningful in event mode.
+  virtual Result<TryReadResult> try_read(std::uint8_t* buf, std::size_t max) {
+    (void)buf;
+    (void)max;
+    return error(ErrorCode::kInternal,
+                 "channel does not support non-blocking reads");
+  }
+
+  /// fd-less channels: `cb` fires whenever bytes (or EOF) become readable.
+  /// Pass an empty function to clear. The callback may be invoked from the
+  /// writer's thread and must not block.
+  virtual void watch_readable(std::function<void()> cb) { (void)cb; }
+
+  /// Drains internally queued event-mode writes now that the peer is
+  /// writable. Returns true once the queue is empty (or the channel
+  /// failed) — i.e. when the reactor can stop watching writability.
+  virtual bool flush_pending_writes() { return true; }
+
+  /// Bytes currently queued for asynchronous delivery.
+  virtual std::size_t queued_write_bytes() const { return 0; }
 };
 
 using ChannelPtr = std::unique_ptr<Channel>;

@@ -95,6 +95,33 @@ class FaultyChannel : public Channel {
 
   const ChannelStats& stats() const override { return inner_->stats(); }
 
+  // ---- event-driven extension: decorate writes, forward everything else.
+  // Fault decisions (including delays, which sleep on the writer's thread,
+  // never on a reactor I/O thread) happen in write() above before the
+  // inner channel queues anything.
+
+  bool enter_event_mode(std::function<void()> on_want_write) override {
+    return inner_->enter_event_mode(std::move(on_want_write));
+  }
+
+  int event_fd() const override { return inner_->event_fd(); }
+
+  Result<TryReadResult> try_read(std::uint8_t* buf, std::size_t max) override {
+    return inner_->try_read(buf, max);
+  }
+
+  void watch_readable(std::function<void()> cb) override {
+    inner_->watch_readable(std::move(cb));
+  }
+
+  bool flush_pending_writes() override {
+    return inner_->flush_pending_writes();
+  }
+
+  std::size_t queued_write_bytes() const override {
+    return inner_->queued_write_bytes();
+  }
+
  private:
   ChannelPtr inner_;
   FaultInjectorPtr injector_;

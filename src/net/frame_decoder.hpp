@@ -1,0 +1,32 @@
+// FrameDecoder — incremental message extraction for the reactor core.
+//
+// Split from net/reactor.hpp so protocol layers (tls links) can implement
+// decoding without depending on epoll machinery.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace pg::net {
+
+/// Incremental frame decoder: consumes complete messages from a growing
+/// receive stream, leaving partial trailing bytes in place for the next
+/// readiness event. Implemented by the tls::MessageLink kinds (plaintext
+/// length-prefixed frames; GSSL records decrypted via the caller-owned
+/// open_in_place path).
+class FrameDecoder {
+ public:
+  virtual ~FrameDecoder() = default;
+
+  /// Parses complete messages out of buf[pos, buf.size()), advancing `pos`
+  /// past each and invoking `sink` with the message payload (valid only
+  /// for the duration of the call). Returns an error to kill the stream
+  /// (oversized frame, MAC failure, ...).
+  virtual Status decode(Bytes& buf, std::size_t& pos,
+                        const std::function<void(BytesView)>& sink) = 0;
+};
+
+}  // namespace pg::net

@@ -17,10 +17,30 @@ std::size_t PipeBuffer::read(std::uint8_t* buf, std::size_t max) {
   return n;  // 0 only when closed and drained => EOF
 }
 
+TryReadResult PipeBuffer::try_read(std::uint8_t* buf, std::size_t max) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TryReadResult result;
+  if (data_.empty()) {
+    if (closed_) {
+      result.eof = true;
+    } else {
+      result.would_block = true;
+    }
+    return result;
+  }
+  result.n = std::min(max, data_.size());
+  for (std::size_t i = 0; i < result.n; ++i) {
+    buf[i] = data_.front();
+    data_.pop_front();
+  }
+  return result;
+}
+
 void PipeBuffer::write(BytesView data) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     data_.insert(data_.end(), data.begin(), data.end());
+    if (notify_) notify_();
   }
   readable_.notify_one();
 }
@@ -29,6 +49,7 @@ void PipeBuffer::close() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
+    if (notify_) notify_();
   }
   readable_.notify_all();
 }
@@ -36,6 +57,11 @@ void PipeBuffer::close() {
 bool PipeBuffer::closed() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return closed_;
+}
+
+void PipeBuffer::set_notify(std::function<void()> notify) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  notify_ = std::move(notify);
 }
 
 }  // namespace internal
@@ -48,7 +74,10 @@ class MemoryChannel final : public Channel {
                 std::shared_ptr<internal::PipeBuffer> outgoing)
       : incoming_(std::move(incoming)), outgoing_(std::move(outgoing)) {}
 
-  ~MemoryChannel() override { close(); }
+  ~MemoryChannel() override {
+    incoming_->set_notify({});
+    close();
+  }
 
   Result<std::size_t> read(std::uint8_t* buf, std::size_t max) override {
     const std::size_t n = incoming_->read(buf, max);
@@ -74,6 +103,27 @@ class MemoryChannel final : public Channel {
   }
 
   const ChannelStats& stats() const override { return stats_; }
+
+  // ---- event-driven extension: in-process writes never block, so event
+  // mode only needs the readiness shim.
+
+  bool enter_event_mode(std::function<void()> on_want_write) override {
+    (void)on_want_write;  // writes complete synchronously; never queued
+    return true;
+  }
+
+  Result<TryReadResult> try_read(std::uint8_t* buf, std::size_t max) override {
+    TryReadResult result = incoming_->try_read(buf, max);
+    if (result.n > 0) {
+      stats_.bytes_received.fetch_add(result.n, std::memory_order_relaxed);
+      stats_.reads.fetch_add(1, std::memory_order_relaxed);
+    }
+    return result;
+  }
+
+  void watch_readable(std::function<void()> cb) override {
+    incoming_->set_notify(std::move(cb));
+  }
 
  private:
   std::shared_ptr<internal::PipeBuffer> incoming_;

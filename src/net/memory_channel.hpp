@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <mutex>
 
 #include "net/channel.hpp"
@@ -30,15 +31,23 @@ class PipeBuffer {
  public:
   // Returns false if the pipe is closed and drained.
   std::size_t read(std::uint8_t* buf, std::size_t max);
+  /// Non-blocking variant: the reactor's readiness shim for in-process
+  /// channels.
+  TryReadResult try_read(std::uint8_t* buf, std::size_t max);
   void write(BytesView data);
   void close();
   bool closed() const;
+  /// Registers a readability callback, invoked under the pipe lock after
+  /// every write and on close (so clearing it with an empty function
+  /// guarantees no further invocations once set_notify returns).
+  void set_notify(std::function<void()> notify);
 
  private:
   mutable std::mutex mutex_;
   std::condition_variable readable_;
   std::deque<std::uint8_t> data_;
   bool closed_ = false;
+  std::function<void()> notify_;  // guarded by mutex_
 };
 
 }  // namespace internal

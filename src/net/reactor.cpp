@@ -1,0 +1,632 @@
+#include "net/reactor.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "telemetry/metrics.hpp"
+
+namespace pg::net {
+
+namespace {
+
+constexpr std::uint64_t kWakeupTag = 0;
+// Listener registrations share the id counter but carry the top bit in
+// their epoll tag so one loop distinguishes the two kinds.
+constexpr std::uint64_t kListenerBit = std::uint64_t{1} << 63;
+constexpr std::size_t kReadChunk = 64 * 1024;
+// Consumed-prefix size beyond which a partially decoded stream is
+// compacted instead of growing unboundedly.
+constexpr std::size_t kCompactThreshold = 64 * 1024;
+
+TimeMicros steady_micros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || value == 0) return fallback;
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+struct Reactor::Conn {
+  Id id = 0;
+  Channel* channel = nullptr;
+  FrameDecoder* decoder = nullptr;
+  Callbacks callbacks;
+  std::size_t io_index = 0;
+  int fd = -1;  // -1: fd-less channel driven via watch_readable()
+
+  // Receive stream; touched only by the owning I/O thread.
+  Bytes stream;
+  std::size_t pos = 0;
+  bool has_buffer = false;
+  bool dead = false;  // on_closed delivered
+
+  std::atomic<bool> paused{false};
+  std::atomic<bool> ready_queued{false};
+
+  // Guards EPOLLOUT arming against the writer/flusher race.
+  std::mutex arm_mutex;
+  bool armed_out = false;  // guarded by arm_mutex
+};
+
+struct Reactor::IoThread {
+  int epoll_fd = -1;
+  int event_fd = -1;
+  std::thread thread;
+  std::mutex ready_mutex;
+  std::vector<Id> ready;  // fd-less channels with pending bytes
+  // Id (conn or listener tag) whose callbacks are running right now; the
+  // remove barrier waits for this to move off the removed id.
+  std::atomic<Id> processing{0};
+};
+
+struct Reactor::Listener {
+  Id id = 0;
+  int fd = -1;
+  std::function<void()> on_ready;
+  std::size_t io_index = 0;
+};
+
+struct Reactor::TimerEntry {
+  TimeMicros deadline = 0;
+  std::function<void()> fn;
+  bool running = false;
+  std::thread::id runner{};
+};
+
+Reactor::Reactor(ReactorOptions options)
+    : workers_(options.workers == 0 ? 1 : options.workers) {
+  const std::size_t n = options.io_threads == 0 ? 1 : options.io_threads;
+  io_threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto io = std::make_unique<IoThread>();
+    io->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    io->event_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeupTag;
+    ::epoll_ctl(io->epoll_fd, EPOLL_CTL_ADD, io->event_fd, &ev);
+    io_threads_.push_back(std::move(io));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    io_threads_[i]->thread = std::thread([this, i] { io_loop(i); });
+  }
+}
+
+Reactor::~Reactor() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& io : io_threads_) wake(*io);
+  for (auto& io : io_threads_) {
+    if (io->thread.joinable()) io->thread.join();
+    if (io->event_fd >= 0) ::close(io->event_fd);
+    if (io->epoll_fd >= 0) ::close(io->epoll_fd);
+  }
+  workers_.shutdown();
+}
+
+Reactor& Reactor::global() {
+  // Intentionally leaked: connections may still close during static
+  // teardown and must find a live reactor.
+  static Reactor* instance = new Reactor(ReactorOptions{
+      env_size("PG_REACTOR_IO_THREADS", 1),
+      env_size("PG_REACTOR_WORKERS", 8),
+  });
+  return *instance;
+}
+
+void Reactor::wake(IoThread& io) {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n =
+      ::write(io.event_fd, &one, sizeof(one));  // EAGAIN = already signalled
+}
+
+Result<Reactor::Id> Reactor::add_channel(Channel& channel,
+                                         FrameDecoder& decoder,
+                                         Callbacks callbacks) {
+  auto conn = std::make_shared<Conn>();
+  conn->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  conn->channel = &channel;
+  conn->decoder = &decoder;
+  conn->callbacks = std::move(callbacks);
+  conn->io_index = conn->id % io_threads_.size();
+
+  std::weak_ptr<Conn> weak = conn;
+  if (!channel.enter_event_mode([this, weak] {
+        if (auto locked = weak.lock()) mark_want_write(locked);
+      })) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "channel cannot enter event mode");
+  }
+  conn->fd = channel.event_fd();
+
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns_.emplace(conn->id, conn);
+  }
+  telemetry::MetricRegistry::global()
+      .gauge("pg_reactor_connections",
+             "Channels currently registered with the reactor")
+      .add(1);
+
+  if (conn->fd >= 0) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+    ev.data.u64 = conn->id;
+    IoThread& io = *io_threads_[conn->io_index];
+    if (::epoll_ctl(io.epoll_fd, EPOLL_CTL_ADD, conn->fd, &ev) != 0) {
+      const int err = errno;
+      {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        conns_.erase(conn->id);
+      }
+      telemetry::MetricRegistry::global()
+          .gauge("pg_reactor_connections",
+                 "Channels currently registered with the reactor")
+          .add(-1);
+      return Status(ErrorCode::kInternal,
+                    std::string("epoll_ctl(ADD): ") + std::strerror(err));
+    }
+  } else {
+    const Id id = conn->id;
+    channel.watch_readable([this, id] { notify_readable(id); });
+    // The peer may have written before we attached the watcher.
+    notify_readable(id);
+  }
+  return conn->id;
+}
+
+void Reactor::remove_channel(Id id) {
+  std::shared_ptr<Conn> conn;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    conn = std::move(it->second);
+    conns_.erase(it);
+  }
+  // Stop readiness callbacks (runs under the pipe lock, so after this no
+  // notify for this conn is in flight) and detach the fd.
+  conn->channel->watch_readable(std::function<void()>());
+  IoThread& io = *io_threads_[conn->io_index];
+  if (conn->fd >= 0) {
+    ::epoll_ctl(io.epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  }
+  telemetry::MetricRegistry::global()
+      .gauge("pg_reactor_connections",
+             "Channels currently registered with the reactor")
+      .add(-1);
+  // Barrier: wait until the owning I/O thread is no longer inside this
+  // conn's callbacks, unless we *are* that thread (close from a callback).
+  if (std::this_thread::get_id() != io.thread.get_id()) {
+    std::unique_lock<std::mutex> lock(barrier_mutex_);
+    barrier_cv_.wait(lock, [&] {
+      return io.processing.load(std::memory_order_acquire) != id;
+    });
+  }
+  if (conn->has_buffer) {
+    pool_.release(std::move(conn->stream));
+    conn->has_buffer = false;
+  }
+}
+
+void Reactor::pause_reads(Id id) {
+  std::shared_ptr<Conn> conn;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    conn = it->second;
+  }
+  conn->paused.store(true, std::memory_order_release);
+}
+
+void Reactor::resume_reads(Id id) {
+  std::shared_ptr<Conn> conn;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    conn = it->second;
+  }
+  conn->paused.store(false, std::memory_order_release);
+  // Re-queue a pump: edge-triggered fds deliver no new edge for bytes that
+  // arrived while paused, so treat resume itself as a readiness event.
+  notify_readable(id);
+}
+
+Result<Reactor::Id> Reactor::add_listener(
+    int fd, std::function<void()> on_accept_ready) {
+  auto listener = std::make_shared<Listener>();
+  listener->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  listener->fd = fd;
+  listener->on_ready = std::move(on_accept_ready);
+  listener->io_index = listener->id % io_threads_.size();
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    listeners_.emplace(listener->id, listener);
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;  // level-triggered: fire until accept drains
+  ev.data.u64 = listener->id | kListenerBit;
+  IoThread& io = *io_threads_[listener->io_index];
+  if (::epoll_ctl(io.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    const int err = errno;
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    listeners_.erase(listener->id);
+    return Status(ErrorCode::kInternal,
+                  std::string("epoll_ctl(ADD listener): ") +
+                      std::strerror(err));
+  }
+  return listener->id;
+}
+
+void Reactor::remove_listener(Id id) {
+  std::shared_ptr<Listener> listener;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    auto it = listeners_.find(id);
+    if (it == listeners_.end()) return;
+    listener = std::move(it->second);
+    listeners_.erase(it);
+  }
+  IoThread& io = *io_threads_[listener->io_index];
+  ::epoll_ctl(io.epoll_fd, EPOLL_CTL_DEL, listener->fd, nullptr);
+  if (std::this_thread::get_id() != io.thread.get_id()) {
+    std::unique_lock<std::mutex> lock(barrier_mutex_);
+    barrier_cv_.wait(lock, [&] {
+      return io.processing.load(std::memory_order_acquire) != id;
+    });
+  }
+}
+
+Reactor::TimerId Reactor::schedule_timer(TimeMicros delay,
+                                         std::function<void()> fn) {
+  const TimerId id = next_timer_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(timer_mutex_);
+    TimerEntry& entry = timers_[id];
+    entry.deadline = steady_micros() + (delay < 0 ? 0 : delay);
+    entry.fn = std::move(fn);
+  }
+  wake(*io_threads_[0]);  // recompute the epoll timeout
+  return id;
+}
+
+bool Reactor::cancel_timer(TimerId id) {
+  std::unique_lock<std::mutex> lock(timer_mutex_);
+  auto it = timers_.find(id);
+  if (it == timers_.end()) return false;  // already fired and finished
+  if (!it->second.running) {
+    timers_.erase(it);
+    return true;
+  }
+  if (it->second.runner == std::this_thread::get_id()) {
+    // Self-cancel from inside the callback: waiting would deadlock.
+    return false;
+  }
+  timer_cv_.wait(lock, [&] { return timers_.find(id) == timers_.end(); });
+  return false;
+}
+
+bool Reactor::post(std::function<void()> task) {
+  return workers_.submit(std::move(task));
+}
+
+Reactor::Stats Reactor::stats() const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    s.connections = conns_.size();
+  }
+  s.frames = frames_.load(std::memory_order_relaxed);
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  s.timers_fired = timers_fired_.load(std::memory_order_relaxed);
+  s.wakeups = wakeups_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Reactor::notify_readable(Id id) {
+  std::shared_ptr<Conn> conn;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    conn = it->second;
+  }
+  // Coalesce: one queued pump covers any number of pending writes.
+  if (conn->ready_queued.exchange(true, std::memory_order_acq_rel)) return;
+  IoThread& io = *io_threads_[conn->io_index];
+  {
+    std::lock_guard<std::mutex> lock(io.ready_mutex);
+    io.ready.push_back(id);
+  }
+  wake(io);
+}
+
+void Reactor::mark_want_write(const std::shared_ptr<Conn>& conn) {
+  if (conn->fd < 0) return;  // fd-less channels write synchronously
+  std::lock_guard<std::mutex> lock(conn->arm_mutex);
+  if (conn->armed_out) return;
+  conn->armed_out = true;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
+  ev.data.u64 = conn->id;
+  IoThread& io = *io_threads_[conn->io_index];
+  ::epoll_ctl(io.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+std::shared_ptr<Reactor::Conn> Reactor::find_and_begin(IoThread& io, Id id) {
+  // processing must be set while the map lock is held: remove_channel
+  // erases under the same lock, so it either prevents this lookup or
+  // observes processing == id and waits out the callbacks.
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return nullptr;
+  io.processing.store(id, std::memory_order_release);
+  return it->second;
+}
+
+std::shared_ptr<Reactor::Listener> Reactor::find_listener_and_begin(
+    IoThread& io, Id id) {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  auto it = listeners_.find(id);
+  if (it == listeners_.end()) return nullptr;
+  io.processing.store(id, std::memory_order_release);
+  return it->second;
+}
+
+void Reactor::end_processing(IoThread& io) {
+  io.processing.store(0, std::memory_order_release);
+  {
+    // Empty critical section pairs with the barrier wait's predicate
+    // check, closing the check-then-sleep window.
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+  }
+  barrier_cv_.notify_all();
+}
+
+void Reactor::handle_conn_event(IoThread& io, Id id, std::uint32_t events) {
+  std::shared_ptr<Conn> conn = find_and_begin(io, id);
+  if (!conn) return;
+  if ((events & EPOLLOUT) != 0) {
+    std::unique_lock<std::mutex> lock(conn->arm_mutex);
+    if (conn->channel->flush_pending_writes() &&
+        conn->channel->queued_write_bytes() == 0) {
+      conn->armed_out = false;
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+      ev.data.u64 = conn->id;
+      ::epoll_ctl(io.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+    }
+  }
+  if ((events & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP)) != 0) {
+    pump(*conn);
+  }
+  end_processing(io);
+}
+
+void Reactor::pump(Conn& conn) {
+  if (conn.dead) return;
+  for (;;) {
+    if (conn.paused.load(std::memory_order_acquire)) break;
+    if (!conn.has_buffer) {
+      conn.stream = pool_.acquire();
+      conn.has_buffer = true;
+      conn.pos = 0;
+    }
+    const std::size_t old_size = conn.stream.size();
+    conn.stream.resize(old_size + kReadChunk);
+    auto read = conn.channel->try_read(conn.stream.data() + old_size,
+                                       kReadChunk);
+    if (!read.is_ok()) {
+      conn.stream.resize(old_size);
+      die(conn, read.status());
+      return;
+    }
+    const TryReadResult result = read.value();
+    conn.stream.resize(old_size + result.n);
+    if (result.n > 0) {
+      bytes_read_.fetch_add(result.n, std::memory_order_relaxed);
+      Status decoded = conn.decoder->decode(
+          conn.stream, conn.pos, [&](BytesView frame) {
+            frames_.fetch_add(1, std::memory_order_relaxed);
+            if (conn.callbacks.on_frame) conn.callbacks.on_frame(frame);
+          });
+      if (!decoded.is_ok()) {
+        die(conn, decoded);
+        return;
+      }
+      if (conn.dead) return;  // a frame callback closed us re-entrantly
+      compact(conn);
+    }
+    if (result.eof) {
+      die(conn, Status(ErrorCode::kUnavailable, "connection closed by peer"));
+      return;
+    }
+    if (result.would_block) break;
+  }
+  compact(conn);
+}
+
+void Reactor::compact(Conn& conn) {
+  if (!conn.has_buffer) return;
+  if (conn.pos == conn.stream.size()) {
+    pool_.release(std::move(conn.stream));
+    conn.stream = Bytes();
+    conn.has_buffer = false;
+    conn.pos = 0;
+  } else if (conn.pos > kCompactThreshold) {
+    conn.stream.erase(conn.stream.begin(),
+                      conn.stream.begin() +
+                          static_cast<std::ptrdiff_t>(conn.pos));
+    conn.pos = 0;
+  }
+}
+
+void Reactor::die(Conn& conn, const Status& reason) {
+  if (conn.dead) return;
+  conn.dead = true;
+  if (conn.has_buffer) {
+    pool_.release(std::move(conn.stream));
+    conn.stream = Bytes();
+    conn.has_buffer = false;
+    conn.pos = 0;
+  }
+  if (conn.fd >= 0) {
+    ::epoll_ctl(io_threads_[conn.io_index]->epoll_fd, EPOLL_CTL_DEL, conn.fd,
+                nullptr);
+  }
+  if (conn.callbacks.on_closed) conn.callbacks.on_closed(reason);
+}
+
+void Reactor::drain_ready(IoThread& io) {
+  std::vector<Id> ready;
+  {
+    std::lock_guard<std::mutex> lock(io.ready_mutex);
+    ready.swap(io.ready);
+  }
+  for (const Id id : ready) {
+    std::shared_ptr<Conn> conn = find_and_begin(io, id);
+    if (!conn) continue;
+    // Clear before pumping so a write landing mid-pump re-queues; the pump
+    // drains everything anyway, so the extra pass is a cheap no-op.
+    conn->ready_queued.store(false, std::memory_order_release);
+    pump(*conn);
+    end_processing(io);
+  }
+}
+
+int Reactor::next_timer_timeout_ms() {
+  std::lock_guard<std::mutex> lock(timer_mutex_);
+  TimeMicros best = -1;
+  for (const auto& [id, entry] : timers_) {
+    if (entry.running) continue;
+    if (best < 0 || entry.deadline < best) best = entry.deadline;
+  }
+  if (best < 0) return -1;  // idle: sleep until a registration wakes us
+  const TimeMicros now = steady_micros();
+  if (best <= now) return 0;
+  const TimeMicros delta = best - now;
+  // Round up so we never spin on a deadline a fraction of a ms away.
+  return static_cast<int>((delta + kMicrosPerMilli - 1) / kMicrosPerMilli);
+}
+
+void Reactor::fire_due_timers() {
+  const TimeMicros now = steady_micros();
+  std::vector<std::pair<TimerId, std::function<void()>>> due;
+  {
+    std::lock_guard<std::mutex> lock(timer_mutex_);
+    for (auto& [id, entry] : timers_) {
+      if (!entry.running && entry.deadline <= now) {
+        entry.running = true;
+        due.emplace_back(id, std::move(entry.fn));
+      }
+    }
+  }
+  for (auto& [id, fn] : due) {
+    const bool posted = workers_.submit([this, id, fn = std::move(fn)] {
+      {
+        std::lock_guard<std::mutex> lock(timer_mutex_);
+        auto it = timers_.find(id);
+        if (it != timers_.end()) it->second.runner = std::this_thread::get_id();
+      }
+      fn();
+      {
+        std::lock_guard<std::mutex> lock(timer_mutex_);
+        timers_.erase(id);
+      }
+      timer_cv_.notify_all();
+      timers_fired_.fetch_add(1, std::memory_order_relaxed);
+      telemetry::MetricRegistry::global()
+          .counter("pg_reactor_timers_fired_total",
+                   "Reactor timer callbacks executed")
+          .increment();
+    });
+    if (!posted) {
+      std::lock_guard<std::mutex> lock(timer_mutex_);
+      timers_.erase(id);
+      timer_cv_.notify_all();
+    }
+  }
+}
+
+void Reactor::io_loop(std::size_t index) {
+  IoThread& io = *io_threads_[index];
+  std::vector<epoll_event> events(256);
+  auto& registry = telemetry::MetricRegistry::global();
+  auto& wakeup_counter = registry.counter(
+      "pg_reactor_io_wakeups_total", "Reactor event-loop iterations");
+  auto& frames_counter = registry.counter(
+      "pg_reactor_frames_total", "Complete frames decoded by the reactor");
+  auto& bytes_counter = registry.counter(
+      "pg_reactor_read_bytes_total", "Bytes read by reactor I/O threads");
+  std::uint64_t last_frames = 0;
+  std::uint64_t last_bytes = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Only thread 0 owns the timer wheel; everyone else sleeps until an
+    // fd or an eventfd wakeup arrives — zero periodic syscalls when idle.
+    const int timeout_ms = index == 0 ? next_timer_timeout_ms() : -1;
+    const int n = ::epoll_wait(io.epoll_fd, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    wakeup_counter.increment();
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[static_cast<std::size_t>(i)].data.u64;
+      const std::uint32_t mask = events[static_cast<std::size_t>(i)].events;
+      if (tag == kWakeupTag) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r =
+            ::read(io.event_fd, &drained, sizeof(drained));
+        continue;
+      }
+      if ((tag & kListenerBit) != 0) {
+        std::shared_ptr<Listener> listener =
+            find_listener_and_begin(io, tag & ~kListenerBit);
+        if (listener) {
+          listener->on_ready();
+          end_processing(io);
+        }
+        continue;
+      }
+      handle_conn_event(io, tag, mask);
+    }
+    drain_ready(io);
+    if (index == 0) {
+      fire_due_timers();
+      // Mirror hot-path counters into the registry in batches (the atomics
+      // are the source of truth; the registry is for scraping). Thread 0
+      // only, so deltas against the global totals are not double-counted.
+      const std::uint64_t frames_now = frames_.load(std::memory_order_relaxed);
+      const std::uint64_t bytes_now =
+          bytes_read_.load(std::memory_order_relaxed);
+      if (frames_now != last_frames) {
+        frames_counter.increment(frames_now - last_frames);
+        last_frames = frames_now;
+      }
+      if (bytes_now != last_bytes) {
+        bytes_counter.increment(bytes_now - last_bytes);
+        last_bytes = bytes_now;
+      }
+    }
+  }
+}
+
+}  // namespace pg::net

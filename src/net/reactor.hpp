@@ -1,0 +1,165 @@
+// Reactor — the event-driven proxy core (ROADMAP item 2).
+//
+// A small, fixed set of I/O threads owns every registered channel: each
+// thread runs an epoll loop (edge-triggered for fd-backed channels, a
+// callback readiness shim for in-process ones), reads into pooled buffers,
+// runs the link's incremental frame decoder on whatever bytes arrived, and
+// hands complete messages to the registration's on_frame callback — which
+// must never block (Connection queues the message onto its strand and a
+// shared worker pool runs the handler). Writes that cannot complete
+// immediately queue inside the channel and are drained here on EPOLLOUT.
+//
+// This replaces the thread-per-connection reader model: one proxy holds
+// 10k+ concurrent connections on io_threads + workers threads total
+// (bench/bench_connections.cpp proves the claim).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "common/thread_pool.hpp"
+#include "net/buffer_pool.hpp"
+#include "net/channel.hpp"
+#include "net/frame_decoder.hpp"
+
+namespace pg::net {
+
+struct ReactorOptions {
+  /// Event-loop threads. One suffices for tens of thousands of mostly-idle
+  /// connections; bump for multi-core hot paths.
+  std::size_t io_threads = 1;
+  /// Shared worker pool for strand dispatch and timer callbacks.
+  std::size_t workers = 8;
+};
+
+class Reactor {
+ public:
+  using Id = std::uint64_t;
+  using TimerId = std::uint64_t;
+
+  struct Callbacks {
+    /// One complete message; runs on an I/O thread — must not block.
+    std::function<void(BytesView)> on_frame;
+    /// Stream death (EOF, read error, decode error); I/O thread, at most
+    /// once, with frames delivered before it. Must not block.
+    std::function<void(const Status&)> on_closed;
+  };
+
+  struct Stats {
+    std::uint64_t connections = 0;  // currently registered
+    std::uint64_t frames = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t timers_fired = 0;
+    std::uint64_t wakeups = 0;  // io-loop iterations
+  };
+
+  explicit Reactor(ReactorOptions options = {});
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// The process-wide reactor every Connection registers with. Sized from
+  /// PG_REACTOR_IO_THREADS / PG_REACTOR_WORKERS when set. Never destroyed
+  /// (connections may close during static teardown).
+  static Reactor& global();
+
+  /// Registers a channel: the reactor becomes the channel's single reader
+  /// and drives `decoder` over incoming bytes. Channel and decoder must
+  /// stay valid until remove_channel(id) returns. Fails when the channel
+  /// cannot enter event mode.
+  Result<Id> add_channel(Channel& channel, FrameDecoder& decoder,
+                         Callbacks callbacks);
+
+  /// Detaches a channel. On return no callback for it is running or will
+  /// run again (barrier over the owning I/O thread), so the caller may
+  /// destroy the channel. Safe to call with an id that already died.
+  void remove_channel(Id id);
+
+  /// Read-side flow control: a paused channel's bytes stay in the kernel
+  /// socket buffer (true TCP backpressure) or the in-process pipe until
+  /// resume_reads. Pausing is edge-safe: resume re-queues a pump.
+  void pause_reads(Id id);
+  void resume_reads(Id id);
+
+  /// Registers a listening socket; `on_accept_ready` runs on an I/O thread
+  /// whenever a connection is pending — accept and hand off quickly. The
+  /// fd is made non-blocking and watched level-triggered.
+  Result<Id> add_listener(int fd, std::function<void()> on_accept_ready);
+  void remove_listener(Id id);
+
+  /// One-shot timer on the shared worker pool after `delay`.
+  TimerId schedule_timer(TimeMicros delay, std::function<void()> fn);
+
+  /// Cancels a timer. True when it had not fired; when the callback is
+  /// already running, blocks until it finishes (unless called from the
+  /// callback itself) and returns false.
+  bool cancel_timer(TimerId id);
+
+  /// Runs `task` on the shared worker pool.
+  bool post(std::function<void()> task);
+
+  std::size_t worker_count() const { return workers_.worker_count(); }
+  std::size_t io_thread_count() const { return io_threads_.size(); }
+  Stats stats() const;
+
+ private:
+  struct Conn;
+  struct IoThread;
+  struct Listener;
+  struct TimerEntry;
+
+  void io_loop(std::size_t index);
+  void wake(IoThread& io);
+  /// Atomically resolves `id` and marks it in-flight on `io` — the other
+  /// half of remove_channel's barrier.
+  std::shared_ptr<Conn> find_and_begin(IoThread& io, Id id);
+  std::shared_ptr<Listener> find_listener_and_begin(IoThread& io, Id id);
+  void end_processing(IoThread& io);
+  void notify_readable(Id id);
+  void mark_want_write(const std::shared_ptr<Conn>& conn);
+  void handle_conn_event(IoThread& io, Id id, std::uint32_t events);
+  void pump(Conn& conn);
+  void compact(Conn& conn);
+  void die(Conn& conn, const Status& reason);
+  void drain_ready(IoThread& io);
+  int next_timer_timeout_ms();
+  void fire_due_timers();
+
+  std::vector<std::unique_ptr<IoThread>> io_threads_;
+  ThreadPool workers_;
+  BufferPool pool_;
+
+  mutable std::mutex conns_mutex_;
+  std::unordered_map<Id, std::shared_ptr<Conn>> conns_;
+  std::unordered_map<Id, std::shared_ptr<Listener>> listeners_;
+  std::atomic<Id> next_id_{1};
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+
+  std::mutex timer_mutex_;
+  std::condition_variable timer_cv_;
+  std::map<TimerId, TimerEntry> timers_;
+  std::atomic<TimerId> next_timer_id_{1};
+
+  std::atomic<bool> stop_{false};
+
+  // Aggregate counters, mirrored into pg_reactor_* registry metrics.
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> timers_fired_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
+};
+
+}  // namespace pg::net

@@ -25,10 +25,15 @@ class TcpListener {
   TcpListener& operator=(const TcpListener&) = delete;
   ~TcpListener();
 
-  /// Accepts one connection. Blocking.
+  /// Accepts one connection. Blocking on a blocking listener fd; on a
+  /// non-blocking one (reactor registration) returns kUnavailable when no
+  /// connection is pending.
   Result<ChannelPtr> accept();
 
   std::uint16_t port() const { return port_; }
+  /// The listening socket's fd, for reactor registration (the reactor sets
+  /// it non-blocking and invokes the accept callback on readiness).
+  int native_fd() const { return fd_; }
   void close();
 
  private:

@@ -30,6 +30,7 @@ const char* opcode_name(OpCode op) {
     case OpCode::kTunnelOpen: return "tunnel_open";
     case OpCode::kTunnelData: return "tunnel_data";
     case OpCode::kTunnelClose: return "tunnel_close";
+    case OpCode::kTraceExport: return "trace_export";
     case OpCode::kReply: return "reply";
     case OpCode::kError: return "error";
     case OpCode::kExtensionBase: return "extension";

@@ -70,6 +70,13 @@ enum class OpCode : std::uint16_t {
   kTunnelData = 51,
   kTunnelClose = 52,
 
+  /// Unsolicited span export (remote proxy -> origin proxy): completed
+  /// trace-ring spans whose trace id was allocated elsewhere, forwarded
+  /// hop-by-hop toward the proxy that originated the trace so one grid
+  /// operation reads as a single connected trace there. Payload is
+  /// proto::TraceExport.
+  kTraceExport = 60,
+
   /// Generic response to an extension request: the payload layout is the
   /// extension's own. Lets new services get request/response semantics
   /// without touching the core response set.

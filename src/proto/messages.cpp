@@ -444,6 +444,52 @@ Result<TunnelClose> TunnelClose::parse(BytesView data) {
   return m;
 }
 
+// ---------------------------------------------------------------- traces
+
+Bytes TraceExport::serialize() const {
+  BufferWriter w;
+  w.put_string(exporter_site);
+  w.put_varint(spans.size());
+  for (const ExportedSpan& s : spans) {
+    w.put_u64(s.trace_id);
+    w.put_u64(s.span_id);
+    w.put_u64(s.parent_span_id);
+    w.put_string(s.name);
+    w.put_string(s.component);
+    w.put_u64(static_cast<std::uint64_t>(s.start_micros));
+    w.put_u64(static_cast<std::uint64_t>(s.end_micros));
+    w.put_bool(s.ok);
+    w.put_string(s.note);
+  }
+  return w.take();
+}
+
+Result<TraceExport> TraceExport::parse(BytesView data) {
+  BufferReader r(data);
+  TraceExport m;
+  PG_RETURN_IF_ERROR(r.get_string(m.exporter_site));
+  std::uint64_t count = 0;
+  PG_RETURN_IF_ERROR(get_count(r, count));
+  m.spans.resize(count);
+  for (ExportedSpan& s : m.spans) {
+    std::uint64_t start = 0;
+    std::uint64_t end = 0;
+    PG_RETURN_IF_ERROR(r.get_u64(s.trace_id));
+    PG_RETURN_IF_ERROR(r.get_u64(s.span_id));
+    PG_RETURN_IF_ERROR(r.get_u64(s.parent_span_id));
+    PG_RETURN_IF_ERROR(r.get_string(s.name));
+    PG_RETURN_IF_ERROR(r.get_string(s.component));
+    PG_RETURN_IF_ERROR(r.get_u64(start));
+    PG_RETURN_IF_ERROR(r.get_u64(end));
+    s.start_micros = static_cast<std::int64_t>(start);
+    s.end_micros = static_cast<std::int64_t>(end);
+    PG_RETURN_IF_ERROR(r.get_bool(s.ok));
+    PG_RETURN_IF_ERROR(r.get_string(s.note));
+  }
+  PG_RETURN_IF_ERROR(r.expect_end());
+  return m;
+}
+
 // --------------------------------------------------------------- errors
 
 Bytes ErrorMessage::serialize() const {

@@ -259,6 +259,36 @@ struct TunnelClose {
   static Result<TunnelClose> parse(BytesView data);
 };
 
+// ---------------------------------------------------------------- traces
+
+/// One completed span exported toward the trace's origin proxy. Field for
+/// field a telemetry::SpanRecord; kept separate so the wire format does
+/// not pin the in-memory layout.
+struct ExportedSpan {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::string name;
+  std::string component;
+  std::int64_t start_micros = 0;
+  std::int64_t end_micros = 0;
+  bool ok = true;
+  std::string note;
+
+  friend bool operator==(const ExportedSpan&, const ExportedSpan&) = default;
+};
+
+/// kTraceExport payload: spans a remote proxy finished for a trace it did
+/// not originate, flowing hop-by-hop back to the origin so the whole grid
+/// operation renders as one connected trace there.
+struct TraceExport {
+  std::string exporter_site;
+  std::vector<ExportedSpan> spans;
+
+  Bytes serialize() const;
+  static Result<TraceExport> parse(BytesView data);
+};
+
 // --------------------------------------------------------------- errors
 
 struct ErrorMessage {

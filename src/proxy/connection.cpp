@@ -3,13 +3,27 @@
 #include <chrono>
 
 #include "common/logging.hpp"
-#include "telemetry/trace.hpp"
+#include "net/reactor.hpp"
+#include "proto/messages.hpp"
 
 namespace pg::proxy {
 
 namespace {
 /// Completed-request ids remembered per connection for retransmit replies.
 constexpr std::size_t kDedupWindow = 128;
+
+/// Inbox flow control: past the high-water mark the connection pauses
+/// reactor reads (bytes back up into the kernel buffer / pipe, pushing
+/// back on the sender); reads resume at the low-water mark.
+constexpr std::size_t kInboxHighMsgs = 256;
+constexpr std::size_t kInboxHighBytes = 4 * 1024 * 1024;
+constexpr std::size_t kInboxLowMsgs = 64;
+constexpr std::size_t kInboxLowBytes = 1024 * 1024;
+
+/// How long an idle strand drainer waits for more envelopes before its
+/// thread exits. Hot connections keep one drainer alive across bursts;
+/// idle connections hold no thread at all.
+constexpr std::chrono::milliseconds kDrainLinger{100};
 }  // namespace
 
 TimeMicros steady_micros() {
@@ -36,6 +50,22 @@ bool is_response_op(proto::OpCode op) {
   }
 }
 
+/// Per-connection serial execution context. Shared between the Connection
+/// and its (detached) drainer thread so a drainer that outlives a closing
+/// connection only ever touches this block, never the Connection.
+struct Connection::Strand {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<proto::Envelope> inbox;
+  std::size_t inbox_bytes = 0;
+  bool draining = false;      // a drainer thread owns the inbox
+  bool paused = false;        // reactor reads paused (high-water)
+  bool closed = false;        // no further dispatch; drainer exits
+  bool dead_pending = false;  // run finalize_close after the inbox drains
+  std::thread::id active{};   // the drainer's id while it runs
+  Connection* conn = nullptr;  // valid while !closed or draining
+};
+
 Connection::Connection(std::string peer_name, net::ChannelPtr channel,
                        tls::MessageLinkPtr link, bool initiator,
                        EnvelopeHandler handler)
@@ -43,21 +73,43 @@ Connection::Connection(std::string peer_name, net::ChannelPtr channel,
       channel_(std::move(channel)),
       link_(std::move(link)),
       handler_(std::move(handler)),
+      strand_(std::make_shared<Strand>()),
       last_activity_(steady_micros()),
-      next_id_(initiator ? 1 : 2) {}
+      next_id_(initiator ? 1 : 2) {
+  strand_->conn = this;
+}
 
 Connection::~Connection() { close(); }
 
 void Connection::start() {
   bool expected = false;
-  if (started_.compare_exchange_strong(expected, true)) {
-    reader_ = std::thread([this] { reader_loop(); });
+  if (!started_.compare_exchange_strong(expected, true)) return;
+  net::Reactor::Callbacks callbacks;
+  callbacks.on_frame = [this](BytesView frame) { on_frame(frame); };
+  callbacks.on_closed = [this](const Status& reason) {
+    on_stream_closed(reason);
+  };
+  Result<net::Reactor::Id> id = net::Reactor::global().add_channel(
+      *channel_, *link_->decoder(), std::move(callbacks));
+  if (!id.is_ok()) {
+    // The channel refused event mode: surface a dead connection rather
+    // than a silent hang.
+    record_close_reason(id.status());
+    alive_.store(false, std::memory_order_release);
+    finalize_close();
+    return;
   }
+  reactor_id_.store(id.value(), std::memory_order_release);
 }
 
 void Connection::set_on_close(std::function<void(const Status&)> on_close) {
   std::lock_guard<std::mutex> lock(reason_mutex_);
   on_close_ = std::move(on_close);
+}
+
+void Connection::set_span_export(bool enabled, std::string exporter_site) {
+  exporter_site_ = std::move(exporter_site);
+  export_spans_.store(enabled, std::memory_order_release);
 }
 
 Status Connection::close_reason() const {
@@ -75,8 +127,8 @@ Status Connection::send_parts(proto::OpCode op, std::uint64_t request_id,
   if (!alive_.load(std::memory_order_acquire))
     return error(ErrorCode::kUnavailable,
                  "connection to " + peer_name_ + " is down");
-  // Carry the calling thread's trace context across the hop; the peer's
-  // reader installs it before dispatching (see reader_loop).
+  // Carry the calling thread's trace context across the hop; the peer
+  // installs it before dispatching (see process_envelope).
   const telemetry::TraceContext ctx = telemetry::Tracer::current();
   std::lock_guard<std::mutex> lock(send_mutex_);
   proto::serialize_envelope(op, request_id, ctx.trace_id, ctx.span_id,
@@ -154,80 +206,222 @@ Status Connection::respond(const proto::Envelope& request, proto::OpCode op,
   return notify(op, payload, request.request_id);
 }
 
-void Connection::reader_loop() {
-  Status recv_failure;
-  for (;;) {
-    Result<Bytes> frame = link_->recv();
-    if (!frame.is_ok()) {
-      recv_failure = frame.status();
-      break;
-    }
-    last_activity_.store(steady_micros(), std::memory_order_relaxed);
+// -------------------------------------------------------- reactor callbacks
 
-    Result<proto::Envelope> envelope =
-        proto::Envelope::deserialize(frame.value());
-    if (!envelope.is_ok()) {
-      PG_WARN << "dropping malformed envelope from " << peer_name_ << ": "
-              << envelope.status().to_string();
-      continue;
-    }
+void Connection::on_frame(BytesView frame) {
+  last_activity_.store(steady_micros(), std::memory_order_relaxed);
 
-    const proto::Envelope& env = envelope.value();
-    if (env.request_id != 0 && is_response_op(env.op)) {
-      std::unique_lock<std::mutex> lock(pending_mutex_);
-      const auto it = pending_.find(env.request_id);
-      if (it != pending_.end()) {
-        it->second.response = env;
-        lock.unlock();
-        pending_cv_.notify_all();
-        continue;
-      }
-      // Not one of ours: ops like kTunnelData travel both as requests and
-      // as responses, so an unmatched id means this is an incoming request
-      // (id parity keeps the two directions' ids disjoint). Fall through.
+  Result<proto::Envelope> parsed = proto::Envelope::deserialize(frame);
+  if (!parsed.is_ok()) {
+    PG_WARN << "dropping malformed envelope from " << peer_name_ << ": "
+            << parsed.status().to_string();
+    return;
+  }
+  proto::Envelope env = parsed.take();
+
+  if (env.request_id != 0 && is_response_op(env.op)) {
+    std::unique_lock<std::mutex> lock(pending_mutex_);
+    const auto it = pending_.find(env.request_id);
+    if (it != pending_.end()) {
+      it->second.response = std::move(env);
+      lock.unlock();
+      pending_cv_.notify_all();
+      return;
     }
-    if (env.request_id != 0 && !is_response_op(env.op)) {
-      // Request dedup: a retried request whose original is still being
-      // handled is dropped; one already answered gets the cached response
-      // retransmitted instead of re-running the handler.
-      std::unique_lock<std::mutex> lock(dedup_mutex_);
-      const auto it = dedup_.find(env.request_id);
-      if (it != dedup_.end()) {
-        if (it->second.responded) {
-          const proto::OpCode resp_op = it->second.op;
-          const Bytes resp_payload = it->second.response_payload;
-          lock.unlock();
-          (void)notify(resp_op, resp_payload, env.request_id);
-        }
-        continue;
-      }
-      dedup_.emplace(env.request_id, DedupEntry{});
-      dedup_order_.push_back(env.request_id);
-      while (dedup_order_.size() > kDedupWindow) {
-        dedup_.erase(dedup_order_.front());
-        dedup_order_.pop_front();
-      }
-    }
-    // The sender's trace context becomes this thread's current context for
-    // the handler, so spans the handler opens parent across the hop.
-    telemetry::ScopedTraceContext trace_scope(
-        telemetry::TraceContext{env.trace_id, env.span_id});
-    handler_(env, *this);
+    // Not one of ours: ops like kTunnelData travel both as requests and
+    // as responses, so an unmatched id means this is an incoming request
+    // (id parity keeps the two directions' ids disjoint). Fall through.
   }
 
-  // Link is gone: fail everything that is still waiting.
-  record_close_reason(recv_failure.is_ok()
+  bool spawn = false;
+  bool pause = false;
+  {
+    std::lock_guard<std::mutex> lock(strand_->mutex);
+    if (strand_->closed) return;
+    strand_->inbox_bytes += env.payload.size();
+    strand_->inbox.push_back(std::move(env));
+    if (!strand_->draining) {
+      strand_->draining = true;
+      spawn = true;
+    } else {
+      strand_->cv.notify_one();  // wake a lingering drainer
+    }
+    if (!strand_->paused && (strand_->inbox.size() >= kInboxHighMsgs ||
+                             strand_->inbox_bytes >= kInboxHighBytes)) {
+      strand_->paused = true;
+      pause = true;
+    }
+  }
+  if (pause) {
+    const std::uint64_t rid = reactor_id_.load(std::memory_order_acquire);
+    if (rid != 0) net::Reactor::global().pause_reads(rid);
+  }
+  if (spawn) spawn_drainer();
+}
+
+void Connection::on_stream_closed(const Status& reason) {
+  record_close_reason(reason.is_ok()
                           ? error(ErrorCode::kUnavailable, "link closed")
-                          : recv_failure);
+                          : reason);
   alive_.store(false, std::memory_order_release);
+  // Fail waiters immediately — a blocked call() must not wait for the
+  // strand to finish whatever it is handling.
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
     for (auto& [id, slot] : pending_) slot.failed = true;
   }
   pending_cv_.notify_all();
 
-  // Fire the death notification exactly once, off every lock. The reader
-  // exits exactly once per connection, so this is the single call site.
+  // Defer the on_close notification through the strand so it runs after
+  // every already-delivered envelope, off the I/O thread (it may block).
+  bool spawn = false;
+  {
+    std::lock_guard<std::mutex> lock(strand_->mutex);
+    if (strand_->closed) return;  // local close() owns finalization
+    strand_->dead_pending = true;
+    if (!strand_->draining) {
+      strand_->draining = true;
+      spawn = true;
+    } else {
+      strand_->cv.notify_one();
+    }
+  }
+  if (spawn) spawn_drainer();
+}
+
+// ------------------------------------------------------------------ strand
+
+void Connection::spawn_drainer() {
+  std::thread(&Connection::drain_loop, strand_).detach();
+}
+
+void Connection::drain_loop(std::shared_ptr<Strand> strand) {
+  std::unique_lock<std::mutex> lock(strand->mutex);
+  strand->active = std::this_thread::get_id();
+  for (;;) {
+    if (strand->closed) break;
+    if (!strand->inbox.empty()) {
+      proto::Envelope env = std::move(strand->inbox.front());
+      strand->inbox.pop_front();
+      strand->inbox_bytes -= env.payload.size();
+      bool resume = false;
+      if (strand->paused && strand->inbox.size() <= kInboxLowMsgs &&
+          strand->inbox_bytes <= kInboxLowBytes) {
+        strand->paused = false;
+        resume = true;
+      }
+      Connection* conn = strand->conn;
+      lock.unlock();
+      // `conn` stays valid: close() waits for draining to clear, and we
+      // hold draining=true until exit.
+      if (resume) conn->resume_reads();
+      conn->process_envelope(env);
+      lock.lock();
+      continue;
+    }
+    if (strand->dead_pending) {
+      strand->dead_pending = false;
+      Connection* conn = strand->conn;
+      lock.unlock();
+      // May destroy the Connection (owners often delete it from on_close)
+      // — afterwards only `strand` may be touched.
+      conn->finalize_close();
+      lock.lock();
+      break;
+    }
+    // Idle: linger for the next burst so hot connections reuse this
+    // thread; exit if nothing shows up.
+    const bool woke =
+        strand->cv.wait_for(lock, kDrainLinger, [&strand] {
+          return strand->closed || !strand->inbox.empty() ||
+                 strand->dead_pending;
+        });
+    if (!woke) break;
+  }
+  strand->active = std::thread::id{};
+  strand->draining = false;
+  lock.unlock();
+  strand->cv.notify_all();
+}
+
+void Connection::process_envelope(const proto::Envelope& env) {
+  if (env.request_id != 0 && !is_response_op(env.op)) {
+    // Request dedup: a retried request whose original is still being
+    // handled is dropped; one already answered gets the cached response
+    // retransmitted instead of re-running the handler.
+    std::unique_lock<std::mutex> lock(dedup_mutex_);
+    const auto it = dedup_.find(env.request_id);
+    if (it != dedup_.end()) {
+      if (it->second.responded) {
+        const proto::OpCode resp_op = it->second.op;
+        const Bytes resp_payload = it->second.response_payload;
+        lock.unlock();
+        (void)notify(resp_op, resp_payload, env.request_id);
+      }
+      return;
+    }
+    dedup_.emplace(env.request_id, DedupEntry{});
+    dedup_order_.push_back(env.request_id);
+    while (dedup_order_.size() > kDedupWindow) {
+      dedup_.erase(dedup_order_.front());
+      dedup_order_.pop_front();
+    }
+  }
+  // The sender's trace context becomes this thread's current context for
+  // the handler, so spans the handler opens parent across the hop.
+  telemetry::ScopedTraceContext trace_scope(
+      telemetry::TraceContext{env.trace_id, env.span_id});
+  if (export_spans_.load(std::memory_order_acquire) && env.trace_id != 0 &&
+      env.op != proto::OpCode::kTraceExport &&
+      !telemetry::Tracer::global().originated_here(env.trace_id)) {
+    // Foreign trace: collect the spans this handler finishes (on this
+    // thread) and ship them back toward the origin.
+    std::vector<telemetry::SpanRecord> collected;
+    {
+      telemetry::ScopedSpanSink sink(
+          [&collected, &env](const telemetry::SpanRecord& record) {
+            if (record.trace_id == env.trace_id) collected.push_back(record);
+          });
+      handler_(env, *this);
+    }
+    if (!collected.empty() && alive_.load(std::memory_order_acquire)) {
+      send_span_export(collected);
+    }
+  } else {
+    handler_(env, *this);
+  }
+}
+
+void Connection::send_span_export(
+    const std::vector<telemetry::SpanRecord>& spans) {
+  proto::TraceExport msg;
+  msg.exporter_site = exporter_site_;
+  msg.spans.reserve(spans.size());
+  for (const telemetry::SpanRecord& r : spans) {
+    proto::ExportedSpan s;
+    s.trace_id = r.trace_id;
+    s.span_id = r.span_id;
+    s.parent_span_id = r.parent_span_id;
+    s.name = r.name;
+    s.component = r.component;
+    s.start_micros = r.start_micros;
+    s.end_micros = r.end_micros;
+    s.ok = r.ok;
+    s.note = r.note;
+    msg.spans.push_back(std::move(s));
+  }
+  (void)notify(proto::OpCode::kTraceExport, msg.serialize());
+}
+
+void Connection::resume_reads() {
+  const std::uint64_t rid = reactor_id_.load(std::memory_order_acquire);
+  if (rid != 0) net::Reactor::global().resume_reads(rid);
+}
+
+// ------------------------------------------------------------------- close
+
+void Connection::finalize_close() {
+  if (close_fired_.exchange(true, std::memory_order_acq_rel)) return;
   std::function<void(const Status&)> on_close;
   Status reason;
   {
@@ -246,12 +440,24 @@ void Connection::close() {
 void Connection::close(const Status& reason) {
   record_close_reason(reason);
   alive_.store(false, std::memory_order_release);
+  // Closing the link wakes writers blocked on event-mode backpressure and
+  // makes the peer see EOF.
   link_->close();
-  if (reader_.joinable()) {
-    if (reader_.get_id() == std::this_thread::get_id()) {
-      reader_.detach();  // close() called from our own handler
-    } else {
-      reader_.join();
+  // Detach from the reactor. On return no on_frame/on_closed for this
+  // connection is running or will run (removal barrier) — unless we *are*
+  // the I/O thread, which remove_channel detects and skips.
+  const std::uint64_t rid =
+      reactor_id_.exchange(0, std::memory_order_acq_rel);
+  if (rid != 0) net::Reactor::global().remove_channel(rid);
+  // Quiesce the strand: after this no handler for this connection runs.
+  // When close() is called from the strand itself (a handler closing its
+  // own connection), skip the wait — the drainer exits after we return.
+  {
+    std::unique_lock<std::mutex> lock(strand_->mutex);
+    strand_->closed = true;
+    strand_->cv.notify_all();
+    if (strand_->active != std::this_thread::get_id()) {
+      strand_->cv.wait(lock, [this] { return !strand_->draining; });
     }
   }
   {
@@ -259,6 +465,7 @@ void Connection::close(const Status& reason) {
     for (auto& [id, slot] : pending_) slot.failed = true;
   }
   pending_cv_.notify_all();
+  finalize_close();
 }
 
 }  // namespace pg::proxy

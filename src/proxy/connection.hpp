@@ -1,9 +1,27 @@
-// Connection: one control-protocol endpoint over a MessageLink, with a
-// reader thread and request/response correlation.
+// Connection: one control-protocol endpoint over a MessageLink, with
+// request/response correlation, driven by the shared epoll reactor
+// (net/reactor.hpp) instead of a dedicated reader thread.
 //
 // Used for both connection kinds in the architecture: proxy <-> proxy
 // (GSSL tunnels between sites) and proxy <-> node (plaintext by default,
 // GSSL when the deployment or an explicit request demands it).
+//
+// Receive path: the reactor's I/O thread decodes complete envelopes and
+// calls on_frame. Responses to pending call()s are matched right there (a
+// map insert + cv notify — never blocks), so callers waiting on a round
+// trip wake without any worker involvement. Everything else lands in the
+// connection's strand — a FIFO inbox drained by one on-demand thread that
+// runs the handler serially (preserving the old reader-loop ordering) and
+// lingers briefly for more work before exiting. Handlers may block on
+// multi-hop calls: that stalls only this connection's strand, never the
+// I/O threads. Idle connections hold no thread at all, which is what lets
+// one proxy carry 10k+ mostly-idle connections (bench_connections).
+//
+// Backpressure: when a strand's inbox passes a high-water mark the
+// connection pauses reactor reads — bytes then accumulate in the kernel
+// socket buffer (or in-process pipe), pushing back on the sender exactly
+// like the old one-envelope-at-a-time reader did. Reads resume at a
+// low-water mark.
 #pragma once
 
 #include <atomic>
@@ -11,15 +29,18 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "common/status.hpp"
 #include "net/channel.hpp"
 #include "proto/envelope.hpp"
+#include "telemetry/trace.hpp"
 #include "tls/link.hpp"
 
 namespace pg::proxy {
@@ -29,8 +50,9 @@ bool is_response_op(proto::OpCode op);
 
 class Connection {
  public:
-  /// Invoked on the reader thread for every envelope that is not a response
-  /// to a pending call. Must be thread-safe.
+  /// Invoked on the connection's strand (serially, in receive order) for
+  /// every envelope that is not a response to a pending call. May block;
+  /// must be thread-safe against other connections' handlers.
   using EnvelopeHandler =
       std::function<void(const proto::Envelope&, Connection&)>;
 
@@ -45,13 +67,22 @@ class Connection {
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
-  /// Starts the reader thread. Call once, after construction.
+  /// Registers with the global reactor. Call once, after construction.
   void start();
 
-  /// Registers a callback fired exactly once, on the reader thread, when
-  /// the connection dies (remote failure or local close()), with the close
-  /// reason. Set before start(); must not block.
+  /// Registers a callback fired exactly once when the connection dies
+  /// (remote failure or local close()), with the close reason. On remote
+  /// death it runs on the strand (after all delivered envelopes); on local
+  /// close() it runs on the closing thread. Set before start(); must not
+  /// block.
   void set_on_close(std::function<void(const Status&)> on_close);
+
+  /// Enables span export (kTraceExport) toward this peer: when a handler
+  /// dispatched for a *foreign* trace (one this process did not originate)
+  /// finishes spans, they are sent back over this connection so the trace
+  /// origin ends up with the whole tree. `exporter_site` labels the
+  /// export. Set before start().
+  void set_span_export(bool enabled, std::string exporter_site);
 
   /// Fire-and-forget envelope (request_id = 0 unless specified).
   Status notify(proto::OpCode op, BytesView payload,
@@ -78,15 +109,16 @@ class Connection {
   Status respond(const proto::Envelope& request, proto::OpCode op,
                  BytesView payload);
 
-  /// Closes the link, fails pending calls, joins the reader. `reason` is
-  /// recorded as the close reason (first cause wins) — pass why when the
-  /// caller knows better than "closed locally" (e.g. heartbeat timeout).
+  /// Closes the link, detaches from the reactor, fails pending calls and
+  /// quiesces the strand (unless called from it). `reason` is recorded as
+  /// the close reason (first cause wins) — pass why when the caller knows
+  /// better than "closed locally" (e.g. heartbeat timeout).
   void close();
   void close(const Status& reason);
 
   bool alive() const { return alive_.load(std::memory_order_acquire); }
   /// Why the connection died; Ok while it is still alive. The first cause
-  /// wins: the reader's receive error, or "closed locally".
+  /// wins: the receive error, or "closed locally".
   Status close_reason() const;
   /// steady_micros() timestamp of the last envelope received from the peer
   /// (connection construction time before any traffic). Feeds the
@@ -99,7 +131,23 @@ class Connection {
   tls::LinkStats link_stats() const { return link_->stats(); }
 
  private:
-  void reader_loop();
+  struct Strand;
+
+  /// Reactor I/O-thread callbacks. Neither may block.
+  void on_frame(BytesView frame);
+  void on_stream_closed(const Status& reason);
+
+  /// Runs the strand: pops inbox envelopes and dispatches the handler,
+  /// lingering briefly when idle before the thread exits.
+  static void drain_loop(std::shared_ptr<Strand> strand);
+  void spawn_drainer();
+  /// Dedup + trace scope + handler (+ span-export collection). Strand only.
+  void process_envelope(const proto::Envelope& envelope);
+  void send_span_export(const std::vector<telemetry::SpanRecord>& spans);
+  void resume_reads();
+  /// Fires on_close exactly once across all close paths.
+  void finalize_close();
+
   /// Serializes op/id/trace/payload straight into the reusable send buffer
   /// and writes it — no Envelope object, no payload copy. Stamps the
   /// calling thread's trace context onto the wire envelope.
@@ -112,9 +160,13 @@ class Connection {
   net::ChannelPtr channel_;  // owned; link_ references it
   tls::MessageLinkPtr link_;
   EnvelopeHandler handler_;
-  std::thread reader_;
+  std::shared_ptr<Strand> strand_;
+  std::atomic<std::uint64_t> reactor_id_{0};  // 0 = not registered
   std::atomic<bool> alive_{true};
   std::atomic<bool> started_{false};
+  std::atomic<bool> close_fired_{false};
+  std::atomic<bool> export_spans_{false};
+  std::string exporter_site_;  // written before start()
   std::atomic<TimeMicros> last_activity_;
 
   std::mutex send_mutex_;
@@ -124,7 +176,7 @@ class Connection {
   Status close_reason_;  // Ok until the connection dies; guarded by ^
   std::function<void(const Status&)> on_close_;
 
-  // Pending calls: id -> slot the reader fills.
+  // Pending calls: id -> slot the I/O thread fills.
   struct PendingCall {
     std::optional<proto::Envelope> response;
     bool failed = false;

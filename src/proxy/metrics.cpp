@@ -89,6 +89,10 @@ ProxyInstruments::ProxyInstruments(const std::string& site)
       open_tunnels(telemetry::MetricRegistry::global().gauge(
           "pg_proxy_open_tunnels", "Tunnels with a live routing entry",
           {{"site", site}})),
+      open_connections(telemetry::MetricRegistry::global().gauge(
+          "pg_proxy_open_connections",
+          "Live peer and node connections held by this proxy",
+          {{"site", site}})),
       retries(site_counter("pg_retry_total",
                            "Control-RPC attempts retried after a transient "
                            "failure",
@@ -189,6 +193,7 @@ ProxyMetrics ProxyInstruments::snapshot() const {
   m.tunnel_bytes_relayed =
       tunnel_bytes_relayed.value() - baseline_.tunnel_bytes_relayed;
   m.open_tunnels = open_tunnels.value();  // gauge: current state, no baseline
+  m.open_connections = open_connections.value();  // gauge too
   m.retries = retries.value() - baseline_.retries;
   m.deadline_exceeded =
       deadline_exceeded.value() - baseline_.deadline_exceeded;

@@ -39,6 +39,7 @@ struct ProxyMetrics {
   std::uint64_t deadline_exceeded = 0;       // control-RPC budgets exhausted
   std::uint64_t heartbeat_missed = 0;        // intervals with a silent peer
   std::uint64_t disconnects = 0;             // peer/node connections lost
+  std::int64_t open_connections = 0;         // live peer+node connections
 };
 
 /// Why a kMpiBatch envelope left the proxy's batcher (flush-policy label).
@@ -86,6 +87,9 @@ class ProxyInstruments {
   telemetry::Counter& tunnel_bytes_relayed;
   /// Tunnels with a live routing entry; +1 on open, -1 on close.
   telemetry::Gauge& open_tunnels;
+  /// Live peer + node connections this proxy holds (pg_proxy_open_connections).
+  /// With the reactor core this is no longer bounded by reader threads.
+  telemetry::Gauge& open_connections;
   telemetry::Counter& retries;
   telemetry::Counter& deadline_exceeded;
   telemetry::Counter& heartbeat_missed;

@@ -92,6 +92,10 @@ Result<std::unique_ptr<NodeAgent>> NodeAgent::create(NodeAgentConfig config,
       [raw](const proto::Envelope& env, Connection& conn) {
         raw->handle(env, conn);
       });
+  // Spans this node finishes for traces started elsewhere flow up to the
+  // proxy, which forwards them toward the trace origin (kTraceExport).
+  agent->connection_->set_span_export(
+      true, agent->config_.site + "/" + agent->config_.node_name);
   agent->connection_->start();
   return agent;
 }

@@ -7,6 +7,7 @@
 
 #include "common/logging.hpp"
 #include "common/serde.hpp"
+#include "net/reactor.hpp"
 #include "telemetry/trace.hpp"
 
 namespace pg::proxy {
@@ -14,6 +15,9 @@ namespace pg::proxy {
 namespace {
 /// Per-rank RAM accounting charge (MB) while an application runs.
 constexpr std::uint64_t kRankRamMb = 64;
+
+/// Bound on the foreign-trace next-hop table.
+constexpr std::size_t kMaxTraceRoutes = 1024;
 
 std::uint64_t site_salt(const std::string& site) {
   // Distinct app-id spaces per origin proxy so ids never collide grid-wide.
@@ -31,12 +35,8 @@ ProxyServer::ProxyServer(ProxyConfig config)
       next_app_id_(site_salt(config_.site) + 1),
       job_manager_(workers_, *config_.clock),
       instruments_(config_.site) {
-  if (config_.heartbeat_interval > 0) {
-    heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
-  }
-  if (config_.mpi_batch_flush_interval > 0) {
-    flusher_thread_ = std::thread([this] { flusher_loop(); });
-  }
+  if (config_.heartbeat_interval > 0) schedule_heartbeat();
+  // No flusher thread: parked batches arm a reactor timer on demand.
 }
 
 ProxyServer::~ProxyServer() { shutdown(); }
@@ -79,9 +79,6 @@ Status ProxyServer::attach_node(const std::string& node_name,
       [this, node_name](const proto::Envelope& env, Connection& c) {
         handle_node(node_name, env, c);
       });
-  conn->set_on_close([this, node_name](const Status& reason) {
-    on_node_down(node_name, reason);
-  });
   Connection* raw = conn.get();
   {
     std::lock_guard<std::mutex> lock(conns_mutex_);
@@ -91,6 +88,12 @@ Status ProxyServer::attach_node(const std::string& node_name,
     nodes_[node_name] = std::move(conn);
     conns_generation_.fetch_add(1, std::memory_order_release);
   }
+  instruments_.open_connections.add(1);
+  // Set only once the connection is actually kept: a rejected duplicate is
+  // destroyed above without ever firing on_node_down.
+  raw->set_on_close([this, node_name](const Status& reason) {
+    on_node_down(node_name, reason);
+  });
   raw->start();
   return Status::ok();
 }
@@ -119,9 +122,10 @@ Status ProxyServer::connect_peer(const std::string& peer_site,
       [this](const proto::Envelope& env, Connection& c) {
         handle_peer(env, c);
       });
-  conn->set_on_close([this, peer_site](const Status& reason) {
-    on_peer_down(peer_site, reason);
-  });
+  // Handler spans finished for traces the peer's side originated flow back
+  // over this link, so the origin proxy renders the whole grid operation
+  // as one connected trace.
+  conn->set_span_export(true, config_.site);
   Connection* raw = conn.get();
   std::unique_ptr<Connection> retired;
   {
@@ -138,8 +142,14 @@ Status ProxyServer::connect_peer(const std::string& peer_site,
     peers_[peer_site] = std::move(conn);
     conns_generation_.fetch_add(1, std::memory_order_release);
   }
-  // Joining the dead connection's reader must happen outside conns_mutex_
-  // (the reader may be blocked acquiring it) — same rule as shutdown().
+  instruments_.open_connections.add(1);
+  // Set only once the connection is actually kept: a rejected duplicate is
+  // destroyed above without ever firing on_peer_down.
+  raw->set_on_close([this, peer_site](const Status& reason) {
+    on_peer_down(peer_site, reason);
+  });
+  // Closing the retired connection must happen outside conns_mutex_ (its
+  // strand may be blocked acquiring it) — same rule as shutdown().
   if (retired) retired->close();
   raw->start();
 
@@ -613,6 +623,15 @@ void ProxyServer::handle_peer(const proto::Envelope& envelope,
     // no span — heartbeats would drown real traces.
     return;
   }
+  if (envelope.op == proto::OpCode::kTraceExport) {
+    // Plumbing, not a traced operation of its own.
+    handle_trace_export(envelope);
+    return;
+  }
+  // Remember which peer foreign traces arrive from; that peer is the next
+  // hop when spans of the trace need forwarding back toward its origin.
+  if (envelope.trace_id != 0)
+    record_trace_route(envelope.trace_id, conn.peer_name());
   telemetry::ScopedTimer dispatch_timer(instruments_.dispatch_micros);
   telemetry::Span span = telemetry::Tracer::global().start_span(
       std::string("peer.") + proto::opcode_name(envelope.op), config_.site);
@@ -643,9 +662,20 @@ void ProxyServer::handle_peer(const proto::Envelope& envelope,
     case proto::OpCode::kJobQuery:
       handle_job_query(envelope, conn);
       return;
-    case proto::OpCode::kMpiOpen:
-      handle_mpi_open_from_peer(envelope, conn);
+    case proto::OpCode::kMpiOpen: {
+      // Opening blocks on kMpiOpen round trips to every hosting node; run
+      // it on the worker pool so this peer's strand keeps draining control
+      // traffic meanwhile. `conn` outlives the task: connections are only
+      // destroyed with the proxy, after workers_.shutdown().
+      const proto::Envelope request = envelope;
+      Connection* source = &conn;
+      const telemetry::TraceContext trace = telemetry::Tracer::current();
+      relay_async([this, request, source, trace] {
+        telemetry::ScopedTraceContext scope(trace);
+        handle_mpi_open_from_peer(request, *source);
+      });
       return;
+    }
     case proto::OpCode::kMpiStart:
       handle_mpi_start(envelope);
       return;
@@ -684,6 +714,12 @@ void ProxyServer::handle_node(const std::string& node,
   }
   if (envelope.op == proto::OpCode::kMpiBatch) {
     handle_mpi_batch(envelope);  // hot path too
+    return;
+  }
+  if (envelope.op == proto::OpCode::kTraceExport) {
+    // Node agents export spans of foreign traces to their proxy, which
+    // imports or keeps forwarding them toward the trace origin.
+    handle_trace_export(envelope);
     return;
   }
   telemetry::ScopedTimer dispatch_timer(instruments_.dispatch_micros);
@@ -1033,7 +1069,7 @@ void ProxyServer::drain_site_locked(std::unique_lock<std::mutex>& lock,
       parked.bytes += chunk_bytes;
       parked.flushing = false;
       parked.deadline = steady_micros() + config_.mpi_batch_flush_interval;
-      batch_cv_.notify_all();
+      schedule_flusher_locked();
       return;
     }
 
@@ -1068,37 +1104,45 @@ void ProxyServer::flush_batches(FlushReason reason) {
   }
 }
 
-void ProxyServer::flusher_loop() {
-  std::unique_lock<std::mutex> lock(batch_mutex_);
-  while (!shut_down_.load(std::memory_order_acquire)) {
-    TimeMicros now = steady_micros();
-    TimeMicros next = 0;
-    for (const auto& [site, batch] : batches_) {
-      if (batch.frames.empty() || batch.flushing || batch.deadline == 0)
-        continue;
-      if (next == 0 || batch.deadline < next) next = batch.deadline;
-    }
-    const TimeMicros wait =
-        next == 0 ? config_.mpi_batch_flush_interval
-                  : (next > now ? next - now : TimeMicros{1});
-    batch_cv_.wait_for(lock, std::chrono::microseconds(wait));
-    if (shut_down_.load(std::memory_order_acquire)) break;
-
-    now = steady_micros();
-    std::vector<std::string> due;
-    for (const auto& [site, batch] : batches_) {
-      if (!batch.frames.empty() && !batch.flushing && batch.deadline != 0 &&
-          batch.deadline <= now)
-        due.push_back(site);
-    }
-    for (const std::string& site : due) {
-      SiteBatch& batch = batches_[site];
-      if (batch.flushing || batch.frames.empty()) continue;
-      batch.flushing = true;
-      batch.deadline = 0;
-      drain_site_locked(lock, site, FlushReason::kInterval);
-    }
+void ProxyServer::schedule_flusher_locked() {
+  if (flusher_scheduled_ || config_.mpi_batch_flush_interval <= 0) return;
+  if (shut_down_.load(std::memory_order_acquire)) return;
+  const TimeMicros now = steady_micros();
+  TimeMicros next = 0;
+  for (const auto& [site, batch] : batches_) {
+    if (batch.frames.empty() || batch.flushing || batch.deadline == 0)
+      continue;
+    if (next == 0 || batch.deadline < next) next = batch.deadline;
   }
+  if (next == 0) return;  // nothing parked, no timer needed
+  flusher_scheduled_ = true;
+  flusher_timer_ = net::Reactor::global().schedule_timer(
+      next > now ? next - now : TimeMicros{1}, [this] { flusher_fire(); });
+}
+
+void ProxyServer::flusher_fire() {
+  std::unique_lock<std::mutex> lock(batch_mutex_);
+  flusher_scheduled_ = false;
+  flusher_timer_ = 0;
+  if (shut_down_.load(std::memory_order_acquire)) return;
+
+  const TimeMicros now = steady_micros();
+  std::vector<std::string> due;
+  for (const auto& [site, batch] : batches_) {
+    if (!batch.frames.empty() && !batch.flushing && batch.deadline != 0 &&
+        batch.deadline <= now)
+      due.push_back(site);
+  }
+  for (const std::string& site : due) {
+    SiteBatch& batch = batches_[site];
+    if (batch.flushing || batch.frames.empty()) continue;
+    batch.flushing = true;
+    batch.deadline = 0;
+    drain_site_locked(lock, site, FlushReason::kInterval);
+  }
+  // Whatever parked again (link still dead) re-arms the retry timer; a
+  // fully drained queue leaves no timer behind.
+  schedule_flusher_locked();
 }
 
 void ProxyServer::handle_mpi_done_from_node(const proto::Envelope& envelope) {
@@ -1450,6 +1494,67 @@ void ProxyServer::handle_tunnel_from_peer(const proto::Envelope& envelope,
   handle_tunnel_from_node(conn.peer_name(), envelope, conn);
 }
 
+// ------------------------------------------------------------ span export
+
+void ProxyServer::record_trace_route(std::uint64_t trace_id,
+                                     const std::string& peer) {
+  // Own traces never need a route: exports for them terminate here.
+  if (telemetry::Tracer::global().originated_here(trace_id)) return;
+  std::lock_guard<std::mutex> lock(trace_routes_mutex_);
+  const auto [it, inserted] = trace_routes_.insert_or_assign(trace_id, peer);
+  if (!inserted) return;  // refreshed an existing route
+  trace_routes_order_.push_back(trace_id);
+  while (trace_routes_order_.size() > kMaxTraceRoutes) {
+    trace_routes_.erase(trace_routes_order_.front());
+    trace_routes_order_.pop_front();
+  }
+}
+
+std::string ProxyServer::trace_route(std::uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(trace_routes_mutex_);
+  const auto it = trace_routes_.find(trace_id);
+  return it == trace_routes_.end() ? std::string() : it->second;
+}
+
+void ProxyServer::handle_trace_export(const proto::Envelope& envelope) {
+  Result<proto::TraceExport> parsed =
+      proto::TraceExport::parse(envelope.payload);
+  if (!parsed.is_ok()) return;
+  telemetry::Tracer& tracer = telemetry::Tracer::global();
+
+  // Spans of traces this proxy originated land in the local ring; the rest
+  // keep flowing hop-by-hop toward wherever their trace came from.
+  std::map<std::string, std::vector<proto::ExportedSpan>> forward;
+  for (proto::ExportedSpan& span : parsed.value().spans) {
+    if (tracer.originated_here(span.trace_id)) {
+      telemetry::SpanRecord record;
+      record.trace_id = span.trace_id;
+      record.span_id = span.span_id;
+      record.parent_span_id = span.parent_span_id;
+      record.name = span.name;
+      record.component = span.component;
+      record.start_micros = span.start_micros;
+      record.end_micros = span.end_micros;
+      record.ok = span.ok;
+      record.note = span.note;
+      tracer.import_span(record);
+    } else if (std::string next = trace_route(span.trace_id);
+               !next.empty()) {
+      forward[next].push_back(std::move(span));
+    }
+    // No known route toward the origin: drop the span (the route table is
+    // bounded, so very old traces can age out of it).
+  }
+  for (auto& [site, spans] : forward) {
+    Connection* conn = peer_connection(site);
+    if (conn == nullptr || !conn->alive()) continue;
+    proto::TraceExport out;
+    out.exporter_site = parsed.value().exporter_site;
+    out.spans = std::move(spans);
+    (void)conn->notify(proto::OpCode::kTraceExport, out.serialize());
+  }
+}
+
 // ---------------------------------------------------------- introspection
 
 Status ProxyServer::register_extension(proto::OpCode op,
@@ -1583,6 +1688,7 @@ std::vector<LinkReport> ProxyServer::link_report() const {
 
 void ProxyServer::on_peer_down(const std::string& site, const Status& reason) {
   instruments_.disconnect(config_.site, site, reason);
+  instruments_.open_connections.add(-1);
   conns_generation_.fetch_add(1, std::memory_order_release);
   if (shut_down_.load(std::memory_order_acquire)) return;
 
@@ -1635,6 +1741,7 @@ void ProxyServer::on_peer_down(const std::string& site, const Status& reason) {
 
 void ProxyServer::on_node_down(const std::string& node, const Status& reason) {
   instruments_.disconnect(config_.site, node, reason);
+  instruments_.open_connections.add(-1);
   conns_generation_.fetch_add(1, std::memory_order_release);
   if (shut_down_.load(std::memory_order_acquire)) return;
 
@@ -1668,72 +1775,78 @@ void ProxyServer::on_node_down(const std::string& node, const Status& reason) {
   }
 }
 
-void ProxyServer::heartbeat_loop() {
+void ProxyServer::schedule_heartbeat() {
+  std::lock_guard<std::mutex> lock(timers_mutex_);
+  if (shut_down_.load(std::memory_order_acquire)) return;
+  heartbeat_timer_ = net::Reactor::global().schedule_timer(
+      config_.heartbeat_interval, [this] { heartbeat_fire(); });
+}
+
+void ProxyServer::heartbeat_fire() {
+  if (shut_down_.load(std::memory_order_acquire)) return;
   const TimeMicros interval = config_.heartbeat_interval;
   const std::uint32_t threshold =
       std::max<std::uint32_t>(1, config_.heartbeat_miss_threshold);
-  std::unique_lock<std::mutex> lock(hb_mutex_);
-  while (!shut_down_.load(std::memory_order_acquire)) {
-    hb_cv_.wait_for(lock, std::chrono::microseconds(interval), [this] {
-      return shut_down_.load(std::memory_order_acquire);
-    });
-    if (shut_down_.load(std::memory_order_acquire)) break;
-    lock.unlock();
 
-    struct Probe {
-      std::string site;
-      TimeMicros idle = 0;
-    };
-    const TimeMicros now = steady_micros();
-    std::vector<Probe> probes;
-    {
-      std::lock_guard<std::mutex> g(conns_mutex_);
-      for (const auto& [site, conn] : peers_) {
-        if (conn->alive())
-          probes.push_back({site, now - conn->last_activity()});
-      }
+  struct Probe {
+    std::string site;
+    TimeMicros idle = 0;
+  };
+  const TimeMicros now = steady_micros();
+  std::vector<Probe> probes;
+  {
+    std::lock_guard<std::mutex> g(conns_mutex_);
+    for (const auto& [site, conn] : peers_) {
+      if (conn->alive())
+        probes.push_back({site, now - conn->last_activity()});
     }
-    for (const auto& probe : probes) {
-      if (probe.idle > interval) instruments_.heartbeat_missed.increment();
-      if (probe.idle > interval * threshold) {
-        // Declare the peer dead. close() triggers on_peer_down (via the
-        // reader's exit) with this reason, which purges its state.
-        if (Connection* conn = peer_connection(probe.site)) {
-          conn->close(error(ErrorCode::kUnavailable,
-                            "heartbeat timeout: peer silent for " +
-                                std::to_string(probe.idle) + "us"));
-        }
-      } else if (Connection* conn = peer_connection(probe.site)) {
-        (void)conn->notify(proto::OpCode::kHeartbeat, {});
-      }
-    }
-    lock.lock();
   }
+  for (const auto& probe : probes) {
+    if (probe.idle > interval) instruments_.heartbeat_missed.increment();
+    if (probe.idle > interval * threshold) {
+      // Declare the peer dead. close() fires on_peer_down with this
+      // reason, which purges the peer's state.
+      if (Connection* conn = peer_connection(probe.site)) {
+        conn->close(error(ErrorCode::kUnavailable,
+                          "heartbeat timeout: peer silent for " +
+                              std::to_string(probe.idle) + "us"));
+      }
+    } else if (Connection* conn = peer_connection(probe.site)) {
+      (void)conn->notify(proto::OpCode::kHeartbeat, {});
+    }
+  }
+  schedule_heartbeat();
 }
 
 void ProxyServer::shutdown() {
   if (shut_down_.exchange(true)) return;
-  // Stop the heartbeat monitor before touching connections so it cannot
-  // race the close sweep below.
+  // Cancel the heartbeat timer before touching connections so it cannot
+  // race the close sweep below. cancel_timer waits out a callback that is
+  // already running; heartbeat_fire sees shut_down_ and will not re-arm.
+  std::uint64_t hb_timer = 0;
   {
-    std::lock_guard<std::mutex> lock(hb_mutex_);
+    std::lock_guard<std::mutex> lock(timers_mutex_);
+    hb_timer = heartbeat_timer_;
+    heartbeat_timer_ = 0;
   }
-  hb_cv_.notify_all();
-  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  if (hb_timer != 0) net::Reactor::global().cancel_timer(hb_timer);
 
-  // Stop the batch flusher, then push out whatever is still queued while
-  // the links are up (frames for dead sites are dropped, as an unbatched
-  // send to a dead site would have been).
+  // Cancel the batch retry timer, then push out whatever is still queued
+  // while the links are up (frames for dead sites are dropped, as an
+  // unbatched send to a dead site would have been).
+  std::uint64_t flush_timer = 0;
   {
     std::lock_guard<std::mutex> lock(batch_mutex_);
+    flush_timer = flusher_timer_;
+    flusher_timer_ = 0;
+    flusher_scheduled_ = false;
   }
-  batch_cv_.notify_all();
-  if (flusher_thread_.joinable()) flusher_thread_.join();
+  if (flush_timer != 0) net::Reactor::global().cancel_timer(flush_timer);
   flush_batches(FlushReason::kTeardown);
 
-  // Snapshot under the lock but close outside it: close() joins the
-  // connection's reader thread, and a reader mid-handler may itself need
-  // conns_mutex_ (peer_connection/node_connection), so joining while
+  // Snapshot under the lock but close outside it: close() quiesces the
+  // connection's strand, and a strand mid-handler may itself need
+  // conns_mutex_ (peer_connection/node_connection), so closing while
   // holding the lock deadlocks shutdown against in-flight dispatch.
   std::vector<Connection*> open;
   {

@@ -15,12 +15,12 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -315,6 +315,10 @@ class ProxyServer {
                                Connection& conn);
   void handle_tunnel_from_peer(const proto::Envelope& envelope,
                                Connection& conn);
+  /// Ingests a kTraceExport: spans of traces this proxy originated land in
+  /// the local ring; the rest keep flowing toward their origin through the
+  /// trace-route table.
+  void handle_trace_export(const proto::Envelope& envelope);
 
   // -- internals
   Status open_app_locally(const AppRouting& routing,
@@ -354,7 +358,13 @@ class ProxyServer {
                          const std::string& site, FlushReason trigger);
   /// Drains every idle non-empty site queue (teardown / shutdown).
   void flush_batches(FlushReason reason);
-  void flusher_loop();
+  /// Arms the one-shot retry timer for the earliest parked batch deadline.
+  /// Call with batch_mutex_ held; no-op when armed already, nothing is
+  /// parked, or the proxy is shutting down.
+  void schedule_flusher_locked();
+  /// Reactor-timer callback: retries parked batches that came due, then
+  /// re-arms for whatever is still parked.
+  void flusher_fire();
 
   // -- resilience
   /// Retrying request/response against whatever connection `resolve`
@@ -372,7 +382,17 @@ class ProxyServer {
   /// state that referenced the peer so nothing waits on a corpse.
   void on_peer_down(const std::string& site, const Status& reason);
   void on_node_down(const std::string& node, const Status& reason);
-  void heartbeat_loop();
+  /// Arms the next heartbeat tick (reactor one-shot timer).
+  void schedule_heartbeat();
+  /// Reactor-timer callback: one probe round over the peers, then re-arm.
+  void heartbeat_fire();
+
+  // -- span export routing
+  /// Remembers `peer` as the next hop toward `trace_id`'s origin (only for
+  /// traces this process did not originate). Bounded FIFO table.
+  void record_trace_route(std::uint64_t trace_id, const std::string& peer);
+  /// Next hop toward the trace's origin; empty when unknown.
+  std::string trace_route(std::uint64_t trace_id) const;
 
   Status dispatch_extension(const proto::Envelope& envelope, Connection& conn);
 
@@ -409,20 +429,26 @@ class ProxyServer {
   // Registry-backed counters/histograms, labelled with this proxy's site.
   ProxyInstruments instruments_;
 
-  // Heartbeat monitor (runs only when config_.heartbeat_interval > 0).
-  std::mutex hb_mutex_;
-  std::condition_variable hb_cv_;
-  std::thread heartbeat_thread_;
+  // Heartbeat monitor: a self-rearming reactor timer (armed only when
+  // config_.heartbeat_interval > 0). An idle proxy wakes zero threads.
+  std::mutex timers_mutex_;
+  std::uint64_t heartbeat_timer_ = 0;  // guarded by timers_mutex_
 
-  // Outgoing MPI batch queues, one per destination site, plus the timer
-  // thread that retries frames parked on dead links (runs only when
-  // config_.mpi_batch_flush_interval > 0).
+  // Outgoing MPI batch queues, one per destination site. Frames parked on
+  // a dead link arm a one-shot reactor retry timer — there is no polling
+  // flusher thread; nothing parked means no timer exists at all.
   std::mutex batch_mutex_;
-  std::condition_variable batch_cv_;
   std::map<std::string, SiteBatch> batches_;
-  std::thread flusher_thread_;
+  std::uint64_t flusher_timer_ = 0;   // guarded by batch_mutex_
+  bool flusher_scheduled_ = false;    // guarded by batch_mutex_
   std::atomic<std::uint64_t> batch_seq_{1};
   BatchDedupWindow batch_dedup_;
+
+  // Next hop toward each foreign trace's origin, learned from the peer an
+  // envelope carrying that trace arrived on (bounded FIFO).
+  mutable std::mutex trace_routes_mutex_;
+  std::unordered_map<std::uint64_t, std::string> trace_routes_;
+  std::deque<std::uint64_t> trace_routes_order_;
 
   std::atomic<bool> shut_down_{false};
 };

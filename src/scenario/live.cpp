@@ -1,6 +1,7 @@
 #include "scenario/live.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "mpi/runtime.hpp"
 
@@ -90,6 +91,40 @@ Result<LiveRunReport> run_live(const ScenarioConfig& config,
   // Durations are ignored: wall time is the live run's scarce resource,
   // so each fault is applied, observed, and (for links) healed inline.
   for (const TimelineEvent& event : config.timeline) {
+    if (event.op == TimelineEvent::Op::kPartition) {
+      // A partition is the set of links crossing the (group, rest) cut:
+      // sever them all, observe, heal them all — same inline treatment a
+      // lone severed link gets.
+      std::vector<std::pair<std::string, std::string>> cut;
+      for (const grid::TopologySpec::Site& a : spec.sites) {
+        const bool a_in = std::find(event.group.begin(), event.group.end(),
+                                    a.name) != event.group.end();
+        for (const grid::TopologySpec::Site& b : spec.sites) {
+          if (a.name >= b.name) continue;  // each unordered pair once
+          const bool b_in = std::find(event.group.begin(), event.group.end(),
+                                      b.name) != event.group.end();
+          if (a_in == b_in) continue;  // same side of the cut
+          cut.emplace_back(a.name, b.name);
+        }
+      }
+      for (const auto& [site_a, site_b] : cut) {
+        grid::FaultCommand kill;
+        kill.op = grid::FaultCommand::Op::kKillLink;
+        kill.site = site_a;
+        kill.peer = site_b;
+        PG_RETURN_IF_ERROR(grid->apply_fault(kill));
+        ++report.faults_applied;
+      }
+      for (const auto& [site_a, site_b] : cut) {
+        grid::FaultCommand heal;
+        heal.op = grid::FaultCommand::Op::kHealLink;
+        heal.site = site_a;
+        heal.peer = site_b;
+        PG_RETURN_IF_ERROR(grid->apply_fault(heal));
+        ++report.faults_applied;
+      }
+      continue;
+    }
     grid::FaultCommand command;
     switch (event.op) {
       case TimelineEvent::Op::kKillNode:

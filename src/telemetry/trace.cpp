@@ -9,6 +9,9 @@ namespace pg::telemetry {
 namespace {
 
 thread_local TraceContext g_current;
+thread_local ScopedSpanSink* g_span_sink = nullptr;
+
+constexpr std::size_t kMaxTracked = 8192;  // originated / imported sets
 
 std::int64_t now_micros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -59,6 +62,9 @@ void Span::end() {
   }
   record_.end_micros = now_micros();
   tracer->commit(record_);
+  if (g_span_sink != nullptr && g_span_sink->sink_) {
+    g_span_sink->sink_(record_);
+  }
 }
 
 // ---------------------------------------------------------------- tracer
@@ -92,7 +98,13 @@ Span Tracer::start_span_with_parent(const std::string& name,
                                     TraceContext parent,
                                     const std::string& component) {
   SpanRecord record;
-  record.trace_id = parent.valid() ? parent.trace_id : next_id();
+  if (parent.valid()) {
+    record.trace_id = parent.trace_id;
+  } else {
+    record.trace_id = next_id();
+    std::lock_guard<std::mutex> lock(mutex_);
+    remember(record.trace_id, originated_, originated_order_);
+  }
   record.span_id = next_id();
   record.parent_span_id = parent.valid() ? parent.span_id : 0;
   record.name = name;
@@ -145,11 +157,55 @@ std::vector<std::uint64_t> Tracer::recent_traces(std::size_t limit) const {
   return out;
 }
 
+void Tracer::remember(std::uint64_t key,
+                      std::unordered_set<std::uint64_t>& set,
+                      std::deque<std::uint64_t>& order) {
+  if (!set.insert(key).second) return;
+  order.push_back(key);
+  while (order.size() > kMaxTracked) {
+    set.erase(order.front());
+    order.pop_front();
+  }
+}
+
+bool Tracer::originated_here(std::uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return originated_.count(trace_id) != 0;
+}
+
+void Tracer::import_span(const SpanRecord& record) {
+  // Mix both ids so (a, b) and (b, a) do not collide on the same key.
+  const std::uint64_t key = record.trace_id ^ mix(record.span_id);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (imported_.count(key) != 0) return;
+    remember(key, imported_, imported_order_);
+    // In-process grids share one tracer: the exporting "remote" proxy
+    // already committed this span into our ring. Skip the re-insert.
+    for (const SpanRecord& existing : ring_) {
+      if (existing.trace_id == record.trace_id &&
+          existing.span_id == record.span_id) {
+        return;
+      }
+    }
+  }
+  commit(record);
+}
+
 void Tracer::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   ring_.clear();
   head_ = 0;
 }
+
+// ------------------------------------------------------------- span sink
+
+ScopedSpanSink::ScopedSpanSink(Sink sink)
+    : sink_(std::move(sink)), previous_(g_span_sink) {
+  g_span_sink = this;
+}
+
+ScopedSpanSink::~ScopedSpanSink() { g_span_sink = previous_; }
 
 // ------------------------------------------------------- scoped context
 

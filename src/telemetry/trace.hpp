@@ -20,8 +20,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 namespace pg::telemetry {
@@ -99,6 +102,17 @@ class Tracer {
   Span start_span_with_parent(const std::string& name, TraceContext parent,
                               const std::string& component = "");
 
+  /// Ingests a span completed on another proxy (kTraceExport). Dedupes by
+  /// (trace_id, span_id): in-process grids share this tracer, so a span
+  /// that already lives in the ring is dropped instead of double-recorded.
+  void import_span(const SpanRecord& record);
+
+  /// True when `trace_id` was allocated by this tracer (the trace's origin
+  /// is in this process). Remote proxies export spans of traces they did
+  /// NOT originate back toward the origin. Tracking is bounded; the oldest
+  /// origins are forgotten first.
+  bool originated_here(std::uint64_t trace_id) const;
+
   /// All recorded spans of one trace, in completion order.
   std::vector<SpanRecord> trace(std::uint64_t trace_id) const;
 
@@ -115,11 +129,41 @@ class Tracer {
   void commit(const SpanRecord& record);
   std::uint64_t next_id();
 
+  void remember(std::uint64_t key, std::unordered_set<std::uint64_t>& set,
+                std::deque<std::uint64_t>& order);
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::vector<SpanRecord> ring_;
   std::size_t head_ = 0;   // next write slot once the ring is full
   std::uint64_t seq_ = 1;  // id source; salted into trace ids
+  // Bounded FIFO sets (guarded by mutex_): trace ids this tracer
+  // allocated, and (trace_id, span_id) keys already imported.
+  std::unordered_set<std::uint64_t> originated_;
+  std::deque<std::uint64_t> originated_order_;
+  std::unordered_set<std::uint64_t> imported_;
+  std::deque<std::uint64_t> imported_order_;
+};
+
+/// Installs a per-thread span sink for the scope: every span *committed by
+/// this thread* (Span::end) is also handed to `sink`, after it is recorded.
+/// The proxy wraps remote-envelope handler dispatch in one of these to
+/// collect the spans the handler finished, for export to the trace origin.
+/// Imported spans never re-enter a sink. Nests; inner sink wins.
+class ScopedSpanSink {
+ public:
+  using Sink = std::function<void(const SpanRecord&)>;
+
+  explicit ScopedSpanSink(Sink sink);
+  ~ScopedSpanSink();
+
+  ScopedSpanSink(const ScopedSpanSink&) = delete;
+  ScopedSpanSink& operator=(const ScopedSpanSink&) = delete;
+
+ private:
+  friend class Span;
+  Sink sink_;
+  ScopedSpanSink* previous_;
 };
 
 /// Installs `ctx` as the thread's current trace context for the scope —

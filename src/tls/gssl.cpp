@@ -277,6 +277,24 @@ class GsslSessionImpl final : public GsslSession {
                      static_cast<std::ptrdiff_t>(plain_len.value()));
   }
 
+  Result<std::size_t> open_record(std::uint8_t type, Bytes& record) override {
+    std::lock_guard<std::mutex> lock(recv_mutex_);
+    if (type == static_cast<std::uint8_t>(RecordType::kAlert))
+      return error(ErrorCode::kCryptoError,
+                   "peer alert: " + to_string(record));
+    if (type != static_cast<std::uint8_t>(RecordType::kData))
+      return error(ErrorCode::kProtocolError,
+                   "unexpected record type after handshake");
+    Result<std::size_t> plain_len = [&] {
+      telemetry::ScopedTimer timer(TlsInstruments::get().open_micros);
+      return recv_cipher_.open_in_place(RecordType::kData, record);
+    }();
+    if (!plain_len.is_ok()) return plain_len;
+    TlsInstruments::get().records_opened.increment();
+    records_received_.fetch_add(1, std::memory_order_relaxed);
+    return plain_len;
+  }
+
   void close() override { channel_.close(); }
 
   const crypto::Certificate& peer_certificate() const override {

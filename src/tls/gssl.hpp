@@ -65,6 +65,15 @@ class GsslSession {
   /// violations yield kCryptoError and poison the session.
   virtual Result<Bytes> recv() = 0;
 
+  /// Event-mode receive path: verifies and decrypts one record payload in
+  /// place (`record` = the wire payload after the [type u8][len u32]
+  /// header, i.e. [ciphertext][mac]). On success returns the plaintext
+  /// length — a prefix of `record`. Advances the receive sequence, so it
+  /// is mutually exclusive with recv(): pick one receive style per
+  /// session.
+  virtual Result<std::size_t> open_record(std::uint8_t type,
+                                          Bytes& record) = 0;
+
   virtual void close() = 0;
 
   /// The authenticated peer certificate.

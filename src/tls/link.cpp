@@ -4,12 +4,20 @@
 #include <mutex>
 
 #include "net/framer.hpp"
+#include "tls/record.hpp"
 
 namespace pg::tls {
 
 namespace {
 
-class PlainLink final : public MessageLink {
+std::uint32_t load_u32_be(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+class PlainLink final : public MessageLink, private net::FrameDecoder {
  public:
   explicit PlainLink(net::Channel& channel) : channel_(channel) {}
 
@@ -32,6 +40,8 @@ class PlainLink final : public MessageLink {
   void close() override { channel_.close(); }
   bool is_encrypted() const override { return false; }
 
+  net::FrameDecoder* decoder() override { return this; }
+
   LinkStats stats() const override {
     LinkStats stats;
     stats.messages_sent = messages_sent_.load(std::memory_order_relaxed);
@@ -44,6 +54,23 @@ class PlainLink final : public MessageLink {
   }
 
  private:
+  // Incremental [len u32 BE][payload] extraction — the event-mode mirror
+  // of net::read_frame.
+  Status decode(Bytes& buf, std::size_t& pos,
+                const std::function<void(BytesView)>& sink) override {
+    for (;;) {
+      const std::size_t available = buf.size() - pos;
+      if (available < 4) return Status::ok();
+      const std::uint32_t len = load_u32_be(buf.data() + pos);
+      if (len > net::kMaxFrameSize)
+        return error(ErrorCode::kProtocolError, "frame too large");
+      if (available - 4 < len) return Status::ok();
+      sink(BytesView(buf.data() + pos + 4, len));
+      pos += 4 + len;
+      messages_received_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   net::Channel& channel_;
   std::mutex send_mutex_;
   std::atomic<std::uint64_t> messages_sent_{0};
@@ -52,7 +79,7 @@ class PlainLink final : public MessageLink {
   std::atomic<std::uint64_t> wire_bytes_sent_{0};
 };
 
-class SecureLink final : public MessageLink {
+class SecureLink final : public MessageLink, private net::FrameDecoder {
  public:
   explicit SecureLink(GsslSessionPtr session) : session_(std::move(session)) {}
 
@@ -64,6 +91,8 @@ class SecureLink final : public MessageLink {
 
   void close() override { session_->close(); }
   bool is_encrypted() const override { return true; }
+
+  net::FrameDecoder* decoder() override { return this; }
 
   LinkStats stats() const override {
     const GsslStats gs = session_->stats();
@@ -78,7 +107,31 @@ class SecureLink final : public MessageLink {
   }
 
  private:
+  // Incremental [type u8][len u32 BE][protected payload] extraction; each
+  // complete record is copied into the per-link scratch and decrypted in
+  // place there via the session's caller-owned open path (the stream
+  // buffer itself must keep the raw tail for the next readiness event).
+  Status decode(Bytes& buf, std::size_t& pos,
+                const std::function<void(BytesView)>& sink) override {
+    for (;;) {
+      const std::size_t available = buf.size() - pos;
+      if (available < internal::kRecordHeaderSize) return Status::ok();
+      const std::uint8_t type = buf[pos];
+      const std::uint32_t len = load_u32_be(buf.data() + pos + 1);
+      if (len > internal::kMaxRecordSize)
+        return error(ErrorCode::kProtocolError, "record too large");
+      if (available - internal::kRecordHeaderSize < len) return Status::ok();
+      const std::uint8_t* body = buf.data() + pos + internal::kRecordHeaderSize;
+      scratch_.assign(body, body + len);
+      pos += internal::kRecordHeaderSize + len;
+      Result<std::size_t> plain_len = session_->open_record(type, scratch_);
+      if (!plain_len.is_ok()) return plain_len.status();
+      sink(BytesView(scratch_.data(), plain_len.value()));
+    }
+  }
+
   GsslSessionPtr session_;
+  Bytes scratch_;  // reactor I/O thread only (single reader)
 };
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "common/bytes.hpp"
 #include "common/status.hpp"
 #include "net/channel.hpp"
+#include "net/frame_decoder.hpp"
 #include "tls/gssl.hpp"
 
 namespace pg::tls {
@@ -37,6 +38,13 @@ class MessageLink {
   virtual void close() = 0;
   virtual bool is_encrypted() const = 0;
   virtual LinkStats stats() const = 0;
+
+  /// Incremental decoder for the reactor core: feeds complete plaintext
+  /// messages out of raw channel bytes (decrypting GSSL records along the
+  /// way). Owned by the link; valid for the link's lifetime. Using the
+  /// decoder and calling recv() on the same link is undefined — in event
+  /// mode the reactor is the only reader.
+  virtual net::FrameDecoder* decoder() = 0;
 };
 
 using MessageLinkPtr = std::unique_ptr<MessageLink>;

@@ -1,0 +1,415 @@
+// Tests for the event-driven proxy core: the epoll reactor (partial-frame
+// reassembly, write backpressure, mid-read death, timers, connection churn)
+// and the span-export hop riding on it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/memory_channel.hpp"
+#include "net/reactor.hpp"
+#include "net/tcp.hpp"
+#include "proto/messages.hpp"
+#include "proxy/connection.hpp"
+#include "telemetry/trace.hpp"
+#include "tls/link.hpp"
+
+namespace pg::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Builds the PlainLink wire form of one frame: [len u32 BE][payload].
+Bytes plain_frame(const std::string& payload) {
+  Bytes out;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<std::uint8_t>(len >> 24));
+  out.push_back(static_cast<std::uint8_t>(len >> 16));
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>(len));
+  for (char c : payload) out.push_back(static_cast<std::uint8_t>(c));
+  return out;
+}
+
+/// Collects frames/close events delivered by the reactor.
+struct Sink {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<Bytes> frames;
+  bool closed = false;
+  Status close_reason;
+
+  Reactor::Callbacks callbacks() {
+    return Reactor::Callbacks{
+        [this](BytesView frame) {
+          std::lock_guard<std::mutex> lock(mutex);
+          frames.emplace_back(frame.begin(), frame.end());
+          cv.notify_all();
+        },
+        [this](const Status& reason) {
+          std::lock_guard<std::mutex> lock(mutex);
+          closed = true;
+          close_reason = reason;
+          cv.notify_all();
+        }};
+  }
+
+  bool wait_frames(std::size_t n, std::chrono::seconds budget = 10s) {
+    std::unique_lock<std::mutex> lock(mutex);
+    return cv.wait_for(lock, budget, [&] { return frames.size() >= n; });
+  }
+
+  bool wait_closed(std::chrono::seconds budget = 10s) {
+    std::unique_lock<std::mutex> lock(mutex);
+    return cv.wait_for(lock, budget, [&] { return closed; });
+  }
+};
+
+/// One reactor-registered receive end over a connected TCP pair.
+struct TcpHarness {
+  ChannelPtr sender;
+  ChannelPtr receiver;
+  tls::MessageLinkPtr receiver_link;  // owns the frame decoder
+  Sink sink;
+  Reactor::Id id = 0;
+
+  explicit TcpHarness(Reactor& reactor) { init(reactor); }
+
+ private:
+  // ASSERT_* needs a plain void function; constructors don't qualify.
+  void init(Reactor& reactor) {
+    auto listener = TcpListener::bind(0);
+    ASSERT_TRUE(listener.is_ok()) << listener.status().to_string();
+    auto client = tcp_connect("127.0.0.1", listener.value().port());
+    ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+    auto accepted = listener.value().accept();
+    ASSERT_TRUE(accepted.is_ok()) << accepted.status().to_string();
+    sender = client.take();
+    receiver = accepted.take();
+    receiver_link = tls::make_plain_link(*receiver);
+    auto added = reactor.add_channel(*receiver, *receiver_link->decoder(),
+                                     sink.callbacks());
+    ASSERT_TRUE(added.is_ok()) << added.status().to_string();
+    id = added.value();
+  }
+};
+
+TEST(Reactor, PartialFrameReassembly) {
+  Reactor reactor(ReactorOptions{1, 2});
+  TcpHarness h(reactor);
+  ASSERT_NE(h.id, 0u);
+
+  // Dribble one frame a byte at a time: every epoll wakeup sees a partial
+  // frame until the last byte lands.
+  const std::string payload = "reassembled-across-many-reads";
+  const Bytes wire = plain_frame(payload);
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    ASSERT_TRUE(h.sender->write(BytesView(wire.data() + i, 1)).is_ok());
+    if (i % 7 == 0) std::this_thread::sleep_for(1ms);
+  }
+
+  ASSERT_TRUE(h.sink.wait_frames(1));
+  EXPECT_EQ(to_string(h.sink.frames[0]), payload);
+
+  // A second frame split into two odd-sized writes, no flush pauses.
+  const std::string second(100000, 'x');
+  const Bytes wire2 = plain_frame(second);
+  ASSERT_TRUE(h.sender->write(BytesView(wire2.data(), 11)).is_ok());
+  ASSERT_TRUE(
+      h.sender->write(BytesView(wire2.data() + 11, wire2.size() - 11))
+          .is_ok());
+  ASSERT_TRUE(h.sink.wait_frames(2));
+  EXPECT_EQ(h.sink.frames[1].size(), second.size());
+
+  reactor.remove_channel(h.id);
+}
+
+TEST(Reactor, BackpressureOnSlowReader) {
+  Reactor reactor(ReactorOptions{1, 2});
+  TcpHarness h(reactor);
+  ASSERT_NE(h.id, 0u);
+
+  // The sender is reactor-managed too, so its overflow queue drains on
+  // EPOLLOUT rather than by blocking the writer forever.
+  auto sender_link = tls::make_plain_link(*h.sender);
+  Sink sender_sink;
+  auto sender_id = reactor.add_channel(
+      *h.sender, *sender_link->decoder(), sender_sink.callbacks());
+  ASSERT_TRUE(sender_id.is_ok());
+
+  // Slow reader: reads stay paused while the writer pushes one 16 MiB
+  // frame. Kernel buffers fill, then the channel's bounded send queue, and
+  // the writer must stall at least once.
+  reactor.pause_reads(h.id);
+
+  constexpr std::size_t kTotal = 16 * 1024 * 1024;
+  std::thread writer([&] {
+    const std::string big(kTotal, 'b');
+    const Bytes wire = plain_frame(big);
+    std::size_t offset = 0;
+    while (offset < wire.size()) {
+      const std::size_t n = std::min<std::size_t>(64 * 1024,
+                                                  wire.size() - offset);
+      ASSERT_TRUE(h.sender->write(BytesView(wire.data() + offset, n)).is_ok());
+      offset += n;
+    }
+  });
+
+  // Give the writer time to hit the queue bound, then open the tap.
+  std::this_thread::sleep_for(50ms);
+  reactor.resume_reads(h.id);
+  writer.join();
+
+  ASSERT_TRUE(h.sink.wait_frames(1, 30s));
+  EXPECT_EQ(h.sink.frames[0].size(), kTotal);
+  EXPECT_GT(h.sender->stats().backpressure_waits.load(), 0u)
+      << "writer never stalled: queue bound not exercised";
+
+  reactor.remove_channel(sender_id.value());
+  reactor.remove_channel(h.id);
+}
+
+TEST(Reactor, MidReadConnectionDeath) {
+  Reactor reactor(ReactorOptions{1, 2});
+  TcpHarness h(reactor);
+  ASSERT_NE(h.id, 0u);
+
+  // Header promises 100 bytes; only 10 arrive before the peer dies.
+  Bytes partial = plain_frame(std::string(100, 'p'));
+  partial.resize(4 + 10);
+  ASSERT_TRUE(h.sender->write(partial).is_ok());
+  h.sender->close();
+
+  ASSERT_TRUE(h.sink.wait_closed());
+  EXPECT_TRUE(h.sink.frames.empty());
+  EXPECT_FALSE(h.sink.close_reason.is_ok());
+
+  reactor.remove_channel(h.id);  // must be safe after the channel died
+}
+
+TEST(Reactor, TimerScheduleCancelFire) {
+  Reactor reactor(ReactorOptions{1, 2});
+
+  std::atomic<bool> late_fired{false};
+  const Reactor::TimerId late = reactor.schedule_timer(
+      60 * kMicrosPerSecond, [&] { late_fired.store(true); });
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool fired = false;
+  const Reactor::TimerId soon =
+      reactor.schedule_timer(5 * 1000, [&] {
+        std::lock_guard<std::mutex> lock(mutex);
+        fired = true;
+        cv.notify_all();
+      });
+
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, 10s, [&] { return fired; }));
+  }
+  EXPECT_FALSE(reactor.cancel_timer(soon));  // already fired
+  EXPECT_TRUE(reactor.cancel_timer(late));   // still pending
+  EXPECT_FALSE(late_fired.load());
+}
+
+TEST(Reactor, FdLessChannelsUseReadinessShim) {
+  Reactor reactor(ReactorOptions{1, 2});
+  ChannelPair pair = make_memory_channel_pair();
+  auto link = tls::make_plain_link(*pair.b);
+  Sink sink;
+  auto id = reactor.add_channel(*pair.b, *link->decoder(), sink.callbacks());
+  ASSERT_TRUE(id.is_ok()) << id.status().to_string();
+
+  const Bytes wire = plain_frame("through-the-shim");
+  ASSERT_TRUE(pair.a->write(wire).is_ok());
+  ASSERT_TRUE(sink.wait_frames(1));
+  EXPECT_EQ(to_string(sink.frames[0]), "through-the-shim");
+
+  pair.a->close();
+  ASSERT_TRUE(sink.wait_closed());
+  reactor.remove_channel(id.value());
+}
+
+}  // namespace
+}  // namespace pg::net
+
+namespace pg::proxy {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct ConnPair {
+  ConnectionPtr a;
+  ConnectionPtr b;
+};
+
+ConnPair make_pair(Connection::EnvelopeHandler handler_a,
+                   Connection::EnvelopeHandler handler_b,
+                   bool export_from_b = false) {
+  net::ChannelPair channels = net::make_memory_channel_pair();
+  auto chan_a = std::move(channels.a);
+  auto chan_b = std::move(channels.b);
+  auto link_a = tls::make_plain_link(*chan_a);
+  auto link_b = tls::make_plain_link(*chan_b);
+  ConnPair out;
+  out.a = std::make_unique<Connection>("peer-b", std::move(chan_a),
+                                       std::move(link_a), true,
+                                       std::move(handler_a));
+  out.b = std::make_unique<Connection>("peer-a", std::move(chan_b),
+                                       std::move(link_b), false,
+                                       std::move(handler_b));
+  if (export_from_b) out.b->set_span_export(true, "site-b");
+  out.a->start();
+  out.b->start();
+  return out;
+}
+
+TEST(ReactorConnection, ChurnThousandConnections) {
+  // 1000 connections opened, exercised, and torn down across 4 threads on
+  // the shared global reactor — the sanitizer-matrix churn test.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ok] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ConnPair pair = make_pair(
+            [](const proto::Envelope&, Connection&) {},
+            [](const proto::Envelope& env, Connection& conn) {
+              if (env.op == proto::OpCode::kPing)
+                (void)conn.respond(env, proto::OpCode::kPong, env.payload);
+            });
+        Result<proto::Envelope> response =
+            pair.a->call(proto::OpCode::kPing, to_bytes("churn"),
+                         10 * kMicrosPerSecond);
+        if (response.is_ok() &&
+            to_string(response.value().payload) == "churn") {
+          ok.fetch_add(1);
+        }
+        // Destructors close both ends: strand quiesce + reactor detach.
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+}
+
+TEST(ReactorConnection, ExportsSpansOfForeignTraces) {
+  // Forge a trace id this process never allocated: the handler's spans
+  // then count as foreign work and must flow back as kTraceExport.
+  constexpr std::uint64_t kForeignTrace = 12345;
+  constexpr std::uint64_t kForeignSpan = 678;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<proto::TraceExport> exports;
+
+  ConnPair pair = make_pair(
+      [&](const proto::Envelope& env, Connection&) {
+        if (env.op != proto::OpCode::kTraceExport) return;
+        Result<proto::TraceExport> parsed =
+            proto::TraceExport::parse(env.payload);
+        ASSERT_TRUE(parsed.is_ok());
+        std::lock_guard<std::mutex> lock(mutex);
+        exports.push_back(parsed.take());
+        cv.notify_all();
+      },
+      [](const proto::Envelope& env, Connection&) {
+        if (env.op != proto::OpCode::kPing) return;
+        telemetry::Span span =
+            telemetry::Tracer::global().start_span("test.work", "site-b");
+        span.end();
+      },
+      /*export_from_b=*/true);
+
+  {
+    telemetry::ScopedTraceContext ctx(
+        telemetry::TraceContext{kForeignTrace, kForeignSpan});
+    ASSERT_TRUE(pair.a->notify(proto::OpCode::kPing, {}).is_ok());
+  }
+
+  std::unique_lock<std::mutex> lock(mutex);
+  ASSERT_TRUE(cv.wait_for(lock, 10s, [&] { return !exports.empty(); }));
+  EXPECT_EQ(exports[0].exporter_site, "site-b");
+  ASSERT_FALSE(exports[0].spans.empty());
+  bool found = false;
+  for (const proto::ExportedSpan& span : exports[0].spans) {
+    if (span.trace_id == kForeignTrace && span.name == "test.work")
+      found = true;
+  }
+  EXPECT_TRUE(found) << "handler span missing from the export";
+}
+
+TEST(ReactorConnection, OwnTracesAreNotExported) {
+  std::atomic<int> export_count{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool pinged = false;
+
+  ConnPair pair = make_pair(
+      [&](const proto::Envelope& env, Connection&) {
+        if (env.op == proto::OpCode::kTraceExport) export_count.fetch_add(1);
+      },
+      [&](const proto::Envelope& env, Connection&) {
+        if (env.op != proto::OpCode::kPing) return;
+        telemetry::Span span =
+            telemetry::Tracer::global().start_span("test.local", "site-b");
+        span.end();
+        std::lock_guard<std::mutex> lock(mutex);
+        pinged = true;
+        cv.notify_all();
+      },
+      /*export_from_b=*/true);
+
+  // A trace allocated by this process's tracer is not foreign: handling it
+  // must not produce a kTraceExport.
+  {
+    telemetry::Span root =
+        telemetry::Tracer::global().start_span("test.root", "site-a");
+    ASSERT_TRUE(pair.a->notify(proto::OpCode::kPing, {}).is_ok());
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, 10s, [&] { return pinged; }));
+  }
+  std::this_thread::sleep_for(50ms);  // give a stray export time to arrive
+  EXPECT_EQ(export_count.load(), 0);
+}
+
+}  // namespace
+}  // namespace pg::proxy
+
+namespace pg::telemetry {
+namespace {
+
+TEST(TracerExport, ImportDedupesAndTracksOrigin) {
+  Tracer tracer;
+  Span span = tracer.start_span("origin.work");
+  const std::uint64_t own_trace = span.context().trace_id;
+  span.end();
+
+  EXPECT_TRUE(tracer.originated_here(own_trace));
+  EXPECT_FALSE(tracer.originated_here(0xdeadbeef));
+
+  SpanRecord remote;
+  remote.trace_id = own_trace;
+  remote.span_id = 99991;
+  remote.name = "remote.work";
+  tracer.import_span(remote);
+  tracer.import_span(remote);  // duplicate export must not double-record
+
+  std::size_t count = 0;
+  for (const SpanRecord& record : tracer.trace(own_trace)) {
+    if (record.span_id == remote.span_id) ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+}  // namespace
+}  // namespace pg::telemetry
