@@ -116,7 +116,16 @@ Result<std::unique_ptr<Grid>> GridBuilder::build() {
         std::make_shared<net::FaultInjector>(rng.next_u64());
   }
 
-  // Proxies.
+  // Proxies. Each site's data-plane knobs are remembered so the node agents
+  // below mirror them — a tracking sender whose receiver never acks would
+  // retransmit forever.
+  struct DataPlaneKnobs {
+    bool reliable = true;
+    TimeMicros ack_rto_initial = 0;
+    TimeMicros ack_rto_max = 0;
+    std::size_t inflight_max_bytes = 0;
+  };
+  std::map<std::string, DataPlaneKnobs> data_plane;
   for (const auto& site : site_order_) {
     const crypto::RsaKeyPair keys = crypto::rsa_generate(key_bits_, rng);
     proxy::ProxyConfig config;
@@ -131,6 +140,10 @@ Result<std::unique_ptr<Grid>> GridBuilder::build() {
     config.rng_seed = rng.next_u64();
     config.mode = mode_;
     if (configure_proxy_) configure_proxy_(config);
+    data_plane[site] = DataPlaneKnobs{
+        config.mpi_reliable && config.mpi_batch_flush_interval > 0,
+        config.mpi_ack_rto_initial, config.mpi_ack_rto_max,
+        config.mpi_inflight_max_bytes};
     grid->proxies_[site] =
         std::make_unique<proxy::ProxyServer>(std::move(config));
   }
@@ -183,6 +196,10 @@ Result<std::unique_ptr<Grid>> GridBuilder::build() {
       agent_config.encrypted = encrypted;
       agent_config.clock = &grid->clock_;
       agent_config.rng_seed = rng.next_u64();
+      agent_config.reliable = data_plane[site].reliable;
+      agent_config.ack_rto_initial = data_plane[site].ack_rto_initial;
+      agent_config.ack_rto_max = data_plane[site].ack_rto_max;
+      agent_config.inflight_max_bytes = data_plane[site].inflight_max_bytes;
       if (encrypted) {
         const crypto::RsaKeyPair keys = crypto::rsa_generate(key_bits_, rng);
         agent_config.gssl = tls::GsslConfig{

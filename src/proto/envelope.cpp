@@ -27,6 +27,7 @@ const char* opcode_name(OpCode op) {
     case OpCode::kMpiDone: return "mpi_done";
     case OpCode::kMpiAbort: return "mpi_abort";
     case OpCode::kMpiBatch: return "mpi_batch";
+    case OpCode::kMpiBatchAck: return "mpi_batch_ack";
     case OpCode::kTunnelOpen: return "tunnel_open";
     case OpCode::kTunnelData: return "tunnel_data";
     case OpCode::kTunnelClose: return "tunnel_close";

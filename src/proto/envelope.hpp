@@ -13,9 +13,10 @@
 namespace pg::proto {
 
 /// Version 2 added the trace-context pair; version 3 added the kMpiBatch
-/// data-plane op (see docs/PROTOCOL.md). The header layout is unchanged
-/// since v2, so both versions are accepted at parse time.
-constexpr std::uint8_t kProtocolVersion = 3;
+/// data-plane op; version 4 added kMpiBatchAck (the reliable data plane —
+/// see docs/PROTOCOL.md). The header layout is unchanged since v2, so all
+/// of [kMinProtocolVersion, kProtocolVersion] are accepted at parse time.
+constexpr std::uint8_t kProtocolVersion = 4;
 constexpr std::uint8_t kMinProtocolVersion = 2;
 
 /// Well-known operation codes. The space is open: proxies route unknown
@@ -64,6 +65,13 @@ enum class OpCode : std::uint16_t {
   /// for the same destination, each addressable to multiple ranks (the
   /// site-aware collective fan-out). Payload is proto::MpiBatch.
   kMpiBatch = 47,
+  /// Receiver -> sender acknowledgement of kMpiBatch deliveries (protocol
+  /// v4): cumulative + selective (origin, seq) coverage, so senders can
+  /// release their in-flight window and retransmit only what was lost.
+  /// Payload is proto::MpiBatchAck. Unacknowledged batches retransmit on
+  /// an RTO timer — the at-least-once half of the effectively-exactly-once
+  /// data plane (the dedup window is the at-most-once half).
+  kMpiBatchAck = 48,
 
   // Tunneling (explicit secure channels for site nodes)
   kTunnelOpen = 50,

@@ -362,6 +362,28 @@ Result<MpiBatch> MpiBatch::parse(BytesView data) {
   return m;
 }
 
+Bytes MpiBatchAck::serialize() const {
+  BufferWriter w;
+  w.put_string(origin);
+  w.put_u64(cumulative);
+  w.put_varint(selective.size());
+  for (const std::uint64_t seq : selective) w.put_u64(seq);
+  return w.take();
+}
+
+Result<MpiBatchAck> MpiBatchAck::parse(BytesView data) {
+  BufferReader r(data);
+  MpiBatchAck m;
+  PG_RETURN_IF_ERROR(r.get_string(m.origin));
+  PG_RETURN_IF_ERROR(r.get_u64(m.cumulative));
+  std::uint64_t n = 0;
+  PG_RETURN_IF_ERROR(get_count(r, n));
+  m.selective.resize(n);
+  for (auto& seq : m.selective) PG_RETURN_IF_ERROR(r.get_u64(seq));
+  PG_RETURN_IF_ERROR(r.expect_end());
+  return m;
+}
+
 Bytes MpiClose::serialize() const {
   BufferWriter w;
   w.put_u64(app_id);

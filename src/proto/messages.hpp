@@ -215,6 +215,22 @@ struct MpiBatch {
   static Result<MpiBatch> parse(BytesView data);
 };
 
+/// kMpiBatchAck payload: the receiver's delivery coverage for one batch
+/// origin, sent back on the link a kMpiBatch arrived on. `cumulative` is
+/// the highest seq S such that every batch in [1, S] from `origin` was
+/// delivered on this link; `selective` lists seqs received beyond the
+/// cumulative point (out-of-order arrivals whose predecessors are still
+/// missing). Senders release every covered batch from their in-flight
+/// window; anything uncovered retransmits at its RTO.
+struct MpiBatchAck {
+  std::string origin;
+  std::uint64_t cumulative = 0;
+  std::vector<std::uint64_t> selective;
+
+  Bytes serialize() const;
+  static Result<MpiBatchAck> parse(BytesView data);
+};
+
 struct MpiClose {
   std::uint64_t app_id = 0;
 

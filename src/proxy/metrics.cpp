@@ -18,14 +18,21 @@ constexpr proto::OpCode kCountedOps[] = {
     proto::OpCode::kAuthRequest, proto::OpCode::kJobSubmit,
     proto::OpCode::kJobQuery,    proto::OpCode::kMpiOpen,
     proto::OpCode::kMpiStart,    proto::OpCode::kMpiData,
-    proto::OpCode::kMpiBatch,    proto::OpCode::kMpiClose,
-    proto::OpCode::kMpiDone,     proto::OpCode::kTunnelOpen,
-    proto::OpCode::kTunnelData,  proto::OpCode::kTunnelClose,
+    proto::OpCode::kMpiBatch,    proto::OpCode::kMpiBatchAck,
+    proto::OpCode::kMpiClose,    proto::OpCode::kMpiDone,
+    proto::OpCode::kTunnelOpen,  proto::OpCode::kTunnelData,
+    proto::OpCode::kTunnelClose,
 };
 
 constexpr FlushReason kFlushReasons[] = {
     FlushReason::kImmediate, FlushReason::kCombine,  FlushReason::kBytes,
     FlushReason::kFrames,    FlushReason::kInterval, FlushReason::kTeardown,
+    FlushReason::kWindow,
+};
+
+constexpr DropReason kDropReasons[] = {
+    DropReason::kAppClosed,
+    DropReason::kLinkDown,
 };
 
 }  // namespace
@@ -38,6 +45,15 @@ const char* flush_reason_name(FlushReason reason) {
     case FlushReason::kFrames: return "frames";
     case FlushReason::kInterval: return "interval";
     case FlushReason::kTeardown: return "teardown";
+    case FlushReason::kWindow: return "window";
+  }
+  return "unknown";
+}
+
+const char* drop_reason_name(DropReason reason) {
+  switch (reason) {
+    case DropReason::kAppClosed: return "app_closed";
+    case DropReason::kLinkDown: return "link_down";
   }
   return "unknown";
 }
@@ -73,6 +89,18 @@ ProxyInstruments::ProxyInstruments(const std::string& site)
       mpi_batch_flushes(site_counter(
           "pg_mpi_batch_flush_sum",
           "kMpiBatch envelopes flushed (all reasons)", site)),
+      mpi_retransmits(telemetry::MetricRegistry::global().counter(
+          "pg_mpi_retransmit_total",
+          "kMpiBatch envelopes retransmitted after an RTO",
+          {{"site", site}, {"sender", "proxy"}})),
+      mpi_frames_dropped(site_counter(
+          "pg_mpi_frames_dropped_sum",
+          "Data frames the reliability layer stopped retrying (all reasons)",
+          site)),
+      mpi_inflight_bytes(telemetry::MetricRegistry::global().gauge(
+          "pg_mpi_inflight_bytes",
+          "Payload bytes transmitted but not yet acknowledged",
+          {{"site", site}, {"sender", "proxy"}})),
       handshakes(site_counter("pg_proxy_handshakes_total",
                               "GSSL handshakes completed by this proxy",
                               site)),
@@ -110,6 +138,11 @@ ProxyInstruments::ProxyInstruments(const std::string& site)
           "pg_proxy_dispatch_micros",
           "Control-envelope handler latency (microseconds)",
           telemetry::duration_buckets_micros(), {{"site", site}})),
+      mpi_ack_rtt_micros(telemetry::MetricRegistry::global().histogram(
+          "pg_mpi_ack_rtt_micros",
+          "kMpiBatchAck round-trip time, clean (never-retransmitted) batches",
+          telemetry::duration_buckets_micros(),
+          {{"site", site}, {"sender", "proxy"}})),
       mpi_message_bytes_local(telemetry::MetricRegistry::global().histogram(
           "pg_proxy_mpi_message_bytes",
           "Routed MPI message payload sizes (bytes)",
@@ -136,12 +169,35 @@ ProxyInstruments::ProxyInstruments(const std::string& site)
         "pg_mpi_batch_flush_total", "kMpiBatch envelopes flushed, by reason",
         {{"site", site}, {"reason", flush_reason_name(reason)}}));
   }
+  for (const DropReason reason : kDropReasons) {
+    drop_counters_.push_back(&telemetry::MetricRegistry::global().counter(
+        "pg_mpi_frames_dropped_total",
+        "Data frames the reliability layer stopped retrying, by reason",
+        {{"site", site}, {"reason", drop_reason_name(reason)}}));
+  }
+  lane_counters_[0] = &telemetry::MetricRegistry::global().counter(
+      "pg_mpi_lane_flush_total", "Flushed envelopes that served a lane",
+      {{"site", site}, {"lane", "latency"}});
+  lane_counters_[1] = &telemetry::MetricRegistry::global().counter(
+      "pg_mpi_lane_flush_total", "Flushed envelopes that served a lane",
+      {{"site", site}, {"lane", "bulk"}});
   baseline_ = snapshot();  // zero the view for this proxy instance
 }
 
 void ProxyInstruments::batch_flush(FlushReason reason) {
   mpi_batch_flushes.increment();
   flush_counters_[static_cast<std::size_t>(reason)]->increment();
+}
+
+void ProxyInstruments::frames_dropped(DropReason reason, std::uint64_t count) {
+  if (count == 0) return;
+  mpi_frames_dropped.increment(count);
+  drop_counters_[static_cast<std::size_t>(reason)]->increment(count);
+}
+
+void ProxyInstruments::lane_flush(bool latency, bool bulk) {
+  if (latency) lane_counters_[0]->increment();
+  if (bulk) lane_counters_[1]->increment();
 }
 
 void ProxyInstruments::disconnect(const std::string& site,
@@ -185,6 +241,9 @@ ProxyMetrics ProxyInstruments::snapshot() const {
       mpi_batch_flushes.value() - baseline_.mpi_batch_flushes;
   m.mpi_batch_duplicates =
       mpi_batch_duplicates.value() - baseline_.mpi_batch_duplicates;
+  m.mpi_retransmits = mpi_retransmits.value() - baseline_.mpi_retransmits;
+  m.mpi_frames_dropped =
+      mpi_frames_dropped.value() - baseline_.mpi_frames_dropped;
   m.mpi_fanout = mpi_fanout.value() - baseline_.mpi_fanout;
   m.handshakes = handshakes.value() - baseline_.handshakes;
   m.logins = logins.value() - baseline_.logins;

@@ -28,6 +28,8 @@ struct ProxyMetrics {
   std::uint64_t mpi_batch_messages = 0;      // frames coalesced into batches
   std::uint64_t mpi_batch_flushes = 0;       // batch envelopes sent, all reasons
   std::uint64_t mpi_batch_duplicates = 0;    // duplicate batches dropped
+  std::uint64_t mpi_retransmits = 0;         // batches resent after an RTO
+  std::uint64_t mpi_frames_dropped = 0;      // frames dropped, all reasons
   std::uint64_t mpi_fanout = 0;              // logical deliveries fanned out
   std::uint64_t handshakes = 0;              // GSSL handshakes completed
   std::uint64_t logins = 0;
@@ -50,9 +52,19 @@ enum class FlushReason : std::uint8_t {
   kFrames,         // frame budget reached
   kInterval,       // timer retry of frames parked on a dead link
   kTeardown,       // app close / proxy shutdown forced the flush
+  kWindow,         // an ack freed congestion-window space on the link
 };
 
 const char* flush_reason_name(FlushReason reason);
+
+/// Why the reliable data plane stopped retrying frames
+/// (pg_mpi_frames_dropped_total{reason}).
+enum class DropReason : std::uint8_t {
+  kAppClosed = 0,  // owning app finished or aborted; nobody can receive them
+  kLinkDown,       // teardown flush found the destination link dead
+};
+
+const char* drop_reason_name(DropReason reason);
 
 /// One proxy's registry-backed instruments, labelled {site=<name>}.
 ///
@@ -80,6 +92,16 @@ class ProxyInstruments {
   /// Sum over reasons; the per-reason breakdown lives in the registry as
   /// pg_mpi_batch_flush_total{site,reason} (see batch_flush()).
   telemetry::Counter& mpi_batch_flushes;
+  /// kMpiBatch envelopes resent after a retransmission timeout
+  /// (pg_mpi_retransmit_total{site,sender="proxy"}; node agents report the
+  /// same family with sender=<node>).
+  telemetry::Counter& mpi_retransmits;
+  /// Sum over reasons; the per-reason breakdown lives in the registry as
+  /// pg_mpi_frames_dropped_total{site,reason} (see frames_dropped()).
+  telemetry::Counter& mpi_frames_dropped;
+  /// Payload bytes transmitted but not yet acknowledged, summed across this
+  /// proxy's link windows (pg_mpi_inflight_bytes).
+  telemetry::Gauge& mpi_inflight_bytes;
   telemetry::Counter& handshakes;
   telemetry::Counter& logins;
   telemetry::Counter& apps_run;
@@ -106,8 +128,20 @@ class ProxyInstruments {
   /// reason-labelled registry counter (pre-resolved — safe on the hot path).
   void batch_flush(FlushReason reason);
 
+  /// Records dropped data frames against the reason-labelled registry
+  /// counter pg_mpi_frames_dropped_total{site,reason} plus the sum.
+  void frames_dropped(DropReason reason, std::uint64_t count);
+
+  /// Records a flushed envelope's lane composition
+  /// (pg_mpi_lane_flush_total{site,lane}): an envelope carrying frames of
+  /// both lanes counts once per lane it served.
+  void lane_flush(bool latency, bool bulk);
+
   /// Inter-proxy envelope dispatch latency (handler run time, micros).
   telemetry::Histogram& dispatch_micros;
+  /// Ack round-trip times (micros), sampled only from batches that were
+  /// never retransmitted (Karn's rule keeps the estimator honest).
+  telemetry::Histogram& mpi_ack_rtt_micros;
   /// Routed MPI payload sizes, split by scope.
   telemetry::Histogram& mpi_message_bytes_local;
   telemetry::Histogram& mpi_message_bytes_remote;
@@ -123,6 +157,8 @@ class ProxyInstruments {
   ProxyMetrics baseline_;
   std::vector<std::pair<std::uint16_t, telemetry::Counter*>> op_counters_;
   std::vector<telemetry::Counter*> flush_counters_;  // indexed by FlushReason
+  std::vector<telemetry::Counter*> drop_counters_;   // indexed by DropReason
+  telemetry::Counter* lane_counters_[2] = {nullptr, nullptr};  // latency, bulk
   telemetry::Counter& op_other_;
 };
 

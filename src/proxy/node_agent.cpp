@@ -3,6 +3,7 @@
 #include "common/logging.hpp"
 #include "common/serde.hpp"
 #include "mpi/mailbox.hpp"
+#include "net/reactor.hpp"
 #include "proxy/resilience.hpp"
 
 namespace pg::proxy {
@@ -65,7 +66,25 @@ class NodeAgent::AppFabric final : public mpi::Fabric {
 
 // ------------------------------------------------------------- lifecycle
 
-NodeAgent::NodeAgent(NodeAgentConfig config) : config_(std::move(config)) {}
+NodeAgent::NodeAgent(NodeAgentConfig config)
+    : config_(std::move(config)),
+      retransmits_(telemetry::MetricRegistry::global().counter(
+          "pg_mpi_retransmit_total",
+          "kMpiBatch envelopes retransmitted after an RTO",
+          {{"site", config_.site}, {"sender", config_.node_name}})),
+      ack_rtt_(telemetry::MetricRegistry::global().histogram(
+          "pg_mpi_ack_rtt_micros",
+          "kMpiBatchAck round-trip time, clean (never-retransmitted) batches",
+          telemetry::duration_buckets_micros(),
+          {{"site", config_.site}, {"sender", config_.node_name}})) {
+  if (config_.reliable) {
+    SenderWindowConfig wc;
+    wc.rto_initial_micros = config_.ack_rto_initial;
+    wc.rto_max_micros = config_.ack_rto_max;
+    wc.budget_max_bytes = config_.inflight_max_bytes;
+    window_ = std::make_unique<SenderWindow>(wc);
+  }
+}
 
 Result<std::unique_ptr<NodeAgent>> NodeAgent::create(NodeAgentConfig config,
                                                      net::ChannelPtr channel) {
@@ -103,6 +122,17 @@ Result<std::unique_ptr<NodeAgent>> NodeAgent::create(NodeAgentConfig config,
 NodeAgent::~NodeAgent() { shutdown(); }
 
 void NodeAgent::shutdown() {
+  shut_down_.store(true, std::memory_order_release);
+  // Cancel the retransmission timer first: cancel_timer waits out a running
+  // callback, and retransmit_fire sees shut_down_ and will not re-arm.
+  std::uint64_t rt_timer = 0;
+  {
+    std::lock_guard<std::mutex> lock(retrans_mutex_);
+    rt_timer = retrans_timer_;
+    retrans_timer_ = 0;
+    retrans_scheduled_ = false;
+  }
+  if (rt_timer != 0) net::Reactor::global().cancel_timer(rt_timer);
   // Wake any rank blocked in recv, then join runners.
   std::map<std::uint64_t, std::unique_ptr<App>> apps;
   {
@@ -131,6 +161,9 @@ void NodeAgent::handle(const proto::Envelope& envelope, Connection& conn) {
       return;
     case proto::OpCode::kMpiBatch:
       handle_mpi_batch(envelope);
+      return;
+    case proto::OpCode::kMpiBatchAck:
+      handle_mpi_batch_ack(envelope);
       return;
     case proto::OpCode::kMpiClose:
       handle_mpi_close(envelope);
@@ -267,31 +300,53 @@ void NodeAgent::handle_mpi_batch(const proto::Envelope& envelope) {
   if (batch_dedup_.seen_before(batch.value().origin, batch.value().seq)) {
     PG_DEBUG << "node " << config_.node_name << ": duplicate batch "
              << batch.value().origin << "#" << batch.value().seq;
-    return;
-  }
-  std::lock_guard<std::mutex> lock(apps_mutex_);
-  for (proto::MpiFrame& frame : batch.value().frames) {
-    const auto it = apps_.find(frame.app_id);
-    if (it == apps_.end()) {
-      PG_WARN << "node " << config_.node_name << ": MpiBatch for unknown app "
-              << frame.app_id;
-      continue;
-    }
-    for (std::uint32_t dst : frame.dst_ranks) {
-      const auto mb = it->second->mailboxes.find(dst);
-      if (mb == it->second->mailboxes.end()) {
+  } else {
+    std::lock_guard<std::mutex> lock(apps_mutex_);
+    for (proto::MpiFrame& frame : batch.value().frames) {
+      const auto it = apps_.find(frame.app_id);
+      if (it == apps_.end()) {
         PG_WARN << "node " << config_.node_name
-                << ": MpiBatch for foreign rank " << dst;
+                << ": MpiBatch for unknown app " << frame.app_id;
         continue;
       }
-      mpi::MpiMessage message;
-      message.src = frame.src_rank;
-      message.dst = dst;
-      message.tag = frame.tag;
-      message.payload = frame.payload;
-      (void)mb->second->deliver(std::move(message));
+      for (std::uint32_t dst : frame.dst_ranks) {
+        const auto mb = it->second->mailboxes.find(dst);
+        if (mb == it->second->mailboxes.end()) {
+          PG_WARN << "node " << config_.node_name
+                  << ": MpiBatch for foreign rank " << dst;
+          continue;
+        }
+        mpi::MpiMessage message;
+        message.src = frame.src_rank;
+        message.dst = dst;
+        message.tag = frame.tag;
+        message.payload = frame.payload;
+        (void)mb->second->deliver(std::move(message));
+      }
     }
   }
+  if (config_.reliable) {
+    // Ack after delivery — duplicates included: a duplicate means the
+    // proxy's ack got lost, and re-acking is what stops its retransmits.
+    const AckCoverage cov =
+        ack_tracker_.record(batch.value().origin, batch.value().seq);
+    proto::MpiBatchAck ack;
+    ack.origin = batch.value().origin;
+    ack.cumulative = cov.cumulative;
+    ack.selective = cov.selective;
+    (void)connection_->notify(proto::OpCode::kMpiBatchAck, ack.serialize());
+  }
+}
+
+void NodeAgent::handle_mpi_batch_ack(const proto::Envelope& envelope) {
+  Result<proto::MpiBatchAck> ack = proto::MpiBatchAck::parse(envelope.payload);
+  if (!ack.is_ok() || window_ == nullptr) return;
+  // Only acks for this node's own stream move the window.
+  if (ack.value().origin != batch_origin()) return;
+  const AckOutcome out = window_->on_ack(
+      ack.value().cumulative, ack.value().selective, steady_micros());
+  for (const std::uint64_t rtt : out.rtt_samples)
+    ack_rtt_.observe(static_cast<double>(rtt));
 }
 
 void NodeAgent::handle_mpi_close(const proto::Envelope& envelope) {
@@ -308,6 +363,23 @@ void NodeAgent::handle_mpi_close(const proto::Envelope& envelope) {
   }
   for (auto& [rank, mailbox] : app->mailboxes) mailbox->close();
   if (app->runner.joinable()) app->runner.join();
+  // Stop retrying the app's unacked frames — close means the app is done
+  // or aborted everywhere, so nobody can still receive them. Cold path:
+  // the labelled drop counter is resolved on demand.
+  if (window_ != nullptr) {
+    const SenderWindow::DropOutcome dropped =
+        window_->drop_app(close_msg.value().app_id);
+    if (dropped.frames > 0) {
+      telemetry::MetricRegistry::global()
+          .counter("pg_mpi_frames_dropped_total",
+                   "Data frames the reliability layer stopped retrying, "
+                   "by reason",
+                   {{"site", config_.site},
+                    {"sender", config_.node_name},
+                    {"reason", "app_closed"}})
+          .increment(dropped.frames);
+    }
+  }
 }
 
 // -------------------------------------------------------------- tunnels
@@ -385,6 +457,19 @@ Status NodeAgent::fabric_send(std::uint64_t app_id,
     }
   }
 
+  if (window_ != nullptr) {
+    // Reliable mode: even a single message rides a one-frame kMpiBatch so
+    // the proxy can ack it by (origin, seq) and the node can retransmit.
+    proto::MpiBatch batch;
+    proto::MpiFrame frame;
+    frame.app_id = app_id;
+    frame.src_rank = message.src;
+    frame.tag = message.tag;
+    frame.dst_ranks = {message.dst};
+    frame.payload = message.payload;
+    batch.frames.push_back(std::move(frame));
+    return send_batch(std::move(batch), {{app_id, 1}});
+  }
   proto::MpiData data;
   data.app_id = app_id;
   data.src_rank = message.src;
@@ -396,6 +481,54 @@ Status NodeAgent::fabric_send(std::uint64_t app_id,
 
 std::string NodeAgent::batch_origin() const {
   return config_.site + "/" + config_.node_name;
+}
+
+Status NodeAgent::send_batch(
+    proto::MpiBatch&& batch, std::map<std::uint64_t, std::size_t> frames_per_app) {
+  batch.origin = batch_origin();
+  batch.seq = window_ != nullptr
+                  ? window_->next_seq()
+                  : batch_seq_.fetch_add(1, std::memory_order_relaxed);
+  const Bytes wire = batch.serialize();
+  if (window_ != nullptr) {
+    // Track before sending: the ack may race back on the reactor thread.
+    window_->track(batch.seq, wire, std::move(frames_per_app),
+                   steady_micros());
+    schedule_retransmit();
+  }
+  return connection_->notify(proto::OpCode::kMpiBatch, wire);
+}
+
+void NodeAgent::schedule_retransmit() {
+  std::lock_guard<std::mutex> lock(retrans_mutex_);
+  schedule_retransmit_locked();
+}
+
+void NodeAgent::schedule_retransmit_locked() {
+  if (retrans_scheduled_ || window_ == nullptr) return;
+  if (shut_down_.load(std::memory_order_acquire)) return;
+  const std::uint64_t next = window_->next_deadline();
+  if (next == 0) return;  // nothing in flight, no timer needed
+  const TimeMicros now = steady_micros();
+  retrans_scheduled_ = true;
+  retrans_timer_ = net::Reactor::global().schedule_timer(
+      next > now ? next - now : TimeMicros{1}, [this] { retransmit_fire(); });
+}
+
+void NodeAgent::retransmit_fire() {
+  {
+    std::lock_guard<std::mutex> lock(retrans_mutex_);
+    retrans_scheduled_ = false;
+    retrans_timer_ = 0;
+  }
+  if (shut_down_.load(std::memory_order_acquire)) return;
+  const std::vector<Retransmit> due = window_->take_due(steady_micros());
+  for (const Retransmit& r : due) {
+    retransmits_.increment();
+    (void)connection_->notify(proto::OpCode::kMpiBatch, r.wire);
+  }
+  std::lock_guard<std::mutex> lock(retrans_mutex_);
+  schedule_retransmit_locked();
 }
 
 Status NodeAgent::fabric_multicast(std::uint64_t app_id,
@@ -424,8 +557,6 @@ Status NodeAgent::fabric_multicast(std::uint64_t app_id,
   if (remote.empty()) return Status::ok();
 
   proto::MpiBatch batch;
-  batch.origin = batch_origin();
-  batch.seq = batch_seq_.fetch_add(1, std::memory_order_relaxed);
   proto::MpiFrame frame;
   frame.app_id = app_id;
   frame.src_rank = message.src;
@@ -433,7 +564,7 @@ Status NodeAgent::fabric_multicast(std::uint64_t app_id,
   frame.dst_ranks = std::move(remote);
   frame.payload = message.payload;
   batch.frames.push_back(std::move(frame));
-  return connection_->notify(proto::OpCode::kMpiBatch, batch.serialize());
+  return send_batch(std::move(batch), {{app_id, 1}});
 }
 
 Status NodeAgent::fabric_send_batch(
@@ -461,9 +592,8 @@ Status NodeAgent::fabric_send_batch(
   }
   if (batch.frames.empty()) return Status::ok();
 
-  batch.origin = batch_origin();
-  batch.seq = batch_seq_.fetch_add(1, std::memory_order_relaxed);
-  return connection_->notify(proto::OpCode::kMpiBatch, batch.serialize());
+  return send_batch(std::move(batch),
+                    {{app_id, batch.frames.size()}});
 }
 
 // -------------------------------------------------------------- services

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <functional>
 #include <thread>
+#include <tuple>
 
 #include "common/logging.hpp"
 #include "common/serde.hpp"
@@ -576,6 +577,28 @@ void ProxyServer::close_app_locally(std::uint64_t app_id) {
       (void)conn->notify(proto::OpCode::kMpiClose, close_msg.serialize());
     }
   }
+  // Stop retrying the app's unacked frames: close only happens once the app
+  // is globally done or aborted, so no rank anywhere still needs the data.
+  if (reliable_data_plane()) {
+    std::vector<std::shared_ptr<SenderWindow>> windows;
+    {
+      std::lock_guard<std::mutex> lock(windows_mutex_);
+      for (const auto& [name, window] : site_windows_)
+        windows.push_back(window);
+      for (const auto& [name, window] : node_windows_)
+        windows.push_back(window);
+    }
+    std::size_t frames = 0;
+    std::size_t bytes = 0;
+    for (const auto& window : windows) {
+      const SenderWindow::DropOutcome dropped = window->drop_app(app_id);
+      frames += dropped.frames;
+      bytes += dropped.bytes;
+    }
+    instruments_.frames_dropped(DropReason::kAppClosed, frames);
+    if (bytes > 0)
+      instruments_.mpi_inflight_bytes.add(-static_cast<std::int64_t>(bytes));
+  }
   // Push out any frames still queued for peer sites: ranks elsewhere may be
   // blocked on data sent just before this site's share of the app ended.
   if (config_.mpi_batch_flush_interval > 0)
@@ -615,7 +638,11 @@ void ProxyServer::handle_peer(const proto::Envelope& envelope,
     return;
   }
   if (envelope.op == proto::OpCode::kMpiBatch) {
-    handle_mpi_batch(envelope);  // hot path too
+    handle_mpi_batch(envelope, conn);  // hot path too
+    return;
+  }
+  if (envelope.op == proto::OpCode::kMpiBatchAck) {
+    handle_mpi_batch_ack(envelope, LinkKind::kSite, conn.peer_name());
     return;
   }
   if (envelope.op == proto::OpCode::kHeartbeat) {
@@ -713,7 +740,11 @@ void ProxyServer::handle_node(const std::string& node,
     return;
   }
   if (envelope.op == proto::OpCode::kMpiBatch) {
-    handle_mpi_batch(envelope);  // hot path too
+    handle_mpi_batch(envelope, conn);  // hot path too
+    return;
+  }
+  if (envelope.op == proto::OpCode::kMpiBatchAck) {
+    handle_mpi_batch_ack(envelope, LinkKind::kNode, node);
     return;
   }
   if (envelope.op == proto::OpCode::kTraceExport) {
@@ -926,7 +957,8 @@ void ProxyServer::route_mpi_data(const proto::Envelope& envelope) {
   }
 }
 
-void ProxyServer::handle_mpi_batch(const proto::Envelope& envelope) {
+void ProxyServer::handle_mpi_batch(const proto::Envelope& envelope,
+                                   Connection& conn) {
   Result<proto::MpiBatch> batch = proto::MpiBatch::parse(envelope.payload);
   if (!batch.is_ok()) {
     PG_WARN << config_.site << ": dropping malformed MpiBatch";
@@ -934,11 +966,67 @@ void ProxyServer::handle_mpi_batch(const proto::Envelope& envelope) {
   }
   if (batch_dedup_.seen_before(batch.value().origin, batch.value().seq)) {
     instruments_.mpi_batch_duplicates.increment();
-    return;
+  } else {
+    for (proto::MpiFrame& frame : batch.value().frames) {
+      route_mpi_frame(std::move(frame));
+    }
   }
-  for (proto::MpiFrame& frame : batch.value().frames) {
-    route_mpi_frame(std::move(frame));
+  if (reliable_data_plane()) {
+    // Ack after delivery — duplicates included: a duplicate means the
+    // original's ack was lost (or still in flight), and re-acking is what
+    // stops the sender's retransmit loop. record() is idempotent per seq.
+    const AckCoverage cov =
+        ack_tracker_.record(batch.value().origin, batch.value().seq);
+    proto::MpiBatchAck ack;
+    ack.origin = batch.value().origin;
+    ack.cumulative = cov.cumulative;
+    ack.selective = cov.selective;
+    (void)conn.notify(proto::OpCode::kMpiBatchAck, ack.serialize());
   }
+}
+
+void ProxyServer::handle_mpi_batch_ack(const proto::Envelope& envelope,
+                                       LinkKind kind,
+                                       const std::string& link) {
+  Result<proto::MpiBatchAck> ack = proto::MpiBatchAck::parse(envelope.payload);
+  if (!ack.is_ok()) return;
+  // Only acks for this proxy's own stream move a window; anything else (a
+  // crafted or replayed origin the receiver dutifully acked) is noise.
+  if (ack.value().origin != config_.site) return;
+  const std::shared_ptr<SenderWindow> window = find_window(kind, link);
+  if (window == nullptr) return;
+  const AckOutcome out = window->on_ack(
+      ack.value().cumulative, ack.value().selective, steady_micros());
+  if (out.released == 0) return;
+  instruments_.mpi_inflight_bytes.add(
+      -static_cast<std::int64_t>(out.released_bytes));
+  for (const std::uint64_t rtt : out.rtt_samples)
+    instruments_.mpi_ack_rtt_micros.observe(static_cast<double>(rtt));
+  // Released window space may unblock a queue deferred by congestion.
+  if (kind == LinkKind::kSite) drain_if_window_open(link);
+}
+
+std::shared_ptr<SenderWindow> ProxyServer::link_window(
+    LinkKind kind, const std::string& name) {
+  std::lock_guard<std::mutex> lock(windows_mutex_);
+  auto& window =
+      (kind == LinkKind::kSite ? site_windows_ : node_windows_)[name];
+  if (window == nullptr) {
+    SenderWindowConfig wc;
+    wc.rto_initial_micros = config_.mpi_ack_rto_initial;
+    wc.rto_max_micros = config_.mpi_ack_rto_max;
+    wc.budget_max_bytes = config_.mpi_inflight_max_bytes;
+    window = std::make_shared<SenderWindow>(wc);
+  }
+  return window;
+}
+
+std::shared_ptr<SenderWindow> ProxyServer::find_window(
+    LinkKind kind, const std::string& name) const {
+  std::lock_guard<std::mutex> lock(windows_mutex_);
+  const auto& map = kind == LinkKind::kSite ? site_windows_ : node_windows_;
+  const auto it = map.find(name);
+  return it == map.end() ? nullptr : it->second;
 }
 
 void ProxyServer::route_mpi_frame(proto::MpiFrame frame) {
@@ -971,9 +1059,16 @@ void ProxyServer::route_mpi_frame(proto::MpiFrame frame) {
       PG_WARN << config_.site << ": no link to node " << node;
       continue;
     }
+    // Reliable links draw their seq from the link's own sender window so the
+    // node observes a contiguous per-origin stream (cumulative acks work);
+    // the shared batch_seq_ counter remains for unreliable operation only.
+    const std::shared_ptr<SenderWindow> window =
+        reliable_data_plane() ? link_window(LinkKind::kNode, node) : nullptr;
     proto::MpiBatch out;
     out.origin = config_.site;
-    out.seq = batch_seq_.fetch_add(1, std::memory_order_relaxed);
+    out.seq = window != nullptr
+                  ? window->next_seq()
+                  : batch_seq_.fetch_add(1, std::memory_order_relaxed);
     proto::MpiFrame fanned;
     fanned.app_id = frame.app_id;
     fanned.src_rank = frame.src_rank;
@@ -982,7 +1077,15 @@ void ProxyServer::route_mpi_frame(proto::MpiFrame frame) {
     fanned.payload = frame.payload;
     instruments_.mpi_fanout.increment(fanned.dst_ranks.size());
     out.frames.push_back(std::move(fanned));
-    (void)conn->notify(proto::OpCode::kMpiBatch, out.serialize());
+    const Bytes wire = out.serialize();
+    if (window != nullptr) {
+      // Track before sending: the ack may race back on another thread.
+      window->track(out.seq, wire, {{frame.app_id, 1}}, steady_micros());
+      instruments_.mpi_inflight_bytes.add(
+          static_cast<std::int64_t>(wire.size()));
+      schedule_retransmit();
+    }
+    (void)conn->notify(proto::OpCode::kMpiBatch, wire);
     instruments_.mpi_messages_local.increment();
     instruments_.mpi_bytes_local.increment(frame.payload.size());
     instruments_.mpi_message_bytes_local.observe(
@@ -1007,7 +1110,11 @@ void ProxyServer::enqueue_remote_frame(const std::string& site,
   std::unique_lock<std::mutex> lock(batch_mutex_);
   SiteBatch& batch = batches_[site];
   batch.bytes += frame.payload.size();
-  batch.frames.push_back(QueuedFrame{std::move(frame), std::move(raw)});
+  QueuedFrame queued{std::move(frame), std::move(raw)};
+  // Lane split: small frames (barriers, acks, control-sized payloads) jump
+  // ahead of bulk transfers so a 16 MiB send can't head-of-line-block them.
+  queued.latency = queued.frame.payload.size() <= config_.mpi_latency_lane_bytes;
+  (queued.latency ? batch.latency : batch.bulk).push_back(std::move(queued));
   if (batch.flushing) return;  // active drainer will carry this frame too
   batch.flushing = true;
   batch.deadline = 0;
@@ -1017,31 +1124,55 @@ void ProxyServer::enqueue_remote_frame(const std::string& site,
 void ProxyServer::drain_site_locked(std::unique_lock<std::mutex>& lock,
                                     const std::string& site,
                                     FlushReason trigger) {
+  // Lock order: batch_mutex_ is held; link_window takes windows_mutex_ —
+  // that nesting is the sanctioned direction (never the reverse).
+  const std::shared_ptr<SenderWindow> window =
+      reliable_data_plane() ? link_window(LinkKind::kSite, site) : nullptr;
   bool first = true;
   for (;;) {
     SiteBatch& batch = batches_[site];
-    if (batch.frames.empty()) {
+    if (batch.empty()) {
       batch.flushing = false;
       batch.deadline = 0;
       return;
     }
 
-    // Carve one envelope's worth of frames off the front.
+    if (window != nullptr && !window->can_send(1)) {
+      // Congestion: the link's in-flight bytes exceed its AIMD budget.
+      // Park the queue; an ack (drain_if_window_open) or the interval
+      // flusher resumes it.
+      batch.flushing = false;
+      batch.deadline = steady_micros() + config_.mpi_batch_flush_interval;
+      schedule_flusher_locked();
+      return;
+    }
+
+    // Carve one envelope's worth of frames off the front — latency lane
+    // first so barriers and small sends overtake queued bulk data. The byte
+    // budget shrinks to the congestion window's current chunk size.
+    const std::size_t max_bytes =
+        window != nullptr
+            ? std::min(config_.mpi_batch_max_bytes, window->budget_bytes())
+            : config_.mpi_batch_max_bytes;
     std::vector<QueuedFrame> chunk;
     std::size_t chunk_bytes = 0;
+    std::size_t latency_frames = 0;
     bool bytes_full = false;
-    while (!batch.frames.empty() &&
-           chunk.size() < config_.mpi_batch_max_frames) {
-      const std::size_t size = batch.frames.front().frame.payload.size();
-      if (!chunk.empty() &&
-          chunk_bytes + size > config_.mpi_batch_max_bytes) {
-        bytes_full = true;
-        break;
+    const auto carve = [&](std::deque<QueuedFrame>& lane) {
+      while (!lane.empty() && chunk.size() < config_.mpi_batch_max_frames) {
+        const std::size_t size = lane.front().frame.payload.size();
+        if (!chunk.empty() && chunk_bytes + size > max_bytes) {
+          bytes_full = true;
+          break;
+        }
+        chunk_bytes += size;
+        latency_frames += lane.front().latency ? 1 : 0;
+        chunk.push_back(std::move(lane.front()));
+        lane.pop_front();
       }
-      chunk_bytes += size;
-      chunk.push_back(std::move(batch.frames.front()));
-      batch.frames.erase(batch.frames.begin());
-    }
+    };
+    carve(batch.latency);
+    if (!bytes_full) carve(batch.bulk);
     batch.bytes -= chunk_bytes;
     const FlushReason reason =
         bytes_full                ? FlushReason::kBytes
@@ -1058,14 +1189,17 @@ void ProxyServer::drain_site_locked(std::unique_lock<std::mutex>& lock,
       lock.lock();
       if (trigger == FlushReason::kTeardown) {
         // Match the unbatched path: a send to a dead site vanishes.
+        instruments_.frames_dropped(DropReason::kLinkDown, chunk.size());
         continue;
       }
-      // Park the chunk; the flusher thread retries after the interval, by
-      // which time auto-reconnect may have revived the link.
+      // Park the chunk at the front of its lanes; the flusher thread
+      // retries after the interval, by which time auto-reconnect may have
+      // revived the link.
       SiteBatch& parked = batches_[site];
-      parked.frames.insert(parked.frames.begin(),
-                           std::make_move_iterator(chunk.begin()),
-                           std::make_move_iterator(chunk.end()));
+      for (auto it = chunk.rbegin(); it != chunk.rend(); ++it) {
+        (it->latency ? parked.latency : parked.bulk)
+            .push_front(std::move(*it));
+      }
       parked.bytes += chunk_bytes;
       parked.flushing = false;
       parked.deadline = steady_micros() + config_.mpi_batch_flush_interval;
@@ -1073,23 +1207,39 @@ void ProxyServer::drain_site_locked(std::unique_lock<std::mutex>& lock,
       return;
     }
 
-    if (chunk.size() == 1 && !chunk[0].raw.empty()) {
+    if (window == nullptr && chunk.size() == 1 && !chunk[0].raw.empty()) {
       // Lone plain data message: forward the original kMpiData payload.
+      // Only when reliability is off — tracked sends must be kMpiBatch so
+      // the receiver acks them by (origin, seq).
       (void)conn->notify(proto::OpCode::kMpiData, chunk[0].raw);
     } else {
       proto::MpiBatch out;
       out.origin = config_.site;
-      out.seq = batch_seq_.fetch_add(1, std::memory_order_relaxed);
+      out.seq = window != nullptr
+                    ? window->next_seq()
+                    : batch_seq_.fetch_add(1, std::memory_order_relaxed);
       out.frames.reserve(chunk.size());
-      for (QueuedFrame& queued : chunk)
+      std::map<std::uint64_t, std::size_t> per_app;
+      for (QueuedFrame& queued : chunk) {
+        ++per_app[queued.frame.app_id];
         out.frames.push_back(std::move(queued.frame));
-      (void)conn->notify(proto::OpCode::kMpiBatch, out.serialize());
+      }
+      const Bytes wire = out.serialize();
+      if (window != nullptr) {
+        // Track before sending: the ack may race back on another thread.
+        window->track(out.seq, wire, std::move(per_app), steady_micros());
+        instruments_.mpi_inflight_bytes.add(
+            static_cast<std::int64_t>(wire.size()));
+        schedule_retransmit();
+      }
+      (void)conn->notify(proto::OpCode::kMpiBatch, wire);
     }
     instruments_.mpi_messages_remote.increment();
     instruments_.mpi_bytes_remote.increment(chunk_bytes);
     instruments_.mpi_message_bytes_remote.observe(
         static_cast<double>(chunk_bytes));
     instruments_.batch_flush(reason);
+    instruments_.lane_flush(latency_frames > 0, latency_frames < chunk.size());
     lock.lock();
   }
 }
@@ -1097,7 +1247,7 @@ void ProxyServer::drain_site_locked(std::unique_lock<std::mutex>& lock,
 void ProxyServer::flush_batches(FlushReason reason) {
   std::unique_lock<std::mutex> lock(batch_mutex_);
   for (auto& [site, batch] : batches_) {
-    if (batch.flushing || batch.frames.empty()) continue;
+    if (batch.flushing || batch.empty()) continue;
     batch.flushing = true;
     batch.deadline = 0;
     drain_site_locked(lock, site, reason);
@@ -1110,8 +1260,7 @@ void ProxyServer::schedule_flusher_locked() {
   const TimeMicros now = steady_micros();
   TimeMicros next = 0;
   for (const auto& [site, batch] : batches_) {
-    if (batch.frames.empty() || batch.flushing || batch.deadline == 0)
-      continue;
+    if (batch.empty() || batch.flushing || batch.deadline == 0) continue;
     if (next == 0 || batch.deadline < next) next = batch.deadline;
   }
   if (next == 0) return;  // nothing parked, no timer needed
@@ -1129,20 +1278,89 @@ void ProxyServer::flusher_fire() {
   const TimeMicros now = steady_micros();
   std::vector<std::string> due;
   for (const auto& [site, batch] : batches_) {
-    if (!batch.frames.empty() && !batch.flushing && batch.deadline != 0 &&
+    if (!batch.empty() && !batch.flushing && batch.deadline != 0 &&
         batch.deadline <= now)
       due.push_back(site);
   }
   for (const std::string& site : due) {
     SiteBatch& batch = batches_[site];
-    if (batch.flushing || batch.frames.empty()) continue;
+    if (batch.flushing || batch.empty()) continue;
     batch.flushing = true;
     batch.deadline = 0;
     drain_site_locked(lock, site, FlushReason::kInterval);
   }
-  // Whatever parked again (link still dead) re-arms the retry timer; a
-  // fully drained queue leaves no timer behind.
+  // Whatever parked again (link still dead or window still full) re-arms
+  // the retry timer; a fully drained queue leaves no timer behind.
   schedule_flusher_locked();
+}
+
+void ProxyServer::drain_if_window_open(const std::string& site) {
+  std::unique_lock<std::mutex> lock(batch_mutex_);
+  const auto it = batches_.find(site);
+  if (it == batches_.end() || it->second.flushing || it->second.empty())
+    return;
+  it->second.flushing = true;
+  it->second.deadline = 0;
+  drain_site_locked(lock, site, FlushReason::kWindow);
+}
+
+void ProxyServer::schedule_retransmit() {
+  std::lock_guard<std::mutex> lock(windows_mutex_);
+  schedule_retransmit_locked();
+}
+
+void ProxyServer::schedule_retransmit_locked() {
+  if (retrans_scheduled_ || !reliable_data_plane()) return;
+  if (shut_down_.load(std::memory_order_acquire)) return;
+  TimeMicros next = 0;
+  const auto consider = [&next](const auto& windows) {
+    for (const auto& [name, window] : windows) {
+      const std::uint64_t deadline = window->next_deadline();
+      if (deadline != 0 && (next == 0 || deadline < next)) next = deadline;
+    }
+  };
+  consider(site_windows_);
+  consider(node_windows_);
+  if (next == 0) return;  // nothing in flight, no timer needed
+  const TimeMicros now = steady_micros();
+  retrans_scheduled_ = true;
+  retrans_timer_ = net::Reactor::global().schedule_timer(
+      next > now ? next - now : TimeMicros{1}, [this] { retransmit_fire(); });
+}
+
+void ProxyServer::retransmit_fire() {
+  std::vector<std::tuple<LinkKind, std::string, std::shared_ptr<SenderWindow>>>
+      windows;
+  {
+    std::lock_guard<std::mutex> lock(windows_mutex_);
+    retrans_scheduled_ = false;
+    retrans_timer_ = 0;
+    if (shut_down_.load(std::memory_order_acquire)) return;
+    for (const auto& [name, window] : site_windows_)
+      windows.emplace_back(LinkKind::kSite, name, window);
+    for (const auto& [name, window] : node_windows_)
+      windows.emplace_back(LinkKind::kNode, name, window);
+  }
+  const TimeMicros now = steady_micros();
+  for (const auto& [kind, name, window] : windows) {
+    const std::vector<Retransmit> due = window->take_due(now);
+    if (due.empty()) continue;
+    // Re-resolve the connection at fire time so a retransmission after an
+    // auto-reconnect lands on the fresh link. A dead link keeps the entries
+    // armed; backoff paces the retries until the link revives or the app
+    // closes.
+    Connection* conn = kind == LinkKind::kSite ? peer_connection(name)
+                                               : node_connection(name);
+    if (conn == nullptr || !conn->alive()) continue;
+    for (const Retransmit& r : due) {
+      // Deliberately not counted in mpi_messages_*: retransmissions are a
+      // reliability artifact, not new routed traffic.
+      instruments_.mpi_retransmits.increment();
+      (void)conn->notify(proto::OpCode::kMpiBatch, r.wire);
+    }
+  }
+  std::lock_guard<std::mutex> lock(windows_mutex_);
+  schedule_retransmit_locked();
 }
 
 void ProxyServer::handle_mpi_done_from_node(const proto::Envelope& envelope) {
@@ -1842,6 +2060,17 @@ void ProxyServer::shutdown() {
     flusher_scheduled_ = false;
   }
   if (flush_timer != 0) net::Reactor::global().cancel_timer(flush_timer);
+
+  // Likewise the retransmission timer: whatever is still unacked dies with
+  // the proxy — retransmit_fire sees shut_down_ and will not re-arm.
+  std::uint64_t rt_timer = 0;
+  {
+    std::lock_guard<std::mutex> lock(windows_mutex_);
+    rt_timer = retrans_timer_;
+    retrans_timer_ = 0;
+    retrans_scheduled_ = false;
+  }
+  if (rt_timer != 0) net::Reactor::global().cancel_timer(rt_timer);
   flush_batches(FlushReason::kTeardown);
 
   // Snapshot under the lock but close outside it: close() quiesces the

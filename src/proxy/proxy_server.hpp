@@ -34,6 +34,7 @@
 #include "proxy/app_routing.hpp"
 #include "proxy/batch_window.hpp"
 #include "proxy/connection.hpp"
+#include "proxy/sender_window.hpp"
 #include "proxy/job_manager.hpp"
 #include "proxy/metrics.hpp"
 #include "proxy/resilience.hpp"
@@ -88,6 +89,27 @@ struct ProxyConfig {
   std::size_t mpi_batch_max_bytes = 256 * 1024;
   /// Frame budget per flushed kMpiBatch envelope.
   std::size_t mpi_batch_max_frames = 64;
+
+  // ---- reliable data plane (docs/RESILIENCE.md, "at-least-once") ----
+  /// Ack + RTO retransmission for kMpiBatch deliveries (protocol v4).
+  /// Requires batching (mpi_batch_flush_interval > 0); with either off,
+  /// data frames are fire-and-forget as before v4 and a drop is recovered
+  /// only by the job timeout.
+  bool mpi_reliable = true;
+  /// Retransmission timeout before any RTT sample exists; once acks flow,
+  /// the live RTO is srtt + 4*rttvar, clamped to
+  /// [mpi_ack_rto_initial / 4, mpi_ack_rto_max].
+  TimeMicros mpi_ack_rto_initial = 50 * 1000;
+  /// Backoff ceiling for repeated retransmissions of the same batch.
+  TimeMicros mpi_ack_rto_max = 2 * kMicrosPerSecond;
+  /// Ceiling of each link's AIMD in-flight budget (congestion window): it
+  /// grows additively per acked batch up to this and halves on an RTO;
+  /// draining defers while unacked bytes exceed it.
+  std::size_t mpi_inflight_max_bytes = 1024 * 1024;
+  /// Frames with payloads at or under this ride the latency lane, flushed
+  /// ahead of bulk frames on the same link (a barrier never queues behind
+  /// a 16 MiB transfer).
+  std::size_t mpi_latency_lane_bytes = 4096;
 };
 
 /// Outcome of a grid application run.
@@ -276,21 +298,34 @@ class ProxyServer {
     proto::MpiFrame frame;
     /// Original kMpiData envelope payload when the frame wraps exactly one
     /// plain data message; a single-frame flush then goes out as kMpiData
-    /// with no re-serialization (the zero-copy path for serial traffic).
+    /// with no re-serialization (the zero-copy path for serial traffic,
+    /// available only with the reliable plane off — an ackable send must
+    /// carry a (origin, seq)).
     Bytes raw;
+    /// True when the payload fits config_.mpi_latency_lane_bytes.
+    bool latency = false;
   };
 
-  /// Per-destination-site outgoing batch queue (greedy-drain batching).
+  /// Per-destination-site outgoing batch queue (greedy-drain batching),
+  /// split into two priority lanes: small latency-critical frames always
+  /// drain before bulk payloads already waiting on the same link.
   struct SiteBatch {
-    std::vector<QueuedFrame> frames;
+    std::deque<QueuedFrame> latency;
+    std::deque<QueuedFrame> bulk;
     std::size_t bytes = 0;
     /// True while one thread drains this queue; concurrent enqueuers just
     /// append — their frames ride in the drainer's next envelope.
     bool flushing = false;
     /// When nonzero, the flusher thread retries at this steady-clock time
-    /// (frames parked because the peer link was down).
+    /// (frames parked because the peer link was down, or held back because
+    /// the link's congestion window is full).
     TimeMicros deadline = 0;
+
+    bool empty() const { return latency.empty() && bulk.empty(); }
   };
+
+  /// Which class of link a kMpiBatch sender window serves.
+  enum class LinkKind : std::uint8_t { kSite, kNode };
 
   // -- handlers (reader threads)
   void handle_peer(const proto::Envelope& envelope, Connection& conn);
@@ -307,7 +342,11 @@ class ProxyServer {
   void handle_mpi_close(const proto::Envelope& envelope);
   void handle_mpi_abort_from_peer(const proto::Envelope& envelope);
   void route_mpi_data(const proto::Envelope& envelope);
-  void handle_mpi_batch(const proto::Envelope& envelope);
+  void handle_mpi_batch(const proto::Envelope& envelope, Connection& conn);
+  /// Applies a kMpiBatchAck that arrived on the named link to that link's
+  /// sender window; released window space re-drains a deferred site queue.
+  void handle_mpi_batch_ack(const proto::Envelope& envelope, LinkKind kind,
+                            const std::string& link);
   void handle_mpi_done_from_node(const proto::Envelope& envelope);
   void handle_mpi_done_from_peer(const proto::Envelope& envelope);
   void handle_tunnel_from_node(const std::string& node,
@@ -365,6 +404,29 @@ class ProxyServer {
   /// Reactor-timer callback: retries parked batches that came due, then
   /// re-arms for whatever is still parked.
   void flusher_fire();
+
+  // -- reliable data plane (ack + retransmit)
+  /// True when kMpiBatch sends are tracked, acked and retransmitted.
+  bool reliable_data_plane() const {
+    return config_.mpi_reliable && config_.mpi_batch_flush_interval > 0;
+  }
+  /// The sender window for one outgoing link, created on first use.
+  std::shared_ptr<SenderWindow> link_window(LinkKind kind,
+                                            const std::string& name);
+  /// The link's window if it exists; null otherwise (never creates).
+  std::shared_ptr<SenderWindow> find_window(LinkKind kind,
+                                            const std::string& name) const;
+  /// Arms the one-shot RTO timer for the earliest in-flight deadline. Call
+  /// with windows_mutex_ held; no-op when armed, idle, or shutting down.
+  void schedule_retransmit_locked();
+  /// Convenience wrapper taking windows_mutex_ itself.
+  void schedule_retransmit();
+  /// Reactor-timer callback: resends every in-flight batch whose RTO
+  /// passed (links re-resolved now, picking up auto-reconnects), re-arms.
+  void retransmit_fire();
+  /// Drains `site`'s queue if frames were deferred waiting on congestion-
+  /// window space (called when an ack frees some).
+  void drain_if_window_open(const std::string& site);
 
   // -- resilience
   /// Retrying request/response against whatever connection `resolve`
@@ -441,8 +503,21 @@ class ProxyServer {
   std::map<std::string, SiteBatch> batches_;
   std::uint64_t flusher_timer_ = 0;   // guarded by batch_mutex_
   bool flusher_scheduled_ = false;    // guarded by batch_mutex_
+  /// Seq source for UNRELIABLE batches only. Reliable links draw from
+  /// their own window's counter, so every receiver observes a contiguous
+  /// per-origin stream — what makes cumulative acks meaningful.
   std::atomic<std::uint64_t> batch_seq_{1};
   BatchDedupWindow batch_dedup_;
+  BatchAckTracker ack_tracker_;
+
+  // Sender windows for the reliable data plane, one per outgoing link the
+  // proxy pushes kMpiBatch down (peer sites and this site's nodes). Lock
+  // order: batch_mutex_ before windows_mutex_, never the reverse.
+  mutable std::mutex windows_mutex_;
+  std::map<std::string, std::shared_ptr<SenderWindow>> site_windows_;
+  std::map<std::string, std::shared_ptr<SenderWindow>> node_windows_;
+  std::uint64_t retrans_timer_ = 0;   // guarded by windows_mutex_
+  bool retrans_scheduled_ = false;    // guarded by windows_mutex_
 
   // Next hop toward each foreign trace's origin, learned from the peer an
   // envelope carrying that trace arrived on (bounded FIFO).

@@ -233,6 +233,25 @@ Status parse_timeline(const Json& json, std::vector<TimelineEvent>& out) {
   return Status::ok();
 }
 
+Status parse_data_plane(const Json& json, DataPlaneModel& out) {
+  const Json* dp = json.find("data_plane");
+  if (!dp) return Status::ok();
+  if (!dp->is_object()) return invalid("'data_plane' must be an object");
+  out.drop_rate = number_or(*dp, "drop_rate", out.drop_rate);
+  // Above 0.9 the geometric retransmit model's attempt cap dominates and
+  // the numbers stop meaning anything; reject rather than mislead.
+  if (out.drop_rate < 0.0 || out.drop_rate > 0.9)
+    return invalid("data_plane.drop_rate must be in [0, 0.9]");
+  out.ack_rto_initial =
+      seconds_field(*dp, "ack_rto_s", out.ack_rto_initial);
+  out.ack_rto_max = seconds_field(*dp, "ack_rto_max_s", out.ack_rto_max);
+  if (out.ack_rto_initial <= 0 || out.ack_rto_max < out.ack_rto_initial)
+    return invalid("data_plane RTO bounds need 0 < ack_rto_s <= ack_rto_max_s");
+  out.latency_lane_bytes = static_cast<std::uint32_t>(
+      number_or(*dp, "latency_lane_bytes", out.latency_lane_bytes));
+  return Status::ok();
+}
+
 Status parse_assertions(const Json& json, std::vector<Assertion>& out) {
   const Json* asserts = json.find("assert");
   if (!asserts) return Status::ok();
@@ -275,6 +294,7 @@ Result<ScenarioConfig> parse_scenario(const std::string& json_text) {
   if (config.status_interval <= 0)
     return invalid("status_interval_s must be > 0");
 
+  PG_RETURN_IF_ERROR(parse_data_plane(json, config.data_plane));
   PG_RETURN_IF_ERROR(parse_topology(json, config.topology));
   PG_RETURN_IF_ERROR(parse_workload(json, config.workload));
   PG_RETURN_IF_ERROR(parse_timeline(json, config.timeline));

@@ -102,6 +102,18 @@ struct Assertion {
   double value = 0;
 };
 
+/// Model of the reliable data plane (the proxies' ack/retransmit layer
+/// and priority lanes): each inter-site kMpiBatch envelope is dropped
+/// with `drop_rate` and retransmitted on an exponentially backed-off RTO
+/// until it gets through; payloads at or under `latency_lane_bytes` ride
+/// the latency lane and are not serialized behind bulk transfers.
+struct DataPlaneModel {
+  double drop_rate = 0.0;                       // per-envelope, [0, 0.9]
+  TimeMicros ack_rto_initial = 50 * 1000;       // first retransmit timeout
+  TimeMicros ack_rto_max = 2 * kMicrosPerSecond;
+  std::uint32_t latency_lane_bytes = 4096;
+};
+
 struct ScenarioConfig {
   std::string name;
   std::string description;
@@ -113,6 +125,7 @@ struct ScenarioConfig {
   /// Messages to one destination site within this window share an
   /// envelope (models the kMpiBatch flush window).
   std::uint32_t batch_window_messages = 32;
+  DataPlaneModel data_plane;
   Topology topology;
   Workload workload;
   std::vector<TimelineEvent> timeline;

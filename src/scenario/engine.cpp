@@ -445,10 +445,17 @@ void Engine::account_mpi_traffic(const Job& job, TimeMicros& net_time_out) {
   // ride the LAN without inter-proxy envelopes; inter-site frames are
   // priced both naive (one envelope per message) and batched (the v3
   // kMpiBatch flush window), which is where the savings stat comes from.
+  // On top of that rides the v4 reliable-delivery model: envelopes are
+  // dropped with data_plane.drop_rate and retransmitted on an
+  // exponentially backed-off RTO, and small payloads are carved onto the
+  // latency lane so they don't queue behind bulk transfers.
   struct PairTraffic {
     std::uint64_t messages = 0;
     std::uint64_t bytes = 0;
+    std::uint64_t latency_messages = 0;
+    std::uint64_t latency_bytes = 0;
   };
+  const DataPlaneModel& dp = config_.data_plane;
   std::map<std::pair<std::size_t, std::size_t>, PairTraffic> by_pair;
   for (const MpiMessage& msg : job.messages) {
     const auto& src = job.placed[msg.src_rank];
@@ -460,6 +467,10 @@ void Engine::account_mpi_traffic(const Job& job, TimeMicros& net_time_out) {
     PairTraffic& t = by_pair[{src.first, dst.first}];
     ++t.messages;
     t.bytes += msg.bytes;
+    if (msg.bytes <= dp.latency_lane_bytes) {
+      ++t.latency_messages;
+      t.latency_bytes += msg.bytes;
+    }
   }
 
   net_time_out = 0;
@@ -472,14 +483,63 @@ void Engine::account_mpi_traffic(const Job& job, TimeMicros& net_time_out) {
     const std::uint64_t saved_envelopes = traffic.messages - batched;
     stats_.wire_bytes_saved += saved_envelopes * envelope_overhead_;
     stats_.crypto_bytes_saved += saved_envelopes * envelope_overhead_;
+    stats_.lane_latency_frames += traffic.latency_messages;
+    stats_.lane_bulk_frames += traffic.messages - traffic.latency_messages;
+
+    // Reliable delivery: each envelope independently survives or is
+    // retransmitted until it gets through. Envelopes retransmit in
+    // parallel, so the pair waits out only the worst envelope's backoff
+    // chain; every retransmitted copy still costs wire and crypto bytes.
+    std::uint64_t retransmits = 0;
+    TimeMicros worst_wait = 0;
+    const std::uint64_t payload_per_envelope = traffic.bytes / batched;
+    if (dp.drop_rate > 0) {
+      for (std::uint64_t e = 0; e < batched; ++e) {
+        TimeMicros wait = 0;
+        TimeMicros rto = dp.ack_rto_initial;
+        std::uint32_t attempts = 0;
+        while (attempts < 16 && rng_.next_double() < dp.drop_rate) {
+          ++attempts;
+          wait += rto;
+          rto = std::min(dp.ack_rto_max, rto * 2);
+        }
+        retransmits += attempts;
+        worst_wait = std::max(worst_wait, wait);
+      }
+      stats_.mpi_retransmits += retransmits;
+      stats_.mpi_retransmit_wait += worst_wait;
+    }
 
     const LinkState* l = link(pair.first, pair.second);
     sim::TrafficSummary summary;
-    summary.messages = batched;
-    summary.bytes = traffic.bytes + batched * envelope_overhead_;
+    summary.messages = batched + retransmits;
+    summary.bytes = traffic.bytes + summary.messages * envelope_overhead_ +
+                    retransmits * payload_per_envelope;
     summary.crypto_bytes = summary.bytes;
-    net_time_out =
-        std::max(net_time_out, sim::modelled_time(summary, l->effective()));
+    net_time_out = std::max(
+        net_time_out,
+        sim::modelled_time(summary, l->effective()) + worst_wait);
+
+    // Lane QoS: price the latency-lane frames alone vs. serialized
+    // behind the pair's whole transfer — the difference is head-of-line
+    // blocking the lane split removed for this job's small frames.
+    if (traffic.latency_messages > 0 &&
+        traffic.latency_messages < traffic.messages) {
+      const std::uint64_t lat_batched =
+          (traffic.latency_messages + config_.batch_window_messages - 1) /
+          config_.batch_window_messages;
+      sim::TrafficSummary lat;
+      lat.messages = lat_batched;
+      lat.bytes = traffic.latency_bytes + lat_batched * envelope_overhead_;
+      lat.crypto_bytes = lat.bytes;
+      const TimeMicros alone = sim::modelled_time(lat, l->effective());
+      const TimeMicros serialized =
+          sim::modelled_time(summary, l->effective());
+      if (serialized > alone) {
+        stats_.lane_wait_saved_s +=
+            static_cast<double>(serialized - alone) / kMicrosPerSecond;
+      }
+    }
   }
 }
 

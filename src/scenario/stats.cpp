@@ -61,6 +61,15 @@ Result<double> ScenarioStats::metric(const std::string& name) const {
     return static_cast<double>(wire_bytes_saved);
   if (name == "batching.crypto_bytes_saved")
     return static_cast<double>(crypto_bytes_saved);
+  if (name == "dataplane.retransmits")
+    return static_cast<double>(mpi_retransmits);
+  if (name == "dataplane.retransmit_wait_s")
+    return seconds(mpi_retransmit_wait);
+  if (name == "dataplane.latency_frames")
+    return static_cast<double>(lane_latency_frames);
+  if (name == "dataplane.bulk_frames")
+    return static_cast<double>(lane_bulk_frames);
+  if (name == "dataplane.latency_wait_saved_s") return lane_wait_saved_s;
   if (name == "recovery.events") return rec.count;
   if (name == "recovery.converged") return rec.converged;
   if (name == "recovery.unconverged") return rec.count - rec.converged;
@@ -94,6 +103,11 @@ std::vector<std::string> ScenarioStats::metric_names() {
       "batching.envelope_savings_ratio",
       "batching.wire_bytes_saved",
       "batching.crypto_bytes_saved",
+      "dataplane.retransmits",
+      "dataplane.retransmit_wait_s",
+      "dataplane.latency_frames",
+      "dataplane.bulk_frames",
+      "dataplane.latency_wait_saved_s",
       "recovery.events",
       "recovery.converged",
       "recovery.unconverged",

@@ -46,6 +46,16 @@ struct ScenarioStats {
   std::uint64_t wire_bytes_saved = 0;
   std::uint64_t crypto_bytes_saved = 0;
 
+  // dataplane.* — the modelled reliable-delivery layer: envelope
+  // retransmissions under configured loss, the RTO backoff those runs
+  // waited out, and the latency/bulk lane split (the HoL-blocking time
+  // small frames did NOT spend behind bulk transfers).
+  std::uint64_t mpi_retransmits = 0;
+  TimeMicros mpi_retransmit_wait = 0;  // summed worst-envelope backoff
+  std::uint64_t lane_latency_frames = 0;
+  std::uint64_t lane_bulk_frames = 0;
+  double lane_wait_saved_s = 0;
+
   // recovery.*
   std::vector<RecoveryRecord> recoveries;
 

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <set>
 #include <thread>
 
 #include "grid/grid.hpp"
@@ -462,6 +463,221 @@ TEST(Chaos, ParkedBatchFlushesOnAppTeardown) {
   }
   EXPECT_GE(teardown_flushes, 1u);
   EXPECT_GE(grid->proxy("site1").metrics().mpi_batch_flushes, 1u);
+  grid->shutdown();
+}
+
+// Phases for the retransmit-heal app: 0 = launching, 1 = send window open
+// (scheduled drops armed), 2 = everyone may exit.
+std::atomic<int> g_retx_phase{0};
+std::atomic<int> g_retx_started{0};
+std::atomic<bool> g_retx_received{false};
+
+TEST(Chaos, RetransmitHealsDroppedDataFrames) {
+  // Deterministic drops aimed at the data plane: scheduled write kills on
+  // the plaintext intra-site links (the clean message-loss case) land on
+  // kMpiBatch envelopes and their acks. The reliable data plane must
+  // recover via ack-timeout retransmission — NOT via the job timeout, so
+  // pg_job_redispatch_total stays flat while the retransmit counters move
+  // and the dedup window absorbs any duplicate deliveries.
+  static const bool registered = [] {
+    mpi::AppRegistry::instance().register_app(
+        "retx-burst", [](mpi::Comm& comm) -> Status {
+          g_retx_started.fetch_add(1);
+          while (g_retx_phase.load() < 1)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          if (comm.rank() == 0) {
+            for (int i = 0; i < 5; ++i)
+              PG_RETURN_IF_ERROR(
+                  comm.send(1, 7, mpi::pack_u64(100 + i)));
+          } else {
+            // Retransmission can reorder healed messages behind later
+            // ones, so collect the burst as a set.
+            std::set<std::uint64_t> got;
+            for (int i = 0; i < 5; ++i) {
+              Result<Bytes> word = comm.recv(0, 7);
+              if (!word.is_ok()) return word.status();
+              got.insert(mpi::unpack_u64(word.value()).value());
+            }
+            for (std::uint64_t v = 100; v < 105; ++v)
+              if (got.count(v) == 0)
+                return error(ErrorCode::kInternal, "lost message survived");
+            g_retx_received.store(true);
+          }
+          while (g_retx_phase.load() < 2)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          return Status::ok();
+        });
+    return true;
+  }();
+  (void)registered;
+
+  GridBuilder builder;
+  builder.seed(chaos_seed() + 37).key_bits(512).fault_injection();
+  builder.add_nodes("site0", 2);  // one site: every MPI hop is plaintext
+  builder.add_user("u", "p", {"mpi.run", "status.query"});
+  builder.configure_proxy([](proxy::ProxyConfig& config) {
+    config.mpi_ack_rto_initial = 5 * kMicrosPerMilli;  // fast recovery
+    config.mpi_ack_rto_max = 200 * kMicrosPerMilli;
+    // A job timeout far beyond the test budget: if recovery leaned on
+    // re-dispatch instead of retransmission, the test would hang and fail.
+    config.job_run_timeout = 120 * kMicrosPerSecond;
+  });
+  auto built = builder.build();
+  ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+  auto grid = built.take();
+  auto token = grid->login("site0", "u", "p");
+  ASSERT_TRUE(token.is_ok());
+
+  auto& registry = telemetry::MetricRegistry::global();
+  const auto retransmit_total = [&registry] {
+    std::uint64_t total = 0;
+    for (const char* sender : {"proxy", "node0", "node1"}) {
+      total += registry
+                   .counter("pg_mpi_retransmit_total",
+                            "kMpiBatch envelopes retransmitted after an RTO",
+                            {{"site", "site0"}, {"sender", sender}})
+                   .value();
+    }
+    return total;
+  };
+  const std::uint64_t retransmits_before = retransmit_total();
+  const std::uint64_t redispatch_before =
+      registry.counter("pg_job_redispatch_total", "Jobs re-dispatched").value();
+
+  g_retx_phase.store(0);
+  g_retx_started.store(0);
+  g_retx_received.store(false);
+  proxy::AppRunResult result;
+  std::thread runner([&] {
+    result = grid->run_app("site0", "u", token.value(), "retx-burst", 2,
+                           SchedulerPolicy::kRoundRobin);
+  });
+  for (int i = 0; i < 5000 && g_retx_started.load() < 2; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(g_retx_started.load(), 2);
+  // Let startup traffic drain so the scheduled kills hit the data burst.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const std::uint64_t n = grid->intra_site_injector()->writes_seen();
+  grid->intra_site_injector()->schedule_drop(n + 1);
+  grid->intra_site_injector()->schedule_drop(n + 3);
+  grid->intra_site_injector()->schedule_drop(n + 5);
+
+  g_retx_phase.store(1);
+  for (int i = 0; i < 10000 && !g_retx_received.load(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(g_retx_received.load());  // every dropped frame was healed
+  g_retx_phase.store(2);
+  runner.join();
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+
+  EXPECT_GE(grid->intra_site_injector()->dropped(), 3u);
+  EXPECT_GT(retransmit_total(), retransmits_before);
+  // Recovery was retransmission, never a job re-dispatch.
+  EXPECT_EQ(
+      registry.counter("pg_job_redispatch_total", "Jobs re-dispatched").value(),
+      redispatch_before);
+  grid->shutdown();
+}
+
+// Phases for the lane-ordering app: 0 = launching, 1 = the bulk link is
+// dead (sends park), rank 2's receives gate the rest.
+std::atomic<int> g_lane_phase{0};
+std::atomic<int> g_lane_started{0};
+
+TEST(Chaos, LatencyLaneOvertakesParkedBulk) {
+  // QoS lanes: a big bulk frame queued FIRST must not head-of-line-block a
+  // small frame queued after it. Both park while the site1->site2 link is
+  // dead; on the healed link the latency lane drains first, so the small
+  // frame arrives ahead of the bulk one even though it was sent second.
+  static const bool registered = [] {
+    mpi::AppRegistry::instance().register_app(
+        "lane-order", [](mpi::Comm& comm) -> Status {
+          g_lane_started.fetch_add(1);
+          if (comm.rank() == 1) {
+            while (g_lane_phase.load() < 1)
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            PG_RETURN_IF_ERROR(comm.send(2, 9, Bytes(64 * 1024, 0xbb)));
+            PG_RETURN_IF_ERROR(comm.send(2, 8, to_bytes("small")));
+          } else if (comm.rank() == 2) {
+            Result<mpi::MpiMessage> first =
+                comm.recv_message(mpi::kAnySource, mpi::kAnyTag);
+            if (!first.is_ok()) return first.status();
+            if (first.value().tag != 8)
+              return error(ErrorCode::kInternal,
+                           "bulk frame overtook the latency lane");
+            Result<mpi::MpiMessage> second =
+                comm.recv_message(mpi::kAnySource, mpi::kAnyTag);
+            if (!second.is_ok()) return second.status();
+            if (second.value().payload.size() != 64 * 1024)
+              return error(ErrorCode::kInternal, "bulk frame lost");
+          }
+          return Status::ok();
+        });
+    return true;
+  }();
+  (void)registered;
+
+  GridBuilder builder;
+  builder.seed(chaos_seed() + 41).key_bits(512);
+  // The severed pair (site1<->site2) is on no path to the origin (site0),
+  // so failure detection never aborts the run while the frames are parked.
+  builder.add_nodes("site0", 1).add_nodes("site1", 1).add_nodes("site2", 1);
+  builder.add_user("u", "p", {"mpi.run", "status.query"});
+  builder.configure_proxy([](proxy::ProxyConfig& config) {
+    config.mpi_batch_flush_interval = 50 * kMicrosPerMilli;
+    // Keep the bulk frame over the per-envelope byte budget so the two
+    // frames cannot share one envelope — the lanes must produce two sends.
+    config.mpi_batch_max_bytes = 32 * 1024;
+  });
+  auto built = builder.build();
+  ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+  auto grid = built.take();
+  auto token = grid->login("site0", "u", "p");
+  ASSERT_TRUE(token.is_ok());
+
+  auto& registry = telemetry::MetricRegistry::global();
+  const auto lane_total = [&registry](const char* lane) {
+    return registry
+        .counter("pg_mpi_lane_flush_total",
+                 "Flushed envelopes that served a lane",
+                 {{"site", "site1"}, {"lane", lane}})
+        .value();
+  };
+  const std::uint64_t latency_before = lane_total("latency");
+  const std::uint64_t bulk_before = lane_total("bulk");
+
+  g_lane_phase.store(0);
+  g_lane_started.store(0);
+  proxy::AppRunResult result;
+  std::thread runner([&] {
+    result = grid->run_app("site0", "u", token.value(), "lane-order", 3,
+                           SchedulerPolicy::kRoundRobin);
+  });
+  for (int i = 0; i < 5000 && g_lane_started.load() < 3; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(g_lane_started.load(), 3);
+
+  grid->kill_link("site1", "site2");
+  for (int i = 0; i < 1000 && grid->proxy("site1").peer_alive("site2"); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_FALSE(grid->proxy("site1").peer_alive("site2"));
+
+  g_lane_phase.store(1);  // bulk then small fire; both park at site1
+  std::uint64_t queued = 0;
+  for (int i = 0; i < 5000; ++i) {
+    queued = grid->proxy("site1").metrics().mpi_batch_messages;
+    if (queued >= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(queued, 2u);
+
+  ASSERT_TRUE(grid->reconnect_link("site1", "site2").is_ok());
+  runner.join();
+  // Rank 2 verified in-app that the small frame arrived first.
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_GE(lane_total("latency") - latency_before, 1u);
+  EXPECT_GE(lane_total("bulk") - bulk_before, 1u);
   grid->shutdown();
 }
 

@@ -219,6 +219,20 @@ TEST(Messages, MpiBatchRoundTrip) {
 
 TEST(Messages, MpiBatchOpcodeNamed) {
   EXPECT_STREQ(opcode_name(OpCode::kMpiBatch), "mpi_batch");
+  EXPECT_STREQ(opcode_name(OpCode::kMpiBatchAck), "mpi_batch_ack");
+}
+
+TEST(Messages, MpiBatchAckRoundTrip) {
+  MpiBatchAck ack;
+  ack.origin = "siteB";
+  ack.cumulative = 17;
+  ack.selective = {19, 23};
+
+  const auto back = MpiBatchAck::parse(ack.serialize());
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back.value().origin, "siteB");
+  EXPECT_EQ(back.value().cumulative, 17u);
+  EXPECT_EQ(back.value().selective, (std::vector<std::uint64_t>{19, 23}));
 }
 
 TEST(Messages, TunnelMessagesRoundTrip) {
@@ -267,6 +281,7 @@ TEST(Messages, FuzzDecodeSafety) {
     (void)MpiOpenAck::parse(junk);
     (void)MpiData::parse(junk);
     (void)MpiBatch::parse(junk);
+    (void)MpiBatchAck::parse(junk);
     (void)MpiClose::parse(junk);
     (void)TunnelOpen::parse(junk);
     (void)TunnelData::parse(junk);

@@ -120,6 +120,28 @@ TEST(Config, RejectsBadAssertionsAndPareto) {
                    .is_ok());
 }
 
+TEST(Config, ParsesAndValidatesDataPlane) {
+  auto config = parse_scenario(R"({
+    "name": "x", "topology": {"sites": [{"name": "a"}, {"name": "b"}]},
+    "data_plane": {"drop_rate": 0.25, "ack_rto_s": 0.01,
+                   "ack_rto_max_s": 1, "latency_lane_bytes": 2048}})");
+  ASSERT_TRUE(config.is_ok()) << config.status().to_string();
+  EXPECT_EQ(config.value().data_plane.drop_rate, 0.25);
+  EXPECT_EQ(config.value().data_plane.ack_rto_initial, 10'000);
+  EXPECT_EQ(config.value().data_plane.ack_rto_max, kMicrosPerSecond);
+  EXPECT_EQ(config.value().data_plane.latency_lane_bytes, 2048u);
+  // Loss past the model's validity range is rejected, not mispriced.
+  EXPECT_FALSE(parse_scenario(R"({
+    "name": "x", "topology": {"sites": [{"name": "a"}]},
+    "data_plane": {"drop_rate": 0.95}})")
+                   .is_ok());
+  // Inverted RTO bounds are rejected.
+  EXPECT_FALSE(parse_scenario(R"({
+    "name": "x", "topology": {"sites": [{"name": "a"}]},
+    "data_plane": {"ack_rto_s": 2, "ack_rto_max_s": 1}})")
+                   .is_ok());
+}
+
 TEST(Config, ExpandTopologyIsGenerativeAndDeterministic) {
   Topology topology;
   SiteGroup group;
@@ -226,7 +248,7 @@ TEST(Engine, KillNodeRecoveryConverges) {
 
 TEST(Engine, CorpusSmallScenariosPass) {
   for (const char* name : {"baseline_3site.json", "flapping_link.json",
-                           "rolling_partition.json"}) {
+                           "rolling_partition.json", "lossy_wan.json"}) {
     auto config = load_scenario(corpus(name));
     ASSERT_TRUE(config.is_ok()) << name << ": " << config.status().to_string();
     auto run = run_scenario(config.value(), 1);
@@ -237,6 +259,23 @@ TEST(Engine, CorpusSmallScenariosPass) {
           << outcome.assertion.op << " " << outcome.assertion.value
           << " observed " << outcome.observed << " " << outcome.detail;
   }
+}
+
+TEST(Engine, LossyDataPlaneIsDeterministicAndStaysBelowJobPlane) {
+  // The seeded drop/retransmit draws must replay byte-identically, and
+  // pure data-plane loss must never leak upward into job redispatches.
+  auto config = load_scenario(corpus("lossy_wan.json"));
+  ASSERT_TRUE(config.is_ok()) << config.status().to_string();
+  auto first = run_scenario(config.value(), 11);
+  auto second = run_scenario(config.value(), 11);
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_GT(first.value().stats.mpi_retransmits, 0u);
+  EXPECT_EQ(first.value().stats.jobs_redispatched, 0u);
+  EXPECT_EQ(first.value().stats.mpi_retransmits,
+            second.value().stats.mpi_retransmits);
+  EXPECT_EQ(first.value().stats.to_json(false),
+            second.value().stats.to_json(false));
 }
 
 TEST(Engine, Scale50SiteCompletesDeterministically) {
