@@ -9,7 +9,16 @@
 // O(S*N) node handshakes and identities.
 #include <benchmark/benchmark.h>
 
+#include <future>
+
 #include "bench_util.hpp"
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "crypto/cert.hpp"
+#include "net/memory_channel.hpp"
+#include "tls/gssl.hpp"
+#include "tls/resumption.hpp"
 
 namespace {
 
@@ -55,6 +64,74 @@ BENCHMARK(BM_GridBringUp)
     ->Args({8, 4, 0})->Args({8, 4, 1})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
+
+// Single-connection GSSL setup cost: full handshake (2 RTT, RSA sign +
+// RSA decrypt) versus ticket resumption (1 RTT, symmetric crypto only).
+// This is the per-reconnect price auto-reconnect pays after a link flap,
+// so the resumed/full ratio is the headline number for link healing.
+tls::GsslIdentity bench_identity(crypto::CertificateAuthority& ca, Rng& rng,
+                                 const std::string& subject,
+                                 std::size_t bits) {
+  const crypto::RsaKeyPair keys = crypto::rsa_generate(bits, rng);
+  return tls::GsslIdentity{ca.issue(subject, keys.pub, 0, 1'000'000'000),
+                           keys.priv};
+}
+
+void BM_GsslConnectionSetup(benchmark::State& state) {
+  constexpr std::size_t kBits = 768;
+  const bool resumed = state.range(0) == 1;
+  static Rng* rng = new Rng(2024);
+  static auto* ca = new crypto::CertificateAuthority("bench-ca", kBits, *rng);
+  static auto* client_id = new tls::GsslIdentity(
+      bench_identity(*ca, *rng, "proxy.siteA.grid", kBits));
+  static auto* server_id = new tls::GsslIdentity(
+      bench_identity(*ca, *rng, "proxy.siteB.grid", kBits));
+
+  tls::ResumptionKeeper keeper(to_bytes("bench-realm-ticket-key"),
+                               3600 * kMicrosPerSecond);
+  tls::ResumptionStore store;
+  tls::GsslConfig client_cfg{*client_id, ca->name(), ca->public_key(),
+                             "proxy.siteB.grid"};
+  tls::GsslConfig server_cfg{*server_id, ca->name(), ca->public_key(),
+                             "proxy.siteA.grid"};
+  if (resumed) {
+    client_cfg.resumption_store = &store;
+    server_cfg.resumption = &keeper;
+  }
+  ManualClock clock(1000);
+  Rng client_rng(7), server_rng(8);
+
+  const auto run_once = [&](bool require_resumed) -> bool {
+    net::ChannelPair pair = net::make_memory_channel_pair();
+    auto server_future = std::async(std::launch::async, [&] {
+      return tls::gssl_server_handshake(*pair.b, server_cfg, clock,
+                                        server_rng);
+    });
+    Result<tls::GsslSessionPtr> client_result =
+        tls::gssl_client_handshake(*pair.a, client_cfg, clock, client_rng);
+    Result<tls::GsslSessionPtr> server_result = server_future.get();
+    if (!client_result.is_ok() || !server_result.is_ok()) return false;
+    const tls::GsslSessionPtr client = client_result.take();
+    return !require_resumed || client->stats().resumed;
+  };
+
+  // Prime the ticket cache with one (unmeasured) full handshake; every
+  // measured iteration then resumes, each refreshing the cached ticket.
+  if (resumed && !run_once(/*require_resumed=*/false)) {
+    state.SkipWithError("priming handshake failed");
+    return;
+  }
+  for (auto _ : state) {
+    if (!run_once(/*require_resumed=*/resumed)) {
+      state.SkipWithError("handshake failed");
+      return;
+    }
+  }
+}
+
+// arg: 0 = full handshake, 1 = ticket resumption
+BENCHMARK(BM_GsslConnectionSetup)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
 
 // Cost of adding one more site to an existing deployment (the marginal
 // "easy lightweight deployment" the paper emphasizes): S-1 tunnel

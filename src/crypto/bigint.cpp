@@ -307,17 +307,156 @@ u64 BigInt::mod_u64(u64 divisor) const {
   return static_cast<u64>(rem);
 }
 
+namespace {
+
+// Montgomery arithmetic on fixed-width limb vectors. All vectors have
+// exactly k = modulus limbs; values are < modulus. Replacing the
+// divmod-per-step square-and-multiply with REDC turns each modular
+// multiplication into two schoolbook passes and no division — the win
+// that makes RSA private-key operations handshake-rate cheap.
+
+// -n^{-1} mod 2^64 via Newton iteration (n odd): each step doubles the
+// number of correct low bits, so five steps cover 64.
+u64 mont_n0_inv(u64 n0) {
+  u64 inv = n0;  // correct to 3 bits for odd n0
+  for (int i = 0; i < 5; ++i) inv *= 2 - n0 * inv;
+  return ~inv + 1;  // -inv mod 2^64
+}
+
+// CIOS (coarsely integrated operand scanning) Montgomery multiplication:
+// out = a * b * R^{-1} mod n, with R = 2^(64k).
+void mont_mul(const std::vector<u64>& a, const std::vector<u64>& b,
+              const std::vector<u64>& n, u64 n0_inv, std::vector<u64>& out,
+              std::vector<u64>& scratch) {
+  const std::size_t k = n.size();
+  scratch.assign(k + 2, 0);
+  u64* t = scratch.data();
+  for (std::size_t i = 0; i < k; ++i) {
+    const u64 ai = a[i];
+    u64 carry = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const u128 cur = static_cast<u128>(ai) * b[j] + t[j] + carry;
+      t[j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    u128 sum = static_cast<u128>(t[k]) + carry;
+    t[k] = static_cast<u64>(sum);
+    t[k + 1] = static_cast<u64>(sum >> 64);
+
+    const u64 mi = t[0] * n0_inv;
+    u128 cur = static_cast<u128>(mi) * n[0] + t[0];
+    carry = static_cast<u64>(cur >> 64);
+    for (std::size_t j = 1; j < k; ++j) {
+      cur = static_cast<u128>(mi) * n[j] + t[j] + carry;
+      t[j - 1] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    sum = static_cast<u128>(t[k]) + carry;
+    t[k - 1] = static_cast<u64>(sum);
+    t[k] = t[k + 1] + static_cast<u64>(sum >> 64);
+  }
+
+  // Result is t[0..k] with t[k] in {0,1}; one conditional subtract
+  // brings it below n.
+  bool ge = t[k] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k; i-- > 0;) {
+      if (t[i] != n[i]) {
+        ge = t[i] > n[i];
+        break;
+      }
+    }
+  }
+  out.assign(k, 0);
+  if (ge) {
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const u128 sub = static_cast<u128>(t[i]) - n[i] - borrow;
+      out[i] = static_cast<u64>(sub);
+      borrow = (sub >> 64) ? 1 : 0;
+    }
+  } else {
+    std::copy(t, t + k, out.begin());
+  }
+}
+
+}  // namespace
+
 BigInt BigInt::mod_exp(const BigInt& base, const BigInt& exponent,
                        const BigInt& m) {
   assert(!m.is_zero());
   if (m.is_one()) return BigInt();
-  BigInt result = from_u64(1);
-  BigInt b = base.mod(m);
-  const std::size_t bits = exponent.bit_length();
-  for (std::size_t i = 0; i < bits; ++i) {
-    if (exponent.bit(i)) result = (result * b).mod(m);
-    b = (b * b).mod(m);
+  if (exponent.is_zero()) return from_u64(1);
+
+  // Montgomery REDC needs an odd modulus; every RSA modulus and prime is.
+  // Fall back to plain square-and-multiply otherwise.
+  if (!m.is_odd()) {
+    BigInt result = from_u64(1);
+    BigInt b = base.mod(m);
+    const std::size_t bits = exponent.bit_length();
+    for (std::size_t i = 0; i < bits; ++i) {
+      if (exponent.bit(i)) result = (result * b).mod(m);
+      b = (b * b).mod(m);
+    }
+    return result;
   }
+
+  const std::size_t k = m.limbs_.size();
+  const std::vector<u64>& n = m.limbs_;
+  const u64 n0_inv = mont_n0_inv(n[0]);
+
+  auto pad = [k](const BigInt& v) {
+    std::vector<u64> out(v.limbs_);
+    out.resize(k, 0);
+    return out;
+  };
+
+  // R^2 mod n (one divmod at setup), then to_mont(x) = mont_mul(x, rr).
+  const std::vector<u64> rr = pad((from_u64(1) << (128 * k)).mod(m));
+
+  std::vector<u64> scratch;
+  std::vector<u64> one_m;  // 1 in Montgomery form, i.e. R mod n
+  mont_mul(pad(from_u64(1)), rr, n, n0_inv, one_m, scratch);
+
+  // Fixed windows: precompute base^1..base^(2^w - 1) in Montgomery form.
+  // Short exponents (e.g. the public e = 65537) don't amortize a table,
+  // so they use 1-bit windows.
+  const std::size_t bits = exponent.bit_length();
+  const std::size_t kWindow = bits < 32 ? 1 : 4;
+  std::vector<std::vector<u64>> table(std::size_t{1} << kWindow);
+  mont_mul(pad(base.mod(m)), rr, n, n0_inv, table[1], scratch);
+  for (std::size_t i = 2; i < table.size(); ++i) {
+    mont_mul(table[i - 1], table[1], n, n0_inv, table[i], scratch);
+  }
+
+  const std::size_t windows = (bits + kWindow - 1) / kWindow;
+  std::vector<u64> acc = one_m;
+  std::vector<u64> tmp;
+  for (std::size_t w = windows; w-- > 0;) {
+    for (std::size_t s = 0; s < kWindow; ++s) {
+      mont_mul(acc, acc, n, n0_inv, tmp, scratch);
+      acc.swap(tmp);
+    }
+    std::size_t idx = 0;
+    for (std::size_t b = 0; b < kWindow; ++b) {
+      if (exponent.bit(w * kWindow + b)) idx |= std::size_t{1} << b;
+    }
+    if (idx != 0) {
+      mont_mul(acc, table[idx], n, n0_inv, tmp, scratch);
+      acc.swap(tmp);
+    }
+  }
+
+  // Leave Montgomery form: multiply by 1 (i.e. mont_mul with [1,0,..]).
+  std::vector<u64> plain_one(k, 0);
+  plain_one[0] = 1;
+  std::vector<u64> result_limbs;
+  mont_mul(acc, plain_one, n, n0_inv, result_limbs, scratch);
+
+  BigInt result;
+  result.limbs_ = std::move(result_limbs);
+  result.trim();
   return result;
 }
 

@@ -1,7 +1,9 @@
 // Arbitrary-precision unsigned integers, from scratch, sized for RSA
 // (512–2048 bit operands). Little-endian 64-bit limbs, schoolbook
-// multiplication and Knuth Algorithm D division — ample for grid-middleware
-// handshake rates.
+// multiplication and Knuth Algorithm D division; modular exponentiation
+// uses Montgomery (CIOS) multiplication with fixed 4-bit windows for odd
+// moduli, which is what makes full GSSL handshakes cheap enough to serve
+// at proxy rates.
 #pragma once
 
 #include <cstdint>
@@ -75,7 +77,9 @@ class BigInt {
   static DivMod divmod(const BigInt& dividend, const BigInt& divisor);
   BigInt mod(const BigInt& m) const;
 
-  /// (base ^ exponent) mod m; m must be > 0.
+  /// (base ^ exponent) mod m; m must be > 0. Odd moduli (the RSA case)
+  /// take a Montgomery fixed-window fast path; even moduli fall back to
+  /// square-and-multiply.
   static BigInt mod_exp(const BigInt& base, const BigInt& exponent,
                         const BigInt& m);
   /// Multiplicative inverse of a mod m, or nullopt if gcd(a, m) != 1.

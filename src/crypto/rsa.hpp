@@ -35,8 +35,8 @@ struct RsaPrivateKey {
   BigInt n;
   BigInt e;
   BigInt d;  // private exponent
-  BigInt p;
-  BigInt q;
+  BigInt p;  // prime factors; when non-zero, private-key operations use
+  BigInt q;  // CRT (≈4× faster). Zero p/q fall back to plain m^d mod n.
 
   RsaPublicKey public_key() const { return {n, e}; }
 };

@@ -1,10 +1,12 @@
 #include "grid/grid.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <thread>
 
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 #include "net/memory_channel.hpp"
 #include "telemetry/trace.hpp"
 
@@ -148,34 +150,60 @@ Result<std::unique_ptr<Grid>> GridBuilder::build() {
         std::make_unique<proxy::ProxyServer>(std::move(config));
   }
 
-  // Full mesh of inter-proxy tunnels. Handshakes block, so each pair runs
-  // the two halves on two threads.
-  for (std::size_t i = 0; i < site_order_.size(); ++i) {
-    for (std::size_t j = i + 1; j < site_order_.size(); ++j) {
-      const std::string& a = site_order_[i];
-      const std::string& b = site_order_[j];
-      net::ChannelPair pair = net::make_memory_channel_pair();
-      net::ChannelPtr end_a = std::move(pair.a);
-      net::ChannelPtr end_b = std::move(pair.b);
-      if (grid->inter_injector_) {
-        end_a = net::make_faulty_channel(std::move(end_a),
-                                         grid->inter_injector_,
-                                         net::FaultDirection::kForward);
-        end_b = net::make_faulty_channel(std::move(end_b),
-                                         grid->inter_injector_,
-                                         net::FaultDirection::kReverse);
+  // Full mesh of inter-proxy tunnels. Each pair's two handshake halves
+  // must run concurrently (they block on each other), and the pairs are
+  // independent of one another — so the S²/2 handshakes dispatch across a
+  // bounded worker pool instead of running one pair at a time. Channel
+  // construction stays sequential so fault-injector wiring and builder rng
+  // draws remain deterministic.
+  {
+    struct TunnelTask {
+      std::string a, b;
+      net::ChannelPtr end_a, end_b;
+      Status initiate_status, accept_status;
+    };
+    std::vector<TunnelTask> tunnels;
+    for (std::size_t i = 0; i < site_order_.size(); ++i) {
+      for (std::size_t j = i + 1; j < site_order_.size(); ++j) {
+        TunnelTask task;
+        task.a = site_order_[i];
+        task.b = site_order_[j];
+        net::ChannelPair pair = net::make_memory_channel_pair();
+        task.end_a = std::move(pair.a);
+        task.end_b = std::move(pair.b);
+        if (grid->inter_injector_) {
+          task.end_a = net::make_faulty_channel(std::move(task.end_a),
+                                                grid->inter_injector_,
+                                                net::FaultDirection::kForward);
+          task.end_b = net::make_faulty_channel(std::move(task.end_b),
+                                                grid->inter_injector_,
+                                                net::FaultDirection::kReverse);
+        }
+        tunnels.push_back(std::move(task));
       }
+    }
 
-      Status accept_status;
-      std::thread acceptor([&] {
-        accept_status =
-            grid->proxies_[b]->connect_peer(a, std::move(end_b), false);
+    const std::size_t workers = std::min<std::size_t>(
+        std::max<std::size_t>(std::thread::hardware_concurrency(), 2), 8);
+    ThreadPool pool(std::min(workers, std::max<std::size_t>(tunnels.size(), 1)));
+    for (TunnelTask& task : tunnels) {
+      pool.submit([&grid, &task] {
+        // The accepting half gets its own thread so both halves of this
+        // pair progress; the pool slot runs the initiating half inline
+        // (never a slot waiting on another queued task — no deadlock).
+        std::thread acceptor([&] {
+          task.accept_status = grid->proxies_.at(task.b)->connect_peer(
+              task.a, std::move(task.end_b), false);
+        });
+        task.initiate_status = grid->proxies_.at(task.a)->connect_peer(
+            task.b, std::move(task.end_a), true);
+        acceptor.join();
       });
-      const Status initiate_status =
-          grid->proxies_[a]->connect_peer(b, std::move(end_a), true);
-      acceptor.join();
-      PG_RETURN_IF_ERROR(initiate_status);
-      PG_RETURN_IF_ERROR(accept_status);
+    }
+    pool.shutdown();
+    for (const TunnelTask& task : tunnels) {
+      PG_RETURN_IF_ERROR(task.initiate_status);
+      PG_RETURN_IF_ERROR(task.accept_status);
     }
   }
 

@@ -95,6 +95,8 @@ Result<std::unique_ptr<NodeAgent>> NodeAgent::create(NodeAgentConfig config,
     if (agent->config_.clock == nullptr)
       return error(ErrorCode::kInvalidArgument,
                    "encrypted node link needs a clock");
+    if (agent->config_.gssl.resumption_store == nullptr)
+      agent->config_.gssl.resumption_store = &agent->resumption_store_;
     Rng rng(agent->config_.rng_seed);
     Result<tls::GsslSessionPtr> session = tls::gssl_client_handshake(
         *channel, agent->config_.gssl, *agent->config_.clock, rng);

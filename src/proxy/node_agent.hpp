@@ -122,6 +122,10 @@ class NodeAgent {
   void retransmit_fire();
 
   NodeAgentConfig config_;
+  /// Ticket cache for this agent's own dials: a re-created agent config can
+  /// point at an external store, but by default each agent caches the ticket
+  /// the proxy issued so its next dial resumes without RSA work.
+  tls::ResumptionStore resumption_store_;
   ConnectionPtr connection_;
   std::atomic<bool> shut_down_{false};
 

@@ -29,6 +29,7 @@ std::uint64_t site_salt(const std::string& site) {
 
 ProxyServer::ProxyServer(ProxyConfig config)
     : config_(std::move(config)),
+      resumption_keeper_(config_.ticket_key, config_.ticket_lifetime),
       authenticator_(config_.site, config_.ticket_key,
                      config_.ticket_lifetime),
       collector_(config_.site),
@@ -44,8 +45,16 @@ ProxyServer::~ProxyServer() { shutdown(); }
 
 tls::GsslConfig ProxyServer::gssl_config(
     const std::string& expected_peer) const {
-  return tls::GsslConfig{config_.identity, config_.ca_name, config_.ca_key,
-                         expected_peer};
+  tls::GsslConfig cfg{config_.identity, config_.ca_name, config_.ca_key,
+                      expected_peer};
+  if (config_.session_resumption) {
+    // Both roles on every tunnel: accepting sides honour tickets, dialing
+    // sides present them — so auto-reconnect after a link purge is
+    // resumption-first regardless of which end re-dials.
+    cfg.resumption = &resumption_keeper_;
+    cfg.resumption_store = &resumption_store_;
+  }
+  return cfg;
 }
 
 // ------------------------------------------------------------ composition

@@ -63,6 +63,10 @@ struct ProxyConfig {
   const Clock* clock = nullptr;
   std::uint64_t rng_seed = 1;
   SecurityMode mode = SecurityMode::kProxyTunneling;
+  /// GSSL session resumption on every tunnel this proxy accepts or dials:
+  /// reconnects (auto-heal, link flaps) skip the RSA handshake via sealed
+  /// tickets under the realm ticket_key. Tickets share ticket_lifetime.
+  bool session_resumption = true;
 
   // ---- resilience knobs (docs/RESILIENCE.md) ----
   /// Retry/deadline policy for control RPCs to peers and nodes.
@@ -459,6 +463,12 @@ class ProxyServer {
   Status dispatch_extension(const proto::Envelope& envelope, Connection& conn);
 
   ProxyConfig config_;
+  // Resumption state shared by every tunnel: the keeper opens/issues
+  // tickets sealed under the realm ticket key (so any proxy of the realm
+  // accepts any proxy's tickets), the store caches tickets for peers this
+  // proxy dials. See tls/resumption.hpp.
+  mutable tls::ResumptionKeeper resumption_keeper_;
+  mutable tls::ResumptionStore resumption_store_;
   auth::UserAuthenticator authenticator_;
   monitor::SiteCollector collector_;
   monitor::GridStatusCache status_cache_;

@@ -26,6 +26,11 @@ std::string string_or(const Json& obj, const std::string& key,
   return v && v->is_string() ? v->as_string() : fallback;
 }
 
+bool bool_or(const Json& obj, const std::string& key, bool fallback) {
+  const Json* v = obj.find(key);
+  return v && v->is_bool() ? v->as_bool() : fallback;
+}
+
 /// Seconds-denominated config field -> TimeMicros.
 TimeMicros seconds_field(const Json& obj, const std::string& key,
                          TimeMicros fallback) {
@@ -290,6 +295,12 @@ Result<ScenarioConfig> parse_scenario(const std::string& json_text) {
       seconds_field(json, "status_max_age_s", 5 * config.status_interval);
   config.batch_window_messages = static_cast<std::uint32_t>(
       number_or(json, "batch_window_messages", config.batch_window_messages));
+  config.session_resumption =
+      bool_or(json, "session_resumption", config.session_resumption);
+  config.resumption_ticket_lifetime = seconds_field(
+      json, "resumption_ticket_lifetime_s", config.resumption_ticket_lifetime);
+  if (config.resumption_ticket_lifetime <= 0)
+    return invalid("resumption_ticket_lifetime_s must be > 0");
   if (config.duration <= 0) return invalid("duration_s must be > 0");
   if (config.status_interval <= 0)
     return invalid("status_interval_s must be > 0");

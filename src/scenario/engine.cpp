@@ -61,6 +61,10 @@ struct LinkState {
   /// Severed links re-handshake on heal; the link carries traffic again
   /// only from this time on.
   TimeMicros usable_from = 0;
+  /// When the live session last issued a resumption ticket: the bring-up
+  /// handshake at t=0, refreshed by every re-handshake. Heals within the
+  /// ticket lifetime run the abbreviated handshake.
+  TimeMicros ticket_issued_at = 0;
 
   sim::LinkProfile effective() const {
     sim::LinkProfile p = profile;
@@ -127,6 +131,7 @@ class Engine {
   // ---- fault plane
   void apply_timeline_event(const TimelineEvent& event);
   LinkState* link(std::size_t a, std::size_t b);
+  TimeMicros rehandshake_cost(LinkState& l, TimeMicros now);
   void set_partition(const std::vector<std::size_t>& group, bool severed,
                      TimeMicros usable_from);
   void start_probe(const std::string& label,
@@ -691,6 +696,26 @@ LinkState* Engine::link(std::size_t a, std::size_t b) {
   return &links_.at({std::min(a, b), std::max(a, b)});
 }
 
+TimeMicros Engine::rehandshake_cost(LinkState& l, TimeMicros now) {
+  // A healed link redoes the GSSL handshake before carrying traffic. With
+  // a fresh-enough resumption ticket that is one round trip (abbreviated
+  // handshake, no RSA); otherwise two (full handshake). Either way the new
+  // session leaves a refreshed ticket behind for the next flap.
+  const TimeMicros full = 4 * l.profile.latency;
+  const TimeMicros resumed = 2 * l.profile.latency;
+  const bool resumable =
+      config_.session_resumption &&
+      now - l.ticket_issued_at <= config_.resumption_ticket_lifetime;
+  l.ticket_issued_at = now;
+  if (!resumable) {
+    ++stats_.handshakes_full;
+    return full;
+  }
+  ++stats_.handshakes_resumed;
+  stats_.handshake_wait_saved += full - resumed;
+  return resumed;
+}
+
 void Engine::set_partition(const std::vector<std::size_t>& group,
                            bool severed, TimeMicros heal_time) {
   std::set<std::size_t> members(group.begin(), group.end());
@@ -699,9 +724,7 @@ void Engine::set_partition(const std::vector<std::size_t>& group,
     const bool b_in = members.count(key.second) > 0;
     if (a_in == b_in) continue;  // same side
     l.alive = !severed;
-    // Healed links redo the GSSL handshake (two round trips) before
-    // carrying traffic again.
-    if (!severed) l.usable_from = heal_time + 4 * l.profile.latency;
+    if (!severed) l.usable_from = heal_time + rehandshake_cost(l, heal_time);
   }
 }
 
@@ -810,9 +833,8 @@ void Engine::apply_timeline_event(const TimelineEvent& event) {
                                                            event] {
           LinkState* heal = link(a, b);
           heal->alive = true;
-          // Re-established links redo the GSSL handshake: two round
-          // trips on the link before data flows again.
-          heal->usable_from = queue_.now() + 4 * heal->profile.latency;
+          heal->usable_from =
+              queue_.now() + rehandshake_cost(*heal, queue_.now());
           const TimeMicros healed = queue_.now();
           log("timeline heal_link " + event.link_a + "-" + event.link_b);
           start_probe(

@@ -70,6 +70,15 @@ Result<double> ScenarioStats::metric(const std::string& name) const {
   if (name == "dataplane.bulk_frames")
     return static_cast<double>(lane_bulk_frames);
   if (name == "dataplane.latency_wait_saved_s") return lane_wait_saved_s;
+  if (name == "handshake.full") return static_cast<double>(handshakes_full);
+  if (name == "handshake.resumed")
+    return static_cast<double>(handshakes_resumed);
+  if (name == "handshake.resumed_ratio") {
+    const double total =
+        static_cast<double>(handshakes_full + handshakes_resumed);
+    return total > 0 ? static_cast<double>(handshakes_resumed) / total : 0.0;
+  }
+  if (name == "handshake.wait_saved_s") return seconds(handshake_wait_saved);
   if (name == "recovery.events") return rec.count;
   if (name == "recovery.converged") return rec.converged;
   if (name == "recovery.unconverged") return rec.count - rec.converged;
@@ -108,6 +117,10 @@ std::vector<std::string> ScenarioStats::metric_names() {
       "dataplane.latency_frames",
       "dataplane.bulk_frames",
       "dataplane.latency_wait_saved_s",
+      "handshake.full",
+      "handshake.resumed",
+      "handshake.resumed_ratio",
+      "handshake.wait_saved_s",
       "recovery.events",
       "recovery.converged",
       "recovery.unconverged",

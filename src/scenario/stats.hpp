@@ -56,6 +56,13 @@ struct ScenarioStats {
   std::uint64_t lane_bulk_frames = 0;
   double lane_wait_saved_s = 0;
 
+  // handshake.* — re-handshakes run when severed links heal: full (two
+  // round trips, RSA on both ends) vs. ticket resumption (one round trip,
+  // symmetric crypto only), plus the link downtime resumption avoided.
+  std::uint64_t handshakes_full = 0;
+  std::uint64_t handshakes_resumed = 0;
+  TimeMicros handshake_wait_saved = 0;
+
   // recovery.*
   std::vector<RecoveryRecord> recoveries;
 

@@ -22,6 +22,9 @@ struct TlsInstruments {
   telemetry::Histogram& open_micros;
   telemetry::Counter& records_sealed;
   telemetry::Counter& records_opened;
+  telemetry::Counter& handshakes_full;
+  telemetry::Counter& handshakes_resumed;
+  telemetry::Counter& handshakes_resume_rejected;
 
   static TlsInstruments& get() {
     auto& registry = telemetry::MetricRegistry::global();
@@ -50,6 +53,15 @@ struct TlsInstruments {
         registry.counter("pg_tls_records_total",
                          "GSSL data records protected/unprotected",
                          {{"op", "open"}}),
+        registry.counter("pg_handshake_total",
+                         "GSSL handshakes completed by kind",
+                         {{"kind", "full"}}),
+        registry.counter("pg_handshake_total",
+                         "GSSL handshakes completed by kind",
+                         {{"kind", "resumed"}}),
+        registry.counter("pg_handshake_total",
+                         "GSSL handshakes completed by kind",
+                         {{"kind", "resume_rejected"}}),
     };
     return instruments;
   }
@@ -70,35 +82,52 @@ enum class HsType : std::uint8_t {
   kKeyExchange = 3,
   kCertVerify = 4,
   kFinished = 5,
+  kServerHelloResume = 6,  // server accepted the offered ticket
+  kNewTicket = 7,          // fresh ticket after a full handshake
 };
+
+// Hello flags: the dialing side advertises it can cache tickets, the
+// accepting side that a kNewTicket message follows its Finished.
+constexpr std::uint8_t kFlagResumption = 0x01;
 
 // ---------------------------------------------------------------------
 // Handshake message encoding.
 
 Bytes encode_hello(HsType type, BytesView nonce,
-                   const crypto::Certificate& cert) {
+                   const crypto::Certificate& cert, std::uint8_t flags,
+                   BytesView ticket) {
   BufferWriter w;
   w.put_u8(static_cast<std::uint8_t>(type));
   w.put_bytes(nonce);
   w.put_bytes(cert.serialize());
+  w.put_u8(flags);
+  w.put_bytes(ticket);
   return w.take();
 }
 
 struct Hello {
+  HsType type = HsType::kClientHello;
   Bytes nonce;
   crypto::Certificate certificate;
+  std::uint8_t flags = 0;
+  Bytes ticket;  // offered (ClientHello) or refreshed (ServerHelloResume)
 };
 
-Result<Hello> decode_hello(HsType expected, BytesView payload) {
+Result<Hello> decode_hello(BytesView payload) {
   BufferReader r(payload);
   std::uint8_t type = 0;
   PG_RETURN_IF_ERROR(r.get_u8(type));
-  if (type != static_cast<std::uint8_t>(expected))
+  if (type != static_cast<std::uint8_t>(HsType::kClientHello) &&
+      type != static_cast<std::uint8_t>(HsType::kServerHello) &&
+      type != static_cast<std::uint8_t>(HsType::kServerHelloResume))
     return error(ErrorCode::kProtocolError, "unexpected handshake message");
   Hello hello;
+  hello.type = static_cast<HsType>(type);
   Bytes cert_bytes;
   PG_RETURN_IF_ERROR(r.get_bytes(hello.nonce));
   PG_RETURN_IF_ERROR(r.get_bytes(cert_bytes));
+  PG_RETURN_IF_ERROR(r.get_u8(hello.flags));
+  PG_RETURN_IF_ERROR(r.get_bytes(hello.ticket));
   PG_RETURN_IF_ERROR(r.expect_end());
   if (hello.nonce.size() != kNonceSize)
     return error(ErrorCode::kProtocolError, "bad hello nonce size");
@@ -160,6 +189,22 @@ SessionKeys derive_keys(BytesView master) {
   keys.client_iv = slice(128, 12);
   keys.server_iv = slice(140, 12);
   return keys;
+}
+
+// Resumption key schedule: the ticket secret plays the premaster's role.
+// Both sides derive the secret from the previous session's master, and a
+// fresh master from it plus both new nonces — so every resumed connection
+// gets keys and IVs unrelated to any earlier connection's.
+Bytes derive_resumption_master(BytesView secret, BytesView client_nonce,
+                               BytesView server_nonce) {
+  Bytes salt;
+  append(salt, client_nonce);
+  append(salt, server_nonce);
+  return crypto::hkdf(salt, secret, to_bytes("gssl resumption master"), 32);
+}
+
+Bytes derive_resumption_secret(BytesView master) {
+  return crypto::hkdf_expand(master, to_bytes("gssl resumption secret"), 32);
 }
 
 Bytes finished_mac(BytesView master, std::string_view label,
@@ -229,12 +274,13 @@ class GsslSessionImpl final : public GsslSession {
  public:
   GsslSessionImpl(net::Channel& channel, RecordCipher send_cipher,
                   RecordCipher recv_cipher, crypto::Certificate peer,
-                  std::uint64_t handshake_bytes)
+                  std::uint64_t handshake_bytes, bool resumed = false)
       : channel_(channel),
         send_cipher_(std::move(send_cipher)),
         recv_cipher_(std::move(recv_cipher)),
         peer_(std::move(peer)),
-        handshake_bytes_(handshake_bytes) {}
+        handshake_bytes_(handshake_bytes),
+        resumed_(resumed) {}
 
   Status send(BytesView message) override {
     std::lock_guard<std::mutex> lock(send_mutex_);
@@ -310,6 +356,7 @@ class GsslSessionImpl final : public GsslSession {
     stats.ciphertext_bytes_sent =
         ciphertext_bytes_sent_.load(std::memory_order_relaxed);
     stats.handshake_bytes = handshake_bytes_;
+    stats.resumed = resumed_;
     return stats;
   }
 
@@ -323,6 +370,7 @@ class GsslSessionImpl final : public GsslSession {
   Bytes send_buf_;               // guarded by send_mutex_
   internal::Record recv_record_;  // guarded by recv_mutex_
   const std::uint64_t handshake_bytes_;
+  const bool resumed_;
   std::atomic<std::uint64_t> records_sent_{0};
   std::atomic<std::uint64_t> records_received_{0};
   std::atomic<std::uint64_t> plaintext_bytes_sent_{0};
@@ -337,16 +385,25 @@ Result<GsslSessionPtr> gssl_client_handshake(net::Channel& channel,
   telemetry::ScopedTimer timer(TlsInstruments::get().client_handshake_micros);
   HandshakeIo io(channel);
 
+  // A cached ticket for the expected peer rides along in the ClientHello.
+  // (With no expected peer there is no lookup key, so dial full.)
+  ResumptionStore* store = config.resumption_store;
+  std::optional<ResumptionStore::Entry> cached;
+  if (store != nullptr && !config.expected_peer.empty())
+    cached = store->lookup(config.expected_peer);
+
   // -> ClientHello
   const Bytes client_nonce = rng.next_bytes(kNonceSize);
-  PG_RETURN_IF_ERROR(io.send(
-      encode_hello(HsType::kClientHello, client_nonce, config.identity.certificate)));
+  const std::uint8_t client_flags =
+      store != nullptr ? kFlagResumption : std::uint8_t{0};
+  PG_RETURN_IF_ERROR(io.send(encode_hello(
+      HsType::kClientHello, client_nonce, config.identity.certificate,
+      client_flags, cached ? BytesView(cached->ticket) : BytesView())));
 
-  // <- ServerHello
+  // <- ServerHello | ServerHelloResume
   Result<Bytes> sh_payload = io.recv();
   if (!sh_payload.is_ok()) return sh_payload.status();
-  Result<Hello> server_hello =
-      decode_hello(HsType::kServerHello, sh_payload.value());
+  Result<Hello> server_hello = decode_hello(sh_payload.value());
   if (!server_hello.is_ok()) return server_hello.status();
   {
     const Status cert_ok =
@@ -355,6 +412,48 @@ Result<GsslSessionPtr> gssl_client_handshake(net::Channel& channel,
       io.send_alert(cert_ok.to_string());
       return cert_ok;
     }
+  }
+
+  if (server_hello.value().type == HsType::kServerHelloResume) {
+    if (!cached) {
+      io.send_alert("unsolicited resumption");
+      return error(ErrorCode::kProtocolError,
+                   "server resumed without an offered ticket");
+    }
+    const Bytes master = derive_resumption_master(
+        cached->secret, client_nonce, server_hello.value().nonce);
+
+    // <- Finished (server authenticates first on the abbreviated path)
+    const Bytes pre_server_fin_transcript = io.transcript();
+    Result<Bytes> fin_payload = io.recv();
+    if (!fin_payload.is_ok()) return fin_payload.status();
+    Result<Bytes> server_fin =
+        decode_blob(HsType::kFinished, fin_payload.value());
+    if (!server_fin.is_ok()) return server_fin.status();
+    const Bytes expected_fin =
+        finished_mac(master, "server finished", pre_server_fin_transcript);
+    if (!constant_time_equal(server_fin.value(), expected_fin))
+      return error(ErrorCode::kCryptoError, "server Finished MAC mismatch");
+
+    // -> Finished
+    const Bytes client_fin =
+        finished_mac(master, "client finished", io.transcript());
+    PG_RETURN_IF_ERROR(io.send(encode_blob(HsType::kFinished, client_fin)));
+
+    // The ServerHelloResume carries a refreshed ticket for the next dial.
+    if (!server_hello.value().ticket.empty()) {
+      store->put(server_hello.value().certificate.subject,
+                 {server_hello.value().ticket,
+                  derive_resumption_secret(master)});
+    }
+
+    TlsInstruments::get().handshakes_resumed.increment();
+    const SessionKeys keys = derive_keys(master);
+    return GsslSessionPtr(new GsslSessionImpl(
+        channel,
+        RecordCipher(keys.client_key, keys.client_mac, keys.client_iv),
+        RecordCipher(keys.server_key, keys.server_mac, keys.server_iv),
+        server_hello.value().certificate, io.bytes(), /*resumed=*/true));
   }
 
   // -> KeyExchange (premaster under the server's public key)
@@ -389,6 +488,19 @@ Result<GsslSessionPtr> gssl_client_handshake(net::Channel& channel,
   if (!constant_time_equal(server_fin.value(), expected_fin))
     return error(ErrorCode::kCryptoError, "server Finished MAC mismatch");
 
+  // <- NewTicket (only when the server announced one in its hello)
+  if ((server_hello.value().flags & kFlagResumption) != 0) {
+    Result<Bytes> nt_payload = io.recv();
+    if (!nt_payload.is_ok()) return nt_payload.status();
+    Result<Bytes> ticket = decode_blob(HsType::kNewTicket, nt_payload.value());
+    if (!ticket.is_ok()) return ticket.status();
+    if (store != nullptr && !ticket.value().empty()) {
+      store->put(server_hello.value().certificate.subject,
+                 {ticket.take(), derive_resumption_secret(master)});
+    }
+  }
+
+  TlsInstruments::get().handshakes_full.increment();
   const SessionKeys keys = derive_keys(master);
   return GsslSessionPtr(new GsslSessionImpl(
       channel,
@@ -406,9 +518,10 @@ Result<GsslSessionPtr> gssl_server_handshake(net::Channel& channel,
   // <- ClientHello
   Result<Bytes> ch_payload = io.recv();
   if (!ch_payload.is_ok()) return ch_payload.status();
-  Result<Hello> client_hello =
-      decode_hello(HsType::kClientHello, ch_payload.value());
+  Result<Hello> client_hello = decode_hello(ch_payload.value());
   if (!client_hello.is_ok()) return client_hello.status();
+  if (client_hello.value().type != HsType::kClientHello)
+    return error(ErrorCode::kProtocolError, "unexpected handshake message");
   {
     const Status cert_ok =
         verify_peer_cert(client_hello.value().certificate, config, clock);
@@ -417,11 +530,68 @@ Result<GsslSessionPtr> gssl_server_handshake(net::Channel& channel,
       return cert_ok;
     }
   }
+  const std::string& client_subject = client_hello.value().certificate.subject;
+  const bool client_caches =
+      (client_hello.value().flags & kFlagResumption) != 0;
 
-  // -> ServerHello
+  // An offered ticket that opens cleanly and matches the authenticated
+  // client subject takes the abbreviated path. Any open failure (tamper,
+  // expiry, rotated realm key) silently continues with the full
+  // handshake — the client only ever sees a normal ServerHello.
+  bool ticket_rejected = false;
+  ResumptionKeeper* keeper = config.resumption;
+  if (keeper != nullptr && !client_hello.value().ticket.empty()) {
+    Result<ResumptionTicket> ticket =
+        keeper->open(client_hello.value().ticket, clock.now());
+    if (ticket.is_ok() && ticket.value().peer_subject == client_subject) {
+      const Bytes server_nonce = rng.next_bytes(kNonceSize);
+      const Bytes master = derive_resumption_master(
+          ticket.value().secret, client_hello.value().nonce, server_nonce);
+
+      // -> ServerHelloResume, carrying a refreshed ticket for next time.
+      const Bytes next_ticket = keeper->seal(
+          client_subject, derive_resumption_secret(master), clock.now(), rng);
+      PG_RETURN_IF_ERROR(io.send(
+          encode_hello(HsType::kServerHelloResume, server_nonce,
+                       config.identity.certificate, 0, next_ticket)));
+
+      // -> Finished
+      const Bytes server_fin =
+          finished_mac(master, "server finished", io.transcript());
+      PG_RETURN_IF_ERROR(io.send(encode_blob(HsType::kFinished, server_fin)));
+
+      // <- Finished (proves the client actually holds the ticket secret)
+      const Bytes pre_client_fin_transcript = io.transcript();
+      Result<Bytes> fin_payload = io.recv();
+      if (!fin_payload.is_ok()) return fin_payload.status();
+      Result<Bytes> client_fin =
+          decode_blob(HsType::kFinished, fin_payload.value());
+      if (!client_fin.is_ok()) return client_fin.status();
+      const Bytes expected_fin =
+          finished_mac(master, "client finished", pre_client_fin_transcript);
+      if (!constant_time_equal(client_fin.value(), expected_fin)) {
+        io.send_alert("finished mismatch");
+        return error(ErrorCode::kCryptoError,
+                     "client Finished MAC mismatch");
+      }
+
+      TlsInstruments::get().handshakes_resumed.increment();
+      const SessionKeys keys = derive_keys(master);
+      return GsslSessionPtr(new GsslSessionImpl(
+          channel,
+          RecordCipher(keys.server_key, keys.server_mac, keys.server_iv),
+          RecordCipher(keys.client_key, keys.client_mac, keys.client_iv),
+          client_hello.value().certificate, io.bytes(), /*resumed=*/true));
+    }
+    ticket_rejected = true;
+  }
+
+  // -> ServerHello (flag set when a NewTicket follows our Finished)
+  const bool will_issue = keeper != nullptr && client_caches;
   const Bytes server_nonce = rng.next_bytes(kNonceSize);
   PG_RETURN_IF_ERROR(io.send(encode_hello(
-      HsType::kServerHello, server_nonce, config.identity.certificate)));
+      HsType::kServerHello, server_nonce, config.identity.certificate,
+      will_issue ? kFlagResumption : std::uint8_t{0}, BytesView())));
 
   // <- KeyExchange
   Result<Bytes> kx_payload = io.recv();
@@ -477,6 +647,17 @@ Result<GsslSessionPtr> gssl_server_handshake(net::Channel& channel,
       finished_mac(master, "server finished", io.transcript());
   PG_RETURN_IF_ERROR(io.send(encode_blob(HsType::kFinished, server_fin)));
 
+  // -> NewTicket: seed the client's cache so its next dial resumes.
+  if (will_issue) {
+    const Bytes ticket = keeper->seal(
+        client_subject, derive_resumption_secret(master), clock.now(), rng);
+    PG_RETURN_IF_ERROR(io.send(encode_blob(HsType::kNewTicket, ticket)));
+  }
+
+  auto& instruments = TlsInstruments::get();
+  (ticket_rejected ? instruments.handshakes_resume_rejected
+                   : instruments.handshakes_full)
+      .increment();
   const SessionKeys keys = derive_keys(master);
   return GsslSessionPtr(new GsslSessionImpl(
       channel,

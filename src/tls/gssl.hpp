@@ -11,6 +11,10 @@
 //   * handshake: mutual certificate authentication (both proxies present
 //     CA-signed certificates), RSA-encrypted premaster secret, HKDF key
 //     schedule, Finished MACs over the transcript.
+//   * abbreviated handshake: a sealed resumption ticket (tls/resumption.hpp)
+//     replaces the RSA key exchange and proof-of-possession on reconnect —
+//     one round trip, zero RSA private-key operations, fresh keys per
+//     connection. See docs/PROTOCOL.md "Session resumption".
 //
 // Threat model matches the paper: the inter-site network is untrusted;
 // intra-site traffic is plaintext by default (see tls/link.hpp).
@@ -26,6 +30,7 @@
 #include "crypto/cert.hpp"
 #include "crypto/rsa.hpp"
 #include "net/channel.hpp"
+#include "tls/resumption.hpp"
 
 namespace pg::tls {
 
@@ -36,11 +41,19 @@ struct GsslIdentity {
 };
 
 /// Everything needed to run a handshake, minus the channel.
+///
+/// The resumption pointers are non-owning and optional. With a keeper the
+/// accepting side issues tickets after full handshakes and accepts them in
+/// abbreviated ones; with a store the dialing side caches and presents
+/// them. Both sides still exchange and verify certificates on resumption —
+/// only the RSA private-key operations and one round trip are skipped.
 struct GsslConfig {
   GsslIdentity identity;
   std::string ca_name;             // trusted issuer
   crypto::RsaPublicKey ca_key;     // trusted issuer key
   std::string expected_peer;       // required peer subject; "" accepts any
+  ResumptionKeeper* resumption = nullptr;        // accept + issue tickets
+  ResumptionStore* resumption_store = nullptr;   // cache + present tickets
 };
 
 /// Byte counters for the overhead experiments.
@@ -50,6 +63,7 @@ struct GsslStats {
   std::uint64_t plaintext_bytes_sent = 0;
   std::uint64_t ciphertext_bytes_sent = 0;  // includes MAC overhead
   std::uint64_t handshake_bytes = 0;
+  bool resumed = false;  // established via the abbreviated handshake
 };
 
 /// An established secure session. Single reader + single writer per

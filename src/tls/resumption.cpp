@@ -1,0 +1,156 @@
+#include "tls/resumption.hpp"
+
+#include "common/serde.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace pg::tls {
+
+namespace {
+
+constexpr std::size_t kMacSize = 32;
+constexpr std::size_t kSecretSize = 32;
+
+struct CacheInstruments {
+  telemetry::Counter& hits;
+  telemetry::Counter& misses;
+
+  static CacheInstruments& get() {
+    auto& registry = telemetry::MetricRegistry::global();
+    static CacheInstruments instruments{
+        registry.counter("pg_resumption_cache_total",
+                         "Resumption-ticket cache lookups by result",
+                         {{"result", "hit"}}),
+        registry.counter("pg_resumption_cache_total",
+                         "Resumption-ticket cache lookups by result",
+                         {{"result", "miss"}}),
+    };
+    return instruments;
+  }
+};
+
+}  // namespace
+
+ResumptionKeeper::ResumptionKeeper(Bytes realm_key, TimeMicros lifetime)
+    : lifetime_(lifetime) {
+  derive_subkeys(realm_key);
+}
+
+void ResumptionKeeper::derive_subkeys(BytesView realm_key) {
+  // Domain-separate the encryption and MAC keys from the realm key so the
+  // same realm key can also drive TicketService without interaction.
+  enc_key_ = crypto::hkdf(Bytes{}, realm_key,
+                          to_bytes("gssl resumption ticket enc"), 32);
+  mac_key_ = crypto::hkdf(Bytes{}, realm_key,
+                          to_bytes("gssl resumption ticket mac"), 32);
+}
+
+void ResumptionKeeper::rotate_key(Bytes new_realm_key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  derive_subkeys(new_realm_key);
+}
+
+Bytes ResumptionKeeper::seal(const std::string& peer_subject,
+                             BytesView secret, TimeMicros now,
+                             Rng& rng) const {
+  BufferWriter w;
+  w.put_string(peer_subject);
+  w.put_bytes(secret);
+  w.put_u64(static_cast<std::uint64_t>(now));
+  w.put_u64(static_cast<std::uint64_t>(now + lifetime_));
+  const Bytes body = w.take();
+
+  Bytes enc_key, mac_key;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    enc_key = enc_key_;
+    mac_key = mac_key_;
+  }
+
+  // nonce || ChaCha20(body) || HMAC(nonce || ciphertext)
+  Bytes out = rng.next_bytes(crypto::kChaChaNonceSize);
+  const Bytes nonce = out;
+  append(out, crypto::chacha20_xor(enc_key, nonce, 1, body));
+  append(out, crypto::hmac_sha256(mac_key, out));
+  return out;
+}
+
+Result<ResumptionTicket> ResumptionKeeper::open(BytesView sealed,
+                                                TimeMicros now) const {
+  if (sealed.size() < crypto::kChaChaNonceSize + kMacSize + 1)
+    return error(ErrorCode::kUnauthenticated, "resumption ticket truncated");
+
+  Bytes enc_key, mac_key;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    enc_key = enc_key_;
+    mac_key = mac_key_;
+  }
+
+  const BytesView authed = sealed.subspan(0, sealed.size() - kMacSize);
+  const BytesView mac = sealed.subspan(sealed.size() - kMacSize);
+  const Bytes expected = crypto::hmac_sha256(mac_key, authed);
+  if (!constant_time_equal(mac, expected))
+    return error(ErrorCode::kUnauthenticated, "resumption ticket MAC invalid");
+
+  const BytesView nonce = sealed.subspan(0, crypto::kChaChaNonceSize);
+  const Bytes body = crypto::chacha20_xor(
+      enc_key, nonce, 1, authed.subspan(crypto::kChaChaNonceSize));
+
+  ResumptionTicket t;
+  BufferReader r(body);
+  std::uint64_t issued = 0, expires = 0;
+  PG_RETURN_IF_ERROR(r.get_string(t.peer_subject));
+  PG_RETURN_IF_ERROR(r.get_bytes(t.secret));
+  PG_RETURN_IF_ERROR(r.get_u64(issued));
+  PG_RETURN_IF_ERROR(r.get_u64(expires));
+  PG_RETURN_IF_ERROR(r.expect_end());
+  t.issued_at = static_cast<TimeMicros>(issued);
+  t.expires_at = static_cast<TimeMicros>(expires);
+
+  if (t.secret.size() != kSecretSize)
+    return error(ErrorCode::kUnauthenticated, "resumption secret malformed");
+  if (now < t.issued_at)
+    return error(ErrorCode::kUnauthenticated,
+                 "resumption ticket not yet valid");
+  if (now > t.expires_at)
+    return error(ErrorCode::kUnauthenticated, "resumption ticket expired");
+  return t;
+}
+
+void ResumptionStore::put(const std::string& peer_subject, Entry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[peer_subject] = std::move(entry);
+}
+
+std::optional<ResumptionStore::Entry> ResumptionStore::lookup(
+    const std::string& peer_subject) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(peer_subject);
+  if (it == entries_.end()) {
+    ++misses_;
+    CacheInstruments::get().misses.increment();
+    return std::nullopt;
+  }
+  ++hits_;
+  CacheInstruments::get().hits.increment();
+  return it->second;
+}
+
+void ResumptionStore::erase(const std::string& peer_subject) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.erase(peer_subject);
+}
+
+std::uint64_t ResumptionStore::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ResumptionStore::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace pg::tls

@@ -1,0 +1,92 @@
+// GSSL session resumption — the paper's §3 "single authentication per
+// session" ticket idea applied to the transport handshake itself.
+//
+// After a full handshake the server seals a resumption ticket under a
+// realm-wide ticket key (TicketService-style: any proxy of the realm can
+// open any proxy's tickets). The ticket binds the peer subject, a
+// 32-byte resumption secret derivable by both ends from the session
+// master, and a validity window. A reconnecting client presents the
+// ticket in its ClientHello; both sides then derive fresh per-direction
+// keys via HKDF over the ticket secret plus new nonces — one round trip
+// and zero RSA private-key operations. Expiry, key rotation or tampering
+// simply fall back to the full handshake, never a connection error.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace pg::tls {
+
+/// Decoded contents of a resumption ticket (only ever travels sealed).
+struct ResumptionTicket {
+  std::string peer_subject;  // client identity the ticket is bound to
+  Bytes secret;              // 32-byte resumption secret
+  TimeMicros issued_at = 0;
+  TimeMicros expires_at = 0;
+};
+
+/// Server/realm side: seals and opens resumption tickets. Tickets are
+/// encrypt-then-MAC under keys derived from the realm ticket key, so the
+/// secret inside can safely travel in plaintext handshake records.
+/// Thread-safe; shared by every accepting connection of a proxy.
+class ResumptionKeeper {
+ public:
+  ResumptionKeeper(Bytes realm_key, TimeMicros lifetime);
+
+  /// Seals (peer_subject, secret, now..now+lifetime) into an opaque
+  /// ticket the client stores and later presents.
+  Bytes seal(const std::string& peer_subject, BytesView secret,
+             TimeMicros now, Rng& rng) const;
+
+  /// Opens and validates a sealed ticket. Tamper, expiry and rotated-key
+  /// failures are ordinary errors — callers fall back to the full
+  /// handshake.
+  Result<ResumptionTicket> open(BytesView sealed, TimeMicros now) const;
+
+  /// Immediately invalidates every outstanding ticket (realm key
+  /// rotation).
+  void rotate_key(Bytes new_realm_key);
+
+  TimeMicros lifetime() const { return lifetime_; }
+
+ private:
+  void derive_subkeys(BytesView realm_key);
+
+  mutable std::mutex mutex_;
+  Bytes enc_key_;  // guarded by mutex_
+  Bytes mac_key_;  // guarded by mutex_
+  const TimeMicros lifetime_;
+};
+
+/// Client side: per-peer cache of the most recent ticket and its secret.
+/// Thread-safe; shared by every dialing connection of a proxy or node
+/// agent. Lookups feed the pg_resumption_cache_total{result} counters.
+class ResumptionStore {
+ public:
+  struct Entry {
+    Bytes ticket;  // sealed, opaque to us
+    Bytes secret;  // 32-byte resumption secret matching the ticket
+  };
+
+  void put(const std::string& peer_subject, Entry entry);
+  std::optional<Entry> lookup(const std::string& peer_subject);
+  void erase(const std::string& peer_subject);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace pg::tls

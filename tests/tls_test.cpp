@@ -79,10 +79,13 @@ class GsslTest : public ::testing::Test {
   };
 
   static SessionPair handshake(const GsslConfig& client_cfg,
-                               const GsslConfig& server_cfg) {
+                               const GsslConfig& server_cfg,
+                               const Clock* external_clock = nullptr) {
     SessionPair out;
     out.channels = net::make_memory_channel_pair();
-    ManualClock clock(1000);
+    ManualClock default_clock(1000);
+    const Clock& clock =
+        external_clock != nullptr ? *external_clock : default_clock;
     Rng client_rng(7), server_rng(8);
 
     auto server_future = std::async(std::launch::async, [&] {
@@ -287,6 +290,184 @@ TEST_F(GsslTest, PlainLinkCheaperOnWire) {
   ASSERT_TRUE(secure_rx->recv().is_ok());
 
   EXPECT_LT(plain->stats().wire_bytes_sent, secure->stats().wire_bytes_sent);
+}
+
+// ---------------------------------------------------------------------
+// Session resumption.
+
+class GsslResumptionTest : public GsslTest {
+ protected:
+  GsslResumptionTest()
+      : keeper_(to_bytes("realm-ticket-key"), 60 * kMicrosPerSecond) {}
+
+  GsslConfig client_config() {
+    GsslConfig cfg = config_for(*alice_, "proxy.siteB.grid");
+    cfg.resumption_store = &store_;
+    return cfg;
+  }
+
+  GsslConfig server_config() {
+    GsslConfig cfg = config_for(*bob_);
+    cfg.resumption = &keeper_;
+    return cfg;
+  }
+
+  ResumptionKeeper keeper_;
+  ResumptionStore store_;
+};
+
+TEST_F(GsslResumptionTest, SecondConnectionResumes) {
+  SessionPair first = handshake(client_config(), server_config());
+  ASSERT_TRUE(first.client_status.is_ok()) << first.client_status.to_string();
+  EXPECT_FALSE(first.client->stats().resumed);
+  // The full handshake seeded the client cache via NewTicket.
+  ASSERT_EQ(store_.misses(), 1u);
+
+  SessionPair second = handshake(client_config(), server_config());
+  ASSERT_TRUE(second.client_status.is_ok())
+      << second.client_status.to_string();
+  ASSERT_TRUE(second.server_status.is_ok());
+  EXPECT_TRUE(second.client->stats().resumed);
+  EXPECT_TRUE(second.server->stats().resumed);
+  EXPECT_EQ(store_.hits(), 1u);
+
+  // Certificates still authenticated on the abbreviated path.
+  EXPECT_EQ(second.client->peer_certificate().subject, "proxy.siteB.grid");
+  EXPECT_EQ(second.server->peer_certificate().subject, "proxy.siteA.grid");
+
+  // And the session carries traffic both ways.
+  ASSERT_TRUE(second.client->send(to_bytes("resumed up")).is_ok());
+  ASSERT_TRUE(second.server->send(to_bytes("resumed down")).is_ok());
+  EXPECT_EQ(to_string(second.server->recv().value()), "resumed up");
+  EXPECT_EQ(to_string(second.client->recv().value()), "resumed down");
+}
+
+TEST_F(GsslResumptionTest, RotatedKeyFallsBackToFullHandshake) {
+  SessionPair first = handshake(client_config(), server_config());
+  ASSERT_TRUE(first.client_status.is_ok());
+
+  keeper_.rotate_key(to_bytes("fresh-realm-key"));
+
+  // The stale ticket is rejected, but the connection still comes up —
+  // via a full handshake, not an error.
+  SessionPair second = handshake(client_config(), server_config());
+  ASSERT_TRUE(second.client_status.is_ok())
+      << second.client_status.to_string();
+  ASSERT_TRUE(second.server_status.is_ok());
+  EXPECT_FALSE(second.client->stats().resumed);
+  EXPECT_FALSE(second.server->stats().resumed);
+
+  // The fallback handshake re-seeded the cache under the new key.
+  SessionPair third = handshake(client_config(), server_config());
+  ASSERT_TRUE(third.client_status.is_ok());
+  EXPECT_TRUE(third.client->stats().resumed);
+}
+
+TEST_F(GsslResumptionTest, ExpiredTicketFallsBackToFullHandshake) {
+  ManualClock clock(1000);
+  SessionPair first = handshake(client_config(), server_config(), &clock);
+  ASSERT_TRUE(first.client_status.is_ok());
+
+  clock.advance(keeper_.lifetime() + kMicrosPerSecond);
+  SessionPair second = handshake(client_config(), server_config(), &clock);
+  ASSERT_TRUE(second.client_status.is_ok())
+      << second.client_status.to_string();
+  ASSERT_TRUE(second.server_status.is_ok());
+  EXPECT_FALSE(second.client->stats().resumed);
+  EXPECT_FALSE(second.server->stats().resumed);
+}
+
+TEST_F(GsslResumptionTest, TamperedTicketNeverYieldsResumedSession) {
+  SessionPair first = handshake(client_config(), server_config());
+  ASSERT_TRUE(first.client_status.is_ok());
+
+  // Flip one ciphertext bit in the cached ticket.
+  auto entry = store_.lookup("proxy.siteB.grid");
+  ASSERT_TRUE(entry.has_value());
+  entry->ticket[entry->ticket.size() / 2] ^= 0x01;
+  store_.put("proxy.siteB.grid", *entry);
+
+  SessionPair second = handshake(client_config(), server_config());
+  ASSERT_TRUE(second.client_status.is_ok())
+      << second.client_status.to_string();
+  ASSERT_TRUE(second.server_status.is_ok());
+  EXPECT_FALSE(second.client->stats().resumed);
+  EXPECT_FALSE(second.server->stats().resumed);
+}
+
+TEST_F(GsslResumptionTest, WrongSubjectTicketRejected) {
+  // A ticket sealed for a different peer subject must not resume, even
+  // though its MAC is valid.
+  const Bytes secret(32, 0x5a);
+  Rng rng(42);
+  const Bytes foreign =
+      keeper_.seal("proxy.siteC.grid", secret, 1000, rng);
+  store_.put("proxy.siteB.grid", {foreign, secret});
+
+  SessionPair pair = handshake(client_config(), server_config());
+  ASSERT_TRUE(pair.client_status.is_ok()) << pair.client_status.to_string();
+  EXPECT_FALSE(pair.client->stats().resumed);
+}
+
+TEST_F(GsslResumptionTest, ResumedSessionsUseFreshKeysPerConnection) {
+  SessionPair first = handshake(client_config(), server_config());
+  ASSERT_TRUE(first.client_status.is_ok());
+
+  // Two further connections, both resumed, both sending the identical
+  // plaintext as their first record: the ciphertext on the wire must
+  // differ (fresh nonces -> fresh master -> fresh keys/IVs).
+  const Bytes plaintext = to_bytes("identical first record");
+  Bytes wire[2];
+  for (int i = 0; i < 2; ++i) {
+    SessionPair pair = handshake(client_config(), server_config());
+    ASSERT_TRUE(pair.client_status.is_ok());
+    ASSERT_TRUE(pair.client->stats().resumed);
+    ASSERT_TRUE(pair.client->send(plaintext).is_ok());
+    Result<internal::Record> record = internal::read_record(*pair.channels.b);
+    ASSERT_TRUE(record.is_ok());
+    wire[i] = record.value().payload;
+  }
+  ASSERT_EQ(wire[0].size(), wire[1].size());
+  EXPECT_NE(wire[0], wire[1]);
+}
+
+TEST_F(GsslResumptionTest, ResumptionDisabledOnEitherSideStillConnects) {
+  SessionPair first = handshake(client_config(), server_config());
+  ASSERT_TRUE(first.client_status.is_ok());
+
+  // Server without a keeper ignores the offered ticket.
+  SessionPair no_keeper = handshake(client_config(), config_for(*bob_));
+  ASSERT_TRUE(no_keeper.client_status.is_ok());
+  EXPECT_FALSE(no_keeper.client->stats().resumed);
+
+  // Client without a store never offers one.
+  SessionPair no_store =
+      handshake(config_for(*alice_, "proxy.siteB.grid"), server_config());
+  ASSERT_TRUE(no_store.client_status.is_ok());
+  EXPECT_FALSE(no_store.client->stats().resumed);
+}
+
+TEST(ResumptionKeeper, SealOpenRoundTripAndFailures) {
+  Rng rng(11);
+  ResumptionKeeper keeper(to_bytes("key"), 1000);
+  const Bytes secret = rng.next_bytes(32);
+  const Bytes sealed = keeper.seal("proxy.siteA.grid", secret, 500, rng);
+
+  Result<ResumptionTicket> opened = keeper.open(sealed, 600);
+  ASSERT_TRUE(opened.is_ok());
+  EXPECT_EQ(opened.value().peer_subject, "proxy.siteA.grid");
+  EXPECT_EQ(opened.value().secret, secret);
+  EXPECT_EQ(opened.value().issued_at, 500);
+  EXPECT_EQ(opened.value().expires_at, 1500);
+
+  // Expired / not-yet-valid / tampered / rotated all fail closed.
+  EXPECT_FALSE(keeper.open(sealed, 2000).is_ok());
+  EXPECT_FALSE(keeper.open(sealed, 10).is_ok());
+  Bytes tampered = sealed;
+  tampered[tampered.size() / 2] ^= 0x80;
+  EXPECT_FALSE(keeper.open(tampered, 600).is_ok());
+  keeper.rotate_key(to_bytes("new-key"));
+  EXPECT_FALSE(keeper.open(sealed, 600).is_ok());
 }
 
 // Record cipher unit tests (below the session layer).
