@@ -1,0 +1,143 @@
+// Sharded proxy tier scale-out (tentpole proof for docs/PERFORMANCE.md,
+// "Sharded proxy tier").
+//
+// A closed-loop multi-user batch workload runs against one site served by
+// 1, 2, and 4 proxy shards. Each user is pinned to a shard by the
+// consistent-hash ring (grid::Grid::shard_for — the same placement every
+// peer computes) and submits jobs back-to-back; a job is a fixed "think"
+// application, so the work per job is identical across configurations and
+// the bottleneck is the per-shard proxy (its job-runner pool), not the
+// machine's core count. Aggregate throughput must scale near-linearly
+// with the shard count while per-job p99 latency stays flat or better —
+// CI gates >=1.7x jobs/s at 2 shards with p99 within 1.3x of 1 shard.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace pgbench;
+
+constexpr int kUsers = 24;
+constexpr int kJobsPerUser = 4;
+constexpr int kThinkMillis = 30;
+
+/// A job whose cost is wall time, not CPU: the per-shard runner pool is
+/// the resource under test, and sleeping jobs keep the result honest on
+/// single-core CI machines.
+void register_think_app() {
+  static const bool done = [] {
+    mpi::AppRegistry::instance().register_app(
+        "think", [](mpi::Comm&) -> Status {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(kThinkMillis));
+          return Status::ok();
+        });
+    return true;
+  }();
+  (void)done;
+}
+
+void BM_ShardedJobThroughput(benchmark::State& state) {
+  register_think_app();
+  const auto shards = static_cast<std::uint32_t>(state.range(0));
+
+  grid::GridBuilder builder;
+  builder.seed(11).key_bits(512);
+  builder.add_site("site0", shards);
+  builder.add_nodes("site0", 8);
+  builder.add_user("bench", "pw", {"mpi.run", "status.query", "job.submit"});
+  auto built = builder.build();
+  if (!built.is_ok()) {
+    state.SkipWithError("grid build failed");
+    return;
+  }
+  auto grid = built.take();
+  const Bytes token = bench_login(*grid);
+  if (token.empty()) {
+    state.SkipWithError("login failed");
+    return;
+  }
+
+  // Warm every shard's job path once so the measured loop sees a steady
+  // state (status caches filled, links and schedulers exercised).
+  for (const std::string& shard : grid->site_shards("site0")) {
+    auto id = grid->proxy(shard).submit_job("bench", token, "think", 1,
+                                            sched::Policy::kLoadBalanced);
+    if (!id.is_ok() || !grid->proxy(shard).wait_job(id.value()).is_ok()) {
+      state.SkipWithError("warmup job failed");
+      return;
+    }
+  }
+
+  std::vector<double> latencies_ms(kUsers * kJobsPerUser, 0.0);
+  for (auto _ : state) {
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> users;
+    users.reserve(kUsers);
+    for (int u = 0; u < kUsers; ++u) {
+      users.emplace_back([&, u] {
+        WallClock wall;
+        for (int j = 0; j < kJobsPerUser; ++j) {
+          // Ring placement maps each app session to a shard — the same
+          // home every peer computes without coordination.
+          const std::string home = grid->shard_for(
+              "site0",
+              "user" + std::to_string(u) + "-job" + std::to_string(j));
+          if (home.empty()) {
+            failed.store(true);
+            return;
+          }
+          auto& home_proxy = grid->proxy(home);
+          const TimeMicros start = wall.now();
+          auto id = home_proxy.submit_job("bench", token, "think", 1,
+                                          sched::Policy::kLoadBalanced);
+          if (!id.is_ok()) {
+            failed.store(true);
+            return;
+          }
+          auto record =
+              home_proxy.wait_job(id.value(), 60 * kMicrosPerSecond);
+          if (!record.is_ok() ||
+              record.value().state != proxy::JobState::kSucceeded) {
+            failed.store(true);
+            return;
+          }
+          latencies_ms[u * kJobsPerUser + j] =
+              static_cast<double>(wall.now() - start) / 1000.0;
+        }
+      });
+    }
+    for (auto& t : users) t.join();
+    if (failed.load()) {
+      state.SkipWithError("job failed mid-measurement");
+      return;
+    }
+  }
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  state.counters["p99_ms"] =
+      latencies_ms[latencies_ms.size() * 99 / 100];
+  state.counters["jobs_per_s"] = benchmark::Counter(
+      static_cast<double>(kUsers * kJobsPerUser) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  grid->shutdown();
+}
+BENCHMARK(BM_ShardedJobThroughput)
+    ->Iterations(1)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

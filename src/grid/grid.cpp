@@ -8,6 +8,7 @@
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 #include "net/memory_channel.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
 namespace pg::grid {
@@ -37,6 +38,13 @@ GridBuilder& GridBuilder::add_site(const std::string& site) {
   return *this;
 }
 
+GridBuilder& GridBuilder::add_site(const std::string& site,
+                                   std::uint32_t shards) {
+  add_site(site);
+  shard_counts_[site] = std::max<std::uint32_t>(1, shards);
+  return *this;
+}
+
 GridBuilder& GridBuilder::add_node(const std::string& site,
                                    monitor::NodeProfile profile,
                                    bool explicit_secure) {
@@ -58,7 +66,7 @@ GridBuilder& GridBuilder::add_nodes(const std::string& site, std::size_t count,
 
 GridBuilder& GridBuilder::topology(const TopologySpec& spec) {
   for (const TopologySpec::Site& site : spec.sites) {
-    add_site(site.name);
+    add_site(site.name, site.shards);
     for (const monitor::NodeProfile& node : site.nodes) {
       add_node(site.name, node);
     }
@@ -118,22 +126,40 @@ Result<std::unique_ptr<Grid>> GridBuilder::build() {
         std::make_shared<net::FaultInjector>(rng.next_u64());
   }
 
-  // Proxies. Each site's data-plane knobs are remembered so the node agents
-  // below mirror them — a tracking sender whose receiver never acks would
-  // retransmit forever.
-  struct DataPlaneKnobs {
-    bool reliable = true;
-    TimeMicros ack_rto_initial = 0;
-    TimeMicros ack_rto_max = 0;
-    std::size_t inflight_max_bytes = 0;
-  };
-  std::map<std::string, DataPlaneKnobs> data_plane;
+  // Settings re-homing needs later (and home_node() below needs now).
+  grid->key_bits_ = key_bits_;
+  grid->mode_ = mode_;
+  grid->cert_not_before_ = not_before;
+  grid->cert_not_after_ = not_after;
+
+  // Expand each site into its proxy shards. Shard 0's id is the bare site
+  // name, so an unsharded grid builds byte-for-byte as before (same ids,
+  // same rng draw order).
+  std::vector<std::string> proxy_order;
   for (const auto& site : site_order_) {
+    const auto count_it = shard_counts_.find(site);
+    const std::uint32_t shard_count =
+        count_it == shard_counts_.end() ? 1 : count_it->second;
+    for (std::uint32_t index = 0; index < shard_count; ++index)
+      proxy_order.push_back(proxy::shard_name(site, index));
+    if (shard_count > 1) {
+      grid->sharded_ = true;
+      grid->rings_.emplace(site,
+                           proxy::ShardRing::for_site(site, shard_count));
+    }
+  }
+
+  // Proxies — one per shard. Each shard's data-plane knobs are remembered
+  // so the node agents below mirror them — a tracking sender whose
+  // receiver never acks would retransmit forever.
+  for (const auto& shard : proxy_order) {
     const crypto::RsaKeyPair keys = crypto::rsa_generate(key_bits_, rng);
     proxy::ProxyConfig config;
-    config.site = site;
+    config.site = shard;
+    const auto count_it = shard_counts_.find(proxy::site_of_shard(shard));
+    config.shards = count_it == shard_counts_.end() ? 1 : count_it->second;
     config.identity = tls::GsslIdentity{
-        grid->ca_->issue("proxy." + site, keys.pub, not_before, not_after),
+        grid->ca_->issue("proxy." + shard, keys.pub, not_before, not_after),
         keys.priv};
     config.ca_name = grid->ca_->name();
     config.ca_key = grid->ca_->public_key();
@@ -142,11 +168,11 @@ Result<std::unique_ptr<Grid>> GridBuilder::build() {
     config.rng_seed = rng.next_u64();
     config.mode = mode_;
     if (configure_proxy_) configure_proxy_(config);
-    data_plane[site] = DataPlaneKnobs{
+    grid->data_plane_[shard] = Grid::DataPlaneKnobs{
         config.mpi_reliable && config.mpi_batch_flush_interval > 0,
         config.mpi_ack_rto_initial, config.mpi_ack_rto_max,
         config.mpi_inflight_max_bytes};
-    grid->proxies_[site] =
+    grid->proxies_[shard] =
         std::make_unique<proxy::ProxyServer>(std::move(config));
   }
 
@@ -163,11 +189,11 @@ Result<std::unique_ptr<Grid>> GridBuilder::build() {
       Status initiate_status, accept_status;
     };
     std::vector<TunnelTask> tunnels;
-    for (std::size_t i = 0; i < site_order_.size(); ++i) {
-      for (std::size_t j = i + 1; j < site_order_.size(); ++j) {
+    for (std::size_t i = 0; i < proxy_order.size(); ++i) {
+      for (std::size_t j = i + 1; j < proxy_order.size(); ++j) {
         TunnelTask task;
-        task.a = site_order_[i];
-        task.b = site_order_[j];
+        task.a = proxy_order[i];
+        task.b = proxy_order[j];
         net::ChannelPair pair = net::make_memory_channel_pair();
         task.end_a = std::move(pair.a);
         task.end_b = std::move(pair.b);
@@ -207,66 +233,23 @@ Result<std::unique_ptr<Grid>> GridBuilder::build() {
     }
   }
 
-  // Nodes: stats source at the proxy, agent on the node, one channel each.
+  // Nodes: each homes onto its site's ring owner (the site itself when
+  // unsharded) — stats source at that shard, agent on the node, one
+  // channel each.
   for (const auto& site : site_order_) {
-    proxy::ProxyServer& proxy_server = *grid->proxies_[site];
     for (const NodeSpec& spec : sites_[site]) {
-      proxy_server.add_node_stats(std::make_unique<monitor::SyntheticStatsSource>(
-          spec.profile, rng.next_u64()));
-
-      const bool encrypted =
-          spec.explicit_secure ||
-          mode_ == proxy::SecurityMode::kPerNodeSecurity;
-
-      proxy::NodeAgentConfig agent_config;
-      agent_config.node_name = spec.profile.name;
-      agent_config.site = site;
-      agent_config.encrypted = encrypted;
-      agent_config.clock = &grid->clock_;
-      agent_config.rng_seed = rng.next_u64();
-      agent_config.reliable = data_plane[site].reliable;
-      agent_config.ack_rto_initial = data_plane[site].ack_rto_initial;
-      agent_config.ack_rto_max = data_plane[site].ack_rto_max;
-      agent_config.inflight_max_bytes = data_plane[site].inflight_max_bytes;
-      if (encrypted) {
-        const crypto::RsaKeyPair keys = crypto::rsa_generate(key_bits_, rng);
-        agent_config.gssl = tls::GsslConfig{
-            tls::GsslIdentity{
-                grid->ca_->issue("node." + site + "." + spec.profile.name,
-                                 keys.pub, not_before, not_after),
-                keys.priv},
-            grid->ca_->name(), grid->ca_->public_key(),
-            /*expected_peer=*/"proxy." + site};
-      }
-
-      net::ChannelPair pair = net::make_memory_channel_pair();
-      net::ChannelPtr proxy_end = std::move(pair.a);
-      net::ChannelPtr node_end = std::move(pair.b);
-      if (grid->intra_injector_) {
-        proxy_end = net::make_faulty_channel(std::move(proxy_end),
-                                             grid->intra_injector_,
-                                             net::FaultDirection::kForward);
-        node_end = net::make_faulty_channel(std::move(node_end),
-                                            grid->intra_injector_,
-                                            net::FaultDirection::kReverse);
-      }
-      Status attach_status;
-      std::thread attacher([&] {
-        attach_status = proxy_server.attach_node(
-            spec.profile.name, std::move(proxy_end), spec.explicit_secure);
-      });
-      Result<proxy::NodeAgentPtr> agent =
-          proxy::NodeAgent::create(std::move(agent_config), std::move(node_end));
-      attacher.join();
-      PG_RETURN_IF_ERROR(attach_status);
-      if (!agent.is_ok()) return agent.status();
-      grid->agents_[site][spec.profile.name] = agent.take();
+      const auto ring_it = grid->rings_.find(site);
+      const std::string owner = ring_it == grid->rings_.end()
+                                    ? site
+                                    : ring_it->second.owner(spec.profile.name);
+      grid->node_specs_[site][spec.profile.name] = spec;
+      PG_RETURN_IF_ERROR(grid->home_node(site, owner, spec, rng));
     }
   }
 
-  // Users replicated at every site (one administrative realm).
-  for (const auto& site : site_order_) {
-    auth::UserAuthenticator& auth = grid->proxies_[site]->authenticator();
+  // Users replicated at every proxy shard (one administrative realm).
+  for (const auto& shard : proxy_order) {
+    auth::UserAuthenticator& auth = grid->proxies_[shard]->authenticator();
     for (const auto& [user, spec] : users_) {
       Rng pw_rng(rng.next_u64());
       auth.passwords().set_password(user, spec.password, pw_rng);
@@ -274,6 +257,12 @@ Result<std::unique_ptr<Grid>> GridBuilder::build() {
         auth.acl().grant_user(user, permission);
       }
     }
+  }
+
+  if (grid->sharded_) {
+    // Drawn last so an unsharded build's draw sequence stays untouched.
+    grid->rehome_rng_ = Rng(rng.next_u64());
+    grid->start_rehome_monitor();
   }
 
   if (auto_reconnect_) {
@@ -284,6 +273,65 @@ Result<std::unique_ptr<Grid>> GridBuilder::build() {
   }
 
   return grid;
+}
+
+Status Grid::home_node(const std::string& site, const std::string& shard,
+                       const GridBuilder::NodeSpec& spec, Rng& rng) {
+  const auto proxy_it = proxies_.find(shard);
+  if (proxy_it == proxies_.end())
+    return error(ErrorCode::kNotFound, "no shard " + shard);
+  proxy::ProxyServer& proxy_server = *proxy_it->second;
+  proxy_server.add_node_stats(std::make_unique<monitor::SyntheticStatsSource>(
+      spec.profile, rng.next_u64()));
+
+  const bool encrypted =
+      spec.explicit_secure || mode_ == proxy::SecurityMode::kPerNodeSecurity;
+
+  proxy::NodeAgentConfig agent_config;
+  agent_config.node_name = spec.profile.name;
+  agent_config.site = shard;
+  agent_config.encrypted = encrypted;
+  agent_config.clock = &clock_;
+  agent_config.rng_seed = rng.next_u64();
+  agent_config.reliable = data_plane_.at(shard).reliable;
+  agent_config.ack_rto_initial = data_plane_.at(shard).ack_rto_initial;
+  agent_config.ack_rto_max = data_plane_.at(shard).ack_rto_max;
+  agent_config.inflight_max_bytes = data_plane_.at(shard).inflight_max_bytes;
+  if (encrypted) {
+    const crypto::RsaKeyPair keys = crypto::rsa_generate(key_bits_, rng);
+    agent_config.gssl = tls::GsslConfig{
+        tls::GsslIdentity{
+            ca_->issue("node." + shard + "." + spec.profile.name, keys.pub,
+                       cert_not_before_, cert_not_after_),
+            keys.priv},
+        ca_->name(), ca_->public_key(),
+        /*expected_peer=*/"proxy." + shard};
+  }
+
+  net::ChannelPair pair = net::make_memory_channel_pair();
+  net::ChannelPtr proxy_end = std::move(pair.a);
+  net::ChannelPtr node_end = std::move(pair.b);
+  if (intra_injector_) {
+    proxy_end = net::make_faulty_channel(std::move(proxy_end),
+                                         intra_injector_,
+                                         net::FaultDirection::kForward);
+    node_end = net::make_faulty_channel(std::move(node_end),
+                                        intra_injector_,
+                                        net::FaultDirection::kReverse);
+  }
+  Status attach_status;
+  std::thread attacher([&] {
+    attach_status = proxy_server.attach_node(
+        spec.profile.name, std::move(proxy_end), spec.explicit_secure);
+  });
+  Result<proxy::NodeAgentPtr> agent =
+      proxy::NodeAgent::create(std::move(agent_config), std::move(node_end));
+  attacher.join();
+  PG_RETURN_IF_ERROR(attach_status);
+  if (!agent.is_ok()) return agent.status();
+  agents_[site][spec.profile.name] = agent.take();
+  node_home_[site][spec.profile.name] = shard;
+  return Status::ok();
 }
 
 // ------------------------------------------------------------------ grid
@@ -304,6 +352,35 @@ proxy::ProxyServer& Grid::proxy(const std::string& site) {
 proxy::NodeAgent& Grid::node_agent(const std::string& site,
                                    const std::string& node) {
   return *agents_.at(site).at(node);
+}
+
+std::vector<std::string> Grid::site_shards(const std::string& site) const {
+  {
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    const auto it = rings_.find(site);
+    if (it != rings_.end()) return it->second.members();
+  }
+  if (proxies_.count(site) > 0) return {site};
+  return {};
+}
+
+std::string Grid::shard_for(const std::string& site,
+                            const std::string& key) const {
+  {
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    const auto it = rings_.find(site);
+    if (it != rings_.end()) return it->second.owner(key);
+  }
+  return proxies_.count(site) > 0 ? site : std::string();
+}
+
+Result<proto::StatusReport> Grid::site_status(const std::string& site) {
+  for (const auto& shard : site_shards(site)) {
+    const auto it = proxies_.find(shard);
+    if (it == proxies_.end() || it->second->is_shut_down()) continue;
+    return it->second->site_status();
+  }
+  return error(ErrorCode::kUnavailable, "no live shard for site " + site);
 }
 
 Result<Bytes> Grid::login(const std::string& site, const std::string& user,
@@ -443,6 +520,71 @@ void Grid::start_reconnect_monitor() {
   reconnect_thread_ = std::thread([this] { reconnect_loop(); });
 }
 
+void Grid::start_rehome_monitor() {
+  rehome_thread_ = std::thread([this] { rehome_loop(); });
+}
+
+void Grid::rehome_loop() {
+  std::unique_lock<std::mutex> lock(rehome_mutex_);
+  while (!rehome_stop_) {
+    rehome_cv_.wait_for(lock,
+                        std::chrono::microseconds(rehome_poll_interval_),
+                        [this] { return rehome_stop_; });
+    if (rehome_stop_) return;
+    lock.unlock();
+
+    // A shard that shut down is dead for good (kill_proxy is permanent,
+    // like the scenario engine's kKillProxy); take it off its site's ring
+    // and re-home whatever it owned.
+    std::vector<std::pair<std::string, std::string>> dead;
+    {
+      std::lock_guard<std::mutex> rings_lock(rings_mutex_);
+      for (const auto& [site, ring] : rings_) {
+        for (const auto& shard : ring.members()) {
+          if (proxies_.at(shard)->is_shut_down())
+            dead.emplace_back(site, shard);
+        }
+      }
+    }
+    for (const auto& [site, shard] : dead) rehome_shard(site, shard);
+
+    lock.lock();
+  }
+}
+
+void Grid::rehome_shard(const std::string& site, const std::string& dead) {
+  {
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    rings_.at(site).remove(dead);
+  }
+  PG_WARN << "grid: shard " << dead << " died; re-homing its virtual slaves";
+  telemetry::Counter& rehomed = telemetry::MetricRegistry::global().counter(
+      "pg_shard_rehome_total",
+      "Entities re-homed onto surviving shards after a shard death",
+      {{"site", site}, {"reason", "shard_death"}});
+
+  const auto home_it = node_home_.find(site);
+  if (home_it == node_home_.end()) return;
+  for (auto& [node, home] : home_it->second) {
+    if (home != dead) continue;
+    const std::string target = shard_for(site, node);
+    if (target.empty()) continue;  // every shard is gone; the site is dark
+    // The old agent's link died with its shard; retire it and attach a
+    // fresh channel + agent at the node's new ring owner. Sessions need
+    // no migration: tickets are sealed under the realm key, so the
+    // surviving shards already accept them.
+    agents_.at(site).at(node)->shutdown();
+    const Status status = home_node(site, target, node_specs_.at(site).at(node),
+                                    rehome_rng_);
+    if (!status.is_ok()) {
+      PG_WARN << "grid: re-homing " << site << "/" << node << " onto "
+              << target << " failed: " << status.to_string();
+      continue;
+    }
+    rehomed.increment();
+  }
+}
+
 void Grid::reconnect_loop() {
   // Per-pair consecutive-failure counter; backoff resets once a reconnect
   // succeeds. Deterministic jitter (salted with the pair name) keeps chaos
@@ -534,6 +676,16 @@ TrafficReport Grid::traffic_report() const {
 void Grid::shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
+  // Stop the rehome monitor first: tearing proxies down below looks
+  // exactly like a mass shard death to it.
+  if (rehome_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(rehome_mutex_);
+      rehome_stop_ = true;
+    }
+    rehome_cv_.notify_all();
+    rehome_thread_.join();
+  }
   // Stop the reconnect monitor before tearing proxies down so it never
   // races a reconnect against a dying proxy.
   if (reconnect_thread_.joinable()) {

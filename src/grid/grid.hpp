@@ -34,6 +34,8 @@ struct TopologySpec {
   struct Site {
     std::string name;
     std::vector<monitor::NodeProfile> nodes;
+    /// Proxy shards serving this site (consistent-hash scale-out).
+    std::uint32_t shards = 1;
   };
   std::vector<Site> sites;
 };
@@ -74,6 +76,11 @@ class GridBuilder {
   GridBuilder& security_mode(proxy::SecurityMode mode);
 
   GridBuilder& add_site(const std::string& site);
+  /// Adds a site served by `shards` proxy shards behind a consistent-hash
+  /// ring: nodes home onto shards by ring placement, shards gossip status
+  /// to each other, and shard death re-homes the lost nodes onto the
+  /// survivors (docs/PROTOCOL.md, "Sharded proxy tier").
+  GridBuilder& add_site(const std::string& site, std::uint32_t shards);
   /// Adds a node to `site`. `explicit_secure` forces GSSL on this node's
   /// link even in proxy-tunneling mode (the paper's "explicit call").
   GridBuilder& add_node(const std::string& site,
@@ -135,6 +142,7 @@ class GridBuilder {
   std::function<void(proxy::ProxyConfig&)> configure_proxy_;
   std::vector<std::string> site_order_;
   std::map<std::string, std::vector<NodeSpec>> sites_;
+  std::map<std::string, std::uint32_t> shard_counts_;
   std::map<std::string, UserSpec> users_;
 };
 
@@ -144,11 +152,24 @@ class Grid {
   Grid(const Grid&) = delete;
   Grid& operator=(const Grid&) = delete;
 
+  /// Every proxy id in the grid. For a sharded site that is one entry per
+  /// shard ("site1", "site1#1", ...); shard 0's id is the bare site name,
+  /// so unsharded callers see exactly the old list.
   std::vector<std::string> sites() const;
   proxy::ProxyServer& proxy(const std::string& site);
   proxy::NodeAgent& node_agent(const std::string& site,
                                const std::string& node);
   const Clock& clock() const { return clock_; }
+
+  // ---- sharded proxy tier
+  /// Shard ids of `site` still standing (index order, dead ones removed).
+  std::vector<std::string> site_shards(const std::string& site) const;
+  /// Ring owner of `key` among `site`'s surviving shards; for unsharded
+  /// sites this is just the site itself. Empty when the site is dark.
+  std::string shard_for(const std::string& site, const std::string& key) const;
+  /// Merged whole-site report answered by the first live shard (any shard
+  /// can answer — the gossip/delegation property).
+  Result<proto::StatusReport> site_status(const std::string& site);
 
   // ---- user-level grid API (the "command line / web access" layer uses
   // these; see grid/cli.hpp)
@@ -202,14 +223,55 @@ class Grid {
 
   void start_reconnect_monitor();
   void reconnect_loop();
+  void start_rehome_monitor();
+  void rehome_loop();
+  /// Removes `dead` from `site`'s ring and re-attaches every node it
+  /// owned to that node's new ring owner (fresh channel + agent).
+  void rehome_shard(const std::string& site, const std::string& dead);
+  /// Attaches one node to `shard` (stats source, channel, agent) and
+  /// records its home. Used by build() and by shard-death re-homing.
+  Status home_node(const std::string& site, const std::string& shard,
+                   const GridBuilder::NodeSpec& spec, Rng& rng);
 
   WallClock clock_;
   std::unique_ptr<crypto::CertificateAuthority> ca_;
   net::FaultInjectorPtr inter_injector_;
   net::FaultInjectorPtr intra_injector_;
   std::map<std::string, proxy::ProxyServerPtr> proxies_;
+  /// Node agents keyed by LOGICAL site (rehoming moves a node between
+  /// shards without changing its `node_agent(site, node)` address).
   std::map<std::string, std::map<std::string, proxy::NodeAgentPtr>> agents_;
   bool shut_down_ = false;
+
+  // ---- sharded proxy tier (populated only when some site has shards > 1)
+  bool sharded_ = false;
+  mutable std::mutex rings_mutex_;
+  /// Per sharded site: the consistent-hash ring over surviving shards.
+  std::map<std::string, proxy::ShardRing> rings_;
+  /// Per logical site: node -> shard id currently homing it.
+  std::map<std::string, std::map<std::string, std::string>> node_home_;
+  /// Per logical site: node -> profile/security, kept for re-homing.
+  std::map<std::string, std::map<std::string, GridBuilder::NodeSpec>>
+      node_specs_;
+  /// Per shard: the data-plane knobs its node agents must mirror (a
+  /// tracking sender whose receiver never acks would retransmit forever).
+  struct DataPlaneKnobs {
+    bool reliable = true;
+    TimeMicros ack_rto_initial = 0;
+    TimeMicros ack_rto_max = 0;
+    std::size_t inflight_max_bytes = 0;
+  };
+  std::map<std::string, DataPlaneKnobs> data_plane_;
+  Rng rehome_rng_{0};
+  std::size_t key_bits_ = 768;
+  proxy::SecurityMode mode_ = proxy::SecurityMode::kProxyTunneling;
+  TimeMicros cert_not_before_ = 0;
+  TimeMicros cert_not_after_ = 0;
+  std::thread rehome_thread_;
+  std::mutex rehome_mutex_;
+  std::condition_variable rehome_cv_;
+  bool rehome_stop_ = false;
+  TimeMicros rehome_poll_interval_ = 20'000;
 
   // ---- auto-reconnect monitor (opt-in via GridBuilder::auto_reconnect)
   bool auto_reconnect_ = false;

@@ -3,13 +3,18 @@
 namespace pg::monitor {
 
 void GridStatusCache::update(const proto::StatusReport& report,
-                             TimeMicros received_at) {
+                             TimeMicros received_at, std::uint64_t epoch) {
   std::lock_guard<std::mutex> lock(mutex_);
   Entry& entry = entries_[report.site];
-  // Keep the newer report (out-of-order delivery is possible).
-  if (entry.received_at <= received_at) {
+  // A report from a superseded lease epoch is stale by definition — the
+  // collector role moved on — no matter what its receive time says.
+  if (epoch < entry.epoch) return;
+  // Within an epoch keep the newer report (out-of-order delivery is
+  // possible); a higher epoch always wins.
+  if (epoch > entry.epoch || entry.received_at <= received_at) {
     entry.report = report;
     entry.received_at = received_at;
+    entry.epoch = epoch;
   }
 }
 

@@ -17,7 +17,15 @@ namespace pg::monitor {
 /// The proxy updates it from incoming reports; the grid API reads it.
 class GridStatusCache {
  public:
-  void update(const proto::StatusReport& report, TimeMicros received_at);
+  /// Records `report` unless a fresher entry exists. Freshness is decided
+  /// by `epoch` first (the shard group's collector-lease epoch; reports
+  /// from before a collector handoff lose to reports from after it, even
+  /// when clock skew or delayed delivery makes their `received_at` look
+  /// newer), then by `received_at` within an epoch. Callers outside a
+  /// shard group pass the default epoch 0 and get the old
+  /// newest-received_at behaviour unchanged.
+  void update(const proto::StatusReport& report, TimeMicros received_at,
+              std::uint64_t epoch = 0);
 
   std::optional<proto::StatusReport> get(const std::string& site) const;
 
@@ -38,6 +46,7 @@ class GridStatusCache {
   struct Entry {
     proto::StatusReport report;
     TimeMicros received_at = 0;
+    std::uint64_t epoch = 0;
   };
 
   mutable std::mutex mutex_;

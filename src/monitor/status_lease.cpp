@@ -1,0 +1,80 @@
+#include "monitor/status_lease.hpp"
+
+#include <algorithm>
+
+namespace pg::monitor {
+
+StatusLease::StatusLease(std::vector<std::string> members, std::string self)
+    : members_(std::move(members)),
+      self_(std::move(self)),
+      alive_(members_.size(), true) {}
+
+std::size_t StatusLease::holder_index_locked() const {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (alive_[i] || members_[i] == self_) return i;
+  }
+  return 0;
+}
+
+void StatusLease::after_liveness_change_locked(std::size_t holder_before) {
+  if (holder_index_locked() != holder_before) ++epoch_;
+}
+
+void StatusLease::mark_down(const std::string& member) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::find(members_.begin(), members_.end(), member);
+  if (it == members_.end()) return;
+  const std::size_t index = static_cast<std::size_t>(it - members_.begin());
+  if (!alive_[index]) return;
+  const std::size_t before = holder_index_locked();
+  alive_[index] = false;
+  after_liveness_change_locked(before);
+}
+
+void StatusLease::mark_up(const std::string& member) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::find(members_.begin(), members_.end(), member);
+  if (it == members_.end()) return;
+  const std::size_t index = static_cast<std::size_t>(it - members_.begin());
+  if (alive_[index]) return;
+  const std::size_t before = holder_index_locked();
+  alive_[index] = true;
+  after_liveness_change_locked(before);
+}
+
+void StatusLease::observe_epoch(std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  epoch_ = std::max(epoch_, epoch);
+}
+
+std::string StatusLease::holder() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (members_.empty()) return self_;
+  return members_[holder_index_locked()];
+}
+
+bool StatusLease::is_holder() const { return holder() == self_; }
+
+std::uint64_t StatusLease::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+bool StatusLease::alive(const std::string& member) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::find(members_.begin(), members_.end(), member);
+  if (it == members_.end()) return false;
+  return alive_[static_cast<std::size_t>(it - members_.begin())] ||
+         member == self_;
+}
+
+std::vector<std::string> StatusLease::alive_members() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (alive_[i] || members_[i] == self_) out.push_back(members_[i]);
+  }
+  return out;
+}
+
+}  // namespace pg::monitor

@@ -1,0 +1,59 @@
+// Collector-role lease for a site's proxy shard group.
+//
+// One shard of the group "leases" the status-collector role: it is the
+// shard that answers site-level status queries and whose merged report is
+// authoritative. The lease needs no extra protocol — the holder is a pure
+// function of the group's liveness view (the lowest-index alive shard),
+// which every shard already has from its peer heartbeats. What DOES need
+// coordination is ordering: a delayed report from the previous holder
+// must not overwrite the new holder's fresher view after a handoff. The
+// lease therefore carries a monotonic epoch that bumps on every holder
+// change and rides along with gossiped reports; caches reject writes from
+// a lower epoch (GridStatusCache::update).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pg::monitor {
+
+class StatusLease {
+ public:
+  /// `members` are the shard ids of the group in index order; `self` must
+  /// be one of them. All members start alive.
+  StatusLease(std::vector<std::string> members, std::string self);
+
+  /// Liveness transitions observed from the heartbeat substrate. A change
+  /// that moves the holder advances the epoch (a handoff).
+  void mark_down(const std::string& member);
+  void mark_up(const std::string& member);
+
+  /// Adopts a higher epoch seen in gossip: a sibling observed a handoff
+  /// this shard has not (yet) seen. Lower epochs are ignored.
+  void observe_epoch(std::uint64_t epoch);
+
+  /// Current holder: the lowest-index alive member (self is always
+  /// considered alive from its own point of view).
+  std::string holder() const;
+  bool is_holder() const;
+  std::uint64_t epoch() const;
+
+  bool alive(const std::string& member) const;
+  std::vector<std::string> alive_members() const;
+  const std::vector<std::string>& members() const { return members_; }
+  const std::string& self() const { return self_; }
+
+ private:
+  std::size_t holder_index_locked() const;
+  void after_liveness_change_locked(std::size_t holder_before);
+
+  std::vector<std::string> members_;
+  std::string self_;
+  mutable std::mutex mutex_;
+  std::vector<bool> alive_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace pg::monitor

@@ -15,6 +15,7 @@ const char* opcode_name(OpCode op) {
     case OpCode::kAuthResponse: return "auth_response";
     case OpCode::kStatusQuery: return "status_query";
     case OpCode::kStatusReport: return "status_report";
+    case OpCode::kShardStatus: return "shard_status";
     case OpCode::kJobSubmit: return "job_submit";
     case OpCode::kJobAccept: return "job_accept";
     case OpCode::kJobComplete: return "job_complete";

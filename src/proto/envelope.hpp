@@ -13,10 +13,11 @@
 namespace pg::proto {
 
 /// Version 2 added the trace-context pair; version 3 added the kMpiBatch
-/// data-plane op; version 4 added kMpiBatchAck (the reliable data plane —
-/// see docs/PROTOCOL.md). The header layout is unchanged since v2, so all
-/// of [kMinProtocolVersion, kProtocolVersion] are accepted at parse time.
-constexpr std::uint8_t kProtocolVersion = 4;
+/// data-plane op; version 4 added kMpiBatchAck (the reliable data plane);
+/// version 5 added kShardStatus (sharded proxy tier — see docs/PROTOCOL.md).
+/// The header layout is unchanged since v2, so all of
+/// [kMinProtocolVersion, kProtocolVersion] are accepted at parse time.
+constexpr std::uint8_t kProtocolVersion = 5;
 constexpr std::uint8_t kMinProtocolVersion = 2;
 
 /// Well-known operation codes. The space is open: proxies route unknown
@@ -40,6 +41,10 @@ enum class OpCode : std::uint16_t {
   // Layer 3: control & monitoring
   kStatusQuery = 20,
   kStatusReport = 21,
+  /// Intra-site gossip between proxy shards of one site (v5): a shard's
+  /// partial status report plus the collector-lease epoch, so any shard
+  /// can answer for the whole site and lease handoffs stay ordered.
+  kShardStatus = 22,
   kJobSubmit = 30,
   kJobAccept = 31,
   kJobComplete = 32,

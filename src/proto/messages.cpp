@@ -180,6 +180,33 @@ Result<StatusReport> StatusReport::parse(BytesView data) {
   return m;
 }
 
+Bytes ShardStatus::serialize() const {
+  BufferWriter w;
+  w.put_string(shard);
+  w.put_u64(lease_epoch);
+  w.put_string(report.site);
+  w.put_varint(report.nodes.size());
+  for (const auto& n : report.nodes) write_node_status(w, n);
+  w.put_u64(report.timestamp);
+  return w.take();
+}
+
+Result<ShardStatus> ShardStatus::parse(BytesView data) {
+  BufferReader r(data);
+  ShardStatus m;
+  PG_RETURN_IF_ERROR(r.get_string(m.shard));
+  PG_RETURN_IF_ERROR(r.get_u64(m.lease_epoch));
+  PG_RETURN_IF_ERROR(r.get_string(m.report.site));
+  std::uint64_t n = 0;
+  PG_RETURN_IF_ERROR(get_count(r, n));
+  m.report.nodes.resize(n);
+  for (auto& node : m.report.nodes)
+    PG_RETURN_IF_ERROR(read_node_status(r, node));
+  PG_RETURN_IF_ERROR(r.get_u64(m.report.timestamp));
+  PG_RETURN_IF_ERROR(r.expect_end());
+  return m;
+}
+
 Bytes JobSubmit::serialize() const {
   BufferWriter w;
   w.put_u64(job_id);

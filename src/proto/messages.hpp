@@ -102,6 +102,21 @@ struct StatusReport {
   static Result<StatusReport> parse(BytesView data);
 };
 
+/// Shard-group status gossip (v5, kShardStatus): one proxy shard's
+/// partial view of its site — the nodes attached to THAT shard — plus
+/// the collector-lease epoch it has observed. Siblings merge the partial
+/// reports into a full site view and use the epoch to keep collector
+/// handoffs ordered (a report gossiped before a handoff can never
+/// overwrite one gossiped after it).
+struct ShardStatus {
+  std::string shard;          // sender shard id, e.g. "site1#2"
+  std::uint64_t lease_epoch = 0;
+  StatusReport report;        // report.site is the shard id too
+
+  Bytes serialize() const;
+  static Result<ShardStatus> parse(BytesView data);
+};
+
 struct JobSubmit {
   std::uint64_t job_id = 0;
   std::string user;

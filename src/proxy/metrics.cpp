@@ -15,7 +15,8 @@ telemetry::Counter& site_counter(const std::string& name,
 constexpr proto::OpCode kCountedOps[] = {
     proto::OpCode::kHello,      proto::OpCode::kPing,
     proto::OpCode::kStatusQuery, proto::OpCode::kStatusReport,
-    proto::OpCode::kAuthRequest, proto::OpCode::kJobSubmit,
+    proto::OpCode::kShardStatus, proto::OpCode::kAuthRequest,
+    proto::OpCode::kJobSubmit,
     proto::OpCode::kJobQuery,    proto::OpCode::kMpiOpen,
     proto::OpCode::kMpiStart,    proto::OpCode::kMpiData,
     proto::OpCode::kMpiBatch,    proto::OpCode::kMpiBatchAck,
@@ -134,6 +135,13 @@ ProxyInstruments::ProxyInstruments(const std::string& site)
       disconnects(site_counter("pg_proxy_disconnects_sum",
                                "Peer/node connections lost (all reasons)",
                                site)),
+      shard_status_gossip(site_counter(
+          "pg_shard_status_gossip_total",
+          "kShardStatus gossip envelopes pushed to sibling shards", site)),
+      shard_owned_keys(telemetry::MetricRegistry::global().gauge(
+          "pg_shard_owned_keys",
+          "Virtual slaves (node links) homed on this shard",
+          {{"site", site}})),
       dispatch_micros(telemetry::MetricRegistry::global().histogram(
           "pg_proxy_dispatch_micros",
           "Control-envelope handler latency (microseconds)",
@@ -258,6 +266,9 @@ ProxyMetrics ProxyInstruments::snapshot() const {
       deadline_exceeded.value() - baseline_.deadline_exceeded;
   m.heartbeat_missed = heartbeat_missed.value() - baseline_.heartbeat_missed;
   m.disconnects = disconnects.value() - baseline_.disconnects;
+  m.shard_status_gossip =
+      shard_status_gossip.value() - baseline_.shard_status_gossip;
+  m.shard_owned_keys = shard_owned_keys.value();  // gauge: current state
   return m;
 }
 

@@ -42,6 +42,8 @@ struct ProxyMetrics {
   std::uint64_t heartbeat_missed = 0;        // intervals with a silent peer
   std::uint64_t disconnects = 0;             // peer/node connections lost
   std::int64_t open_connections = 0;         // live peer+node connections
+  std::uint64_t shard_status_gossip = 0;     // kShardStatus sent to siblings
+  std::int64_t shard_owned_keys = 0;         // nodes homed on this shard
 };
 
 /// Why a kMpiBatch envelope left the proxy's batcher (flush-policy label).
@@ -118,6 +120,12 @@ class ProxyInstruments {
   /// Sum over reasons; the per-reason breakdown lives in the registry as
   /// pg_proxy_disconnects_total{site,peer,reason} (see disconnect()).
   telemetry::Counter& disconnects;
+  /// kShardStatus gossip envelopes this shard pushed to its siblings
+  /// (pg_shard_status_gossip_total).
+  telemetry::Counter& shard_status_gossip;
+  /// Virtual slaves (node links) currently homed on this shard
+  /// (pg_shard_owned_keys); +1 on attach, -1 on node death.
+  telemetry::Gauge& shard_owned_keys;
 
   /// Records a lost connection: bumps `disconnects` and the reason-labelled
   /// registry counter. Cold path, so the labelled lookup happens here.

@@ -25,6 +25,20 @@ std::uint64_t site_salt(const std::string& site) {
   return static_cast<std::uint64_t>(std::hash<std::string>{}(site) & 0xffff)
          << 48;
 }
+
+/// Shard ids of the group this proxy belongs to, in index order. A proxy
+/// whose own id falls outside [0, shards) (a misconfiguration) gets a
+/// one-member group of itself, which degrades to unsharded behaviour.
+std::vector<std::string> shard_group(const ProxyConfig& config) {
+  const std::uint32_t count = std::max<std::uint32_t>(1, config.shards);
+  if (shard_index_of(config.site) >= count) return {config.site};
+  const std::string logical = site_of_shard(config.site);
+  std::vector<std::string> members;
+  members.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i)
+    members.push_back(shard_name(logical, i));
+  return members;
+}
 }  // namespace
 
 ProxyServer::ProxyServer(ProxyConfig config)
@@ -33,11 +47,15 @@ ProxyServer::ProxyServer(ProxyConfig config)
       authenticator_(config_.site, config_.ticket_key,
                      config_.ticket_lifetime),
       collector_(config_.site),
+      lease_(shard_group(config_), config_.site),
       rng_(config_.rng_seed),
       next_app_id_(site_salt(config_.site) + 1),
-      job_manager_(workers_, *config_.clock),
+      job_workers_(std::max<std::uint32_t>(1, config_.job_workers)),
+      job_manager_(job_workers_, *config_.clock),
       instruments_(config_.site) {
   if (config_.heartbeat_interval > 0) schedule_heartbeat();
+  if (config_.shards > 1 && config_.shard_gossip_interval > 0)
+    schedule_shard_gossip();
   // No flusher thread: parked batches arm a reactor timer on demand.
 }
 
@@ -99,6 +117,7 @@ Status ProxyServer::attach_node(const std::string& node_name,
     conns_generation_.fetch_add(1, std::memory_order_release);
   }
   instruments_.open_connections.add(1);
+  instruments_.shard_owned_keys.add(1);
   // Set only once the connection is actually kept: a rejected duplicate is
   // destroyed above without ever firing on_node_down.
   raw->set_on_close([this, node_name](const Status& reason) {
@@ -304,6 +323,28 @@ Result<std::vector<proto::StatusReport>> ProxyServer::query_status(
     reports.push_back(report.take());
   }
   return reports;
+}
+
+std::vector<std::string> ProxyServer::shard_siblings() const {
+  std::vector<std::string> out;
+  for (const auto& member : lease_.members()) {
+    if (member != config_.site) out.push_back(member);
+  }
+  return out;
+}
+
+proto::StatusReport ProxyServer::site_status() {
+  proto::StatusReport merged = local_status();
+  merged.site = logical_site();
+  for (const auto& sibling : shard_siblings()) {
+    if (!lease_.alive(sibling)) continue;  // dead shards advertise nothing
+    std::optional<proto::StatusReport> partial = shard_board_.get(sibling);
+    if (!partial) continue;
+    merged.nodes.insert(merged.nodes.end(), partial->nodes.begin(),
+                        partial->nodes.end());
+    merged.timestamp = std::max(merged.timestamp, partial->timestamp);
+  }
+  return merged;
 }
 
 std::size_t ProxyServer::push_status_to_peers() {
@@ -689,6 +730,9 @@ void ProxyServer::handle_peer(const proto::Envelope& envelope,
         status_cache_.update(report.value(), config_.clock->now());
       return;
     }
+    case proto::OpCode::kShardStatus:
+      handle_shard_status(envelope);
+      return;
     case proto::OpCode::kAuthRequest:
       handle_auth_request(envelope, conn);
       return;
@@ -1930,6 +1974,14 @@ void ProxyServer::on_peer_down(const std::string& site, const Status& reason) {
   // Scheduling/status: stop advertising the dead site's nodes.
   status_cache_.forget(site);
 
+  // Sibling shard death: hand the collector lease to the next shard in
+  // index order (an epoch bump, so the dead holder's delayed reports lose
+  // everywhere) and stop merging its partial report into site_status().
+  if (site != config_.site && site_of_shard(site) == logical_site()) {
+    lease_.mark_down(site);
+    shard_board_.forget(site);
+  }
+
   // Tunnels: drop every route through the dead site.
   {
     std::lock_guard<std::mutex> lock(tunnels_mutex_);
@@ -1969,6 +2021,7 @@ void ProxyServer::on_peer_down(const std::string& site, const Status& reason) {
 void ProxyServer::on_node_down(const std::string& node, const Status& reason) {
   instruments_.disconnect(config_.site, node, reason);
   instruments_.open_connections.add(-1);
+  instruments_.shard_owned_keys.add(-1);
   conns_generation_.fetch_add(1, std::memory_order_release);
   if (shut_down_.load(std::memory_order_acquire)) return;
 
@@ -2000,6 +2053,46 @@ void ProxyServer::on_node_down(const std::string& node, const Status& reason) {
                          proto::MpiAbort{app.app_id, why}.serialize());
     }
   }
+}
+
+void ProxyServer::handle_shard_status(const proto::Envelope& envelope) {
+  Result<proto::ShardStatus> gossip =
+      proto::ShardStatus::parse(envelope.payload);
+  if (!gossip.is_ok()) return;
+  const proto::ShardStatus& status = gossip.value();
+  // Only siblings of this logical site participate in the group.
+  if (status.shard == config_.site ||
+      site_of_shard(status.shard) != logical_site())
+    return;
+  lease_.mark_up(status.shard);
+  lease_.observe_epoch(status.lease_epoch);
+  shard_board_.update(status.report, config_.clock->now(),
+                      status.lease_epoch);
+}
+
+void ProxyServer::schedule_shard_gossip() {
+  std::lock_guard<std::mutex> lock(timers_mutex_);
+  if (shut_down_.load(std::memory_order_acquire)) return;
+  shard_gossip_timer_ = net::Reactor::global().schedule_timer(
+      config_.shard_gossip_interval, [this] { shard_gossip_fire(); });
+}
+
+void ProxyServer::shard_gossip_fire() {
+  if (shut_down_.load(std::memory_order_acquire)) return;
+  proto::ShardStatus gossip;
+  gossip.shard = config_.site;
+  gossip.lease_epoch = lease_.epoch();
+  gossip.report = local_status();
+  const Bytes payload = gossip.serialize();
+  for (const auto& sibling : shard_siblings()) {
+    Connection* conn = peer_connection(sibling);
+    if (conn == nullptr || !conn->alive()) continue;
+    if (conn->notify(proto::OpCode::kShardStatus, payload).is_ok()) {
+      instruments_.shard_status_gossip.increment();
+      instruments_.control_notifies_sent.increment();
+    }
+  }
+  schedule_shard_gossip();
 }
 
 void ProxyServer::schedule_heartbeat() {
@@ -2051,12 +2144,16 @@ void ProxyServer::shutdown() {
   // race the close sweep below. cancel_timer waits out a callback that is
   // already running; heartbeat_fire sees shut_down_ and will not re-arm.
   std::uint64_t hb_timer = 0;
+  std::uint64_t gossip_timer = 0;
   {
     std::lock_guard<std::mutex> lock(timers_mutex_);
     hb_timer = heartbeat_timer_;
     heartbeat_timer_ = 0;
+    gossip_timer = shard_gossip_timer_;
+    shard_gossip_timer_ = 0;
   }
   if (hb_timer != 0) net::Reactor::global().cancel_timer(hb_timer);
+  if (gossip_timer != 0) net::Reactor::global().cancel_timer(gossip_timer);
 
   // Cancel the batch retry timer, then push out whatever is still queued
   // while the links are up (frames for dead sites are dropped, as an
@@ -2094,6 +2191,7 @@ void ProxyServer::shutdown() {
     for (auto& [node, conn] : nodes_) open.push_back(conn.get());
   }
   for (Connection* conn : open) conn->close();
+  job_workers_.shutdown();
   workers_.shutdown();
   runs_cv_.notify_all();
 }

@@ -30,6 +30,7 @@
 #include "common/rng.hpp"
 #include "monitor/aggregator.hpp"
 #include "monitor/site_collector.hpp"
+#include "monitor/status_lease.hpp"
 #include "net/channel.hpp"
 #include "proxy/app_routing.hpp"
 #include "proxy/batch_window.hpp"
@@ -38,6 +39,7 @@
 #include "proxy/job_manager.hpp"
 #include "proxy/metrics.hpp"
 #include "proxy/resilience.hpp"
+#include "proxy/shard_ring.hpp"
 #include "sched/scheduler.hpp"
 #include "tls/gssl.hpp"
 
@@ -81,6 +83,11 @@ struct ProxyConfig {
   std::uint32_t job_max_attempts = 3;
   /// run_app deadline used for batch-job attempts.
   TimeMicros job_run_timeout = 120 * kMicrosPerSecond;
+  /// Threads executing batch jobs — the per-proxy job parallelism cap.
+  /// Jobs run on their own pool so a full complement of long-running jobs
+  /// can never starve control-plane relays (kMpiOpen from a sibling shard
+  /// queued behind a sleeping job would stall that peer's launch).
+  std::uint32_t job_workers = 4;
 
   // ---- MPI data-plane batching (docs/PERFORMANCE.md, "MPI data plane") ----
   /// Retry period for batch frames parked on a dead inter-site link, and
@@ -114,6 +121,18 @@ struct ProxyConfig {
   /// ahead of bulk frames on the same link (a barrier never queues behind
   /// a 16 MiB transfer).
   std::size_t mpi_latency_lane_bytes = 4096;
+
+  // ---- sharded proxy tier (docs/PROTOCOL.md, "Sharded proxy tier") ----
+  /// Number of proxy shards serving this logical site. `site` above is
+  /// this shard's id (see shard_name()): the bare site name for shard 0,
+  /// "<site>#<index>" for the rest. With the default of 1 the proxy
+  /// behaves exactly as before sharding existed.
+  std::uint32_t shards = 1;
+  /// Virtual nodes per shard on the site's consistent-hash ring.
+  std::size_t ring_vnodes = kDefaultVnodes;
+  /// Gossip period for kShardStatus partial reports between sibling
+  /// shards; armed only when shards > 1 (0 disables gossip entirely).
+  TimeMicros shard_gossip_interval = 250 * 1000;
 };
 
 /// Outcome of a grid application run.
@@ -201,6 +220,23 @@ class ProxyServer {
 
   /// Reports other sites have pushed or that pull queries cached.
   monitor::GridStatusCache& status_cache() { return status_cache_; }
+
+  // ---- sharded proxy tier -------------------------------------------------
+  /// Logical site this shard serves ("site1" for shard id "site1#2").
+  std::string logical_site() const { return site_of_shard(config_.site); }
+
+  /// Sibling shard ids of this logical site, self excluded.
+  std::vector<std::string> shard_siblings() const;
+
+  /// Collector-role lease over this site's shard group: the holder is the
+  /// lowest-index alive shard, and the epoch bumps on every handoff so
+  /// delayed pre-handoff reports cannot overwrite post-handoff ones.
+  monitor::StatusLease& status_lease() { return lease_; }
+
+  /// Merged report for the whole logical site: this shard's own nodes
+  /// plus the freshest gossiped partial report of every alive sibling.
+  /// Any shard of the group can answer this — the delegation property.
+  proto::StatusReport site_status();
 
   // ---- layer 4: MPI support ----------------------------------------------
   /// Runs a registered application across the grid: authorize, collect
@@ -453,6 +489,16 @@ class ProxyServer {
   /// Reactor-timer callback: one probe round over the peers, then re-arm.
   void heartbeat_fire();
 
+  // -- shard gossip (sharded proxy tier)
+  /// Ingests a sibling's kShardStatus: refreshes its liveness in the
+  /// lease, adopts any newer lease epoch, and updates the shard board.
+  void handle_shard_status(const proto::Envelope& envelope);
+  /// Arms the next gossip tick (only when config_.shards > 1).
+  void schedule_shard_gossip();
+  /// Reactor-timer callback: push this shard's partial report plus the
+  /// lease epoch to every connected sibling, then re-arm.
+  void shard_gossip_fire();
+
   // -- span export routing
   /// Remembers `peer` as the next hop toward `trace_id`'s origin (only for
   /// traces this process did not originate). Bounded FIFO table.
@@ -472,6 +518,12 @@ class ProxyServer {
   auth::UserAuthenticator authenticator_;
   monitor::SiteCollector collector_;
   monitor::GridStatusCache status_cache_;
+  /// Collector lease over this site's shard group (trivial at shards==1:
+  /// self is the only member and always holds).
+  monitor::StatusLease lease_;
+  /// Freshest kShardStatus partial report per sibling shard, ordered by
+  /// lease epoch then receive time.
+  monitor::GridStatusCache shard_board_;
   mutable std::mutex extensions_mutex_;
   std::map<proto::OpCode, ExtensionHandler> extensions_;
   Rng rng_;
@@ -489,9 +541,13 @@ class ProxyServer {
   std::map<std::uint64_t, RunState> runs_;
   std::atomic<std::uint64_t> next_app_id_;
 
-  // Workers for blocking relays (tunnels) and asynchronous job execution;
-  // reader threads must never block on multi-hop calls.
+  // Workers for blocking relays (tunnels, peer kMpiOpen); reader threads
+  // must never block on multi-hop calls.
   ThreadPool workers_{4};
+  // Dedicated pool for batch-job execution (size config_.job_workers).
+  // Jobs occupy a thread for their whole run, so sharing workers_ would
+  // let a full job load head-of-line-block control relays.
+  ThreadPool job_workers_;
   JobManager job_manager_;
 
   // Open tunnels this proxy relays (tunnel id -> original open request).
@@ -504,7 +560,8 @@ class ProxyServer {
   // Heartbeat monitor: a self-rearming reactor timer (armed only when
   // config_.heartbeat_interval > 0). An idle proxy wakes zero threads.
   std::mutex timers_mutex_;
-  std::uint64_t heartbeat_timer_ = 0;  // guarded by timers_mutex_
+  std::uint64_t heartbeat_timer_ = 0;     // guarded by timers_mutex_
+  std::uint64_t shard_gossip_timer_ = 0;  // guarded by timers_mutex_
 
   // Outgoing MPI batch queues, one per destination site. Frames parked on
   // a dead link arm a one-shot reactor retry timer — there is no polling

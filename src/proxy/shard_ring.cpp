@@ -1,0 +1,112 @@
+#include "proxy/shard_ring.hpp"
+
+#include <algorithm>
+
+namespace pg::proxy {
+
+namespace {
+
+// FNV-1a, 64-bit, with a murmur3 finalizer. Stable across platforms and
+// builds — ring placement is part of the grid's observable behaviour
+// (tests and the scenario engine both recompute it), so std::hash's
+// unspecified value would not do. The finalizer matters: raw FNV of
+// short, similar strings avalanches poorly in the high bits that decide
+// ring order, which shows up directly as per-shard load skew.
+std::uint64_t fnv1a(const std::string& data) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+std::string shard_name(const std::string& site, std::uint32_t index) {
+  return index == 0 ? site : site + "#" + std::to_string(index);
+}
+
+std::string site_of_shard(const std::string& shard) {
+  const std::size_t pos = shard.rfind('#');
+  return pos == std::string::npos ? shard : shard.substr(0, pos);
+}
+
+std::uint32_t shard_index_of(const std::string& shard) {
+  const std::size_t pos = shard.rfind('#');
+  if (pos == std::string::npos) return 0;
+  std::uint32_t index = 0;
+  for (std::size_t i = pos + 1; i < shard.size(); ++i) {
+    const char c = shard[i];
+    if (c < '0' || c > '9') return 0;
+    index = index * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  return index;
+}
+
+ShardRing::ShardRing(std::size_t vnodes)
+    : vnodes_(vnodes == 0 ? 1 : vnodes) {}
+
+ShardRing ShardRing::for_site(const std::string& site, std::uint32_t count,
+                              std::size_t vnodes) {
+  ShardRing ring(vnodes);
+  for (std::uint32_t i = 0; i < count; ++i) ring.add(shard_name(site, i));
+  return ring;
+}
+
+void ShardRing::add(const std::string& shard) {
+  const auto it =
+      std::lower_bound(members_.begin(), members_.end(), shard);
+  if (it != members_.end() && *it == shard) return;
+  members_.insert(it, shard);
+  rebuild();
+}
+
+void ShardRing::remove(const std::string& shard) {
+  const auto it =
+      std::lower_bound(members_.begin(), members_.end(), shard);
+  if (it == members_.end() || *it != shard) return;
+  members_.erase(it);
+  rebuild();
+}
+
+bool ShardRing::contains(const std::string& shard) const {
+  return std::binary_search(members_.begin(), members_.end(), shard);
+}
+
+void ShardRing::rebuild() {
+  points_.clear();
+  points_.reserve(members_.size() * vnodes_);
+  for (std::uint32_t m = 0; m < members_.size(); ++m) {
+    // The replica index is part of the hashed bytes (not a seed): FNV of a
+    // short string under an XORed seed is close to affine in the seed, and
+    // affine vnode points cluster instead of scattering.
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+      points_.push_back(
+          Point{fnv1a(members_[m] + "|" + std::to_string(v)), m});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.hash != b.hash ? a.hash < b.hash : a.member < b.member;
+            });
+}
+
+const std::string& ShardRing::owner(const std::string& key) const {
+  static const std::string kEmpty;
+  if (points_.empty()) return kEmpty;
+  const std::uint64_t h = fnv1a(key);
+  // First point clockwise from the key's hash, wrapping past the top.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), h,
+      [](std::uint64_t value, const Point& p) { return value < p.hash; });
+  const Point& point = it == points_.end() ? points_.front() : *it;
+  return members_[point.member];
+}
+
+}  // namespace pg::proxy

@@ -76,6 +76,8 @@ Status parse_topology(const Json& json, Topology& out) {
       return invalid("site entry needs 'name' or 'count'");
     group.nodes = static_cast<std::size_t>(number_or(entry, "nodes", 4));
     if (group.nodes == 0) return invalid("site entry needs nodes >= 1");
+    group.shards = static_cast<std::uint32_t>(number_or(entry, "shards", 1));
+    if (group.shards == 0) return invalid("site entry needs shards >= 1");
     PG_RETURN_IF_ERROR(
         parse_range(entry, "capacity", group.capacity_min, group.capacity_max));
     PG_RETURN_IF_ERROR(
@@ -336,6 +338,7 @@ std::vector<ExpandedSite> expand_topology(const Topology& topology,
       site.name = group.name.empty() || group.count > 1
                       ? group.prefix + std::to_string(sites.size())
                       : group.name;
+      site.shards = group.shards;
       for (std::size_t n = 0; n < group.nodes; ++n) {
         ExpandedNode node;
         node.name = "node" + std::to_string(n);

@@ -27,6 +27,9 @@ struct SiteGroup {
   std::string prefix = "site";
   std::size_t count = 1;
   std::size_t nodes = 4;
+  /// Proxy shards serving each site of the group (consistent-hash
+  /// scale-out; 1 = the classic single proxy).
+  std::uint32_t shards = 1;
   double capacity_min = 1.0;  // node speeds uniform in [min, max], seeded
   double capacity_max = 1.0;
   double load_min = 0.0;      // background load uniform in [min, max]
@@ -156,6 +159,7 @@ struct ExpandedNode {
 struct ExpandedSite {
   std::string name;
   std::vector<ExpandedNode> nodes;
+  std::uint32_t shards = 1;
 };
 std::vector<ExpandedSite> expand_topology(const Topology& topology,
                                           std::uint64_t seed);

@@ -12,6 +12,7 @@
 #include "crypto/sha256.hpp"
 #include "monitor/aggregator.hpp"
 #include "proto/envelope.hpp"
+#include "proxy/shard_ring.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/event_queue.hpp"
 #include "tls/record.hpp"
@@ -46,6 +47,11 @@ struct SiteState {
   std::string name;
   std::size_t index = 0;
   bool alive = true;
+  /// Sharded proxy tier: a kKillProxy event on a site with more than one
+  /// alive shard kills ONE shard (ring re-homes its nodes); the site only
+  /// goes dark when the last shard dies.
+  std::uint32_t shards_total = 1;
+  std::uint32_t shards_alive = 1;
   double slow_factor = 1.0;  // kSlowSite scales effective capacity
   std::vector<NodeState> nodes;
   /// This proxy's view of the whole grid — the real component the real
@@ -179,6 +185,7 @@ Status Engine::build_topology() {
     SiteState site;
     site.name = spec.name;
     site.index = sites_.size();
+    site.shards_total = site.shards_alive = std::max<std::uint32_t>(1, spec.shards);
     for (const ExpandedNode& node_spec : spec.nodes) {
       NodeState node;
       node.name = node_spec.name;
@@ -797,6 +804,66 @@ void Engine::apply_timeline_event(const TimelineEvent& event) {
     case TimelineEvent::Op::kKillProxy: {
       const std::size_t s = static_cast<std::size_t>(site_index(event.site));
       if (!sites_[s].alive) break;
+      if (sites_[s].shards_alive > 1) {
+        // One shard of the site's proxy tier dies, not the whole site:
+        // the consistent-hash ring re-homes the virtual slaves the dead
+        // shard owned onto the survivors after a re-attach window.
+        SiteState& site = sites_[s];
+        const std::string dead =
+            proxy::shard_name(site.name, site.shards_alive - 1);
+        const proxy::ShardRing ring =
+            proxy::ShardRing::for_site(site.name, site.shards_alive);
+        site.shards_alive -= 1;
+        stats_.shard_kills += 1;
+        log("timeline kill_shard " + dead);
+        std::vector<std::size_t> orphaned;
+        for (std::size_t n = 0; n < site.nodes.size(); ++n) {
+          if (!site.nodes[n].alive) continue;
+          if (ring.owner(site.nodes[n].name) != dead) continue;
+          site.nodes[n].alive = false;
+          orphaned.push_back(n);
+          abort_runs_on(s, static_cast<int>(n), "shard death");
+        }
+        // Survivors pick the orphans up one status interval later
+        // (death detection + fresh channel + re-attach).
+        const TimeMicros rehomed_at = now + config_.status_interval;
+        queue_.schedule_after(
+            config_.status_interval, "timeline", [this, s, orphaned, dead] {
+              for (const std::size_t n : orphaned) {
+                NodeState& node = sites_[s].nodes[n];
+                node.alive = true;
+                node.available_at_s = 0;
+                node.queued_tasks = 0;
+                stats_.shard_rehomes += 1;
+              }
+              log("timeline rehome_shard " + dead + " nodes=" +
+                  std::to_string(orphaned.size()));
+            });
+        // Converged when every reachable peer's view of the site
+        // post-dates the re-home (the full node set is advertised again).
+        start_probe("kill_shard " + dead, [this, s, rehomed_at](TimeMicros) {
+          for (const SiteState& p : sites_) {
+            if (!p.alive) continue;
+            if (!peer_can_reach(p.index, s)) continue;
+            const auto report = p.cache->get(sites_[s].name);
+            if (!report ||
+                report->timestamp <= static_cast<std::uint64_t>(rehomed_at))
+              return false;
+          }
+          return true;
+        });
+        if (event.duration > 0) {
+          queue_.schedule_after(event.duration, "timeline", [this, s] {
+            SiteState& revive = sites_[s];
+            if (revive.shards_alive < revive.shards_total) {
+              revive.shards_alive += 1;
+              log("timeline restart_shard " +
+                  proxy::shard_name(revive.name, revive.shards_alive - 1));
+            }
+          });
+        }
+        break;
+      }
       sites_[s].alive = false;
       log("timeline kill_proxy " + event.site);
       abort_runs_on(s, -1, "site death");

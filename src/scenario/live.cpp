@@ -39,6 +39,7 @@ Result<LiveRunReport> run_live(const ScenarioConfig& config,
   for (const ExpandedSite& site : expanded) {
     grid::TopologySpec::Site out;
     out.name = site.name;
+    out.shards = site.shards;
     for (const ExpandedNode& node : site.nodes) {
       monitor::NodeProfile profile;
       profile.name = node.name;

@@ -61,6 +61,8 @@ Result<double> ScenarioStats::metric(const std::string& name) const {
     return static_cast<double>(wire_bytes_saved);
   if (name == "batching.crypto_bytes_saved")
     return static_cast<double>(crypto_bytes_saved);
+  if (name == "shard.kills") return static_cast<double>(shard_kills);
+  if (name == "shard.rehomes") return static_cast<double>(shard_rehomes);
   if (name == "dataplane.retransmits")
     return static_cast<double>(mpi_retransmits);
   if (name == "dataplane.retransmit_wait_s")
@@ -112,6 +114,8 @@ std::vector<std::string> ScenarioStats::metric_names() {
       "batching.envelope_savings_ratio",
       "batching.wire_bytes_saved",
       "batching.crypto_bytes_saved",
+      "shard.kills",
+      "shard.rehomes",
       "dataplane.retransmits",
       "dataplane.retransmit_wait_s",
       "dataplane.latency_frames",

@@ -63,6 +63,11 @@ struct ScenarioStats {
   std::uint64_t handshakes_resumed = 0;
   TimeMicros handshake_wait_saved = 0;
 
+  // shard.* — sharded proxy tier: shard deaths the timeline scripted and
+  // the virtual slaves the consistent-hash ring re-homed onto survivors.
+  std::uint64_t shard_kills = 0;
+  std::uint64_t shard_rehomes = 0;
+
   // recovery.*
   std::vector<RecoveryRecord> recoveries;
 

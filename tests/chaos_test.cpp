@@ -705,5 +705,184 @@ TEST(Chaos, CleanGridUnchangedByInjectorsAtRest) {
   grid->shutdown();
 }
 
+// ------------------------------------------------- sharded proxy tier
+
+TEST(Chaos, ShardKillRehomesNodesAndJobsConverge) {
+  // One of siteA's three proxy shards dies for good mid-run. The ring must
+  // prune it, every virtual slave it owned must re-home onto the survivors,
+  // in-flight jobs must still converge within their attempt budgets, the
+  // session ticket minted before the kill must keep working at the
+  // survivors, and no reliable-data-plane window may be left waiting on an
+  // ack the dead shard swallowed.
+  register_chaos_apps();
+  const std::uint64_t seed = chaos_seed();
+  SCOPED_TRACE("PG_CHAOS_SEED=" + std::to_string(seed));
+
+  GridBuilder builder;
+  builder.seed(seed + 47).key_bits(512);
+  builder.add_site("siteA", 3);
+  builder.add_nodes("siteA", 4).add_nodes("siteB", 2);
+  builder.add_user("u", "p", {"mpi.run", "status.query", "job.submit"});
+  builder.configure_proxy([](proxy::ProxyConfig& config) {
+    config.heartbeat_interval = 50 * kMicrosPerMilli;
+    config.heartbeat_miss_threshold = 3;
+    config.shard_gossip_interval = 50 * kMicrosPerMilli;
+    config.job_max_attempts = 3;
+    config.job_run_timeout = 4 * kMicrosPerSecond;
+    config.retry.per_try_timeout = kMicrosPerSecond;
+    config.retry.initial_backoff = 10 * kMicrosPerMilli;
+    config.retry.max_backoff = 200 * kMicrosPerMilli;
+  });
+  auto built = builder.build();
+  ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+  auto grid = built.take();
+
+  // Ring placement is deterministic (it hashes names, not the seed), so
+  // the number of nodes the doomed shard owns is known before the kill.
+  ASSERT_EQ(grid->site_shards("siteA").size(), 3u);
+  std::uint64_t on_doomed = 0;
+  for (int n = 0; n < 4; ++n) {
+    if (grid->shard_for("siteA", "node" + std::to_string(n)) == "siteA#1")
+      ++on_doomed;
+  }
+  ASSERT_GE(on_doomed, 1u);  // the kill must actually orphan something
+
+  auto token = grid->login("siteA", "u", "p");
+  ASSERT_TRUE(token.is_ok());
+
+  // Delegation while all shards are up: the ticket minted at shard 0
+  // authorizes a job at a sibling (realm-sealed tickets, no per-shard
+  // session state to migrate).
+  {
+    const auto id = grid->proxy("siteA#2").submit_job(
+        "u", token.value(), "chaos-barrier", 2, sched::Policy::kLoadBalanced);
+    ASSERT_TRUE(id.is_ok()) << id.status().to_string();
+    const auto record =
+        grid->proxy("siteA#2").wait_job(id.value(), 60 * kMicrosPerSecond);
+    ASSERT_TRUE(record.is_ok()) << record.status().to_string();
+    EXPECT_EQ(record.value().state, proxy::JobState::kSucceeded);
+  }
+
+  auto& registry = telemetry::MetricRegistry::global();
+  auto& rehomes = registry.counter(
+      "pg_shard_rehome_total",
+      "Entities re-homed onto surviving shards after a shard death",
+      {{"site", "siteA"}, {"reason", "shard_death"}});
+  const std::uint64_t rehomes_before = rehomes.value();
+
+  // Load across the surviving submission points while the shard dies.
+  struct Submitted {
+    std::string site;
+    std::uint64_t job_id = 0;
+  };
+  const std::vector<std::string> origins = {"siteA", "siteA#2", "siteB"};
+  std::vector<Submitted> jobs;
+  for (int i = 0; i < 6; ++i) {
+    const std::string& origin = origins[i % origins.size()];
+    const auto id = grid->proxy(origin).submit_job(
+        "u", token.value(), i % 2 == 0 ? "chaos-barrier" : "chaos-slow", 2,
+        sched::Policy::kLoadBalanced);
+    ASSERT_TRUE(id.is_ok()) << id.status().to_string();
+    jobs.push_back({origin, id.value()});
+
+    // 1 of 3 shards dies for good mid-run.
+    if (i == 2) grid->kill_proxy("siteA#1");
+  }
+
+  // Convergence: every job terminal, every wait returns.
+  for (const Submitted& job : jobs) {
+    const auto record =
+        grid->proxy(job.site).wait_job(job.job_id, 60 * kMicrosPerSecond);
+    ASSERT_TRUE(record.is_ok())
+        << job.site << " job " << job.job_id << ": "
+        << record.status().to_string();
+    const proxy::JobRecord& r = record.value();
+    EXPECT_TRUE(r.state == proxy::JobState::kSucceeded ||
+                r.state == proxy::JobState::kFailed)
+        << job_state_name(r.state);
+    ASSERT_FALSE(r.attempts.empty());
+    EXPECT_LE(r.attempts.size(), r.max_attempts);
+    if (r.state == proxy::JobState::kFailed) {
+      EXPECT_TRUE(r.attempts.size() == r.max_attempts ||
+                  !proxy::is_transient(r.outcome))
+          << r.attempts.size() << " attempts, " << r.outcome.to_string();
+    }
+  }
+
+  // The ring pruned the dead shard and re-homed exactly its nodes.
+  for (int i = 0; i < 10000 && grid->site_shards("siteA").size() != 2; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(grid->site_shards("siteA").size(), 2u);
+  std::uint64_t rehomed = 0;
+  for (int i = 0; i < 10000; ++i) {
+    rehomed = rehomes.value() - rehomes_before;
+    if (rehomed >= on_doomed) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(rehomed, on_doomed);
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_NE(grid->shard_for("siteA", "node" + std::to_string(n)),
+              "siteA#1");
+  }
+
+  // The survivors' merged view recovers all four virtual slaves (any
+  // surviving shard answers for the whole site)...
+  proto::StatusReport merged;
+  for (int i = 0; i < 10000; ++i) {
+    auto report = grid->site_status("siteA");
+    ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+    merged = report.take();
+    if (merged.nodes.size() == 4) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(merged.site, "siteA");
+  EXPECT_EQ(merged.nodes.size(), 4u);
+
+  // ...and between them own every one of them (pg_shard_owned_keys).
+  std::int64_t owned = 0;
+  for (int i = 0; i < 10000; ++i) {
+    owned = grid->proxy("siteA").metrics().shard_owned_keys +
+            grid->proxy("siteA#2").metrics().shard_owned_keys;
+    if (owned == 4) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(owned, 4);
+
+  // Sessions survive the shard death: the pre-kill ticket still works at
+  // both survivors and fresh jobs complete on the re-homed slaves.
+  for (const char* origin : {"siteA", "siteA#2"}) {
+    const auto id = grid->proxy(origin).submit_job(
+        "u", token.value(), "chaos-barrier", 2, sched::Policy::kLoadBalanced);
+    ASSERT_TRUE(id.is_ok()) << origin << ": " << id.status().to_string();
+    const auto record =
+        grid->proxy(origin).wait_job(id.value(), 60 * kMicrosPerSecond);
+    ASSERT_TRUE(record.is_ok()) << record.status().to_string();
+    EXPECT_EQ(record.value().state, proxy::JobState::kSucceeded)
+        << origin << ": " << job_state_name(record.value().state);
+  }
+
+  // Zero lost acks: every surviving proxy's reliable-data-plane window
+  // drained — nothing waits forever on an ack the dead shard swallowed.
+  const auto inflight = [&registry](const std::string& site) {
+    return registry
+        .gauge("pg_mpi_inflight_bytes",
+               "Payload bytes transmitted but not yet acknowledged",
+               {{"site", site}, {"sender", "proxy"}})
+        .value();
+  };
+  std::int64_t pending = -1;
+  for (int i = 0; i < 10000; ++i) {
+    pending = inflight("siteA") + inflight("siteA#2") + inflight("siteB");
+    if (pending == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pending, 0);
+
+  // The status gossip plane was active the whole time.
+  EXPECT_GT(grid->proxy("siteA").metrics().shard_status_gossip, 0u);
+
+  grid->shutdown();
+}
+
 }  // namespace
 }  // namespace pg::grid

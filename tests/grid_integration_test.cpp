@@ -10,6 +10,7 @@
 #include "grid/grid.hpp"
 #include "mpi/datatypes.hpp"
 #include "mpi/runtime.hpp"
+#include "proxy/shard_ring.hpp"
 
 namespace pg::grid {
 namespace {
@@ -496,6 +497,109 @@ TEST(GridCli, FullSession) {
 
   out.str("");
   EXPECT_FALSE(cli.execute("frobnicate", out));
+}
+
+// ---------------------------------------------------------- sharded tier
+
+std::unique_ptr<Grid> make_sharded_grid() {
+  register_apps();
+  GridBuilder builder;
+  builder.seed(97).key_bits(512);
+  builder.add_site("siteS", 2);
+  builder.add_nodes("siteS", 3).add_nodes("siteT", 1);
+  builder.add_user("alice", "correct-horse",
+                   {"mpi.run", "status.query", "job.submit"});
+  builder.configure_proxy([](proxy::ProxyConfig& config) {
+    config.shard_gossip_interval = 20 * kMicrosPerMilli;
+  });
+  Result<std::unique_ptr<Grid>> grid = builder.build();
+  EXPECT_TRUE(grid.is_ok()) << grid.status().to_string();
+  return grid.is_ok() ? grid.take() : nullptr;
+}
+
+TEST(GridSharding, BringUpSplitsNodesAcrossShardsDeterministically) {
+  auto grid = make_sharded_grid();
+  ASSERT_NE(grid, nullptr);
+
+  // One proxy per shard plus the unsharded site, fully meshed.
+  const std::vector<std::string> expect = {"siteS", "siteS#1", "siteT"};
+  EXPECT_EQ(grid->sites(), expect);
+  for (const auto& site : grid->sites()) {
+    EXPECT_EQ(grid->proxy(site).peers().size(), 2u) << site;
+  }
+
+  // Node homes follow the consistent-hash ring exactly — any peer can
+  // recompute the placement without asking anyone.
+  const proxy::ShardRing ring = proxy::ShardRing::for_site("siteS", 2);
+  for (int n = 0; n < 3; ++n) {
+    const std::string key = "node" + std::to_string(n);
+    EXPECT_EQ(grid->shard_for("siteS", key), ring.owner(key)) << key;
+  }
+  EXPECT_EQ(grid->shard_for("siteT", "anything"), "siteT");
+
+  // Between them the shards own every virtual slave...
+  EXPECT_EQ(grid->proxy("siteS").metrics().shard_owned_keys +
+                grid->proxy("siteS#1").metrics().shard_owned_keys,
+            3);
+
+  // ...and both agree shard 0 holds the status-collector lease.
+  EXPECT_EQ(grid->proxy("siteS").status_lease().holder(), "siteS");
+  EXPECT_EQ(grid->proxy("siteS#1").status_lease().holder(), "siteS");
+  EXPECT_TRUE(grid->proxy("siteS").status_lease().is_holder());
+  EXPECT_FALSE(grid->proxy("siteS#1").status_lease().is_holder());
+}
+
+TEST(GridSharding, AnyShardAnswersForTheWholeSite) {
+  auto grid = make_sharded_grid();
+  ASSERT_NE(grid, nullptr);
+
+  // Gossip converges: EITHER shard's merged report covers all three
+  // virtual slaves under the logical site name.
+  for (const char* shard : {"siteS", "siteS#1"}) {
+    proto::StatusReport merged;
+    for (int i = 0; i < 5000; ++i) {
+      merged = grid->proxy(shard).site_status();
+      if (merged.nodes.size() == 3) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(merged.site, "siteS") << shard;
+    EXPECT_EQ(merged.nodes.size(), 3u) << shard;
+  }
+
+  // A grid-wide pull still sees each shard's nodes exactly once (the
+  // scheduler's view stays partition-disjoint; no double counting).
+  Result<Bytes> token = grid->login("siteS", "alice", "correct-horse");
+  ASSERT_TRUE(token.is_ok());
+  Result<std::vector<proto::StatusReport>> reports =
+      grid->status("siteT", token.value());
+  ASSERT_TRUE(reports.is_ok()) << reports.status().to_string();
+  EXPECT_EQ(reports.value().size(), 3u);
+  std::size_t nodes_visible = 0;
+  for (const auto& report : reports.value()) {
+    nodes_visible += report.nodes.size();
+  }
+  EXPECT_EQ(nodes_visible, 4u);
+}
+
+TEST(GridSharding, TicketMintedAtOneShardWorksAtAnother) {
+  auto grid = make_sharded_grid();
+  ASSERT_NE(grid, nullptr);
+  Result<Bytes> token = grid->login("siteS", "alice", "correct-horse");
+  ASSERT_TRUE(token.is_ok());
+
+  // Realm-sealed tickets: the sibling shard authorizes the session with
+  // no handoff or shared session table...
+  EXPECT_TRUE(grid->proxy("siteS#1")
+                  .authenticator()
+                  .authorize(token.value(), "mpi.run", grid->clock().now())
+                  .is_ok());
+
+  // ...and an app launched from the unsharded site spans both shards'
+  // slaves without knowing the site is sharded at all.
+  const proxy::AppRunResult result =
+      grid->run_app("siteT", "alice", token.value(), "pi", 4,
+                    SchedulerPolicy::kRoundRobin);
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include "monitor/aggregator.hpp"
 #include "monitor/site_collector.hpp"
 #include "monitor/stats_source.hpp"
+#include "monitor/status_lease.hpp"
 
 namespace pg::monitor {
 namespace {
@@ -129,6 +130,78 @@ TEST(GridStatusCache, KeepsNewerOnOutOfOrder) {
   cache.update(newer, 200);
   cache.update(older, 100);  // late arrival of the old report
   EXPECT_EQ(cache.get("siteA")->timestamp, 20u);
+}
+
+TEST(GridStatusCache, EpochBeatsReceiveTimeOnCollectorHandoff) {
+  // Regression: after a collector-lease handoff, a delayed report from
+  // the PREVIOUS holder could arrive with a later received_at than the
+  // new holder's first report (slow link, clock skew) and silently win
+  // under the newest-received_at rule — resurrecting nodes the new
+  // holder already knows are gone. The lease epoch orders the handoff.
+  GridStatusCache cache;
+  proto::StatusReport from_new_holder;
+  from_new_holder.site = "siteA";
+  from_new_holder.timestamp = 50;
+  cache.update(from_new_holder, 100, /*epoch=*/2);
+
+  proto::StatusReport from_old_holder;
+  from_old_holder.site = "siteA";
+  from_old_holder.timestamp = 40;
+  cache.update(from_old_holder, 300, /*epoch=*/1);  // late but pre-handoff
+  EXPECT_EQ(cache.get("siteA")->timestamp, 50u);
+
+  // A higher epoch always wins, even with an older receive time.
+  proto::StatusReport next_handoff;
+  next_handoff.site = "siteA";
+  next_handoff.timestamp = 60;
+  cache.update(next_handoff, 90, /*epoch=*/3);
+  EXPECT_EQ(cache.get("siteA")->timestamp, 60u);
+}
+
+TEST(GridStatusCache, DefaultEpochKeepsLegacyBehaviour) {
+  GridStatusCache cache;
+  proto::StatusReport a;
+  a.site = "siteA";
+  a.timestamp = 1;
+  proto::StatusReport b;
+  b.site = "siteA";
+  b.timestamp = 2;
+  cache.update(a, 100);
+  cache.update(b, 200);  // no epochs anywhere: newest received_at wins
+  EXPECT_EQ(cache.get("siteA")->timestamp, 2u);
+}
+
+TEST(StatusLease, HolderIsLowestAliveAndEpochBumpsOnHandoff) {
+  StatusLease lease({"s", "s#1", "s#2"}, "s#1");
+  EXPECT_EQ(lease.holder(), "s");
+  EXPECT_FALSE(lease.is_holder());
+  EXPECT_EQ(lease.epoch(), 0u);
+
+  lease.mark_down("s");  // handoff: s#1 takes the collector role
+  EXPECT_EQ(lease.holder(), "s#1");
+  EXPECT_TRUE(lease.is_holder());
+  EXPECT_EQ(lease.epoch(), 1u);
+
+  lease.mark_down("s#2");  // liveness change without a holder change
+  EXPECT_EQ(lease.epoch(), 1u);
+  EXPECT_EQ(lease.alive_members(), (std::vector<std::string>{"s#1"}));
+
+  lease.mark_up("s");  // the old holder returns: another handoff
+  EXPECT_EQ(lease.holder(), "s");
+  EXPECT_EQ(lease.epoch(), 2u);
+
+  lease.observe_epoch(7);  // a sibling saw handoffs we missed
+  EXPECT_EQ(lease.epoch(), 7u);
+  lease.observe_epoch(3);  // lower epochs never roll back
+  EXPECT_EQ(lease.epoch(), 7u);
+}
+
+TEST(StatusLease, SelfIsAlwaysAliveToItself) {
+  StatusLease lease({"s", "s#1"}, "s");
+  lease.mark_down("s");
+  // A shard never counts itself dead: it keeps (or takes) the lease.
+  EXPECT_EQ(lease.holder(), "s");
+  EXPECT_TRUE(lease.alive("s"));
 }
 
 TEST(GridStatusCache, Staleness) {

@@ -142,6 +142,42 @@ TEST(Messages, StatusReportRoundTrip) {
   EXPECT_EQ(back.value().site, "siteA");
 }
 
+TEST(Messages, ShardStatusRoundTrip) {
+  ShardStatus m;
+  m.shard = "siteA#2";
+  m.lease_epoch = 7;
+  m.report.site = "siteA#2";
+  m.report.timestamp = 4242;
+  for (int i = 0; i < 2; ++i) {
+    NodeStatus n;
+    n.name = "node" + std::to_string(i);
+    n.cpu_load = 0.25 * (i + 1);
+    n.ram_free_mb = 100 + i;
+    m.report.nodes.push_back(n);
+  }
+  const auto back = ShardStatus::parse(m.serialize());
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().shard, "siteA#2");
+  EXPECT_EQ(back.value().lease_epoch, 7u);
+  EXPECT_EQ(back.value().report.site, "siteA#2");
+  ASSERT_EQ(back.value().report.nodes.size(), 2u);
+  EXPECT_EQ(back.value().report.nodes[1], m.report.nodes[1]);
+}
+
+TEST(Messages, ShardStatusRejectsTruncation) {
+  ShardStatus m;
+  m.shard = "siteA#1";
+  m.report.site = "siteA#1";
+  NodeStatus n;
+  n.name = "node0";
+  m.report.nodes.push_back(n);
+  const Bytes wire = m.serialize();
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    BytesView truncated(wire.data(), wire.size() - cut);
+    EXPECT_FALSE(ShardStatus::parse(truncated).is_ok()) << "cut=" << cut;
+  }
+}
+
 TEST(Messages, StatusQueryEmptyMeansLocal) {
   StatusQuery q;
   const auto back = StatusQuery::parse(q.serialize());

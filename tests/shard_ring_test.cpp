@@ -1,0 +1,135 @@
+// Consistent-hash ring properties the sharded proxy tier depends on:
+// bounded skew, minimal remapping on membership change, and placement
+// that is a pure function of (key, member set).
+#include "proxy/shard_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pg::proxy {
+namespace {
+
+std::vector<std::string> make_keys(std::size_t count) {
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    keys.push_back("user-" + std::to_string(i * 7919 + 13));
+  return keys;
+}
+
+TEST(ShardName, RoundTrips) {
+  EXPECT_EQ(shard_name("site1", 0), "site1");
+  EXPECT_EQ(shard_name("site1", 3), "site1#3");
+  EXPECT_EQ(site_of_shard("site1"), "site1");
+  EXPECT_EQ(site_of_shard("site1#3"), "site1");
+  EXPECT_EQ(shard_index_of("site1"), 0u);
+  EXPECT_EQ(shard_index_of("site1#3"), 3u);
+  EXPECT_EQ(shard_index_of("site1#12"), 12u);
+}
+
+TEST(ShardRing, EmptyRingHasNoOwner) {
+  ShardRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.owner("anything"), "");
+}
+
+TEST(ShardRing, SingleShardOwnsEverything) {
+  ShardRing ring = ShardRing::for_site("site1", 1);
+  for (const std::string& key : make_keys(100))
+    EXPECT_EQ(ring.owner(key), "site1");
+}
+
+TEST(ShardRing, DeterministicPlacement) {
+  // Same member set, independently built (different insertion order) —
+  // every key lands on the same shard.
+  ShardRing a(kDefaultVnodes);
+  a.add("site1");
+  a.add("site1#1");
+  a.add("site1#2");
+  ShardRing b(kDefaultVnodes);
+  b.add("site1#2");
+  b.add("site1");
+  b.add("site1#1");
+  for (const std::string& key : make_keys(500))
+    EXPECT_EQ(a.owner(key), b.owner(key)) << key;
+}
+
+TEST(ShardRing, DistributionSkewUnderTenPercent) {
+  const std::vector<std::string> keys = make_keys(20000);
+  for (const std::uint32_t shards : {2u, 3u, 4u, 8u}) {
+    ShardRing ring = ShardRing::for_site("site1", shards);
+    std::map<std::string, std::size_t> owned;
+    for (const std::string& key : keys) owned[ring.owner(key)]++;
+    ASSERT_EQ(owned.size(), shards);
+    const double mean = static_cast<double>(keys.size()) / shards;
+    for (const auto& [shard, count] : owned) {
+      const double skew = (static_cast<double>(count) - mean) / mean;
+      EXPECT_LT(std::abs(skew), 0.10)
+          << shards << " shards: " << shard << " owns " << count
+          << " of " << keys.size();
+    }
+  }
+}
+
+TEST(ShardRing, AddRemapsAboutOneOverN) {
+  const std::vector<std::string> keys = make_keys(20000);
+  for (const std::uint32_t before : {1u, 2u, 3u, 7u}) {
+    ShardRing ring = ShardRing::for_site("site1", before);
+    std::map<std::string, std::string> old_owner;
+    for (const std::string& key : keys) old_owner[key] = ring.owner(key);
+    ring.add(shard_name("site1", before));
+    std::size_t moved = 0;
+    for (const std::string& key : keys) {
+      if (ring.owner(key) != old_owner[key]) {
+        // Every moved key must have moved TO the new shard, never
+        // between survivors.
+        EXPECT_EQ(ring.owner(key), shard_name("site1", before));
+        ++moved;
+      }
+    }
+    const double fraction = static_cast<double>(moved) / keys.size();
+    const double ideal = 1.0 / (before + 1);
+    EXPECT_GT(fraction, ideal * 0.7);
+    EXPECT_LT(fraction, ideal * 1.3)
+        << before << "->" << before + 1 << " shards moved " << moved;
+  }
+}
+
+TEST(ShardRing, RemoveRemapsOnlyTheDeadShardsKeys) {
+  const std::vector<std::string> keys = make_keys(20000);
+  ShardRing ring = ShardRing::for_site("site1", 4);
+  std::map<std::string, std::string> old_owner;
+  for (const std::string& key : keys) old_owner[key] = ring.owner(key);
+  const std::string dead = shard_name("site1", 2);
+  ring.remove(dead);
+  std::size_t moved = 0;
+  for (const std::string& key : keys) {
+    if (old_owner[key] == dead) {
+      EXPECT_NE(ring.owner(key), dead);
+      ++moved;
+    } else {
+      // Survivors keep their keys: re-homing touches only orphans.
+      EXPECT_EQ(ring.owner(key), old_owner[key]);
+    }
+  }
+  const double fraction = static_cast<double>(moved) / keys.size();
+  EXPECT_GT(fraction, 0.25 * 0.7);
+  EXPECT_LT(fraction, 0.25 * 1.3);
+}
+
+TEST(ShardRing, AddThenRemoveRestoresPlacement) {
+  const std::vector<std::string> keys = make_keys(2000);
+  ShardRing ring = ShardRing::for_site("site1", 3);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.owner(key);
+  ring.add("site1#3");
+  ring.remove("site1#3");
+  for (const std::string& key : keys)
+    EXPECT_EQ(ring.owner(key), before[key]);
+}
+
+}  // namespace
+}  // namespace pg::proxy
